@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Ccomp_baselines Ccomp_core Ccomp_progen Hashtbl List Measure Printf Staged String Sys Tables Test Time Toolkit Unix Workloads

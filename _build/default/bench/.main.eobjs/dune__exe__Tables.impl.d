@@ -1,0 +1,1 @@
+bench/tables.ml: Array Ccomp_baselines Ccomp_core Ccomp_entropy Ccomp_isa Ccomp_memsys Ccomp_progen Char Hashtbl Int64 List Option Printf String Workloads

@@ -1,0 +1,1 @@
+bench/workloads.ml: Array Ccomp_progen

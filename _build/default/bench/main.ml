@@ -1,0 +1,108 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5) plus the DESIGN.md ablations, then runs a Bechamel
+   timing suite over the codecs.
+
+   Usage: dune exec bench/main.exe -- [--scale S] [--tables LIST] [--no-timing]
+     --scale S      workload size multiplier (default 1.0)
+     --tables LIST  comma list of fig7,fig8,fig9,block,streams,quantize,
+                    memsys,dict,ppm,dense,prune,x86fields,lat,codepack,
+                    embedded (default: all)
+     --no-timing    skip the Bechamel throughput measurements *)
+
+module Samc = Ccomp_core.Samc
+module Sadc = Ccomp_core.Sadc
+module Byte_huffman = Ccomp_baselines.Byte_huffman
+
+let parse_args () =
+  let scale = ref 1.0 in
+  let tables = ref [ "fig7"; "fig8"; "fig9"; "block"; "streams"; "quantize"; "memsys"; "dict"; "ppm"; "dense"; "prune"; "x86fields"; "lat"; "codepack"; "embedded" ] in
+  let timing = ref true in
+  let rec go = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+      scale := float_of_string v;
+      go rest
+    | "--tables" :: v :: rest ->
+      tables := String.split_on_char ',' v;
+      go rest
+    | "--no-timing" :: rest ->
+      timing := false;
+      go rest
+    | arg :: _ -> failwith ("unknown argument " ^ arg)
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!scale, !tables, !timing)
+
+(* --- Bechamel timing suite (T1) ---------------------------------------- *)
+
+let timing_tests () =
+  let open Bechamel in
+  (* One fixed workload, truncated so each run is a few milliseconds. *)
+  let w = Workloads.prepare ~scale:0.3 (Ccomp_progen.Profile.find "go") in
+  let code = Workloads.mips_code w in
+  let code = String.sub code 0 (min (String.length code) 32768) in
+  let samc_cfg = Samc.mips_config () in
+  let samc = Samc.compress samc_cfg code in
+  let sadc = Sadc.Mips.compress_image (Sadc.default_config ~max_rounds:64 ()) code in
+  let huff = Byte_huffman.compress code in
+  let blocks = Array.length samc.Samc.blocks in
+  Test.make_grouped ~name:"codec" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"samc-compress" (Staged.stage (fun () -> Samc.compress samc_cfg code));
+      Test.make ~name:"samc-decompress-block"
+        (Staged.stage (fun () ->
+             Samc.decompress_block samc_cfg samc.Samc.model ~original_bytes:32
+               samc.Samc.blocks.(blocks / 2)));
+      Test.make ~name:"sadc-decompress-block"
+        (Staged.stage (fun () -> Sadc.Mips.decompress_block sadc (Sadc.Mips.block_count sadc / 2)));
+      Test.make ~name:"huffman-decompress-block"
+        (Staged.stage (fun () -> Byte_huffman.decompress_block huff 3));
+      Test.make ~name:"lzw-compress"
+        (Staged.stage (fun () -> Ccomp_baselines.Lzw.compress code));
+      Test.make ~name:"lzss-compress"
+        (Staged.stage (fun () -> Ccomp_baselines.Lzss.compress code));
+    ]
+
+let run_timing () =
+  let open Bechamel in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances (timing_tests ()) in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Printf.printf "\n=== T1: codec timing (monotonic clock, ns/run) ===\n";
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-32s %14.0f ns/run\n" name est
+      | Some _ | None -> Printf.printf "%-32s %14s\n" name "n/a")
+    (List.sort compare rows)
+
+let () =
+  let scale, tables, timing = parse_args () in
+  let wants t = List.mem t tables in
+  Printf.printf "code compression benchmark harness (scale %.2f)\n" scale;
+  let t0 = Unix.gettimeofday () in
+  let suite = Workloads.suite ~scale () in
+  Printf.printf "generated %d workloads in %.1fs\n%!" (Array.length suite)
+    (Unix.gettimeofday () -. t0);
+  let mips_rows = if wants "fig7" || wants "fig9" then Some (Tables.fig7 suite) else None in
+  let x86_rows = if wants "fig8" || wants "fig9" then Some (Tables.fig8 suite) else None in
+  (match (mips_rows, x86_rows) with
+  | Some m, Some x when wants "fig9" -> Tables.fig9 ~mips_rows:m ~x86_rows:x
+  | _ -> ());
+  if wants "block" then Tables.block_size_table suite;
+  if wants "streams" then Tables.stream_table suite;
+  if wants "quantize" then Tables.quantize_table suite;
+  if wants "memsys" then Tables.memsys_table suite;
+  if wants "dict" then Tables.dict_table suite;
+  if wants "ppm" then Tables.ppm_table suite;
+  if wants "dense" then Tables.dense_table suite;
+  if wants "prune" then Tables.prune_table suite;
+  if wants "x86fields" then Tables.x86_fields_table suite;
+  if wants "lat" then Tables.lat_table suite;
+  if wants "codepack" then Tables.codepack_table suite;
+  if wants "embedded" then Tables.embedded_table ();
+  if timing then run_timing ();
+  Printf.printf "\ntotal harness time: %.1fs\n" (Unix.gettimeofday () -. t0)

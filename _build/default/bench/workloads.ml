@@ -1,0 +1,28 @@
+(* Benchmark workloads: the 18 SPEC95-profile programs of Figs. 7/8,
+   generated once and lowered to both ISAs. *)
+
+module P = Ccomp_progen
+
+type prepared = {
+  name : string;
+  program : P.Ir.program;
+  mips_layout : P.Layout.t;
+  x86_layout : P.Layout.t;
+}
+
+let mips_code p = p.mips_layout.P.Layout.code
+
+let x86_code p = p.x86_layout.P.Layout.code
+
+let prepare ?(scale = 1.0) (profile : P.Profile.t) =
+  let program = P.Generator.generate ~scale ~seed:7L profile in
+  let _, mips_layout = P.Mips_backend.lower program in
+  let _, x86_layout = P.X86_backend.lower program in
+  { name = profile.P.Profile.name; program; mips_layout; x86_layout }
+
+let suite ?(scale = 1.0) () = Array.map (prepare ~scale) P.Profile.spec95
+
+let find suite name =
+  match Array.find_opt (fun p -> p.name = name) suite with
+  | Some p -> p
+  | None -> invalid_arg ("unknown workload " ^ name)

@@ -1,0 +1,347 @@
+(* ccomp — command-line driver for the code-compression toolkit.
+
+   Subcommands:
+     generate    build a synthetic SPEC95-profile benchmark image
+     compress    compress a raw code image into a SECF container
+     decompress  expand a SECF container back to raw code
+     info        describe a SECF container
+     ratios      compare all algorithms on one image
+     simulate    run the compressed-memory-system model on a profile
+     asm         assemble MIPS text into a raw code image
+     disasm      disassemble a raw code image *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc data)
+
+(* --- shared arguments ------------------------------------------------ *)
+
+type isa = Mips | X86
+
+let isa_conv =
+  let parse = function
+    | "mips" -> Ok Mips
+    | "x86" -> Ok X86
+    | s -> Error (`Msg (Printf.sprintf "unknown ISA %S (expected mips or x86)" s))
+  in
+  let print fmt isa = Format.pp_print_string fmt (match isa with Mips -> "mips" | X86 -> "x86") in
+  Arg.conv (parse, print)
+
+let isa_arg =
+  Arg.(value & opt isa_conv Mips & info [ "isa" ] ~docv:"ISA" ~doc:"Target ISA: mips or x86.")
+
+let profile_arg =
+  let doc = "SPEC95 benchmark profile name (e.g. gcc, go, swim)." in
+  Arg.(value & opt string "gcc" & info [ "profile" ] ~docv:"NAME" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let scale_arg =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc:"Program size scale factor.")
+
+let block_size_arg =
+  Arg.(value & opt int 32 & info [ "block-size" ] ~docv:"BYTES" ~doc:"Cache block size in bytes.")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+
+let lower isa prog =
+  match isa with
+  | Mips -> (snd (Ccomp_progen.Mips_backend.lower prog)).Ccomp_progen.Layout.code
+  | X86 -> (snd (Ccomp_progen.X86_backend.lower prog)).Ccomp_progen.Layout.code
+
+let find_profile name =
+  match Ccomp_progen.Profile.find name with
+  | p -> Ok p
+  | exception Not_found ->
+    Error
+      (Printf.sprintf "unknown profile %S; available: %s" name
+         (String.concat ", " (Ccomp_progen.Profile.names ())))
+
+(* --- generate --------------------------------------------------------- *)
+
+let generate_cmd =
+  let run profile_name isa seed scale output =
+    match find_profile profile_name with
+    | Error e -> `Error (false, e)
+    | Ok profile ->
+      let prog = Ccomp_progen.Generator.generate ~scale ~seed:(Int64.of_int seed) profile in
+      let code = lower isa prog in
+      let path =
+        match output with Some p -> p | None -> Printf.sprintf "%s.%s.bin" profile_name
+                                                 (match isa with Mips -> "mips" | X86 -> "x86")
+      in
+      write_file path code;
+      Printf.printf "wrote %s: %d bytes of %s code\n" path (String.length code)
+        (match isa with Mips -> "MIPS" | X86 -> "x86");
+      `Ok ()
+  in
+  let term = Term.(ret (const run $ profile_arg $ isa_arg $ seed_arg $ scale_arg $ output_arg)) in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic benchmark code image.") term
+
+(* --- compress ---------------------------------------------------------- *)
+
+let algo_arg =
+  let doc = "Compression algorithm: samc or sadc." in
+  Arg.(value & opt string "samc" & info [ "algo" ] ~docv:"ALGO" ~doc)
+
+let quantize_arg =
+  Arg.(value & flag & info [ "quantize" ] ~doc:"SAMC: power-of-two probabilities (shift-only).")
+
+let prune_arg =
+  Arg.(value & opt int 0 & info [ "prune" ] ~docv:"N"
+         ~doc:"SAMC: prune Markov nodes seen fewer than N times.")
+
+let context_arg =
+  Arg.(value & opt int 2 & info [ "context-bits" ] ~docv:"N" ~doc:"SAMC connected-tree context bits.")
+
+let compress_cmd =
+  let run algo isa block_size context_bits quantize prune_below input output =
+    let code = read_file input in
+    let image =
+      match (algo, isa) with
+      | "samc", Mips ->
+        let cfg = Ccomp_core.Samc.mips_config ~block_size ~context_bits ~quantize ~prune_below () in
+        Ok (Ccomp_image.Image.of_samc ~isa:Ccomp_image.Image.Mips (Ccomp_core.Samc.compress cfg code))
+      | "samc", X86 ->
+        let cfg = Ccomp_core.Samc.byte_config ~block_size ~context_bits ~quantize ~prune_below () in
+        Ok (Ccomp_image.Image.of_samc ~isa:Ccomp_image.Image.X86 (Ccomp_core.Samc.compress cfg code))
+      | "sadc", Mips ->
+        let cfg = Ccomp_core.Sadc.default_config ~block_size () in
+        Ok (Ccomp_image.Image.of_sadc_mips (Ccomp_core.Sadc.Mips.compress_image cfg code))
+      | "sadc", X86 ->
+        let cfg = Ccomp_core.Sadc.default_config ~block_size () in
+        Ok (Ccomp_image.Image.of_sadc_x86 (Ccomp_core.Sadc.X86.compress_image cfg code))
+      | a, _ -> Error (Printf.sprintf "unknown algorithm %S (expected samc or sadc)" a)
+    in
+    match image with
+    | Error e -> `Error (false, e)
+    | Ok image ->
+      let path = match output with Some p -> p | None -> input ^ ".secf" in
+      write_file path (Ccomp_image.Image.write image);
+      Printf.printf "%s\n" (Ccomp_image.Image.describe image);
+      Printf.printf "wrote %s: %d bytes total (original %d)\n" path
+        (Ccomp_image.Image.total_bytes image) (String.length code);
+      `Ok ()
+  in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  let term =
+    Term.(
+      ret
+        (const run $ algo_arg $ isa_arg $ block_size_arg $ context_arg $ quantize_arg $ prune_arg
+       $ input $ output_arg))
+  in
+  Cmd.v (Cmd.info "compress" ~doc:"Compress a raw code image into a SECF container.") term
+
+(* --- decompress -------------------------------------------------------- *)
+
+let decompress_cmd =
+  let run input output =
+    match Ccomp_image.Image.read (read_file input) with
+    | Error e -> `Error (false, "cannot read image: " ^ e)
+    | Ok image ->
+      let code = Ccomp_image.Image.decompress image in
+      let path = match output with Some p -> p | None -> input ^ ".out" in
+      write_file path code;
+      Printf.printf "wrote %s: %d bytes\n" path (String.length code);
+      `Ok ()
+  in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  let term = Term.(ret (const run $ input $ output_arg)) in
+  Cmd.v (Cmd.info "decompress" ~doc:"Expand a SECF container back to raw code.") term
+
+(* --- info ---------------------------------------------------------------- *)
+
+let info_cmd =
+  let run input =
+    match Ccomp_image.Image.read (read_file input) with
+    | Error e -> `Error (false, "cannot read image: " ^ e)
+    | Ok image ->
+      print_endline (Ccomp_image.Image.describe image);
+      (match image.Ccomp_image.Image.payload with
+      | Ccomp_image.Image.Sadc_mips z ->
+        let st = Ccomp_core.Sadc.Mips.stats z in
+        Printf.printf
+          "dictionary: %d entries (%d base, %d groups, %d specialised), longest group %d, %d rounds\n"
+          st.entries st.base_entries st.group_entries st.specialized_entries st.longest_group
+          st.rounds
+      | Ccomp_image.Image.Sadc_x86 z ->
+        let st = Ccomp_core.Sadc.X86.stats z in
+        Printf.printf
+          "dictionary: %d entries (%d base, %d groups, %d specialised), longest group %d, %d rounds\n"
+          st.entries st.base_entries st.group_entries st.specialized_entries st.longest_group
+          st.rounds
+      | Ccomp_image.Image.Samc z ->
+        let m = z.Ccomp_core.Samc.model in
+        Printf.printf "markov model: %d probabilities, %d context(s), %d bytes\n"
+          (Ccomp_core.Markov_model.probability_count m)
+          (Ccomp_core.Markov_model.contexts m)
+          (Ccomp_core.Markov_model.storage_bytes m));
+      Printf.printf "LAT: %d entries, %d bytes\n"
+        (Ccomp_memsys.Lat.entries image.Ccomp_image.Image.lat)
+        (Ccomp_memsys.Lat.storage_bytes image.Ccomp_image.Image.lat);
+      `Ok ()
+  in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  Cmd.v (Cmd.info "info" ~doc:"Describe a SECF container.") Term.(ret (const run $ input))
+
+(* --- ratios ----------------------------------------------------------- *)
+
+let ratios_cmd =
+  let run isa block_size input =
+    let code = read_file input in
+    let lzw = Ccomp_baselines.Lzw.ratio code in
+    let gzip = Ccomp_baselines.Lzss.ratio code in
+    let huff = Ccomp_baselines.Byte_huffman.(ratio (compress ~block_size code)) in
+    let samc_cfg =
+      match isa with
+      | Mips -> Ccomp_core.Samc.mips_config ~block_size ()
+      | X86 -> Ccomp_core.Samc.byte_config ~block_size ()
+    in
+    let samc = Ccomp_core.Samc.(ratio (compress samc_cfg code)) in
+    let sadc =
+      let cfg = Ccomp_core.Sadc.default_config ~block_size () in
+      match isa with
+      | Mips -> Ccomp_core.Sadc.Mips.(ratio (compress_image cfg code))
+      | X86 -> Ccomp_core.Sadc.X86.(ratio (compress_image cfg code))
+    in
+    Printf.printf "%-10s %8s %8s %8s %8s %8s\n" "file" "compress" "gzip" "huffman" "samc" "sadc";
+    Printf.printf "%-10s %8.3f %8.3f %8.3f %8.3f %8.3f\n" (Filename.basename input) lzw gzip huff
+      samc sadc;
+    `Ok ()
+  in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  let term = Term.(ret (const run $ isa_arg $ block_size_arg $ input)) in
+  Cmd.v (Cmd.info "ratios" ~doc:"Compare compression ratios of all algorithms on one image.") term
+
+(* --- simulate ---------------------------------------------------------- *)
+
+let simulate_cmd =
+  let run profile_name isa seed cache_bytes trace_length =
+    match find_profile profile_name with
+    | Error e -> `Error (false, e)
+    | Ok profile ->
+      let prog = Ccomp_progen.Generator.generate ~seed:(Int64.of_int seed) profile in
+      let layout =
+        match isa with
+        | Mips -> snd (Ccomp_progen.Mips_backend.lower prog)
+        | X86 -> snd (Ccomp_progen.X86_backend.lower prog)
+      in
+      let code = layout.Ccomp_progen.Layout.code in
+      let trace =
+        Ccomp_progen.Trace.generate prog layout ~seed:(Int64.of_int (seed + 1)) ~length:trace_length
+      in
+      let pad =
+        (* SAMC needs whole words; pad the x86 image to a word multiple. *)
+        let r = String.length code mod 4 in
+        if r = 0 then code else code ^ String.make (4 - r) '\x90'
+      in
+      let samc =
+        match isa with
+        | Mips -> Ccomp_core.Samc.compress (Ccomp_core.Samc.mips_config ()) pad
+        | X86 -> Ccomp_core.Samc.compress (Ccomp_core.Samc.byte_config ()) pad
+      in
+      let lat = Ccomp_memsys.Lat.of_blocks samc.Ccomp_core.Samc.blocks in
+      let base =
+        Ccomp_memsys.System.run (Ccomp_memsys.System.default_config ~cache_bytes ()) ~trace ()
+      in
+      let comp =
+        Ccomp_memsys.System.run
+          (Ccomp_memsys.System.default_config ~cache_bytes
+             ~decompressor:Ccomp_memsys.System.samc_decompressor ())
+          ~lat ~trace ()
+      in
+      Printf.printf "profile %s on %s: %d fetches, cache %d bytes\n" profile_name
+        (match isa with Mips -> "mips" | X86 -> "x86")
+        (Array.length trace) cache_bytes;
+      Printf.printf "  uncompressed: CPI %.3f, hit ratio %.4f\n" base.Ccomp_memsys.System.cpi
+        base.Ccomp_memsys.System.hit_ratio;
+      Printf.printf "  samc:         CPI %.3f, CLB misses %d, slowdown %.3f\n"
+        comp.Ccomp_memsys.System.cpi comp.Ccomp_memsys.System.clb_misses
+        (Ccomp_memsys.System.slowdown ~compressed:comp ~uncompressed:base);
+      `Ok ()
+  in
+  let cache_arg =
+    Arg.(value & opt int 8192 & info [ "cache" ] ~docv:"BYTES" ~doc:"I-cache size in bytes.")
+  in
+  let trace_arg =
+    Arg.(value & opt int 500000 & info [ "trace-length" ] ~docv:"N" ~doc:"Fetches to simulate.")
+  in
+  let term =
+    Term.(ret (const run $ profile_arg $ isa_arg $ seed_arg $ cache_arg $ trace_arg))
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run the compressed-memory-system model on a profile.") term
+
+(* --- asm / disasm ------------------------------------------------------- *)
+
+let asm_cmd =
+  let run input output =
+    match Ccomp_isa.Mips_asm.parse_program (read_file input) with
+    | Error e -> `Error (false, e)
+    | Ok instrs ->
+      let code = Ccomp_isa.Mips.encode_program instrs in
+      let path = match output with Some p -> p | None -> input ^ ".bin" in
+      write_file path code;
+      Printf.printf "assembled %d instructions (%d bytes) into %s\n" (List.length instrs)
+        (String.length code) path;
+      `Ok ()
+  in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.S") in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Assemble MIPS text into a raw code image.")
+    Term.(ret (const run $ input $ output_arg))
+
+let disasm_cmd =
+  let run isa input =
+    let code = read_file input in
+    match isa with
+    | Mips ->
+      if String.length code mod 4 <> 0 then `Error (false, "image size not a multiple of 4")
+      else begin
+        let decoded = Ccomp_isa.Mips.decode_program code in
+        Array.iteri
+          (fun k d ->
+            match d with
+            | Some i ->
+              Printf.printf "%08x:  %08x  %s\n" (4 * k) (Ccomp_isa.Mips.encode i)
+                (Ccomp_isa.Mips.to_string i)
+            | None -> Printf.printf "%08x:  <undecodable>\n" (4 * k))
+          decoded;
+        `Ok ()
+      end
+    | X86 -> (
+      match Ccomp_isa.X86.decode_program code with
+      | None -> `Error (false, "image does not decode as x86")
+      | Some instrs ->
+        let addr = ref 0 in
+        List.iter
+          (fun i ->
+            Printf.printf "%08x:  %s\n" !addr (Ccomp_isa.X86.to_string i);
+            addr := !addr + Ccomp_isa.X86.length i)
+          instrs;
+        `Ok ())
+  in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a raw code image.")
+    Term.(ret (const run $ isa_arg $ input))
+
+let () =
+  let doc = "code compression for embedded systems (Lekatsas & Wolf, DAC'98 reproduction)" in
+  let info = Cmd.info "ccomp" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; compress_cmd; decompress_cmd; info_cmd; ratios_cmd; simulate_cmd;
+            asm_cmd; disasm_cmd;
+          ]))

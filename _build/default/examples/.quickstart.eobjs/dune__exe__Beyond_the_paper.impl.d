@@ -1,0 +1,1 @@
+examples/beyond_the_paper.ml: Array Ccomp_baselines Ccomp_core Ccomp_isa Ccomp_progen List Printf String

@@ -1,0 +1,1 @@
+examples/dictionary_tour.ml: Array Ccomp_core Ccomp_isa Ccomp_progen List Printf String

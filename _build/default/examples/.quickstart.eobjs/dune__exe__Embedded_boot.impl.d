@@ -1,0 +1,1 @@
+examples/embedded_boot.ml: Array Ccomp_core Ccomp_image Ccomp_memsys Ccomp_progen Hashtbl List Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ccomp_baselines Ccomp_core Ccomp_progen Printf String

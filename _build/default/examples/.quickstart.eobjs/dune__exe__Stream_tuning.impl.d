@@ -1,0 +1,1 @@
+examples/stream_tuning.ml: Ccomp_core Ccomp_entropy Ccomp_progen Char Float Int64 List Printf String

@@ -1,0 +1,71 @@
+(* Beyond the paper: the extensions the paper points at but leaves open.
+
+   §1 cites PPM/DMC as the best-compressing methods, rejected for their
+   model memory; §2 contrasts compression with redesigning the ISA for
+   density; §3 sketches a parallel nibble-at-a-time decoder (Fig. 5); §6
+   asks "how to generate the best Markov model given a subject program".
+   This example exercises all four on one benchmark.
+
+   Run with: dune exec examples/beyond_the_paper.exe *)
+
+module Samc = Ccomp_core.Samc
+module Mips = Ccomp_isa.Mips
+module Dense16 = Ccomp_isa.Dense16
+
+let () =
+  let profile = Ccomp_progen.Profile.find "vortex" in
+  let program = Ccomp_progen.Generator.generate ~seed:5L profile in
+  let instrs, layout = Ccomp_progen.Mips_backend.lower program in
+  let code = layout.Ccomp_progen.Layout.code in
+  Printf.printf "workload: %s profile, %d bytes of MIPS code\n\n" profile.Ccomp_progen.Profile.name
+    (String.length code);
+
+  (* 1. The compression headroom (and its price): PPM and DMC. *)
+  let gzip = Ccomp_baselines.Lzss.ratio code in
+  let ppm = Ccomp_baselines.Ppm.ratio code in
+  let ppm_mem = Ccomp_baselines.Ppm.model_memory code in
+  let dmc = Ccomp_baselines.Dmc.ratio code in
+  let dmc_states = Ccomp_baselines.Dmc.model_states code in
+  Printf.printf "finite-context headroom (SS 1):\n";
+  Printf.printf "  gzip %.3f | PPM order-2 %.3f with ~%d KiB of model | DMC %.3f with %d states\n"
+    gzip ppm
+    (ppm_mem.Ccomp_baselines.Ppm.approx_bytes / 1024)
+    dmc dmc_states;
+  Printf.printf "  (adaptive models also decode strictly sequentially: no block access)\n\n";
+
+  (* 2. The other road of SS 2: a denser instruction encoding. *)
+  let st = Dense16.stats instrs in
+  Printf.printf "dense 16/32-bit re-encoding (SS 2's alternative):\n";
+  Printf.printf "  ratio %.3f  (%d%% half-word forms, %d%% word forms, %d%% escaped)\n"
+    (Dense16.ratio instrs)
+    (100 * st.Dense16.half_forms / st.Dense16.instructions)
+    (100 * st.Dense16.word_forms / st.Dense16.instructions)
+    (100 * st.Dense16.escaped / st.Dense16.instructions);
+  let dense = Dense16.encode_program instrs in
+  (match Dense16.decode_program dense with
+  | Some back when List.length back = List.length instrs -> ()
+  | _ -> failwith "dense re-encoding is not lossless");
+  let samc = Samc.compress (Samc.mips_config ()) code in
+  Printf.printf "  SAMC on the same program: %.3f - compression wins without a new pipeline\n\n"
+    (Samc.ratio samc);
+
+  (* 3. The Fig. 5 engine: decode a block four bits per step. *)
+  let block = 3 in
+  let serial = Samc.decompress_block samc.Samc.config samc.Samc.model ~original_bytes:32
+      samc.Samc.blocks.(block) in
+  let parallel, evals =
+    Samc.decompress_block_parallel samc.Samc.config samc.Samc.model ~original_bytes:32
+      samc.Samc.blocks.(block)
+  in
+  assert (String.equal serial parallel);
+  Printf.printf "parallel decoder (Fig. 5): block %d, %d midpoint evaluations " block evals;
+  Printf.printf "(15 per nibble), output identical to the bit-serial decoder\n\n";
+
+  (* 4. SS 6 future work: fit the model to the program by pruning. *)
+  Printf.printf "Markov model pruning (SS 6): threshold -> (ratio, model bytes)\n ";
+  List.iter
+    (fun prune_below ->
+      let z = Samc.compress (Samc.mips_config ~prune_below ()) code in
+      Printf.printf "  %3d -> (%.3f, %5dB)" prune_below (Samc.ratio z) (Samc.model_bytes z))
+    [ 0; 4; 16; 64 ];
+  print_newline ()

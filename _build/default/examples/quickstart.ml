@@ -1,0 +1,55 @@
+(* Quickstart: generate a benchmark, compress it with every algorithm in
+   the paper's comparison, verify the round trips, print the ratios.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Samc = Ccomp_core.Samc
+module Sadc = Ccomp_core.Sadc
+
+let () =
+  (* A synthetic stand-in for a SPEC95 binary (see DESIGN.md): the `go'
+     profile, lowered to real MIPS machine code. *)
+  let profile = Ccomp_progen.Profile.find "go" in
+  let program = Ccomp_progen.Generator.generate ~seed:42L profile in
+  let _, layout = Ccomp_progen.Mips_backend.lower program in
+  let code = layout.Ccomp_progen.Layout.code in
+  Printf.printf "program: %d bytes of MIPS code (%d instructions)\n\n" (String.length code)
+    (String.length code / 4);
+
+  (* File-oriented references (sequential decompression only). *)
+  let lzw = Ccomp_baselines.Lzw.compress code in
+  assert (String.equal (Ccomp_baselines.Lzw.decompress lzw) code);
+  let lzss = Ccomp_baselines.Lzss.compress code in
+  assert (String.equal (Ccomp_baselines.Lzss.decompress lzss) code);
+
+  (* Block-oriented schemes (random access at cache-line granularity). *)
+  let huff = Ccomp_baselines.Byte_huffman.compress code in
+  assert (String.equal (Ccomp_baselines.Byte_huffman.decompress huff) code);
+  let samc = Samc.compress (Samc.mips_config ()) code in
+  assert (String.equal (Samc.decompress samc) code);
+  let sadc = Sadc.Mips.compress_image (Sadc.default_config ()) code in
+  assert (String.equal (Sadc.Mips.decompress sadc) code);
+
+  let row name ratio note = Printf.printf "  %-22s %6.3f   %s\n" name ratio note in
+  Printf.printf "compression ratios (compressed/original, smaller is better):\n";
+  row "compress (LZW)" (float_of_int (String.length lzw) /. float_of_int (String.length code))
+    "file-oriented";
+  row "gzip (LZSS+Huffman)" (float_of_int (String.length lzss) /. float_of_int (String.length code))
+    "file-oriented";
+  row "byte Huffman [K&W]" (Ccomp_baselines.Byte_huffman.ratio huff) "block-decodable";
+  row "SAMC" (Samc.ratio samc) "block-decodable";
+  row "SADC" (Sadc.Mips.ratio sadc) "block-decodable";
+
+  (* Random access: decompress one 32-byte cache block in isolation. *)
+  let block = 11 in
+  let original = String.sub code (block * 32) 32 in
+  let from_samc =
+    Samc.decompress_block samc.Samc.config samc.Samc.model ~original_bytes:32
+      samc.Samc.blocks.(block)
+  in
+  assert (String.equal from_samc original);
+  Printf.printf "\nblock %d decompressed in isolation: %d compressed bytes -> %d code bytes\n"
+    block
+    (String.length samc.Samc.blocks.(block))
+    (String.length from_samc);
+  print_endline "all round trips verified"

@@ -1,0 +1,1 @@
+lib/arith/binary_coder.mli:

@@ -1,0 +1,1 @@
+lib/arith/nibble_decoder.ml: Binary_coder Char String

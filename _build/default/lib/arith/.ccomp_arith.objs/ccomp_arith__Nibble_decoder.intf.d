@@ -1,0 +1,1 @@
+lib/arith/nibble_decoder.mli:

@@ -1,0 +1,1 @@
+lib/arith/range_coder.ml: Buffer Char String

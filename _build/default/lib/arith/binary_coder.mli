@@ -1,0 +1,58 @@
+(** Binary arithmetic (range) coder with 24-bit interval precision.
+
+    This mirrors the decompressor of §3 of the paper: a 24-bit interval,
+    byte-wise renormalisation, and a midpoint computed from the model's
+    prediction of the next bit. The implementation is a carry-correct range
+    coder (the paper's [min]/[max] pair is tracked as [low]/[range]).
+
+    Probabilities are 12-bit integers: a prediction [p0] in
+    \[1, {!scale} - 1\] states that the next bit is 0 with probability
+    [p0 / scale]. Each compressed block is coded by a fresh encoder and
+    terminated with {!finish}, which chooses the interval value with the
+    most trailing zero bytes and truncates them — the decoder reads zeros
+    past the end of its input, exactly like [get_byte] in the paper's
+    pseudo-code. *)
+
+val scale_bits : int
+(** Probability resolution in bits (12). *)
+
+val scale : int
+(** [1 lsl scale_bits]. *)
+
+val prob_of_counts : zeros:int -> ones:int -> int
+(** Maximum-likelihood prediction of a 0 bit, clamped to \[1, scale-1\] so
+    both symbols always remain codable. With no observations, 1/2. *)
+
+val quantize_pow2 : int -> int
+(** Constrain a prediction so the less probable symbol's probability is an
+    integral power of 1/2 (the paper's shift-only hardware simplification).
+    The result stays in \[1, scale-1\]. *)
+
+module Encoder : sig
+  type t
+
+  val create : unit -> t
+
+  val encode : t -> p0:int -> int -> unit
+  (** [encode e ~p0 bit] codes [bit] (0 or 1) under prediction [p0]. *)
+
+  val finish : t -> string
+  (** Terminates the stream and returns the encoded bytes (trailing zero
+      bytes removed). The encoder must not be reused afterwards. *)
+end
+
+module Decoder : sig
+  type t
+
+  val create : ?pos:int -> string -> t
+  (** [create data] starts decoding at byte offset [pos] (default 0). Bytes
+      past the end of [data] read as zero. *)
+
+  val decode : t -> p0:int -> int
+  (** Decodes the next bit under prediction [p0]; must be called with the
+      same sequence of predictions the encoder used. *)
+
+  val consumed_bytes : t -> int
+  (** Bytes of input consumed so far (including the 3-byte priming read,
+      capped at the end of data). *)
+end

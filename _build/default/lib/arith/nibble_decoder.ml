@@ -1,0 +1,75 @@
+(* The engine speculatively expands the full interval tree for the next n
+   bits: every internal node's midpoint ("bound") is computed — 2^n - 1 of
+   them, in parallel in hardware — and a comparator chain then selects the
+   real path. Each speculative node carries the decoder state (code
+   window, range, stream position) it would have under its prefix, so the
+   selected path performs exactly the operations of the bit-serial
+   decoder, making the two bit-for-bit identical. *)
+
+let scale_bits = Binary_coder.scale_bits
+let top_value = 1 lsl 24
+let renorm_limit = 1 lsl 16
+
+type state = { code : int; range : int; pos : int }
+
+type t = { data : string; mutable state : state; mutable evaluations : int }
+
+let byte_at data pos = if pos < String.length data then Char.code data.[pos] else 0
+
+let rec renorm data s =
+  if s.range < renorm_limit then
+    renorm data
+      {
+        code = ((s.code lsl 8) lor byte_at data s.pos) land 0xffffff;
+        range = s.range lsl 8;
+        pos = s.pos + 1;
+      }
+  else s
+
+let create ?(pos = 0) data =
+  let code = (byte_at data pos lsl 16) lor (byte_at data (pos + 1) lsl 8) lor byte_at data (pos + 2) in
+  { data; state = { code; range = top_value; pos = pos + 3 }; evaluations = 0 }
+
+(* Speculative expansion tree: each internal node records its midpoint
+   ("bound") and its own decoder state; the selection network compares
+   state.code against bound to pick the child. *)
+type node =
+  | Leaf of state
+  | Node of int * state * node * node (* bound, state, child for bit 0, child for bit 1 *)
+
+let decode_bits t ~n ~p0 =
+  if n < 1 || n > 4 then invalid_arg "Nibble_decoder.decode_bits: n must be in 1..4";
+  let rec expand s ~prefix ~width =
+    if width = n then Leaf s
+    else begin
+      t.evaluations <- t.evaluations + 1;
+      let p = p0 ~prefix ~width in
+      let bound = (s.range lsr scale_bits) * p in
+      (* Child states under both speculative outcomes. A child whose
+         prefix is inconsistent with the real code carries garbage (even a
+         negative code window); it is never selected. *)
+      let s0 = renorm t.data { s with range = bound } in
+      let s1 = renorm t.data { s with code = s.code - bound; range = s.range - bound } in
+      Node
+        ( bound,
+          s,
+          expand s0 ~prefix:(prefix lsl 1) ~width:(width + 1),
+          expand s1 ~prefix:((prefix lsl 1) lor 1) ~width:(width + 1) )
+    end
+  in
+  let tree = expand t.state ~prefix:0 ~width:0 in
+  (* Selection network (the comparator column of Fig. 5). *)
+  let rec select acc = function
+    | Leaf s ->
+      t.state <- s;
+      acc
+    | Node (bound, s, zero, one) ->
+      if s.code < bound then select (acc lsl 1) zero else select ((acc lsl 1) lor 1) one
+  in
+  select 0 tree
+
+let decode_nibble t ~p0 = decode_bits t ~n:4 ~p0
+
+let consumed_bytes t = min t.state.pos (String.length t.data)
+
+let midpoint_evaluations t = t.evaluations

@@ -1,0 +1,40 @@
+(** Software model of the paper's parallel decompression engine (§3,
+    Fig. 5).
+
+    The bit-serial decoder computes one midpoint per output bit, but each
+    midpoint depends on the previous one. The paper's hardware instead
+    evaluates {e all} 2^k - 1 candidate midpoints of the next k bits in
+    parallel (15 midpoints and 15 probabilities for k = 4), then selects
+    the decoded nibble with comparators against the code value. This
+    module models that engine: it decodes four bits per step by expanding
+    the full depth-4 midpoint tree, and must produce bit-for-bit the same
+    output as {!Binary_coder.Decoder} for the same model walk.
+
+    The walk is expressed through a probability oracle so the engine can
+    be driven by any model (the SAMC Markov trees in practice): the oracle
+    receives the bits decoded so far in the current step and returns the
+    prediction for the next bit, mirroring how the probability memory of
+    Fig. 5 is addressed by previously decoded bits. *)
+
+type t
+
+val create : ?pos:int -> string -> t
+(** Same stream format as {!Binary_coder.Decoder}: bytes past the end of
+    the input read as zero. *)
+
+val decode_nibble : t -> p0:(prefix:int -> width:int -> int) -> int
+(** [decode_nibble d ~p0] decodes 4 bits (returned most significant
+    first, i.e. first decoded bit in bit 3). [p0 ~prefix ~width] must
+    return the model's prediction for the next bit after the [width] bits
+    [prefix] (0 <= width < 4) of this nibble — exactly the 15 probability
+    fetches of the parallel engine. *)
+
+val decode_bits : t -> n:int -> p0:(prefix:int -> width:int -> int) -> int
+(** Generalisation used for odd tails: decodes [n] bits (1 <= n <= 4) in
+    one parallel step. *)
+
+val consumed_bytes : t -> int
+
+val midpoint_evaluations : t -> int
+(** Number of midpoint computations performed so far — the quantity the
+    hardware does in parallel; it must be (2^n - 1) per n-bit step. *)

@@ -1,0 +1,104 @@
+(* Same 24-bit interval and carry-correct byte renormalisation as
+   Binary_coder, generalised from a binary split to arbitrary cumulative
+   frequency intervals. *)
+
+let top_value = 1 lsl 24
+let renorm_limit = 1 lsl 16
+
+(* total must leave room for range/total to stay positive: range >= 2^16
+   after renormalisation, so totals up to 2^16 are safe. *)
+let max_total = 1 lsl 16
+
+module Encoder = struct
+  type t = {
+    mutable low : int;
+    mutable range : int;
+    mutable cache : int;
+    mutable started : bool;
+    mutable pending : int;
+    buf : Buffer.t;
+  }
+
+  let create () =
+    { low = 0; range = top_value; cache = 0; started = false; pending = 0; buf = Buffer.create 64 }
+
+  let shift_low e =
+    let carry = e.low lsr 24 in
+    if carry = 1 || e.low < 0xff0000 then begin
+      assert (carry = 0 || e.started);
+      if e.started then Buffer.add_char e.buf (Char.chr ((e.cache + carry) land 0xff));
+      let filler = (0xff + carry) land 0xff in
+      for _ = 1 to e.pending do
+        Buffer.add_char e.buf (Char.chr filler)
+      done;
+      e.pending <- 0;
+      e.cache <- (e.low lsr 16) land 0xff;
+      e.started <- true
+    end
+    else e.pending <- e.pending + 1;
+    e.low <- (e.low land 0xffff) lsl 8
+
+  let encode e ~cum_low ~freq ~total =
+    if freq <= 0 || cum_low < 0 || cum_low + freq > total || total > max_total then
+      invalid_arg "Range_coder.encode: bad frequencies";
+    let unit_ = e.range / total in
+    e.low <- e.low + (unit_ * cum_low);
+    e.range <- (if cum_low + freq = total then e.range - (unit_ * cum_low) else unit_ * freq);
+    while e.range < renorm_limit do
+      shift_low e;
+      e.range <- e.range lsl 8
+    done
+
+  let finish e =
+    let hi = e.low + e.range - 1 in
+    let rec choose k =
+      if k = 0 then e.low
+      else
+        let mask = (1 lsl k) - 1 in
+        let v = (e.low + mask) land lnot mask in
+        if v <= hi then v else choose (k - 1)
+    in
+    e.low <- choose 24;
+    for _ = 1 to 3 do
+      shift_low e
+    done;
+    if e.started then Buffer.add_char e.buf (Char.chr e.cache);
+    for _ = 1 to e.pending do
+      Buffer.add_char e.buf '\xff'
+    done;
+    let s = Buffer.contents e.buf in
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = '\x00' do
+      decr n
+    done;
+    String.sub s 0 !n
+end
+
+module Decoder = struct
+  type t = { data : string; mutable pos : int; mutable code : int; mutable range : int; mutable unit_ : int }
+
+  let next_byte d =
+    let b = if d.pos < String.length d.data then Char.code d.data.[d.pos] else 0 in
+    d.pos <- d.pos + 1;
+    b
+
+  let create ?(pos = 0) data =
+    let d = { data; pos; code = 0; range = top_value; unit_ = 0 } in
+    for _ = 1 to 3 do
+      d.code <- (d.code lsl 8) lor next_byte d
+    done;
+    d
+
+  let decode_target d ~total =
+    if total <= 0 || total > max_total then invalid_arg "Range_coder.decode_target: bad total";
+    d.unit_ <- d.range / total;
+    min (total - 1) (d.code / d.unit_)
+
+  let decode_update d ~cum_low ~freq ~total =
+    d.code <- d.code - (d.unit_ * cum_low);
+    d.range <- (if cum_low + freq = total then d.range - (d.unit_ * cum_low) else d.unit_ * freq);
+    while d.range < renorm_limit do
+      d.code <- ((d.code lsl 8) lor next_byte d) land 0xffffff;
+      d.range <- d.range lsl 8
+    done
+end

@@ -1,0 +1,38 @@
+(** Multi-symbol arithmetic (range) coder over cumulative frequencies.
+
+    The binary coder of {!Binary_coder} is what the paper's hardware uses;
+    this general coder supports the PPM reference model (§1 cites PPM as
+    the best-compressing but memory-hungry family) where whole bytes and
+    escape symbols are coded against adaptive frequency tables.
+
+    A symbol with occupancy [\[cum_low, cum_low + freq)] out of [total]
+    narrows the interval to that fraction. [total] must stay below
+    {!max_total}. *)
+
+val max_total : int
+
+module Encoder : sig
+  type t
+
+  val create : unit -> t
+
+  val encode : t -> cum_low:int -> freq:int -> total:int -> unit
+
+  val finish : t -> string
+end
+
+module Decoder : sig
+  type t
+
+  val create : ?pos:int -> string -> t
+  (** Bytes past the end of the input read as zero, as in
+      {!Binary_coder.Decoder}. *)
+
+  val decode_target : t -> total:int -> int
+  (** Position of the coded point within [0, total): look up which symbol's
+      cumulative interval contains it, then call {!decode_update}. *)
+
+  val decode_update : t -> cum_low:int -> freq:int -> total:int -> unit
+  (** Commit the symbol found from {!decode_target}; must use the same
+      numbers the encoder used. *)
+end

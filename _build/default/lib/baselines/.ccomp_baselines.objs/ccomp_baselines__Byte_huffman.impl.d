@@ -1,0 +1,1 @@
+lib/baselines/byte_huffman.ml: Array Bytes Ccomp_bitio Ccomp_entropy Ccomp_huffman Char String

@@ -1,0 +1,1 @@
+lib/baselines/byte_huffman.mli: Ccomp_huffman

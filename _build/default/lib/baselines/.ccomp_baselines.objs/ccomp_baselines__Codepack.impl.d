@@ -1,0 +1,1 @@
+lib/baselines/codepack.ml: Array Bytes Ccomp_bitio Ccomp_entropy Char Hashtbl List String

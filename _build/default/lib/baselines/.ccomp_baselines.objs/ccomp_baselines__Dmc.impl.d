@@ -1,0 +1,1 @@
+lib/baselines/dmc.ml: Array Bytes Ccomp_arith Char String

@@ -1,0 +1,1 @@
+lib/baselines/lzss.ml: Array Buffer Ccomp_bitio Ccomp_entropy Ccomp_huffman Char List String

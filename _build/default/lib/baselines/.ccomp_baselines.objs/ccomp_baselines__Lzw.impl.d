@@ -1,0 +1,1 @@
+lib/baselines/lzw.ml: Array Buffer Ccomp_bitio Char Hashtbl String

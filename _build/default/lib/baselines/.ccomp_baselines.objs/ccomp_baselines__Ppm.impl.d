@@ -1,0 +1,1 @@
+lib/baselines/ppm.ml: Bytes Ccomp_arith Char Hashtbl List String

@@ -1,0 +1,50 @@
+module Huffman = Ccomp_huffman.Huffman
+module Freq = Ccomp_entropy.Freq
+module Bit_writer = Ccomp_bitio.Bit_writer
+module Bit_reader = Ccomp_bitio.Bit_reader
+
+type compressed = {
+  code : Huffman.code;
+  blocks : string array;
+  block_size : int;
+  original_size : int;
+}
+
+let compress ?(block_size = 32) input =
+  if String.length input = 0 then invalid_arg "Byte_huffman.compress: empty input";
+  let code = Huffman.build (Freq.of_string input) in
+  let n = String.length input in
+  let nblocks = (n + block_size - 1) / block_size in
+  let blocks =
+    Array.init nblocks (fun b ->
+        let start = b * block_size in
+        let len = min block_size (n - start) in
+        let w = Bit_writer.create () in
+        for i = start to start + len - 1 do
+          Huffman.encode_symbol code w (Char.code input.[i])
+        done;
+        Bit_writer.contents w)
+  in
+  { code; blocks; block_size; original_size = n }
+
+let block_length t b =
+  let start = b * t.block_size in
+  min t.block_size (t.original_size - start)
+
+let decompress_block t b =
+  let r = Bit_reader.create t.blocks.(b) in
+  let len = block_length t b in
+  let out = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set out i (Char.chr (Huffman.decode_symbol t.code r))
+  done;
+  Bytes.to_string out
+
+let decompress t =
+  String.concat "" (Array.to_list (Array.mapi (fun b _ -> decompress_block t b) t.blocks))
+
+let code_bytes t = Array.fold_left (fun acc b -> acc + String.length b) 0 t.blocks
+
+let table_bytes t = String.length (Huffman.serialize_lengths t.code)
+
+let ratio t = float_of_int (code_bytes t) /. float_of_int t.original_size

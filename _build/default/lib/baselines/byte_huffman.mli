@@ -1,0 +1,29 @@
+(** Byte-based Huffman coding of instruction memory, after Kozuch & Wolfe
+    (cited as \[5\] in the paper; the Fig. 9 comparison baseline).
+
+    A single semiadaptive Huffman code over the program's bytes; every
+    cache block is encoded separately and byte-aligned, so blocks are
+    independently decodable with one shared table — the same execution
+    model as SAMC/SADC but with no instruction-field or inter-byte
+    modelling, which is why the paper's methods beat it. *)
+
+type compressed = {
+  code : Ccomp_huffman.Huffman.code;
+  blocks : string array;
+  block_size : int;
+  original_size : int;
+}
+
+val compress : ?block_size:int -> string -> compressed
+(** [compress code] with 32-byte blocks by default. *)
+
+val decompress_block : compressed -> int -> string
+
+val decompress : compressed -> string
+
+val code_bytes : compressed -> int
+
+val table_bytes : compressed -> int
+
+val ratio : compressed -> float
+(** Compressed code bytes / original bytes. *)

@@ -1,0 +1,140 @@
+module Bit_writer = Ccomp_bitio.Bit_writer
+module Bit_reader = Ccomp_bitio.Bit_reader
+module Freq = Ccomp_entropy.Freq
+
+(* Tag classes, per half-word:
+     00                 -> the half 0x0000 (nop / zero-displacement forms)
+     01  + 3-bit index  -> dictionary ranks 0..7
+     100 + 4-bit index  -> ranks 8..23
+     101 + 5-bit index  -> ranks 24..55
+     110 + 6-bit index  -> ranks 56..119
+     111 + 16 raw bits  -> escape *)
+let class_table = [| (8, 3); (16, 4); (32, 5); (64, 6) |]
+
+let dict_capacity = Array.fold_left (fun a (n, _) -> a + n) 0 class_table
+
+type bank = { values : int array; rank_of : (int, int) Hashtbl.t }
+
+type compressed = {
+  high : bank;
+  low : bank;
+  blocks : string array;
+  block_size : int;
+  original_size : int;
+}
+
+let build_bank freq =
+  let ranked = ref [] in
+  Freq.iter_nonzero freq (fun half count -> if half <> 0 then ranked := (count, half) :: !ranked);
+  let sorted = List.sort (fun (c1, h1) (c2, h2) -> compare (c2, h1) (c1, h2)) !ranked in
+  let values =
+    Array.of_list (List.filteri (fun i _ -> i < dict_capacity) (List.map snd sorted))
+  in
+  let rank_of = Hashtbl.create (Array.length values) in
+  Array.iteri (fun rank v -> Hashtbl.replace rank_of v rank) values;
+  { values; rank_of }
+
+(* (class index, base rank) for a dictionary rank. *)
+let class_of_rank rank =
+  let rec go i base =
+    let n, _ = class_table.(i) in
+    if rank < base + n then (i, base) else go (i + 1) (base + n)
+  in
+  go 0 0
+
+let encode_half bank w half =
+  if half = 0 then Bit_writer.put_bits w ~value:0b00 ~width:2
+  else
+    match Hashtbl.find_opt bank.rank_of half with
+    | Some rank ->
+      let cls, base = class_of_rank rank in
+      let _, index_bits = class_table.(cls) in
+      if cls = 0 then Bit_writer.put_bits w ~value:0b01 ~width:2
+      else Bit_writer.put_bits w ~value:(0b100 + cls - 1) ~width:3;
+      Bit_writer.put_bits w ~value:(rank - base) ~width:index_bits
+    | None ->
+      Bit_writer.put_bits w ~value:0b111 ~width:3;
+      Bit_writer.put_bits w ~value:half ~width:16
+
+let decode_half bank r =
+  if Bit_reader.get_bit r = 0 then
+    if Bit_reader.get_bit r = 0 then 0 (* 00 *)
+    else bank.values.(Bit_reader.get_bits r 3) (* 01 *)
+  else begin
+    let b1 = Bit_reader.get_bit r in
+    let b2 = Bit_reader.get_bit r in
+    let cls = (b1 lsl 1) lor b2 in
+    (* 1cc: 00 -> class 1, 01 -> class 2, 10 -> class 3, 11 -> escape *)
+    if cls = 0b11 then Bit_reader.get_bits r 16
+    else begin
+      let cls = cls + 1 in
+      let n, index_bits = class_table.(cls) in
+      ignore n;
+      let base =
+        let rec go i acc = if i = cls then acc else go (i + 1) (acc + fst class_table.(i)) in
+        go 0 0
+      in
+      bank.values.(base + Bit_reader.get_bits r index_bits)
+    end
+  end
+
+let halves code wi =
+  let at j = Char.code code.[(4 * wi) + j] in
+  ((at 0 lsl 8) lor at 1, (at 2 lsl 8) lor at 3)
+
+let compress ?(block_size = 32) code =
+  if String.length code mod 4 <> 0 then
+    invalid_arg "Codepack.compress: code size must be a multiple of 4";
+  if block_size mod 4 <> 0 || block_size <= 0 then
+    invalid_arg "Codepack.compress: block size must be a positive multiple of 4";
+  let words = String.length code / 4 in
+  let high_freq = Freq.create 65536 and low_freq = Freq.create 65536 in
+  for wi = 0 to words - 1 do
+    let hi, lo = halves code wi in
+    Freq.add high_freq hi;
+    Freq.add low_freq lo
+  done;
+  let high = build_bank high_freq and low = build_bank low_freq in
+  let wpb = block_size / 4 in
+  let nblocks = (words + wpb - 1) / wpb in
+  let blocks =
+    Array.init nblocks (fun b ->
+        let w = Bit_writer.create () in
+        let first = b * wpb in
+        for wi = first to min (first + wpb) words - 1 do
+          let hi, lo = halves code wi in
+          encode_half high w hi;
+          encode_half low w lo
+        done;
+        Bit_writer.contents w)
+  in
+  { high; low; blocks; block_size; original_size = String.length code }
+
+let block_count t = Array.length t.blocks
+
+let block_words t b =
+  let wpb = t.block_size / 4 in
+  min wpb ((t.original_size / 4) - (b * wpb))
+
+let decompress_block t b =
+  let r = Bit_reader.create t.blocks.(b) in
+  let n = block_words t b in
+  let out = Bytes.create (4 * n) in
+  for wi = 0 to n - 1 do
+    let hi = decode_half t.high r in
+    let lo = decode_half t.low r in
+    Bytes.set out (4 * wi) (Char.chr (hi lsr 8));
+    Bytes.set out ((4 * wi) + 1) (Char.chr (hi land 0xff));
+    Bytes.set out ((4 * wi) + 2) (Char.chr (lo lsr 8));
+    Bytes.set out ((4 * wi) + 3) (Char.chr (lo land 0xff))
+  done;
+  Bytes.to_string out
+
+let decompress t =
+  String.concat "" (Array.to_list (Array.init (block_count t) (decompress_block t)))
+
+let code_bytes t = Array.fold_left (fun acc b -> acc + String.length b) 0 t.blocks
+
+let table_bytes t = 2 * (Array.length t.high.values + Array.length t.low.values) + 4
+
+let ratio t = float_of_int (code_bytes t) /. float_of_int t.original_size

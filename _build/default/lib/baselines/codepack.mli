@@ -1,0 +1,33 @@
+(** A CodePack-style compressor (IBM PowerPC 4xx, 1998–2000) — the
+    industrial follow-on of this paper's line of work, included as a
+    forward-looking comparator (experiment E11).
+
+    Each 32-bit instruction is split into its high and low half-words;
+    each half is coded against its own semiadaptive dictionary of common
+    half values using short prefix tags (3-bit index for the 8 hottest
+    values, then 4/5/6-bit classes), with an escape tag carrying the raw
+    16 bits. An all-zero low half — extremely common in RISC code — has a
+    dedicated 2-bit tag, as in the real device. Blocks are independently
+    decodable and byte-aligned; the two dictionaries are shipped with the
+    program. *)
+
+type compressed
+
+val compress : ?block_size:int -> string -> compressed
+(** [compress code] with 32-byte blocks by default. [code] must be a
+    multiple of 4 bytes (32-bit words).
+    @raise Invalid_argument otherwise. *)
+
+val decompress_block : compressed -> int -> string
+
+val decompress : compressed -> string
+
+val block_count : compressed -> int
+
+val code_bytes : compressed -> int
+
+val table_bytes : compressed -> int
+(** Size of the two half-word dictionaries. *)
+
+val ratio : compressed -> float
+(** Compressed code bytes / original bytes. *)

@@ -1,0 +1,16 @@
+(** LZ77 + canonical Huffman, a simplified DEFLATE — the paper's [gzip]
+    reference (§5). A 32 KiB sliding window with hash-chain match search
+    and lazy evaluation feeds a literal/length alphabet and a distance
+    alphabet (the RFC 1951 code ranges), each canonical-Huffman coded over
+    the whole file. File-oriented: the dictionary is the preceding text,
+    so random block access is impossible — the very property that rules
+    this family out for compressed-code execution (§1). *)
+
+val compress : string -> string
+
+val decompress : string -> string
+(** Inverse of {!compress}.
+    @raise Failure on corrupted input. *)
+
+val ratio : string -> float
+(** Compressed size / original size (1.0 for empty input). *)

@@ -1,0 +1,14 @@
+(** LZW with the parameters of UNIX [compress(1)]: codes grow from 9 to 16
+    bits, the table is rebuilt when full and compression degrades, and the
+    whole file is one stream — the paper's first file-oriented reference
+    (§5). File-oriented means sequential decompression only: unusable in
+    the cache-refill architecture, included purely as a yardstick. *)
+
+val compress : string -> string
+
+val decompress : string -> string
+(** Inverse of {!compress}.
+    @raise Failure on corrupted input. *)
+
+val ratio : string -> float
+(** [ratio data] = compressed size / original size (1.0 for empty input). *)

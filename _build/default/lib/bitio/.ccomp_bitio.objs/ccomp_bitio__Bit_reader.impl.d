@@ -1,0 +1,1 @@
+lib/bitio/bit_reader.ml: Char String

@@ -1,0 +1,1 @@
+lib/bitio/bit_writer.ml: Buffer Char String

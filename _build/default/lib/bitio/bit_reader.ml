@@ -1,0 +1,30 @@
+type t = { data : string; len_bits : int; mutable pos : int }
+
+let create ?(start_bit = 0) data =
+  assert (start_bit >= 0);
+  { data; len_bits = 8 * String.length data; pos = start_bit }
+
+let pos r = r.pos
+
+let overrun r = if r.pos > r.len_bits then r.pos - r.len_bits else 0
+
+let get_bit r =
+  let p = r.pos in
+  r.pos <- p + 1;
+  if p >= r.len_bits then 0
+  else
+    let byte = Char.code r.data.[p lsr 3] in
+    (byte lsr (7 - (p land 7))) land 1
+
+let get_bits r width =
+  assert (width >= 0 && width <= 30);
+  let rec go acc i = if i = width then acc else go ((acc lsl 1) lor get_bit r) (i + 1) in
+  go 0 0
+
+let get_byte r = get_bits r 8
+
+let align_byte r =
+  let rem = r.pos land 7 in
+  if rem <> 0 then r.pos <- r.pos + (8 - rem)
+
+let remaining_bits r = if r.pos >= r.len_bits then 0 else r.len_bits - r.pos

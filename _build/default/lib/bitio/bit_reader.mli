@@ -1,0 +1,33 @@
+(** MSB-first bit input over a string.
+
+    Reading past the end of the data yields 0 bits; this mirrors the paper's
+    decompressor, whose [get_byte] keeps supplying bytes after the encoded
+    block ends (the encoder truncates trailing zero bytes). Use
+    [overrun] to detect how far past the end a decoder has read. *)
+
+type t
+
+val create : ?start_bit:int -> string -> t
+(** [create data] reads from the beginning of [data]; [start_bit] (default 0)
+    skips that many leading bits. *)
+
+val pos : t -> int
+(** Bit position of the next bit to be read. *)
+
+val overrun : t -> int
+(** Number of bits read past the end of the data (0 when within bounds). *)
+
+val get_bit : t -> int
+(** Next bit, or 0 past end of data. *)
+
+val get_bits : t -> int -> int
+(** [get_bits r width] reads [width] bits MSB-first. [0 <= width <= 30]. *)
+
+val get_byte : t -> int
+(** Reads 8 bits. *)
+
+val align_byte : t -> unit
+(** Skips to the next byte boundary. *)
+
+val remaining_bits : t -> int
+(** Bits left before the end of data (0 when exhausted). *)

@@ -1,0 +1,46 @@
+type t = { buf : Buffer.t; mutable acc : int; mutable nacc : int }
+
+let create () = { buf = Buffer.create 256; acc = 0; nacc = 0 }
+
+let bit_length w = (8 * Buffer.length w.buf) + w.nacc
+
+let byte_length w = Buffer.length w.buf + if w.nacc > 0 then 1 else 0
+
+let flush_acc w =
+  if w.nacc = 8 then begin
+    Buffer.add_char w.buf (Char.chr w.acc);
+    w.acc <- 0;
+    w.nacc <- 0
+  end
+
+let put_bit w b =
+  assert (b = 0 || b = 1);
+  w.acc <- (w.acc lsl 1) lor b;
+  w.nacc <- w.nacc + 1;
+  flush_acc w
+
+let put_bits w ~value ~width =
+  assert (width >= 0 && width <= 30);
+  for i = width - 1 downto 0 do
+    put_bit w ((value lsr i) land 1)
+  done
+
+let put_byte w byte =
+  assert (byte >= 0 && byte < 256);
+  if w.nacc = 0 then Buffer.add_char w.buf (Char.chr byte)
+  else put_bits w ~value:byte ~width:8
+
+let align_byte w =
+  while w.nacc <> 0 do
+    put_bit w 0
+  done
+
+let contents w =
+  let body = Buffer.contents w.buf in
+  if w.nacc = 0 then body
+  else body ^ String.make 1 (Char.chr (w.acc lsl (8 - w.nacc)))
+
+let reset w =
+  Buffer.clear w.buf;
+  w.acc <- 0;
+  w.nacc <- 0

@@ -1,0 +1,33 @@
+(** MSB-first bit output over a growing byte buffer.
+
+    Bits are packed into bytes most-significant-bit first, matching the
+    order in which the arithmetic coder and Huffman codecs emit code bits. *)
+
+type t
+
+val create : unit -> t
+
+val bit_length : t -> int
+(** Number of bits written so far. *)
+
+val byte_length : t -> int
+(** Number of bytes the current contents occupy (bits rounded up). *)
+
+val put_bit : t -> int -> unit
+(** [put_bit w b] appends bit [b] (0 or 1). *)
+
+val put_bits : t -> value:int -> width:int -> unit
+(** [put_bits w ~value ~width] appends the [width] low bits of [value],
+    most significant first. [0 <= width <= 30]. *)
+
+val put_byte : t -> int -> unit
+(** Appends 8 bits. *)
+
+val align_byte : t -> unit
+(** Pads with 0 bits to the next byte boundary (no-op when aligned). *)
+
+val contents : t -> string
+(** Byte contents; the final partial byte, if any, is zero-padded. *)
+
+val reset : t -> unit
+(** Empties the writer for reuse. *)

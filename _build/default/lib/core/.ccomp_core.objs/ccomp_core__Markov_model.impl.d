@@ -1,0 +1,1 @@
+lib/core/markov_model.ml: Array Ccomp_arith Ccomp_bitio String

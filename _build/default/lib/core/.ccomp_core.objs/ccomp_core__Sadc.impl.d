@@ -1,0 +1,1 @@
+lib/core/sadc.ml: Array Buffer Ccomp_bitio Ccomp_entropy Ccomp_huffman Char Hashtbl List Sadc_isa String

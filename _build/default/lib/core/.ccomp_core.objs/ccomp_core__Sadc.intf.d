@@ -1,0 +1,1 @@
+lib/core/sadc.mli: Sadc_isa

@@ -1,0 +1,1 @@
+lib/core/sadc_isa.ml: Array Ccomp_isa Char List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/sadc_isa.mli: Ccomp_isa

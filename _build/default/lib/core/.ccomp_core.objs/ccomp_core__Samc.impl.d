@@ -1,0 +1,1 @@
+lib/core/samc.ml: Array Buffer Bytes Ccomp_arith Char Markov_model Stream_split String

@@ -1,0 +1,1 @@
+lib/core/samc.mli: Markov_model Stream_split

@@ -1,0 +1,1 @@
+lib/core/stream_split.ml: Array Ccomp_entropy Ccomp_util Float Printf

@@ -1,0 +1,1 @@
+lib/core/stream_split.mli: Ccomp_entropy

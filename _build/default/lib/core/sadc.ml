@@ -1,0 +1,617 @@
+module Huffman = Ccomp_huffman.Huffman
+module Freq = Ccomp_entropy.Freq
+module Bit_writer = Ccomp_bitio.Bit_writer
+module Bit_reader = Ccomp_bitio.Bit_reader
+
+type config = { block_size : int; max_entries : int; max_rounds : int }
+
+let default_config ?(block_size = 32) ?(max_entries = 256) ?(max_rounds = 512) () =
+  { block_size; max_entries; max_rounds }
+
+type dict_stats = {
+  entries : int;
+  base_entries : int;
+  group_entries : int;
+  specialized_entries : int;
+  longest_group : int;
+  rounds : int;
+}
+
+module Make (I : Sadc_isa.S) = struct
+  type primitive = { sym : int; fixed : (int * int * int) list }
+
+  type entry = { prims : primitive array }
+
+  type token = { t_entry : int; t_start : int; t_len : int }
+
+  type compressed = {
+    config : config;
+    dict : entry array;
+    token_code : Huffman.code;
+    chunk_codes : Huffman.code option array array;
+        (* per stream, per distinct chunk width (see [stream_widths]) *)
+    blocks : (string * int) array;
+    original_size : int;
+    rounds : int;
+  }
+
+  (* Items wider than a byte are Huffman coded as chunks: a leading
+     partial-byte chunk followed by whole bytes, each chunk position with
+     its own code (16-bit immediates -> hi/lo byte alphabets, 26-bit jump
+     targets -> 2+8+8+8). *)
+  let chunk_widths bits =
+    if bits <= 8 then [ bits ]
+    else
+      let r = bits mod 8 in
+      (if r = 0 then [] else [ r ]) @ List.init (bits / 8) (fun _ -> 8)
+
+  let stream_chunks = Array.map chunk_widths I.stream_bits
+
+  (* One Huffman code per (stream, chunk width), as the paper Huffman-codes
+     whole streams: all 8-bit chunks of a stream share one alphabet. *)
+  let stream_widths = Array.map (List.sort_uniq compare) stream_chunks
+
+  let width_index s w =
+    let rec go i = function
+      | [] -> invalid_arg "Sadc: unknown chunk width"
+      | w' :: _ when w' = w -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 stream_widths.(s)
+
+  (* Chunk values of one item, most significant chunk first. *)
+  let chunks_of s value =
+    let widths = stream_chunks.(s) in
+    let total = List.fold_left ( + ) 0 widths in
+    let rec go remaining = function
+      | [] -> []
+      | w :: ws ->
+        let shift = remaining - w in
+        ((value lsr shift) land ((1 lsl w) - 1)) :: go shift ws
+    in
+    go total widths
+
+  (* --- segmentation ------------------------------------------------- *)
+
+  (* Greedy instruction-aligned packing into cache blocks; fixed-width
+     ISAs fill each block exactly, variable-length ones approximate the
+     cache line without splitting an instruction (DESIGN.md §2). *)
+  let segments instrs block_size =
+    let n = Array.length instrs in
+    let segs = ref [] in
+    let start = ref 0 in
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      let len = I.byte_length instrs.(i) in
+      if !acc > 0 && !acc + len > block_size then begin
+        segs := (!start, i - !start) :: !segs;
+        start := i;
+        acc := 0
+      end;
+      acc := !acc + len
+    done;
+    if !start < n then segs := (!start, n - !start) :: !segs;
+    Array.of_list (List.rev !segs)
+
+  (* --- dictionary construction --------------------------------------- *)
+
+  type cand =
+    | Pair of int * int
+    | Triple of int * int * int
+    | Spec of int * int * int * int (* entry, stream, pull position, value *)
+
+  (* Candidates are hashed as packed integers: entry ids fit 20 bits,
+     stream/position a few, operand values at most 26 bits. *)
+  let key_pair a b = (1 lsl 60) lor (a lsl 20) lor b
+
+  let key_triple a b c = (2 lsl 60) lor (a lsl 40) lor (b lsl 20) lor c
+
+  let key_spec e s p v = (3 lsl 60) lor (e lsl 40) lor (s lsl 36) lor (p lsl 30) lor v
+
+  let cand_of_key key =
+    let field off width = (key lsr off) land ((1 lsl width) - 1) in
+    match key lsr 60 with
+    | 1 -> Pair (field 20 20, field 0 20)
+    | 2 -> Triple (field 40 20, field 20 20, field 0 20)
+    | 3 -> Spec (field 40 20, field 36 4, field 30 6, field 0 30)
+    | _ -> assert false
+
+  let entry_cost e = Array.length e.prims
+
+  let is_fixed prim s p = List.exists (fun (s', p', _) -> s' = s && p' = p) prim.fixed
+
+  let count_candidates dict_get blocks_items blocks_tokens =
+    let counts : (int, int ref) Hashtbl.t = Hashtbl.create 4096 in
+    let bump key =
+      match Hashtbl.find_opt counts key with
+      | Some r -> incr r
+      | None -> Hashtbl.add counts key (ref 1)
+    in
+    (* Last counted end position per n-gram, to count non-overlapping
+       occurrences of self-overlapping patterns like (a, a). *)
+    let last_end : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+    let bump_ngram key gfirst glast =
+      let fresh =
+        match Hashtbl.find_opt last_end key with Some e -> e < gfirst | None -> true
+      in
+      if fresh then begin
+        bump key;
+        Hashtbl.replace last_end key glast
+      end
+    in
+    let gpos = ref 0 in
+    Array.iteri
+      (fun b tokens ->
+        let n = Array.length tokens in
+        for i = 0 to n - 2 do
+          bump_ngram (key_pair tokens.(i).t_entry tokens.(i + 1).t_entry) (!gpos + i) (!gpos + i + 1)
+        done;
+        for i = 0 to n - 3 do
+          bump_ngram
+            (key_triple tokens.(i).t_entry tokens.(i + 1).t_entry tokens.(i + 2).t_entry)
+            (!gpos + i) (!gpos + i + 2)
+        done;
+        gpos := !gpos + n + 4;
+        Array.iter
+          (fun t ->
+            let e : entry = dict_get t.t_entry in
+            if Array.length e.prims = 1 then begin
+              let items = blocks_items.(b).(t.t_start) in
+              Array.iteri
+                (fun s stream_items ->
+                  List.iteri
+                    (fun p v ->
+                      if not (is_fixed e.prims.(0) s p) then bump (key_spec t.t_entry s p v))
+                    stream_items)
+                items
+            end)
+          tokens)
+      blocks_tokens;
+    counts
+
+  (* Gains in bytes saved, following §4.1: a group of n opcodes replacing
+     f occurrences saves f*(occupied tokens - 1) opcode bytes and costs n
+     dictionary bytes; absorbing an operand of b bits saves f*b/8. *)
+  let gain dict_get cand count =
+    let f = float_of_int count in
+    match cand with
+    | Pair (a, b) -> f -. float_of_int (entry_cost (dict_get a) + entry_cost (dict_get b))
+    | Triple (a, b, c) ->
+      (2.0 *. f)
+      -. float_of_int (entry_cost (dict_get a) + entry_cost (dict_get b) + entry_cost (dict_get c))
+    | Spec (_, s, _, _) -> (f *. float_of_int I.stream_bits.(s) /. 8.0) -. 1.0
+
+  let new_entry dict_get = function
+    | Pair (a, b) -> { prims = Array.append (dict_get a).prims (dict_get b).prims }
+    | Triple (a, b, c) ->
+      { prims = Array.concat [ (dict_get a).prims; (dict_get b).prims; (dict_get c).prims ] }
+    | Spec (e, s, p, v) ->
+      let prim = (dict_get e).prims.(0) in
+      { prims = [| { prim with fixed = (s, p, v) :: prim.fixed } |] }
+
+  let replace block_items cand nid tokens =
+    match cand with
+    | Pair (a, b) ->
+      let n = Array.length tokens in
+      let out = ref [] in
+      let i = ref 0 in
+      while !i < n do
+        if
+          !i + 1 < n
+          && tokens.(!i).t_entry = a
+          && tokens.(!i + 1).t_entry = b
+        then begin
+          out :=
+            { t_entry = nid; t_start = tokens.(!i).t_start; t_len = tokens.(!i).t_len + tokens.(!i + 1).t_len }
+            :: !out;
+          i := !i + 2
+        end
+        else begin
+          out := tokens.(!i) :: !out;
+          incr i
+        end
+      done;
+      Array.of_list (List.rev !out)
+    | Triple (a, b, c) ->
+      let n = Array.length tokens in
+      let out = ref [] in
+      let i = ref 0 in
+      while !i < n do
+        if
+          !i + 2 < n
+          && tokens.(!i).t_entry = a
+          && tokens.(!i + 1).t_entry = b
+          && tokens.(!i + 2).t_entry = c
+        then begin
+          out :=
+            {
+              t_entry = nid;
+              t_start = tokens.(!i).t_start;
+              t_len = tokens.(!i).t_len + tokens.(!i + 1).t_len + tokens.(!i + 2).t_len;
+            }
+            :: !out;
+          i := !i + 3
+        end
+        else begin
+          out := tokens.(!i) :: !out;
+          incr i
+        end
+      done;
+      Array.of_list (List.rev !out)
+    | Spec (e, s, p, v) ->
+      (* Same-symbol instructions can differ in operand count (x86 ModRM
+         forms), so the item at (s, p) may be absent. *)
+      Array.map
+        (fun t ->
+          if t.t_entry = e then
+            match List.nth_opt block_items.(t.t_start).(s) p with
+            | Some v' when v' = v -> { t with t_entry = nid }
+            | Some _ | None -> t
+          else t)
+        tokens
+
+  let build_dictionary config blocks_instrs =
+    (* Operand items are consulted every round; compute them once. *)
+    let blocks_items = Array.map (Array.map I.items) blocks_instrs in
+    (* Base dictionary: one entry per opcode symbol present (§4.1 step 2
+       inserts all single opcodes). *)
+    let dict : entry array ref = ref [||] in
+    let dict_n = ref 0 in
+    let push e =
+      let id = !dict_n in
+      let cap = Array.length !dict in
+      if id = cap then begin
+        let grown = Array.make (max 16 (2 * cap)) e in
+        Array.blit !dict 0 grown 0 cap;
+        dict := grown
+      end;
+      !dict.(id) <- e;
+      incr dict_n;
+      id
+    in
+    let dict_get i = !dict.(i) in
+    let base_id = Hashtbl.create 64 in
+    Array.iter
+      (Array.iter (fun instr ->
+           let sym = I.symbol instr in
+           if not (Hashtbl.mem base_id sym) then
+             Hashtbl.add base_id sym (push { prims = [| { sym; fixed = [] } |] })))
+      blocks_instrs;
+    let blocks_tokens =
+      Array.map
+        (fun instrs ->
+          Array.mapi
+            (fun i instr -> { t_entry = Hashtbl.find base_id (I.symbol instr); t_start = i; t_len = 1 })
+            instrs)
+        blocks_instrs
+    in
+    let blocks_tokens = ref blocks_tokens in
+    let rounds = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !dict_n < config.max_entries && !rounds < config.max_rounds do
+      incr rounds;
+      let counts = count_candidates dict_get blocks_items !blocks_tokens in
+      let best = ref None in
+      Hashtbl.iter
+        (fun key count ->
+          let cand = cand_of_key key in
+          let g = gain dict_get cand !count in
+          match !best with
+          | Some (_, g') when g' >= g -> ()
+          | _ -> if g > 0.0 then best := Some (cand, g))
+        counts;
+      match !best with
+      | None -> continue_ := false
+      | Some (cand, _) ->
+        let nid = push (new_entry dict_get cand) in
+        blocks_tokens :=
+          Array.mapi (fun b tokens -> replace blocks_items.(b) cand nid tokens) !blocks_tokens
+    done;
+    (Array.sub !dict 0 !dict_n, !blocks_tokens, !rounds)
+
+  (* --- entropy coding ------------------------------------------------- *)
+
+  (* Iterate every coded element of a block: [on_token] per token, then
+     [on_chunk stream chunk_index value] for each unabsorbed operand
+     chunk, in decode pull order. *)
+  let iter_block dict instrs tokens ~on_token ~on_chunk =
+    Array.iter
+      (fun t ->
+        on_token t.t_entry;
+        let e = dict.(t.t_entry) in
+        Array.iteri
+          (fun j prim ->
+            let items = I.items instrs.(t.t_start + j) in
+            Array.iteri
+              (fun s stream_items ->
+                List.iteri
+                  (fun p v ->
+                    if not (is_fixed prim s p) then
+                      List.iter2 (fun w cv -> on_chunk s w cv) stream_chunks.(s) (chunks_of s v))
+                  stream_items)
+              items)
+          e.prims)
+      tokens
+
+  let build_codes dict blocks_instrs blocks_tokens =
+    let token_freq = Freq.create (Array.length dict) in
+    let chunk_freqs =
+      Array.map (fun widths -> Array.of_list (List.map (fun w -> Freq.create (1 lsl w)) widths)) stream_widths
+    in
+    Array.iteri
+      (fun b tokens ->
+        iter_block dict blocks_instrs.(b) tokens
+          ~on_token:(fun e -> Freq.add token_freq e)
+          ~on_chunk:(fun s w cv -> Freq.add chunk_freqs.(s).(width_index s w) cv))
+      blocks_tokens;
+    let token_code = Huffman.build token_freq in
+    let chunk_codes =
+      Array.map
+        (Array.map (fun freq -> if Freq.total freq > 0 then Some (Huffman.build freq) else None))
+        chunk_freqs
+    in
+    (token_code, chunk_codes)
+
+  let encode_block dict token_code chunk_codes instrs tokens =
+    let w = Bit_writer.create () in
+    iter_block dict instrs tokens
+      ~on_token:(fun e -> Huffman.encode_symbol token_code w e)
+      ~on_chunk:(fun s cw cv ->
+        match chunk_codes.(s).(width_index s cw) with
+        | Some code -> Huffman.encode_symbol code w cv
+        | None -> assert false);
+    let original =
+      Array.fold_left (fun acc t ->
+          let stop = t.t_start + t.t_len in
+          let sum = ref 0 in
+          for i = t.t_start to stop - 1 do
+            sum := !sum + I.byte_length instrs.(i)
+          done;
+          acc + !sum)
+        0 tokens
+    in
+    (Bit_writer.contents w, original)
+
+  let compress config instr_list =
+    let instrs = Array.of_list instr_list in
+    if Array.length instrs = 0 then invalid_arg "Sadc.compress: empty program";
+    let segs = segments instrs config.block_size in
+    let blocks_instrs =
+      Array.map (fun (start, len) -> Array.sub instrs start len) segs
+    in
+    let dict, blocks_tokens, rounds = build_dictionary config blocks_instrs in
+    let token_code, chunk_codes = build_codes dict blocks_instrs blocks_tokens in
+    let blocks =
+      Array.mapi
+        (fun b tokens -> encode_block dict token_code chunk_codes blocks_instrs.(b) tokens)
+        blocks_tokens
+    in
+    let original_size = Array.fold_left (fun acc i -> acc + I.byte_length i) 0 instrs in
+    { config; dict; token_code; chunk_codes; blocks; original_size; rounds }
+
+  let compress_image config image =
+    match I.parse image with
+    | Some instrs -> compress config instrs
+    | None -> invalid_arg "Sadc.compress_image: image does not decode"
+
+  let block_count c = Array.length c.blocks
+
+  let block_original_bytes c b = snd c.blocks.(b)
+
+  let block_payload_bytes c b = String.length (fst c.blocks.(b))
+
+  let decompress_block c b =
+    let payload, original = c.blocks.(b) in
+    let r = Bit_reader.create payload in
+    let decode_chunks s =
+      List.fold_left
+        (fun acc w ->
+          let code =
+            match c.chunk_codes.(s).(width_index s w) with
+            | Some code -> code
+            | None -> failwith "Sadc.decompress_block: missing chunk code"
+          in
+          let v = Huffman.decode_symbol code r in
+          (acc lsl w) lor v)
+        0 stream_chunks.(s)
+    in
+    let out = ref [] in
+    let produced = ref 0 in
+    while !produced < original do
+      let tok = Huffman.decode_symbol c.token_code r in
+      let e = c.dict.(tok) in
+      Array.iter
+        (fun prim ->
+          let counters = Array.make I.stream_count 0 in
+          let next s =
+            let p = counters.(s) in
+            counters.(s) <- p + 1;
+            match List.find_opt (fun (s', p', _) -> s' = s && p' = p) prim.fixed with
+            | Some (_, _, v) -> v
+            | None -> decode_chunks s
+          in
+          let instr = I.read ~symbol:prim.sym ~next in
+          produced := !produced + I.byte_length instr;
+          out := instr :: !out)
+        e.prims
+    done;
+    if !produced <> original then failwith "Sadc.decompress_block: length mismatch";
+    List.rev !out
+
+  let decompress c =
+    let parts =
+      Array.mapi (fun b _ -> I.encode_list (decompress_block c b)) c.blocks
+    in
+    String.concat "" (Array.to_list parts)
+
+  let dictionary c = Array.copy c.dict
+
+  let stats c =
+    let base = ref 0 and group = ref 0 and special = ref 0 and longest = ref 0 in
+    Array.iter
+      (fun e ->
+        let n = Array.length e.prims in
+        if n > !longest then longest := n;
+        if n > 1 then incr group
+        else if e.prims.(0).fixed = [] then incr base
+        else incr special)
+      c.dict;
+    {
+      entries = Array.length c.dict;
+      base_entries = !base;
+      group_entries = !group;
+      specialized_entries = !special;
+      longest_group = !longest;
+      rounds = c.rounds;
+    }
+
+  let code_bytes c = Array.fold_left (fun acc (payload, _) -> acc + String.length payload) 0 c.blocks
+
+  (* Dictionary wire format: count, then per entry the primitive list with
+     absorbed operands (stream, position, 32-bit value). *)
+  let dict_bytes c =
+    let per_entry e =
+      1 + Array.fold_left (fun acc p -> acc + 2 + 1 + (6 * List.length p.fixed)) 0 e.prims
+    in
+    2 + Array.fold_left (fun acc e -> acc + per_entry e) 0 c.dict
+
+  let tables_bytes c =
+    let code_len = function Some code -> String.length (Huffman.serialize_lengths code) | None -> 1 in
+    String.length (Huffman.serialize_lengths c.token_code)
+    + Array.fold_left
+        (fun acc per_stream -> Array.fold_left (fun acc code -> acc + code_len code) acc per_stream)
+        0 c.chunk_codes
+
+  let original_size c = c.original_size
+
+  let ratio c = float_of_int (code_bytes c) /. float_of_int c.original_size
+
+  let ratio_with_tables c =
+    float_of_int (code_bytes c + dict_bytes c + tables_bytes c) /. float_of_int c.original_size
+
+  (* --- serialization ------------------------------------------------- *)
+
+  let add_u16 b v =
+    assert (v >= 0 && v < 65536);
+    Buffer.add_char b (Char.chr (v lsr 8));
+    Buffer.add_char b (Char.chr (v land 0xff))
+
+  let add_u32 b v =
+    add_u16 b ((v lsr 16) land 0xffff);
+    add_u16 b (v land 0xffff)
+
+  let serialize c =
+    let b = Buffer.create (code_bytes c + 1024) in
+    add_u16 b c.config.block_size;
+    add_u16 b c.config.max_entries;
+    add_u16 b c.config.max_rounds;
+    add_u16 b c.rounds;
+    add_u32 b c.original_size;
+    add_u16 b (Array.length c.dict);
+    Array.iter
+      (fun e ->
+        Buffer.add_char b (Char.chr (Array.length e.prims));
+        Array.iter
+          (fun prim ->
+            add_u16 b prim.sym;
+            Buffer.add_char b (Char.chr (List.length prim.fixed));
+            List.iter
+              (fun (s, p, v) ->
+                Buffer.add_char b (Char.chr s);
+                Buffer.add_char b (Char.chr p);
+                add_u32 b v)
+              prim.fixed)
+          e.prims)
+      c.dict;
+    Buffer.add_string b (Huffman.serialize_lengths c.token_code);
+    Array.iter
+      (Array.iter (fun code ->
+           match code with
+           | Some code ->
+             Buffer.add_char b '\x01';
+             Buffer.add_string b (Huffman.serialize_lengths code)
+           | None -> Buffer.add_char b '\x00'))
+      c.chunk_codes;
+    add_u32 b (Array.length c.blocks);
+    Array.iter
+      (fun (payload, original) ->
+        add_u16 b (String.length payload);
+        add_u16 b original;
+        Buffer.add_string b payload)
+      c.blocks;
+    Buffer.contents b
+
+  let deserialize s ~pos =
+    let p = ref pos in
+    let fail () = invalid_arg "Sadc.deserialize: truncated input" in
+    let byte () =
+      if !p >= String.length s then fail ();
+      let v = Char.code s.[!p] in
+      incr p;
+      v
+    in
+    let u16 () =
+      let hi = byte () in
+      (hi lsl 8) lor byte ()
+    in
+    let u32 () =
+      let hi = u16 () in
+      (hi lsl 16) lor u16 ()
+    in
+    let take n =
+      if !p + n > String.length s then fail ();
+      let sub = String.sub s !p n in
+      p := !p + n;
+      sub
+    in
+    let block_size = u16 () in
+    let max_entries = u16 () in
+    let max_rounds = u16 () in
+    let rounds = u16 () in
+    let original_size = u32 () in
+    let dict =
+      Array.init (u16 ()) (fun _ ->
+          let prims =
+            Array.init (byte ()) (fun _ ->
+                let sym = u16 () in
+                let fixed =
+                  List.init (byte ()) (fun _ ->
+                      let s' = byte () in
+                      let p' = byte () in
+                      let v = u32 () in
+                      (s', p', v))
+                in
+                { sym; fixed })
+          in
+          { prims })
+    in
+    let token_code, next = Huffman.deserialize_lengths s ~pos:!p in
+    p := next;
+    let chunk_codes =
+      Array.map
+        (fun widths ->
+          Array.of_list
+            (List.map
+               (fun _ ->
+                 match byte () with
+                 | 0 -> None
+                 | _ ->
+                   let code, next = Huffman.deserialize_lengths s ~pos:!p in
+                   p := next;
+                   Some code)
+               widths))
+        stream_widths
+    in
+    let blocks =
+      Array.init (u32 ()) (fun _ ->
+          let len = u16 () in
+          let original = u16 () in
+          (take len, original))
+    in
+    let config = { block_size; max_entries; max_rounds } in
+    ({ config; dict; token_code; chunk_codes; blocks; original_size; rounds }, !p)
+end
+
+module Mips = Make (Sadc_isa.Mips_streams)
+module X86 = Make (Sadc_isa.X86_streams)
+module X86_fields = Make (Sadc_isa.X86_field_streams)

@@ -1,0 +1,95 @@
+(** SADC — Semiadaptive Dictionary Compression (§4).
+
+    ISA-dependent: instructions are split into an opcode stream and
+    ISA-specific operand streams. A per-program dictionary of at most 256
+    entries is grown iteratively; each round counts three candidate kinds —
+    adjacent token pairs, adjacent token triples, and opcodes specialised to
+    a specific operand value (e.g. [jr $31]) — inserts the one with the
+    largest gain, re-parses the program greedily and repeats (the paper's
+    generate-and-reparse loop, §4.1). All streams are finally Huffman
+    coded. Every cache block is parsed and coded independently so the
+    refill engine can decompress blocks in isolation. *)
+
+type config = {
+  block_size : int;  (** cache block size in bytes *)
+  max_entries : int;  (** dictionary size bound (paper: 256) *)
+  max_rounds : int;  (** safety bound on generate-and-reparse rounds *)
+}
+
+val default_config : ?block_size:int -> ?max_entries:int -> ?max_rounds:int -> unit -> config
+
+type dict_stats = {
+  entries : int;  (** dictionary entries in use *)
+  base_entries : int;  (** plain single opcodes *)
+  group_entries : int;  (** multi-opcode groups *)
+  specialized_entries : int;  (** opcodes with absorbed operands *)
+  longest_group : int;  (** primitives in the longest group *)
+  rounds : int;  (** generate-and-reparse rounds executed *)
+}
+
+module Make (I : Sadc_isa.S) : sig
+  type primitive = {
+    sym : int;  (** base opcode symbol *)
+    fixed : (int * int * int) list;  (** (stream, pull position, value) absorbed operands *)
+  }
+
+  type entry = { prims : primitive array }
+
+  type compressed
+
+  val compress : config -> I.instr list -> compressed
+  (** Build the dictionary and encode the program. *)
+
+  val compress_image : config -> string -> compressed
+  (** Parse a byte image with [I.parse] first.
+      @raise Invalid_argument if the image does not decode. *)
+
+  val block_count : compressed -> int
+
+  val block_original_bytes : compressed -> int -> int
+
+  val block_payload_bytes : compressed -> int -> int
+  (** Compressed size of one block's payload (the LAT entry length). *)
+
+  val decompress_block : compressed -> int -> I.instr list
+  (** Decode one block from only its own payload (dictionary and Huffman
+      tables are program-global, like the hardware's dictionary memory). *)
+
+  val decompress : compressed -> string
+  (** Whole-image reconstruction; equals the original image. *)
+
+  val dictionary : compressed -> entry array
+
+  val stats : compressed -> dict_stats
+
+  val code_bytes : compressed -> int
+  (** Sum of per-block payload bytes. *)
+
+  val dict_bytes : compressed -> int
+  (** Serialized dictionary size. *)
+
+  val tables_bytes : compressed -> int
+  (** Serialized Huffman length-table size. *)
+
+  val original_size : compressed -> int
+
+  val ratio : compressed -> float
+  (** code bytes / original bytes (figure metric; see DESIGN.md). *)
+
+  val ratio_with_tables : compressed -> float
+  (** (code + dictionary + tables) / original. *)
+
+  val serialize : compressed -> string
+  (** Self-contained wire form: dictionary, Huffman tables and per-block
+      payloads. *)
+
+  val deserialize : string -> pos:int -> compressed * int
+  (** Inverse of {!serialize}.
+      @raise Invalid_argument on malformed input. *)
+end
+
+module Mips : module type of Make (Sadc_isa.Mips_streams)
+module X86 : module type of Make (Sadc_isa.X86_streams)
+
+module X86_fields : module type of Make (Sadc_isa.X86_field_streams)
+(** The §5 "more careful stream subdivision" variant (experiment E9). *)

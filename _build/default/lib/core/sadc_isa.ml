@@ -1,0 +1,155 @@
+module type S = sig
+  type instr
+
+  val name : string
+  val base_symbols : int
+  val symbol : instr -> int
+  val stream_count : int
+  val stream_bits : int array
+  val stream_names : string array
+  val items : instr -> int list array
+  val byte_length : instr -> int
+  val read : symbol:int -> next:(int -> int) -> instr
+  val encode_list : instr list -> string
+  val parse : string -> instr list option
+end
+
+module Mips_streams = struct
+  module M = Ccomp_isa.Mips
+
+  type instr = M.t
+
+  let name = "mips"
+  let base_symbols = M.opcode_count
+  let symbol = M.opcode_id
+  let stream_count = 3
+  let stream_bits = [| 5; 16; 26 |]
+  let stream_names = [| "register"; "immediate"; "long-immediate" |]
+
+  let items i =
+    let opt = function Some v -> [ v ] | None -> [] in
+    [| M.operand_regs i; opt (M.immediate i); opt (M.long_immediate i) |]
+
+  let byte_length _ = 4
+
+  let read ~symbol ~next =
+    if symbol < 0 || symbol >= base_symbols then invalid_arg "Mips_streams.read: bad symbol";
+    let spec = M.specs.(symbol) in
+    let regs = List.init (M.reg_arity spec) (fun _ -> next 0) in
+    let imm = if M.has_immediate spec then Some (next 1) else None in
+    let limm = if M.has_long_immediate spec then Some (next 2) else None in
+    M.reassemble spec ~regs ~imm ~limm
+
+  let encode_list = M.encode_program
+
+  let parse code =
+    if String.length code mod 4 <> 0 then None
+    else
+      let decoded = M.decode_program code in
+      let ok = Array.for_all Option.is_some decoded in
+      if ok then Some (Array.to_list (Array.map Option.get decoded)) else None
+end
+
+module X86_streams = struct
+  module X = Ccomp_isa.X86
+
+  type instr = X.t
+
+  let name = "x86"
+  let base_symbols = 512
+  let symbol i = match X.second_opcode i with None -> X.opcode_symbol i | Some b -> 256 + b
+  let stream_count = 2
+  let stream_bits = [| 8; 8 |]
+  let stream_names = [| "modrm-sib"; "imm-disp" |]
+
+  let bytes_to_items s = List.init (String.length s) (fun k -> Char.code s.[k])
+
+  let items i =
+    let _, ms, id = X.streams i in
+    [| bytes_to_items ms; bytes_to_items id |]
+
+  let byte_length = X.length
+
+  let opcode_of_symbol symbol =
+    if symbol < 256 then String.make 1 (Char.chr symbol)
+    else Printf.sprintf "\x0f%c" (Char.chr (symbol - 256))
+
+  let read ~symbol ~next =
+    if symbol < 0 || symbol >= base_symbols then invalid_arg "X86_streams.read: bad symbol";
+    match
+      X.read_streams ~opcode:(opcode_of_symbol symbol)
+        ~next_modrm_sib:(fun () -> next 0)
+        ~next_imm_disp:(fun () -> next 1)
+    with
+    | Some i -> i
+    | None -> invalid_arg "X86_streams.read: unknown opcode"
+
+  let encode_list = X.encode_program
+
+  let parse = X.decode_program
+end
+
+module X86_field_streams = struct
+  module X = Ccomp_isa.X86
+
+  type instr = X.t
+
+  let name = "x86-fields"
+  let base_symbols = 512
+  let symbol = X86_streams.symbol
+  let stream_count = 7
+  let stream_bits = [| 2; 3; 3; 2; 3; 3; 8 |]
+  let stream_names = [| "mod"; "reg"; "rm"; "scale"; "index"; "base"; "disp-imm" |]
+
+  let items i =
+    let modrm_fields =
+      match i.X.modrm with
+      | Some m -> ([ m lsr 6 ], [ (m lsr 3) land 7 ], [ m land 7 ])
+      | None -> ([], [], [])
+    in
+    let sib_fields =
+      match i.X.sib with
+      | Some s -> ([ s lsr 6 ], [ (s lsr 3) land 7 ], [ s land 7 ])
+      | None -> ([], [], [])
+    in
+    let md, reg, rm = modrm_fields in
+    let scale, index, base = sib_fields in
+    let bytes s = List.init (String.length s) (fun k -> Char.code s.[k]) in
+    [| md; reg; rm; scale; index; base; bytes i.X.disp @ bytes i.X.imm |]
+
+  let byte_length = X.length
+
+  (* Reassemble ModRM/SIB bytes from field pulls: the first modrm-sib byte
+     the sequencer requests is the ModRM, the second (if any) the SIB. *)
+  let read ~symbol ~next =
+    if symbol < 0 || symbol >= base_symbols then invalid_arg "X86_field_streams.read: bad symbol";
+    let ms_calls = ref 0 in
+    let next_modrm_sib () =
+      incr ms_calls;
+      (* bind pulls explicitly: operand evaluation order is unspecified *)
+      if !ms_calls = 1 then begin
+        let md = next 0 in
+        let reg = next 1 in
+        let rm = next 2 in
+        (md lsl 6) lor (reg lsl 3) lor rm
+      end
+      else begin
+        let scale = next 3 in
+        let index = next 4 in
+        let base = next 5 in
+        (scale lsl 6) lor (index lsl 3) lor base
+      end
+    in
+    match
+      X.read_streams
+        ~opcode:(X86_streams.opcode_of_symbol symbol)
+        ~next_modrm_sib
+        ~next_imm_disp:(fun () -> next 6)
+    with
+    | Some i -> i
+    | None -> invalid_arg "X86_field_streams.read: unknown opcode"
+
+  let encode_list = X.encode_program
+
+  let parse = X.decode_program
+end

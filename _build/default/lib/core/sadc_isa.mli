@@ -1,0 +1,57 @@
+(** ISA adapters for SADC (§4).
+
+    SADC is generic over how an instruction set splits into an opcode
+    symbol plus operand streams. An adapter names the operand streams,
+    gives each one an item bit-width, extracts items from instructions,
+    and can reconstruct an instruction by pulling items back on demand
+    (the operand-length unit + instruction generator of Fig. 6). *)
+
+module type S = sig
+  type instr
+
+  val name : string
+
+  val base_symbols : int
+  (** Size of the base opcode alphabet (before dictionary augmentation). *)
+
+  val symbol : instr -> int
+  (** Base opcode symbol in \[0, base_symbols). *)
+
+  val stream_count : int
+
+  val stream_bits : int array
+  (** Item width of each operand stream, in bits. *)
+
+  val stream_names : string array
+
+  val items : instr -> int list array
+  (** Operand items per stream, in the order {!read} pulls them. *)
+
+  val byte_length : instr -> int
+
+  val read : symbol:int -> next:(int -> int) -> instr
+  (** [read ~symbol ~next] rebuilds an instruction, calling [next s] to
+      pull the next item of stream [s]; pulls exactly the items that
+      {!items} lists for the result.
+      @raise Invalid_argument on an unknown symbol or malformed pulls. *)
+
+  val encode_list : instr list -> string
+
+  val parse : string -> instr list option
+end
+
+module Mips_streams : S with type instr = Ccomp_isa.Mips.t
+(** MIPS (§5): register stream (5-bit items, including shift amounts),
+    16-bit immediate stream, 26-bit long-immediate stream. *)
+
+module X86_streams : S with type instr = Ccomp_isa.X86.t
+(** x86 (§5): ModRM+SIB stream and immediate+displacement stream, both
+    byte-wide. Two-byte (0x0F-map) opcodes are symbols 256..511. *)
+
+module X86_field_streams : S with type instr = Ccomp_isa.X86.t
+(** The finer subdivision §5 conjectures would "improve compression but
+    complicate the decompressor": ModRM and SIB are split into their
+    architectural fields — mod (2 bits), reg (3), rm (3), scale (2),
+    index (3), base (3) — each with its own stream and Huffman code;
+    displacement and immediate bytes share one byte stream. Experiment E9
+    tests the conjecture. *)

@@ -1,0 +1,310 @@
+module Coder = Ccomp_arith.Binary_coder
+
+type config = {
+  word_bits : int;
+  streams : Stream_split.t;
+  context_bits : int;
+  quantize : bool;
+  prune_below : int;
+  block_size : int;
+}
+
+let mips_config ?(block_size = 32) ?(context_bits = 2) ?(quantize = false) ?(prune_below = 0)
+    ?streams () =
+  let streams =
+    match streams with Some s -> s | None -> Stream_split.consecutive ~word_bits:32 ~streams:4
+  in
+  { word_bits = 32; streams; context_bits; quantize; prune_below; block_size }
+
+let byte_config ?(block_size = 32) ?(context_bits = 2) ?(quantize = false) ?(prune_below = 0) () =
+  {
+    word_bits = 8;
+    streams = Stream_split.consecutive ~word_bits:8 ~streams:1;
+    context_bits;
+    quantize;
+    prune_below;
+    block_size;
+  }
+
+let validate_config c =
+  if c.word_bits mod 8 <> 0 || c.word_bits <= 0 || c.word_bits > 64 then
+    Error "word_bits must be a positive multiple of 8, at most 64"
+  else if c.block_size <= 0 || c.block_size * 8 mod c.word_bits <> 0 then
+    Error "block_size must hold a whole number of words"
+  else if c.prune_below < 0 then Error "prune_below must be non-negative"
+  else if Array.exists (fun s -> Array.length s > 16) c.streams then
+    Error "streams wider than 16 bits need oversized trees"
+  else
+    match Stream_split.validate ~word_bits:c.word_bits c.streams with
+    | Ok () -> Ok ()
+    | Error e -> Error e
+
+type compressed = {
+  config : config;
+  model : Markov_model.t;
+  blocks : string array;
+  original_size : int;
+}
+
+let word_bytes c = c.word_bits / 8
+
+let words_per_block c = c.block_size * 8 / c.word_bits
+
+let block_count c ~code_bytes =
+  let wb = word_bytes c in
+  let words = code_bytes / wb in
+  let wpb = words_per_block c in
+  (words + wpb - 1) / wpb
+
+let get_word c code word_index =
+  let wb = word_bytes c in
+  let base = word_index * wb in
+  let rec go acc i = if i = wb then acc else go ((acc lsl 8) lor Char.code code.[base + i]) (i + 1) in
+  go 0 0
+
+(* Walk one word through the model, calling [visit stream ctx node bit]
+   for every coded bit; returns the context for the next word. *)
+let walk_word c word ~ctx visit =
+  let ctx_mask = (1 lsl c.context_bits) - 1 in
+  let current_ctx = ref ctx in
+  Array.iteri
+    (fun s positions ->
+      let node = ref 1 in
+      let value = ref 0 in
+      Array.iter
+        (fun pos ->
+          let bit = (word lsr (c.word_bits - 1 - pos)) land 1 in
+          visit s !current_ctx !node bit;
+          node := (2 * !node) + bit;
+          value := (!value lsl 1) lor bit)
+        positions;
+      current_ctx := !value land ctx_mask)
+    c.streams;
+  !current_ctx
+
+let train c code =
+  let trainer = Markov_model.Trainer.create ~widths:(Stream_split.widths c.streams) ~context_bits:c.context_bits in
+  let words = String.length code / word_bytes c in
+  let wpb = words_per_block c in
+  let ctx = ref 0 in
+  for wi = 0 to words - 1 do
+    if wi mod wpb = 0 then ctx := 0;
+    ctx :=
+      walk_word c (get_word c code wi) ~ctx:!ctx (fun stream ctx node bit ->
+          Markov_model.Trainer.note trainer ~stream ~ctx ~node bit)
+  done;
+  Markov_model.Trainer.finalize ~quantize:c.quantize ~prune_below:c.prune_below trainer
+
+let encode_block c model code ~first_word ~n_words =
+  let encoder = Coder.Encoder.create () in
+  let ctx = ref 0 in
+  for wi = first_word to first_word + n_words - 1 do
+    ctx :=
+      walk_word c (get_word c code wi) ~ctx:!ctx (fun stream ctx node bit ->
+          Coder.Encoder.encode encoder ~p0:(Markov_model.p0 model ~stream ~ctx ~node) bit)
+  done;
+  Coder.Encoder.finish encoder
+
+let compress c code =
+  (match validate_config c with Ok () -> () | Error e -> invalid_arg ("Samc.compress: " ^ e));
+  if String.length code mod word_bytes c <> 0 then
+    invalid_arg "Samc.compress: code size is not a multiple of the word size";
+  let model = train c code in
+  let words = String.length code / word_bytes c in
+  let wpb = words_per_block c in
+  let nblocks = block_count c ~code_bytes:(String.length code) in
+  let blocks =
+    Array.init nblocks (fun b ->
+        let first_word = b * wpb in
+        let n_words = min wpb (words - first_word) in
+        encode_block c model code ~first_word ~n_words)
+  in
+  { config = c; model; blocks; original_size = String.length code }
+
+let decompress_block c model ~original_bytes data =
+  let wb = word_bytes c in
+  if original_bytes mod wb <> 0 then
+    invalid_arg "Samc.decompress_block: size not a multiple of the word size";
+  let n_words = original_bytes / wb in
+  let decoder = Coder.Decoder.create data in
+  let out = Bytes.create original_bytes in
+  let ctx_mask = (1 lsl c.context_bits) - 1 in
+  let ctx = ref 0 in
+  for wi = 0 to n_words - 1 do
+    let word = ref 0 in
+    Array.iteri
+      (fun s positions ->
+        let node = ref 1 in
+        let value = ref 0 in
+        Array.iter
+          (fun pos ->
+            let p0 = Markov_model.p0 model ~stream:s ~ctx:!ctx ~node:!node in
+            let bit = Coder.Decoder.decode decoder ~p0 in
+            node := (2 * !node) + bit;
+            value := (!value lsl 1) lor bit;
+            if bit = 1 then word := !word lor (1 lsl (c.word_bits - 1 - pos)))
+          positions;
+        ctx := !value land ctx_mask)
+      c.streams;
+    for j = 0 to wb - 1 do
+      Bytes.set out ((wi * wb) + j) (Char.chr ((!word lsr (8 * (wb - 1 - j))) land 0xff))
+    done
+  done;
+  Bytes.to_string out
+
+let decompress_block_parallel c model ~original_bytes data =
+  let wb = word_bytes c in
+  if original_bytes mod wb <> 0 then
+    invalid_arg "Samc.decompress_block_parallel: size not a multiple of the word size";
+  let n_words = original_bytes / wb in
+  let engine = Ccomp_arith.Nibble_decoder.create data in
+  let out = Bytes.create original_bytes in
+  let ctx_mask = (1 lsl c.context_bits) - 1 in
+  let ctx = ref 0 in
+  for wi = 0 to n_words - 1 do
+    let word = ref 0 in
+    Array.iteri
+      (fun s positions ->
+        let width = Array.length positions in
+        let node = ref 1 in
+        let value = ref 0 in
+        let done_ = ref 0 in
+        (* Fig. 5 decodes 4 bits per step; stream boundaries reset the
+           tree walk, so steps never straddle a stream. *)
+        while !done_ < width do
+          let step = min 4 (width - !done_) in
+          let base_node = !node in
+          let p0 ~prefix ~width:w =
+            (* probability memory addressed by already-decoded bits *)
+            let node_for_prefix = (base_node lsl w) lor prefix in
+            Markov_model.p0 model ~stream:s ~ctx:!ctx ~node:node_for_prefix
+          in
+          let bits = Ccomp_arith.Nibble_decoder.decode_bits engine ~n:step ~p0 in
+          for k = step - 1 downto 0 do
+            let bit = (bits lsr k) land 1 in
+            let pos = positions.(!done_) in
+            if bit = 1 then word := !word lor (1 lsl (c.word_bits - 1 - pos));
+            value := (!value lsl 1) lor bit;
+            incr done_
+          done;
+          node := (base_node lsl step) lor bits
+        done;
+        ctx := !value land ctx_mask)
+      c.streams;
+    for j = 0 to wb - 1 do
+      Bytes.set out ((wi * wb) + j) (Char.chr ((!word lsr (8 * (wb - 1 - j))) land 0xff))
+    done
+  done;
+  (Bytes.to_string out, Ccomp_arith.Nibble_decoder.midpoint_evaluations engine)
+
+let decompress t =
+  let c = t.config in
+  let wpb = words_per_block c in
+  let wb = word_bytes c in
+  let words = t.original_size / wb in
+  let parts =
+    Array.mapi
+      (fun b data ->
+        let n_words = min wpb (words - (b * wpb)) in
+        decompress_block c t.model ~original_bytes:(n_words * wb) data)
+      t.blocks
+  in
+  String.concat "" (Array.to_list parts)
+
+let code_bytes t = Array.fold_left (fun acc b -> acc + String.length b) 0 t.blocks
+
+let model_bytes t = Markov_model.storage_bytes t.model
+
+let ratio t = float_of_int (code_bytes t) /. float_of_int t.original_size
+
+let ratio_with_model t =
+  float_of_int (code_bytes t + model_bytes t) /. float_of_int t.original_size
+
+(* --- serialization --------------------------------------------------- *)
+
+let add_u16 b v =
+  assert (v >= 0 && v < 65536);
+  Buffer.add_char b (Char.chr (v lsr 8));
+  Buffer.add_char b (Char.chr (v land 0xff))
+
+let add_u32 b v =
+  assert (v >= 0 && v < 1 lsl 32);
+  add_u16 b (v lsr 16);
+  add_u16 b (v land 0xffff)
+
+let serialize t =
+  let c = t.config in
+  let b = Buffer.create (code_bytes t + model_bytes t + 64) in
+  Buffer.add_char b (Char.chr c.word_bits);
+  Buffer.add_char b (Char.chr (Array.length c.streams));
+  Array.iter
+    (fun stream ->
+      Buffer.add_char b (Char.chr (Array.length stream));
+      Array.iter (fun pos -> Buffer.add_char b (Char.chr pos)) stream)
+    c.streams;
+  Buffer.add_char b (Char.chr c.context_bits);
+  Buffer.add_char b (Char.chr (if c.quantize then 1 else 0));
+  add_u16 b c.prune_below;
+  add_u16 b c.block_size;
+  add_u32 b t.original_size;
+  let model = Markov_model.serialize t.model in
+  add_u32 b (String.length model);
+  Buffer.add_string b model;
+  add_u32 b (Array.length t.blocks);
+  Array.iter
+    (fun blk ->
+      add_u16 b (String.length blk);
+      Buffer.add_string b blk)
+    t.blocks;
+  Buffer.contents b
+
+let deserialize s ~pos =
+  let p = ref pos in
+  let fail () = invalid_arg "Samc.deserialize: truncated input" in
+  let byte () =
+    if !p >= String.length s then fail ();
+    let v = Char.code s.[!p] in
+    incr p;
+    v
+  in
+  let u16 () =
+    let hi = byte () in
+    (hi lsl 8) lor byte ()
+  in
+  let u32 () =
+    let hi = u16 () in
+    (hi lsl 16) lor u16 ()
+  in
+  let take n =
+    if !p + n > String.length s then fail ();
+    let sub = String.sub s !p n in
+    p := !p + n;
+    sub
+  in
+  let word_bits = byte () in
+  let n_streams = byte () in
+  let streams =
+    Array.init n_streams (fun _ ->
+        let w = byte () in
+        Array.init w (fun _ -> byte ()))
+  in
+  let context_bits = byte () in
+  let quantize = byte () = 1 in
+  let prune_below = u16 () in
+  let block_size = u16 () in
+  let config = { word_bits; streams; context_bits; quantize; prune_below; block_size } in
+  (match validate_config config with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Samc.deserialize: " ^ e));
+  let original_size = u32 () in
+  let model_len = u32 () in
+  let model, _ = Markov_model.deserialize (take model_len) ~pos:0 in
+  let nblocks = u32 () in
+  let blocks =
+    Array.init nblocks (fun _ ->
+        let len = u16 () in
+        take len)
+  in
+  if nblocks <> block_count config ~code_bytes:original_size then
+    invalid_arg "Samc.deserialize: block count mismatch";
+  ({ config; model; blocks; original_size }, !p)

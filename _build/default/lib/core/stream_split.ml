@@ -1,0 +1,112 @@
+module Bit_stats = Ccomp_entropy.Bit_stats
+module Prng = Ccomp_util.Prng
+
+type t = int array array
+
+let consecutive ~word_bits ~streams =
+  if streams <= 0 || word_bits mod streams <> 0 then
+    invalid_arg "Stream_split.consecutive: streams must divide word_bits";
+  let w = word_bits / streams in
+  Array.init streams (fun s -> Array.init w (fun i -> (s * w) + i))
+
+let validate ~word_bits t =
+  let seen = Array.make word_bits false in
+  let ok = ref (Ok ()) in
+  Array.iter
+    (Array.iter (fun b ->
+         if b < 0 || b >= word_bits then ok := Error (Printf.sprintf "bit %d out of range" b)
+         else if seen.(b) then ok := Error (Printf.sprintf "bit %d assigned twice" b)
+         else seen.(b) <- true))
+    t;
+  (match !ok with
+  | Ok () ->
+    Array.iteri (fun b s -> if not s then ok := Error (Printf.sprintf "bit %d unassigned" b)) seen
+  | Error _ -> ());
+  !ok
+
+let widths t = Array.map Array.length t
+
+(* The word index convention is MSB-first (bit 0 = most significant), but
+   Bit_stats counts LSB-first; convert on lookup. *)
+let stats_index stats bit = Bit_stats.width stats - 1 - bit
+
+let stream_cost stats stream =
+  match Array.length stream with
+  | 0 -> 0.0
+  | _ ->
+    let first = Bit_stats.bit_entropy stats (stats_index stats stream.(0)) in
+    let rest = ref 0.0 in
+    for k = 1 to Array.length stream - 1 do
+      rest :=
+        !rest
+        +. Bit_stats.conditional_entropy stats
+             (stats_index stats stream.(k - 1))
+             (stats_index stats stream.(k))
+    done;
+    first +. !rest
+
+let estimated_cost stats t = Array.fold_left (fun acc s -> acc +. stream_cost stats s) 0.0 t
+
+(* Greedy chaining: start from the most biased bit, repeatedly append the
+   unused bit with the highest |correlation| to the chain head. *)
+let correlation_chain stats =
+  let n = Bit_stats.width stats in
+  let used = Array.make n false in
+  let corr i j = Float.abs (Bit_stats.correlation stats (stats_index stats i) (stats_index stats j)) in
+  let start =
+    let best = ref 0 and best_h = ref infinity in
+    for b = 0 to n - 1 do
+      let h = Bit_stats.bit_entropy stats (stats_index stats b) in
+      if h < !best_h then begin
+        best := b;
+        best_h := h
+      end
+    done;
+    !best
+  in
+  used.(start) <- true;
+  let chain = Array.make n start in
+  for k = 1 to n - 1 do
+    let prev = chain.(k - 1) in
+    let best = ref (-1) and best_c = ref neg_infinity in
+    for b = 0 to n - 1 do
+      if not used.(b) then begin
+        let c = corr prev b in
+        if c > !best_c then begin
+          best := b;
+          best_c := c
+        end
+      end
+    done;
+    chain.(k) <- !best;
+    used.(!best) <- true
+  done;
+  chain
+
+let optimize ?(iterations = 2000) ~seed ~streams stats =
+  let n = Bit_stats.width stats in
+  if streams <= 0 || n mod streams <> 0 then
+    invalid_arg "Stream_split.optimize: streams must divide word width";
+  let w = n / streams in
+  let chain = correlation_chain stats in
+  let current = Array.init streams (fun s -> Array.sub chain (s * w) w) in
+  let g = Prng.create seed in
+  let cost = ref (estimated_cost stats current) in
+  for _ = 1 to iterations do
+    (* Swap two bit slots (possibly across streams) and keep the swap when
+       the pairwise-entropy estimate improves. *)
+    let s1 = Prng.int g streams and s2 = Prng.int g streams in
+    let i1 = Prng.int g w and i2 = Prng.int g w in
+    if not (s1 = s2 && i1 = i2) then begin
+      let b1 = current.(s1).(i1) and b2 = current.(s2).(i2) in
+      current.(s1).(i1) <- b2;
+      current.(s2).(i2) <- b1;
+      let cost' = estimated_cost stats current in
+      if cost' < !cost then cost := cost'
+      else begin
+        current.(s1).(i1) <- b1;
+        current.(s2).(i2) <- b2
+      end
+    end
+  done;
+  current

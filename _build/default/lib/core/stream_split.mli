@@ -1,0 +1,39 @@
+(** Stream subdivision of instruction words (§3).
+
+    A subdivision assigns every bit position of the instruction word to one
+    of k streams; each stream gets its own Markov tree. The paper groups
+    strongly correlated bits into the same stream and then improves the
+    grouping by random exchanges, accepting a swap when the estimated
+    entropy drops. Bit position 0 is the most significant bit of the word
+    (the first opcode bit). *)
+
+type t = int array array
+(** [t.(s)] lists the bit positions of stream [s], in coding order. *)
+
+val consecutive : word_bits:int -> streams:int -> t
+(** [consecutive ~word_bits ~streams] splits the word into equal runs of
+    adjacent bits (the paper's 4×8 default for MIPS).
+    @raise Invalid_argument if [streams] does not divide [word_bits]. *)
+
+val validate : word_bits:int -> t -> (unit, string) result
+(** Checks that the streams form a partition of \[0, word_bits). *)
+
+val widths : t -> int array
+
+val estimated_cost : Ccomp_entropy.Bit_stats.t -> t -> float
+(** First-order cost estimate in bits/word: for each stream, the entropy
+    of its first bit plus the conditional entropy of each bit given its
+    predecessor in the stream — the quantity a depth-limited Markov chain
+    can achieve, computable from pairwise statistics alone. *)
+
+val optimize :
+  ?iterations:int ->
+  seed:int64 ->
+  streams:int ->
+  Ccomp_entropy.Bit_stats.t ->
+  t
+(** [optimize ~seed ~streams stats] searches for a low-cost subdivision:
+    bits are greedily chained by correlation, split into [streams] equal
+    groups, then improved by random exchanges between streams (default
+    2000 [iterations]), keeping a swap only when {!estimated_cost} drops.
+    Stream sizes stay equal, matching the paper's equal-width trees. *)

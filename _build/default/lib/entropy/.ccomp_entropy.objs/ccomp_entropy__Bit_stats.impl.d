@@ -1,0 +1,1 @@
+lib/entropy/bit_stats.ml: Array Float Int64 List

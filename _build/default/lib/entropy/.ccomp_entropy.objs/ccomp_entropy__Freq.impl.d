@@ -1,0 +1,1 @@
+lib/entropy/freq.ml: Array Char String

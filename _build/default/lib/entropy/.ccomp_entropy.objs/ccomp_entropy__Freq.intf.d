@@ -1,0 +1,1 @@
+lib/entropy/freq.mli:

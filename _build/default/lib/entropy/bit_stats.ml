@@ -1,0 +1,76 @@
+type t = {
+  width : int;
+  ones : int array; (* ones.(i) = #samples with bit i set *)
+  pairs : int array; (* pairs.(i*width+j) = #samples with bits i and j both set *)
+  mutable samples : int;
+}
+
+let create ~width =
+  assert (width >= 1 && width <= 64);
+  { width; ones = Array.make width 0; pairs = Array.make (width * width) 0; samples = 0 }
+
+let width t = t.width
+
+let add_word t word =
+  t.samples <- t.samples + 1;
+  (* Collect set-bit positions once, then update the upper-triangle pair
+     counts; typical instruction words are sparse enough for this to be
+     cheaper than the full width^2 sweep. *)
+  let set = ref [] in
+  for i = t.width - 1 downto 0 do
+    if Int64.logand (Int64.shift_right_logical word i) 1L = 1L then begin
+      t.ones.(i) <- t.ones.(i) + 1;
+      set := i :: !set
+    end
+  done;
+  let rec pairs = function
+    | [] -> ()
+    | i :: rest ->
+      List.iter (fun j -> t.pairs.((i * t.width) + j) <- t.pairs.((i * t.width) + j) + 1) (i :: rest);
+      pairs rest
+  in
+  pairs !set
+
+let samples t = t.samples
+
+let bit_probability t i =
+  if t.samples = 0 then 0.0 else float_of_int t.ones.(i) /. float_of_int t.samples
+
+let log2 x = log x /. log 2.0
+
+let binary_entropy p =
+  if p <= 0.0 || p >= 1.0 then 0.0 else (-.p *. log2 p) -. ((1.0 -. p) *. log2 (1.0 -. p))
+
+let bit_entropy t i = binary_entropy (bit_probability t i)
+
+let pair_count t i j =
+  let i, j = if i <= j then (i, j) else (j, i) in
+  t.pairs.((i * t.width) + j)
+
+let correlation t i j =
+  if t.samples = 0 then 0.0
+  else
+    let n = float_of_int t.samples in
+    let pi = bit_probability t i and pj = bit_probability t j in
+    let pij = float_of_int (pair_count t i j) /. n in
+    let var_i = pi *. (1.0 -. pi) and var_j = pj *. (1.0 -. pj) in
+    if var_i <= 0.0 || var_j <= 0.0 then 0.0
+    else (pij -. (pi *. pj)) /. sqrt (var_i *. var_j)
+
+let plogp p = if p <= 0.0 then 0.0 else -.p *. log2 p
+
+let joint_entropy t i j =
+  if t.samples = 0 then 0.0
+  else
+    let n = float_of_int t.samples in
+    let p11 = float_of_int (pair_count t i j) /. n in
+    let pi = bit_probability t i and pj = bit_probability t j in
+    let p10 = pi -. p11 and p01 = pj -. p11 in
+    let p00 = 1.0 -. p11 -. p10 -. p01 in
+    plogp p00 +. plogp p01 +. plogp p10 +. plogp p11
+
+let conditional_entropy t i j = joint_entropy t i j -. bit_entropy t i
+
+let correlation_matrix t =
+  Array.init t.width (fun i ->
+      Array.init t.width (fun j -> if i = j then 1.0 else Float.abs (correlation t i j)))

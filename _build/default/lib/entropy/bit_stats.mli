@@ -1,0 +1,41 @@
+(** Per-bit statistics of fixed-width words — the measurements behind the
+    paper's stream-subdivision heuristic (§3): per-bit biases and pairwise
+    correlation between bit positions of the instruction word. *)
+
+type t
+(** Accumulated statistics for words of a fixed width. *)
+
+val create : width:int -> t
+(** [create ~width] accumulates statistics for [width]-bit words
+    (1 <= width <= 64). *)
+
+val width : t -> int
+
+val add_word : t -> int64 -> unit
+(** Account one instruction word; bit 0 is the least significant. *)
+
+val samples : t -> int
+
+val bit_probability : t -> int -> float
+(** [bit_probability t i] is P(bit i = 1). *)
+
+val bit_entropy : t -> int -> float
+(** Binary entropy of bit position [i], in bits. *)
+
+val correlation : t -> int -> int -> float
+(** [correlation t i j] is the Pearson correlation coefficient between bit
+    positions [i] and [j], in \[-1, 1\]. 0 when either bit is constant. *)
+
+val correlation_matrix : t -> float array array
+(** Full symmetric |corr| matrix (absolute values), diagonal = 1. *)
+
+val joint_entropy : t -> int -> int -> float
+(** [joint_entropy t i j] is H(b_i, b_j) in bits (from the empirical 2×2
+    joint distribution). *)
+
+val conditional_entropy : t -> int -> int -> float
+(** [conditional_entropy t i j] is H(b_j | b_i) = H(b_i, b_j) - H(b_i);
+    the cost in bits of coding bit [j] knowing bit [i]. *)
+
+val binary_entropy : float -> float
+(** [binary_entropy p] = -p log2 p - (1-p) log2 (1-p), 0 at p ∈ {0,1}. *)

@@ -1,0 +1,47 @@
+type t = { counts : int array; mutable total : int }
+
+let create n =
+  assert (n > 0);
+  { counts = Array.make n 0; total = 0 }
+
+let alphabet_size t = Array.length t.counts
+
+let add_many t sym k =
+  t.counts.(sym) <- t.counts.(sym) + k;
+  t.total <- t.total + k
+
+let add t sym = add_many t sym 1
+
+let count t sym = t.counts.(sym)
+
+let total t = t.total
+
+let probability t sym =
+  if t.total = 0 then 0.0 else float_of_int t.counts.(sym) /. float_of_int t.total
+
+let counts t = Array.copy t.counts
+
+let iter_nonzero t f =
+  Array.iteri (fun sym c -> if c > 0 then f sym c) t.counts
+
+let nonzero t =
+  Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 t.counts
+
+let log2 x = log x /. log 2.0
+
+let entropy t =
+  if t.total = 0 then 0.0
+  else
+    let n = float_of_int t.total in
+    Array.fold_left
+      (fun acc c ->
+        if c = 0 then acc
+        else
+          let p = float_of_int c /. n in
+          acc -. (p *. log2 p))
+      0.0 t.counts
+
+let of_string s =
+  let t = create 256 in
+  String.iter (fun c -> add t (Char.code c)) s;
+  t

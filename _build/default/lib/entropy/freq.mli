@@ -1,0 +1,36 @@
+(** Symbol frequency counting over a fixed alphabet. *)
+
+type t
+
+val create : int -> t
+(** [create n] counts symbols in \[0, n). *)
+
+val alphabet_size : t -> int
+
+val add : t -> int -> unit
+(** Increment the count of one symbol. *)
+
+val add_many : t -> int -> int -> unit
+(** [add_many t sym k] increments by [k]. *)
+
+val count : t -> int -> int
+
+val total : t -> int
+
+val probability : t -> int -> float
+(** Empirical probability; 0 when no symbols have been counted. *)
+
+val counts : t -> int array
+(** Copy of the count table. *)
+
+val iter_nonzero : t -> (int -> int -> unit) -> unit
+(** [iter_nonzero t f] calls [f sym count] for each symbol with count > 0. *)
+
+val nonzero : t -> int
+(** Number of distinct symbols observed. *)
+
+val entropy : t -> float
+(** Order-0 Shannon entropy in bits/symbol (0 for empty). *)
+
+val of_string : string -> t
+(** Byte frequencies of a string (alphabet 256). *)

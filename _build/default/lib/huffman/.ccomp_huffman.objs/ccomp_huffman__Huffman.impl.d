@@ -1,0 +1,1 @@
+lib/huffman/huffman.ml: Array Buffer Ccomp_bitio Ccomp_entropy Ccomp_util Char String

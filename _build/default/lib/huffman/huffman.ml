@@ -1,0 +1,193 @@
+module Freq = Ccomp_entropy.Freq
+module Bit_writer = Ccomp_bitio.Bit_writer
+module Bit_reader = Ccomp_bitio.Bit_reader
+
+type code = {
+  lengths : int array; (* per-symbol code length, 0 = absent *)
+  codewords : int array; (* canonical codeword, valid when lengths.(s) > 0 *)
+  max_len : int;
+  (* Canonical decode tables, indexed by code length 1..max_len. *)
+  first_code : int array; (* first canonical codeword of that length *)
+  first_index : int array; (* index into [ordered] of that length's first symbol *)
+  count_len : int array; (* number of codewords of that length *)
+  ordered : int array; (* symbols sorted by (length, symbol) *)
+}
+
+(* Build per-symbol code lengths with a standard Huffman tree over a
+   min-heap. Single-symbol alphabets get length 1 so the symbol still
+   occupies at least one bit (required for self-delimiting blocks). *)
+let tree_lengths counts =
+  let n = Array.length counts in
+  let lengths = Array.make n 0 in
+  (* Heap of (weight, tie, node); node is Leaf sym | Node (l, r). *)
+  let module N = struct
+    type node = Leaf of int | Node of node * node
+  end in
+  let open N in
+  let cmp (w1, t1, _) (w2, t2, _) = if w1 <> w2 then compare w1 w2 else compare t1 t2 in
+  let heap = Ccomp_util.Heap.create ~cmp in
+  let tie = ref 0 in
+  Array.iteri
+    (fun sym c ->
+      if c > 0 then begin
+        Ccomp_util.Heap.push heap (c, !tie, Leaf sym);
+        incr tie
+      end)
+    counts;
+  match Ccomp_util.Heap.length heap with
+  | 0 -> invalid_arg "Huffman.build: empty alphabet"
+  | 1 ->
+    let _, _, node = Ccomp_util.Heap.pop heap in
+    (match node with Leaf sym -> lengths.(sym) <- 1 | Node _ -> assert false);
+    lengths
+  | _ ->
+    while Ccomp_util.Heap.length heap > 1 do
+      let w1, _, n1 = Ccomp_util.Heap.pop heap in
+      let w2, _, n2 = Ccomp_util.Heap.pop heap in
+      Ccomp_util.Heap.push heap (w1 + w2, !tie, Node (n1, n2));
+      incr tie
+    done;
+    let _, _, root = Ccomp_util.Heap.pop heap in
+    let rec assign depth = function
+      | Leaf sym -> lengths.(sym) <- depth
+      | Node (l, r) ->
+        assign (depth + 1) l;
+        assign (depth + 1) r
+    in
+    assign 0 root;
+    lengths
+
+let max_array a = Array.fold_left max 0 a
+
+(* Canonical code and decode tables from a length table. *)
+let canonicalize lengths =
+  let n = Array.length lengths in
+  let max_len = max_array lengths in
+  if max_len = 0 then invalid_arg "Huffman.of_lengths: empty alphabet";
+  if max_len > 30 then invalid_arg "Huffman.of_lengths: codeword too long";
+  let count_len = Array.make (max_len + 1) 0 in
+  Array.iter (fun l -> if l > 0 then count_len.(l) <- count_len.(l) + 1) lengths;
+  (* Kraft inequality check: sum 2^(max_len - l) must not exceed 2^max_len. *)
+  let kraft = ref 0 in
+  for l = 1 to max_len do
+    kraft := !kraft + (count_len.(l) lsl (max_len - l))
+  done;
+  if !kraft > 1 lsl max_len then invalid_arg "Huffman.of_lengths: not a prefix code";
+  let first_code = Array.make (max_len + 1) 0 in
+  let first_index = Array.make (max_len + 1) 0 in
+  let code = ref 0 and index = ref 0 in
+  for l = 1 to max_len do
+    first_code.(l) <- !code;
+    first_index.(l) <- !index;
+    code := (!code + count_len.(l)) lsl 1;
+    index := !index + count_len.(l)
+  done;
+  let ordered = Array.make (Array.fold_left (fun a l -> if l > 0 then a + 1 else a) 0 lengths) 0 in
+  let next_index = Array.copy first_index in
+  for sym = 0 to n - 1 do
+    let l = lengths.(sym) in
+    if l > 0 then begin
+      ordered.(next_index.(l)) <- sym;
+      next_index.(l) <- next_index.(l) + 1
+    end
+  done;
+  let codewords = Array.make n 0 in
+  let next_code = Array.copy first_code in
+  for i = 0 to Array.length ordered - 1 do
+    let sym = ordered.(i) in
+    let l = lengths.(sym) in
+    codewords.(sym) <- next_code.(l);
+    next_code.(l) <- next_code.(l) + 1
+  done;
+  { lengths = Array.copy lengths; codewords; max_len; first_code; first_index; count_len; ordered }
+
+let of_lengths lengths = canonicalize lengths
+
+let build ?(max_length = 15) freq =
+  let counts = ref (Freq.counts freq) in
+  let lengths = ref (tree_lengths !counts) in
+  (* Flatten frequencies until the longest codeword fits; each halving at
+     least halves the depth spread, so this terminates quickly. *)
+  while max_array !lengths > max_length do
+    counts := Array.map (fun c -> if c = 0 then 0 else (c + 1) / 2) !counts;
+    lengths := tree_lengths !counts
+  done;
+  canonicalize !lengths
+
+let lengths c = Array.copy c.lengths
+
+let code_length c sym = c.lengths.(sym)
+
+let codeword c sym =
+  if c.lengths.(sym) = 0 then invalid_arg "Huffman.codeword: absent symbol";
+  c.codewords.(sym)
+
+let alphabet_size c = Array.length c.lengths
+
+let encode_symbol c w sym =
+  let len = c.lengths.(sym) in
+  if len = 0 then invalid_arg "Huffman.encode_symbol: absent symbol";
+  Bit_writer.put_bits w ~value:c.codewords.(sym) ~width:len
+
+let decode_symbol c r =
+  let rec go code len =
+    if len > c.max_len then failwith "Huffman.decode_symbol: invalid bit stream"
+    else
+      let code = (code lsl 1) lor Bit_reader.get_bit r in
+      let len = len + 1 in
+      let offset = code - c.first_code.(len) in
+      if offset >= 0 && offset < c.count_len.(len) then c.ordered.(c.first_index.(len) + offset)
+      else go code len
+  in
+  go 0 0
+
+let encoded_bits c freq =
+  let bits = ref 0 in
+  Freq.iter_nonzero freq (fun sym count ->
+      if c.lengths.(sym) = 0 then invalid_arg "Huffman.encoded_bits: absent symbol";
+      bits := !bits + (count * c.lengths.(sym)));
+  !bits
+
+(* Length tables are run-length coded — sparse alphabets (LZSS's 286
+   literals, SADC's immediate bytes) are mostly zero, so (count, length)
+   pairs cost a fraction of a flat table, much as DEFLATE compresses its
+   own code lengths. *)
+let serialize_lengths c =
+  let n = Array.length c.lengths in
+  assert (n < 65536);
+  let b = Buffer.create 64 in
+  Buffer.add_char b (Char.chr (n lsr 8));
+  Buffer.add_char b (Char.chr (n land 0xff));
+  let emit_run count len =
+    (* count is 1..256, stored as count-1 *)
+    Buffer.add_char b (Char.chr (count - 1));
+    Buffer.add_char b (Char.chr len)
+  in
+  let i = ref 0 in
+  while !i < n do
+    let len = c.lengths.(!i) in
+    let j = ref !i in
+    while !j < n && c.lengths.(!j) = len && !j - !i < 256 do
+      incr j
+    done;
+    emit_run (!j - !i) len;
+    i := !j
+  done;
+  Buffer.contents b
+
+let deserialize_lengths s ~pos =
+  if pos + 2 > String.length s then invalid_arg "Huffman.deserialize_lengths: truncated";
+  let n = (Char.code s.[pos] lsl 8) lor Char.code s.[pos + 1] in
+  let lengths = Array.make n 0 in
+  let p = ref (pos + 2) in
+  let filled = ref 0 in
+  while !filled < n do
+    if !p + 2 > String.length s then invalid_arg "Huffman.deserialize_lengths: truncated";
+    let count = Char.code s.[!p] + 1 in
+    let len = Char.code s.[!p + 1] in
+    p := !p + 2;
+    if !filled + count > n then invalid_arg "Huffman.deserialize_lengths: run overflows alphabet";
+    Array.fill lengths !filled count len;
+    filled := !filled + count
+  done;
+  (canonicalize lengths, !p)

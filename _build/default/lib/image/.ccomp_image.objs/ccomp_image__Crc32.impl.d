@@ -1,0 +1,1 @@
+lib/image/crc32.ml: Array Char Int32 Lazy String

@@ -1,0 +1,1 @@
+lib/image/crc32.mli:

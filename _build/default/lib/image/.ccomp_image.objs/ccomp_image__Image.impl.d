@@ -1,0 +1,1 @@
+lib/image/image.ml: Array Buffer Bytes Ccomp_core Ccomp_memsys Char Crc32 Int32 Printf String

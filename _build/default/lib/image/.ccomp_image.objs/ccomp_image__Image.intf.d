@@ -1,0 +1,1 @@
+lib/image/image.mli: Ccomp_core Ccomp_memsys

@@ -1,0 +1,7 @@
+(** CRC-32 (IEEE 802.3 polynomial, as used by gzip/zip), protecting the
+    compressed-image container against corruption. *)
+
+val of_string : string -> int32
+
+val update : int32 -> string -> int32
+(** Incremental form: [of_string (a ^ b) = update (of_string a) b]. *)

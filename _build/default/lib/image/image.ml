@@ -1,0 +1,110 @@
+module Samc = Ccomp_core.Samc
+module Sadc = Ccomp_core.Sadc
+module Lat = Ccomp_memsys.Lat
+
+type isa = Mips | X86
+
+type payload =
+  | Samc of Samc.compressed
+  | Sadc_mips of Sadc.Mips.compressed
+  | Sadc_x86 of Sadc.X86.compressed
+
+type t = { isa : isa; payload : payload; lat : Lat.t }
+
+let magic = "SECF"
+let version = 1
+
+let of_samc ~isa z = { isa; payload = Samc z; lat = Lat.of_blocks z.Samc.blocks }
+
+let of_sadc_mips z =
+  let lengths = Array.init (Sadc.Mips.block_count z) (Sadc.Mips.block_payload_bytes z) in
+  { isa = Mips; payload = Sadc_mips z; lat = Lat.build lengths }
+
+let of_sadc_x86 z =
+  let lengths = Array.init (Sadc.X86.block_count z) (Sadc.X86.block_payload_bytes z) in
+  { isa = X86; payload = Sadc_x86 z; lat = Lat.build lengths }
+
+let isa_tag = function Mips -> 0 | X86 -> 1
+
+let isa_of_tag = function 0 -> Some Mips | 1 -> Some X86 | _ -> None
+
+let payload_tag = function Samc _ -> 0 | Sadc_mips _ -> 1 | Sadc_x86 _ -> 2
+
+let write t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  Buffer.add_char b (Char.chr version);
+  Buffer.add_char b (Char.chr (isa_tag t.isa));
+  Buffer.add_char b (Char.chr (payload_tag t.payload));
+  Buffer.add_string b (Lat.serialize t.lat);
+  (match t.payload with
+  | Samc z -> Buffer.add_string b (Samc.serialize z)
+  | Sadc_mips z -> Buffer.add_string b (Sadc.Mips.serialize z)
+  | Sadc_x86 z -> Buffer.add_string b (Sadc.X86.serialize z));
+  let body = Buffer.contents b in
+  let crc = Crc32.of_string body in
+  let tail = Bytes.create 4 in
+  Bytes.set tail 0 (Char.chr (Int32.to_int (Int32.shift_right_logical crc 24) land 0xff));
+  Bytes.set tail 1 (Char.chr (Int32.to_int (Int32.shift_right_logical crc 16) land 0xff));
+  Bytes.set tail 2 (Char.chr (Int32.to_int (Int32.shift_right_logical crc 8) land 0xff));
+  Bytes.set tail 3 (Char.chr (Int32.to_int crc land 0xff));
+  body ^ Bytes.to_string tail
+
+let read s =
+  let len = String.length s in
+  if len < 11 then Error "image too short"
+  else if String.sub s 0 4 <> magic then Error "bad magic"
+  else if Char.code s.[4] <> version then Error "unsupported version"
+  else begin
+    let body = String.sub s 0 (len - 4) in
+    let crc = Crc32.of_string body in
+    let stored =
+      Int32.logor
+        (Int32.shift_left (Int32.of_int (Char.code s.[len - 4])) 24)
+        (Int32.of_int
+           ((Char.code s.[len - 3] lsl 16) lor (Char.code s.[len - 2] lsl 8)
+           lor Char.code s.[len - 1]))
+    in
+    if crc <> stored then Error "CRC mismatch"
+    else
+      match isa_of_tag (Char.code s.[5]) with
+      | None -> Error "unknown ISA tag"
+      | Some isa -> (
+        try
+          let lat, pos = Lat.deserialize body ~pos:7 in
+          match Char.code s.[6] with
+          | 0 ->
+            let z, _ = Samc.deserialize body ~pos in
+            Ok { isa; payload = Samc z; lat }
+          | 1 ->
+            let z, _ = Sadc.Mips.deserialize body ~pos in
+            Ok { isa; payload = Sadc_mips z; lat }
+          | 2 ->
+            let z, _ = Sadc.X86.deserialize body ~pos in
+            Ok { isa; payload = Sadc_x86 z; lat }
+          | _ -> Error "unknown algorithm tag"
+        with Invalid_argument e | Failure e -> Error e)
+  end
+
+let decompress t =
+  match t.payload with
+  | Samc z -> Samc.decompress z
+  | Sadc_mips z -> Sadc.Mips.decompress z
+  | Sadc_x86 z -> Sadc.X86.decompress z
+
+let total_bytes t = String.length (write t)
+
+let describe t =
+  let isa = match t.isa with Mips -> "mips" | X86 -> "x86" in
+  match t.payload with
+  | Samc z ->
+    Printf.sprintf "SECF %s samc: %d blocks, %d code bytes, %d model bytes, ratio %.3f" isa
+      (Array.length z.Samc.blocks) (Samc.code_bytes z) (Samc.model_bytes z) (Samc.ratio z)
+  | Sadc_mips z ->
+    Printf.sprintf "SECF %s sadc: %d blocks, %d code bytes, %d dict bytes, ratio %.3f" isa
+      (Sadc.Mips.block_count z) (Sadc.Mips.code_bytes z) (Sadc.Mips.dict_bytes z)
+      (Sadc.Mips.ratio z)
+  | Sadc_x86 z ->
+    Printf.sprintf "SECF %s sadc: %d blocks, %d code bytes, %d dict bytes, ratio %.3f" isa
+      (Sadc.X86.block_count z) (Sadc.X86.code_bytes z) (Sadc.X86.dict_bytes z)
+      (Sadc.X86.ratio z)

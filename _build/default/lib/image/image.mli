@@ -1,0 +1,42 @@
+(** SECF — a small container format for compressed executables.
+
+    A ROM image in the Wolfe–Chanin organisation must ship, besides the
+    compressed text, everything the refill engine needs: the algorithm
+    identity, the decompression tables (Markov model or dictionary +
+    Huffman lengths), and the LAT. SECF packages exactly that, with a
+    CRC-32 over the contents.
+
+    Layout: magic "SECF", version, ISA tag, algorithm tag, a LAT section,
+    an algorithm payload section (the [Samc]/[Sadc] wire forms, which
+    embed their own block payloads), and a trailing CRC. *)
+
+type isa = Mips | X86
+
+type payload =
+  | Samc of Ccomp_core.Samc.compressed
+  | Sadc_mips of Ccomp_core.Sadc.Mips.compressed
+  | Sadc_x86 of Ccomp_core.Sadc.X86.compressed
+
+type t = { isa : isa; payload : payload; lat : Ccomp_memsys.Lat.t }
+
+val of_samc : isa:isa -> Ccomp_core.Samc.compressed -> t
+(** Builds the image, deriving the LAT from the block sizes. *)
+
+val of_sadc_mips : Ccomp_core.Sadc.Mips.compressed -> t
+
+val of_sadc_x86 : Ccomp_core.Sadc.X86.compressed -> t
+
+val write : t -> string
+
+val read : string -> (t, string) result
+(** Checks magic, version and CRC, then decodes the payload. *)
+
+val decompress : t -> string
+(** Reconstruct the original text section. *)
+
+val total_bytes : t -> int
+(** [String.length (write t)] — the full ROM footprint including tables
+    and LAT. *)
+
+val describe : t -> string
+(** One-line human summary (ISA, algorithm, block counts, sizes). *)

@@ -1,0 +1,1 @@
+lib/isa/dense16.ml: Array Buffer Char List Mips Option String

@@ -1,0 +1,1 @@
+lib/isa/dense16.mli: Mips

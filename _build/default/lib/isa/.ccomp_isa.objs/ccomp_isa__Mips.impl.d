@@ -1,0 +1,1 @@
+lib/isa/mips.ml: Array Buffer Char Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/isa/mips_asm.ml: Buffer List Mips Printf Result String

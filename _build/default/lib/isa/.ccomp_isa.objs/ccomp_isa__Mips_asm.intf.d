@@ -1,0 +1,1 @@
+lib/isa/mips_asm.mli: Mips

@@ -1,0 +1,1 @@
+lib/isa/x86.ml: Buffer Bytes Char Int32 List Option Printf String

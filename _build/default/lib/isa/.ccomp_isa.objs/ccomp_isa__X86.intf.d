@@ -1,0 +1,1 @@
+lib/isa/x86.mli:

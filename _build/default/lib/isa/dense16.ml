@@ -1,0 +1,319 @@
+(* 16-bit unit layout: [op:4][a:3][b:3][c:6], most significant first.
+   op 0xF is the escape prefix: the next two units carry the original
+   32-bit instruction word (48 bits total for an escaped instruction).
+
+   Short forms (registers must be in the hot set; offsets scaled by 4):
+     0x0 ALU3   rd = rs op rt       a=rd b=rs c=(rt:3 | funct:3)
+     0x1 ADDI   rt = rs + imm6      a=rt b=rs c=signed imm
+     0x2 LW     rt = mem[rs+off]    a=rt b=rs c=off/4
+     0x3 SW     mem[rs+off] = rt    a=rt b=rs c=off/4
+     0x4 BZ     branch rs vs 0      a=rs b=cond c=signed offset6
+     0x5 SHIFT  rd = rt shift sh    a=rd b=rt c=(kind:2 | shamt:4), shamt < 16
+     0x6 JR     jump rs             a=rs
+     0x7 LI     rt = imm9           a=rt (b,c)=signed imm9
+     0x8 BEQ    a=rs b=rt c=signed offset6
+     0x9 BNE    a=rs b=rt c=signed offset6
+     0xA LWSP   rt = mem[sp+off]    a=rt (b=1: rt is $ra) c=off/4
+     0xB SWSP   mem[sp+off] = rt    a=rt (b=1: rt is $ra) c=off/4
+     0xC SPADJ  sp = sp + imm9*4    (b,c)=signed imm9
+   JR (0x6) with b=1 encodes jr $ra, the return idiom.
+
+   32-bit re-encoded forms (Thumb-2 style), avoiding the 48-bit wrap:
+     0xE J32    [0xE|jal:1|pad:1|tgt<21:16>:6] [tgt<15:0>]   j/jal, 22-bit target
+     0xD tag=0  [0xD|0|spec:6|rs:5] [rt:5|rd:5|shamt:5|0]    any R-format instruction
+     0xD tag=1  [0xD|1|spec:6|rs:5] [rt:5|imm:11]            I-format, imm in [-1024,1024)
+   Anything else escapes behind 0xF000 followed by the raw word. *)
+
+(* The eight registers granted short encodings (allocation hot set). *)
+let dense_regs = [| 4; 2; 3; 8; 9; 16; 10; 5 |]
+
+let dense_index =
+  let t = Array.make 32 (-1) in
+  Array.iteri (fun i r -> t.(r) <- i) dense_regs;
+  t
+
+(* functs 0..5 are three-register ALU ops; 6 encodes mult (no rd) and 7
+   encodes mflo (no sources). *)
+let alu3_functs = [| "addu"; "subu"; "and"; "or"; "xor"; "slt" |]
+
+let alu3_index m =
+  let rec go i = if i = Array.length alu3_functs then -1 else if alu3_functs.(i) = m then i else go (i + 1) in
+  go 0
+
+let bz_conds = [| "blez"; "bgtz"; "bltz"; "bgez" |]
+
+let bz_index m =
+  let rec go i = if i = Array.length bz_conds then -1 else if bz_conds.(i) = m then i else go (i + 1) in
+  go 0
+
+let shift_kinds = [| "sll"; "srl"; "sra" |]
+
+let shift_index m =
+  let rec go i = if i = Array.length shift_kinds then -1 else if shift_kinds.(i) = m then i else go (i + 1) in
+  go 0
+
+let dreg r = if r < 32 && dense_index.(r) >= 0 then Some dense_index.(r) else None
+
+let s6 v = if v >= 0x8000 then v - 0x10000 else v (* sign of 16-bit field *)
+
+let fits_s6 v = v >= -32 && v < 32
+
+let fits_s9 v = v >= -256 && v < 256
+
+(* The 16-bit general form of an instruction, if it has one. *)
+let general_form (i : Mips.t) =
+  let m = i.Mips.spec.Mips.mnemonic in
+  let alu = alu3_index m and bz = bz_index m and sh = shift_index m in
+  if alu >= 0 then
+    match (dreg i.Mips.rd, dreg i.Mips.rs, dreg i.Mips.rt) with
+    | Some a, Some b, Some t -> Some (0x0, a, b, (t lsl 3) lor alu)
+    | _ -> None
+  else if m = "mult" then
+    match (dreg i.Mips.rs, dreg i.Mips.rt) with
+    | Some b, Some t -> Some (0x0, 0, b, (t lsl 3) lor 6)
+    | _ -> None
+  else if m = "mflo" then
+    match dreg i.Mips.rd with Some a -> Some (0x0, a, 0, 7) | None -> None
+  else if m = "addiu" && i.Mips.rs = 0 && fits_s9 (s6 i.Mips.imm) then
+    (* li comes first: addiu rt, $0, imm *)
+    match dreg i.Mips.rt with
+    | Some a ->
+      let v = s6 i.Mips.imm land 0x1ff in
+      Some (0x7, a, (v lsr 6) land 7, v land 0x3f)
+    | None -> None
+  else if m = "addiu" && fits_s6 (s6 i.Mips.imm) then
+    match (dreg i.Mips.rt, dreg i.Mips.rs) with
+    | Some a, Some b -> Some (0x1, a, b, s6 i.Mips.imm land 0x3f)
+    | _ -> None
+  else if (m = "beq" || m = "bne") && fits_s6 (s6 i.Mips.imm) then
+    match (dreg i.Mips.rs, dreg i.Mips.rt) with
+    | Some a, Some b -> Some ((if m = "beq" then 0x8 else 0x9), a, b, s6 i.Mips.imm land 0x3f)
+    | _ -> None
+  else if (m = "lw" || m = "sw") && i.Mips.imm mod 4 = 0 && i.Mips.imm / 4 < 64 then
+    match (dreg i.Mips.rt, dreg i.Mips.rs) with
+    | Some a, Some b -> Some ((if m = "lw" then 0x2 else 0x3), a, b, i.Mips.imm / 4)
+    | _ -> None
+  else if bz >= 0 && fits_s6 (s6 i.Mips.imm) then
+    match dreg i.Mips.rs with
+    | Some a -> Some (0x4, a, bz, s6 i.Mips.imm land 0x3f)
+    | None -> None
+  else if sh >= 0 && i.Mips.shamt < 16 then
+    match (dreg i.Mips.rd, dreg i.Mips.rt) with
+    | Some a, Some b -> Some (0x5, a, b, (sh lsl 4) lor i.Mips.shamt)
+    | _ -> None
+  else if m = "jr" then begin
+    if i.Mips.rs = 31 then Some (0x6, 0, 1, 0)
+    else match dreg i.Mips.rs with Some a -> Some (0x6, a, 0, 0) | None -> None
+  end
+  else None
+
+(* Stack-frame forms, tried before the generic ones. *)
+let sp_form (i : Mips.t) =
+  let m = i.Mips.spec.Mips.mnemonic in
+  if (m = "lw" || m = "sw") && i.Mips.rs = 29 && i.Mips.imm mod 4 = 0 && i.Mips.imm / 4 < 64 then begin
+    let op = if m = "lw" then 0xa else 0xb in
+    if i.Mips.rt = 31 then Some (op, 0, 1, i.Mips.imm / 4)
+    else
+      match dreg i.Mips.rt with Some a -> Some (op, a, 0, i.Mips.imm / 4) | None -> None
+  end
+  else if m = "addiu" && i.Mips.rs = 29 && i.Mips.rt = 29 then begin
+    let v = s6 i.Mips.imm in
+    if v mod 4 = 0 && fits_s9 (v / 4) then
+      let q = v / 4 land 0x1ff in
+      Some (0xc, 0, (q lsr 6) land 7, q land 0x3f)
+    else None
+  end
+  else None
+
+(* A BL-style 32-bit jal form (prefix unit 0xE | target<15:12>, then a
+   16-bit unit with target<15:0> — wait, targets up to 2^22 work: the
+   prefix carries target<21:16>). *)
+type form =
+  | Unit of (int * int * int * int)
+  | J32 of bool * int (* jal?, target *)
+  | R32 of int * int * int * int * int (* spec id, rs, rt, rd, shamt *)
+  | I32 of int * int * int * int (* spec id, rs, rt, signed imm *)
+
+(* Is the instruction an R-format (registers/shamt only) one? *)
+let is_r_format (i : Mips.t) =
+  match i.Mips.spec.Mips.operands with
+  | Mips.Op_none | Mips.Op_rd_rs_rt | Mips.Op_rd_rt_shamt | Mips.Op_rd_rt_rs | Mips.Op_rs_rt
+  | Mips.Op_rd | Mips.Op_rs | Mips.Op_rd_rs ->
+    true
+  | Mips.Op_rt_rs_imm | Mips.Op_rt_imm | Mips.Op_rt_base_offset | Mips.Op_rs_rt_branch
+  | Mips.Op_rs_branch | Mips.Op_target ->
+    false
+
+let is_i_format (i : Mips.t) = Option.is_some (Mips.immediate i)
+
+let short_form (i : Mips.t) =
+  match sp_form i with
+  | Some f -> Some (Unit f)
+  | None -> (
+    match general_form i with
+    | Some f -> Some (Unit f)
+    | None ->
+      let m = i.Mips.spec.Mips.mnemonic in
+      if (m = "jal" || m = "j") && i.Mips.imm < 1 lsl 22 then Some (J32 (m = "jal", i.Mips.imm))
+      else if is_r_format i then
+        Some (R32 (i.Mips.spec.Mips.id, i.Mips.rs, i.Mips.rt, i.Mips.rd, i.Mips.shamt))
+      else if is_i_format i then begin
+        let v = s6 i.Mips.imm in
+        if v >= -1024 && v < 1024 then Some (I32 (i.Mips.spec.Mips.id, i.Mips.rs, i.Mips.rt, v))
+        else None
+      end
+      else None)
+
+let encoded_bytes i =
+  match short_form i with
+  | Some (Unit _) -> 2
+  | Some (J32 _ | R32 _ | I32 _) -> 4
+  | None -> 6
+
+let compressible i = encoded_bytes i = 2
+
+
+let unit_of (op, a, b, c) = (op lsl 12) lor (a lsl 9) lor (b lsl 6) lor c
+
+let encode_program instrs =
+  let buf = Buffer.create (2 * List.length instrs) in
+  let unit16 v =
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr (v land 0xff))
+  in
+  List.iter
+    (fun i ->
+      match short_form i with
+      | Some (Unit form) -> unit16 (unit_of form)
+      | Some (J32 (jal, target)) ->
+        unit16 ((0xe lsl 12) lor ((if jal then 1 else 0) lsl 11) lor (target lsr 16));
+        unit16 (target land 0xffff)
+      | Some (R32 (id, rs, rt, rd, shamt)) ->
+        unit16 ((0xd lsl 12) lor (id lsl 5) lor rs);
+        unit16 ((rt lsl 11) lor (rd lsl 6) lor (shamt lsl 1))
+      | Some (I32 (id, rs, rt, v)) ->
+        unit16 ((0xd lsl 12) lor (1 lsl 11) lor (id lsl 5) lor rs);
+        unit16 ((rt lsl 11) lor (v land 0x7ff))
+      | None ->
+        let w = Mips.encode i in
+        unit16 (0xf lsl 12);
+        unit16 ((w lsr 16) land 0xffff);
+        unit16 (w land 0xffff))
+    instrs;
+  Buffer.contents buf
+
+let spec = Mips.spec_of_mnemonic
+
+let sign6 c = if c >= 32 then c - 64 else c
+
+let expand (op, a, b, c) =
+  let reg i = dense_regs.(i) in
+  match op with
+  | 0x0 ->
+    let funct = c land 7 and t = c lsr 3 in
+    if funct < Array.length alu3_functs then
+      Some (Mips.make (spec alu3_functs.(funct)) ~rs:(reg b) ~rt:(reg t) ~rd:(reg a) ())
+    else if funct = 6 && a = 0 then Some (Mips.make (spec "mult") ~rs:(reg b) ~rt:(reg t) ())
+    else if funct = 7 && b = 0 && c lsr 3 = 0 then Some (Mips.make (spec "mflo") ~rd:(reg a) ())
+    else None
+  | 0x1 -> Some (Mips.make (spec "addiu") ~rs:(reg b) ~rt:(reg a) ~imm:(sign6 c land 0xffff) ())
+  | 0x2 -> Some (Mips.make (spec "lw") ~rs:(reg b) ~rt:(reg a) ~imm:(4 * c) ())
+  | 0x3 -> Some (Mips.make (spec "sw") ~rs:(reg b) ~rt:(reg a) ~imm:(4 * c) ())
+  | 0x4 when b < Array.length bz_conds ->
+    Some (Mips.make (spec bz_conds.(b)) ~rs:(reg a) ~imm:(sign6 c land 0xffff) ())
+  | 0x5 ->
+    let kind = c lsr 4 and shamt = c land 0xf in
+    if kind < Array.length shift_kinds then
+      Some (Mips.make (spec shift_kinds.(kind)) ~rt:(reg b) ~rd:(reg a) ~shamt ())
+    else None
+  | 0x6 when c = 0 && b <= 1 ->
+    Some (Mips.make (spec "jr") ~rs:(if b = 1 then 31 else reg a) ())
+  | 0x7 ->
+    let v = (b lsl 6) lor c in
+    let v = if v >= 256 then v - 512 else v in
+    Some (Mips.make (spec "addiu") ~rs:0 ~rt:(reg a) ~imm:(v land 0xffff) ())
+  | 0x8 -> Some (Mips.make (spec "beq") ~rs:(reg a) ~rt:(reg b) ~imm:(sign6 c land 0xffff) ())
+  | 0x9 -> Some (Mips.make (spec "bne") ~rs:(reg a) ~rt:(reg b) ~imm:(sign6 c land 0xffff) ())
+  | 0xa | 0xb when b <= 1 ->
+    let rt = if b = 1 then 31 else reg a in
+    Some (Mips.make (spec (if op = 0xa then "lw" else "sw")) ~rs:29 ~rt ~imm:(4 * c) ())
+  | 0xc when a = 0 ->
+    let q = (b lsl 6) lor c in
+    let q = if q >= 256 then q - 512 else q in
+    Some (Mips.make (spec "addiu") ~rs:29 ~rt:29 ~imm:(4 * q land 0xffff) ())
+  | _ -> None
+
+let decode_program data =
+  let n = String.length data in
+  if n mod 2 <> 0 then None
+  else begin
+    let unit_at k = (Char.code data.[2 * k] lsl 8) lor Char.code data.[(2 * k) + 1] in
+    let units = n / 2 in
+    let rec go acc k =
+      if k = units then Some (List.rev acc)
+      else
+        let u = unit_at k in
+        if u lsr 12 = 0xf then
+          if u <> 0xf lsl 12 then None (* escape units carry no payload *)
+          else if k + 2 >= units then None (* truncated escape *)
+          else
+            let w = (unit_at (k + 1) lsl 16) lor unit_at (k + 2) in
+            (match Mips.decode w with
+            | Some i -> go (i :: acc) (k + 3)
+            | None -> None)
+        else if u lsr 12 = 0xe then
+          if k + 1 >= units then None
+          else
+            let target = ((u land 0x3f) lsl 16) lor unit_at (k + 1) in
+            let m = if (u lsr 11) land 1 = 1 then "jal" else "j" in
+            go (Mips.make (spec m) ~imm:target () :: acc) (k + 2)
+        else if u lsr 12 = 0xd then begin
+          if k + 1 >= units then None
+          else
+            let id = (u lsr 5) land 0x3f and rs = u land 0x1f in
+            let u2 = unit_at (k + 1) in
+            if id >= Mips.opcode_count then None
+            else
+              let sp_ = Mips.specs.(id) in
+              let rebuild =
+                if (u lsr 11) land 1 = 0 then begin
+                  if u2 land 1 <> 0 then None
+                  else
+                    let rt = (u2 lsr 11) land 0x1f and rd = (u2 lsr 6) land 0x1f in
+                    let shamt = (u2 lsr 1) land 0x1f in
+                    try Some (Mips.make sp_ ~rs ~rt ~rd ~shamt ()) with Invalid_argument _ -> None
+                end
+                else begin
+                  let rt = (u2 lsr 11) land 0x1f in
+                  let v = u2 land 0x7ff in
+                  let v = if v >= 1024 then v - 2048 else v in
+                  try Some (Mips.make sp_ ~rs ~rt ~imm:(v land 0xffff) ())
+                  with Invalid_argument _ -> None
+                end
+              in
+              match rebuild with Some i -> go (i :: acc) (k + 2) | None -> None
+        end
+        else
+          let form = (u lsr 12, (u lsr 9) land 7, (u lsr 6) land 7, u land 0x3f) in
+          match expand form with Some i -> go (i :: acc) (k + 1) | None -> None
+    in
+    go [] 0
+  end
+
+let ratio instrs =
+  let n = List.length instrs in
+  if n = 0 then 1.0
+  else float_of_int (String.length (encode_program instrs)) /. float_of_int (4 * n)
+
+type stats = { instructions : int; half_forms : int; word_forms : int; escaped : int }
+
+let stats instrs =
+  let half = ref 0 and word = ref 0 and esc = ref 0 in
+  List.iter
+    (fun i ->
+      match encoded_bytes i with
+      | 2 -> incr half
+      | 4 -> incr word
+      | _ -> incr esc)
+    instrs;
+  { instructions = List.length instrs; half_forms = !half; word_forms = !word; escaped = !esc }

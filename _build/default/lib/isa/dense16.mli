@@ -1,0 +1,35 @@
+(** A Thumb-style dense re-encoding of the MIPS subset.
+
+    §2 of the paper contrasts two roads to smaller code: redesign the
+    ISA with a denser encoding, or keep the ISA and compress the memory
+    image. This module implements the first road for comparison: common
+    two-address instructions with small operands get 16-bit forms
+    (registers restricted to a hot set of 8, immediates to a few bits),
+    most other instructions get re-encoded 32-bit forms (Thumb-2 style),
+    and the rare remainder escapes to the original word behind a 16-bit
+    prefix. The re-encoding is static and lossless; it needs a new
+    decoder in the pipeline but no decompression engine, no LAT and no
+    tables — the trade the paper describes.
+
+    Typical density on compiled code is 0.7–0.8 of the original size,
+    which the benchmark harness compares against SAMC/SADC. *)
+
+val compressible : Mips.t -> bool
+(** Does the instruction have a 16-bit form? *)
+
+val encoded_bytes : Mips.t -> int
+(** Dense size of one instruction: 2 (16-bit form), 4 (re-encoded 32-bit
+    form) or 6 (escaped raw word). *)
+
+val encode_program : Mips.t list -> string
+(** Dense image (a multiple of 2 bytes). *)
+
+val decode_program : string -> Mips.t list option
+(** Lossless inverse of {!encode_program}; [None] on malformed input. *)
+
+val ratio : Mips.t list -> float
+(** Dense size / original size. *)
+
+type stats = { instructions : int; half_forms : int; word_forms : int; escaped : int }
+
+val stats : Mips.t list -> stats

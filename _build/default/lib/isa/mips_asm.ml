@@ -1,0 +1,117 @@
+let ( let* ) = Result.bind
+
+(* Operand grammar: reg = "$" digits; imm = [-]digits | 0x hex;
+   mem = imm "(" reg ")". *)
+type operand = Reg of int | Imm of int | Mem of int * int (* offset, base *)
+
+let parse_int s =
+  match int_of_string_opt (String.trim s) with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bad integer %S" s)
+
+let rec parse_operand s =
+  let s = String.trim s in
+  if s = "" then Error "empty operand"
+  else if s.[0] = '$' then
+    let* v = parse_int (String.sub s 1 (String.length s - 1)) in
+    if v >= 0 && v < 32 then Ok (Reg v) else Error (Printf.sprintf "register %s out of range" s)
+  else if String.contains s '(' then begin
+    match String.index_opt s ')' with
+    | Some close when close = String.length s - 1 ->
+      let open_ = String.index s '(' in
+      let* off = parse_int (String.sub s 0 open_) in
+      let* base = parse_operand (String.sub s (open_ + 1) (close - open_ - 1)) in
+      (match base with
+      | Reg r -> Ok (Mem (off, r))
+      | Imm _ | Mem _ -> Error (Printf.sprintf "bad base register in %S" s))
+    | _ -> Error (Printf.sprintf "malformed memory operand %S" s)
+  end
+  else
+    let* v = parse_int s in
+    Ok (Imm v)
+
+let split_operands s =
+  if String.trim s = "" then []
+  else List.map String.trim (String.split_on_char ',' s)
+
+let u16 v = v land 0xffff
+
+let build spec operands =
+  let fail () =
+    Error
+      (Printf.sprintf "wrong operands for %s (%d given)" spec.Mips.mnemonic
+         (List.length operands))
+  in
+  let ok i = Ok i in
+  try
+    match (spec.Mips.operands, operands) with
+    | Mips.Op_none, [] -> ok (Mips.make spec ())
+    | Mips.Op_rd_rs_rt, [ Reg rd; Reg rs; Reg rt ] -> ok (Mips.make spec ~rs ~rt ~rd ())
+    | Mips.Op_rd_rt_shamt, [ Reg rd; Reg rt; Imm sh ] -> ok (Mips.make spec ~rt ~rd ~shamt:sh ())
+    | Mips.Op_rd_rt_rs, [ Reg rd; Reg rt; Reg rs ] -> ok (Mips.make spec ~rs ~rt ~rd ())
+    | Mips.Op_rs_rt, [ Reg rs; Reg rt ] -> ok (Mips.make spec ~rs ~rt ())
+    | Mips.Op_rd, [ Reg rd ] -> ok (Mips.make spec ~rd ())
+    | Mips.Op_rs, [ Reg rs ] -> ok (Mips.make spec ~rs ())
+    | Mips.Op_rd_rs, [ Reg rd; Reg rs ] -> ok (Mips.make spec ~rs ~rd ())
+    | Mips.Op_rt_rs_imm, [ Reg rt; Reg rs; Imm v ] -> ok (Mips.make spec ~rs ~rt ~imm:(u16 v) ())
+    | Mips.Op_rt_imm, [ Reg rt; Imm v ] -> ok (Mips.make spec ~rt ~imm:(u16 v) ())
+    | Mips.Op_rt_base_offset, [ Reg rt; Mem (off, rs) ] ->
+      ok (Mips.make spec ~rs ~rt ~imm:(u16 off) ())
+    | Mips.Op_rs_rt_branch, [ Reg rs; Reg rt; Imm v ] -> ok (Mips.make spec ~rs ~rt ~imm:(u16 v) ())
+    | Mips.Op_rs_branch, [ Reg rs; Imm v ] -> ok (Mips.make spec ~rs ~imm:(u16 v) ())
+    | Mips.Op_target, [ Imm v ] -> ok (Mips.make spec ~imm:(v land 0x3ffffff) ())
+    | ( ( Mips.Op_none | Mips.Op_rd_rs_rt | Mips.Op_rd_rt_shamt | Mips.Op_rd_rt_rs | Mips.Op_rs_rt
+        | Mips.Op_rd | Mips.Op_rs | Mips.Op_rd_rs | Mips.Op_rt_rs_imm | Mips.Op_rt_imm
+        | Mips.Op_rt_base_offset | Mips.Op_rs_rt_branch | Mips.Op_rs_branch | Mips.Op_target ),
+        _ ) ->
+      fail ()
+  with Invalid_argument e -> Error e
+
+let parse_instruction line =
+  let line = String.trim line in
+  match String.index_opt line ' ' with
+  | None -> (
+    match Mips.spec_of_mnemonic line with
+    | spec -> build spec []
+    | exception Not_found -> Error (Printf.sprintf "unknown mnemonic %S" line))
+  | Some sp -> (
+    let mnemonic = String.sub line 0 sp in
+    let rest = String.sub line sp (String.length line - sp) in
+    match Mips.spec_of_mnemonic mnemonic with
+    | exception Not_found -> Error (Printf.sprintf "unknown mnemonic %S" mnemonic)
+    | spec ->
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | s :: rest ->
+          let* op = parse_operand s in
+          collect (op :: acc) rest
+      in
+      let* operands = collect [] (split_operands rest) in
+      build spec operands)
+
+let strip_comment line =
+  match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line
+
+let parse_program text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      let line = String.trim (strip_comment line) in
+      if line = "" then go acc (lineno + 1) rest
+      else
+        match parse_instruction line with
+        | Ok i -> go (i :: acc) (lineno + 1) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go [] 1 lines
+
+let print_program ?(addresses = true) instrs =
+  let b = Buffer.create (32 * List.length instrs) in
+  List.iteri
+    (fun k i ->
+      if addresses then Buffer.add_string b (Printf.sprintf "%08x:  %08x  " (4 * k) (Mips.encode i));
+      Buffer.add_string b (Mips.to_string i);
+      Buffer.add_char b '\n')
+    instrs;
+  Buffer.contents b

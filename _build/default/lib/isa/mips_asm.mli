@@ -1,0 +1,16 @@
+(** Textual MIPS assembly, matching the {!Mips.to_string} syntax.
+
+    A small assembler/disassembler pair so compressed images can be built
+    from and inspected as text: registers are written [$n], immediates in
+    decimal (or hex with [0x]), loads and stores as [off($base)]. Lines
+    may carry [#] comments; blank lines are skipped. *)
+
+val parse_instruction : string -> (Mips.t, string) result
+(** Parse one instruction, e.g. ["addiu $29, $29, -32"]. *)
+
+val parse_program : string -> (Mips.t list, string) result
+(** Parse a whole listing; errors carry the offending line number. *)
+
+val print_program : ?addresses:bool -> Mips.t list -> string
+(** Disassemble, one instruction per line; [addresses] (default true)
+    prefixes each line with its byte address and encoded word. *)

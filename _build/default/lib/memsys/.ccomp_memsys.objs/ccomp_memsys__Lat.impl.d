@@ -1,0 +1,1 @@
+lib/memsys/lat.ml: Array Buffer Char String

@@ -1,0 +1,1 @@
+lib/memsys/system.ml: Array Cache Clb Lat Option

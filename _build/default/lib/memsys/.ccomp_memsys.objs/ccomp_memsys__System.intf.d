@@ -1,0 +1,1 @@
+lib/memsys/system.mli: Cache Lat

@@ -1,0 +1,54 @@
+type config = { size_bytes : int; block_size : int; associativity : int }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let validate c =
+  if not (is_pow2 c.block_size) then Error "block_size must be a power of two"
+  else if c.associativity <= 0 then Error "associativity must be positive"
+  else if c.size_bytes mod (c.block_size * c.associativity) <> 0 then
+    Error "size must be a multiple of block_size * associativity"
+  else if c.size_bytes / (c.block_size * c.associativity) = 0 then Error "cache has no sets"
+  else Ok ()
+
+type t = {
+  config : config;
+  sets : Lru.t array;
+  mutable accesses : int;
+  mutable hits : int;
+}
+
+let create config =
+  (match validate config with Ok () -> () | Error e -> invalid_arg ("Cache.create: " ^ e));
+  let nsets = config.size_bytes / (config.block_size * config.associativity) in
+  {
+    config;
+    sets = Array.init nsets (fun _ -> Lru.create ~capacity:config.associativity);
+    accesses = 0;
+    hits = 0;
+  }
+
+let block_of_address t addr = addr / t.config.block_size
+
+let access t addr =
+  let block = block_of_address t addr in
+  let set = block mod Array.length t.sets in
+  t.accesses <- t.accesses + 1;
+  let hit = Lru.access t.sets.(set) block in
+  if hit then t.hits <- t.hits + 1;
+  hit
+
+let accesses t = t.accesses
+
+let hits t = t.hits
+
+let misses t = t.accesses - t.hits
+
+let hit_ratio t = if t.accesses = 0 then 1.0 else float_of_int t.hits /. float_of_int t.accesses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.hits <- 0
+
+let clear t =
+  Array.iter Lru.clear t.sets;
+  reset_stats t

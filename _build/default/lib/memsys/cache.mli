@@ -1,0 +1,36 @@
+(** Set-associative instruction cache with LRU replacement — the
+    decompression buffer of the Wolfe–Chanin organisation (Fig. 1): the
+    cache always holds {e uncompressed} code, so the CPU pipeline is
+    untouched and decompression happens only on refill. *)
+
+type config = {
+  size_bytes : int;
+  block_size : int;  (** line size; the decompression unit *)
+  associativity : int;
+}
+
+val validate : config -> (unit, string) result
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument if the configuration is not well-formed. *)
+
+val block_of_address : t -> int -> int
+(** Memory block index holding an address. *)
+
+val access : t -> int -> bool
+(** [access t address] — [true] on hit; on miss the containing block is
+    filled (LRU victim evicted). *)
+
+val accesses : t -> int
+
+val hits : t -> int
+
+val misses : t -> int
+
+val hit_ratio : t -> float
+
+val reset_stats : t -> unit
+
+val clear : t -> unit

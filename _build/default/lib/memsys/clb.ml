@@ -1,0 +1,24 @@
+(* A CLB entry covers one LAT group (8 consecutive blocks), like a TLB
+   entry covering a page of lines. *)
+let blocks_per_entry = 8
+
+type t = { lru : Lru.t; mutable accesses : int; mutable hits : int }
+
+let create ~entries = { lru = Lru.create ~capacity:entries; accesses = 0; hits = 0 }
+
+let access t block =
+  t.accesses <- t.accesses + 1;
+  let hit = Lru.access t.lru (block / blocks_per_entry) in
+  if hit then t.hits <- t.hits + 1;
+  hit
+
+let accesses t = t.accesses
+
+let hits t = t.hits
+
+let misses t = t.accesses - t.hits
+
+let clear t =
+  Lru.clear t.lru;
+  t.accesses <- 0;
+  t.hits <- 0

@@ -1,0 +1,21 @@
+(** CLB — Cache Line Address Lookaside Buffer (§2).
+
+    A small fully-associative cache over LAT entries, "essentially
+    identical to a TLB": it hides the extra memory access that looking up
+    a compressed line's address would otherwise add to every refill. *)
+
+type t
+
+val create : entries:int -> t
+
+val access : t -> int -> bool
+(** [access t block] — [true] when the block's LAT entry is resident;
+    on miss the entry (i.e. its 8-block LAT group) is brought in. *)
+
+val accesses : t -> int
+
+val hits : t -> int
+
+val misses : t -> int
+
+val clear : t -> unit

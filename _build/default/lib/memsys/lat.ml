@@ -1,0 +1,102 @@
+type t = { lengths : int array; offsets : int array (* prefix sums, entries + 1 *) }
+
+let group = 8
+
+let build lengths =
+  let n = Array.length lengths in
+  let offsets = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    if lengths.(i) < 0 then invalid_arg "Lat.build: negative length";
+    offsets.(i + 1) <- offsets.(i) + lengths.(i)
+  done;
+  { lengths = Array.copy lengths; offsets }
+
+let of_blocks blocks = build (Array.map String.length blocks)
+
+let entries t = Array.length t.lengths
+
+let offset t i = t.offsets.(i)
+
+let length t i = t.lengths.(i)
+
+let total_compressed t = t.offsets.(Array.length t.lengths)
+
+let max_length t = Array.fold_left max 0 t.lengths
+
+let length_bytes t = if max_length t < 256 then 1 else 2
+
+let storage_bytes t =
+  let n = entries t in
+  let groups = (n + group - 1) / group in
+  (4 * groups) + (length_bytes t * n)
+
+let quantize ~quantum t =
+  if quantum <= 0 then invalid_arg "Lat.quantize: quantum must be positive";
+  build (Array.map (fun l -> (l + quantum - 1) / quantum * quantum) t.lengths)
+
+let storage_bits ~quantum t =
+  if quantum <= 0 then invalid_arg "Lat.storage_bits: quantum must be positive";
+  let bits_for n =
+    let rec go b = if n < 1 lsl b then b else go (b + 1) in
+    go 1
+  in
+  Array.iter
+    (fun l -> if l mod quantum <> 0 then invalid_arg "Lat.storage_bits: lengths not quantized")
+    t.lengths;
+  let n = entries t in
+  let groups = (n + group - 1) / group in
+  let len_bits = bits_for (max_length t / quantum) in
+  (32 * groups) + (len_bits * n)
+
+let serialize t =
+  let n = entries t in
+  let lb = length_bytes t in
+  let b = Buffer.create (8 + storage_bytes t) in
+  let u32 v =
+    Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
+    Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+    Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char b (Char.chr (v land 0xff))
+  in
+  u32 n;
+  Buffer.add_char b (Char.chr lb);
+  for i = 0 to n - 1 do
+    if i mod group = 0 then u32 t.offsets.(i);
+    if lb = 2 then Buffer.add_char b (Char.chr ((t.lengths.(i) lsr 8) land 0xff));
+    Buffer.add_char b (Char.chr (t.lengths.(i) land 0xff))
+  done;
+  Buffer.contents b
+
+let deserialize s ~pos =
+  let need n = if pos < 0 || n > String.length s then invalid_arg "Lat.deserialize: truncated" in
+  let u32 p =
+    need (p + 4);
+    (Char.code s.[p] lsl 24) lor (Char.code s.[p + 1] lsl 16) lor (Char.code s.[p + 2] lsl 8)
+    lor Char.code s.[p + 3]
+  in
+  let n = u32 pos in
+  need (pos + 5);
+  let lb = Char.code s.[pos + 4] in
+  if lb <> 1 && lb <> 2 then invalid_arg "Lat.deserialize: bad length width";
+  let p = ref (pos + 5) in
+  let lengths = Array.make n 0 in
+  let bases = Array.make ((n + group - 1) / group) 0 in
+  for i = 0 to n - 1 do
+    if i mod group = 0 then begin
+      bases.(i / group) <- u32 !p;
+      p := !p + 4
+    end;
+    need (!p + lb);
+    let v =
+      if lb = 2 then (Char.code s.[!p] lsl 8) lor Char.code s.[!p + 1] else Char.code s.[!p]
+    in
+    lengths.(i) <- v;
+    p := !p + lb
+  done;
+  let t = build lengths in
+  (* Consistency: stored group bases must equal the recomputed offsets. *)
+  Array.iteri
+    (fun gi base ->
+      if t.offsets.(gi * group) <> base then invalid_arg "Lat.deserialize: inconsistent bases")
+    bases;
+  (t, !p)

@@ -1,0 +1,42 @@
+(** LAT — Line Address Table (§2, Fig. 1).
+
+    Compressed cache lines have varying sizes, so the refill engine needs a
+    map from program block addresses to compressed block locations. The
+    table is stored compactly as one base pointer per group of 8 blocks
+    plus a length byte per block (lengths are bounded by the block size
+    plus the coder's worst-case expansion). *)
+
+type t
+
+val build : int array -> t
+(** [build lengths] lays the compressed blocks end to end, in order. *)
+
+val of_blocks : string array -> t
+(** Table for an array of compressed block payloads. *)
+
+val entries : t -> int
+
+val offset : t -> int -> int
+(** Byte offset of a block in the compressed region. *)
+
+val length : t -> int -> int
+
+val total_compressed : t -> int
+
+val storage_bytes : t -> int
+(** Size of the compact on-chip/off-chip table (4-byte group bases + one
+    length byte per block when lengths fit a byte, two otherwise). *)
+
+val quantize : quantum:int -> t -> t
+(** [quantize ~quantum t] pads every block length up to a multiple of
+    [quantum] — Wolfe & Chanin's trade: wasted padding bytes in exchange
+    for shorter length fields in the table. *)
+
+val storage_bits : quantum:int -> t -> int
+(** Exact table size in bits when lengths are stored as multiples of
+    [quantum] (4-byte group bases plus ceil(log2(max/quantum + 1))-bit
+    length fields). The lengths must already be multiples of [quantum]. *)
+
+val serialize : t -> string
+
+val deserialize : string -> pos:int -> t * int

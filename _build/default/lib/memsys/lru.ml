@@ -1,0 +1,45 @@
+type t = {
+  capacity : int;
+  tags : int array; (* -1 = empty *)
+  stamps : int array;
+  mutable clock : int;
+}
+
+let create ~capacity =
+  assert (capacity > 0);
+  { capacity; tags = Array.make capacity (-1); stamps = Array.make capacity 0; clock = 0 }
+
+let find t tag =
+  let rec go i = if i = t.capacity then -1 else if t.tags.(i) = tag then i else go (i + 1) in
+  go 0
+
+let mem t tag = find t tag >= 0
+
+let access t tag =
+  t.clock <- t.clock + 1;
+  let i = find t tag in
+  if i >= 0 then begin
+    t.stamps.(i) <- t.clock;
+    true
+  end
+  else begin
+    (* evict: first empty slot, else oldest stamp *)
+    let victim = ref 0 in
+    (try
+       for j = 0 to t.capacity - 1 do
+         if t.tags.(j) = -1 then begin
+           victim := j;
+           raise Exit
+         end;
+         if t.stamps.(j) < t.stamps.(!victim) then victim := j
+       done
+     with Exit -> ());
+    t.tags.(!victim) <- tag;
+    t.stamps.(!victim) <- t.clock;
+    false
+  end
+
+let clear t =
+  Array.fill t.tags 0 t.capacity (-1);
+  Array.fill t.stamps 0 t.capacity 0;
+  t.clock <- 0

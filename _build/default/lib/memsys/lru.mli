@@ -1,0 +1,16 @@
+(** Fixed-capacity LRU tag store, the building block of the instruction
+    cache sets and of the CLB. *)
+
+type t
+
+val create : capacity:int -> t
+
+val mem : t -> int -> bool
+(** [mem t tag] — present, without touching recency. *)
+
+val access : t -> int -> bool
+(** [access t tag] returns [true] on hit. On miss the tag is inserted,
+    evicting the least recently used entry when full; on hit the tag
+    becomes most recently used. *)
+
+val clear : t -> unit

@@ -1,0 +1,94 @@
+type decompressor = { name : string; startup_cycles : int; cycles_per_byte : float }
+
+let samc_decompressor = { name = "samc"; startup_cycles = 8; cycles_per_byte = 2.0 }
+
+let sadc_decompressor = { name = "sadc"; startup_cycles = 4; cycles_per_byte = 0.5 }
+
+let huffman_decompressor = { name = "huffman"; startup_cycles = 2; cycles_per_byte = 1.0 }
+
+type config = {
+  cache : Cache.config;
+  clb_entries : int;
+  memory_latency : int;
+  bytes_per_cycle : float;
+  decompressor : decompressor option;
+}
+
+let default_config ?(cache_bytes = 8192) ?decompressor () =
+  {
+    cache = { Cache.size_bytes = cache_bytes; block_size = 32; associativity = 2 };
+    clb_entries = 16;
+    memory_latency = 20;
+    bytes_per_cycle = 4.0;
+    decompressor;
+  }
+
+type result = {
+  fetches : int;
+  hits : int;
+  misses : int;
+  clb_misses : int;
+  total_cycles : int;
+  cpi : float;
+  hit_ratio : float;
+  avg_miss_penalty : float;
+}
+
+let run config ?lat ~trace () =
+  let cache = Cache.create config.cache in
+  let clb = if config.clb_entries > 0 then Some (Clb.create ~entries:config.clb_entries) else None in
+  (match (config.decompressor, lat) with
+  | Some _, None -> invalid_arg "System.run: compressed system needs a LAT"
+  | Some _, Some _ | None, _ -> ());
+  let cycles = ref 0 in
+  let penalty_cycles = ref 0 in
+  let clb_misses = ref 0 in
+  let transfer bytes = int_of_float (ceil (float_of_int bytes /. config.bytes_per_cycle)) in
+  Array.iter
+    (fun addr ->
+      if Cache.access cache addr then incr cycles
+      else begin
+        let block = addr / config.cache.Cache.block_size in
+        let penalty =
+          match config.decompressor with
+          | None ->
+            (* ordinary refill: latency + line transfer *)
+            config.memory_latency + transfer config.cache.Cache.block_size
+          | Some d ->
+            let lat = Option.get lat in
+            if block >= Lat.entries lat then
+              invalid_arg "System.run: trace address beyond the LAT";
+            let compressed = Lat.length lat block in
+            (* LAT lookup: hidden by the CLB when it hits, otherwise one
+               extra memory round-trip to read the table group. *)
+            let lat_cost =
+              match clb with
+              | Some c -> if Clb.access c block then 0 else begin incr clb_misses; config.memory_latency end
+              | None -> begin incr clb_misses; config.memory_latency end
+            in
+            let decompress =
+              d.startup_cycles
+              + int_of_float
+                  (ceil (float_of_int config.cache.Cache.block_size *. d.cycles_per_byte))
+            in
+            lat_cost + config.memory_latency + transfer compressed + decompress
+        in
+        penalty_cycles := !penalty_cycles + penalty;
+        cycles := !cycles + 1 + penalty
+      end)
+    trace;
+  let fetches = Cache.accesses cache in
+  let misses = Cache.misses cache in
+  {
+    fetches;
+    hits = Cache.hits cache;
+    misses;
+    clb_misses = !clb_misses;
+    total_cycles = !cycles;
+    cpi = (if fetches = 0 then 0.0 else float_of_int !cycles /. float_of_int fetches);
+    hit_ratio = Cache.hit_ratio cache;
+    avg_miss_penalty =
+      (if misses = 0 then 0.0 else float_of_int !penalty_cycles /. float_of_int misses);
+  }
+
+let slowdown ~compressed ~uncompressed = compressed.cpi /. uncompressed.cpi

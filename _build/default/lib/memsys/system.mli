@@ -1,0 +1,56 @@
+(** Cycle-approximate model of the compressed-code memory system (Fig. 1):
+    CPU → I-cache → (CLB + LAT) → refill engine with decompressor → main
+    memory. Drives an instruction-fetch address trace through the cache
+    and charges miss penalties that depend on the compressed line size and
+    the decompressor's speed. Experiment E4 uses this to reproduce the
+    §1 claim that the performance loss tracks the I-cache hit ratio. *)
+
+type decompressor = {
+  name : string;
+  startup_cycles : int;  (** per-line pipeline fill before bytes emerge *)
+  cycles_per_byte : float;  (** per {e decompressed} output byte *)
+}
+
+val samc_decompressor : decompressor
+(** The §3 engine decoding 4 bits per cycle (Fig. 5): 2 cycles per output
+    byte. *)
+
+val sadc_decompressor : decompressor
+(** The §4 dictionary engine emitting one instruction per table access
+    plus Huffman front-end: ~0.5 cycles per output byte. *)
+
+val huffman_decompressor : decompressor
+(** A byte-serial Huffman decoder: 1 cycle per output byte. *)
+
+type config = {
+  cache : Cache.config;
+  clb_entries : int;  (** 0 disables the CLB (every refill pays a LAT access) *)
+  memory_latency : int;  (** cycles to the first word of main memory *)
+  bytes_per_cycle : float;  (** main-memory transfer bandwidth *)
+  decompressor : decompressor option;  (** [None] = uncompressed system *)
+}
+
+val default_config : ?cache_bytes:int -> ?decompressor:decompressor -> unit -> config
+(** 8 KiB 2-way cache with 32-byte lines, 16-entry CLB, 20-cycle memory
+    latency, 4 bytes/cycle. *)
+
+type result = {
+  fetches : int;
+  hits : int;
+  misses : int;
+  clb_misses : int;
+  total_cycles : int;
+  cpi : float;  (** cycles per fetched instruction-slot (1.0 = ideal) *)
+  hit_ratio : float;
+  avg_miss_penalty : float;
+}
+
+val run : config -> ?lat:Lat.t -> trace:int array -> unit -> result
+(** [run config ~lat ~trace ()] simulates the fetch trace. [lat] gives the
+    compressed size of each block and must be supplied when
+    [config.decompressor] is set; uncompressed runs ignore it.
+    @raise Invalid_argument when a compressed run lacks a LAT or the trace
+    references blocks beyond it. *)
+
+val slowdown : compressed:result -> uncompressed:result -> float
+(** CPI ratio of the compressed system over the uncompressed one. *)

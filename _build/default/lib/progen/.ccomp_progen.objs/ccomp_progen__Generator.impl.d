@@ -1,0 +1,1 @@
+lib/progen/generator.ml: Array Ccomp_util Ir List Profile

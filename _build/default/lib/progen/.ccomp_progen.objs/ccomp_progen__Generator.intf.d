@@ -1,0 +1,1 @@
+lib/progen/generator.mli: Ir Profile

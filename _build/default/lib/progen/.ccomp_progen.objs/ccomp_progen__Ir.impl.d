@@ -1,0 +1,1 @@
+lib/progen/ir.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/progen/layout.ml: String

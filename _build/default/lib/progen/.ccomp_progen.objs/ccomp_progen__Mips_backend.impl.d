@@ -1,0 +1,1 @@
+lib/progen/mips_backend.ml: Array Ccomp_isa Ir Layout List

@@ -1,0 +1,1 @@
+lib/progen/mips_backend.mli: Ccomp_isa Ir Layout

@@ -1,0 +1,1 @@
+lib/progen/trace.ml: Array Ccomp_util Ir Layout List

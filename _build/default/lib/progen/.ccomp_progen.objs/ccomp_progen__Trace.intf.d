@@ -1,0 +1,1 @@
+lib/progen/trace.mli: Ir Layout

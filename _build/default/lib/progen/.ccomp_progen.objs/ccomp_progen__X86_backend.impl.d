@@ -1,0 +1,1 @@
+lib/progen/x86_backend.ml: Array Ccomp_isa Int32 Ir Layout List

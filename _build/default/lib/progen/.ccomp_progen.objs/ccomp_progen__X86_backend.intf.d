@@ -1,0 +1,1 @@
+lib/progen/x86_backend.mli: Ccomp_isa Ir Layout

@@ -1,0 +1,244 @@
+module Prng = Ccomp_util.Prng
+
+(* Mutable context for generating one function. *)
+type ctx = {
+  g : Prng.t;
+  profile : Profile.t;
+  nfuncs : int;
+  pool : int;
+  mutable emitted : Ir.op list list; (* idiom instances already used here *)
+}
+
+(* Registers are drawn geometrically so a few "hot" registers dominate,
+   like allocator output. *)
+let pick_reg ctx = min (Prng.geometric ctx.g 0.22) (ctx.pool - 1)
+
+let small_imm ctx = Prng.int ctx.g 32 - 16
+
+let imm16 ctx =
+  if Prng.float ctx.g < ctx.profile.imm_small_bias then small_imm ctx
+  else if Prng.bool ctx.g then Prng.int ctx.g 256
+  else Prng.int ctx.g 16384 - 2048
+
+let constant ctx =
+  if Prng.float ctx.g < ctx.profile.large_const_rate then
+    (* address-like constant: high half set, low half word-aligned *)
+    (0x1000 + Prng.int ctx.g 0x400) * 65536 + (Prng.int ctx.g 4096 * 4)
+  else imm16 ctx
+
+(* Structure/stack offsets: mostly small word-aligned slots, a tail of
+   large struct fields and the occasional byte-aligned access. *)
+let mem_offset ctx =
+  let r = Prng.float ctx.g in
+  if r < 0.6 then 4 * Prng.int ctx.g 24
+  else if r < 0.9 then 4 * Prng.int ctx.g 256
+  else Prng.int ctx.g 128
+
+let mem_width ctx =
+  if Prng.float ctx.g < 0.8 then Ir.W32 else if Prng.bool ctx.g then Ir.W16 else Ir.W8
+
+let pick_binop ctx =
+  Prng.weighted ctx.g
+    [| (8, Ir.Add); (3, Ir.Sub); (2, Ir.And); (3, Ir.Or); (2, Ir.Xor); (1, Ir.Slt) |]
+
+let pick_shift ctx = Prng.weighted ctx.g [| (5, Ir.Lsl); (3, Ir.Lsr); (2, Ir.Asr) |]
+
+(* Idiom library: each entry yields a short op sequence of the kind
+   compilers emit. *)
+let idiom_load_modify_store ctx =
+  let t = pick_reg ctx and base = pick_reg ctx in
+  let off = mem_offset ctx in
+  let w = mem_width ctx in
+  [ Ir.Load (w, false, t, base, off); Ir.Binopi (Add, t, t, small_imm ctx); Ir.Store (w, t, base, off) ]
+
+let idiom_array_access ctx =
+  let i = pick_reg ctx and base = pick_reg ctx and dst = pick_reg ctx in
+  [ Ir.Load_indexed (W32, dst, base, i, 2) ]
+
+let idiom_accumulate ctx =
+  let acc = pick_reg ctx and t = pick_reg ctx in
+  [ Ir.Binop (Add, acc, acc, t) ]
+
+let idiom_constant ctx =
+  let t = pick_reg ctx in
+  [ Ir.Loadi (t, constant ctx) ]
+
+let idiom_alu ctx =
+  let d = pick_reg ctx and a = pick_reg ctx and b = pick_reg ctx in
+  if Prng.float ctx.g < 0.5 then [ Ir.Binop (pick_binop ctx, d, a, b) ]
+  else [ Ir.Binopi (pick_binop ctx, d, a, imm16 ctx) ]
+
+let idiom_bitfield ctx =
+  let d = pick_reg ctx and a = pick_reg ctx in
+  let k = 1 + Prng.int ctx.g 15 in
+  [ Ir.Binopi (And, d, a, (1 lsl k) - 1); Ir.Shift (pick_shift ctx, d, d, Prng.int ctx.g 16) ]
+
+let idiom_muladd ctx =
+  let t = pick_reg ctx and a = pick_reg ctx and b = pick_reg ctx and acc = pick_reg ctx in
+  [ Ir.Binop (Mul, t, a, b); Ir.Binop (Add, acc, acc, t) ]
+
+let idiom_call ctx =
+  let a0 = 0 in
+  let callee = Prng.int ctx.g ctx.nfuncs in
+  [ Ir.Loadi (a0, imm16 ctx); Ir.Call callee ]
+
+let idiom_spill ctx =
+  let a = pick_reg ctx and b = pick_reg ctx and base = pick_reg ctx in
+  let off = mem_offset ctx in
+  [ Ir.Store (W32, a, base, off); Ir.Store (W32, b, base, off + 4) ]
+
+let idiom_compare ctx =
+  let d = pick_reg ctx and a = pick_reg ctx in
+  [ Ir.Binopi (Slt, d, a, imm16 ctx) ]
+
+let fresh_idiom ctx =
+  let p = ctx.profile in
+  let pick =
+    Prng.weighted ctx.g
+      [|
+        (p.mem_weight, `Lms);
+        (p.mem_weight, `Array);
+        (p.mem_weight, `Spill);
+        (p.alu_weight, `Alu);
+        (p.alu_weight, `Acc);
+        (2, `Const);
+        (2, `Bitfield);
+        (p.mul_weight, `Muladd);
+        (p.call_weight, `Call);
+        (2, `Compare);
+      |]
+  in
+  match pick with
+  | `Lms -> idiom_load_modify_store ctx
+  | `Array -> idiom_array_access ctx
+  | `Spill -> idiom_spill ctx
+  | `Alu -> idiom_alu ctx
+  | `Acc -> idiom_accumulate ctx
+  | `Const -> idiom_constant ctx
+  | `Bitfield -> idiom_bitfield ctx
+  | `Muladd -> idiom_muladd ctx
+  | `Call -> idiom_call ctx
+  | `Compare -> idiom_compare ctx
+
+(* Light mutation used both for idiom reuse and for function cloning:
+   most ops are kept verbatim; immediates drift, registers swap. *)
+let mutate_op ctx op =
+  match op with
+  | Ir.Loadi (d, _) -> Ir.Loadi (d, constant ctx)
+  | Ir.Binopi (k, d, a, _) -> Ir.Binopi (k, d, a, imm16 ctx)
+  | Ir.Binop (k, _, a, b) -> Ir.Binop (k, pick_reg ctx, a, b)
+  | Ir.Shift (k, d, a, _) -> Ir.Shift (k, d, a, Prng.int ctx.g 32)
+  | Ir.Load (w, s, _, b, off) -> Ir.Load (w, s, pick_reg ctx, b, off)
+  | Ir.Load_indexed (w, _, b, i, sh) -> Ir.Load_indexed (w, pick_reg ctx, b, i, sh)
+  | Ir.Store (w, s, b, _) -> Ir.Store (w, s, b, mem_offset ctx)
+  | Ir.Call _ -> Ir.Call (Prng.int ctx.g ctx.nfuncs)
+
+let next_idiom ctx =
+  let n = List.length ctx.emitted in
+  if n > 0 && Prng.float ctx.g < ctx.profile.regularity then begin
+    let inst = List.nth ctx.emitted (Prng.int ctx.g n) in
+    (* Re-emit a previous instance, occasionally perturbing one op. *)
+    if Prng.float ctx.g < 0.3 then
+      List.map (fun op -> if Prng.float ctx.g < 0.3 then mutate_op ctx op else op) inst
+    else inst
+  end
+  else begin
+    let inst = fresh_idiom ctx in
+    ctx.emitted <- inst :: ctx.emitted;
+    inst
+  end
+
+(* Build one function of roughly [size] IR ops. *)
+let gen_function g profile nfuncs size =
+  let ctx = { g; profile; nfuncs; pool = profile.reg_pool; emitted = [] } in
+  let target_blocks = max 2 (size / 6) in
+  let blocks = ref [] in
+  let nblocks = ref 0 in
+  let budget = ref size in
+  while !nblocks < target_blocks - 1 do
+    let body = ref [] in
+    let body_len = 2 + Prng.int g 7 in
+    for _ = 1 to body_len do
+      if !budget > 0 then begin
+        let ops = next_idiom ctx in
+        body := !body @ ops;
+        budget := !budget - List.length ops
+      end
+    done;
+    let bi = !nblocks in
+    let term =
+      let r = Prng.float g in
+      if bi > 0 && r < profile.loop_fraction then
+        (* loop latch: branch back a short distance, usually taken *)
+        let back = 1 + Prng.int g (min bi 4) in
+        let cond = Prng.choose g [| Ir.Ne; Ir.Gtz; Ir.Ltz |] in
+        Ir.Cond (cond, pick_reg ctx, pick_reg ctx, bi - back, 0.80 +. (0.15 *. Prng.float g))
+      else if r < profile.loop_fraction +. 0.25 then
+        (* forward conditional (if/else join); target at most a few blocks
+           ahead, capped to the last block *)
+        let fwd = 2 + Prng.int g 3 in
+        let target = min (bi + fwd) (target_blocks - 1) in
+        let cond = Prng.choose g [| Ir.Eq; Ir.Ne; Ir.Lez; Ir.Gez |] in
+        Ir.Cond (cond, pick_reg ctx, pick_reg ctx, target, 0.25 +. (0.35 *. Prng.float g))
+      else if r < profile.loop_fraction +. 0.30 then
+        Ir.Goto (min (bi + 1 + Prng.int g 2) (target_blocks - 1))
+      else Ir.Fallthrough
+    in
+    blocks := { Ir.body = !body; term } :: !blocks;
+    incr nblocks
+  done;
+  (* Final block: small body, return. *)
+  blocks := { Ir.body = next_idiom ctx; term = Ir.Ret } :: !blocks;
+  {
+    Ir.blocks = Array.of_list (List.rev !blocks);
+    locals = profile.reg_pool;
+    frame_slots = 2 + Prng.int g 14;
+    saves = Prng.int g 5;
+  }
+
+(* Clone an earlier function, perturbing ops at the profile's mutation
+   rate; this is the source of whole-function repeats in the image. *)
+let clone_function g profile nfuncs (src : Ir.func) =
+  let ctx = { g; profile; nfuncs; pool = profile.reg_pool; emitted = [] } in
+  let mutate_block (b : Ir.block) =
+    {
+      b with
+      Ir.body =
+        List.map (fun op -> if Prng.float g < profile.mutation_rate then mutate_op ctx op else op) b.Ir.body;
+    }
+  in
+  { src with Ir.blocks = Array.map mutate_block src.Ir.blocks }
+
+let generate ?(scale = 1.0) ~seed (profile : Profile.t) =
+  assert (scale > 0.0);
+  let g = Prng.create seed in
+  let budget = max 20 (int_of_float (float_of_int profile.target_ops *. scale)) in
+  let nfuncs =
+    max 1 (int_of_float (float_of_int profile.functions *. sqrt scale))
+  in
+  let avg = max 8 (budget / nfuncs) in
+  let funcs = Array.make nfuncs None in
+  for fi = 0 to nfuncs - 1 do
+    let prev =
+      if fi = 0 then None
+      else if Prng.float g < profile.clone_rate then
+        match funcs.(Prng.int g fi) with Some f -> Some f | None -> None
+      else None
+    in
+    let f =
+      match prev with
+      | Some src -> clone_function g profile nfuncs src
+      | None ->
+        let size = max 8 (avg / 2 + Prng.int g avg) in
+        gen_function g profile nfuncs size
+    in
+    funcs.(fi) <- Some f
+  done;
+  let funcs =
+    Array.map (function Some f -> f | None -> assert false) funcs
+  in
+  let program = { Ir.funcs; entry = 0 } in
+  (match Ir.validate program with
+  | Ok () -> ()
+  | Error e -> failwith ("Generator.generate: invalid program: " ^ e));
+  program

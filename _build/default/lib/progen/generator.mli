@@ -1,0 +1,20 @@
+(** Synthetic program generation.
+
+    Builds an {!Ir.program} from a {!Profile.t} and a seed. Generation is
+    idiom-based: functions are sequences of basic blocks whose bodies are
+    drawn from a library of compiler-typical instruction idioms
+    (load-modify-store, array indexing, accumulation, call sequences, …).
+    Three profile-controlled mechanisms create the redundancy that real
+    compiled code exhibits and that the paper's algorithms exploit:
+
+    - {e regularity}: within a function, idiom instances are re-emitted
+      (opcode n-gram repetition — SADC's dictionary channel);
+    - {e cloning}: whole functions are mutated copies of earlier ones
+      (long repeated byte runs — the gzip/LZ channel);
+    - {e register locality}: a small register pool biased toward a few hot
+      registers (field-level bias — SAMC's Markov channel). *)
+
+val generate : ?scale:float -> seed:int64 -> Profile.t -> Ir.program
+(** [generate ~seed profile] builds a program of roughly
+    [profile.target_ops *. scale] IR operations (default [scale] 1.0).
+    The result always passes {!Ir.validate}. *)

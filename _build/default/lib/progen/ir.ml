@@ -1,0 +1,86 @@
+type vreg = int
+type width = W8 | W16 | W32
+type binop = Add | Sub | And | Or | Xor | Mul | Slt
+type shift_kind = Lsl | Lsr | Asr
+type cond = Eq | Ne | Lez | Gtz | Ltz | Gez
+
+type op =
+  | Loadi of vreg * int
+  | Binop of binop * vreg * vreg * vreg
+  | Binopi of binop * vreg * vreg * int
+  | Shift of shift_kind * vreg * vreg * int
+  | Load of width * bool * vreg * vreg * int
+  | Load_indexed of width * vreg * vreg * vreg * int
+  | Store of width * vreg * vreg * int
+  | Call of int
+
+type terminator = Fallthrough | Goto of int | Cond of cond * vreg * vreg * int * float | Ret
+
+type block = { body : op list; term : terminator }
+
+type func = { blocks : block array; locals : int; frame_slots : int; saves : int }
+
+type program = { funcs : func array; entry : int }
+
+let op_count p =
+  Array.fold_left
+    (fun acc f -> Array.fold_left (fun acc b -> acc + List.length b.body + 1) acc f.blocks)
+    0 p.funcs
+
+let validate p =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let nfuncs = Array.length p.funcs in
+  if nfuncs = 0 then err "empty program"
+  else if p.entry < 0 || p.entry >= nfuncs then err "entry out of range"
+  else
+    let check_func fi f =
+      let nblocks = Array.length f.blocks in
+      if nblocks = 0 then err "function %d has no blocks" fi
+      else
+        let check_vreg v = v >= 0 && v < f.locals in
+        let check_op = function
+          | Loadi (d, _) -> check_vreg d
+          | Binop (_, d, a, b) -> check_vreg d && check_vreg a && check_vreg b
+          | Binopi (_, d, a, _) -> check_vreg d && check_vreg a
+          | Shift (_, d, a, s) -> check_vreg d && check_vreg a && s >= 0 && s < 32
+          | Load (_, _, d, b, _) -> check_vreg d && check_vreg b
+          | Load_indexed (_, d, b, i, sh) ->
+            check_vreg d && check_vreg b && check_vreg i && sh >= 0 && sh <= 3
+          | Store (_, s, b, _) -> check_vreg s && check_vreg b
+          | Call c -> c >= 0 && c < nfuncs
+        in
+        let check_block bi b =
+          if not (List.for_all check_op b.body) then
+            err "function %d block %d: bad operand" fi bi
+          else
+            match b.term with
+            | Fallthrough ->
+              if bi + 1 >= nblocks then err "function %d block %d: falls off the end" fi bi
+              else Ok ()
+            | Goto t ->
+              if t < 0 || t >= nblocks then err "function %d block %d: goto out of range" fi bi
+              else Ok ()
+            | Cond (_, a, c, t, prob) ->
+              if not (check_vreg a && check_vreg c) then
+                err "function %d block %d: bad branch operand" fi bi
+              else if t < 0 || t >= nblocks then
+                err "function %d block %d: branch target out of range" fi bi
+              else if bi + 1 >= nblocks then
+                err "function %d block %d: conditional branch falls off the end" fi bi
+              else if prob < 0.0 || prob > 1.0 then
+                err "function %d block %d: bad branch probability" fi bi
+              else Ok ()
+            | Ret -> Ok ()
+        in
+        let rec blocks bi =
+          if bi = nblocks then Ok ()
+          else
+            match check_block bi f.blocks.(bi) with Ok () -> blocks (bi + 1) | Error e -> Error e
+        in
+        blocks 0
+    in
+    let rec funcs fi =
+      if fi = nfuncs then Ok ()
+      else match check_func fi p.funcs.(fi) with Ok () -> funcs (fi + 1) | Error e -> Error e
+    in
+    funcs 0

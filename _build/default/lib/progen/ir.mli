@@ -1,0 +1,58 @@
+(** Compiler-style intermediate representation for synthetic programs.
+
+    The workload generator builds programs at this level; the MIPS and x86
+    backends lower the same IR, so the two evaluation suites (Figs. 7/8)
+    see the same abstract workloads, exactly as the paper compiles one
+    SPEC95 source per architecture. *)
+
+type vreg = int
+(** Virtual register index (function-local). *)
+
+type width = W8 | W16 | W32
+(** Memory access width. *)
+
+type binop = Add | Sub | And | Or | Xor | Mul | Slt
+
+type shift_kind = Lsl | Lsr | Asr
+
+type cond = Eq | Ne | Lez | Gtz | Ltz | Gez
+(** Branch conditions; [Eq]/[Ne] compare two registers, the others compare
+    one register against zero (the MIPS branch repertoire). *)
+
+type op =
+  | Loadi of vreg * int  (** materialise a constant *)
+  | Binop of binop * vreg * vreg * vreg  (** dst, src1, src2 *)
+  | Binopi of binop * vreg * vreg * int  (** dst, src, constant *)
+  | Shift of shift_kind * vreg * vreg * int  (** dst, src, amount *)
+  | Load of width * bool * vreg * vreg * int  (** signed?, dst, base, offset *)
+  | Load_indexed of width * vreg * vreg * vreg * int
+      (** dst, base, index, scale shift: dst <- mem\[base + (index << shift)\];
+          one instruction on a CISC, a shift/add/load sequence on MIPS *)
+  | Store of width * vreg * vreg * int  (** src, base, offset *)
+  | Call of int  (** callee function index *)
+
+type terminator =
+  | Fallthrough  (** to the next block in layout order *)
+  | Goto of int  (** unconditional jump to a block of this function *)
+  | Cond of cond * vreg * vreg * int * float
+      (** condition, regs (second ignored for zero-compares), target block,
+          probability the branch is taken (used only by trace generation) *)
+  | Ret
+
+type block = { body : op list; term : terminator }
+
+type func = {
+  blocks : block array;
+  locals : int;  (** number of virtual registers used *)
+  frame_slots : int;  (** stack slots, sizes the prologue adjustment *)
+  saves : int;  (** callee-saved registers touched *)
+}
+
+type program = { funcs : func array; entry : int }
+
+val op_count : program -> int
+(** Total number of IR operations (not lowered instructions). *)
+
+val validate : program -> (unit, string) result
+(** Checks structural invariants: branch targets in range, callee indices
+    in range, vreg indices within [locals], entry in range. *)

@@ -1,0 +1,11 @@
+type seg = Fetch of int array | Call of int
+
+type block_exec = seg list
+
+type t = {
+  code : string;
+  func_entry_addr : int array;
+  blocks : block_exec array array;
+}
+
+let code_size t = String.length t.code

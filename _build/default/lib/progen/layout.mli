@@ -1,0 +1,19 @@
+(** Code layout produced by a backend: the byte image plus the execution
+    structure needed to drive the memory-system simulator with realistic
+    instruction-fetch address traces. *)
+
+type seg =
+  | Fetch of int array
+      (** addresses of consecutively fetched instructions *)
+  | Call of int  (** transfer to a function (by index), then resume *)
+
+type block_exec = seg list
+(** What executing one basic block fetches, in order. *)
+
+type t = {
+  code : string;  (** raw instruction bytes, starting at address 0 *)
+  func_entry_addr : int array;  (** entry address of each function *)
+  blocks : block_exec array array;  (** [blocks.(f).(b)] per IR block *)
+}
+
+val code_size : t -> int

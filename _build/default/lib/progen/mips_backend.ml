@@ -1,0 +1,214 @@
+module M = Ccomp_isa.Mips
+
+(* Physical register order by allocation priority: return value, argument
+   and temporary registers first, then callee-saved. *)
+let reg_order = [| 4; 2; 3; 8; 9; 16; 10; 5; 17; 11; 12; 18; 6; 13; 19; 7; 14; 20; 15; 21; 22; 23 |]
+
+let sp = 29
+let ra = 31
+let at = 1
+
+let spec = M.spec_of_mnemonic
+
+let s_addiu = spec "addiu"
+let s_lui = spec "lui"
+let s_ori = spec "ori"
+let s_andi = spec "andi"
+let s_xori = spec "xori"
+let s_slti = spec "slti"
+let s_addu = spec "addu"
+let s_subu = spec "subu"
+let s_and = spec "and"
+let s_or = spec "or"
+let s_xor = spec "xor"
+let s_slt = spec "slt"
+let s_mult = spec "mult"
+let s_mflo = spec "mflo"
+let s_sll = spec "sll"
+let s_srl = spec "srl"
+let s_sra = spec "sra"
+let s_jr = spec "jr"
+let s_j = spec "j"
+let s_jal = spec "jal"
+let s_beq = spec "beq"
+let s_bne = spec "bne"
+let s_blez = spec "blez"
+let s_bgtz = spec "bgtz"
+let s_bltz = spec "bltz"
+let s_bgez = spec "bgez"
+let s_lw = spec "lw"
+let s_sw = spec "sw"
+
+(* Instructions whose target fields are resolved once block addresses are
+   known; block targets carry the owning function index. *)
+type pending =
+  | Ins of M.t
+  | Branch_to of M.spec * int * int * int * int (* spec, rs, rt, func, target block *)
+  | Jump_to of int * int (* func, target block (always via j) *)
+  | Call_to of int (* jal, target function *)
+
+let u16 v = v land 0xffff
+
+let load_spec w signed =
+  match (w, signed) with
+  | Ir.W8, true -> spec "lb"
+  | Ir.W8, false -> spec "lbu"
+  | Ir.W16, true -> spec "lh"
+  | Ir.W16, false -> spec "lhu"
+  | Ir.W32, _ -> s_lw
+
+let store_spec = function Ir.W8 -> spec "sb" | Ir.W16 -> spec "sh" | Ir.W32 -> s_sw
+
+let li d c =
+  if c >= -32768 && c < 32768 then [ Ins (M.make s_addiu ~rs:0 ~rt:d ~imm:(u16 c) ()) ]
+  else
+    let hi = u16 (c asr 16) and lo = u16 c in
+    if lo = 0 then [ Ins (M.make s_lui ~rt:d ~imm:hi ()) ]
+    else [ Ins (M.make s_lui ~rt:d ~imm:hi ()); Ins (M.make s_ori ~rs:d ~rt:d ~imm:lo ()) ]
+
+let binop_spec = function
+  | Ir.Add -> s_addu
+  | Ir.Sub -> s_subu
+  | Ir.And -> s_and
+  | Ir.Or -> s_or
+  | Ir.Xor -> s_xor
+  | Ir.Slt -> s_slt
+  | Ir.Mul -> assert false
+
+let shift_spec = function Ir.Lsl -> s_sll | Ir.Lsr -> s_srl | Ir.Asr -> s_sra
+
+let phys v = reg_order.(v)
+
+let lower_op op =
+  match op with
+  | Ir.Loadi (d, c) -> li (phys d) c
+  | Ir.Binop (Mul, d, a, b) ->
+    [ Ins (M.make s_mult ~rs:(phys a) ~rt:(phys b) ()); Ins (M.make s_mflo ~rd:(phys d) ()) ]
+  | Ir.Binop (k, d, a, b) ->
+    [ Ins (M.make (binop_spec k) ~rs:(phys a) ~rt:(phys b) ~rd:(phys d) ()) ]
+  | Ir.Binopi (Add, d, a, c) -> [ Ins (M.make s_addiu ~rs:(phys a) ~rt:(phys d) ~imm:(u16 c) ()) ]
+  | Ir.Binopi (Sub, d, a, c) ->
+    [ Ins (M.make s_addiu ~rs:(phys a) ~rt:(phys d) ~imm:(u16 (-c)) ()) ]
+  | Ir.Binopi (And, d, a, c) -> [ Ins (M.make s_andi ~rs:(phys a) ~rt:(phys d) ~imm:(u16 c) ()) ]
+  | Ir.Binopi (Or, d, a, c) -> [ Ins (M.make s_ori ~rs:(phys a) ~rt:(phys d) ~imm:(u16 c) ()) ]
+  | Ir.Binopi (Xor, d, a, c) -> [ Ins (M.make s_xori ~rs:(phys a) ~rt:(phys d) ~imm:(u16 c) ()) ]
+  | Ir.Binopi (Slt, d, a, c) -> [ Ins (M.make s_slti ~rs:(phys a) ~rt:(phys d) ~imm:(u16 c) ()) ]
+  | Ir.Binopi (Mul, d, a, c) ->
+    li at c
+    @ [ Ins (M.make s_mult ~rs:(phys a) ~rt:at ()); Ins (M.make s_mflo ~rd:(phys d) ()) ]
+  | Ir.Shift (k, d, a, s) ->
+    [ Ins (M.make (shift_spec k) ~rt:(phys a) ~rd:(phys d) ~shamt:(s land 31) ()) ]
+  | Ir.Load (w, signed, d, b, off) ->
+    [ Ins (M.make (load_spec w signed) ~rs:(phys b) ~rt:(phys d) ~imm:(u16 off) ()) ]
+  | Ir.Load_indexed (w, d, b, i, sh) ->
+    (* no scaled addressing on MIPS: shift into $at, add the base, load *)
+    [
+      Ins (M.make s_sll ~rt:(phys i) ~rd:at ~shamt:sh ());
+      Ins (M.make s_addu ~rs:at ~rt:(phys b) ~rd:at ());
+      Ins (M.make (load_spec w false) ~rs:at ~rt:(phys d) ());
+    ]
+  | Ir.Store (w, s, b, off) ->
+    [ Ins (M.make (store_spec w) ~rs:(phys b) ~rt:(phys s) ~imm:(u16 off) ()) ]
+  | Ir.Call f -> [ Call_to f ]
+
+let lower_term fi (term : Ir.terminator) ~frame ~saves =
+  match term with
+  | Ir.Fallthrough -> []
+  | Ir.Goto t -> [ Jump_to (fi, t) ]
+  | Ir.Cond (c, a, b, t, _) -> (
+    match c with
+    | Ir.Eq -> [ Branch_to (s_beq, phys a, phys b, fi, t) ]
+    | Ir.Ne -> [ Branch_to (s_bne, phys a, phys b, fi, t) ]
+    | Ir.Lez -> [ Branch_to (s_blez, phys a, 0, fi, t) ]
+    | Ir.Gtz -> [ Branch_to (s_bgtz, phys a, 0, fi, t) ]
+    | Ir.Ltz -> [ Branch_to (s_bltz, phys a, 0, fi, t) ]
+    | Ir.Gez -> [ Branch_to (s_bgez, phys a, 0, fi, t) ])
+  | Ir.Ret ->
+    let restores =
+      List.init saves (fun i ->
+          Ins (M.make s_lw ~rs:sp ~rt:(16 + i) ~imm:(u16 (frame - 8 - (4 * i))) ()))
+    in
+    restores
+    @ [
+        Ins (M.make s_lw ~rs:sp ~rt:ra ~imm:(u16 (frame - 4)) ());
+        Ins (M.make s_addiu ~rs:sp ~rt:sp ~imm:(u16 frame) ());
+        Ins (M.make s_jr ~rs:ra ());
+      ]
+
+let prologue ~frame ~saves =
+  let stores =
+    List.init saves (fun i ->
+        Ins (M.make s_sw ~rs:sp ~rt:(16 + i) ~imm:(u16 (frame - 8 - (4 * i))) ()))
+  in
+  Ins (M.make s_addiu ~rs:sp ~rt:sp ~imm:(u16 (-frame)) ())
+  :: Ins (M.make s_sw ~rs:sp ~rt:ra ~imm:(u16 (frame - 4)) ())
+  :: stores
+
+type raw_seg = Run of int * int | Call_seg of int
+
+let lower (p : Ir.program) =
+  let nfuncs = Array.length p.funcs in
+  let pendings = ref [] (* reversed *) in
+  let count = ref 0 in
+  let emit ps =
+    List.iter
+      (fun x ->
+        pendings := x :: !pendings;
+        incr count)
+      ps
+  in
+  let block_start = Array.map (fun f -> Array.make (Array.length f.Ir.blocks) 0) p.funcs in
+  let raw_segs = Array.map (fun f -> Array.make (Array.length f.Ir.blocks) []) p.funcs in
+  for fi = 0 to nfuncs - 1 do
+    let f = p.funcs.(fi) in
+    let frame = (f.frame_slots + f.saves + 2) * 4 in
+    Array.iteri
+      (fun bi (b : Ir.block) ->
+        block_start.(fi).(bi) <- !count;
+        let segs = ref [] in
+        let run_start = ref !count in
+        let close_run () =
+          if !count > !run_start then segs := Run (!run_start, !count - !run_start) :: !segs;
+          run_start := !count
+        in
+        if bi = 0 then emit (prologue ~frame ~saves:f.saves);
+        List.iter
+          (fun op ->
+            match op with
+            | Ir.Call callee ->
+              emit (lower_op op);
+              close_run ();
+              segs := Call_seg callee :: !segs
+            | Ir.Loadi _ | Ir.Binop _ | Ir.Binopi _ | Ir.Shift _ | Ir.Load _ | Ir.Load_indexed _
+            | Ir.Store _ ->
+              emit (lower_op op))
+          b.body;
+        emit (lower_term fi b.term ~frame ~saves:f.saves);
+        close_run ();
+        raw_segs.(fi).(bi) <- List.rev !segs)
+      f.blocks
+  done;
+  let addr_of_block fi bi = 4 * block_start.(fi).(bi) in
+  let resolve idx pd =
+    match pd with
+    | Ins i -> i
+    | Branch_to (sp_, rs, rt, fi, bi) ->
+      (* PC-relative word offset from the delay-slot position. *)
+      let offset = (addr_of_block fi bi - ((4 * idx) + 4)) asr 2 in
+      M.make sp_ ~rs ~rt ~imm:(u16 offset) ()
+    | Jump_to (fi, bi) -> M.make s_j ~imm:(addr_of_block fi bi asr 2 land 0x3ffffff) ()
+    | Call_to fj -> M.make s_jal ~imm:(addr_of_block fj 0 asr 2 land 0x3ffffff) ()
+  in
+  let instrs = List.rev !pendings |> Array.of_list |> Array.mapi resolve in
+  let instr_list = Array.to_list instrs in
+  let code = M.encode_program instr_list in
+  (* The jal target above points at block 0 of the callee, but a call
+     lands on the prologue which precedes block 0's body; block_start is
+     recorded before the prologue is emitted, so the address is right. *)
+  let to_layout_seg = function
+    | Run (start, len) -> Layout.Fetch (Array.init len (fun i -> 4 * (start + i)))
+    | Call_seg fj -> Layout.Call fj
+  in
+  let blocks = Array.map (Array.map (List.map to_layout_seg)) raw_segs in
+  let func_entry_addr = Array.init nfuncs (fun fi -> addr_of_block fi 0) in
+  (instr_list, { Layout.code; func_entry_addr; blocks })

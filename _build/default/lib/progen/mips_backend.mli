@@ -1,0 +1,13 @@
+(** Lowering of the synthetic IR to the MIPS subset.
+
+    Produces the instruction sequence a simple compiler would emit:
+    prologue/epilogue idioms around each function body, two-instruction
+    [lui]/[ori] pairs for 32-bit constants, [mult]/[mflo] pairs for
+    multiplies, and PC-relative branch / absolute jump targets resolved in
+    a second pass. *)
+
+val lower : Ir.program -> Ccomp_isa.Mips.t list * Layout.t
+(** [lower p] returns the program's instructions in layout order together
+    with the layout/trace structure. The encoded image is
+    [Ccomp_isa.Mips.encode_program] of the instruction list and equals
+    [(fst (lower p) |> encode_program) = (snd (lower p)).code]. *)

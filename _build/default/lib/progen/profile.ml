@@ -1,0 +1,122 @@
+type t = {
+  name : string;
+  target_ops : int;
+  functions : int;
+  reg_pool : int;
+  loop_fraction : float;
+  clone_rate : float;
+  mutation_rate : float;
+  regularity : float;
+  imm_small_bias : float;
+  large_const_rate : float;
+  mem_weight : int;
+  alu_weight : int;
+  mul_weight : int;
+  call_weight : int;
+}
+
+(* Two families:
+   - floating-point kernels (applu, apsi, fpppp, hydro2d, mgrid, su2cor,
+     swim, tomcatv, turb3d, wave5): regular unrolled loop nests, few
+     functions, heavy memory traffic, much cloned code;
+   - integer codes (compress, gcc, go, ijpeg, m88ksim, perl, vortex,
+     xlisp): many small irregular functions, more control flow and calls.
+   Sizes are SPEC95 text sizes scaled to keep the whole suite tractable;
+   relative ordering (gcc/vortex large, compress/tomcatv small) is kept. *)
+
+let fp ~name ~ops ~funcs ~regular ~clone =
+  {
+    name;
+    target_ops = ops;
+    functions = funcs;
+    reg_pool = 14;
+    loop_fraction = 0.55;
+    clone_rate = clone;
+    mutation_rate = 0.08;
+    regularity = regular;
+    imm_small_bias = 0.55;
+    large_const_rate = 0.15;
+    mem_weight = 5;
+    alu_weight = 6;
+    mul_weight = 3;
+    call_weight = 1;
+  }
+
+let int_ ~name ~ops ~funcs ~regular ~clone ~pool =
+  {
+    name;
+    target_ops = ops;
+    functions = funcs;
+    reg_pool = pool;
+    loop_fraction = 0.30;
+    clone_rate = clone;
+    mutation_rate = 0.20;
+    regularity = regular;
+    imm_small_bias = 0.70;
+    large_const_rate = 0.30;
+    mem_weight = 4;
+    alu_weight = 5;
+    mul_weight = 1;
+    call_weight = 3;
+  }
+
+let spec95 =
+  [|
+    fp ~name:"applu" ~ops:11000 ~funcs:16 ~regular:0.55 ~clone:0.45;
+    fp ~name:"apsi" ~ops:14000 ~funcs:40 ~regular:0.50 ~clone:0.40;
+    int_ ~name:"compress" ~ops:2600 ~funcs:16 ~regular:0.35 ~clone:0.15 ~pool:16;
+    fp ~name:"fpppp" ~ops:17000 ~funcs:12 ~regular:0.60 ~clone:0.50;
+    int_ ~name:"gcc" ~ops:52000 ~funcs:420 ~regular:0.30 ~clone:0.25 ~pool:18;
+    int_ ~name:"go" ~ops:24000 ~funcs:130 ~regular:0.32 ~clone:0.20 ~pool:18;
+    fp ~name:"hydro2d" ~ops:10500 ~funcs:32 ~regular:0.52 ~clone:0.42;
+    int_ ~name:"ijpeg" ~ops:12500 ~funcs:90 ~regular:0.42 ~clone:0.30 ~pool:16;
+    int_ ~name:"m88ksim" ~ops:9500 ~funcs:80 ~regular:0.38 ~clone:0.28 ~pool:16;
+    fp ~name:"mgrid" ~ops:5200 ~funcs:10 ~regular:0.60 ~clone:0.50;
+    int_ ~name:"perl" ~ops:19000 ~funcs:140 ~regular:0.33 ~clone:0.26 ~pool:18;
+    fp ~name:"su2cor" ~ops:9500 ~funcs:26 ~regular:0.52 ~clone:0.42;
+    fp ~name:"swim" ~ops:3800 ~funcs:8 ~regular:0.65 ~clone:0.55;
+    fp ~name:"tomcatv" ~ops:3200 ~funcs:6 ~regular:0.65 ~clone:0.55;
+    fp ~name:"turb3d" ~ops:10500 ~funcs:24 ~regular:0.52 ~clone:0.42;
+    int_ ~name:"vortex" ~ops:30000 ~funcs:300 ~regular:0.40 ~clone:0.35 ~pool:16;
+    fp ~name:"wave5" ~ops:13000 ~funcs:30 ~regular:0.50 ~clone:0.40;
+    int_ ~name:"xlisp" ~ops:7200 ~funcs:110 ~regular:0.40 ~clone:0.32 ~pool:14;
+  |]
+
+(* Embedded firmware: small images, tight loops, handler tables, very
+   little whole-function duplication (no template bloat, one author). *)
+let emb ~name ~ops ~funcs ~loopy ~regular ~calls =
+  {
+    name;
+    target_ops = ops;
+    functions = funcs;
+    reg_pool = 10;
+    loop_fraction = loopy;
+    clone_rate = 0.06;
+    mutation_rate = 0.25;
+    regularity = regular;
+    imm_small_bias = 0.75;
+    large_const_rate = 0.20; (* memory-mapped register addresses *)
+    mem_weight = 5;
+    alu_weight = 5;
+    mul_weight = 1;
+    call_weight = calls;
+  }
+
+let embedded =
+  [|
+    emb ~name:"rtos" ~ops:3600 ~funcs:60 ~loopy:0.22 ~regular:0.30 ~calls:4;
+    emb ~name:"dsp-filter" ~ops:1800 ~funcs:10 ~loopy:0.60 ~regular:0.55 ~calls:1;
+    emb ~name:"protocol" ~ops:4200 ~funcs:50 ~loopy:0.28 ~regular:0.35 ~calls:3;
+    emb ~name:"motor-ctl" ~ops:1400 ~funcs:16 ~loopy:0.40 ~regular:0.40 ~calls:2;
+    emb ~name:"cipher" ~ops:2200 ~funcs:8 ~loopy:0.50 ~regular:0.60 ~calls:1;
+    emb ~name:"bootloader" ~ops:900 ~funcs:12 ~loopy:0.30 ~regular:0.35 ~calls:2;
+  |]
+
+let all () = Array.append spec95 embedded
+
+let find name =
+  match Array.find_opt (fun p -> p.name = name) (all ()) with
+  | Some p -> p
+  | None -> raise Not_found
+
+let names () = Array.to_list (Array.map (fun p -> p.name) (all ()))

@@ -1,0 +1,46 @@
+(** Workload profiles shaped after the SPEC95 suite used in §5.
+
+    Real SPEC95 binaries are not redistributable and the paper's compiled
+    images are unavailable; each profile instead parameterises the synthetic
+    generator so that the statistical channels the compression algorithms
+    exploit — opcode mix, register locality, immediate distributions, loop
+    regularity and cross-function code cloning — resemble the corresponding
+    program class (floating-point kernels are small, regular and highly
+    repetitive; the integer codes are larger and more irregular). See
+    DESIGN.md §2 for the substitution argument. *)
+
+type t = {
+  name : string;
+  target_ops : int;  (** approximate IR operation count at scale 1.0 *)
+  functions : int;  (** number of functions at scale 1.0 *)
+  reg_pool : int;  (** distinct virtual registers per function (pressure) *)
+  loop_fraction : float;  (** fraction of blocks that end loops *)
+  clone_rate : float;  (** P(new function is a mutated clone of an earlier one) *)
+  mutation_rate : float;  (** per-op mutation probability when cloning *)
+  regularity : float;  (** P(next idiom repeats one already used in the function) *)
+  imm_small_bias : float;  (** P(an immediate is in \[-16, 15\]) *)
+  large_const_rate : float;  (** P(a constant needs 32 bits, e.g. addresses) *)
+  mem_weight : int;  (** idiom mix weights *)
+  alu_weight : int;
+  mul_weight : int;
+  call_weight : int;
+}
+
+val spec95 : t array
+(** The 18 benchmark profiles of Figs. 7/8, in the paper's order:
+    applu, apsi, compress, fpppp, gcc, go, hydro2d, ijpeg, m88ksim, mgrid,
+    perl, su2cor, swim, tomcatv, turb3d, vortex, wave5, xlisp. *)
+
+val embedded : t array
+(** Embedded-class profiles — the programs the paper's introduction
+    actually motivates (§1 used SPEC95 only because "embedded code is
+    hardly portable among architectures"): an RTOS kernel, a DSP filter
+    bank, a protocol stack, a motor controller, a block cipher and a
+    bootloader. Smaller, loop-dominated, very little cloned code. *)
+
+val find : string -> t
+(** Look up a profile by name (both suites). @raise Not_found when
+    unknown. *)
+
+val names : unit -> string list
+(** All profile names, both suites. *)

@@ -1,0 +1,56 @@
+module Prng = Ccomp_util.Prng
+
+let max_call_depth = 48
+
+let generate (p : Ir.program) (layout : Layout.t) ~seed ~length =
+  let g = Prng.create seed in
+  let out = Array.make length 0 in
+  let n = ref 0 in
+  (* Continuation stack: (function, block, remaining segments of block). *)
+  let stack = ref [] in
+  let emit addr =
+    if !n < length then begin
+      out.(!n) <- addr;
+      incr n
+    end
+  in
+  (* Execute from (fi, bi, segs); returns when the trace is full. The walk
+     is iterative to bound OCaml stack use on long traces. *)
+  let fi = ref p.entry in
+  let bi = ref 0 in
+  let segs = ref (layout.blocks.(!fi).(!bi)) in
+  let enter f b =
+    fi := f;
+    bi := b;
+    segs := layout.blocks.(f).(b)
+  in
+  let after_block () =
+    let f = p.funcs.(!fi) in
+    match f.blocks.(!bi).term with
+    | Ir.Fallthrough -> enter !fi (!bi + 1)
+    | Ir.Goto t -> enter !fi t
+    | Ir.Cond (_, _, _, t, prob) ->
+      if Prng.float g < prob then enter !fi t else enter !fi (!bi + 1)
+    | Ir.Ret -> (
+      match !stack with
+      | (rf, rb, rsegs) :: rest ->
+        stack := rest;
+        fi := rf;
+        bi := rb;
+        segs := rsegs
+      | [] -> enter p.entry 0)
+  in
+  while !n < length do
+    match !segs with
+    | [] -> after_block ()
+    | Layout.Fetch addrs :: rest ->
+      Array.iter emit addrs;
+      segs := rest
+    | Layout.Call callee :: rest ->
+      if List.length !stack >= max_call_depth then segs := rest
+      else begin
+        stack := (!fi, !bi, rest) :: !stack;
+        enter callee 0
+      end
+  done;
+  out

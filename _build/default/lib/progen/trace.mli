@@ -1,0 +1,13 @@
+(** Instruction-fetch address traces.
+
+    Walks the program's control-flow graph — taking conditional branches
+    with the probabilities recorded in the IR, following calls and returns
+    through an explicit stack — and emits the addresses the CPU would fetch
+    under the given layout. These traces drive the Wolfe–Chanin memory
+    system simulation (experiment E4). *)
+
+val generate : Ir.program -> Layout.t -> seed:int64 -> length:int -> int array
+(** [generate p layout ~seed ~length] produces [length] fetch addresses,
+    starting at the program entry and restarting there whenever the walk
+    runs off the end (the embedded main loop). Call depth is capped; calls
+    beyond the cap are skipped, as if inlined. *)

@@ -1,0 +1,193 @@
+module X = Ccomp_isa.X86
+
+(* General-purpose registers available to the allocator (esp/ebp are
+   reserved for the stack frame); virtual registers beyond the pool share
+   physical registers, like spilled code would. *)
+let reg_order = [| 0; 2; 1; 3; 6; 7 |]
+
+let ebp = 5
+let esp = 4
+
+let phys v = reg_order.(v mod Array.length reg_order)
+
+let binop_alu = function
+  | Ir.Add -> X.Add
+  | Ir.Sub -> X.Sub
+  | Ir.And -> X.And
+  | Ir.Or -> X.Or
+  | Ir.Xor -> X.Xor
+  | Ir.Slt -> X.Cmp
+  | Ir.Mul -> assert false
+
+let cond_cc = function
+  | Ir.Eq -> X.E
+  | Ir.Ne -> X.Ne
+  | Ir.Lez -> X.Le
+  | Ir.Gtz -> X.G
+  | Ir.Ltz -> X.L
+  | Ir.Gez -> X.Ge
+
+let shift_kind = function Ir.Lsl -> X.Shl | Ir.Lsr -> X.Shr | Ir.Asr -> X.Sar
+
+type pending =
+  | Ins of X.t
+  | Jcc8 of X.cond * int * int (* cond, func, block *)
+  | Jcc32 of X.cond * int * int
+  | Jmp32 of int * int
+  | Call_to of int
+
+let pending_length = function
+  | Ins i -> X.length i
+  | Jcc8 _ -> 2
+  | Jcc32 _ -> 6
+  | Jmp32 _ -> 5
+  | Call_to _ -> 5
+
+let lower_op op =
+  match op with
+  | Ir.Loadi (d, c) ->
+    let d = phys d in
+    if c = 0 then [ Ins (X.alu_rr Xor ~dst:d ~src:d) ] else [ Ins (X.mov_ri ~dst:d (Int32.of_int c)) ]
+  | Ir.Binop (Mul, d, a, b) ->
+    let d = phys d and a = phys a and b = phys b in
+    if d = a && d = 0 then [ Ins (X.group_f7 `Imul ~rm:b) ] (* one-operand form on eax *)
+    else if d = a then [ Ins (X.imul_rr ~dst:d ~src:b) ]
+    else [ Ins (X.mov_rr ~dst:d ~src:a); Ins (X.imul_rr ~dst:d ~src:b) ]
+  | Ir.Binop (Slt, d, a, b) ->
+    [ Ins (X.alu_rr Cmp ~dst:(phys a) ~src:(phys b)); Ins (X.setcc X.L ~dst:(phys d)) ]
+  | Ir.Binop (k, d, a, b) ->
+    let d = phys d and a = phys a and b = phys b in
+    let alu = binop_alu k in
+    let commutative = match k with Ir.Add | Ir.And | Ir.Or | Ir.Xor -> true | _ -> false in
+    if d = a then [ Ins (X.alu_rr alu ~dst:d ~src:b) ]
+    else if commutative && d = b then [ Ins (X.alu_rr_load alu ~dst:d ~src:a) ]
+    else [ Ins (X.mov_rr ~dst:d ~src:a); Ins (X.alu_rr alu ~dst:d ~src:b) ]
+  | Ir.Binopi (Mul, d, a, c) ->
+    [ Ins (X.mov_ri ~dst:(phys d) (Int32.of_int c)); Ins (X.imul_rr ~dst:(phys d) ~src:(phys a)) ]
+  | Ir.Binopi (Slt, d, a, c) ->
+    [ Ins (X.alu_ri Cmp ~dst:(phys a) (Int32.of_int c)); Ins (X.setcc X.L ~dst:(phys d)) ]
+  | Ir.Binopi (Add, d, a, 1) when phys d = phys a -> [ Ins (X.inc_r (phys d)) ]
+  | Ir.Binopi (Add, d, a, -1) when phys d = phys a -> [ Ins (X.dec_r (phys d)) ]
+  | Ir.Binopi (k, d, a, c) ->
+    let d = phys d and a = phys a in
+    let alu = binop_alu k in
+    if d = a then [ Ins (X.alu_ri alu ~dst:d (Int32.of_int c)) ]
+    else [ Ins (X.mov_rr ~dst:d ~src:a); Ins (X.alu_ri alu ~dst:d (Int32.of_int c)) ]
+  | Ir.Shift (k, d, a, s) ->
+    let d = phys d and a = phys a in
+    let sh = Ins (X.shift_ri (shift_kind k) ~dst:d (s land 31)) in
+    if d = a then [ sh ] else [ Ins (X.mov_rr ~dst:d ~src:a); sh ]
+  | Ir.Load (w, signed, d, b, off) -> (
+    let dst = phys d and base = phys b in
+    match w with
+    | Ir.W32 -> [ Ins (X.mov_load ~dst ~base ~disp:off) ]
+    | Ir.W8 -> [ Ins (X.movx_load ~signed ~wide:false ~dst ~base ~disp:off) ]
+    | Ir.W16 -> [ Ins (X.movx_load ~signed ~wide:true ~dst ~base ~disp:off) ])
+  | Ir.Load_indexed (_, d, b, i, sh) ->
+    let index = let r = phys i in if r = 4 then 6 else r in
+    [ Ins (X.mov_load_indexed ~dst:(phys d) ~base:(phys b) ~index ~scale:sh ~disp:0) ]
+  | Ir.Store (w, s, b, off) -> (
+    let src = phys s and base = phys b in
+    match w with
+    | Ir.W8 -> [ Ins (X.mov8_store ~base ~disp:off ~src) ]
+    | Ir.W16 | Ir.W32 -> [ Ins (X.mov_store ~base ~disp:off ~src) ])
+  | Ir.Call f -> [ Call_to f ]
+
+let saved_regs = [| 3; 6; 7 |] (* ebx, esi, edi *)
+
+let prologue ~frame ~saves =
+  [ Ins (X.push_r ebp); Ins (X.mov_rr ~dst:ebp ~src:esp) ]
+  @ (if frame > 0 then [ Ins (X.alu_ri Sub ~dst:esp (Int32.of_int frame)) ] else [])
+  @ List.init saves (fun i -> Ins (X.push_r saved_regs.(i)))
+
+let lower_term fi bi (term : Ir.terminator) ~saves =
+  match term with
+  | Ir.Fallthrough -> []
+  | Ir.Goto t -> [ Jmp32 (fi, t) ]
+  | Ir.Cond (c, a, b, t, _) ->
+    let cmp =
+      match c with
+      | Ir.Eq | Ir.Ne -> Ins (X.alu_rr Cmp ~dst:(phys a) ~src:(phys b))
+      | Ir.Lez | Ir.Gtz | Ir.Ltz | Ir.Gez -> Ins (X.test_rr (phys a) (phys a))
+    in
+    (* Nearby targets get the short jcc form, like relaxed compiler
+       output; the choice is made structurally (block distance) so sizes
+       are fixed before address resolution. *)
+    let cc = cond_cc c in
+    if abs (t - bi) <= 3 then [ cmp; Jcc8 (cc, fi, t) ] else [ cmp; Jcc32 (cc, fi, t) ]
+  | Ir.Ret ->
+    List.init saves (fun i -> Ins (X.pop_r saved_regs.(saves - 1 - i)))
+    @ [ Ins X.leave; Ins X.ret ]
+
+type raw_seg = Run of int * int | Call_seg of int (* indices into pending array *)
+
+let lower (p : Ir.program) =
+  let nfuncs = Array.length p.funcs in
+  let pendings = ref [] in
+  let count = ref 0 in
+  let emit ps =
+    List.iter
+      (fun x ->
+        pendings := x :: !pendings;
+        incr count)
+      ps
+  in
+  let block_start = Array.map (fun f -> Array.make (Array.length f.Ir.blocks) 0) p.funcs in
+  let raw_segs = Array.map (fun f -> Array.make (Array.length f.Ir.blocks) []) p.funcs in
+  for fi = 0 to nfuncs - 1 do
+    let f = p.funcs.(fi) in
+    let saves = min f.saves (Array.length saved_regs) in
+    let frame = f.frame_slots * 4 in
+    Array.iteri
+      (fun bi (b : Ir.block) ->
+        block_start.(fi).(bi) <- !count;
+        let segs = ref [] in
+        let run_start = ref !count in
+        let close_run () =
+          if !count > !run_start then segs := Run (!run_start, !count - !run_start) :: !segs;
+          run_start := !count
+        in
+        if bi = 0 then emit (prologue ~frame ~saves);
+        List.iter
+          (fun op ->
+            match op with
+            | Ir.Call _ ->
+              emit (lower_op op);
+              close_run ();
+              (match op with Ir.Call callee -> segs := Call_seg callee :: !segs | _ -> ())
+            | Ir.Loadi _ | Ir.Binop _ | Ir.Binopi _ | Ir.Shift _ | Ir.Load _ | Ir.Load_indexed _
+            | Ir.Store _ ->
+              emit (lower_op op))
+          b.body;
+        emit (lower_term fi bi b.term ~saves);
+        close_run ();
+        raw_segs.(fi).(bi) <- List.rev !segs)
+      f.blocks
+  done;
+  let pending = Array.of_list (List.rev !pendings) in
+  (* Byte address of every instruction. *)
+  let addrs = Array.make (Array.length pending + 1) 0 in
+  Array.iteri (fun i pd -> addrs.(i + 1) <- addrs.(i) + pending_length pd) pending;
+  let addr_of_block fi bi = addrs.(block_start.(fi).(bi)) in
+  (* rel8 targets that ended up out of range wrap modulo 256; the image is
+     only ever decoded, not executed, so only the byte statistics matter. *)
+  let rel8 v = ((v + 128) land 0xff) - 128 in
+  let resolve idx pd =
+    let next = addrs.(idx + 1) in
+    match pd with
+    | Ins i -> i
+    | Jcc8 (cc, fi, bi) -> X.jcc_rel8 cc (rel8 (addr_of_block fi bi - next))
+    | Jcc32 (cc, fi, bi) -> X.jcc_rel32 cc (Int32.of_int (addr_of_block fi bi - next))
+    | Jmp32 (fi, bi) -> X.jmp_rel32 (Int32.of_int (addr_of_block fi bi - next))
+    | Call_to fj -> X.call_rel (Int32.of_int (addr_of_block fj 0 - next))
+  in
+  let instrs = Array.mapi resolve pending in
+  let instr_list = Array.to_list instrs in
+  let code = X.encode_program instr_list in
+  let to_layout_seg = function
+    | Run (start, len) -> Layout.Fetch (Array.init len (fun i -> addrs.(start + i)))
+    | Call_seg fj -> Layout.Call fj
+  in
+  let blocks = Array.map (Array.map (List.map to_layout_seg)) raw_segs in
+  let func_entry_addr = Array.init nfuncs (fun fi -> addr_of_block fi 0) in
+  (instr_list, { Layout.code; func_entry_addr; blocks })

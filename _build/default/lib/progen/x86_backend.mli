@@ -1,0 +1,10 @@
+(** Lowering of the synthetic IR to the x86-like CISC subset.
+
+    Emits the idioms of a 32-bit x86 compiler: [push ebp / mov ebp, esp]
+    prologues, [xor r, r] for zeroing, two-address ALU forms with
+    register-move fixups, [cmp]+[jcc] branch pairs with rel8 forms for
+    nearby targets, and [leave]/[ret] epilogues. *)
+
+val lower : Ir.program -> Ccomp_isa.X86.t list * Layout.t
+(** [lower p] returns the instruction sequence in layout order and the
+    layout/trace structure; [(snd (lower p)).code] is the encoded image. *)

@@ -1,0 +1,74 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy g = { state = g.state }
+
+(* SplitMix64 finaliser (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g = create (next_int64 g)
+
+let bits g n =
+  assert (n >= 0 && n <= 30);
+  if n = 0 then 0
+  else Int64.to_int (Int64.shift_right_logical (next_int64 g) (64 - n))
+
+let int g bound =
+  assert (bound > 0);
+  if bound = 1 then 0
+  else
+    (* Rejection sampling on 30-bit values keeps the distribution uniform. *)
+    let rec draw () =
+      let v = bits g 30 in
+      let limit = (1 lsl 30) - ((1 lsl 30) mod bound) in
+      if v < limit then v mod bound else draw ()
+    in
+    if bound <= 1 lsl 30 then draw ()
+    else Int64.to_int (Int64.rem (Int64.logand (next_int64 g) Int64.max_int) (Int64.of_int bound))
+
+let float g =
+  let v = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float v *. (1.0 /. 9007199254740992.0)
+
+let bool g = Int64.compare (next_int64 g) 0L < 0
+
+let choose g arr =
+  assert (Array.length arr > 0);
+  arr.(int g (Array.length arr))
+
+let weighted g arr =
+  let total = Array.fold_left (fun acc (w, _) -> acc + w) 0 arr in
+  assert (total > 0);
+  let target = int g total in
+  let rec pick i acc =
+    let w, v = arr.(i) in
+    if target < acc + w then v else pick (i + 1) (acc + w)
+  in
+  pick 0 0
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let geometric g p =
+  assert (p > 0.0 && p <= 1.0);
+  if p >= 1.0 then 0
+  else
+    let u = float g in
+    (* Inverse transform; clamp to avoid log 0. *)
+    let u = if u <= 0.0 then 1e-18 else u in
+    int_of_float (Float.of_int 0 +. floor (log u /. log (1.0 -. p)))

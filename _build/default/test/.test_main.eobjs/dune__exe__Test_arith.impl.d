@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest Array Ccomp_arith Ccomp_util Int64 List Printf QCheck QCheck_alcotest String

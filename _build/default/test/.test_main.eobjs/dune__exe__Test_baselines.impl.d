@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Buffer Ccomp_baselines Ccomp_progen Ccomp_util Char Gen List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_bitio.ml: Alcotest Ccomp_bitio List QCheck QCheck_alcotest

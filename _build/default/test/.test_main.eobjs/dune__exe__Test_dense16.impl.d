@@ -1,0 +1,1 @@
+test/test_dense16.ml: Alcotest Ccomp_isa Ccomp_progen Int64 List Printf QCheck QCheck_alcotest String

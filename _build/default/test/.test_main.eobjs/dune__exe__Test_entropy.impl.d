@@ -1,0 +1,1 @@
+test/test_entropy.ml: Alcotest Ccomp_entropy Char Float Gen Int64 List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Ccomp_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_huffman.ml: Alcotest Array Ccomp_bitio Ccomp_entropy Ccomp_huffman Float Fun Gen List Printf QCheck QCheck_alcotest String

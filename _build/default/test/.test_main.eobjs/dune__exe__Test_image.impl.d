@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Array Bytes Ccomp_core Ccomp_image Ccomp_memsys Ccomp_progen Char List Printf String

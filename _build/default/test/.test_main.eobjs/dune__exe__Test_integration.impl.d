@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Ccomp_baselines Ccomp_core Ccomp_image Ccomp_memsys Ccomp_progen Hashtbl List Printf String

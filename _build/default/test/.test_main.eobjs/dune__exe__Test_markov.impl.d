@@ -1,0 +1,1 @@
+test/test_markov.ml: Alcotest Array Ccomp_arith Ccomp_core Ccomp_progen Ccomp_util Fun List Printf String

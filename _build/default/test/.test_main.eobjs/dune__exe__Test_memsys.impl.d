@@ -1,0 +1,1 @@
+test/test_memsys.ml: Alcotest Array Bytes Ccomp_memsys Ccomp_util Printf String

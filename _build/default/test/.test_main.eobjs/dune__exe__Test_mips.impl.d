@@ -1,0 +1,1 @@
+test/test_mips.ml: Alcotest Array Ccomp_isa Ccomp_util List Option Printf QCheck QCheck_alcotest String

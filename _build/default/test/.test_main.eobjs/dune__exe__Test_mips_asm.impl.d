@@ -1,0 +1,1 @@
+test/test_mips_asm.ml: Alcotest Array Ccomp_isa Ccomp_util List Printf String

@@ -1,0 +1,1 @@
+test/test_nibble.ml: Alcotest Array Ccomp_arith Ccomp_core Ccomp_progen Ccomp_util Int64 List Printf String

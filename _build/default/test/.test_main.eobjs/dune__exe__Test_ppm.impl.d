@@ -1,0 +1,1 @@
+test/test_ppm.ml: Alcotest Array Ccomp_arith Ccomp_baselines Ccomp_progen Ccomp_util Char Gen List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Ccomp_util Float Fun Printf

@@ -1,0 +1,1 @@
+test/test_progen.ml: Alcotest Array Ccomp_isa Ccomp_progen Hashtbl Int64 List Option Printf QCheck QCheck_alcotest String

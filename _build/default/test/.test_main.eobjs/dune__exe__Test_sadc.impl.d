@@ -1,0 +1,1 @@
+test/test_sadc.ml: Alcotest Array Ccomp_core Ccomp_isa Ccomp_progen Ccomp_util List Printf String

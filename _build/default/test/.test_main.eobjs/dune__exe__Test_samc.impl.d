@@ -1,0 +1,1 @@
+test/test_samc.ml: Alcotest Array Ccomp_core Ccomp_progen Ccomp_util Char Int64 List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_stream_split.ml: Alcotest Array Ccomp_core Ccomp_entropy Ccomp_util Fun Int64 Printf

@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Ccomp_isa Ccomp_util Char Gen Int32 Int64 List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,94 @@
+module Bit_writer = Ccomp_bitio.Bit_writer
+module Bit_reader = Ccomp_bitio.Bit_reader
+
+let test_single_bits () =
+  let w = Bit_writer.create () in
+  List.iter (Bit_writer.put_bit w) [ 1; 0; 1; 1; 0; 0; 1; 0 ];
+  Alcotest.(check string) "msb-first packing" "\xb2" (Bit_writer.contents w)
+
+let test_partial_byte_padding () =
+  let w = Bit_writer.create () in
+  List.iter (Bit_writer.put_bit w) [ 1; 1; 1 ];
+  Alcotest.(check string) "zero padded" "\xe0" (Bit_writer.contents w);
+  Alcotest.(check int) "bit length counts bits" 3 (Bit_writer.bit_length w);
+  Alcotest.(check int) "byte length rounds up" 1 (Bit_writer.byte_length w)
+
+let test_put_bits_width () =
+  let w = Bit_writer.create () in
+  Bit_writer.put_bits w ~value:0b101 ~width:3;
+  Bit_writer.put_bits w ~value:0b11111 ~width:5;
+  Alcotest.(check string) "two fields packed" "\xbf" (Bit_writer.contents w)
+
+let test_put_byte_aligned_and_not () =
+  let w = Bit_writer.create () in
+  Bit_writer.put_byte w 0xAB;
+  Bit_writer.put_bit w 1;
+  Bit_writer.put_byte w 0xCD;
+  let r = Bit_reader.create (Bit_writer.contents w) in
+  Alcotest.(check int) "byte back" 0xAB (Bit_reader.get_byte r);
+  Alcotest.(check int) "bit back" 1 (Bit_reader.get_bit r);
+  Alcotest.(check int) "unaligned byte back" 0xCD (Bit_reader.get_byte r)
+
+let test_align () =
+  let w = Bit_writer.create () in
+  Bit_writer.put_bit w 1;
+  Bit_writer.align_byte w;
+  Alcotest.(check int) "aligned to 8" 8 (Bit_writer.bit_length w);
+  Bit_writer.align_byte w;
+  Alcotest.(check int) "idempotent" 8 (Bit_writer.bit_length w);
+  let r = Bit_reader.create (Bit_writer.contents w) in
+  ignore (Bit_reader.get_bit r);
+  Bit_reader.align_byte r;
+  Alcotest.(check int) "reader aligned" 8 (Bit_reader.pos r)
+
+let test_reader_past_end () =
+  let r = Bit_reader.create "\xff" in
+  Alcotest.(check int) "in-bounds byte" 0xff (Bit_reader.get_byte r);
+  Alcotest.(check int) "no overrun yet" 0 (Bit_reader.overrun r);
+  Alcotest.(check int) "past end reads zero" 0 (Bit_reader.get_byte r);
+  Alcotest.(check int) "overrun counted" 8 (Bit_reader.overrun r);
+  Alcotest.(check int) "remaining zero" 0 (Bit_reader.remaining_bits r)
+
+let test_start_bit () =
+  let r = Bit_reader.create ~start_bit:4 "\x0f" in
+  Alcotest.(check int) "reads low nibble" 0xf (Bit_reader.get_bits r 4)
+
+let test_reset () =
+  let w = Bit_writer.create () in
+  Bit_writer.put_byte w 1;
+  Bit_writer.reset w;
+  Alcotest.(check int) "empty after reset" 0 (Bit_writer.bit_length w);
+  Bit_writer.put_byte w 2;
+  Alcotest.(check string) "reusable" "\x02" (Bit_writer.contents w)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"bit fields round-trip" ~count:300
+    QCheck.(small_list (pair (int_bound 30) (int_bound 0x3fffffff)))
+    (fun fields ->
+      let fields = List.map (fun (w, v) -> (w, v land ((1 lsl w) - 1))) fields in
+      let w = Bit_writer.create () in
+      List.iter (fun (width, value) -> Bit_writer.put_bits w ~value ~width) fields;
+      let r = Bit_reader.create (Bit_writer.contents w) in
+      List.for_all (fun (width, value) -> Bit_reader.get_bits r width = value) fields)
+
+let prop_bit_length =
+  QCheck.Test.make ~name:"bit_length sums widths" ~count:200
+    QCheck.(small_list (int_bound 30))
+    (fun widths ->
+      let w = Bit_writer.create () in
+      List.iter (fun width -> Bit_writer.put_bits w ~value:0 ~width) widths;
+      Bit_writer.bit_length w = List.fold_left ( + ) 0 widths)
+
+let suite =
+  [
+    Alcotest.test_case "single bits msb first" `Quick test_single_bits;
+    Alcotest.test_case "partial byte padding" `Quick test_partial_byte_padding;
+    Alcotest.test_case "put_bits packing" `Quick test_put_bits_width;
+    Alcotest.test_case "bytes across alignment" `Quick test_put_byte_aligned_and_not;
+    Alcotest.test_case "align_byte" `Quick test_align;
+    Alcotest.test_case "reads past end are zero" `Quick test_reader_past_end;
+    Alcotest.test_case "start_bit offset" `Quick test_start_bit;
+    Alcotest.test_case "writer reset" `Quick test_reset;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_bit_length;
+  ]

@@ -1,0 +1,151 @@
+module Dense16 = Ccomp_isa.Dense16
+module Mips = Ccomp_isa.Mips
+module P = Ccomp_progen
+
+let spec = Mips.spec_of_mnemonic
+
+let short_candidates =
+  [
+    Mips.make (spec "addu") ~rs:4 ~rt:2 ~rd:5 ();
+    (* 3-address, hot regs *)
+    Mips.make (spec "addiu") ~rs:8 ~rt:9 ~imm:4 ();
+    Mips.make (spec "beq") ~rs:4 ~rt:2 ~imm:7 ();
+    Mips.make (spec "addiu") ~rs:0 ~rt:2 ~imm:100 ();
+    (* li *)
+    Mips.make (spec "lw") ~rs:16 ~rt:9 ~imm:36 ();
+    Mips.make (spec "sw") ~rs:16 ~rt:9 ~imm:252 ();
+    Mips.make (spec "bltz") ~rs:5 ~imm:0xfffe ();
+    Mips.make (spec "sll") ~rt:3 ~rd:3 ~shamt:7 ();
+    Mips.make (spec "jr") ~rs:4 ();
+    Mips.make (spec "jr") ~rs:31 ();
+    (* return idiom *)
+    Mips.make (spec "addiu") ~rs:29 ~rt:29 ~imm:0xffe0 ();
+    (* frame adjust *)
+    Mips.make (spec "sw") ~rs:29 ~rt:31 ~imm:28 ();
+    (* save ra *)
+    Mips.make (spec "lw") ~rs:29 ~rt:2 ~imm:16 ();
+    Mips.make (spec "mult") ~rs:4 ~rt:2 ();
+    Mips.make (spec "mflo") ~rd:3 ();
+    Mips.make (spec "sll") ~rt:2 ~rd:4 ~shamt:7 ();
+    (* distinct source and destination *)
+    Mips.make (spec "sra") ~rt:2 ~rd:4 ~shamt:3 ();
+  ]
+
+(* 32-bit re-encoded forms: representable but not in 16 bits *)
+let word_candidates =
+  [
+    Mips.make (spec "addu") ~rs:29 ~rt:2 ~rd:29 ();
+    (* cold register *)
+    Mips.make (spec "addiu") ~rs:11 ~rt:12 ~imm:1000 ();
+    (* immediate too big for 6 bits, fits 11 *)
+    Mips.make (spec "lw") ~rs:16 ~rt:9 ~imm:37 ();
+    (* unaligned offset *)
+    Mips.make (spec "lw") ~rs:16 ~rt:9 ~imm:256 ();
+    (* offset too big for the short form *)
+    Mips.make (spec "jal") ~imm:0x12345 ();
+    Mips.make (spec "mult") ~rs:29 ~rt:30 ();
+    Mips.make (spec "sll") ~rt:2 ~rd:4 ~shamt:31 ();
+    (* shift amount beyond the short form's 4 bits *)
+  ]
+
+(* nothing fits: raw 48-bit escape *)
+let escape_candidates =
+  [
+    Mips.make (spec "lui") ~rt:2 ~imm:0x1000 ();
+    (* 16-bit immediate out of the I32 range *)
+    Mips.make (spec "addiu") ~rs:29 ~rt:29 ~imm:(-4000 land 0xffff) ();
+    Mips.make (spec "jal") ~imm:0x400000 ();
+    (* jal target beyond the BL form's 22 bits *)
+    Mips.make (spec "beq") ~rs:4 ~rt:2 ~imm:0x4000 ();
+    (* far branch *)
+  ]
+
+let test_compressible_classification () =
+  List.iter
+    (fun i ->
+      Alcotest.(check int) (Mips.to_string i ^ " is short") 2 (Dense16.encoded_bytes i))
+    short_candidates;
+  List.iter
+    (fun i ->
+      Alcotest.(check int) (Mips.to_string i ^ " re-encodes") 4 (Dense16.encoded_bytes i))
+    word_candidates;
+  List.iter
+    (fun i ->
+      Alcotest.(check int) (Mips.to_string i ^ " escapes") 6 (Dense16.encoded_bytes i))
+    escape_candidates
+
+let test_roundtrip_mixed () =
+  let program = short_candidates @ word_candidates @ escape_candidates @ short_candidates in
+  let dense = Dense16.encode_program program in
+  match Dense16.decode_program dense with
+  | None -> Alcotest.fail "dense image must decode"
+  | Some back ->
+    Alcotest.(check int) "same count" (List.length program) (List.length back);
+    List.iter2
+      (fun a b -> Alcotest.(check int) "same word" (Mips.encode a) (Mips.encode b))
+      program back
+
+let test_sizes () =
+  let dense = Dense16.encode_program short_candidates in
+  Alcotest.(check int) "2 bytes per short form" (2 * List.length short_candidates)
+    (String.length dense);
+  Alcotest.(check int) "4-byte BL form" 4
+    (String.length (Dense16.encode_program [ Mips.make (spec "jal") ~imm:0x1234 () ]));
+  let dense = Dense16.encode_program word_candidates in
+  Alcotest.(check int) "4 bytes per word form" (4 * List.length word_candidates)
+    (String.length dense);
+  let dense = Dense16.encode_program escape_candidates in
+  Alcotest.(check int) "6 bytes per escape" (6 * List.length escape_candidates)
+    (String.length dense)
+
+let test_ratio_on_program () =
+  let profile =
+    { (P.Profile.find "go") with P.Profile.name = "t"; target_ops = 1500; functions = 10 }
+  in
+  let instrs, _ = P.Mips_backend.lower (P.Generator.generate ~seed:4L profile) in
+  let r = Dense16.ratio instrs in
+  let st = Dense16.stats instrs in
+  Alcotest.(check int) "stats partition" st.Dense16.instructions
+    (st.Dense16.half_forms + st.Dense16.word_forms + st.Dense16.escaped);
+  (* Static re-encoding of code compiled for the full register file only
+     reaches modest density (a dense-ISA compiler would do better); the
+     point of the comparison is that the paper's compression schemes beat
+     it without touching the pipeline's register file. *)
+  Alcotest.(check bool) (Printf.sprintf "ratio %.3f in (0.6, 0.9)" r) true (r > 0.6 && r < 0.9);
+  match Dense16.decode_program (Dense16.encode_program instrs) with
+  | Some back -> Alcotest.(check int) "lossless on real program" (List.length instrs) (List.length back)
+  | None -> Alcotest.fail "program dense image must decode"
+
+let test_rejects_garbage () =
+  Alcotest.(check bool) "odd length" true (Dense16.decode_program "abc" = None);
+  (* escape prefix with nonzero payload *)
+  Alcotest.(check bool) "bad escape" true (Dense16.decode_program "\xf1\x00\x00\x00\x00\x00" = None);
+  (* truncated escape *)
+  Alcotest.(check bool) "truncated escape" true (Dense16.decode_program "\xf0\x00\x00\x00" = None)
+
+let suite =
+  [
+    Alcotest.test_case "classification" `Quick test_compressible_classification;
+    Alcotest.test_case "mixed roundtrip" `Quick test_roundtrip_mixed;
+    Alcotest.test_case "unit sizes" `Quick test_sizes;
+    Alcotest.test_case "ratio on program" `Quick test_ratio_on_program;
+    Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+  ]
+
+let prop_dense_roundtrip_random_programs =
+  QCheck.Test.make ~name:"dense16 is lossless on generated programs" ~count:25
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let profile =
+        { (P.Profile.find "xlisp") with P.Profile.name = "t"; target_ops = 300; functions = 4 }
+      in
+      let instrs, _ = P.Mips_backend.lower (P.Generator.generate ~seed:(Int64.of_int seed) profile) in
+      match Dense16.decode_program (Dense16.encode_program instrs) with
+      | Some back ->
+        List.length back = List.length instrs
+        && List.for_all2 (fun a b -> Mips.encode a = Mips.encode b) instrs back
+      | None -> false)
+
+let prop_suite = [ QCheck_alcotest.to_alcotest prop_dense_roundtrip_random_programs ]
+
+let suite = suite @ prop_suite

@@ -1,0 +1,136 @@
+module Freq = Ccomp_entropy.Freq
+module Bit_stats = Ccomp_entropy.Bit_stats
+
+let feq ?(eps = 1e-9) name a b =
+  Alcotest.(check bool) (Printf.sprintf "%s (%f vs %f)" name a b) true (Float.abs (a -. b) < eps)
+
+let test_freq_counting () =
+  let f = Freq.create 4 in
+  Freq.add f 0;
+  Freq.add f 1;
+  Freq.add f 1;
+  Freq.add_many f 3 5;
+  Alcotest.(check int) "count 0" 1 (Freq.count f 0);
+  Alcotest.(check int) "count 1" 2 (Freq.count f 1);
+  Alcotest.(check int) "count 2" 0 (Freq.count f 2);
+  Alcotest.(check int) "count 3" 5 (Freq.count f 3);
+  Alcotest.(check int) "total" 8 (Freq.total f);
+  Alcotest.(check int) "nonzero" 3 (Freq.nonzero f);
+  feq "probability" 0.25 (Freq.probability f 1)
+
+let test_freq_entropy_uniform () =
+  let f = Freq.create 8 in
+  for sym = 0 to 7 do
+    Freq.add_many f sym 10
+  done;
+  feq "uniform 8 symbols = 3 bits" 3.0 (Freq.entropy f)
+
+let test_freq_entropy_deterministic () =
+  let f = Freq.create 8 in
+  Freq.add_many f 3 100;
+  feq "single symbol = 0 bits" 0.0 (Freq.entropy f)
+
+let test_freq_entropy_biased () =
+  let f = Freq.create 2 in
+  Freq.add_many f 0 3;
+  Freq.add_many f 1 1;
+  (* H(0.75) = 0.811278 *)
+  feq ~eps:1e-6 "H(3/4)" 0.8112781244591328 (Freq.entropy f)
+
+let test_freq_of_string () =
+  let f = Freq.of_string "abca" in
+  Alcotest.(check int) "a twice" 2 (Freq.count f (Char.code 'a'));
+  Alcotest.(check int) "total 4" 4 (Freq.total f)
+
+let test_bit_stats_probabilities () =
+  let s = Bit_stats.create ~width:4 in
+  (* words 0b0001 x3 and 0b1001 x1: bit0 always 1, bit3 1/4 of the time *)
+  Bit_stats.add_word s 1L;
+  Bit_stats.add_word s 1L;
+  Bit_stats.add_word s 1L;
+  Bit_stats.add_word s 9L;
+  feq "bit 0 always set" 1.0 (Bit_stats.bit_probability s 0);
+  feq "bit 3 quarter" 0.25 (Bit_stats.bit_probability s 3);
+  feq "bit 1 never" 0.0 (Bit_stats.bit_probability s 1);
+  feq "constant bit has zero entropy" 0.0 (Bit_stats.bit_entropy s 0)
+
+let test_bit_stats_correlation () =
+  let s = Bit_stats.create ~width:4 in
+  (* bits 0 and 1 always equal; bit 2 independent-ish *)
+  Bit_stats.add_word s 0b0011L;
+  Bit_stats.add_word s 0b0000L;
+  Bit_stats.add_word s 0b0111L;
+  Bit_stats.add_word s 0b0100L;
+  feq "identical bits fully correlated" 1.0 (Bit_stats.correlation s 0 1);
+  feq "independent bits uncorrelated" 0.0 (Bit_stats.correlation s 0 2)
+
+let test_bit_stats_anticorrelation () =
+  let s = Bit_stats.create ~width:2 in
+  Bit_stats.add_word s 0b01L;
+  Bit_stats.add_word s 0b10L;
+  Bit_stats.add_word s 0b01L;
+  Bit_stats.add_word s 0b10L;
+  feq "complementary bits = -1" (-1.0) (Bit_stats.correlation s 0 1)
+
+let test_conditional_entropy () =
+  let s = Bit_stats.create ~width:2 in
+  (* bit1 = bit0: H(b1|b0) = 0; H(b0) = 1 *)
+  Bit_stats.add_word s 0b00L;
+  Bit_stats.add_word s 0b11L;
+  feq "H(b0)" 1.0 (Bit_stats.bit_entropy s 0);
+  feq "H(b1,b0)" 1.0 (Bit_stats.joint_entropy s 0 1);
+  feq "H(b1|b0)=0 when equal" 0.0 (Bit_stats.conditional_entropy s 0 1)
+
+let test_conditional_entropy_independent () =
+  let s = Bit_stats.create ~width:2 in
+  Bit_stats.add_word s 0b00L;
+  Bit_stats.add_word s 0b01L;
+  Bit_stats.add_word s 0b10L;
+  Bit_stats.add_word s 0b11L;
+  feq "independent: H(b1|b0)=H(b1)=1" 1.0 (Bit_stats.conditional_entropy s 0 1)
+
+let test_binary_entropy_edges () =
+  feq "h(0)" 0.0 (Bit_stats.binary_entropy 0.0);
+  feq "h(1)" 0.0 (Bit_stats.binary_entropy 1.0);
+  feq "h(1/2)" 1.0 (Bit_stats.binary_entropy 0.5)
+
+let prop_entropy_bounds =
+  QCheck.Test.make ~name:"0 <= entropy <= log2(alphabet)" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_bound 15))
+    (fun syms ->
+      let f = Freq.create 16 in
+      List.iter (Freq.add f) syms;
+      let h = Freq.entropy f in
+      h >= -1e-9 && h <= 4.0 +. 1e-9)
+
+let prop_correlation_bounds =
+  QCheck.Test.make ~name:"|correlation| <= 1" ~count:100
+    QCheck.(list_of_size (Gen.int_range 2 100) (int_bound 255))
+    (fun words ->
+      let s = Bit_stats.create ~width:8 in
+      List.iter (fun w -> Bit_stats.add_word s (Int64.of_int w)) words;
+      let ok = ref true in
+      for i = 0 to 7 do
+        for j = 0 to 7 do
+          let c = Bit_stats.correlation s i j in
+          if Float.abs c > 1.0 +. 1e-9 then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "freq counting" `Quick test_freq_counting;
+    Alcotest.test_case "uniform entropy" `Quick test_freq_entropy_uniform;
+    Alcotest.test_case "deterministic entropy" `Quick test_freq_entropy_deterministic;
+    Alcotest.test_case "biased entropy" `Quick test_freq_entropy_biased;
+    Alcotest.test_case "of_string" `Quick test_freq_of_string;
+    Alcotest.test_case "bit probabilities" `Quick test_bit_stats_probabilities;
+    Alcotest.test_case "bit correlation" `Quick test_bit_stats_correlation;
+    Alcotest.test_case "anticorrelation" `Quick test_bit_stats_anticorrelation;
+    Alcotest.test_case "conditional entropy equal bits" `Quick test_conditional_entropy;
+    Alcotest.test_case "conditional entropy independent" `Quick test_conditional_entropy_independent;
+    Alcotest.test_case "binary entropy edges" `Quick test_binary_entropy_edges;
+    QCheck_alcotest.to_alcotest prop_entropy_bounds;
+    QCheck_alcotest.to_alcotest prop_correlation_bounds;
+  ]

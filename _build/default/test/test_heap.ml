@@ -1,0 +1,58 @@
+module Heap = Ccomp_util.Heap
+
+let int_heap () = Heap.create ~cmp:compare
+
+let test_empty () =
+  let h = int_heap () in
+  Alcotest.(check bool) "fresh heap empty" true (Heap.is_empty h);
+  Alcotest.(check int) "length 0" 0 (Heap.length h);
+  Alcotest.check_raises "pop empty" Not_found (fun () -> ignore (Heap.pop h));
+  Alcotest.check_raises "peek empty" Not_found (fun () -> ignore (Heap.peek h))
+
+let test_ordering () =
+  let h = Heap.of_list ~cmp:compare [ 5; 3; 8; 1; 9; 2; 7 ] in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 2; 3; 5; 7; 8; 9 ] (Heap.to_sorted_list h)
+
+let test_duplicates () =
+  let h = Heap.of_list ~cmp:compare [ 2; 2; 1; 1; 3 ] in
+  Alcotest.(check (list int)) "duplicates kept" [ 1; 1; 2; 2; 3 ] (Heap.to_sorted_list h)
+
+let test_peek_does_not_remove () =
+  let h = Heap.of_list ~cmp:compare [ 4; 2 ] in
+  Alcotest.(check int) "peek min" 2 (Heap.peek h);
+  Alcotest.(check int) "length unchanged" 2 (Heap.length h);
+  Alcotest.(check int) "pop same" 2 (Heap.pop h)
+
+let test_interleaved () =
+  let h = int_heap () in
+  Heap.push h 10;
+  Heap.push h 5;
+  Alcotest.(check int) "min so far" 5 (Heap.pop h);
+  Heap.push h 1;
+  Heap.push h 7;
+  Alcotest.(check int) "new min" 1 (Heap.pop h);
+  Alcotest.(check int) "then" 7 (Heap.pop h);
+  Alcotest.(check int) "then" 10 (Heap.pop h);
+  Alcotest.(check bool) "empty again" true (Heap.is_empty h)
+
+let test_custom_order () =
+  let h = Heap.of_list ~cmp:(fun a b -> compare b a) [ 1; 5; 3 ] in
+  Alcotest.(check (list int)) "max-heap drain" [ 5; 3; 1 ] (Heap.to_sorted_list h)
+
+let prop_sorted_drain =
+  QCheck.Test.make ~name:"heap drains any list sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.of_list ~cmp:compare xs in
+      Heap.to_sorted_list h = List.sort compare xs)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "duplicates" `Quick test_duplicates;
+    Alcotest.test_case "peek" `Quick test_peek_does_not_remove;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    Alcotest.test_case "custom comparator" `Quick test_custom_order;
+    QCheck_alcotest.to_alcotest prop_sorted_drain;
+  ]

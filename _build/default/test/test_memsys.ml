@@ -1,0 +1,276 @@
+module Lru = Ccomp_memsys.Lru
+module Cache = Ccomp_memsys.Cache
+module Lat = Ccomp_memsys.Lat
+module Clb = Ccomp_memsys.Clb
+module System = Ccomp_memsys.System
+module Prng = Ccomp_util.Prng
+
+(* --- LRU -------------------------------------------------------------- *)
+
+let test_lru_basic () =
+  let l = Lru.create ~capacity:2 in
+  Alcotest.(check bool) "first access misses" false (Lru.access l 1);
+  Alcotest.(check bool) "second access hits" true (Lru.access l 1);
+  Alcotest.(check bool) "insert 2" false (Lru.access l 2);
+  Alcotest.(check bool) "both resident" true (Lru.mem l 1 && Lru.mem l 2)
+
+let test_lru_eviction_order () =
+  let l = Lru.create ~capacity:2 in
+  ignore (Lru.access l 1);
+  ignore (Lru.access l 2);
+  ignore (Lru.access l 1);
+  (* 2 is now LRU *)
+  ignore (Lru.access l 3);
+  Alcotest.(check bool) "LRU victim evicted" false (Lru.mem l 2);
+  Alcotest.(check bool) "MRU survives" true (Lru.mem l 1);
+  Alcotest.(check bool) "new resident" true (Lru.mem l 3)
+
+let test_lru_clear () =
+  let l = Lru.create ~capacity:2 in
+  ignore (Lru.access l 1);
+  Lru.clear l;
+  Alcotest.(check bool) "cleared" false (Lru.mem l 1)
+
+(* --- Cache ------------------------------------------------------------ *)
+
+let cache_cfg = { Cache.size_bytes = 256; block_size = 32; associativity = 2 }
+
+let test_cache_validation () =
+  Alcotest.(check bool) "valid accepted" true (Cache.validate cache_cfg = Ok ());
+  Alcotest.(check bool) "non-pow2 block rejected" true
+    (Cache.validate { cache_cfg with Cache.block_size = 24 } <> Ok ());
+  Alcotest.(check bool) "non-multiple size rejected" true
+    (Cache.validate { cache_cfg with Cache.size_bytes = 250 } <> Ok ())
+
+let test_cache_spatial_locality () =
+  let c = Cache.create cache_cfg in
+  Alcotest.(check bool) "cold miss" false (Cache.access c 0);
+  Alcotest.(check bool) "same block hits" true (Cache.access c 4);
+  Alcotest.(check bool) "same block hits" true (Cache.access c 31);
+  Alcotest.(check bool) "next block misses" false (Cache.access c 32)
+
+let test_cache_conflict_and_lru () =
+  (* 256B/2-way/32B = 4 sets: blocks 0,4,8 map to set 0 *)
+  let c = Cache.create cache_cfg in
+  ignore (Cache.access c (0 * 32));
+  ignore (Cache.access c (4 * 32));
+  ignore (Cache.access c (0 * 32));
+  (* block 4 is LRU in set 0; inserting block 8 evicts it *)
+  ignore (Cache.access c (8 * 32));
+  Alcotest.(check bool) "block 0 still resident" true (Cache.access c 0);
+  Alcotest.(check bool) "block 4 evicted" false (Cache.access c (4 * 32))
+
+let test_cache_stats () =
+  let c = Cache.create cache_cfg in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 64);
+  Alcotest.(check int) "accesses" 3 (Cache.accesses c);
+  Alcotest.(check int) "hits" 1 (Cache.hits c);
+  Alcotest.(check int) "misses" 2 (Cache.misses c);
+  Cache.reset_stats c;
+  Alcotest.(check int) "stats reset" 0 (Cache.accesses c);
+  Alcotest.(check bool) "content kept" true (Cache.access c 0)
+
+let test_cache_bigger_is_no_worse () =
+  let g = Prng.create 1L in
+  let trace = Array.init 20000 (fun _ -> 32 * Prng.geometric g 0.02) in
+  let misses size =
+    let c = Cache.create { cache_cfg with Cache.size_bytes = size } in
+    Array.iter (fun a -> ignore (Cache.access c a)) trace;
+    Cache.misses c
+  in
+  Alcotest.(check bool) "1KiB <= 256B misses" true (misses 1024 <= misses 256)
+
+(* --- LAT -------------------------------------------------------------- *)
+
+let test_lat_offsets () =
+  let lat = Lat.build [| 10; 20; 5 |] in
+  Alcotest.(check int) "entries" 3 (Lat.entries lat);
+  Alcotest.(check int) "offset 0" 0 (Lat.offset lat 0);
+  Alcotest.(check int) "offset 1" 10 (Lat.offset lat 1);
+  Alcotest.(check int) "offset 2" 30 (Lat.offset lat 2);
+  Alcotest.(check int) "length" 20 (Lat.length lat 1);
+  Alcotest.(check int) "total" 35 (Lat.total_compressed lat)
+
+let test_lat_of_blocks () =
+  let lat = Lat.of_blocks [| "abc"; "de"; "" |] in
+  Alcotest.(check int) "lengths from blocks" 3 (Lat.length lat 0);
+  Alcotest.(check int) "empty block" 0 (Lat.length lat 2);
+  Alcotest.(check int) "total" 5 (Lat.total_compressed lat)
+
+let test_lat_storage_model () =
+  let lat = Lat.build (Array.make 64 20) in
+  (* 8 groups x 4-byte base + 64 x 1-byte length *)
+  Alcotest.(check int) "compact storage" ((8 * 4) + 64) (Lat.storage_bytes lat);
+  let big = Lat.build (Array.make 64 300) in
+  Alcotest.(check int) "wide lengths" ((8 * 4) + 128) (Lat.storage_bytes big)
+
+let test_lat_serialization () =
+  let g = Prng.create 2L in
+  let lengths = Array.init 100 (fun _ -> Prng.int g 50) in
+  let lat = Lat.build lengths in
+  let s = Lat.serialize lat in
+  let lat', pos = Lat.deserialize s ~pos:0 in
+  Alcotest.(check int) "consumed" (String.length s) pos;
+  Alcotest.(check int) "entries" (Lat.entries lat) (Lat.entries lat');
+  for i = 0 to 99 do
+    Alcotest.(check int) (Printf.sprintf "offset %d" i) (Lat.offset lat i) (Lat.offset lat' i)
+  done
+
+let test_lat_rejects_corruption () =
+  let lat = Lat.build [| 1; 2; 3 |] in
+  let s = Bytes.of_string (Lat.serialize lat) in
+  (* corrupt a group base *)
+  Bytes.set s 6 '\xff';
+  match Lat.deserialize (Bytes.to_string s) ~pos:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "corrupted base must be rejected"
+
+(* --- CLB -------------------------------------------------------------- *)
+
+let test_clb_grouping () =
+  let clb = Clb.create ~entries:4 in
+  Alcotest.(check bool) "first miss" false (Clb.access clb 0);
+  Alcotest.(check bool) "same LAT group hits" true (Clb.access clb 7);
+  Alcotest.(check bool) "next group misses" false (Clb.access clb 8);
+  Alcotest.(check int) "stats" 3 (Clb.accesses clb);
+  Alcotest.(check int) "hits" 1 (Clb.hits clb);
+  Alcotest.(check int) "misses" 2 (Clb.misses clb)
+
+(* --- System ----------------------------------------------------------- *)
+
+let loopy_trace n =
+  (* walk three loops over a 4 KiB text segment *)
+  let g = Prng.create 3L in
+  let out = Array.make n 0 in
+  let pc = ref 0 in
+  for i = 0 to n - 1 do
+    out.(i) <- !pc;
+    if Prng.float g < 0.1 then pc := 4 * Prng.int g 1024 else pc := (!pc + 4) mod 4096
+  done;
+  out
+
+let lat_for_text bytes = Lat.build (Array.make ((bytes + 31) / 32) 20)
+
+let test_system_uncompressed_baseline () =
+  let trace = loopy_trace 50000 in
+  let r = System.run (System.default_config ()) ~trace () in
+  Alcotest.(check int) "every fetch counted" 50000 r.System.fetches;
+  Alcotest.(check int) "hits + misses" r.System.fetches (r.System.hits + r.System.misses);
+  Alcotest.(check bool) "cpi >= 1" true (r.System.cpi >= 1.0)
+
+let test_system_compressed_needs_lat () =
+  let trace = loopy_trace 10 in
+  Alcotest.check_raises "missing LAT" (Invalid_argument "System.run: compressed system needs a LAT")
+    (fun () ->
+      ignore
+        (System.run (System.default_config ~decompressor:System.samc_decompressor ()) ~trace ()))
+
+let test_system_compressed_slower () =
+  let trace = loopy_trace 50000 in
+  let lat = lat_for_text 4096 in
+  let base = System.run (System.default_config ()) ~trace () in
+  let comp =
+    System.run (System.default_config ~decompressor:System.samc_decompressor ()) ~lat ~trace ()
+  in
+  Alcotest.(check bool) "decompression costs cycles" true (comp.System.cpi >= base.System.cpi);
+  Alcotest.(check bool) "slowdown >= 1" true (System.slowdown ~compressed:comp ~uncompressed:base >= 1.0)
+
+let test_system_faster_decompressor_cheaper () =
+  let trace = loopy_trace 50000 in
+  let lat = lat_for_text 4096 in
+  let run d = System.run (System.default_config ~cache_bytes:512 ~decompressor:d ()) ~lat ~trace () in
+  let samc = run System.samc_decompressor in
+  let sadc = run System.sadc_decompressor in
+  Alcotest.(check bool) "sadc engine faster than samc engine" true
+    (sadc.System.cpi <= samc.System.cpi)
+
+let test_system_smaller_cache_slower () =
+  let trace = loopy_trace 50000 in
+  let lat = lat_for_text 4096 in
+  let run cache_bytes =
+    System.run (System.default_config ~cache_bytes ~decompressor:System.samc_decompressor ()) ~lat
+      ~trace ()
+  in
+  let small = run 256 and large = run 4096 in
+  Alcotest.(check bool) "hit ratio grows with size" true
+    (large.System.hit_ratio >= small.System.hit_ratio);
+  Alcotest.(check bool) "cpi shrinks with size" true (large.System.cpi <= small.System.cpi)
+
+let test_system_clb_reduces_penalty () =
+  let trace = loopy_trace 50000 in
+  let lat = lat_for_text 4096 in
+  let with_clb =
+    System.run
+      { (System.default_config ~cache_bytes:512 ~decompressor:System.samc_decompressor ()) with System.clb_entries = 32 }
+      ~lat ~trace ()
+  in
+  let without =
+    System.run
+      { (System.default_config ~cache_bytes:512 ~decompressor:System.samc_decompressor ()) with System.clb_entries = 0 }
+      ~lat ~trace ()
+  in
+  Alcotest.(check bool) "CLB saves cycles" true (with_clb.System.total_cycles <= without.System.total_cycles);
+  Alcotest.(check int) "no CLB: every miss pays" without.System.misses without.System.clb_misses
+
+let test_system_trace_beyond_lat_rejected () =
+  let trace = [| 100_000 |] in
+  let lat = lat_for_text 4096 in
+  Alcotest.check_raises "beyond LAT" (Invalid_argument "System.run: trace address beyond the LAT")
+    (fun () ->
+      ignore
+        (System.run
+           (System.default_config ~cache_bytes:256 ~decompressor:System.samc_decompressor ())
+           ~lat ~trace ()))
+
+let suite =
+  [
+    Alcotest.test_case "lru basics" `Quick test_lru_basic;
+    Alcotest.test_case "lru eviction order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "lru clear" `Quick test_lru_clear;
+    Alcotest.test_case "cache validation" `Quick test_cache_validation;
+    Alcotest.test_case "cache spatial locality" `Quick test_cache_spatial_locality;
+    Alcotest.test_case "cache conflicts + lru" `Quick test_cache_conflict_and_lru;
+    Alcotest.test_case "cache stats" `Quick test_cache_stats;
+    Alcotest.test_case "bigger cache no worse" `Quick test_cache_bigger_is_no_worse;
+    Alcotest.test_case "lat offsets" `Quick test_lat_offsets;
+    Alcotest.test_case "lat of blocks" `Quick test_lat_of_blocks;
+    Alcotest.test_case "lat storage model" `Quick test_lat_storage_model;
+    Alcotest.test_case "lat serialization" `Quick test_lat_serialization;
+    Alcotest.test_case "lat rejects corruption" `Quick test_lat_rejects_corruption;
+    Alcotest.test_case "clb grouping" `Quick test_clb_grouping;
+    Alcotest.test_case "system baseline" `Quick test_system_uncompressed_baseline;
+    Alcotest.test_case "system needs lat" `Quick test_system_compressed_needs_lat;
+    Alcotest.test_case "system compressed slower" `Quick test_system_compressed_slower;
+    Alcotest.test_case "system decompressor speed" `Quick test_system_faster_decompressor_cheaper;
+    Alcotest.test_case "system cache size" `Quick test_system_smaller_cache_slower;
+    Alcotest.test_case "system clb effect" `Quick test_system_clb_reduces_penalty;
+    Alcotest.test_case "system lat bounds" `Quick test_system_trace_beyond_lat_rejected;
+  ]
+
+let test_lat_quantize () =
+  let lat = Lat.build [| 10; 20; 5; 17 |] in
+  let q = Lat.quantize ~quantum:8 lat in
+  Alcotest.(check int) "length rounded up" 16 (Lat.length q 0);
+  Alcotest.(check int) "already multiple stays" 24 (Lat.length q 1);
+  Alcotest.(check int) "total grows" (16 + 24 + 8 + 24) (Lat.total_compressed q);
+  Alcotest.(check bool) "padding monotone" true
+    (Lat.total_compressed q >= Lat.total_compressed lat)
+
+let test_lat_storage_bits_shrink_with_quantum () =
+  let g = Prng.create 5L in
+  let lat = Lat.build (Array.init 256 (fun _ -> 1 + Prng.int g 40)) in
+  let bits q = Lat.storage_bits ~quantum:q (Lat.quantize ~quantum:q lat) in
+  Alcotest.(check bool) "coarser quantum, smaller table" true (bits 16 < bits 1);
+  Alcotest.check_raises "unquantized lengths rejected"
+    (Invalid_argument "Lat.storage_bits: lengths not quantized") (fun () ->
+      ignore (Lat.storage_bits ~quantum:16 lat))
+
+let quantize_suite =
+  [
+    Alcotest.test_case "lat quantize" `Quick test_lat_quantize;
+    Alcotest.test_case "lat storage bits" `Quick test_lat_storage_bits_shrink_with_quantum;
+  ]
+
+let suite = suite @ quantize_suite

@@ -1,0 +1,149 @@
+module Mips = Ccomp_isa.Mips
+module Prng = Ccomp_util.Prng
+
+let spec = Mips.spec_of_mnemonic
+
+let test_known_encodings () =
+  (* addu $3, $1, $2 -> 0x00221821 *)
+  let addu = Mips.make (spec "addu") ~rs:1 ~rt:2 ~rd:3 () in
+  Alcotest.(check int) "addu" 0x00221821 (Mips.encode addu);
+  (* addiu $29, $29, -32 -> 0x27bdffe0 *)
+  let addiu = Mips.make (spec "addiu") ~rs:29 ~rt:29 ~imm:0xffe0 () in
+  Alcotest.(check int) "addiu" 0x27bdffe0 (Mips.encode addiu);
+  (* lw $31, 28($29) -> 0x8fbf001c *)
+  let lw = Mips.make (spec "lw") ~rs:29 ~rt:31 ~imm:28 () in
+  Alcotest.(check int) "lw" 0x8fbf001c (Mips.encode lw);
+  (* jr $31 -> 0x03e00008 *)
+  let jr = Mips.make (spec "jr") ~rs:31 () in
+  Alcotest.(check int) "jr" 0x03e00008 (Mips.encode jr);
+  (* sll $2, $3, 4 -> 0x00031100 *)
+  let sll = Mips.make (spec "sll") ~rt:3 ~rd:2 ~shamt:4 () in
+  Alcotest.(check int) "sll" 0x00031100 (Mips.encode sll);
+  (* jal 0x100 (word target) -> 0x0c000100 *)
+  let jal = Mips.make (spec "jal") ~imm:0x100 () in
+  Alcotest.(check int) "jal" 0x0c000100 (Mips.encode jal);
+  (* bgez $4, +8 -> REGIMM rt=1: 0x04810008 *)
+  let bgez = Mips.make (spec "bgez") ~rs:4 ~imm:8 () in
+  Alcotest.(check int) "bgez" 0x04810008 (Mips.encode bgez)
+
+let test_decode_inverse () =
+  List.iter
+    (fun word ->
+      match Mips.decode word with
+      | Some i -> Alcotest.(check int) (Printf.sprintf "decode(0x%08x)" word) word (Mips.encode i)
+      | None -> Alcotest.failf "0x%08x should decode" word)
+    [ 0x00221821; 0x27bdffe0; 0x8fbf001c; 0x03e00008; 0x00031100; 0x0c000100; 0x04810008 ]
+
+let test_decode_rejects_unknown () =
+  (* opcode 0x3f is unused in this subset *)
+  Alcotest.(check bool) "unknown opcode" true (Mips.decode 0xfc000000 = None);
+  (* special funct 0x3f unused *)
+  Alcotest.(check bool) "unknown funct" true (Mips.decode 0x0000003f = None);
+  (* non-canonical: addu with nonzero shamt *)
+  Alcotest.(check bool) "non-canonical fields" true (Mips.decode 0x00221861 = None)
+
+let test_field_ranges_checked () =
+  Alcotest.check_raises "rs out of range" (Invalid_argument "Mips.make: rs out of range: 32")
+    (fun () -> ignore (Mips.make (spec "jr") ~rs:32 ()));
+  Alcotest.check_raises "imm out of range" (Invalid_argument "Mips.make: imm out of range: 65536")
+    (fun () -> ignore (Mips.make (spec "lw") ~imm:65536 ()));
+  (* jump targets get 26 bits *)
+  ignore (Mips.make (spec "j") ~imm:0x3ffffff ())
+
+let test_all_specs_roundtrip () =
+  let g = Prng.create 99L in
+  Array.iter
+    (fun sp ->
+      for _ = 1 to 50 do
+        let regs = List.init (Mips.reg_arity sp) (fun _ -> Prng.int g 32) in
+        let imm = if Mips.has_immediate sp then Some (Prng.int g 65536) else None in
+        let limm = if Mips.has_long_immediate sp then Some (Prng.int g (1 lsl 26)) else None in
+        let i = Mips.reassemble sp ~regs ~imm ~limm in
+        match Mips.decode (Mips.encode i) with
+        | Some i' ->
+          Alcotest.(check int) (sp.Mips.mnemonic ^ " reencodes") (Mips.encode i) (Mips.encode i')
+        | None -> Alcotest.failf "%s does not decode" sp.Mips.mnemonic
+      done)
+    Mips.specs
+
+let test_streams_reassemble () =
+  let g = Prng.create 123L in
+  Array.iter
+    (fun sp ->
+      let regs = List.init (Mips.reg_arity sp) (fun _ -> Prng.int g 32) in
+      let imm = if Mips.has_immediate sp then Some (Prng.int g 65536) else None in
+      let limm = if Mips.has_long_immediate sp then Some (Prng.int g (1 lsl 26)) else None in
+      let i = Mips.reassemble sp ~regs ~imm ~limm in
+      (* deconstruct into streams and rebuild: the Fig. 6 data path *)
+      let i' =
+        Mips.reassemble sp ~regs:(Mips.operand_regs i) ~imm:(Mips.immediate i)
+          ~limm:(Mips.long_immediate i)
+      in
+      Alcotest.(check int) (sp.Mips.mnemonic ^ " via streams") (Mips.encode i) (Mips.encode i'))
+    Mips.specs
+
+let test_operand_counts_match_streams () =
+  Array.iter
+    (fun sp ->
+      let regs = List.init (Mips.reg_arity sp) (fun _ -> 1) in
+      let imm = if Mips.has_immediate sp then Some 5 else None in
+      let limm = if Mips.has_long_immediate sp then Some 6 else None in
+      let i = Mips.reassemble sp ~regs ~imm ~limm in
+      Alcotest.(check int)
+        (sp.Mips.mnemonic ^ " reg arity")
+        (Mips.reg_arity sp)
+        (List.length (Mips.operand_regs i)))
+    Mips.specs
+
+let test_signed_immediate () =
+  let i = Mips.make (spec "addiu") ~rs:29 ~rt:29 ~imm:0xffe0 () in
+  Alcotest.(check int) "negative immediate" (-32) (Mips.signed_immediate i);
+  let j = Mips.make (spec "addiu") ~rs:4 ~rt:4 ~imm:100 () in
+  Alcotest.(check int) "positive immediate" 100 (Mips.signed_immediate j)
+
+let test_program_encoding () =
+  let instrs =
+    [ Mips.make (spec "addiu") ~rs:29 ~rt:29 ~imm:0xffe0 (); Mips.make (spec "jr") ~rs:31 () ]
+  in
+  let code = Mips.encode_program instrs in
+  Alcotest.(check int) "4 bytes per instruction" 8 (String.length code);
+  Alcotest.(check char) "big-endian first byte" '\x27' code.[0];
+  let decoded = Mips.decode_program code in
+  Alcotest.(check int) "two instructions" 2 (Array.length decoded);
+  Array.iter (fun d -> Alcotest.(check bool) "decodes" true (Option.is_some d)) decoded
+
+let test_classification () =
+  Alcotest.(check bool) "beq is branch" true (Mips.is_branch (Mips.make (spec "beq") ()));
+  Alcotest.(check bool) "j is branch" true (Mips.is_branch (Mips.make (spec "j") ()));
+  Alcotest.(check bool) "addu not branch" false (Mips.is_branch (Mips.make (spec "addu") ()));
+  Alcotest.(check bool) "jr indirect" true (Mips.is_indirect_jump (Mips.make (spec "jr") ()));
+  Alcotest.(check bool) "jal not indirect" false (Mips.is_indirect_jump (Mips.make (spec "jal") ()))
+
+let test_disassembly () =
+  let i = Mips.make (spec "lw") ~rs:29 ~rt:31 ~imm:28 () in
+  Alcotest.(check string) "lw text" "lw $31, 28($29)" (Mips.to_string i);
+  let s = Mips.make (spec "sll") ~rt:3 ~rd:2 ~shamt:4 () in
+  Alcotest.(check string) "sll text" "sll $2, $3, 4" (Mips.to_string s)
+
+let prop_decode_encode_fixpoint =
+  QCheck.Test.make ~name:"decode is a partial inverse of encode on random words" ~count:2000
+    QCheck.(int_bound 0x3fffffff)
+    (fun w ->
+      let word = w lxor (w lsl 2) land 0xffffffff in
+      match Mips.decode word with Some i -> Mips.encode i = word | None -> true)
+
+let suite =
+  [
+    Alcotest.test_case "known encodings" `Quick test_known_encodings;
+    Alcotest.test_case "decode inverse" `Quick test_decode_inverse;
+    Alcotest.test_case "decode rejects unknown" `Quick test_decode_rejects_unknown;
+    Alcotest.test_case "field range checks" `Quick test_field_ranges_checked;
+    Alcotest.test_case "all specs roundtrip" `Quick test_all_specs_roundtrip;
+    Alcotest.test_case "stream reassembly" `Quick test_streams_reassemble;
+    Alcotest.test_case "operand counts" `Quick test_operand_counts_match_streams;
+    Alcotest.test_case "signed immediate" `Quick test_signed_immediate;
+    Alcotest.test_case "program encoding" `Quick test_program_encoding;
+    Alcotest.test_case "branch classification" `Quick test_classification;
+    Alcotest.test_case "disassembly" `Quick test_disassembly;
+    QCheck_alcotest.to_alcotest prop_decode_encode_fixpoint;
+  ]

@@ -1,0 +1,100 @@
+module Mips = Ccomp_isa.Mips
+module Asm = Ccomp_isa.Mips_asm
+module Prng = Ccomp_util.Prng
+
+let spec = Mips.spec_of_mnemonic
+
+let test_parse_examples () =
+  let check text expected_word =
+    match Asm.parse_instruction text with
+    | Ok i -> Alcotest.(check int) text expected_word (Mips.encode i)
+    | Error e -> Alcotest.failf "%s: %s" text e
+  in
+  check "addu $3, $1, $2" 0x00221821;
+  check "addiu $29, $29, -32" 0x27bdffe0;
+  check "lw $31, 28($29)" 0x8fbf001c;
+  check "jr $31" 0x03e00008;
+  check "sll $2, $3, 4" 0x00031100;
+  check "jal 0x100" 0x0c000100;
+  check "bgez $4, 8" 0x04810008;
+  check "syscall" 0x0000000c;
+  check "lui $2, 0x1234" 0x3c021234
+
+let test_parse_rejects () =
+  let bad text =
+    match Asm.parse_instruction text with
+    | Ok _ -> Alcotest.failf "%S should not parse" text
+    | Error _ -> ()
+  in
+  bad "frobnicate $1, $2";
+  bad "addu $3, $1";
+  bad "addu $3, $1, 7";
+  bad "lw $31, 28";
+  bad "jr $32";
+  bad "addiu $1, $2, fish";
+  bad "lw $1, 4($2";
+  bad ""
+
+let test_roundtrip_all_specs () =
+  let g = Prng.create 31L in
+  Array.iter
+    (fun sp ->
+      for _ = 1 to 30 do
+        let regs = List.init (Mips.reg_arity sp) (fun _ -> Prng.int g 32) in
+        let imm = if Mips.has_immediate sp then Some (Prng.int g 65536) else None in
+        let limm = if Mips.has_long_immediate sp then Some (Prng.int g (1 lsl 26)) else None in
+        let i = Mips.reassemble sp ~regs ~imm ~limm in
+        match Asm.parse_instruction (Mips.to_string i) with
+        | Ok i' ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s reparses" (Mips.to_string i))
+            (Mips.encode i) (Mips.encode i')
+        | Error e -> Alcotest.failf "%s: %s" (Mips.to_string i) e
+      done)
+    Mips.specs
+
+let test_program_with_comments () =
+  let text =
+    "# function prologue\n\
+     addiu $29, $29, -32   # grow the frame\n\
+     sw $31, 28($29)\n\
+     \n\
+     jr $31 # return\n"
+  in
+  match Asm.parse_program text with
+  | Error e -> Alcotest.fail e
+  | Ok instrs ->
+    Alcotest.(check int) "3 instructions" 3 (List.length instrs);
+    Alcotest.(check string) "first" "addiu $29, $29, -32"
+      (Mips.to_string (List.nth instrs 0))
+
+let test_program_error_line () =
+  match Asm.parse_program "addu $3, $1, $2\nbroken line here\n" with
+  | Ok _ -> Alcotest.fail "must fail"
+  | Error e ->
+    Alcotest.(check bool) "mentions line 2" true
+      (String.length e >= 7 && String.sub e 0 7 = "line 2:")
+
+let test_print_program () =
+  let instrs = [ Mips.make (spec "jr") ~rs:31 (); Mips.make (spec "addu") ~rs:1 ~rt:2 ~rd:3 () ] in
+  let listing = Asm.print_program instrs in
+  Alcotest.(check bool) "has addresses" true (String.sub listing 0 8 = "00000000");
+  let bare = Asm.print_program ~addresses:false instrs in
+  Alcotest.(check string) "bare listing" "jr $31\naddu $3, $1, $2\n" bare;
+  (* a listing reparses to the same program *)
+  match Asm.parse_program bare with
+  | Ok back ->
+    List.iter2
+      (fun a b -> Alcotest.(check int) "same" (Mips.encode a) (Mips.encode b))
+      instrs back
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "parse examples" `Quick test_parse_examples;
+    Alcotest.test_case "parse rejects garbage" `Quick test_parse_rejects;
+    Alcotest.test_case "roundtrip all specs" `Quick test_roundtrip_all_specs;
+    Alcotest.test_case "program with comments" `Quick test_program_with_comments;
+    Alcotest.test_case "program error line" `Quick test_program_error_line;
+    Alcotest.test_case "print program" `Quick test_print_program;
+  ]

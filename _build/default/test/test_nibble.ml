@@ -1,0 +1,135 @@
+(* The parallel (Fig. 5) decoder must be bit-for-bit identical to the
+   serial one and must perform exactly 2^n - 1 midpoint evaluations per
+   n-bit step. *)
+
+module Coder = Ccomp_arith.Binary_coder
+module Nibble = Ccomp_arith.Nibble_decoder
+module Samc = Ccomp_core.Samc
+module Prng = Ccomp_util.Prng
+module P = Ccomp_progen
+
+(* A fixed-probability oracle: prediction depends only on (prefix, width)
+   so the encoder can replay the identical sequence. *)
+let oracle ~seed ~prefix ~width =
+  let h = Int64.of_int ((seed * 1009) + (prefix * 131) + width) in
+  1 + (Int64.to_int (Int64.logand (Ccomp_util.Prng.next_int64 (Prng.create h)) 0xfffL) mod (Coder.scale - 1))
+
+let encode_nibbles ~seed nibbles =
+  let e = Coder.Encoder.create () in
+  List.iter
+    (fun nib ->
+      for k = 3 downto 0 do
+        let width = 3 - k in
+        let prefix = nib lsr (k + 1) in
+        let bit = (nib lsr k) land 1 in
+        Coder.Encoder.encode e ~p0:(oracle ~seed ~prefix ~width) bit
+      done)
+    nibbles;
+  Coder.Encoder.finish e
+
+let test_matches_serial () =
+  let g = Prng.create 5L in
+  for seed = 1 to 50 do
+    let n = 1 + Prng.int g 200 in
+    let nibbles = List.init n (fun _ -> Prng.int g 16) in
+    let data = encode_nibbles ~seed nibbles in
+    (* serial decode *)
+    let d = Coder.Decoder.create data in
+    let serial =
+      List.map
+        (fun _ ->
+          let v = ref 0 in
+          for width = 0 to 3 do
+            let bit = Coder.Decoder.decode d ~p0:(oracle ~seed ~prefix:!v ~width) in
+            v := (!v lsl 1) lor bit
+          done;
+          !v)
+        nibbles
+    in
+    Alcotest.(check (list int)) "serial decodes the input" nibbles serial;
+    (* parallel decode *)
+    let e = Nibble.create data in
+    let parallel =
+      List.map (fun _ -> Nibble.decode_nibble e ~p0:(fun ~prefix ~width -> oracle ~seed ~prefix ~width)) nibbles
+    in
+    Alcotest.(check (list int)) "parallel equals serial" serial parallel
+  done
+
+let test_midpoint_count () =
+  let nibbles = [ 3; 9; 15; 0 ] in
+  let data = encode_nibbles ~seed:7 nibbles in
+  let e = Nibble.create data in
+  List.iter (fun _ -> ignore (Nibble.decode_nibble e ~p0:(fun ~prefix ~width -> oracle ~seed:7 ~prefix ~width))) nibbles;
+  (* 15 midpoints per nibble, as in Fig. 5 *)
+  Alcotest.(check int) "15 midpoints per nibble" (15 * List.length nibbles)
+    (Nibble.midpoint_evaluations e)
+
+let test_partial_steps () =
+  (* decode the same 4 bits as one step or as 1+3: same result *)
+  let nibbles = [ 11; 6 ] in
+  let data = encode_nibbles ~seed:3 nibbles in
+  let ora = fun ~prefix ~width -> oracle ~seed:3 ~prefix ~width in
+  let e1 = Nibble.create data in
+  let whole = List.map (fun _ -> Nibble.decode_nibble e1 ~p0:ora) nibbles in
+  let e2 = Nibble.create data in
+  let split =
+    List.map
+      (fun _ ->
+        let hi = Nibble.decode_bits e2 ~n:1 ~p0:ora in
+        let lo = Nibble.decode_bits e2 ~n:3 ~p0:(fun ~prefix ~width -> ora ~prefix:((hi lsl width) lor prefix) ~width:(width + 1)) in
+        (hi lsl 3) lor lo)
+      nibbles
+  in
+  Alcotest.(check (list int)) "split steps agree" whole split;
+  (* 1-bit step costs 1 midpoint, 3-bit step costs 7 *)
+  Alcotest.(check int) "evaluation count for split" (2 * (1 + 7)) (Nibble.midpoint_evaluations e2)
+
+let test_invalid_n () =
+  let e = Nibble.create "" in
+  Alcotest.check_raises "n=0" (Invalid_argument "Nibble_decoder.decode_bits: n must be in 1..4")
+    (fun () -> ignore (Nibble.decode_bits e ~n:0 ~p0:(fun ~prefix:_ ~width:_ -> 1)));
+  Alcotest.check_raises "n=5" (Invalid_argument "Nibble_decoder.decode_bits: n must be in 1..4")
+    (fun () -> ignore (Nibble.decode_bits e ~n:5 ~p0:(fun ~prefix:_ ~width:_ -> 1)))
+
+let test_samc_parallel_block_decode () =
+  let profile =
+    { (P.Profile.find "go") with P.Profile.name = "t"; target_ops = 800; functions = 8 }
+  in
+  let code = (snd (P.Mips_backend.lower (P.Generator.generate ~seed:9L profile))).P.Layout.code in
+  let cfg = Samc.mips_config () in
+  let z = Samc.compress cfg code in
+  Array.iteri
+    (fun b blk ->
+      let original_bytes = min 32 (String.length code - (b * 32)) in
+      let serial = Samc.decompress_block cfg z.Samc.model ~original_bytes blk in
+      let parallel, evals = Samc.decompress_block_parallel cfg z.Samc.model ~original_bytes blk in
+      Alcotest.(check string) (Printf.sprintf "block %d identical" b) serial parallel;
+      (* 8 bits per stream = two 4-bit steps of 15 midpoints; 4 streams;
+         8 words per full block *)
+      if original_bytes = 32 then
+        Alcotest.(check int) "hardware work per block" (8 * 4 * 2 * 15) evals)
+    z.Samc.blocks
+
+let test_samc_parallel_with_odd_streams () =
+  (* 8 streams of 4 bits: one step per stream *)
+  let profile =
+    { (P.Profile.find "swim") with P.Profile.name = "t"; target_ops = 500; functions = 6 }
+  in
+  let code = (snd (P.Mips_backend.lower (P.Generator.generate ~seed:10L profile))).P.Layout.code in
+  let streams = Ccomp_core.Stream_split.consecutive ~word_bits:32 ~streams:8 in
+  let cfg = Samc.mips_config ~streams () in
+  let z = Samc.compress cfg code in
+  let b = 2 in
+  let serial = Samc.decompress_block cfg z.Samc.model ~original_bytes:32 z.Samc.blocks.(b) in
+  let parallel, _ = Samc.decompress_block_parallel cfg z.Samc.model ~original_bytes:32 z.Samc.blocks.(b) in
+  Alcotest.(check string) "4-bit streams identical" serial parallel
+
+let suite =
+  [
+    Alcotest.test_case "parallel equals serial" `Quick test_matches_serial;
+    Alcotest.test_case "15 midpoints per nibble" `Quick test_midpoint_count;
+    Alcotest.test_case "partial steps" `Quick test_partial_steps;
+    Alcotest.test_case "invalid widths rejected" `Quick test_invalid_n;
+    Alcotest.test_case "samc parallel block decode" `Quick test_samc_parallel_block_decode;
+    Alcotest.test_case "samc parallel odd streams" `Quick test_samc_parallel_with_odd_streams;
+  ]

@@ -1,0 +1,164 @@
+module Ppm = Ccomp_baselines.Ppm
+module Rc = Ccomp_arith.Range_coder
+module Prng = Ccomp_util.Prng
+module P = Ccomp_progen
+
+(* --- range coder ------------------------------------------------------ *)
+
+let test_range_coder_roundtrip () =
+  let g = Prng.create 1L in
+  for _ = 1 to 100 do
+    let n = 1 + Prng.int g 500 in
+    (* random cumulative tables of 4 symbols *)
+    let freqs = Array.init 4 (fun _ -> 1 + Prng.int g 40) in
+    let total = Array.fold_left ( + ) 0 freqs in
+    let cum sym = Array.fold_left ( + ) 0 (Array.sub freqs 0 sym) in
+    let syms = Array.init n (fun _ -> Prng.int g 4) in
+    let e = Rc.Encoder.create () in
+    Array.iter (fun s -> Rc.Encoder.encode e ~cum_low:(cum s) ~freq:freqs.(s) ~total) syms;
+    let data = Rc.Encoder.finish e in
+    let d = Rc.Decoder.create data in
+    Array.iter
+      (fun s ->
+        let target = Rc.Decoder.decode_target d ~total in
+        let rec find sym = if target < cum sym + freqs.(sym) then sym else find (sym + 1) in
+        let s' = find 0 in
+        if s <> s' then Alcotest.failf "decoded %d, expected %d" s' s;
+        Rc.Decoder.decode_update d ~cum_low:(cum s) ~freq:freqs.(s) ~total)
+      syms
+  done
+
+let test_range_coder_skew_efficiency () =
+  (* symbol with p=255/256 must cost about 0.0056 bits *)
+  let e = Rc.Encoder.create () in
+  for _ = 1 to 50_000 do
+    Rc.Encoder.encode e ~cum_low:0 ~freq:255 ~total:256
+  done;
+  let data = Rc.Encoder.finish e in
+  Alcotest.(check bool)
+    (Printf.sprintf "skewed stream tiny (%d bytes)" (String.length data))
+    true
+    (String.length data < 80)
+
+let test_range_coder_rejects_bad_freqs () =
+  let e = Rc.Encoder.create () in
+  Alcotest.check_raises "zero freq" (Invalid_argument "Range_coder.encode: bad frequencies")
+    (fun () -> Rc.Encoder.encode e ~cum_low:0 ~freq:0 ~total:4);
+  Alcotest.check_raises "overflowing cum" (Invalid_argument "Range_coder.encode: bad frequencies")
+    (fun () -> Rc.Encoder.encode e ~cum_low:3 ~freq:2 ~total:4)
+
+(* --- PPM ---------------------------------------------------------------- *)
+
+let test_ppm_empty () = Alcotest.(check string) "empty" "" (Ppm.decompress (Ppm.compress ""))
+
+let test_ppm_simple () =
+  let s = "abracadabra abracadabra abracadabra" in
+  Alcotest.(check string) "roundtrip" s (Ppm.decompress (Ppm.compress s))
+
+let test_ppm_orders () =
+  let s = String.concat "" (List.init 60 (fun i -> Printf.sprintf "line %d of text;" (i mod 7))) in
+  List.iter
+    (fun order ->
+      Alcotest.(check string)
+        (Printf.sprintf "order %d roundtrip" order)
+        s
+        (Ppm.decompress ~order (Ppm.compress ~order s)))
+    [ 0; 1; 2; 3 ]
+
+let test_ppm_higher_order_helps () =
+  let s = String.concat "" (List.init 400 (fun i -> Printf.sprintf "token%d " (i mod 13))) in
+  let r0 = Ppm.ratio ~order:0 s and r2 = Ppm.ratio ~order:2 s in
+  Alcotest.(check bool) (Printf.sprintf "order2 %.3f < order0 %.3f" r2 r0) true (r2 < r0)
+
+let mips_code seed =
+  let profile =
+    { (P.Profile.find "go") with P.Profile.name = "t"; target_ops = 900; functions = 10 }
+  in
+  (snd (P.Mips_backend.lower (P.Generator.generate ~seed profile))).P.Layout.code
+
+let test_ppm_beats_gzip_on_code () =
+  (* the paper's §1 premise: finite-context models compress best *)
+  let code = mips_code 2L in
+  let ppm = Ppm.ratio code in
+  let gzip = Ccomp_baselines.Lzss.ratio code in
+  Alcotest.(check bool) (Printf.sprintf "ppm %.3f < gzip %.3f" ppm gzip) true (ppm < gzip);
+  Alcotest.(check string) "roundtrip on code" code (Ppm.decompress (Ppm.compress code))
+
+let test_ppm_memory_report () =
+  let code = mips_code 3L in
+  let m = Ppm.model_memory code in
+  Alcotest.(check bool) "contexts allocated" true (m.Ppm.contexts > 100);
+  Alcotest.(check bool) "nodes counted" true (m.Ppm.nodes >= m.Ppm.contexts);
+  (* §1's objection: model memory is large — here comparable to the input *)
+  Alcotest.(check bool) "memory substantial" true (m.Ppm.approx_bytes > String.length code / 4)
+
+let prop_ppm_roundtrip =
+  QCheck.Test.make ~name:"ppm round-trips arbitrary strings" ~count:60
+    QCheck.(string_of_size (Gen.int_range 0 1500))
+    (fun s -> String.equal (Ppm.decompress (Ppm.compress s)) s)
+
+let prop_ppm_roundtrip_low_entropy =
+  QCheck.Test.make ~name:"ppm round-trips low-entropy strings" ~count:60
+    QCheck.(string_gen_of_size (Gen.int_range 0 1500) (Gen.map (fun n -> Char.chr (97 + n)) (Gen.int_bound 3)))
+    (fun s -> String.equal (Ppm.decompress (Ppm.compress s)) s)
+
+let suite =
+  [
+    Alcotest.test_case "range coder roundtrip" `Quick test_range_coder_roundtrip;
+    Alcotest.test_case "range coder skew" `Quick test_range_coder_skew_efficiency;
+    Alcotest.test_case "range coder bad freqs" `Quick test_range_coder_rejects_bad_freqs;
+    Alcotest.test_case "ppm empty" `Quick test_ppm_empty;
+    Alcotest.test_case "ppm simple" `Quick test_ppm_simple;
+    Alcotest.test_case "ppm all orders" `Quick test_ppm_orders;
+    Alcotest.test_case "ppm higher order helps" `Quick test_ppm_higher_order_helps;
+    Alcotest.test_case "ppm beats gzip on code" `Quick test_ppm_beats_gzip_on_code;
+    Alcotest.test_case "ppm memory report" `Quick test_ppm_memory_report;
+    QCheck_alcotest.to_alcotest prop_ppm_roundtrip;
+    QCheck_alcotest.to_alcotest prop_ppm_roundtrip_low_entropy;
+  ]
+
+(* --- DMC --------------------------------------------------------------- *)
+
+module Dmc = Ccomp_baselines.Dmc
+
+let test_dmc_empty () = Alcotest.(check string) "empty" "" (Dmc.decompress (Dmc.compress ""))
+
+let test_dmc_simple () =
+  let s = "the quick brown fox jumps over the lazy dog, twice over; " in
+  let s = s ^ s ^ s in
+  Alcotest.(check string) "roundtrip" s (Dmc.decompress (Dmc.compress s))
+
+let test_dmc_grows_states () =
+  let code = mips_code 4L in
+  let states = Dmc.model_states code in
+  Alcotest.(check bool) (Printf.sprintf "machine grew (%d states)" states) true (states > 1000)
+
+let test_dmc_state_budget () =
+  let code = mips_code 5L in
+  let states = Dmc.model_states ~max_states:4096 code in
+  Alcotest.(check bool) "budget respected" true (states <= 4096);
+  Alcotest.(check string) "bounded machine roundtrips" code
+    (Dmc.decompress ~max_states:4096 (Dmc.compress ~max_states:4096 code))
+
+let test_dmc_compresses_code () =
+  let code = mips_code 6L in
+  let r = Dmc.ratio code in
+  Alcotest.(check bool) (Printf.sprintf "ratio %.3f well below 1" r) true (r < 0.75);
+  Alcotest.(check string) "roundtrip on code" code (Dmc.decompress (Dmc.compress code))
+
+let prop_dmc_roundtrip =
+  QCheck.Test.make ~name:"dmc round-trips arbitrary strings" ~count:50
+    QCheck.(string_of_size (Gen.int_range 0 1200))
+    (fun s -> String.equal (Dmc.decompress (Dmc.compress s)) s)
+
+let dmc_suite =
+  [
+    Alcotest.test_case "dmc empty" `Quick test_dmc_empty;
+    Alcotest.test_case "dmc simple" `Quick test_dmc_simple;
+    Alcotest.test_case "dmc grows states" `Quick test_dmc_grows_states;
+    Alcotest.test_case "dmc state budget" `Quick test_dmc_state_budget;
+    Alcotest.test_case "dmc compresses code" `Quick test_dmc_compresses_code;
+    QCheck_alcotest.to_alcotest prop_dmc_roundtrip;
+  ]
+
+let suite = suite @ dmc_suite

@@ -1,0 +1,111 @@
+module Prng = Ccomp_util.Prng
+
+let test_determinism () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create 1L and b = Prng.create 2L in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.next_int64 a <> Prng.next_int64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_copy_independence () =
+  let a = Prng.create 5L in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 a) (Prng.next_int64 b);
+  ignore (Prng.next_int64 a);
+  (* advancing one does not affect the other *)
+  let a' = Prng.next_int64 a and b' = Prng.next_int64 b in
+  Alcotest.(check bool) "streams diverge after unequal advances" true (a' <> b')
+
+let test_int_bounds () =
+  let g = Prng.create 7L in
+  for _ = 1 to 10000 do
+    let v = Prng.int g 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_int_uniformity () =
+  let g = Prng.create 11L in
+  let counts = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let v = Prng.int g 8 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 8 in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d within 10%%" i)
+        true
+        (abs (c - expected) < expected / 10))
+    counts
+
+let test_float_range () =
+  let g = Prng.create 13L in
+  for _ = 1 to 10000 do
+    let v = Prng.float g in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_bits () =
+  let g = Prng.create 17L in
+  for w = 0 to 30 do
+    let v = Prng.bits g w in
+    Alcotest.(check bool) (Printf.sprintf "bits %d" w) true (v >= 0 && v < 1 lsl w)
+  done
+
+let test_weighted () =
+  let g = Prng.create 19L in
+  let zero = ref 0 and one = ref 0 in
+  for _ = 1 to 10000 do
+    match Prng.weighted g [| (9, `A); (1, `B) |] with `A -> incr zero | `B -> incr one
+  done;
+  Alcotest.(check bool) "9:1 split roughly honored" true (!zero > 8 * !one / 2)
+
+let test_shuffle_permutation () =
+  let g = Prng.create 23L in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_geometric_mean () =
+  let g = Prng.create 29L in
+  let n = 50_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Prng.geometric g 0.5
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  (* mean of geometric(0.5) failures is 1.0 *)
+  Alcotest.(check bool) "mean near 1.0" true (Float.abs (mean -. 1.0) < 0.05)
+
+let test_split_independence () =
+  let g = Prng.create 31L in
+  let g1 = Prng.split g in
+  let g2 = Prng.split g in
+  Alcotest.(check bool) "split streams differ" true (Prng.next_int64 g1 <> Prng.next_int64 g2)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy independence" `Quick test_copy_independence;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "bits widths" `Quick test_bits;
+    Alcotest.test_case "weighted choice" `Quick test_weighted;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+  ]

@@ -1,0 +1,205 @@
+module P = Ccomp_progen
+module Mips = Ccomp_isa.Mips
+module X86 = Ccomp_isa.X86
+
+let small_profile =
+  {
+    (P.Profile.find "compress") with
+    P.Profile.name = "tiny";
+    target_ops = 400;
+    functions = 6;
+  }
+
+let test_validate_all_profiles () =
+  Array.iter
+    (fun profile ->
+      let prog = P.Generator.generate ~scale:0.1 ~seed:1L profile in
+      match P.Ir.validate prog with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s invalid: %s" profile.P.Profile.name e)
+    P.Profile.spec95
+
+let test_determinism () =
+  let a = P.Generator.generate ~seed:5L small_profile in
+  let b = P.Generator.generate ~seed:5L small_profile in
+  let code p = (snd (P.Mips_backend.lower p)).P.Layout.code in
+  Alcotest.(check string) "same seed, same code" (code a) (code b)
+
+let test_seed_changes_output () =
+  let a = P.Generator.generate ~seed:5L small_profile in
+  let b = P.Generator.generate ~seed:6L small_profile in
+  let code p = (snd (P.Mips_backend.lower p)).P.Layout.code in
+  Alcotest.(check bool) "different seeds differ" false (String.equal (code a) (code b))
+
+let test_scale () =
+  let small = P.Generator.generate ~scale:0.5 ~seed:2L (P.Profile.find "go") in
+  let large = P.Generator.generate ~scale:2.0 ~seed:2L (P.Profile.find "go") in
+  Alcotest.(check bool) "scale grows programs" true (P.Ir.op_count large > 2 * P.Ir.op_count small)
+
+let test_op_count_near_target () =
+  let profile = P.Profile.find "perl" in
+  let prog = P.Generator.generate ~seed:3L profile in
+  let n = P.Ir.op_count prog in
+  let t = profile.P.Profile.target_ops in
+  Alcotest.(check bool)
+    (Printf.sprintf "op count %d within 2x of target %d" n t)
+    true
+    (n > t / 2 && n < t * 2)
+
+let test_mips_lowering_decodes () =
+  let prog = P.Generator.generate ~seed:4L small_profile in
+  let instrs, layout = P.Mips_backend.lower prog in
+  let code = layout.P.Layout.code in
+  Alcotest.(check int) "4 bytes per instruction" (4 * List.length instrs) (String.length code);
+  Array.iteri
+    (fun i d ->
+      if Option.is_none d then Alcotest.failf "mips word %d does not decode" i)
+    (Mips.decode_program code)
+
+let test_x86_lowering_decodes () =
+  let prog = P.Generator.generate ~seed:4L small_profile in
+  let instrs, layout = P.X86_backend.lower prog in
+  match X86.decode_program layout.P.Layout.code with
+  | Some decoded -> Alcotest.(check int) "instruction count" (List.length instrs) (List.length decoded)
+  | None -> Alcotest.fail "x86 image does not decode"
+
+let test_layout_addresses_monotonic () =
+  let prog = P.Generator.generate ~seed:8L small_profile in
+  let check (layout : P.Layout.t) =
+    let last = ref (-1) in
+    Array.iter
+      (Array.iter
+         (List.iter (function
+           | P.Layout.Fetch addrs ->
+             Array.iter
+               (fun a ->
+                 Alcotest.(check bool) "addresses strictly increase" true (a > !last);
+                 last := a)
+               addrs
+           | P.Layout.Call _ -> ())))
+      layout.P.Layout.blocks
+  in
+  check (snd (P.Mips_backend.lower prog));
+  check (snd (P.X86_backend.lower prog))
+
+let test_entry_addrs_within_code () =
+  let prog = P.Generator.generate ~seed:8L small_profile in
+  let layout = snd (P.X86_backend.lower prog) in
+  Array.iter
+    (fun a ->
+      Alcotest.(check bool) "entry within image" true (a >= 0 && a < P.Layout.code_size layout))
+    layout.P.Layout.func_entry_addr
+
+let test_trace_properties () =
+  let prog = P.Generator.generate ~seed:9L small_profile in
+  let layout = snd (P.Mips_backend.lower prog) in
+  let trace = P.Trace.generate prog layout ~seed:10L ~length:5000 in
+  Alcotest.(check int) "requested length" 5000 (Array.length trace);
+  Array.iter
+    (fun a ->
+      Alcotest.(check bool) "address in image" true (a >= 0 && a < P.Layout.code_size layout);
+      Alcotest.(check int) "word aligned" 0 (a mod 4))
+    trace;
+  (* the trace must start at the entry function *)
+  Alcotest.(check int) "starts at entry" layout.P.Layout.func_entry_addr.(prog.P.Ir.entry) trace.(0)
+
+let test_trace_determinism () =
+  let prog = P.Generator.generate ~seed:9L small_profile in
+  let layout = snd (P.Mips_backend.lower prog) in
+  let t1 = P.Trace.generate prog layout ~seed:10L ~length:1000 in
+  let t2 = P.Trace.generate prog layout ~seed:10L ~length:1000 in
+  Alcotest.(check bool) "deterministic" true (t1 = t2)
+
+let test_trace_exhibits_locality () =
+  (* loop-heavy profiles revisit addresses: distinct addresses must be far
+     fewer than fetches *)
+  let prog = P.Generator.generate ~seed:9L (P.Profile.find "swim") in
+  let layout = snd (P.Mips_backend.lower prog) in
+  let trace = P.Trace.generate prog layout ~seed:11L ~length:20000 in
+  let distinct = Hashtbl.create 1024 in
+  Array.iter (fun a -> Hashtbl.replace distinct a ()) trace;
+  Alcotest.(check bool) "locality" true (Hashtbl.length distinct * 4 < Array.length trace)
+
+let test_profiles_have_distinct_sizes () =
+  let size name =
+    let prog = P.Generator.generate ~seed:1L (P.Profile.find name) in
+    P.Ir.op_count prog
+  in
+  Alcotest.(check bool) "gcc much larger than compress" true (size "gcc" > 5 * size "compress")
+
+let test_validate_catches_bad_programs () =
+  let bad =
+    {
+      P.Ir.funcs =
+        [|
+          {
+            P.Ir.blocks = [| { P.Ir.body = []; term = P.Ir.Goto 5 } |];
+            locals = 4;
+            frame_slots = 1;
+            saves = 0;
+          };
+        |];
+      entry = 0;
+    }
+  in
+  (match P.Ir.validate bad with
+  | Ok () -> Alcotest.fail "goto out of range must be rejected"
+  | Error _ -> ());
+  let bad_entry = { bad with P.Ir.entry = 3 } in
+  match P.Ir.validate bad_entry with
+  | Ok () -> Alcotest.fail "bad entry must be rejected"
+  | Error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "all profiles validate" `Quick test_validate_all_profiles;
+    Alcotest.test_case "generation deterministic" `Quick test_determinism;
+    Alcotest.test_case "seed changes output" `Quick test_seed_changes_output;
+    Alcotest.test_case "scale parameter" `Quick test_scale;
+    Alcotest.test_case "op count near target" `Quick test_op_count_near_target;
+    Alcotest.test_case "mips lowering decodes" `Quick test_mips_lowering_decodes;
+    Alcotest.test_case "x86 lowering decodes" `Quick test_x86_lowering_decodes;
+    Alcotest.test_case "layout addresses monotonic" `Quick test_layout_addresses_monotonic;
+    Alcotest.test_case "entry addresses in image" `Quick test_entry_addrs_within_code;
+    Alcotest.test_case "trace properties" `Quick test_trace_properties;
+    Alcotest.test_case "trace determinism" `Quick test_trace_determinism;
+    Alcotest.test_case "trace locality" `Quick test_trace_exhibits_locality;
+    Alcotest.test_case "profile size ordering" `Quick test_profiles_have_distinct_sizes;
+    Alcotest.test_case "validate rejects bad IR" `Quick test_validate_catches_bad_programs;
+  ]
+
+let test_embedded_profiles () =
+  Array.iter
+    (fun (profile : P.Profile.t) ->
+      let prog = P.Generator.generate ~seed:2L profile in
+      (match P.Ir.validate prog with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s invalid: %s" profile.P.Profile.name e);
+      let code = (snd (P.Mips_backend.lower prog)).P.Layout.code in
+      Alcotest.(check bool)
+        (profile.P.Profile.name ^ " is firmware-sized")
+        true
+        (String.length code > 2000 && String.length code < 80_000))
+    P.Profile.embedded;
+  (* both suites reachable through find *)
+  Alcotest.(check string) "find embedded" "rtos" (P.Profile.find "rtos").P.Profile.name;
+  Alcotest.(check int) "names covers both suites" 24 (List.length (P.Profile.names ()))
+
+let prop_all_seeds_valid =
+  QCheck.Test.make ~name:"generator output always validates and lowers" ~count:25
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let prog = P.Generator.generate ~scale:0.2 ~seed:(Int64.of_int seed) (P.Profile.find "perl") in
+      (match P.Ir.validate prog with Ok () -> () | Error e -> failwith e);
+      let mcode = (snd (P.Mips_backend.lower prog)).P.Layout.code in
+      let xcode = (snd (P.X86_backend.lower prog)).P.Layout.code in
+      Array.for_all Option.is_some (Mips.decode_program mcode)
+      && Option.is_some (X86.decode_program xcode))
+
+let prop_suite =
+  [
+    Alcotest.test_case "embedded profiles" `Quick test_embedded_profiles;
+    QCheck_alcotest.to_alcotest prop_all_seeds_valid;
+  ]
+
+let suite = suite @ prop_suite

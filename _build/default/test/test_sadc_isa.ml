@@ -1,0 +1,100 @@
+(* Property shared by every SADC ISA adapter: [read] pulls back exactly
+   the items [items] produced, in order, and reconstructs the same
+   instruction — the operand-length-unit contract of Fig. 6. *)
+
+module Sadc_isa = Ccomp_core.Sadc_isa
+module Mips = Ccomp_isa.Mips
+module P = Ccomp_progen
+module Prng = Ccomp_util.Prng
+
+module Check (I : Sadc_isa.S) = struct
+  let roundtrip instr =
+    let items = I.items instr in
+    Alcotest.(check int) (I.name ^ ": stream arrays") I.stream_count (Array.length items);
+    (* feed items back through per-stream queues *)
+    let queues = Array.map (fun l -> ref l) items in
+    let next s =
+      match !(queues.(s)) with
+      | v :: rest ->
+        queues.(s) := rest;
+        v
+      | [] -> Alcotest.failf "%s: stream %s over-pulled" I.name I.stream_names.(s)
+    in
+    let back = I.read ~symbol:(I.symbol instr) ~next in
+    Array.iteri
+      (fun s q ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s: stream %s fully consumed" I.name I.stream_names.(s))
+          0
+          (List.length !q);
+        ignore q)
+      queues;
+    Alcotest.(check string) (I.name ^ ": same instruction")
+      (I.encode_list [ instr ]) (I.encode_list [ back ]);
+    (* item values respect their declared widths *)
+    Array.iteri
+      (fun s l ->
+        List.iter
+          (fun v ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %s item in range" I.name I.stream_names.(s))
+              true
+              (v >= 0 && v < 1 lsl I.stream_bits.(s)))
+          l)
+      items
+
+  let check_program code =
+    match I.parse code with
+    | None -> Alcotest.failf "%s: program does not parse" I.name
+    | Some instrs ->
+      List.iter roundtrip instrs;
+      Alcotest.(check int) (I.name ^ ": byte_length sums to image")
+        (String.length code)
+        (List.fold_left (fun a i -> a + I.byte_length i) 0 instrs)
+end
+
+let program seed =
+  P.Generator.generate ~seed
+    { (P.Profile.find "ijpeg") with P.Profile.name = "t"; target_ops = 600; functions = 8 }
+
+let test_mips_adapter () =
+  let module C = Check (Sadc_isa.Mips_streams) in
+  C.check_program (snd (P.Mips_backend.lower (program 41L))).P.Layout.code
+
+let test_x86_adapter () =
+  let module C = Check (Sadc_isa.X86_streams) in
+  C.check_program (snd (P.X86_backend.lower (program 42L))).P.Layout.code
+
+let test_x86_fields_adapter () =
+  let module C = Check (Sadc_isa.X86_field_streams) in
+  C.check_program (snd (P.X86_backend.lower (program 43L))).P.Layout.code
+
+let test_mips_adapter_random_instrs () =
+  let module C = Check (Sadc_isa.Mips_streams) in
+  let g = Prng.create 44L in
+  Array.iter
+    (fun sp ->
+      for _ = 1 to 20 do
+        let regs = List.init (Mips.reg_arity sp) (fun _ -> Prng.int g 32) in
+        let imm = if Mips.has_immediate sp then Some (Prng.int g 65536) else None in
+        let limm = if Mips.has_long_immediate sp then Some (Prng.int g (1 lsl 26)) else None in
+        C.roundtrip (Mips.reassemble sp ~regs ~imm ~limm)
+      done)
+    Mips.specs
+
+let test_bad_symbol_rejected () =
+  List.iter
+    (fun symbol ->
+      match Sadc_isa.Mips_streams.read ~symbol ~next:(fun _ -> 0) with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "symbol %d must be rejected" symbol)
+    [ -1; Mips.opcode_count; 5000 ]
+
+let suite =
+  [
+    Alcotest.test_case "mips adapter on a program" `Quick test_mips_adapter;
+    Alcotest.test_case "x86 adapter on a program" `Quick test_x86_adapter;
+    Alcotest.test_case "x86 field adapter on a program" `Quick test_x86_fields_adapter;
+    Alcotest.test_case "mips adapter random instrs" `Quick test_mips_adapter_random_instrs;
+    Alcotest.test_case "bad symbols rejected" `Quick test_bad_symbol_rejected;
+  ]

@@ -1,0 +1,89 @@
+module Stream_split = Ccomp_core.Stream_split
+module Bit_stats = Ccomp_entropy.Bit_stats
+module Prng = Ccomp_util.Prng
+
+let test_consecutive () =
+  let s = Stream_split.consecutive ~word_bits:32 ~streams:4 in
+  Alcotest.(check int) "4 streams" 4 (Array.length s);
+  Alcotest.(check (array int)) "first stream bits 0..7" (Array.init 8 Fun.id) s.(0);
+  Alcotest.(check (array int)) "last stream bits 24..31" (Array.init 8 (fun i -> 24 + i)) s.(3);
+  Alcotest.(check (array int)) "widths" [| 8; 8; 8; 8 |] (Stream_split.widths s)
+
+let test_consecutive_rejects_nondivisor () =
+  Alcotest.check_raises "5 does not divide 32"
+    (Invalid_argument "Stream_split.consecutive: streams must divide word_bits") (fun () ->
+      ignore (Stream_split.consecutive ~word_bits:32 ~streams:5))
+
+let test_validate () =
+  let ok = Stream_split.consecutive ~word_bits:8 ~streams:2 in
+  Alcotest.(check bool) "valid split accepted" true (Stream_split.validate ~word_bits:8 ok = Ok ());
+  Alcotest.(check bool) "duplicate bit rejected" true
+    (Stream_split.validate ~word_bits:4 [| [| 0; 1 |]; [| 1; 2 |] |] <> Ok ());
+  Alcotest.(check bool) "missing bit rejected" true
+    (Stream_split.validate ~word_bits:4 [| [| 0; 1 |]; [| 2 |] |] <> Ok ());
+  Alcotest.(check bool) "out of range rejected" true
+    (Stream_split.validate ~word_bits:4 [| [| 0; 1 |]; [| 2; 9 |] |] <> Ok ())
+
+(* Words whose top half is highly structured: bit i of the top 8 equals
+   bit 0 of the bottom, the rest random. *)
+let structured_stats seed =
+  let g = Prng.create seed in
+  let stats = Bit_stats.create ~width:16 in
+  for _ = 1 to 4000 do
+    let low = Prng.bits g 8 in
+    let b = low land 1 in
+    (* top byte = repeated copy of low bit -> strongly correlated bits *)
+    let top = if b = 1 then 0xff else 0x00 in
+    Bit_stats.add_word stats (Int64.of_int ((top lsl 8) lor low))
+  done;
+  stats
+
+let test_estimated_cost_prefers_correlated_grouping () =
+  let stats = structured_stats 1L in
+  (* grouping the 8 identical top bits together costs ~1 bit; splitting
+     them across streams costs up to 8 *)
+  let grouped = [| Array.init 8 Fun.id; Array.init 8 (fun i -> 8 + i) |] in
+  let interleaved = [| Array.init 8 (fun i -> 2 * i); Array.init 8 (fun i -> (2 * i) + 1) |] in
+  let cg = Stream_split.estimated_cost stats grouped in
+  let ci = Stream_split.estimated_cost stats interleaved in
+  Alcotest.(check bool) (Printf.sprintf "grouped %.2f < interleaved %.2f" cg ci) true (cg < ci)
+
+let test_optimize_returns_valid_partition () =
+  let stats = structured_stats 2L in
+  let s = Stream_split.optimize ~seed:3L ~streams:4 stats in
+  Alcotest.(check bool) "valid partition" true (Stream_split.validate ~word_bits:16 s = Ok ());
+  Alcotest.(check (array int)) "equal widths" [| 4; 4; 4; 4 |] (Stream_split.widths s)
+
+let test_optimize_not_worse_than_consecutive () =
+  let stats = structured_stats 4L in
+  let opt = Stream_split.optimize ~seed:5L ~streams:2 stats in
+  let base = Stream_split.consecutive ~word_bits:16 ~streams:2 in
+  Alcotest.(check bool) "optimize <= greedy-chain start <= arbitrary" true
+    (Stream_split.estimated_cost stats opt
+    <= Stream_split.estimated_cost stats base +. 1e-9)
+
+let test_optimize_deterministic () =
+  let stats = structured_stats 6L in
+  let a = Stream_split.optimize ~seed:7L ~streams:4 stats in
+  let b = Stream_split.optimize ~seed:7L ~streams:4 stats in
+  Alcotest.(check bool) "same seed same split" true (a = b)
+
+let test_cost_nonnegative_and_bounded () =
+  let stats = structured_stats 8L in
+  let s = Stream_split.consecutive ~word_bits:16 ~streams:4 in
+  let c = Stream_split.estimated_cost stats s in
+  Alcotest.(check bool) "cost in [0, word_bits]" true (c >= 0.0 && c <= 16.0 +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "consecutive split" `Quick test_consecutive;
+    Alcotest.test_case "consecutive rejects non-divisor" `Quick test_consecutive_rejects_nondivisor;
+    Alcotest.test_case "validate" `Quick test_validate;
+    Alcotest.test_case "cost prefers correlated grouping" `Quick
+      test_estimated_cost_prefers_correlated_grouping;
+    Alcotest.test_case "optimize returns valid partition" `Quick test_optimize_returns_valid_partition;
+    Alcotest.test_case "optimize not worse than consecutive" `Quick
+      test_optimize_not_worse_than_consecutive;
+    Alcotest.test_case "optimize deterministic" `Quick test_optimize_deterministic;
+    Alcotest.test_case "cost bounded" `Quick test_cost_nonnegative_and_bounded;
+  ]

@@ -1,0 +1,232 @@
+module X86 = Ccomp_isa.X86
+module Prng = Ccomp_util.Prng
+
+let hex s = String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.init (String.length s) (String.get s))))
+
+let check_bytes name expected instr = Alcotest.(check string) name expected (hex (X86.encode instr))
+
+let test_extended_encodings () =
+  check_bytes "movzx eax, byte [ebx]" "0fb603" (X86.movx_load ~signed:false ~wide:false ~dst:0 ~base:3 ~disp:0);
+  check_bytes "movsx ecx, word [esi+4]" "0fbf4e04" (X86.movx_load ~signed:true ~wide:true ~dst:1 ~base:6 ~disp:4);
+  check_bytes "mov [ebx+2], al" "884302" (X86.mov8_store ~base:3 ~disp:2 ~src:0);
+  check_bytes "neg edx" "f7da" (X86.group_f7 `Neg ~rm:2);
+  check_bytes "setl al" "0f9cc0" (X86.setcc X86.L ~dst:0);
+  check_bytes "add eax, ebx (load form)" "03c3" (X86.alu_rr_load X86.Add ~dst:0 ~src:3);
+  check_bytes "push 5" "6a05" (X86.push_imm 5l);
+  check_bytes "push 0x12345" "6845230100" (X86.push_imm 0x12345l);
+  check_bytes "cdq" "99" X86.cdq;
+  check_bytes "xchg eax, ebx" "87c3" (X86.xchg_rr 0 3);
+  check_bytes "mov eax, [ebx+esi*4]" "8b04b3" (X86.mov_load_indexed ~dst:0 ~base:3 ~index:6 ~scale:2 ~disp:0)
+
+let test_known_encodings () =
+  check_bytes "nop" "90" X86.nop;
+  check_bytes "ret" "c3" X86.ret;
+  check_bytes "leave" "c9" X86.leave;
+  check_bytes "push ebp" "55" (X86.push_r 5);
+  check_bytes "pop ebx" "5b" (X86.pop_r 3);
+  check_bytes "inc eax" "40" (X86.inc_r 0);
+  check_bytes "dec edi" "4f" (X86.dec_r 7);
+  check_bytes "mov ebp, esp" "89e5" (X86.mov_rr ~dst:5 ~src:4);
+  check_bytes "mov eax, 1" "b801000000" (X86.mov_ri ~dst:0 1l);
+  check_bytes "add eax, ebx" "01d8" (X86.alu_rr Add ~dst:0 ~src:3);
+  check_bytes "sub esp, 8 (imm8)" "83ec08" (X86.alu_ri Sub ~dst:4 8l);
+  check_bytes "cmp eax, 1000 (imm32)" "81f8e8030000" (X86.alu_ri Cmp ~dst:0 1000l);
+  check_bytes "xor ecx, ecx" "31c9" (X86.alu_rr Xor ~dst:1 ~src:1);
+  check_bytes "test eax, eax" "85c0" (X86.test_rr 0 0);
+  check_bytes "imul eax, ebx" "0fafc3" (X86.imul_rr ~dst:0 ~src:3);
+  check_bytes "shl eax, 2" "c1e002" (X86.shift_ri Shl ~dst:0 2);
+  check_bytes "call rel32" "e810000000" (X86.call_rel 16l);
+  check_bytes "jmp rel8" "eb05" (X86.jmp_rel8 5);
+  check_bytes "jz rel8" "7402" (X86.jcc_rel8 X86.E 2);
+  check_bytes "jnz rel32" "0f85f6ffffff" (X86.jcc_rel32 X86.Ne (-10l))
+
+let test_memory_forms () =
+  (* mov eax, [ebx] : no disp *)
+  check_bytes "load [ebx]" "8b03" (X86.mov_load ~dst:0 ~base:3 ~disp:0);
+  (* mov eax, [ebx+8] : disp8 *)
+  check_bytes "load [ebx+8]" "8b4308" (X86.mov_load ~dst:0 ~base:3 ~disp:8);
+  (* mov eax, [ebx+0x200] : disp32 *)
+  check_bytes "load [ebx+0x200]" "8b8300020000" (X86.mov_load ~dst:0 ~base:3 ~disp:0x200);
+  (* EBP base forces disp8 form even for 0 *)
+  check_bytes "load [ebp]" "8b4500" (X86.mov_load ~dst:0 ~base:5 ~disp:0);
+  (* ESP base requires SIB *)
+  check_bytes "load [esp+4]" "8b442404" (X86.mov_load ~dst:0 ~base:4 ~disp:4);
+  check_bytes "store [ebx+8] <- ecx" "894b08" (X86.mov_store ~base:3 ~disp:8 ~src:1);
+  check_bytes "lea eax, [ebx+12]" "8d430c" (X86.lea ~dst:0 ~base:3 ~disp:12)
+
+let sample_instrs g =
+  let reg () = Prng.int g 8 in
+  let disp () = Prng.choose g [| 0; 4; 8; -4; 100; 0x200; -0x200 |] in
+  List.init 200 (fun _ ->
+      match Prng.int g 16 with
+      | 0 -> X86.nop
+      | 1 -> X86.push_r (reg ())
+      | 2 -> X86.pop_r (reg ())
+      | 3 -> X86.mov_rr ~dst:(reg ()) ~src:(reg ())
+      | 4 -> X86.mov_ri ~dst:(reg ()) (Int64.to_int32 (Ccomp_util.Prng.next_int64 g))
+      | 5 -> X86.mov_load ~dst:(reg ()) ~base:(reg ()) ~disp:(disp ())
+      | 6 -> X86.mov_store ~base:(reg ()) ~disp:(disp ()) ~src:(reg ())
+      | 7 -> X86.alu_rr (Prng.choose g [| X86.Add; Sub; And; Or; Xor; Cmp |]) ~dst:(reg ()) ~src:(reg ())
+      | 8 -> X86.alu_ri (Prng.choose g [| X86.Add; Sub; And; Or; Xor; Cmp |]) ~dst:(reg ())
+               (Int32.of_int (Prng.int g 4096 - 2048))
+      | 9 -> X86.imul_rr ~dst:(reg ()) ~src:(reg ())
+      | 10 -> X86.shift_ri (Prng.choose g [| X86.Shl; Shr; Sar |]) ~dst:(reg ()) (Prng.int g 32)
+      | 11 -> X86.call_rel (Int32.of_int (Prng.int g 100000 - 50000))
+      | 12 -> X86.jmp_rel32 (Int32.of_int (Prng.int g 100000 - 50000))
+      | 13 -> X86.jcc_rel8 (Prng.choose g [| X86.E; Ne; L; Ge; G; Le |]) (Prng.int g 256 - 128)
+      | 14 -> X86.jcc_rel32 (Prng.choose g [| X86.E; Ne; L; Ge |]) (Int32.of_int (Prng.int g 100000 - 50000))
+      | _ -> X86.test_rr (reg ()) (reg ()))
+
+(* the extended (Thumb of x86: movzx/setcc/F7/...) constructors *)
+let extended_instrs g =
+  let reg () = Prng.int g 8 in
+  let idx () = let r = reg () in if r = 4 then 6 else r in
+  List.init 120 (fun _ ->
+      match Prng.int g 12 with
+      | 0 -> X86.mov8_load ~dst:(reg ()) ~base:(reg ()) ~disp:(Prng.int g 64)
+      | 1 -> X86.mov8_store ~base:(reg ()) ~disp:(Prng.int g 64) ~src:(reg ())
+      | 2 -> X86.movx_load ~signed:(Prng.bool g) ~wide:(Prng.bool g) ~dst:(reg ()) ~base:(reg ())
+               ~disp:(Prng.int g 200)
+      | 3 -> X86.xchg_rr (reg ()) (reg ())
+      | 4 -> X86.cdq
+      | 5 -> X86.push_imm (Int32.of_int (Prng.int g 100000 - 50000))
+      | 6 -> X86.push_imm (Int32.of_int (Prng.int g 200 - 100))
+      | 7 -> X86.group_f7 (Prng.choose g [| `Not; `Neg; `Mul; `Imul; `Div; `Idiv |]) ~rm:(reg ())
+      | 8 -> X86.setcc (Prng.choose g [| X86.E; Ne; L; Ge; G; Le |]) ~dst:(reg ())
+      | 9 -> X86.alu_rr_load (Prng.choose g [| X86.Add; Or; And; Xor |]) ~dst:(reg ()) ~src:(reg ())
+      | 10 -> X86.mov_load_indexed ~dst:(reg ()) ~base:(reg ()) ~index:(idx ()) ~scale:(Prng.int g 4)
+                ~disp:(Prng.choose g [| 0; 8; 300 |])
+      | _ -> X86.mov_rr ~dst:(reg ()) ~src:(reg ()))
+
+let test_program_roundtrip () =
+  let g = Prng.create 77L in
+  let instrs = sample_instrs g @ extended_instrs g in
+  let code = X86.encode_program instrs in
+  match X86.decode_program code with
+  | None -> Alcotest.fail "program should decode"
+  | Some decoded ->
+    Alcotest.(check int) "same count" (List.length instrs) (List.length decoded);
+    List.iter2
+      (fun a b -> Alcotest.(check string) "same bytes" (hex (X86.encode a)) (hex (X86.encode b)))
+      instrs decoded
+
+let test_length_matches_encoding () =
+  let g = Prng.create 78L in
+  List.iter
+    (fun i -> Alcotest.(check int) "length agrees" (String.length (X86.encode i)) (X86.length i))
+    (sample_instrs g)
+
+let test_streams_partition_bytes () =
+  let g = Prng.create 79L in
+  List.iter
+    (fun i ->
+      let opcode, ms, id = X86.streams i in
+      Alcotest.(check int) "streams partition the encoding"
+        (String.length (X86.encode i))
+        (String.length opcode + String.length ms + String.length id))
+    (sample_instrs g @ extended_instrs g)
+
+let test_rebuild_from_streams () =
+  let g = Prng.create 80L in
+  List.iter
+    (fun i ->
+      let opcode, modrm_sib, imm_disp = X86.streams i in
+      match X86.rebuild ~opcode ~modrm_sib ~imm_disp with
+      | Some i' -> Alcotest.(check string) "rebuild" (hex (X86.encode i)) (hex (X86.encode i'))
+      | None -> Alcotest.failf "rebuild failed for %s" (X86.to_string i))
+    (sample_instrs g @ extended_instrs g)
+
+let test_rebuild_rejects_mismatch () =
+  (* push eax takes no operands: extra modrm byte must be rejected *)
+  Alcotest.(check bool) "extra modrm rejected" true
+    (X86.rebuild ~opcode:"\x50" ~modrm_sib:"\xc0" ~imm_disp:"" = None);
+  (* mov r,imm32 with short immediate must be rejected *)
+  Alcotest.(check bool) "short imm rejected" true
+    (X86.rebuild ~opcode:"\xb8" ~modrm_sib:"" ~imm_disp:"\x01" = None);
+  Alcotest.(check bool) "unknown opcode rejected" true
+    (X86.rebuild ~opcode:"\xf4" ~modrm_sib:"" ~imm_disp:"" = None)
+
+let test_read_streams_pull_order () =
+  (* mov eax, [esp+4]: pulls modrm, then sib, then disp *)
+  let i = X86.mov_load ~dst:0 ~base:4 ~disp:4 in
+  let _, ms, id = X86.streams i in
+  let ms_pos = ref 0 and id_pos = ref 0 in
+  let next_ms () =
+    let v = Char.code ms.[!ms_pos] in
+    incr ms_pos;
+    v
+  in
+  let next_id () =
+    let v = Char.code id.[!id_pos] in
+    incr id_pos;
+    v
+  in
+  (match X86.read_streams ~opcode:"\x8b" ~next_modrm_sib:next_ms ~next_imm_disp:next_id with
+  | Some i' -> Alcotest.(check string) "reconstructed" (hex (X86.encode i)) (hex (X86.encode i'))
+  | None -> Alcotest.fail "read_streams failed");
+  Alcotest.(check int) "all modrm/sib consumed" (String.length ms) !ms_pos;
+  Alcotest.(check int) "all imm/disp consumed" (String.length id) !id_pos
+
+let test_decode_rejects_garbage () =
+  (* 0xf4 (hlt) is outside the subset *)
+  Alcotest.(check bool) "hlt rejected" true (X86.decode "\xf4" ~pos:0 = None);
+  (* truncated mov imm32 *)
+  Alcotest.(check bool) "truncated rejected" true (X86.decode "\xb8\x01\x02" ~pos:0 = None);
+  Alcotest.(check bool) "empty rejected" true (X86.decode "" ~pos:0 = None)
+
+let test_is_branch () =
+  Alcotest.(check bool) "call" true (X86.is_branch (X86.call_rel 0l));
+  Alcotest.(check bool) "jcc8" true (X86.is_branch (X86.jcc_rel8 X86.E 0));
+  Alcotest.(check bool) "jcc32" true (X86.is_branch (X86.jcc_rel32 X86.E 0l));
+  Alcotest.(check bool) "mov not branch" false (X86.is_branch (X86.mov_rr ~dst:0 ~src:1))
+
+let test_opcode_symbols () =
+  Alcotest.(check int) "one-byte symbol" 0x90 (X86.opcode_symbol X86.nop);
+  let imul = X86.imul_rr ~dst:0 ~src:1 in
+  Alcotest.(check int) "prefix byte" 0x0f (X86.opcode_symbol imul);
+  Alcotest.(check (option int)) "second byte" (Some 0xaf) (X86.second_opcode imul);
+  Alcotest.(check (option int)) "no second byte" None (X86.second_opcode X86.nop)
+
+let suite =
+  [
+    Alcotest.test_case "known encodings" `Quick test_known_encodings;
+    Alcotest.test_case "extended encodings" `Quick test_extended_encodings;
+    Alcotest.test_case "memory forms" `Quick test_memory_forms;
+    Alcotest.test_case "program roundtrip" `Quick test_program_roundtrip;
+    Alcotest.test_case "length function" `Quick test_length_matches_encoding;
+    Alcotest.test_case "streams partition bytes" `Quick test_streams_partition_bytes;
+    Alcotest.test_case "rebuild from streams" `Quick test_rebuild_from_streams;
+    Alcotest.test_case "rebuild rejects mismatch" `Quick test_rebuild_rejects_mismatch;
+    Alcotest.test_case "read_streams pull order" `Quick test_read_streams_pull_order;
+    Alcotest.test_case "decode rejects garbage" `Quick test_decode_rejects_garbage;
+    Alcotest.test_case "branch classification" `Quick test_is_branch;
+    Alcotest.test_case "opcode symbols" `Quick test_opcode_symbols;
+  ]
+
+let prop_decode_total =
+  (* the decoder must be total: any byte string either parses or yields
+     None, and a successful parse re-encodes to a prefix of the input *)
+  QCheck.Test.make ~name:"x86 decode is total and consistent" ~count:500
+    QCheck.(string_of_size (Gen.int_range 0 40))
+    (fun s ->
+      match X86.decode s ~pos:0 with
+      | None -> true
+      | Some (i, next) ->
+        next <= String.length s
+        && String.sub s 0 next = X86.encode i)
+
+let prop_program_roundtrip_random =
+  QCheck.Test.make ~name:"x86 random generated programs roundtrip" ~count:40
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let g = Prng.create (Int64.of_int seed) in
+      let instrs = sample_instrs g @ extended_instrs g in
+      match X86.decode_program (X86.encode_program instrs) with
+      | Some back -> List.length back = List.length instrs
+      | None -> false)
+
+let fuzz_suite =
+  [ QCheck_alcotest.to_alcotest prop_decode_total;
+    QCheck_alcotest.to_alcotest prop_program_roundtrip_random ]
+
+let suite = suite @ fuzz_suite

@@ -7,6 +7,8 @@
      info        describe a SECF container
      ratios      compare all algorithms on one image
      simulate    run the compressed-memory-system model on a profile
+                 (optionally with refill faults: --fault-rate/--fault-response)
+     fuzz        fault-injection campaign over every decoder
      asm         assemble MIPS text into a raw code image
      disasm      disassemble a raw code image *)
 
@@ -223,10 +225,154 @@ let ratios_cmd =
   let term = Term.(ret (const run $ isa_arg $ block_size_arg $ input)) in
   Cmd.v (Cmd.info "ratios" ~doc:"Compare compression ratios of all algorithms on one image.") term
 
+(* --- fuzz -------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let run profile_name seed trials faults kinds_str scale =
+    match find_profile profile_name with
+    | Error e -> `Error (false, e)
+    | Ok profile ->
+      let kinds =
+        let parse = function
+          | "flip" -> Ok Ccomp_fault.Injector.Flip
+          | "byte" -> Ok Ccomp_fault.Injector.Byte
+          | "trunc" -> Ok Ccomp_fault.Injector.Trunc
+          | "dup" -> Ok Ccomp_fault.Injector.Dup
+          | k -> Error k
+        in
+        String.split_on_char ',' kinds_str |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map parse
+      in
+      (match List.find_opt Result.is_error kinds with
+      | Some (Error k) ->
+        `Error (false, Printf.sprintf "unknown fault kind %S (expected flip|byte|trunc|dup)" k)
+      | _ ->
+        let kinds = Array.of_list (List.map Result.get_ok kinds) in
+        let kinds = if Array.length kinds = 0 then [| Ccomp_fault.Injector.Flip |] else kinds in
+        let prog = Ccomp_progen.Generator.generate ~scale ~seed:(Int64.of_int seed) profile in
+        let mips = lower Mips prog in
+        let x86 =
+          let c = lower X86 prog in
+          let r = String.length c mod 4 in
+          if r = 0 then c else c ^ String.make (4 - r) '\x90'
+        in
+        let image_codec name img reference =
+          let img = Ccomp_image.Image.with_block_crcs Ccomp_image.Image.Crc8_tags img in
+          {
+            Ccomp_fault.Campaign.name;
+            encoded = Ccomp_image.Image.write img;
+            reference;
+            decode =
+              (fun s ->
+                Result.bind (Ccomp_image.Image.read_checked s) Ccomp_image.Image.decompress_checked);
+            integrity_checked = true;
+          }
+        in
+        let codecs =
+          [
+            image_codec "samc-mips"
+              (Ccomp_image.Image.of_samc ~isa:Ccomp_image.Image.Mips
+                 (Ccomp_core.Samc.compress (Ccomp_core.Samc.mips_config ()) mips))
+              mips;
+            image_codec "samc-x86"
+              (Ccomp_image.Image.of_samc ~isa:Ccomp_image.Image.X86
+                 (Ccomp_core.Samc.compress (Ccomp_core.Samc.byte_config ()) x86))
+              x86;
+            image_codec "sadc-mips"
+              (Ccomp_image.Image.of_sadc_mips
+                 (Ccomp_core.Sadc.Mips.compress_image (Ccomp_core.Sadc.default_config ()) mips))
+              mips;
+            image_codec "sadc-x86"
+              (Ccomp_image.Image.of_sadc_x86
+                 (Ccomp_core.Sadc.X86.compress_image (Ccomp_core.Sadc.default_config ()) x86))
+              x86;
+            {
+              Ccomp_fault.Campaign.name = "byte-huffman";
+              encoded = Ccomp_baselines.Byte_huffman.(serialize (compress mips));
+              reference = mips;
+              decode =
+                (fun s ->
+                  Result.bind
+                    (Ccomp_baselines.Byte_huffman.deserialize_checked s ~pos:0)
+                    (fun (c, _) ->
+                      Ccomp_baselines.Byte_huffman.decompress_checked
+                        ~max_output:(String.length mips) c));
+              integrity_checked = false;
+            };
+            {
+              Ccomp_fault.Campaign.name = "lzw";
+              encoded = Ccomp_baselines.Lzw.compress mips;
+              reference = mips;
+              decode =
+                Ccomp_baselines.Lzw.decompress_checked ~max_output:(String.length mips);
+              integrity_checked = false;
+            };
+            {
+              Ccomp_fault.Campaign.name = "lzss";
+              encoded = Ccomp_baselines.Lzss.compress mips;
+              reference = mips;
+              decode =
+                Ccomp_baselines.Lzss.decompress_checked ~max_output:(String.length mips);
+              integrity_checked = false;
+            };
+          ]
+        in
+        print_endline Ccomp_fault.Campaign.report_header;
+        let reports =
+          List.map
+            (fun codec ->
+              let r =
+                Ccomp_fault.Campaign.run ~faults_per_trial:faults ~kinds ~seed ~trials codec
+              in
+              print_endline (Ccomp_fault.Campaign.report_row r);
+              r)
+            codecs
+        in
+        let bad =
+          List.filter
+            (fun r ->
+              r.Ccomp_fault.Campaign.integrity_checked && r.Ccomp_fault.Campaign.miscompared > 0)
+            reports
+        in
+        if bad = [] then `Ok ()
+        else
+          `Error
+            ( false,
+              Printf.sprintf "silent miscompares on integrity-checked codecs: %s"
+                (String.concat ", "
+                   (List.map (fun r -> r.Ccomp_fault.Campaign.codec_name) bad)) ))
+  in
+  let trials_arg =
+    Arg.(value & opt int 200 & info [ "trials" ] ~docv:"N" ~doc:"Fault-injection trials per codec.")
+  in
+  let faults_arg =
+    Arg.(value & opt int 1 & info [ "faults" ] ~docv:"N" ~doc:"Faults injected per trial.")
+  in
+  let kinds_arg =
+    Arg.(
+      value & opt string "flip"
+      & info [ "kinds" ] ~docv:"LIST" ~doc:"Comma-separated fault kinds: flip,byte,trunc,dup.")
+  in
+  let fuzz_scale_arg =
+    Arg.(value & opt float 0.25 & info [ "scale" ] ~docv:"S" ~doc:"Program size scale factor.")
+  in
+  let term =
+    Term.(
+      ret (const run $ profile_arg $ seed_arg $ trials_arg $ faults_arg $ kinds_arg $ fuzz_scale_arg))
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Inject storage faults into compressed images and check every decoder fails closed \
+          (exit 1 on any silent miscompare of an integrity-checked codec).")
+    term
+
 (* --- simulate ---------------------------------------------------------- *)
 
 let simulate_cmd =
-  let run profile_name isa seed cache_bytes trace_length =
+  let run profile_name isa seed cache_bytes trace_length fault_rate fault_response trap_cycles
+      flip_back fault_seed =
     match find_profile profile_name with
     | Error e -> `Error (false, e)
     | Ok profile ->
@@ -268,6 +414,43 @@ let simulate_cmd =
       Printf.printf "  samc:         CPI %.3f, CLB misses %d, slowdown %.3f\n"
         comp.Ccomp_memsys.System.cpi comp.Ccomp_memsys.System.clb_misses
         (Ccomp_memsys.System.slowdown ~compressed:comp ~uncompressed:base);
+      if fault_rate > 0.0 then begin
+        let response =
+          match fault_response with
+          | Ok r -> r
+          | Error _ -> Ccomp_memsys.System.Retry 3 (* unreachable: parsed below *)
+        in
+        let fault =
+          {
+            Ccomp_memsys.System.default_fault_config with
+            fault_rate;
+            response;
+            trap_cycles;
+            flip_back;
+            fault_seed;
+          }
+        in
+        let faulty =
+          Ccomp_memsys.System.run
+            (Ccomp_memsys.System.default_config ~cache_bytes
+               ~decompressor:Ccomp_memsys.System.samc_decompressor ~fault ())
+            ~lat ~trace ()
+        in
+        Printf.printf
+          "  samc+faults:  CPI %.3f, slowdown %.3f (rate %g, %s)\n"
+          faulty.Ccomp_memsys.System.cpi
+          (Ccomp_memsys.System.slowdown ~compressed:faulty ~uncompressed:base)
+          fault_rate
+          (match response with
+          | Ccomp_memsys.System.Retry n -> Printf.sprintf "retry:%d" n
+          | Ccomp_memsys.System.Trap -> "trap"
+          | Ccomp_memsys.System.Stale -> "stale");
+        Printf.printf
+          "                faults %d, retries %d, traps %d, stale lines %d, undetected %d\n"
+          faulty.Ccomp_memsys.System.faults_injected faulty.Ccomp_memsys.System.fault_retries
+          faulty.Ccomp_memsys.System.fault_traps faulty.Ccomp_memsys.System.stale_lines
+          faulty.Ccomp_memsys.System.undetected_faults
+      end;
       `Ok ()
   in
   let cache_arg =
@@ -276,8 +459,54 @@ let simulate_cmd =
   let trace_arg =
     Arg.(value & opt int 500000 & info [ "trace-length" ] ~docv:"N" ~doc:"Fetches to simulate.")
   in
+  let fault_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-rate" ] ~docv:"P" ~doc:"Probability a refill's decode is faulty (0 = off).")
+  in
+  let fault_response_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ "trap" ] -> Ok (Ok Ccomp_memsys.System.Trap)
+      | [ "stale" ] -> Ok (Ok Ccomp_memsys.System.Stale)
+      | [ "retry"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 -> Ok (Ok (Ccomp_memsys.System.Retry n))
+        | _ -> Error (`Msg (Printf.sprintf "bad retry budget %S" n)))
+      | _ -> Error (`Msg (Printf.sprintf "unknown fault response %S (retry:N|trap|stale)" s))
+    in
+    let print fmt r =
+      Format.pp_print_string fmt
+        (match r with
+        | Ok (Ccomp_memsys.System.Retry n) -> Printf.sprintf "retry:%d" n
+        | Ok Ccomp_memsys.System.Trap -> "trap"
+        | Ok Ccomp_memsys.System.Stale -> "stale"
+        | Error _ -> "<invalid>")
+    in
+    Arg.conv (parse, print)
+  in
+  let fault_response_arg =
+    Arg.(
+      value
+      & opt fault_response_conv (Ok (Ccomp_memsys.System.Retry 3))
+      & info [ "fault-response" ] ~docv:"R" ~doc:"Refill fault response: retry:N, trap or stale.")
+  in
+  let trap_cycles_arg =
+    Arg.(value & opt int 200 & info [ "trap-cycles" ] ~docv:"N" ~doc:"Trap handler cost in cycles.")
+  in
+  let flip_back_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "flip-back" ] ~docv:"P" ~doc:"Probability one retry of a transient fault succeeds.")
+  in
+  let fault_seed_arg =
+    Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Fault-injection PRNG seed.")
+  in
   let term =
-    Term.(ret (const run $ profile_arg $ isa_arg $ seed_arg $ cache_arg $ trace_arg))
+    Term.(
+      ret
+        (const run $ profile_arg $ isa_arg $ seed_arg $ cache_arg $ trace_arg $ fault_rate_arg
+       $ fault_response_arg $ trap_cycles_arg $ flip_back_arg $ fault_seed_arg))
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the compressed-memory-system model on a profile.") term
 
@@ -343,5 +572,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; compress_cmd; decompress_cmd; info_cmd; ratios_cmd; simulate_cmd;
-            asm_cmd; disasm_cmd;
+            fuzz_cmd; asm_cmd; disasm_cmd;
           ]))

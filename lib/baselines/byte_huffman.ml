@@ -43,6 +43,74 @@ let decompress_block t b =
 let decompress t =
   String.concat "" (Array.to_list (Array.mapi (fun b _ -> decompress_block t b) t.blocks))
 
+let decompress_checked ?max_output t =
+  Ccomp_util.Decode_error.protect ~section:"byte-huffman" (fun () ->
+      (match max_output with
+      | Some limit when t.original_size > limit ->
+        Ccomp_util.Decode_error.fail
+          (Length_overflow { section = "byte-huffman"; declared = t.original_size; limit })
+      | Some _ | None -> ());
+      decompress t)
+
+(* Wire form (the ROM image of the Kozuch–Wolfe scheme): block size and
+   original size, the shared length table, then length-prefixed block
+   payloads. Gives the fault campaign a byte-level target like SECF. *)
+let serialize t =
+  let b = Buffer.create 4096 in
+  let u16 v =
+    Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char b (Char.chr (v land 0xff))
+  in
+  u16 t.block_size;
+  u16 (t.original_size lsr 16);
+  u16 (t.original_size land 0xffff);
+  Buffer.add_string b (Huffman.serialize_lengths t.code);
+  Array.iter
+    (fun blk ->
+      u16 (String.length blk);
+      Buffer.add_string b blk)
+    t.blocks;
+  Buffer.contents b
+
+let deserialize s ~pos =
+  let p = ref pos in
+  let fail () = invalid_arg "Byte_huffman.deserialize: truncated input" in
+  let byte () =
+    if !p >= String.length s then fail ();
+    let v = Char.code s.[!p] in
+    incr p;
+    v
+  in
+  let u16 () =
+    let hi = byte () in
+    (hi lsl 8) lor byte ()
+  in
+  let block_size = u16 () in
+  let original_size =
+    let hi = u16 () in
+    (hi lsl 16) lor u16 ()
+  in
+  if block_size <= 0 then invalid_arg "Byte_huffman.deserialize: bad block size";
+  let code, next = Huffman.deserialize_lengths s ~pos:!p in
+  p := next;
+  if Huffman.alphabet_size code > 256 then
+    invalid_arg "Byte_huffman.deserialize: alphabet beyond bytes";
+  let nblocks = (original_size + block_size - 1) / block_size in
+  if nblocks > (String.length s - !p) / 2 then fail ();
+  let blocks =
+    Array.init nblocks (fun _ ->
+        let len = u16 () in
+        if !p + len > String.length s then fail ();
+        let blk = String.sub s !p len in
+        p := !p + len;
+        blk)
+  in
+  ({ code; blocks; block_size; original_size }, !p)
+
+let deserialize_checked s ~pos =
+  Ccomp_util.Decode_error.protect ~section:"byte-huffman.deserialize" (fun () ->
+      deserialize s ~pos)
+
 let code_bytes t = Array.fold_left (fun acc b -> acc + String.length b) 0 t.blocks
 
 let table_bytes t = String.length (Huffman.serialize_lengths t.code)

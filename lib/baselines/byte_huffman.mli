@@ -21,6 +21,23 @@ val decompress_block : compressed -> int -> string
 
 val decompress : compressed -> string
 
+val decompress_checked :
+  ?max_output:int -> compressed -> (string, Ccomp_util.Decode_error.t) result
+(** Total variant of {!decompress}: corrupted payloads yield [Error],
+    never an exception; [max_output] bounds the declared original size. *)
+
+val serialize : compressed -> string
+(** Self-contained wire form: block size, original size, the shared
+    canonical-Huffman length table, then length-prefixed block payloads. *)
+
+val deserialize : string -> pos:int -> compressed * int
+(** Inverse of {!serialize}.
+    @raise Invalid_argument on malformed input. *)
+
+val deserialize_checked :
+  string -> pos:int -> (compressed * int, Ccomp_util.Decode_error.t) result
+(** Total variant of {!deserialize}. *)
+
 val code_bytes : compressed -> int
 
 val table_bytes : compressed -> int

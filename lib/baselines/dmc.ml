@@ -108,10 +108,14 @@ let compress ?(max_states = 1 lsl 18) data =
     data;
   header (String.length data) ^ Coder.Encoder.finish e
 
-let decompress ?(max_states = 1 lsl 18) data =
+let decompress ?(max_states = 1 lsl 18) ?max_output data =
   if String.length data < 4 then invalid_arg "Dmc.decompress: truncated";
   let b k = Char.code data.[k] in
   let size = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  (match max_output with
+  | Some limit when size > limit ->
+    Ccomp_util.Decode_error.fail (Length_overflow { section = "dmc"; declared = size; limit })
+  | Some _ | None -> ());
   let m = create ~max_states in
   let d = Coder.Decoder.create ~pos:4 data in
   let out = Bytes.create size in
@@ -126,6 +130,10 @@ let decompress ?(max_states = 1 lsl 18) data =
     Bytes.set out i (Char.chr !byte)
   done;
   Bytes.to_string out
+
+let decompress_checked ?max_states ?max_output data =
+  Ccomp_util.Decode_error.protect ~section:"dmc" (fun () ->
+      decompress ?max_states ?max_output data)
 
 let ratio ?max_states data =
   if String.length data = 0 then 1.0

@@ -14,8 +14,15 @@
 val compress : ?max_states:int -> string -> string
 (** [compress data] with a 2^18-state budget by default. *)
 
-val decompress : ?max_states:int -> string -> string
-(** Inverse of {!compress} for the same [max_states]. *)
+val decompress : ?max_states:int -> ?max_output:int -> string -> string
+(** Inverse of {!compress} for the same [max_states]. [max_output] bounds
+    the declared output size before allocation.
+    @raise Ccomp_util.Decode_error.Error ([Length_overflow]) past the cap. *)
+
+val decompress_checked :
+  ?max_states:int -> ?max_output:int -> string -> (string, Ccomp_util.Decode_error.t) result
+(** Total variant of {!decompress}: corrupted input yields [Error], never
+    an exception or an allocation beyond [max_output]. *)
 
 val ratio : ?max_states:int -> string -> float
 

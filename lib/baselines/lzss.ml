@@ -155,7 +155,8 @@ let compress input =
     header ^ body
   end
 
-let decompress data =
+let decompress ?max_output data =
+  let limit = match max_output with Some m -> m | None -> max_int in
   if String.length data = 0 then ""
   else begin
     let lit_code, pos = Huffman.deserialize_lengths data ~pos:0 in
@@ -171,6 +172,11 @@ let decompress data =
     let finished = ref false in
     while not !finished do
       if Bit_reader.overrun r > 0 then failwith "Lzss.decompress: missing end-of-block";
+      (* Each token appends at most [max_match] bytes, so checking the cap
+         once per token bounds allocation at [limit + max_match]. *)
+      if Buffer.length out > limit then
+        Ccomp_util.Decode_error.fail
+          (Length_overflow { section = "lzss"; declared = Buffer.length out; limit });
       let sym = Huffman.decode_symbol lit_code r in
       if sym = end_of_block then finished := true
       else if sym < 256 then Buffer.add_char out (Char.chr sym)
@@ -193,6 +199,9 @@ let decompress data =
     done;
     Buffer.contents out
   end
+
+let decompress_checked ?max_output data =
+  Ccomp_util.Decode_error.protect ~section:"lzss" (fun () -> decompress ?max_output data)
 
 let ratio input =
   if String.length input = 0 then 1.0

@@ -8,9 +8,17 @@
 
 val compress : string -> string
 
-val decompress : string -> string
-(** Inverse of {!compress}.
-    @raise Failure on corrupted input. *)
+val decompress : ?max_output:int -> string -> string
+(** Inverse of {!compress}. [max_output] caps the produced bytes against
+    corrupt streams of back-reference tokens; pass the declared original
+    size when known.
+    @raise Failure on corrupted input.
+    @raise Ccomp_util.Decode_error.Error ([Length_overflow]) past the cap. *)
+
+val decompress_checked :
+  ?max_output:int -> string -> (string, Ccomp_util.Decode_error.t) result
+(** Total variant of {!decompress}: arbitrary bytes yield [Error], never an
+    exception, an unbounded loop, or allocation past [max_output]. *)
 
 val ratio : string -> float
 (** Compressed size / original size (1.0 for empty input). *)

@@ -63,9 +63,18 @@ let compress input =
   if !prefix >= 0 then emit !prefix;
   Bit_writer.contents w
 
-let decompress data =
+let decompress ?max_output data =
+  let limit = match max_output with Some m -> m | None -> max_int in
   let r = Bit_reader.create data in
-  let out = Buffer.create (4 * String.length data) in
+  let out = Buffer.create (min 65536 (4 * String.length data)) in
+  let check_growth () =
+    (* One 16-bit code can expand to a 64 KiB dictionary string, so a
+       corrupt stream could legally blow the output up ~58000x; cap
+       allocation at the caller's declared original size. *)
+    if Buffer.length out > limit then
+      Ccomp_util.Decode_error.fail
+        (Length_overflow { section = "lzw"; declared = Buffer.length out; limit })
+  in
   (* Entries as (prefix_code, last_byte); literals are implicit. *)
   let prefixes = Array.make table_limit 0 in
   let lasts = Array.make table_limit 0 in
@@ -119,10 +128,14 @@ let decompress data =
         add !prev (first_byte_of code);
         emit_string code
       end;
+      check_growth ();
       prev := code
     end
   done;
   Buffer.contents out
+
+let decompress_checked ?max_output data =
+  Ccomp_util.Decode_error.protect ~section:"lzw" (fun () -> decompress ?max_output data)
 
 let ratio input =
   if String.length input = 0 then 1.0

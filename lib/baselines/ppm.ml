@@ -152,11 +152,20 @@ let compress ?(order = 2) data =
   Bytes.set hdr 3 (Char.chr (n land 0xff));
   Bytes.to_string hdr ^ body
 
-let decompress ?(order = 2) data =
+let decompress ?(order = 2) ?max_output data =
   if String.length data < 4 then invalid_arg "Ppm.decompress: truncated";
   let b k = Char.code data.[k] in
   let size = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  (* The size header is attacker-controlled; check it before the output
+     buffer is allocated. *)
+  (match max_output with
+  | Some limit when size > limit ->
+    Ccomp_util.Decode_error.fail (Length_overflow { section = "ppm"; declared = size; limit })
+  | Some _ | None -> ());
   decompress_sized ~order ~size (String.sub data 4 (String.length data - 4))
+
+let decompress_checked ?(order = 2) ?max_output data =
+  Ccomp_util.Decode_error.protect ~section:"ppm" (fun () -> decompress ~order ?max_output data)
 
 let ratio ?(order = 2) data =
   if String.length data = 0 then 1.0

@@ -12,8 +12,15 @@
 val compress : ?order:int -> string -> string
 (** [compress data] with maximum context order 2 by default (0..2). *)
 
-val decompress : ?order:int -> string -> string
-(** Inverse of {!compress} for the same [order]. *)
+val decompress : ?order:int -> ?max_output:int -> string -> string
+(** Inverse of {!compress} for the same [order]. [max_output] bounds the
+    declared output size before allocation.
+    @raise Ccomp_util.Decode_error.Error ([Length_overflow]) past the cap. *)
+
+val decompress_checked :
+  ?order:int -> ?max_output:int -> string -> (string, Ccomp_util.Decode_error.t) result
+(** Total variant of {!decompress}: corrupted input yields [Error], never
+    an exception or an allocation beyond [max_output]. *)
 
 val ratio : ?order:int -> string -> float
 

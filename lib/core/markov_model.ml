@@ -166,7 +166,13 @@ let deserialize s ~pos =
       let shift = Bit_reader.get_bits r 4 in
       of_quantized_code (side, shift)
     end
-    else Bit_reader.get_bits r Coder.scale_bits
+    else begin
+      let v = Bit_reader.get_bits r Coder.scale_bits in
+      (* p0 = 0 never leaves the trainer and would break the coder's
+         bound >= 1 invariant mid-decode; reject it at the boundary. *)
+      if v = 0 then invalid_arg "Markov_model.deserialize: zero probability";
+      v
+    end
   in
   let retained =
     Array.map (fun width -> Array.init contexts (fun _ -> Array.make (1 lsl width) true)) widths

@@ -417,8 +417,18 @@ module Make (I : Sadc_isa.S) = struct
     in
     let out = ref [] in
     let produced = ref 0 in
+    (* Step budget: every well-formed token yields at least one byte of
+       output, so a stream needing more tokens than [original] bytes is
+       corrupt — without this a zero-output cycle would spin forever. *)
+    let steps = ref 0 in
     while !produced < original do
+      incr steps;
+      if !steps > original then
+        Ccomp_util.Decode_error.fail
+          (Step_budget_exhausted "Sadc.decompress_block");
       let tok = Huffman.decode_symbol c.token_code r in
+      if tok >= Array.length c.dict then
+        Ccomp_util.Decode_error.invalid_code "Sadc.decompress_block: token beyond dictionary";
       let e = c.dict.(tok) in
       Array.iter
         (fun prim ->
@@ -443,6 +453,17 @@ module Make (I : Sadc_isa.S) = struct
       Array.mapi (fun b _ -> I.encode_list (decompress_block c b)) c.blocks
     in
     String.concat "" (Array.to_list parts)
+
+  let decompress_checked ?max_output c =
+    Ccomp_util.Decode_error.protect ~section:"sadc" (fun () ->
+        (match max_output with
+        | Some limit when c.original_size > limit ->
+          Ccomp_util.Decode_error.fail
+            (Length_overflow { section = "sadc"; declared = c.original_size; limit })
+        | Some _ | None -> ());
+        decompress c)
+
+  let block_payload c b = fst c.blocks.(b)
 
   let dictionary c = Array.copy c.dict
 
@@ -541,6 +562,35 @@ module Make (I : Sadc_isa.S) = struct
       c.blocks;
     Buffer.contents b
 
+  (* Byte ranges inside [serialize c], mirroring its layout: a 12-byte
+     fixed header, the dictionary, the token and chunk tables, the block
+     count, then per block a 4-byte prefix and the payload. *)
+  let tables_span c =
+    let token = String.length (Huffman.serialize_lengths c.token_code) in
+    let chunks =
+      Array.fold_left
+        (fun acc per_stream ->
+          Array.fold_left
+            (fun acc code ->
+              match code with
+              | Some code -> acc + 1 + String.length (Huffman.serialize_lengths code)
+              | None -> acc + 1)
+            acc per_stream)
+        0 c.chunk_codes
+    in
+    (12, dict_bytes c + token + chunks)
+
+  let block_spans c =
+    let tables_off, tables_len = tables_span c in
+    let off = ref (tables_off + tables_len + 4) in
+    Array.map
+      (fun (payload, _) ->
+        off := !off + 4;
+        let o = !off in
+        off := o + String.length payload;
+        (o, String.length payload))
+      c.blocks
+
   let deserialize s ~pos =
     let p = ref pos in
     let fail () = invalid_arg "Sadc.deserialize: truncated input" in
@@ -583,6 +633,10 @@ module Make (I : Sadc_isa.S) = struct
                 in
                 { sym; fixed })
           in
+          (* An entry without primitives decodes to zero bytes; the block
+             decoder's step budget would catch the resulting spin, but a
+             dictionary that cannot have been built is corruption. *)
+          if Array.length prims = 0 then invalid_arg "Sadc.deserialize: empty dictionary entry";
           { prims })
     in
     let token_code, next = Huffman.deserialize_lengths s ~pos:!p in
@@ -602,14 +656,21 @@ module Make (I : Sadc_isa.S) = struct
                widths))
         stream_widths
     in
+    let nblocks = u32 () in
+    (* Each block costs at least its 4-byte prefix; a count the remaining
+       bytes cannot hold must fail before sizing an array by it. *)
+    if nblocks > (String.length s - !p) / 4 then fail ();
     let blocks =
-      Array.init (u32 ()) (fun _ ->
+      Array.init nblocks (fun _ ->
           let len = u16 () in
           let original = u16 () in
           (take len, original))
     in
     let config = { block_size; max_entries; max_rounds } in
     ({ config; dict; token_code; chunk_codes; blocks; original_size; rounds }, !p)
+
+  let deserialize_checked s ~pos =
+    Ccomp_util.Decode_error.protect ~section:"sadc.deserialize" (fun () -> deserialize s ~pos)
 end
 
 module Mips = Make (Sadc_isa.Mips_streams)

@@ -86,6 +86,29 @@ module Make (I : Sadc_isa.S) : sig
   val deserialize : string -> pos:int -> compressed * int
   (** Inverse of {!serialize}.
       @raise Invalid_argument on malformed input. *)
+
+  val decompress_checked :
+    ?max_output:int -> compressed -> (string, Ccomp_util.Decode_error.t) result
+  (** Total variant of {!decompress}: corrupted payloads yield [Error],
+      never an exception or an unbounded decode loop (each block decode
+      carries a step budget). [max_output] bounds the declared
+      [original_size] with [Length_overflow]. *)
+
+  val deserialize_checked :
+    string -> pos:int -> (compressed * int, Ccomp_util.Decode_error.t) result
+  (** Total variant of {!deserialize}. *)
+
+  val block_payload : compressed -> int -> string
+  (** One block's compressed payload bytes (what the per-block CRC of a
+      SECF v2 image covers). *)
+
+  val tables_span : compressed -> int * int
+  (** [(offset, length)] of the dictionary + Huffman tables inside
+      {!serialize}'s output — the fault injector's "tables" target. *)
+
+  val block_spans : compressed -> (int * int) array
+  (** Per-block [(offset, length)] of each payload inside {!serialize}'s
+      output (excluding the 4-byte per-block prefixes). *)
 end
 
 module Mips : module type of Make (Sadc_isa.Mips_streams)

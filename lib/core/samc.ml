@@ -211,6 +211,15 @@ let decompress t =
   in
   String.concat "" (Array.to_list parts)
 
+let decompress_checked ?max_output t =
+  Ccomp_util.Decode_error.protect ~section:"samc" (fun () ->
+      (match max_output with
+      | Some limit when t.original_size > limit ->
+        Ccomp_util.Decode_error.fail
+          (Length_overflow { section = "samc"; declared = t.original_size; limit })
+      | Some _ | None -> ());
+      decompress t)
+
 let code_bytes t = Array.fold_left (fun acc b -> acc + String.length b) 0 t.blocks
 
 let model_bytes t = Markov_model.storage_bytes t.model
@@ -300,11 +309,40 @@ let deserialize s ~pos =
   let model_len = u32 () in
   let model, _ = Markov_model.deserialize (take model_len) ~pos:0 in
   let nblocks = u32 () in
+  (* Validate the declared counts before allocating anything sized by
+     them: each block costs at least its 2-byte length prefix, so a count
+     the remaining bytes cannot hold is corruption, not a large image. *)
+  if nblocks > (String.length s - !p) / 2 then fail ();
+  if nblocks <> block_count config ~code_bytes:original_size then
+    invalid_arg "Samc.deserialize: block count mismatch";
   let blocks =
     Array.init nblocks (fun _ ->
         let len = u16 () in
         take len)
   in
-  if nblocks <> block_count config ~code_bytes:original_size then
-    invalid_arg "Samc.deserialize: block count mismatch";
   ({ config; model; blocks; original_size }, !p)
+
+let deserialize_checked s ~pos =
+  Ccomp_util.Decode_error.protect ~section:"samc.deserialize" (fun () -> deserialize s ~pos)
+
+(* Byte ranges inside [serialize t], for section-targeted fault injection
+   and per-block integrity. Mirrors the layout [serialize] writes. *)
+let model_span t =
+  let c = t.config in
+  let header =
+    1 + 1
+    + Array.fold_left (fun acc stream -> acc + 1 + Array.length stream) 0 c.streams
+    + 1 + 1 + 2 + 2 + 4 + 4
+  in
+  (header, Markov_model.storage_bytes t.model)
+
+let block_spans t =
+  let model_off, model_len = model_span t in
+  let off = ref (model_off + model_len + 4) in
+  Array.map
+    (fun blk ->
+      off := !off + 2;
+      let o = !off in
+      off := o + String.length blk;
+      (o, String.length blk))
+    t.blocks

@@ -1,0 +1,69 @@
+module Prng = Ccomp_util.Prng
+module Decode_error = Ccomp_util.Decode_error
+
+type outcome = Detected | Miscompared | Recovered
+
+let outcome_name = function
+  | Detected -> "detected"
+  | Miscompared -> "miscompared"
+  | Recovered -> "recovered"
+
+type codec = {
+  name : string;
+  encoded : string;
+  reference : string;
+  decode : string -> (string, Decode_error.t) result;
+  integrity_checked : bool;
+}
+
+type report = {
+  codec_name : string;
+  trials : int;
+  faults_per_trial : int;
+  detected : int;
+  recovered : int;
+  miscompared : int;
+  integrity_checked : bool;
+}
+
+(* Deliberately no [try] here: a [decode] that raises instead of
+   returning [Error _] is a totality bug, and the campaign must fail
+   loudly rather than book it under any outcome. *)
+let trial codec damaged =
+  match codec.decode damaged with
+  | Error _ -> Detected
+  | Ok out -> if String.equal out codec.reference then Recovered else Miscompared
+
+let run ?(faults_per_trial = 1) ?kinds ~seed ~trials codec =
+  let g = Prng.create (Int64.of_int seed) in
+  let detected = ref 0 and recovered = ref 0 and miscompared = ref 0 in
+  for _ = 1 to trials do
+    let damaged, _ = Injector.inject ?kinds ~count:faults_per_trial g codec.encoded in
+    match trial codec damaged with
+    | Detected -> incr detected
+    | Recovered -> incr recovered
+    | Miscompared -> incr miscompared
+  done;
+  {
+    codec_name = codec.name;
+    trials;
+    faults_per_trial;
+    detected = !detected;
+    recovered = !recovered;
+    miscompared = !miscompared;
+    integrity_checked = codec.integrity_checked;
+  }
+
+let sweep ?kinds ~seed ~trials ~fault_counts codec =
+  List.map
+    (fun count -> run ~faults_per_trial:count ?kinds ~seed:(seed + count) ~trials codec)
+    fault_counts
+
+let report_row r =
+  Printf.sprintf "%-14s %7d %6d %9d %10d %12d%s" r.codec_name r.trials r.faults_per_trial
+    r.detected r.recovered r.miscompared
+    (if r.integrity_checked then "" else "  (integrity off)")
+
+let report_header =
+  Printf.sprintf "%-14s %7s %6s %9s %10s %12s" "codec" "trials" "faults" "detected"
+    "recovered" "miscompared"

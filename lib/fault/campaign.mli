@@ -1,0 +1,67 @@
+(** Fault-injection campaigns over compressed codecs.
+
+    Each trial damages a pristine encoding with the {!Injector}, runs the
+    codec's total [_checked] decoder, and books one of three outcomes:
+
+    - [Detected]: the decoder returned a typed error — the system can
+      retry, trap, or serve a stale line ({!Ccomp_memsys.System});
+    - [Recovered]: the decode round-tripped to the reference bytes (the
+      fault hit dead wire space, or cancelled out);
+    - [Miscompared]: the decode "succeeded" with wrong bytes — silent
+      corruption, acceptable only when the codec carries no integrity
+      metadata ([integrity_checked = false]).
+
+    Escaped exceptions are deliberately not caught: a raising decoder is
+    the bug this harness exists to find, and must abort the campaign. *)
+
+type outcome = Detected | Miscompared | Recovered
+
+val outcome_name : outcome -> string
+
+type codec = {
+  name : string;
+  encoded : string;  (** pristine wire bytes to damage *)
+  reference : string;  (** expected decode of the pristine bytes *)
+  decode : string -> (string, Ccomp_util.Decode_error.t) result;
+  integrity_checked : bool;
+      (** true when [decode] verifies CRCs — then [Miscompared] is a
+          harness failure, not a statistic *)
+}
+
+type report = {
+  codec_name : string;
+  trials : int;
+  faults_per_trial : int;
+  detected : int;
+  recovered : int;
+  miscompared : int;
+  integrity_checked : bool;
+}
+
+val trial : codec -> string -> outcome
+(** Decode one damaged encoding and classify. *)
+
+val run :
+  ?faults_per_trial:int ->
+  ?kinds:Injector.kind array ->
+  seed:int ->
+  trials:int ->
+  codec ->
+  report
+(** [run ~seed ~trials codec] — deterministic in [seed]. Default one
+    single-bit flip per trial. *)
+
+val sweep :
+  ?kinds:Injector.kind array ->
+  seed:int ->
+  trials:int ->
+  fault_counts:int list ->
+  codec ->
+  report list
+(** One {!run} per entry of [fault_counts] (seeds offset so the sweeps
+    are independent). *)
+
+val report_header : string
+
+val report_row : report -> string
+(** Fixed-width row matching {!report_header}. *)

@@ -1,0 +1,86 @@
+module Prng = Ccomp_util.Prng
+
+type fault =
+  | Bit_flip of int
+  | Byte_set of int * int
+  | Truncate of int
+  | Duplicate of int * int
+
+let describe_fault = function
+  | Bit_flip bit -> Printf.sprintf "flip bit %d of byte %d" (bit land 7) (bit lsr 3)
+  | Byte_set (off, v) -> Printf.sprintf "set byte %d to 0x%02x" off v
+  | Truncate len -> Printf.sprintf "truncate to %d bytes" len
+  | Duplicate (off, len) -> Printf.sprintf "duplicate %d bytes at offset %d" len off
+
+let apply fault s =
+  let n = String.length s in
+  match fault with
+  | Bit_flip bit ->
+    let off = bit lsr 3 in
+    if off >= n then s
+    else begin
+      let b = Bytes.of_string s in
+      Bytes.set b off (Char.chr (Char.code s.[off] lxor (1 lsl (bit land 7))));
+      Bytes.to_string b
+    end
+  | Byte_set (off, v) ->
+    if off >= n then s
+    else begin
+      let b = Bytes.of_string s in
+      Bytes.set b off (Char.chr (v land 0xff));
+      Bytes.to_string b
+    end
+  | Truncate len -> if len >= n then s else String.sub s 0 (max 0 len)
+  | Duplicate (off, len) ->
+    if off >= n then s
+    else begin
+      let len = min len (n - off) in
+      String.sub s 0 (off + len) ^ String.sub s off (n - off)
+    end
+
+(* Generators. [range] restricts the damage to [(offset, length)] — the
+   hook {!Target} uses to aim at one SECF section. All draw only from the
+   supplied generator, so a campaign is reproducible from its seed. *)
+
+let clip_range n = function
+  | None -> (0, n)
+  | Some (off, len) ->
+    let off = min (max 0 off) n in
+    (off, max 0 (min len (n - off)))
+
+let random_bit_flip ?range g s =
+  let off, len = clip_range (String.length s) range in
+  if len = 0 then Bit_flip 0 else Bit_flip (((off + Prng.int g len) lsl 3) lor Prng.bits g 3)
+
+let random_byte_set ?range g s =
+  let off, len = clip_range (String.length s) range in
+  if len = 0 then Byte_set (0, 0) else Byte_set (off + Prng.int g len, Prng.bits g 8)
+
+let random_truncate ?range g s =
+  let off, len = clip_range (String.length s) range in
+  if len = 0 then Truncate 0 else Truncate (off + Prng.int g len)
+
+let random_duplicate ?range g s =
+  let off, len = clip_range (String.length s) range in
+  if len = 0 then Duplicate (0, 0)
+  else
+    let o = off + Prng.int g len in
+    Duplicate (o, 1 + Prng.int g (max 1 (len - (o - off))))
+
+type kind = Flip | Byte | Trunc | Dup
+
+let random_fault ?range ?(kinds = [| Flip |]) g s =
+  match Prng.choose g kinds with
+  | Flip -> random_bit_flip ?range g s
+  | Byte -> random_byte_set ?range g s
+  | Trunc -> random_truncate ?range g s
+  | Dup -> random_duplicate ?range g s
+
+let inject ?range ?kinds ~count g s =
+  let rec go k s faults =
+    if k = 0 then (s, List.rev faults)
+    else
+      let f = random_fault ?range ?kinds g s in
+      go (k - 1) (apply f s) (f :: faults)
+  in
+  go count s []

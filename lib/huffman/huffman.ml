@@ -131,7 +131,8 @@ let encode_symbol c w sym =
 
 let decode_symbol c r =
   let rec go code len =
-    if len > c.max_len then failwith "Huffman.decode_symbol: invalid bit stream"
+    if len > c.max_len then
+      Ccomp_util.Decode_error.invalid_code "Huffman.decode_symbol: invalid bit stream"
     else
       let code = (code lsl 1) lor Bit_reader.get_bit r in
       let len = len + 1 in
@@ -190,4 +191,18 @@ let deserialize_lengths s ~pos =
     Array.fill lengths !filled count len;
     filled := !filled + count
   done;
-  (canonicalize lengths, !p)
+  let code = canonicalize lengths in
+  (* Canonicalize rejects over-full tables (Kraft sum > 1); a stored table
+     must additionally not be deficient (Kraft sum < 1), or some bit
+     patterns decode to nothing and corruption can slip through as a late
+     [Invalid_code]. The only legitimate deficient table is the degenerate
+     single-symbol code of length 1, which [build] emits for one-symbol
+     alphabets. *)
+  let nonzero = Array.fold_left (fun a l -> if l > 0 then a + 1 else a) 0 lengths in
+  if not (nonzero = 1 && code.max_len = 1) then begin
+    let kraft = ref 0 in
+    Array.iter (fun l -> if l > 0 then kraft := !kraft + (1 lsl (code.max_len - l))) lengths;
+    if !kraft < 1 lsl code.max_len then
+      invalid_arg "Huffman.deserialize_lengths: incomplete code"
+  end;
+  (code, !p)

@@ -40,8 +40,9 @@ val encode_symbol : code -> Ccomp_bitio.Bit_writer.t -> int -> unit
 
 val decode_symbol : code -> Ccomp_bitio.Bit_reader.t -> int
 (** Read one symbol.
-    @raise Failure if the bit stream does not decode (possible only on
-    corrupted input or overrun past the end). *)
+    @raise Ccomp_util.Decode_error.Error ([Invalid_code]) if the bit
+    stream does not decode (possible only on corrupted input or overrun
+    past the end). *)
 
 val encoded_bits : code -> Ccomp_entropy.Freq.t -> int
 (** Total bits needed to code a message with the given symbol counts. *)
@@ -53,4 +54,8 @@ val serialize_lengths : code -> string
 
 val deserialize_lengths : string -> pos:int -> code * int
 (** Inverse of {!serialize_lengths}; returns the code and the position just
-    past the table. *)
+    past the table.
+    @raise Invalid_argument on a truncated table, an over-full code
+    (Kraft sum > 1) or a deficient one (Kraft sum < 1, except the
+    degenerate single-symbol code), so a stored table is accepted only
+    when every bit pattern decodes. *)

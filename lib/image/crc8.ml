@@ -1,0 +1,19 @@
+(* CRC-8/ATM (poly 0x07), MSB-first. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 1 to 8 do
+           if !c land 0x80 <> 0 then c := ((!c lsl 1) lxor 0x07) land 0xff
+           else c := (!c lsl 1) land 0xff
+         done;
+         !c))
+
+let update crc s =
+  let table = Lazy.force table in
+  let c = ref (crc land 0xff) in
+  String.iter (fun ch -> c := table.(!c lxor Char.code ch)) s;
+  !c
+
+let of_string s = update 0 s

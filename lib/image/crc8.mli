@@ -1,0 +1,10 @@
+(** CRC-8 (polynomial 0x07, MSB-first, zero init) for per-block integrity
+    tags in SECF v2 images. One byte per 32-byte cache block keeps the tag
+    overhead near 3%; any single-bit error in a block is detected with
+    certainty (a CRC property), which is the fault model of ROM bit rot. *)
+
+val of_string : string -> int
+(** CRC of a whole string, in \[0, 255\]. *)
+
+val update : int -> string -> int
+(** Incremental form: [update (of_string a) b = of_string (a ^ b)]. *)

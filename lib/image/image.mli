@@ -6,9 +6,18 @@
     Huffman lengths), and the LAT. SECF packages exactly that, with a
     CRC-32 over the contents.
 
-    Layout: magic "SECF", version, ISA tag, algorithm tag, a LAT section,
-    an algorithm payload section (the [Samc]/[Sadc] wire forms, which
-    embed their own block payloads), and a trailing CRC. *)
+    Layout (v1): magic "SECF", version, ISA tag, algorithm tag, a LAT
+    section, an algorithm payload section (the [Samc]/[Sadc] wire forms,
+    which embed their own block payloads), and a trailing CRC-32.
+
+    Layout (v2): as v1 plus a block-CRC kind byte after the algorithm tag
+    and a per-block CRC table ({!Crc8} or {!Crc16} over each block's
+    compressed payload bytes) between the payload and the trailing CRC-32.
+    The whole-image CRC-32 says only that the image is damaged somewhere;
+    the per-block tags let the refill engine localise damage to a single
+    cache line and degrade gracefully instead of failing the whole image.
+    v1 images remain readable, and writing an image without block CRCs
+    produces bytes identical to v1. *)
 
 type isa = Mips | X86
 
@@ -17,7 +26,16 @@ type payload =
   | Sadc_mips of Ccomp_core.Sadc.Mips.compressed
   | Sadc_x86 of Ccomp_core.Sadc.X86.compressed
 
-type t = { isa : isa; payload : payload; lat : Ccomp_memsys.Lat.t }
+type block_crc_kind = Crc8_tags | Crc16_tags
+
+type t = {
+  isa : isa;
+  payload : payload;
+  lat : Ccomp_memsys.Lat.t;
+  block_crcs : (block_crc_kind * int array) option;
+      (** per-block integrity tags over the compressed payload bytes;
+          [None] writes a v1 image *)
+}
 
 val of_samc : isa:isa -> Ccomp_core.Samc.compressed -> t
 (** Builds the image, deriving the LAT from the block sizes. *)
@@ -26,17 +44,68 @@ val of_sadc_mips : Ccomp_core.Sadc.Mips.compressed -> t
 
 val of_sadc_x86 : Ccomp_core.Sadc.X86.compressed -> t
 
+val with_block_crcs : block_crc_kind -> t -> t
+(** Recompute and attach per-block tags; {!write} then emits a v2 image. *)
+
+val without_block_crcs : t -> t
+
+val block_count : t -> int
+
+val block_payload : t -> int -> string
+(** Compressed payload bytes of one block, as covered by its tag. *)
+
+val verify_block_crcs : t -> (unit, Ccomp_util.Decode_error.t) result
+(** [Ok ()] when there are no tags or every tag matches; otherwise
+    [Crc_mismatch] naming the first corrupt block. *)
+
+val locate_corruption : t -> int list
+(** Indices of blocks whose payload no longer matches its tag, in
+    ascending order. Empty for v1 images (no tags to check against). *)
+
 val write : t -> string
 
 val read : string -> (t, string) result
-(** Checks magic, version and CRC, then decodes the payload. *)
+(** Checks magic, version and CRC, then decodes the payload. The error
+    string names which check failed (magic vs version vs CRC vs payload
+    decode). [read = read_checked] with errors rendered by
+    {!Ccomp_util.Decode_error.to_string}. *)
+
+val read_checked : ?verify_crc:bool -> string -> (t, Ccomp_util.Decode_error.t) result
+(** Typed variant. [~verify_crc:false] skips the whole-image CRC-32 so a
+    fault campaign can exercise per-block localisation on a damaged image;
+    the per-block tags are still read (and checked by
+    {!decompress_checked}). Total: never raises. *)
 
 val decompress : t -> string
 (** Reconstruct the original text section. *)
+
+val decompress_checked : ?max_output:int -> t -> (string, Ccomp_util.Decode_error.t) result
+(** Verifies per-block tags (when present), then decodes totally: typed
+    error instead of any exception, output capped by the declared original
+    size (or [max_output]). *)
 
 val total_bytes : t -> int
 (** [String.length (write t)] — the full ROM footprint including tables
     and LAT. *)
 
+(** Byte ranges of a written image, for section-targeted fault
+    injection. *)
+type section =
+  | Sec_magic
+  | Sec_header  (** version, ISA, algorithm (and CRC-kind in v2) bytes *)
+  | Sec_lat
+  | Sec_tables  (** model / dictionary tables preceding the first block *)
+  | Sec_block of int  (** one block's compressed payload *)
+  | Sec_block_crcs  (** the v2 per-block tag table *)
+  | Sec_trailer_crc
+
+val section_name : section -> string
+
+val sections : t -> (section * (int * int)) list
+(** [(section, (offset, length))] spans into [write t], in layout order.
+    Spans cover the whole image except the blocks' 2- or 4-byte length
+    prefixes (counted in neither [Sec_tables] nor [Sec_block]). *)
+
 val describe : t -> string
-(** One-line human summary (ISA, algorithm, block counts, sizes). *)
+(** One-line human summary (ISA, algorithm, block counts, sizes), plus a
+    second line describing the integrity tags for v2 images. *)

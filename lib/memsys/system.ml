@@ -6,21 +6,44 @@ let sadc_decompressor = { name = "sadc"; startup_cycles = 4; cycles_per_byte = 0
 
 let huffman_decompressor = { name = "huffman"; startup_cycles = 2; cycles_per_byte = 1.0 }
 
+type fault_response = Retry of int | Trap | Stale
+
+type fault_config = {
+  fault_rate : float;
+  response : fault_response;
+  flip_back : float;
+  trap_cycles : int;
+  detection : float;
+  fault_seed : int;
+}
+
+let default_fault_config =
+  {
+    fault_rate = 0.0;
+    response = Retry 3;
+    flip_back = 0.5;
+    trap_cycles = 200;
+    detection = 1.0;
+    fault_seed = 1;
+  }
+
 type config = {
   cache : Cache.config;
   clb_entries : int;
   memory_latency : int;
   bytes_per_cycle : float;
   decompressor : decompressor option;
+  fault : fault_config option;
 }
 
-let default_config ?(cache_bytes = 8192) ?decompressor () =
+let default_config ?(cache_bytes = 8192) ?decompressor ?fault () =
   {
     cache = { Cache.size_bytes = cache_bytes; block_size = 32; associativity = 2 };
     clb_entries = 16;
     memory_latency = 20;
     bytes_per_cycle = 4.0;
     decompressor;
+    fault;
   }
 
 type result = {
@@ -32,6 +55,11 @@ type result = {
   cpi : float;
   hit_ratio : float;
   avg_miss_penalty : float;
+  faults_injected : int;
+  fault_retries : int;
+  fault_traps : int;
+  stale_lines : int;
+  undetected_faults : int;
 }
 
 let run config ?lat ~trace () =
@@ -43,6 +71,53 @@ let run config ?lat ~trace () =
   let cycles = ref 0 in
   let penalty_cycles = ref 0 in
   let clb_misses = ref 0 in
+  let faults_injected = ref 0 in
+  let fault_retries = ref 0 in
+  let fault_traps = ref 0 in
+  let stale_lines = ref 0 in
+  let undetected_faults = ref 0 in
+  let rng =
+    match config.fault with
+    | Some f when f.fault_rate > 0.0 -> Some (Ccomp_util.Prng.create (Int64.of_int f.fault_seed))
+    | _ -> None
+  in
+  (* Extra cycles the refill engine spends when this line's decode comes
+     back faulty (bad per-block CRC or a decoder error). A detected fault
+     is handled per the configured response: re-read and re-decode the
+     line up to N times (transient "flip-back" faults may clear), fall
+     through to a software trap, or serve the stale previous line from
+     the victim buffer at no extra cost but with degraded correctness. *)
+  let fault_cost f ~refill =
+    incr faults_injected;
+    if Ccomp_util.Prng.float (Option.get rng) >= f.detection then begin
+      (* integrity checking off or tag collision: corrupt line enters the
+         cache silently — the outcome the per-block CRCs exist to prevent *)
+      incr undetected_faults;
+      0
+    end
+    else
+      match f.response with
+      | Trap ->
+        incr fault_traps;
+        f.trap_cycles
+      | Stale ->
+        incr stale_lines;
+        0
+      | Retry budget ->
+        let rec go tries acc =
+          if tries >= budget then begin
+            (* retries exhausted: escalate to the trap handler *)
+            incr fault_traps;
+            acc + f.trap_cycles
+          end
+          else begin
+            incr fault_retries;
+            if Ccomp_util.Prng.float (Option.get rng) < f.flip_back then acc + refill
+            else go (tries + 1) (acc + refill)
+          end
+        in
+        go 0 0
+  in
   let transfer bytes = int_of_float (ceil (float_of_int bytes /. config.bytes_per_cycle)) in
   Array.iter
     (fun addr ->
@@ -73,6 +148,12 @@ let run config ?lat ~trace () =
             in
             lat_cost + config.memory_latency + transfer compressed + decompress
         in
+        let penalty =
+          match (config.fault, rng, config.decompressor) with
+          | Some f, Some g, Some _ when Ccomp_util.Prng.float g < f.fault_rate ->
+            penalty + fault_cost f ~refill:penalty
+          | _ -> penalty
+        in
         penalty_cycles := !penalty_cycles + penalty;
         cycles := !cycles + 1 + penalty
       end)
@@ -89,6 +170,11 @@ let run config ?lat ~trace () =
     hit_ratio = Cache.hit_ratio cache;
     avg_miss_penalty =
       (if misses = 0 then 0.0 else float_of_int !penalty_cycles /. float_of_int misses);
+    faults_injected = !faults_injected;
+    fault_retries = !fault_retries;
+    fault_traps = !fault_traps;
+    stale_lines = !stale_lines;
+    undetected_faults = !undetected_faults;
   }
 
 let slowdown ~compressed ~uncompressed = compressed.cpi /. uncompressed.cpi

@@ -22,17 +22,43 @@ val sadc_decompressor : decompressor
 val huffman_decompressor : decompressor
 (** A byte-serial Huffman decoder: 1 cycle per output byte. *)
 
+(** How the refill engine responds to a line whose decode comes back
+    faulty (per-block CRC mismatch or decoder error). *)
+type fault_response =
+  | Retry of int
+      (** re-read and re-decode the line up to N times (each retry re-pays
+          the full refill penalty); exhausted retries escalate to a trap *)
+  | Trap  (** raise to a software handler at a fixed cycle cost *)
+  | Stale  (** serve the stale previous line: free, but degraded *)
+
+type fault_config = {
+  fault_rate : float;  (** probability a refill's decode is faulty *)
+  response : fault_response;
+  flip_back : float;
+      (** probability that one retry of a transient fault succeeds *)
+  trap_cycles : int;  (** cost of the software trap handler *)
+  detection : float;
+      (** probability a fault is detected (1.0 with per-block CRCs; lower
+          models disabled or weaker integrity checking) *)
+  fault_seed : int;  (** PRNG seed — runs are deterministic *)
+}
+
+val default_fault_config : fault_config
+(** rate 0, [Retry 3], flip-back 0.5, 200-cycle trap, detection 1.0. *)
+
 type config = {
   cache : Cache.config;
   clb_entries : int;  (** 0 disables the CLB (every refill pays a LAT access) *)
   memory_latency : int;  (** cycles to the first word of main memory *)
   bytes_per_cycle : float;  (** main-memory transfer bandwidth *)
   decompressor : decompressor option;  (** [None] = uncompressed system *)
+  fault : fault_config option;  (** [None] = fault-free memory *)
 }
 
-val default_config : ?cache_bytes:int -> ?decompressor:decompressor -> unit -> config
+val default_config :
+  ?cache_bytes:int -> ?decompressor:decompressor -> ?fault:fault_config -> unit -> config
 (** 8 KiB 2-way cache with 32-byte lines, 16-entry CLB, 20-cycle memory
-    latency, 4 bytes/cycle. *)
+    latency, 4 bytes/cycle, no faults. *)
 
 type result = {
   fetches : int;
@@ -43,6 +69,11 @@ type result = {
   cpi : float;  (** cycles per fetched instruction-slot (1.0 = ideal) *)
   hit_ratio : float;
   avg_miss_penalty : float;
+  faults_injected : int;  (** refills whose decode came back faulty *)
+  fault_retries : int;  (** individual re-decode attempts *)
+  fault_traps : int;  (** traps taken (direct, or after retry exhaustion) *)
+  stale_lines : int;  (** lines served stale under [Stale] *)
+  undetected_faults : int;  (** corrupt lines that entered the cache silently *)
 }
 
 val run : config -> ?lat:Lat.t -> trace:int array -> unit -> result

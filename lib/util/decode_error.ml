@@ -1,0 +1,45 @@
+type t =
+  | Truncated of string
+  | Bad_magic
+  | Bad_version of int
+  | Crc_mismatch of { section : string; expected : int; got : int }
+  | Invalid_code of string
+  | Length_overflow of { section : string; declared : int; limit : int }
+  | Step_budget_exhausted of string
+  | Malformed of string
+
+exception Error of t
+
+let fail t = raise (Error t)
+
+let truncated section = fail (Truncated section)
+
+let invalid_code msg = fail (Invalid_code msg)
+
+let to_string = function
+  | Truncated section -> Printf.sprintf "truncated input in %s" section
+  | Bad_magic -> "bad magic"
+  | Bad_version v -> Printf.sprintf "unsupported version %d" v
+  | Crc_mismatch { section; expected; got } ->
+    Printf.sprintf "CRC mismatch in %s: expected %08x, got %08x" section expected got
+  | Invalid_code msg -> Printf.sprintf "invalid code: %s" msg
+  | Length_overflow { section; declared; limit } ->
+    Printf.sprintf "length overflow in %s: declared %d exceeds limit %d" section declared limit
+  | Step_budget_exhausted section -> Printf.sprintf "decoder step budget exhausted in %s" section
+  | Malformed msg -> Printf.sprintf "malformed input: %s" msg
+
+(* Totality boundary: every exception a decoder can raise on hostile bytes
+   is folded into the typed error. Catching [Assert_failure] and
+   [Division_by_zero] here is deliberate — an arithmetic-coder invariant
+   broken by corrupt state must surface as a decode error, never as a
+   crash of the refill engine. *)
+let protect ~section f =
+  match f () with
+  | v -> Ok v
+  | exception Error t -> Result.Error t
+  | exception Invalid_argument msg -> Result.Error (Malformed (section ^ ": " ^ msg))
+  | exception Failure msg -> Result.Error (Malformed (section ^ ": " ^ msg))
+  | exception Not_found -> Result.Error (Malformed (section ^ ": lookup failed"))
+  | exception Division_by_zero -> Result.Error (Malformed (section ^ ": division by zero"))
+  | exception Assert_failure (file, line, _) ->
+    Result.Error (Malformed (Printf.sprintf "%s: invariant broken at %s:%d" section file line))

@@ -22,5 +22,6 @@ let () =
       ("ppm", Test_ppm.suite);
       ("memsys", Test_memsys.suite);
       ("image", Test_image.suite);
+      ("fault", Test_fault.suite);
       ("integration", Test_integration.suite);
     ]

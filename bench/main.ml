@@ -3,35 +3,91 @@
    timing suite over the codecs.
 
    Usage: dune exec bench/main.exe -- [--scale S] [--tables LIST] [--no-timing]
-     --scale S      workload size multiplier (default 1.0)
-     --tables LIST  comma list of fig7,fig8,fig9,block,streams,quantize,
-                    memsys,dict,ppm,dense,prune,x86fields,lat,codepack,
-                    embedded (default: all)
-     --no-timing    skip the Bechamel throughput measurements *)
+                                      [--jobs N] [--emit-json FILE] [--min-time T]
+     --scale S        workload size multiplier (default 1.0)
+     --tables LIST    comma list of fig7,fig8,fig9,block,streams,quantize,
+                      memsys,dict,ppm,dense,prune,x86fields,lat,codepack,
+                      embedded (default: all)
+     --no-timing      skip the Bechamel throughput measurements
+     --jobs N         domains for the parallel measurements (default: all cores)
+     --emit-json FILE run only the throughput suite (serial vs parallel,
+                      optimised vs reference kernels) and write it as flat
+                      JSON — the BENCH_PR2.json regression baseline
+     --min-time T     seconds per throughput measurement (default 0.3) *)
 
 module Samc = Ccomp_core.Samc
 module Sadc = Ccomp_core.Sadc
 module Byte_huffman = Ccomp_baselines.Byte_huffman
 
+let usage =
+  "usage: bench [--scale S] [--tables LIST] [--no-timing] [--jobs N]\n\
+  \             [--emit-json FILE] [--min-time T]\n\
+  \  --scale S        workload size multiplier (default 1.0)\n\
+  \  --tables LIST    comma list of fig7,fig8,fig9,block,streams,quantize,\n\
+  \                   memsys,dict,ppm,dense,prune,x86fields,lat,codepack,embedded\n\
+  \  --no-timing      skip the Bechamel throughput measurements\n\
+  \  --jobs N         domains for the parallel measurements (default: all cores)\n\
+  \  --emit-json FILE run only the throughput suite and write it as flat JSON\n\
+  \  --min-time T     seconds per throughput measurement (default 0.3)"
+
+type args = {
+  scale : float;
+  tables : string list;
+  timing : bool;
+  jobs : int;
+  emit_json : string option;
+  min_time : float;
+}
+
 let parse_args () =
-  let scale = ref 1.0 in
-  let tables = ref [ "fig7"; "fig8"; "fig9"; "block"; "streams"; "quantize"; "memsys"; "dict"; "ppm"; "dense"; "prune"; "x86fields"; "lat"; "codepack"; "embedded" ] in
-  let timing = ref true in
+  let args =
+    ref
+      {
+        scale = 1.0;
+        tables = [ "fig7"; "fig8"; "fig9"; "block"; "streams"; "quantize"; "memsys"; "dict"; "ppm"; "dense"; "prune"; "x86fields"; "lat"; "codepack"; "embedded" ];
+        timing = true;
+        jobs = Ccomp_par.Pool.default_jobs ();
+        emit_json = None;
+        min_time = 0.3;
+      }
+  in
+  let die fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "bench: %s\n%s\n" msg usage;
+        exit 2)
+      fmt
+  in
+  let value flag v conv =
+    match conv v with Some x -> x | None -> die "invalid value %S for %s" v flag
+  in
   let rec go = function
     | [] -> ()
     | "--scale" :: v :: rest ->
-      scale := float_of_string v;
+      args := { !args with scale = value "--scale" v float_of_string_opt };
       go rest
     | "--tables" :: v :: rest ->
-      tables := String.split_on_char ',' v;
+      args := { !args with tables = String.split_on_char ',' v };
       go rest
     | "--no-timing" :: rest ->
-      timing := false;
+      args := { !args with timing = false };
       go rest
-    | arg :: _ -> failwith ("unknown argument " ^ arg)
+    | "--jobs" :: v :: rest ->
+      args := { !args with jobs = value "--jobs" v int_of_string_opt };
+      go rest
+    | "--emit-json" :: v :: rest ->
+      args := { !args with emit_json = Some v };
+      go rest
+    | "--min-time" :: v :: rest ->
+      args := { !args with min_time = value "--min-time" v float_of_string_opt };
+      go rest
+    | [ flag ] when List.mem flag [ "--scale"; "--tables"; "--jobs"; "--emit-json"; "--min-time" ]
+      ->
+      die "option %s expects a value" flag
+    | flag :: _ -> die "unknown option %s" flag
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!scale, !tables, !timing)
+  !args
 
 (* --- Bechamel timing suite (T1) ---------------------------------------- *)
 
@@ -80,7 +136,14 @@ let run_timing () =
     (List.sort compare rows)
 
 let () =
-  let scale, tables, timing = parse_args () in
+  let { scale; tables; timing; jobs; emit_json; min_time } = parse_args () in
+  match emit_json with
+  | Some path ->
+    Printf.printf "throughput suite (scale %.2f, %d jobs, >=%.2fs per measurement)\n%!" scale
+      jobs min_time;
+    let entries = Perf.run ~scale ~jobs ~min_time in
+    Perf.emit_json ~path ~scale ~jobs entries
+  | None ->
   let wants t = List.mem t tables in
   Printf.printf "code compression benchmark harness (scale %.2f)\n" scale;
   let t0 = Unix.gettimeofday () in

@@ -1,0 +1,103 @@
+(* Throughput suite behind `bench --emit-json`: per-codec compress and
+   decompress MB/s, serial vs parallel, plus the pre-optimisation
+   reference kernels (pointer-chasing SAMC decode, tree-walk Huffman) so
+   every PR's BENCH_PR*.json records how far the word-batched/LUT paths
+   are ahead of the path they replaced.
+
+   The JSON is a flat one-key-per-line object so tools/bench_check.sh
+   can compare entries with grep/awk alone. *)
+
+module Samc = Ccomp_core.Samc
+module Sadc = Ccomp_core.Sadc
+module Byte_huffman = Ccomp_baselines.Byte_huffman
+module Huffman = Ccomp_huffman.Huffman
+module Bit_reader = Ccomp_bitio.Bit_reader
+
+type entry = { key : string; mbps : float }
+
+(* Run [f] repeatedly for at least [min_time] seconds (after one warmup
+   call) and return MB/s over [bytes] per call. *)
+let throughput ~min_time ~bytes f =
+  ignore (f ());
+  let t0 = Unix.gettimeofday () in
+  let iters = ref 0 in
+  let elapsed = ref 0.0 in
+  while !elapsed < min_time do
+    ignore (f ());
+    incr iters;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  float_of_int (bytes * !iters) /. 1e6 /. !elapsed
+
+let run ~scale ~jobs ~min_time =
+  let w = Workloads.prepare ~scale (Ccomp_progen.Profile.find "go") in
+  let code = Workloads.mips_code w in
+  let bytes = String.length code in
+  let entries = ref [] in
+  let note key mbps =
+    Printf.printf "  %-44s %10.2f MB/s\n%!" key mbps;
+    entries := { key; mbps } :: !entries
+  in
+  let measure key f = note key (throughput ~min_time ~bytes f) in
+
+  (* --- SAMC ----------------------------------------------------------- *)
+  let samc_cfg = Samc.mips_config () in
+  let samc = Samc.compress samc_cfg code in
+  measure "samc-mips.compress_serial_mbps" (fun () -> Samc.compress samc_cfg code);
+  measure "samc-mips.compress_parallel_mbps" (fun () -> Samc.compress ~jobs samc_cfg code);
+  measure "samc-mips.decompress_serial_mbps" (fun () -> Samc.decompress samc);
+  measure "samc-mips.decompress_parallel_mbps" (fun () -> Samc.decompress ~jobs samc);
+  (* the pre-PR pointer-chasing kernel, serial, block by block *)
+  let wpb = samc_cfg.Samc.block_size / 4 in
+  let words = bytes / 4 in
+  measure "samc-mips.decompress_ref_mbps" (fun () ->
+      Array.iteri
+        (fun b data ->
+          let n_words = min wpb (words - (b * wpb)) in
+          ignore
+            (Samc.decompress_block_ref samc_cfg samc.Samc.model ~original_bytes:(n_words * 4) data))
+        samc.Samc.blocks);
+
+  (* --- SADC ----------------------------------------------------------- *)
+  let sadc_cfg = Sadc.default_config ~max_rounds:64 () in
+  let sadc = Sadc.Mips.compress_image sadc_cfg code in
+  measure "sadc-mips.compress_serial_mbps" (fun () -> Sadc.Mips.compress_image sadc_cfg code);
+  measure "sadc-mips.compress_parallel_mbps" (fun () ->
+      Sadc.Mips.compress_image ~jobs sadc_cfg code);
+  measure "sadc-mips.decompress_serial_mbps" (fun () -> Sadc.Mips.decompress sadc);
+  measure "sadc-mips.decompress_parallel_mbps" (fun () -> Sadc.Mips.decompress ~jobs sadc);
+
+  (* --- byte-Huffman ---------------------------------------------------- *)
+  let huff = Byte_huffman.compress code in
+  measure "byte-huffman.compress_serial_mbps" (fun () -> Byte_huffman.compress code);
+  measure "byte-huffman.compress_parallel_mbps" (fun () -> Byte_huffman.compress ~jobs code);
+  measure "byte-huffman.decompress_mbps" (fun () -> Byte_huffman.decompress huff);
+  (* the pre-PR bit-serial tree walk over the same blocks (public API
+     reconstruction: same code table, Bit_reader + decode_symbol_tree) *)
+  let tree_decode () =
+    Array.iteri
+      (fun b blk ->
+        let start = b * huff.Byte_huffman.block_size in
+        let len = min huff.Byte_huffman.block_size (huff.Byte_huffman.original_size - start) in
+        let r = Bit_reader.create blk in
+        for _ = 1 to len do
+          ignore (Huffman.decode_symbol_tree huff.Byte_huffman.code r)
+        done)
+      huff.Byte_huffman.blocks
+  in
+  measure "byte-huffman.decompress_tree_mbps" tree_decode;
+  List.rev !entries
+
+let emit_json ~path ~scale ~jobs entries =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"ccomp-bench-v1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"scale\": %g,\n" scale);
+  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d" jobs);
+  List.iter
+    (fun { key; mbps } -> Buffer.add_string b (Printf.sprintf ",\n  \"%s\": %.3f" key mbps))
+    entries;
+  Buffer.add_string b "\n}\n";
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc (Buffer.contents b));
+  Printf.printf "wrote %s (%d measurements)\n" path (List.length entries)

@@ -56,6 +56,35 @@ let block_size_arg =
 let output_arg =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains for per-block parallel work (1 = serial, 0 = one per core). Output is \
+           byte-identical for every value.")
+
+let resolve_jobs n = if n <= 0 then Ccomp_par.Pool.default_jobs () else n
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose" ] ~doc:"Print per-phase wall-clock time and throughput.")
+
+(* Per-phase timing for --verbose: wall-clock plus MB/s over the phase's
+   input bytes. *)
+(* [bytes] maps the phase's result to the byte count its throughput is
+   quoted over (input size, output size, ... — whichever the phase is
+   conventionally measured in). *)
+let phase ~verbose ~bytes name f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  if verbose then begin
+    let dt = Unix.gettimeofday () -. t0 in
+    let n = bytes result in
+    let mbs = if dt > 0.0 then float_of_int n /. 1e6 /. dt else Float.infinity in
+    Printf.printf "  %-12s %8.3fs  %8.1f MB/s  (%d bytes)\n%!" name dt mbs n
+  end;
+  result
+
 let lower isa prog =
   match isa with
   | Mips -> (snd (Ccomp_progen.Mips_backend.lower prog)).Ccomp_progen.Layout.code
@@ -107,29 +136,44 @@ let context_arg =
   Arg.(value & opt int 2 & info [ "context-bits" ] ~docv:"N" ~doc:"SAMC connected-tree context bits.")
 
 let compress_cmd =
-  let run algo isa block_size context_bits quantize prune_below input output =
-    let code = read_file input in
+  let run algo isa block_size context_bits quantize prune_below jobs verbose input output =
+    let jobs = resolve_jobs jobs in
+    let code = phase ~verbose ~bytes:String.length "read" (fun () -> read_file input) in
+    let bytes = String.length code in
+    let compress_phase = phase ~verbose ~bytes:(fun _ -> bytes) "compress" in
     let image =
       match (algo, isa) with
       | "samc", Mips ->
         let cfg = Ccomp_core.Samc.mips_config ~block_size ~context_bits ~quantize ~prune_below () in
-        Ok (Ccomp_image.Image.of_samc ~isa:Ccomp_image.Image.Mips (Ccomp_core.Samc.compress cfg code))
+        Ok
+          (compress_phase (fun () ->
+               Ccomp_image.Image.of_samc ~isa:Ccomp_image.Image.Mips
+                 (Ccomp_core.Samc.compress ~jobs cfg code)))
       | "samc", X86 ->
         let cfg = Ccomp_core.Samc.byte_config ~block_size ~context_bits ~quantize ~prune_below () in
-        Ok (Ccomp_image.Image.of_samc ~isa:Ccomp_image.Image.X86 (Ccomp_core.Samc.compress cfg code))
+        Ok
+          (compress_phase (fun () ->
+               Ccomp_image.Image.of_samc ~isa:Ccomp_image.Image.X86
+                 (Ccomp_core.Samc.compress ~jobs cfg code)))
       | "sadc", Mips ->
         let cfg = Ccomp_core.Sadc.default_config ~block_size () in
-        Ok (Ccomp_image.Image.of_sadc_mips (Ccomp_core.Sadc.Mips.compress_image cfg code))
+        Ok
+          (compress_phase (fun () ->
+               Ccomp_image.Image.of_sadc_mips (Ccomp_core.Sadc.Mips.compress_image ~jobs cfg code)))
       | "sadc", X86 ->
         let cfg = Ccomp_core.Sadc.default_config ~block_size () in
-        Ok (Ccomp_image.Image.of_sadc_x86 (Ccomp_core.Sadc.X86.compress_image cfg code))
+        Ok
+          (compress_phase (fun () ->
+               Ccomp_image.Image.of_sadc_x86 (Ccomp_core.Sadc.X86.compress_image ~jobs cfg code)))
       | a, _ -> Error (Printf.sprintf "unknown algorithm %S (expected samc or sadc)" a)
     in
     match image with
     | Error e -> `Error (false, e)
     | Ok image ->
       let path = match output with Some p -> p | None -> input ^ ".secf" in
-      write_file path (Ccomp_image.Image.write image);
+      let written = Ccomp_image.Image.write image in
+      phase ~verbose ~bytes:(fun () -> String.length written) "write" (fun () ->
+          write_file path written);
       Printf.printf "%s\n" (Ccomp_image.Image.describe image);
       Printf.printf "wrote %s: %d bytes total (original %d)\n" path
         (Ccomp_image.Image.total_bytes image) (String.length code);
@@ -140,25 +184,34 @@ let compress_cmd =
     Term.(
       ret
         (const run $ algo_arg $ isa_arg $ block_size_arg $ context_arg $ quantize_arg $ prune_arg
-       $ input $ output_arg))
+       $ jobs_arg $ verbose_arg $ input $ output_arg))
   in
   Cmd.v (Cmd.info "compress" ~doc:"Compress a raw code image into a SECF container.") term
 
 (* --- decompress -------------------------------------------------------- *)
 
 let decompress_cmd =
-  let run input output =
-    match Ccomp_image.Image.read (read_file input) with
+  let run jobs verbose input output =
+    let jobs = resolve_jobs jobs in
+    let data = phase ~verbose ~bytes:String.length "read" (fun () -> read_file input) in
+    match
+      phase ~verbose ~bytes:(fun _ -> String.length data) "parse" (fun () ->
+          Ccomp_image.Image.read data)
+    with
     | Error e -> `Error (false, "cannot read image: " ^ e)
     | Ok image ->
-      let code = Ccomp_image.Image.decompress image in
+      (* decompress throughput is conventionally over output bytes *)
+      let code =
+        phase ~verbose ~bytes:String.length "decompress" (fun () ->
+            Ccomp_image.Image.decompress ~jobs image)
+      in
       let path = match output with Some p -> p | None -> input ^ ".out" in
-      write_file path code;
+      phase ~verbose ~bytes:(fun () -> String.length code) "write" (fun () -> write_file path code);
       Printf.printf "wrote %s: %d bytes\n" path (String.length code);
       `Ok ()
   in
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
-  let term = Term.(ret (const run $ input $ output_arg)) in
+  let term = Term.(ret (const run $ jobs_arg $ verbose_arg $ input $ output_arg)) in
   Cmd.v (Cmd.info "decompress" ~doc:"Expand a SECF container back to raw code.") term
 
 (* --- info ---------------------------------------------------------------- *)
@@ -228,7 +281,8 @@ let ratios_cmd =
 (* --- fuzz -------------------------------------------------------------- *)
 
 let fuzz_cmd =
-  let run profile_name seed trials faults kinds_str scale =
+  let run profile_name seed trials faults kinds_str scale jobs =
+    let jobs = resolve_jobs jobs in
     match find_profile profile_name with
     | Error e -> `Error (false, e)
     | Ok profile ->
@@ -323,7 +377,7 @@ let fuzz_cmd =
           List.map
             (fun codec ->
               let r =
-                Ccomp_fault.Campaign.run ~faults_per_trial:faults ~kinds ~seed ~trials codec
+                Ccomp_fault.Campaign.run ~faults_per_trial:faults ~kinds ~jobs ~seed ~trials codec
               in
               print_endline (Ccomp_fault.Campaign.report_row r);
               r)
@@ -359,7 +413,9 @@ let fuzz_cmd =
   in
   let term =
     Term.(
-      ret (const run $ profile_arg $ seed_arg $ trials_arg $ faults_arg $ kinds_arg $ fuzz_scale_arg))
+      ret
+        (const run $ profile_arg $ seed_arg $ trials_arg $ faults_arg $ kinds_arg $ fuzz_scale_arg
+       $ jobs_arg))
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -371,8 +427,8 @@ let fuzz_cmd =
 (* --- simulate ---------------------------------------------------------- *)
 
 let simulate_cmd =
-  let run profile_name isa seed cache_bytes trace_length fault_rate fault_response trap_cycles
-      flip_back fault_seed =
+  let run profile_name isa seed cache_bytes trace_length decode_cache fault_rate fault_response
+      trap_cycles flip_back fault_seed =
     match find_profile profile_name with
     | Error e -> `Error (false, e)
     | Ok profile ->
@@ -403,7 +459,8 @@ let simulate_cmd =
       let comp =
         Ccomp_memsys.System.run
           (Ccomp_memsys.System.default_config ~cache_bytes
-             ~decompressor:Ccomp_memsys.System.samc_decompressor ())
+             ~decompressor:Ccomp_memsys.System.samc_decompressor
+             ~decode_cache_entries:decode_cache ())
           ~lat ~trace ()
       in
       Printf.printf "profile %s on %s: %d fetches, cache %d bytes\n" profile_name
@@ -414,6 +471,13 @@ let simulate_cmd =
       Printf.printf "  samc:         CPI %.3f, CLB misses %d, slowdown %.3f\n"
         comp.Ccomp_memsys.System.cpi comp.Ccomp_memsys.System.clb_misses
         (Ccomp_memsys.System.slowdown ~compressed:comp ~uncompressed:base);
+      if decode_cache > 0 then
+        Printf.printf "  decode cache: %d entries, %d hits / %d misses (%.1f%% of refills decode-free)\n"
+          decode_cache comp.Ccomp_memsys.System.decode_cache_hits
+          comp.Ccomp_memsys.System.decode_cache_misses
+          (let h = comp.Ccomp_memsys.System.decode_cache_hits
+           and m = comp.Ccomp_memsys.System.decode_cache_misses in
+           if h + m = 0 then 0.0 else 100.0 *. float_of_int h /. float_of_int (h + m));
       if fault_rate > 0.0 then begin
         let response =
           match fault_response with
@@ -458,6 +522,14 @@ let simulate_cmd =
   in
   let trace_arg =
     Arg.(value & opt int 500000 & info [ "trace-length" ] ~docv:"N" ~doc:"Fetches to simulate.")
+  in
+  let decode_cache_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "decode-cache" ] ~docv:"N"
+          ~doc:
+            "Decoded-block LRU entries in the refill engine (0 = off): repeated misses to a \
+             recently decoded block skip re-decompression.")
   in
   let fault_rate_arg =
     Arg.(
@@ -505,8 +577,8 @@ let simulate_cmd =
   let term =
     Term.(
       ret
-        (const run $ profile_arg $ isa_arg $ seed_arg $ cache_arg $ trace_arg $ fault_rate_arg
-       $ fault_response_arg $ trap_cycles_arg $ flip_back_arg $ fault_seed_arg))
+        (const run $ profile_arg $ isa_arg $ seed_arg $ cache_arg $ trace_arg $ decode_cache_arg
+       $ fault_rate_arg $ fault_response_arg $ trap_cycles_arg $ flip_back_arg $ fault_seed_arg))
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the compressed-memory-system model on a profile.") term
 

@@ -149,5 +149,45 @@ module Decoder = struct
     done;
     bit
 
+  (* Batched heap descent: decode [width] bits in one call, reading each
+     bit's p0 from [probs.(tree + node)] as the node walks the implicit
+     heap from 1. Keeping the interval registers in locals for the whole
+     descent (instead of a field round-trip per bit, which a non-flambda
+     build will not optimise away) is what makes the SAMC word loop
+     decode-bound rather than call-bound. *)
+  let decode_tree d probs ~tree ~width =
+    let data = d.data in
+    let len = String.length data in
+    let code = ref d.code in
+    let range = ref d.range in
+    let pos = ref d.pos in
+    let node = ref 1 in
+    for _ = 1 to width do
+      let p0 = Array.unsafe_get probs (tree + !node) in
+      let bound = (!range lsr scale_bits) * p0 in
+      let bit =
+        if !code < bound then begin
+          range := bound;
+          0
+        end
+        else begin
+          code := !code - bound;
+          range := !range - bound;
+          1
+        end
+      in
+      while !range < renorm_limit do
+        let b = if !pos < len then Char.code (String.unsafe_get data !pos) else 0 in
+        incr pos;
+        code := ((!code lsl 8) lor b) land 0xffffff;
+        range := !range lsl 8
+      done;
+      node := (2 * !node) + bit
+    done;
+    d.code <- !code;
+    d.range <- !range;
+    d.pos <- !pos;
+    !node
+
   let consumed_bytes d = min d.pos (String.length d.data)
 end

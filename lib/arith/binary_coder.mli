@@ -52,6 +52,18 @@ module Decoder : sig
   (** Decodes the next bit under prediction [p0]; must be called with the
       same sequence of predictions the encoder used. *)
 
+  val decode_tree : t -> int array -> tree:int -> width:int -> int
+  (** [decode_tree d probs ~tree ~width] decodes [width] bits in one
+      descent of an implicit-heap prediction tree: starting from node 1,
+      each bit is decoded under [probs.(tree + node)] and the node moves
+      to [2*node + bit]. Returns the final node, [2^width + value] where
+      [value] is the decoded bits MSB-first. Exactly equivalent to
+      [width] calls of {!decode}, but the interval state stays in
+      registers for the whole descent — this is the hot kernel of the
+      SAMC per-block decoder. [width] must be at least 0 and
+      [probs.(tree + node)] must be a valid prediction for every visited
+      node (indices are not bounds-checked). *)
+
   val consumed_bytes : t -> int
   (** Bytes of input consumed so far (including the 3-byte priming read,
       capped at the end of data). *)

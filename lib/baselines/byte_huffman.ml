@@ -10,13 +10,15 @@ type compressed = {
   original_size : int;
 }
 
-let compress ?(block_size = 32) input =
+let compress ?(block_size = 32) ?(jobs = 1) input =
   if String.length input = 0 then invalid_arg "Byte_huffman.compress: empty input";
   let code = Huffman.build (Freq.of_string input) in
   let n = String.length input in
   let nblocks = (n + block_size - 1) / block_size in
+  (* The code table is global but fixed before any block encodes, so
+     blocks fan out over the pool with byte-identical assembly. *)
   let blocks =
-    Array.init nblocks (fun b ->
+    Ccomp_par.Pool.init ~jobs nblocks (fun b ->
         let start = b * block_size in
         let len = min block_size (n - start) in
         let w = Bit_writer.create () in

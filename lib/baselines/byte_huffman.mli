@@ -14,8 +14,10 @@ type compressed = {
   original_size : int;
 }
 
-val compress : ?block_size:int -> string -> compressed
-(** [compress code] with 32-byte blocks by default. *)
+val compress : ?block_size:int -> ?jobs:int -> string -> compressed
+(** [compress code] with 32-byte blocks by default. [jobs] (default 1)
+    fans per-block encoding over that many domains with byte-identical
+    output. *)
 
 val decompress_block : compressed -> int -> string
 

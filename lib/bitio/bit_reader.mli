@@ -1,4 +1,8 @@
-(** MSB-first bit input over a string.
+(** MSB-first bit input over a string, word-batched.
+
+    Up to 62 stream bits are staged in an int accumulator, so
+    [get_bits]/[peek_bits] cost one shift-and-mask rather than one loop
+    iteration per bit.
 
     Reading past the end of the data yields 0 bits; this mirrors the paper's
     decompressor, whose [get_byte] keeps supplying bytes after the encoded
@@ -21,7 +25,21 @@ val get_bit : t -> int
 (** Next bit, or 0 past end of data. *)
 
 val get_bits : t -> int -> int
-(** [get_bits r width] reads [width] bits MSB-first. [0 <= width <= 30]. *)
+(** [get_bits r width] reads [width] bits MSB-first. [0 <= width <= 63].
+    The result is the raw bit pattern in the low [width] bits of the int;
+    at [width = 63] (the full native int width) the top bit lands in the
+    sign position, so the value may print as negative — compare patterns,
+    not magnitudes, at that width. Bits past the end of data read as 0. *)
+
+val peek_bits : t -> int -> int
+(** [peek_bits r width] returns the next [width] bits without consuming
+    them. [0 <= width <= 32]. Positions past the end of data read as 0, so
+    a peek near the end is still total — this is the lookahead primitive
+    of the table-driven Huffman decoder. *)
+
+val skip_bits : t -> int -> unit
+(** [skip_bits r width] advances past [width] bits ([0 <= width <= 63]),
+    the companion to {!peek_bits}. *)
 
 val get_byte : t -> int
 (** Reads 8 bits. *)

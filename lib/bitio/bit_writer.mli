@@ -1,7 +1,9 @@
-(** MSB-first bit output over a growing byte buffer.
+(** MSB-first bit output over a growing byte buffer, word-batched.
 
     Bits are packed into bytes most-significant-bit first, matching the
-    order in which the arithmetic coder and Huffman codecs emit code bits. *)
+    order in which the arithmetic coder and Huffman codecs emit code bits.
+    Pending bits accumulate in an int and spill to the buffer a byte at a
+    time, so [put_bits] is O(1) per call rather than O(width). *)
 
 type t
 
@@ -18,7 +20,11 @@ val put_bit : t -> int -> unit
 
 val put_bits : t -> value:int -> width:int -> unit
 (** [put_bits w ~value ~width] appends the [width] low bits of [value],
-    most significant first. [0 <= width <= 30]. *)
+    most significant first. [0 <= width <= 63]. [value] is treated as a
+    raw bit pattern: bits of [value] above [width] are ignored, and at
+    [width = 63] the pattern may correspond to a negative int — the
+    round-trip through {!Bit_reader.get_bits} preserves the pattern
+    exactly. *)
 
 val put_byte : t -> int -> unit
 (** Appends 8 bits. *)

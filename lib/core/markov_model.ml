@@ -12,7 +12,36 @@ type t = {
   (* retained.(stream).(ctx).(node): the node stores its own probability;
      all-true for unpruned models. *)
   retained : bool array array array;
+  (* Flattened copy of [probs] for the decode hot loop: the tree for
+     (stream, ctx) occupies [flat] at offset
+     [stream_base.(stream) + ctx lsl widths.(stream)], heap-indexed as
+     usual, so the per-bit lookup is one array load instead of three. *)
+  flat : int array;
+  stream_base : int array;
 }
+
+let flatten ~widths ~context_bits probs =
+  let contexts = 1 lsl context_bits in
+  let stream_base = Array.make (Array.length widths) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun s w ->
+      stream_base.(s) <- !total;
+      total := !total + (contexts lsl w))
+    widths;
+  let flat = Array.make !total 0 in
+  Array.iteri
+    (fun s per_ctx ->
+      Array.iteri
+        (fun c nodes ->
+          Array.blit nodes 0 flat (stream_base.(s) + (c lsl widths.(s))) (Array.length nodes))
+        per_ctx)
+    probs;
+  (flat, stream_base)
+
+let make ~widths ~context_bits ~quantized ~probs ~retained =
+  let flat, stream_base = flatten ~widths ~context_bits probs in
+  { widths; context_bits; quantized; probs; retained; flat; stream_base }
 
 let check_params ~widths ~context_bits =
   if Array.length widths = 0 then invalid_arg "Markov_model: no streams";
@@ -76,7 +105,8 @@ module Trainer = struct
             done)
           per_ctx)
       probs;
-    { widths = Array.copy t.widths; context_bits = t.context_bits; quantized = quantize; probs; retained }
+    make ~widths:(Array.copy t.widths) ~context_bits:t.context_bits ~quantized:quantize ~probs
+      ~retained
 end
 
 let widths t = Array.copy t.widths
@@ -88,6 +118,10 @@ let contexts t = 1 lsl t.context_bits
 let quantized t = t.quantized
 
 let p0 t ~stream ~ctx ~node = t.probs.(stream).(ctx).(node)
+
+let flat_probs t = t.flat
+
+let tree_offset t ~stream ~ctx = t.stream_base.(stream) + (ctx lsl t.widths.(stream))
 
 let probability_count t =
   let per_word = Array.fold_left (fun acc w -> acc + (1 lsl w) - 1) 0 t.widths in
@@ -192,6 +226,6 @@ let deserialize s ~pos =
   in
   if Bit_reader.overrun r > 0 then invalid_arg "Markov_model.deserialize: truncated input";
   Bit_reader.align_byte r;
-  ({ widths; context_bits; quantized; probs; retained }, Bit_reader.pos r / 8)
+  (make ~widths ~context_bits ~quantized ~probs ~retained, Bit_reader.pos r / 8)
 
 let storage_bytes t = String.length (serialize t)

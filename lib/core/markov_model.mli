@@ -51,6 +51,17 @@ val p0 : t -> stream:int -> ctx:int -> node:int -> int
 (** Prediction (probability of 0 scaled by {!Ccomp_arith.Binary_coder.scale})
     at a tree position. *)
 
+val flat_probs : t -> int array
+(** The whole model as one flat probability array for the decode hot
+    loop: the tree for a (stream, context) pair starts at
+    {!tree_offset} and is heap-indexed within ([offset + node]), so
+    [flat_probs t).(tree_offset t ~stream ~ctx + node)] equals
+    [p0 t ~stream ~ctx ~node] with a single load. The returned array is
+    the model's own storage — do not mutate it. *)
+
+val tree_offset : t -> stream:int -> ctx:int -> int
+(** Base index of one (stream, context) tree inside {!flat_probs}. *)
+
 val probability_count : t -> int
 (** Total number of tree positions,
     [contexts * sum_i (2^{w_i} - 1)]. *)

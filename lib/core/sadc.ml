@@ -372,26 +372,29 @@ module Make (I : Sadc_isa.S) = struct
     in
     (Bit_writer.contents w, original)
 
-  let compress config instr_list =
+  let compress ?(jobs = 1) config instr_list =
     let instrs = Array.of_list instr_list in
     if Array.length instrs = 0 then invalid_arg "Sadc.compress: empty program";
     let segs = segments instrs config.block_size in
     let blocks_instrs =
       Array.map (fun (start, len) -> Array.sub instrs start len) segs
     in
+    (* Dictionary construction and code building are global (they see
+       every block), so they stay serial; the entropy-coding of each
+       block against the finished tables is independent and fans out. *)
     let dict, blocks_tokens, rounds = build_dictionary config blocks_instrs in
     let token_code, chunk_codes = build_codes dict blocks_instrs blocks_tokens in
     let blocks =
-      Array.mapi
+      Ccomp_par.Pool.mapi ~jobs
         (fun b tokens -> encode_block dict token_code chunk_codes blocks_instrs.(b) tokens)
         blocks_tokens
     in
     let original_size = Array.fold_left (fun acc i -> acc + I.byte_length i) 0 instrs in
     { config; dict; token_code; chunk_codes; blocks; original_size; rounds }
 
-  let compress_image config image =
+  let compress_image ?jobs config image =
     match I.parse image with
-    | Some instrs -> compress config instrs
+    | Some instrs -> compress ?jobs config instrs
     | None -> invalid_arg "Sadc.compress_image: image does not decode"
 
   let block_count c = Array.length c.blocks
@@ -448,9 +451,9 @@ module Make (I : Sadc_isa.S) = struct
     if !produced <> original then failwith "Sadc.decompress_block: length mismatch";
     List.rev !out
 
-  let decompress c =
+  let decompress ?(jobs = 1) c =
     let parts =
-      Array.mapi (fun b _ -> I.encode_list (decompress_block c b)) c.blocks
+      Ccomp_par.Pool.mapi ~jobs (fun b _ -> I.encode_list (decompress_block c b)) c.blocks
     in
     String.concat "" (Array.to_list parts)
 

@@ -37,10 +37,13 @@ module Make (I : Sadc_isa.S) : sig
 
   type compressed
 
-  val compress : config -> I.instr list -> compressed
-  (** Build the dictionary and encode the program. *)
+  val compress : ?jobs:int -> config -> I.instr list -> compressed
+  (** Build the dictionary and encode the program. Dictionary and table
+      construction are global and run serially; [jobs] (default 1) fans
+      the per-block entropy coding over that many domains with
+      byte-identical output. *)
 
-  val compress_image : config -> string -> compressed
+  val compress_image : ?jobs:int -> config -> string -> compressed
   (** Parse a byte image with [I.parse] first.
       @raise Invalid_argument if the image does not decode. *)
 
@@ -55,8 +58,9 @@ module Make (I : Sadc_isa.S) : sig
   (** Decode one block from only its own payload (dictionary and Huffman
       tables are program-global, like the hardware's dictionary memory). *)
 
-  val decompress : compressed -> string
-  (** Whole-image reconstruction; equals the original image. *)
+  val decompress : ?jobs:int -> compressed -> string
+  (** Whole-image reconstruction; equals the original image. [jobs]
+      (default 1) fans per-block decoding over that many domains. *)
 
   val dictionary : compressed -> entry array
 

@@ -97,15 +97,32 @@ let train c code =
 
 let encode_block c model code ~first_word ~n_words =
   let encoder = Coder.Encoder.create () in
+  let flat = Markov_model.flat_probs model in
+  let n_streams = Array.length c.streams in
+  let base = Array.init n_streams (fun s -> Markov_model.tree_offset model ~stream:s ~ctx:0) in
+  let widths = Array.map Array.length c.streams in
+  let ctx_mask = (1 lsl c.context_bits) - 1 in
   let ctx = ref 0 in
   for wi = first_word to first_word + n_words - 1 do
-    ctx :=
-      walk_word c (get_word c code wi) ~ctx:!ctx (fun stream ctx node bit ->
-          Coder.Encoder.encode encoder ~p0:(Markov_model.p0 model ~stream ~ctx ~node) bit)
+    let word = get_word c code wi in
+    for s = 0 to n_streams - 1 do
+      let positions = Array.unsafe_get c.streams s in
+      let w = Array.unsafe_get widths s in
+      let tree = Array.unsafe_get base s + (!ctx lsl w) in
+      let node = ref 1 in
+      for k = 0 to w - 1 do
+        let bit = (word lsr (c.word_bits - 1 - Array.unsafe_get positions k)) land 1 in
+        Coder.Encoder.encode encoder ~p0:(Array.unsafe_get flat (tree + !node)) bit;
+        node := (2 * !node) + bit
+      done;
+      (* After w steps the heap index is 2^w + value, so the decoded
+         stream value needs no separate accumulator. *)
+      ctx := (!node - (1 lsl w)) land ctx_mask
+    done
   done;
   Coder.Encoder.finish encoder
 
-let compress c code =
+let compress ?(jobs = 1) c code =
   (match validate_config c with Ok () -> () | Error e -> invalid_arg ("Samc.compress: " ^ e));
   if String.length code mod word_bytes c <> 0 then
     invalid_arg "Samc.compress: code size is not a multiple of the word size";
@@ -113,18 +130,110 @@ let compress c code =
   let words = String.length code / word_bytes c in
   let wpb = words_per_block c in
   let nblocks = block_count c ~code_bytes:(String.length code) in
+  (* Blocks restart the coder and context, so each encodes independently;
+     the pool reassembles in block order, keeping the output
+     byte-identical to a serial run. *)
   let blocks =
-    Array.init nblocks (fun b ->
+    Ccomp_par.Pool.init ~jobs nblocks (fun b ->
         let first_word = b * wpb in
         let n_words = min wpb (words - first_word) in
         encode_block c model code ~first_word ~n_words)
   in
   { config = c; model; blocks; original_size = String.length code }
 
-let decompress_block c model ~original_bytes data =
-  let wb = word_bytes c in
+(* Decode hot loop: the model is read through its flat probability array
+   (one load per bit instead of three pointer chases), and each stream's
+   bits are decoded by one {!Coder.Decoder.decode_tree} descent — the
+   interval registers stay local for the whole stream instead of a call
+   per bit, and the stream's value falls out of the final heap index.
+   The per-image tables (tree offsets, shift translations) are hoisted
+   into a plan so the full-image path builds them once, not per 32-byte
+   block. *)
+type decode_plan = {
+  p_wb : int;
+  p_ctx_mask : int;
+  p_flat : int array;
+  p_base : int array;
+  p_widths : int array;
+  p_shifts : int array array;
+  p_low_shift : int array;  (** single-shift placement, -1 = scatter *)
+}
+
+let decode_plan c model =
+  let n_streams = Array.length c.streams in
+  let shifts = Array.map (Array.map (fun pos -> c.word_bits - 1 - pos)) c.streams in
+  (* A stream whose positions are consecutive (every default config)
+     lands in the word with a single shift of its value; [-1] marks the
+     general scatter case. *)
+  let low_shift =
+    Array.map
+      (fun shift_s ->
+        let w = Array.length shift_s in
+        let contiguous = ref (w > 0) in
+        for k = 1 to w - 1 do
+          if shift_s.(k) <> shift_s.(0) - k then contiguous := false
+        done;
+        if !contiguous then shift_s.(w - 1) else -1)
+      shifts
+  in
+  {
+    p_wb = word_bytes c;
+    p_ctx_mask = (1 lsl c.context_bits) - 1;
+    p_flat = Markov_model.flat_probs model;
+    p_base = Array.init n_streams (fun s -> Markov_model.tree_offset model ~stream:s ~ctx:0);
+    p_widths = Array.map Array.length c.streams;
+    p_shifts = shifts;
+    p_low_shift = low_shift;
+  }
+
+let decompress_block_planned p ~original_bytes data =
+  let wb = p.p_wb in
   if original_bytes mod wb <> 0 then
     invalid_arg "Samc.decompress_block: size not a multiple of the word size";
+  let n_words = original_bytes / wb in
+  let decoder = Coder.Decoder.create data in
+  let out = Bytes.create original_bytes in
+  let flat = p.p_flat in
+  let n_streams = Array.length p.p_widths in
+  let ctx_mask = p.p_ctx_mask in
+  let ctx = ref 0 in
+  for wi = 0 to n_words - 1 do
+    let word = ref 0 in
+    for s = 0 to n_streams - 1 do
+      let w = Array.unsafe_get p.p_widths s in
+      let tree = Array.unsafe_get p.p_base s + (!ctx lsl w) in
+      let node = Coder.Decoder.decode_tree decoder flat ~tree ~width:w in
+      let value = node - (1 lsl w) in
+      let lo = Array.unsafe_get p.p_low_shift s in
+      if lo >= 0 then word := !word lor (value lsl lo)
+      else begin
+        let shift_s = Array.unsafe_get p.p_shifts s in
+        for k = 0 to w - 1 do
+          if (value lsr (w - 1 - k)) land 1 = 1 then
+            word := !word lor (1 lsl Array.unsafe_get shift_s k)
+        done
+      end;
+      ctx := value land ctx_mask
+    done;
+    let word = !word in
+    for j = 0 to wb - 1 do
+      Bytes.unsafe_set out ((wi * wb) + j)
+        (Char.unsafe_chr ((word lsr (8 * (wb - 1 - j))) land 0xff))
+    done
+  done;
+  Bytes.to_string out
+
+let decompress_block c model ~original_bytes data =
+  decompress_block_planned (decode_plan c model) ~original_bytes data
+
+(* The original pointer-chasing kernel, kept as the reference
+   implementation: equivalence tests pin the fast path to it, and the
+   benchmark harness reports both so the LUT/flat speedup stays
+   measured. *)
+let decompress_block_ref c model ~original_bytes data =
+  let wb = word_bytes c in
+  if original_bytes mod wb <> 0 then
+    invalid_arg "Samc.decompress_block_ref: size not a multiple of the word size";
   let n_words = original_bytes / wb in
   let decoder = Coder.Decoder.create data in
   let out = Bytes.create original_bytes in
@@ -197,16 +306,17 @@ let decompress_block_parallel c model ~original_bytes data =
   done;
   (Bytes.to_string out, Ccomp_arith.Nibble_decoder.midpoint_evaluations engine)
 
-let decompress t =
+let decompress ?(jobs = 1) t =
   let c = t.config in
   let wpb = words_per_block c in
   let wb = word_bytes c in
   let words = t.original_size / wb in
+  let plan = decode_plan c t.model in
   let parts =
-    Array.mapi
+    Ccomp_par.Pool.mapi ~jobs
       (fun b data ->
         let n_words = min wpb (words - (b * wpb)) in
-        decompress_block c t.model ~original_bytes:(n_words * wb) data)
+        decompress_block_planned plan ~original_bytes:(n_words * wb) data)
       t.blocks
   in
   String.concat "" (Array.to_list parts)

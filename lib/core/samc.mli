@@ -36,19 +36,31 @@ type compressed = {
   original_size : int;  (** bytes of the uncompressed program *)
 }
 
-val compress : config -> string -> compressed
+val compress : ?jobs:int -> config -> string -> compressed
 (** [compress config code] trains the model on [code] and encodes it
     block by block. [String.length code] must be a multiple of the word
-    size in bytes.
+    size in bytes. [jobs] (default 1) fans per-block encoding over that
+    many domains ({!Ccomp_par.Pool}); the output is byte-identical for
+    every [jobs] value because blocks are independent and reassembled in
+    order.
     @raise Invalid_argument on a bad config or size. *)
 
 val decompress_block : config -> Markov_model.t -> original_bytes:int -> string -> string
 (** [decompress_block config model ~original_bytes data] decodes one
     block's payload back to [original_bytes] of code — this is the cache
-    refill engine's operation and needs only the block's own bytes. *)
+    refill engine's operation and needs only the block's own bytes.
+    The kernel reads the model through its flat probability array
+    ({!Markov_model.flat_probs}); output is byte-identical to
+    {!decompress_block_ref}. *)
 
-val decompress : compressed -> string
-(** Full image reconstruction (concatenation of block decodes). *)
+val decompress_block_ref : config -> Markov_model.t -> original_bytes:int -> string -> string
+(** The original pointer-chasing decode kernel, kept as the reference for
+    equivalence tests and as the pre-optimisation baseline the benchmark
+    harness reports against. *)
+
+val decompress : ?jobs:int -> compressed -> string
+(** Full image reconstruction (concatenation of block decodes), optionally
+    fanned over [jobs] domains. *)
 
 val decompress_block_parallel :
   config -> Markov_model.t -> original_bytes:int -> string -> string * int

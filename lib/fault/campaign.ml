@@ -34,16 +34,22 @@ let trial codec damaged =
   | Error _ -> Detected
   | Ok out -> if String.equal out codec.reference then Recovered else Miscompared
 
-let run ?(faults_per_trial = 1) ?kinds ~seed ~trials codec =
+let run ?(faults_per_trial = 1) ?kinds ?(jobs = 1) ~seed ~trials codec =
+  (* Fault placement consumes the PRNG sequentially so the damaged
+     inputs are identical for every [jobs] value; only the (pure)
+     decode-and-compare of each trial fans out over the pool. *)
   let g = Prng.create (Int64.of_int seed) in
+  let damaged =
+    Array.init trials (fun _ -> fst (Injector.inject ?kinds ~count:faults_per_trial g codec.encoded))
+  in
+  let outcomes = Ccomp_par.Pool.map ~jobs (trial codec) damaged in
   let detected = ref 0 and recovered = ref 0 and miscompared = ref 0 in
-  for _ = 1 to trials do
-    let damaged, _ = Injector.inject ?kinds ~count:faults_per_trial g codec.encoded in
-    match trial codec damaged with
-    | Detected -> incr detected
-    | Recovered -> incr recovered
-    | Miscompared -> incr miscompared
-  done;
+  Array.iter
+    (function
+      | Detected -> incr detected
+      | Recovered -> incr recovered
+      | Miscompared -> incr miscompared)
+    outcomes;
   {
     codec_name = codec.name;
     trials;

@@ -44,12 +44,15 @@ val trial : codec -> string -> outcome
 val run :
   ?faults_per_trial:int ->
   ?kinds:Injector.kind array ->
+  ?jobs:int ->
   seed:int ->
   trials:int ->
   codec ->
   report
 (** [run ~seed ~trials codec] — deterministic in [seed]. Default one
-    single-bit flip per trial. *)
+    single-bit flip per trial. [jobs] (default 1) fans the trial decodes
+    over that many domains; fault placement stays sequential, so the
+    report is identical for every [jobs] value. *)
 
 val sweep :
   ?kinds:Injector.kind array ->

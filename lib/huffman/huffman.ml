@@ -2,6 +2,13 @@ module Freq = Ccomp_entropy.Freq
 module Bit_writer = Ccomp_bitio.Bit_writer
 module Bit_reader = Ccomp_bitio.Bit_reader
 
+(* First-level decode LUT: at most this many leading bits index directly
+   into a table of (symbol, length) pairs; longer codes fall back to the
+   canonical tree walk. 2^11 entries bounds the table at 16 KiB per code
+   while covering every codeword [build] emits at its default
+   [max_length] of 15 minus the rare tail. *)
+let lut_bits_limit = 11
+
 type code = {
   lengths : int array; (* per-symbol code length, 0 = absent *)
   codewords : int array; (* canonical codeword, valid when lengths.(s) > 0 *)
@@ -11,6 +18,10 @@ type code = {
   first_index : int array; (* index into [ordered] of that length's first symbol *)
   count_len : int array; (* number of codewords of that length *)
   ordered : int array; (* symbols sorted by (length, symbol) *)
+  lut_bits : int;
+  (* lut.(prefix) = (sym lsl 5) lor len for codes of len <= lut_bits whose
+     bits open [prefix]; 0 = no codeword that short here (fall back). *)
+  lut : int array;
 }
 
 (* Build per-symbol code lengths with a standard Huffman tree over a
@@ -99,7 +110,29 @@ let canonicalize lengths =
     codewords.(sym) <- next_code.(l);
     next_code.(l) <- next_code.(l) + 1
   done;
-  { lengths = Array.copy lengths; codewords; max_len; first_code; first_index; count_len; ordered }
+  (* Every codeword of length l <= lut_bits owns the 2^(lut_bits - l)
+     table slots its bits prefix. *)
+  let lut_bits = min max_len lut_bits_limit in
+  let lut = Array.make (1 lsl lut_bits) 0 in
+  for sym = 0 to n - 1 do
+    let l = lengths.(sym) in
+    if l > 0 && l <= lut_bits then begin
+      let first = codewords.(sym) lsl (lut_bits - l) in
+      let packed = (sym lsl 5) lor l in
+      Array.fill lut first (1 lsl (lut_bits - l)) packed
+    end
+  done;
+  {
+    lengths = Array.copy lengths;
+    codewords;
+    max_len;
+    first_code;
+    first_index;
+    count_len;
+    ordered;
+    lut_bits;
+    lut;
+  }
 
 let of_lengths lengths = canonicalize lengths
 
@@ -129,7 +162,7 @@ let encode_symbol c w sym =
   if len = 0 then invalid_arg "Huffman.encode_symbol: absent symbol";
   Bit_writer.put_bits w ~value:c.codewords.(sym) ~width:len
 
-let decode_symbol c r =
+let decode_symbol_tree c r =
   let rec go code len =
     if len > c.max_len then
       Ccomp_util.Decode_error.invalid_code "Huffman.decode_symbol: invalid bit stream"
@@ -141,6 +174,14 @@ let decode_symbol c r =
       else go code len
   in
   go 0 0
+
+let decode_symbol c r =
+  let e = c.lut.(Bit_reader.peek_bits r c.lut_bits) in
+  if e <> 0 then begin
+    Bit_reader.skip_bits r (e land 31);
+    e lsr 5
+  end
+  else decode_symbol_tree c r
 
 let encoded_bits c freq =
   let bits = ref 0 in

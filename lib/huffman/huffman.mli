@@ -39,10 +39,18 @@ val encode_symbol : code -> Ccomp_bitio.Bit_writer.t -> int -> unit
     @raise Invalid_argument if the symbol has no codeword. *)
 
 val decode_symbol : code -> Ccomp_bitio.Bit_reader.t -> int
-(** Read one symbol.
+(** Read one symbol. Codes up to 11 bits resolve through a first-level
+    lookup table in one peek-and-skip; longer codes fall back to the
+    canonical tree walk, so the result is identical to
+    {!decode_symbol_tree} on any input.
     @raise Ccomp_util.Decode_error.Error ([Invalid_code]) if the bit
     stream does not decode (possible only on corrupted input or overrun
     past the end). *)
+
+val decode_symbol_tree : code -> Ccomp_bitio.Bit_reader.t -> int
+(** The bit-serial canonical tree walk {!decode_symbol} accelerates —
+    kept as the reference kernel for equivalence tests and the
+    pre-LUT baseline in the benchmark harness. *)
 
 val encoded_bits : code -> Ccomp_entropy.Freq.t -> int
 (** Total bits needed to code a message with the given symbol counts. *)

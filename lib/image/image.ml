@@ -214,11 +214,11 @@ let read_checked ?(verify_crc = true) s =
 
 let read s = Result.map_error Decode_error.to_string (read_checked s)
 
-let decompress t =
+let decompress ?jobs t =
   match t.payload with
-  | Samc z -> Samc.decompress z
-  | Sadc_mips z -> Sadc.Mips.decompress z
-  | Sadc_x86 z -> Sadc.X86.decompress z
+  | Samc z -> Samc.decompress ?jobs z
+  | Sadc_mips z -> Sadc.Mips.decompress ?jobs z
+  | Sadc_x86 z -> Sadc.X86.decompress ?jobs z
 
 let decompress_checked ?max_output t =
   match verify_block_crcs t with

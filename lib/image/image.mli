@@ -76,8 +76,10 @@ val read_checked : ?verify_crc:bool -> string -> (t, Ccomp_util.Decode_error.t) 
     the per-block tags are still read (and checked by
     {!decompress_checked}). Total: never raises. *)
 
-val decompress : t -> string
-(** Reconstruct the original text section. *)
+val decompress : ?jobs:int -> t -> string
+(** Reconstruct the original text section. [jobs] (default 1) fans
+    per-block decoding over that many domains; the output is identical
+    for every value. *)
 
 val decompress_checked : ?max_output:int -> t -> (string, Ccomp_util.Decode_error.t) result
 (** Verifies per-block tags (when present), then decodes totally: typed

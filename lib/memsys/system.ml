@@ -34,9 +34,10 @@ type config = {
   bytes_per_cycle : float;
   decompressor : decompressor option;
   fault : fault_config option;
+  decode_cache_entries : int;
 }
 
-let default_config ?(cache_bytes = 8192) ?decompressor ?fault () =
+let default_config ?(cache_bytes = 8192) ?decompressor ?fault ?(decode_cache_entries = 0) () =
   {
     cache = { Cache.size_bytes = cache_bytes; block_size = 32; associativity = 2 };
     clb_entries = 16;
@@ -44,6 +45,7 @@ let default_config ?(cache_bytes = 8192) ?decompressor ?fault () =
     bytes_per_cycle = 4.0;
     decompressor;
     fault;
+    decode_cache_entries;
   }
 
 type result = {
@@ -60,6 +62,8 @@ type result = {
   fault_traps : int;
   stale_lines : int;
   undetected_faults : int;
+  decode_cache_hits : int;
+  decode_cache_misses : int;
 }
 
 let run config ?lat ~trace () =
@@ -68,9 +72,19 @@ let run config ?lat ~trace () =
   (match (config.decompressor, lat) with
   | Some _, None -> invalid_arg "System.run: compressed system needs a LAT"
   | Some _, Some _ | None, _ -> ());
+  (* Decoded-block cache in the refill engine: a small LRU of recently
+     decompressed lines, so a miss whose block was decoded moments ago is
+     refilled at uncompressed-memory cost (no LAT lookup, no decode). *)
+  let decode_cache =
+    if config.decode_cache_entries > 0 && config.decompressor <> None then
+      Some (Lru.create ~capacity:config.decode_cache_entries)
+    else None
+  in
   let cycles = ref 0 in
   let penalty_cycles = ref 0 in
   let clb_misses = ref 0 in
+  let decode_hits = ref 0 in
+  let decode_misses = ref 0 in
   let faults_injected = ref 0 in
   let fault_retries = ref 0 in
   let fault_traps = ref 0 in
@@ -124,6 +138,7 @@ let run config ?lat ~trace () =
       if Cache.access cache addr then incr cycles
       else begin
         let block = addr / config.cache.Cache.block_size in
+        let served_decoded = ref false in
         let penalty =
           match config.decompressor with
           | None ->
@@ -133,24 +148,43 @@ let run config ?lat ~trace () =
             let lat = Option.get lat in
             if block >= Lat.entries lat then
               invalid_arg "System.run: trace address beyond the LAT";
-            let compressed = Lat.length lat block in
-            (* LAT lookup: hidden by the CLB when it hits, otherwise one
-               extra memory round-trip to read the table group. *)
-            let lat_cost =
-              match clb with
-              | Some c -> if Clb.access c block then 0 else begin incr clb_misses; config.memory_latency end
-              | None -> begin incr clb_misses; config.memory_latency end
+            let decode_cached =
+              match decode_cache with
+              | Some dc ->
+                let hit = Lru.access dc block in
+                if hit then incr decode_hits else incr decode_misses;
+                hit
+              | None -> false
             in
-            let decompress =
-              d.startup_cycles
-              + int_of_float
-                  (ceil (float_of_int config.cache.Cache.block_size *. d.cycles_per_byte))
-            in
-            lat_cost + config.memory_latency + transfer compressed + decompress
+            if decode_cached then begin
+              (* served from the refill engine's decoded-line store:
+                 an ordinary uncompressed refill, no LAT or decode *)
+              served_decoded := true;
+              config.memory_latency + transfer config.cache.Cache.block_size
+            end
+            else begin
+              let compressed = Lat.length lat block in
+              (* LAT lookup: hidden by the CLB when it hits, otherwise one
+                 extra memory round-trip to read the table group. *)
+              let lat_cost =
+                match clb with
+                | Some c -> if Clb.access c block then 0 else begin incr clb_misses; config.memory_latency end
+                | None -> begin incr clb_misses; config.memory_latency end
+              in
+              let decompress =
+                d.startup_cycles
+                + int_of_float
+                    (ceil (float_of_int config.cache.Cache.block_size *. d.cycles_per_byte))
+              in
+              lat_cost + config.memory_latency + transfer compressed + decompress
+            end
         in
         let penalty =
+          (* decode-cached refills never run the decompressor, so they
+             cannot take a decode fault *)
           match (config.fault, rng, config.decompressor) with
-          | Some f, Some g, Some _ when Ccomp_util.Prng.float g < f.fault_rate ->
+          | Some f, Some g, Some _
+            when (not !served_decoded) && Ccomp_util.Prng.float g < f.fault_rate ->
             penalty + fault_cost f ~refill:penalty
           | _ -> penalty
         in
@@ -175,6 +209,8 @@ let run config ?lat ~trace () =
     fault_traps = !fault_traps;
     stale_lines = !stale_lines;
     undetected_faults = !undetected_faults;
+    decode_cache_hits = !decode_hits;
+    decode_cache_misses = !decode_misses;
   }
 
 let slowdown ~compressed ~uncompressed = compressed.cpi /. uncompressed.cpi

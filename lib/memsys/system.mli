@@ -53,12 +53,17 @@ type config = {
   bytes_per_cycle : float;  (** main-memory transfer bandwidth *)
   decompressor : decompressor option;  (** [None] = uncompressed system *)
   fault : fault_config option;  (** [None] = fault-free memory *)
+  decode_cache_entries : int;
+      (** capacity of the refill engine's decoded-block LRU: a miss to a
+          block decoded recently skips the LAT lookup and re-decompression
+          and refills at uncompressed cost. 0 disables it. *)
 }
 
 val default_config :
-  ?cache_bytes:int -> ?decompressor:decompressor -> ?fault:fault_config -> unit -> config
+  ?cache_bytes:int -> ?decompressor:decompressor -> ?fault:fault_config ->
+  ?decode_cache_entries:int -> unit -> config
 (** 8 KiB 2-way cache with 32-byte lines, 16-entry CLB, 20-cycle memory
-    latency, 4 bytes/cycle, no faults. *)
+    latency, 4 bytes/cycle, no faults, no decoded-block cache. *)
 
 type result = {
   fetches : int;
@@ -74,6 +79,8 @@ type result = {
   fault_traps : int;  (** traps taken (direct, or after retry exhaustion) *)
   stale_lines : int;  (** lines served stale under [Stale] *)
   undetected_faults : int;  (** corrupt lines that entered the cache silently *)
+  decode_cache_hits : int;  (** refills served from the decoded-block LRU *)
+  decode_cache_misses : int;  (** refills that had to decompress (LRU enabled) *)
 }
 
 val run : config -> ?lat:Lat.t -> trace:int array -> unit -> result

@@ -1,0 +1,27 @@
+(** Domain-based work pool for per-cache-block parallelism.
+
+    Work items are drawn from a shared queue by [jobs] OCaml 5 domains;
+    each result is stored at its input index, so the assembled output is
+    deterministic and order-preserving — byte-identical to a serial run
+    regardless of scheduling. With [jobs <= 1] (or a single item) no
+    domain is spawned and the computation runs serially in the caller.
+
+    The functions must not be nested (a worker must not itself call into
+    the pool) and [f] must be safe to run concurrently with itself —
+    true of the block codecs, which share only immutable models. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [--jobs 0] resolves to
+    in the CLIs. *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** [mapi ~jobs f a] is [Array.mapi f a] computed on up to [jobs]
+    domains (default {!default_jobs}). If any [f] raises, one of the
+    raised exceptions is re-raised after all domains join; remaining
+    queued items are skipped. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [init ~jobs n f] is [Array.init n f] with the calls distributed over
+    the pool. *)

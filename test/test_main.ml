@@ -23,5 +23,6 @@ let () =
       ("memsys", Test_memsys.suite);
       ("image", Test_image.suite);
       ("fault", Test_fault.suite);
+      ("par", Test_par.suite);
       ("integration", Test_integration.suite);
     ]

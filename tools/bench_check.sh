@@ -1,0 +1,129 @@
+#!/bin/sh
+# Benchmark regression gate over the flat JSON written by
+# `bench --emit-json` (see BENCH_PR2.json for the committed baseline).
+#
+# Modes:
+#   bench_check.sh [BASELINE]
+#       Run the full throughput suite with `dune exec bench/main.exe` and
+#       fail (exit 1) if any *decompress* throughput fell more than 20%
+#       below the baseline (default: BENCH_PR2.json next to this repo's
+#       root). Compress keys are reported but not gated — dictionary
+#       construction time is dominated by search heuristics, not the
+#       kernels this gate protects.
+#   bench_check.sh --compare NEW BASELINE
+#       Same gate, but over two already-emitted JSON files (no dune).
+#   bench_check.sh --smoke BENCH_EXE
+#       Run BENCH_EXE for a fraction of a second and validate only the
+#       JSON structure (every expected key present, every value a
+#       positive number). Machine-independent, so it is safe to wire
+#       into `dune runtest` — which bench/dune does.
+#   bench_check.sh --validate FILE
+#       Structure validation of an existing file.
+set -eu
+
+THRESHOLD_PCT=20
+
+usage() {
+  sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
+  exit 2
+}
+
+# Flat-JSON accessor: value of "key": 1.234 lines, empty when absent.
+json_get() { # file key
+  awk -F'"' -v k="$2" '$2 == k { v = $3; gsub(/[^0-9.eE+-]/, "", v); print v; exit }' "$1"
+}
+
+expected_keys='
+samc-mips.compress_serial_mbps
+samc-mips.compress_parallel_mbps
+samc-mips.decompress_serial_mbps
+samc-mips.decompress_parallel_mbps
+samc-mips.decompress_ref_mbps
+sadc-mips.compress_serial_mbps
+sadc-mips.compress_parallel_mbps
+sadc-mips.decompress_serial_mbps
+sadc-mips.decompress_parallel_mbps
+byte-huffman.compress_serial_mbps
+byte-huffman.compress_parallel_mbps
+byte-huffman.decompress_mbps
+byte-huffman.decompress_tree_mbps
+'
+
+validate() { # file
+  file=$1
+  [ -r "$file" ] || { echo "bench_check: cannot read $file" >&2; exit 1; }
+  schema=$(awk -F'"' '$2 == "schema" { print $4; exit }' "$file")
+  [ "$schema" = "ccomp-bench-v1" ] || {
+    echo "bench_check: $file: bad or missing schema (got '$schema')" >&2
+    exit 1
+  }
+  bad=0
+  for key in $expected_keys; do
+    v=$(json_get "$file" "$key")
+    if [ -z "$v" ]; then
+      echo "bench_check: $file: missing key $key" >&2
+      bad=1
+    elif ! awk -v v="$v" 'BEGIN { exit !(v + 0 > 0) }'; then
+      echo "bench_check: $file: non-positive value $v for $key" >&2
+      bad=1
+    fi
+  done
+  [ "$bad" -eq 0 ] || exit 1
+  echo "bench_check: $file: structure OK ($(echo "$expected_keys" | grep -c .) keys)"
+}
+
+compare() { # new baseline
+  new=$1 base=$2
+  validate "$new"
+  [ -r "$base" ] || { echo "bench_check: cannot read baseline $base" >&2; exit 1; }
+  fail=0
+  for key in $expected_keys; do
+    case $key in *decompress*) ;; *) continue ;; esac
+    old=$(json_get "$base" "$key")
+    cur=$(json_get "$new" "$key")
+    [ -n "$old" ] || { echo "bench_check: baseline lacks $key, skipping" >&2; continue; }
+    if awk -v o="$old" -v c="$cur" -v t="$THRESHOLD_PCT" \
+         'BEGIN { exit !(c + 0 < o * (100 - t) / 100) }'; then
+      echo "bench_check: REGRESSION $key: $cur MB/s < $old MB/s - ${THRESHOLD_PCT}%" >&2
+      fail=1
+    else
+      awk -v k="$key" -v o="$old" -v c="$cur" \
+        'BEGIN { printf "bench_check: ok %-42s %10.2f MB/s (baseline %.2f, %+.1f%%)\n", k, c, o, (c - o) / o * 100 }'
+    fi
+  done
+  if [ "$fail" -ne 0 ]; then
+    echo "bench_check: FAILED — decompress throughput regressed >${THRESHOLD_PCT}% vs $base" >&2
+    exit 1
+  fi
+  echo "bench_check: PASS (no decompress regression >${THRESHOLD_PCT}% vs $base)"
+}
+
+case "${1:-}" in
+  --validate)
+    [ $# -eq 2 ] || usage
+    validate "$2"
+    ;;
+  --compare)
+    [ $# -eq 3 ] || usage
+    compare "$2" "$3"
+    ;;
+  --smoke)
+    [ $# -eq 2 ] || usage
+    case $2 in */*) exe=$2 ;; *) exe=./$2 ;; esac
+    out=$(mktemp /tmp/bench_smoke.XXXXXX.json)
+    trap 'rm -f "$out"' EXIT
+    "$exe" --emit-json "$out" --scale 0.05 --min-time 0.01 --jobs 2 >/dev/null
+    validate "$out"
+    ;;
+  -h|--help)
+    usage
+    ;;
+  *)
+    root=$(cd "$(dirname "$0")/.." && pwd)
+    baseline=${1:-$root/BENCH_PR2.json}
+    out=$(mktemp /tmp/bench_full.XXXXXX.json)
+    trap 'rm -f "$out"' EXIT
+    (cd "$root" && dune exec bench/main.exe -- --emit-json "$out" --min-time 0.5)
+    compare "$out" "$baseline"
+    ;;
+esac

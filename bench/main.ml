@@ -4,6 +4,7 @@
 
    Usage: dune exec bench/main.exe -- [--scale S] [--tables LIST] [--no-timing]
                                       [--jobs N] [--emit-json FILE] [--min-time T]
+                                      [--trace FILE]
      --scale S        workload size multiplier (default 1.0)
      --tables LIST    comma list of fig7,fig8,fig9,block,streams,quantize,
                       memsys,dict,ppm,dense,prune,x86fields,lat,codepack,
@@ -13,22 +14,27 @@
      --emit-json FILE run only the throughput suite (serial vs parallel,
                       optimised vs reference kernels) and write it as flat
                       JSON — the BENCH_PR2.json regression baseline
-     --min-time T     seconds per throughput measurement (default 0.3) *)
+     --min-time T     seconds per throughput measurement (default 0.3)
+     --trace FILE     write the harness's obs spans (workload generation,
+                      each table, each measurement) as a Chrome trace_event
+                      JSON array *)
 
 module Samc = Ccomp_core.Samc
 module Sadc = Ccomp_core.Sadc
 module Byte_huffman = Ccomp_baselines.Byte_huffman
+module Obs = Ccomp_obs.Obs
 
 let usage =
   "usage: bench [--scale S] [--tables LIST] [--no-timing] [--jobs N]\n\
-  \             [--emit-json FILE] [--min-time T]\n\
+  \             [--emit-json FILE] [--min-time T] [--trace FILE]\n\
   \  --scale S        workload size multiplier (default 1.0)\n\
   \  --tables LIST    comma list of fig7,fig8,fig9,block,streams,quantize,\n\
   \                   memsys,dict,ppm,dense,prune,x86fields,lat,codepack,embedded\n\
   \  --no-timing      skip the Bechamel throughput measurements\n\
   \  --jobs N         domains for the parallel measurements (default: all cores)\n\
   \  --emit-json FILE run only the throughput suite and write it as flat JSON\n\
-  \  --min-time T     seconds per throughput measurement (default 0.3)"
+  \  --min-time T     seconds per throughput measurement (default 0.3)\n\
+  \  --trace FILE     write harness spans as Chrome trace_event JSON"
 
 type args = {
   scale : float;
@@ -37,6 +43,7 @@ type args = {
   jobs : int;
   emit_json : string option;
   min_time : float;
+  trace : string option;
 }
 
 let parse_args () =
@@ -49,6 +56,7 @@ let parse_args () =
         jobs = Ccomp_par.Pool.default_jobs ();
         emit_json = None;
         min_time = 0.3;
+        trace = None;
       }
   in
   let die fmt =
@@ -81,8 +89,12 @@ let parse_args () =
     | "--min-time" :: v :: rest ->
       args := { !args with min_time = value "--min-time" v float_of_string_opt };
       go rest
-    | [ flag ] when List.mem flag [ "--scale"; "--tables"; "--jobs"; "--emit-json"; "--min-time" ]
-      ->
+    | "--trace" :: v :: rest ->
+      args := { !args with trace = Some v };
+      go rest
+    | [ flag ]
+      when List.mem flag
+             [ "--scale"; "--tables"; "--jobs"; "--emit-json"; "--min-time"; "--trace" ] ->
       die "option %s expects a value" flag
     | flag :: _ -> die "unknown option %s" flag
   in
@@ -135,8 +147,7 @@ let run_timing () =
       | Some _ | None -> Printf.printf "%-32s %14s\n" name "n/a")
     (List.sort compare rows)
 
-let () =
-  let { scale; tables; timing; jobs; emit_json; min_time } = parse_args () in
+let main { scale; tables; timing; jobs; emit_json; min_time; trace = _ } =
   match emit_json with
   | Some path ->
     Printf.printf "throughput suite (scale %.2f, %d jobs, >=%.2fs per measurement)\n%!" scale
@@ -144,28 +155,50 @@ let () =
     let entries = Perf.run ~scale ~jobs ~min_time in
     Perf.emit_json ~path ~scale ~jobs entries
   | None ->
-  let wants t = List.mem t tables in
-  Printf.printf "code compression benchmark harness (scale %.2f)\n" scale;
-  let t0 = Unix.gettimeofday () in
-  let suite = Workloads.suite ~scale () in
-  Printf.printf "generated %d workloads in %.1fs\n%!" (Array.length suite)
-    (Unix.gettimeofday () -. t0);
-  let mips_rows = if wants "fig7" || wants "fig9" then Some (Tables.fig7 suite) else None in
-  let x86_rows = if wants "fig8" || wants "fig9" then Some (Tables.fig8 suite) else None in
-  (match (mips_rows, x86_rows) with
-  | Some m, Some x when wants "fig9" -> Tables.fig9 ~mips_rows:m ~x86_rows:x
-  | _ -> ());
-  if wants "block" then Tables.block_size_table suite;
-  if wants "streams" then Tables.stream_table suite;
-  if wants "quantize" then Tables.quantize_table suite;
-  if wants "memsys" then Tables.memsys_table suite;
-  if wants "dict" then Tables.dict_table suite;
-  if wants "ppm" then Tables.ppm_table suite;
-  if wants "dense" then Tables.dense_table suite;
-  if wants "prune" then Tables.prune_table suite;
-  if wants "x86fields" then Tables.x86_fields_table suite;
-  if wants "lat" then Tables.lat_table suite;
-  if wants "codepack" then Tables.codepack_table suite;
-  if wants "embedded" then Tables.embedded_table ();
-  if timing then run_timing ();
-  Printf.printf "\ntotal harness time: %.1fs\n" (Unix.gettimeofday () -. t0)
+    let wants t = List.mem t tables in
+    let table name f = if wants name then Obs.with_span ~cat:"bench" ("bench.table." ^ name) f in
+    Printf.printf "code compression benchmark harness (scale %.2f)\n" scale;
+    let t0 = Unix.gettimeofday () in
+    let suite, gen_s =
+      Obs.timed ~cat:"bench" "bench.workloads" (fun () -> Workloads.suite ~scale ())
+    in
+    Printf.printf "generated %d workloads in %.1fs\n%!" (Array.length suite) gen_s;
+    let mips_rows =
+      if wants "fig7" || wants "fig9" then
+        Some (Obs.with_span ~cat:"bench" "bench.table.fig7" (fun () -> Tables.fig7 suite))
+      else None
+    in
+    let x86_rows =
+      if wants "fig8" || wants "fig9" then
+        Some (Obs.with_span ~cat:"bench" "bench.table.fig8" (fun () -> Tables.fig8 suite))
+      else None
+    in
+    (match (mips_rows, x86_rows) with
+    | Some m, Some x when wants "fig9" -> Tables.fig9 ~mips_rows:m ~x86_rows:x
+    | _ -> ());
+    table "block" (fun () -> Tables.block_size_table suite);
+    table "streams" (fun () -> Tables.stream_table suite);
+    table "quantize" (fun () -> Tables.quantize_table suite);
+    table "memsys" (fun () -> Tables.memsys_table suite);
+    table "dict" (fun () -> Tables.dict_table suite);
+    table "ppm" (fun () -> Tables.ppm_table suite);
+    table "dense" (fun () -> Tables.dense_table suite);
+    table "prune" (fun () -> Tables.prune_table suite);
+    table "x86fields" (fun () -> Tables.x86_fields_table suite);
+    table "lat" (fun () -> Tables.lat_table suite);
+    table "codepack" (fun () -> Tables.codepack_table suite);
+    table "embedded" (fun () -> Tables.embedded_table ());
+    if timing then Obs.with_span ~cat:"bench" "bench.timing" run_timing;
+    Printf.printf "\ntotal harness time: %.1fs\n" (Unix.gettimeofday () -. t0)
+
+let () =
+  let args = parse_args () in
+  (match args.trace with Some _ -> Obs.set_tracing true | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      match args.trace with
+      | Some path ->
+        Obs.write_trace path;
+        Printf.printf "wrote %s: %d trace events\n" path (Obs.event_count ())
+      | None -> ())
+    (fun () -> main args)

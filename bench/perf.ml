@@ -12,20 +12,22 @@ module Sadc = Ccomp_core.Sadc
 module Byte_huffman = Ccomp_baselines.Byte_huffman
 module Huffman = Ccomp_huffman.Huffman
 module Bit_reader = Ccomp_bitio.Bit_reader
+module Obs = Ccomp_obs.Obs
 
 type entry = { key : string; mbps : float }
 
 (* Run [f] repeatedly for at least [min_time] seconds (after one warmup
-   call) and return MB/s over [bytes] per call. *)
+   call) and return MB/s over [bytes] per call. Timed on the obs clock,
+   so the suite and `--trace` spans agree on one timebase. *)
 let throughput ~min_time ~bytes f =
   ignore (f ());
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.now_us () in
   let iters = ref 0 in
   let elapsed = ref 0.0 in
   while !elapsed < min_time do
     ignore (f ());
     incr iters;
-    elapsed := Unix.gettimeofday () -. t0
+    elapsed := (Obs.now_us () -. t0) /. 1e6
   done;
   float_of_int (bytes * !iters) /. 1e6 /. !elapsed
 
@@ -38,7 +40,9 @@ let run ~scale ~jobs ~min_time =
     Printf.printf "  %-44s %10.2f MB/s\n%!" key mbps;
     entries := { key; mbps } :: !entries
   in
-  let measure key f = note key (throughput ~min_time ~bytes f) in
+  let measure key f =
+    Obs.with_span ~cat:"bench" key (fun () -> note key (throughput ~min_time ~bytes f))
+  in
 
   (* --- SAMC ----------------------------------------------------------- *)
   let samc_cfg = Samc.mips_config () in

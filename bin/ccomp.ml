@@ -9,10 +9,18 @@
      simulate    run the compressed-memory-system model on a profile
                  (optionally with refill faults: --fault-rate/--fault-response)
      fuzz        fault-injection campaign over every decoder
+     stats       render a --metrics JSON snapshot as a report
      asm         assemble MIPS text into a raw code image
-     disasm      disassemble a raw code image *)
+     disasm      disassemble a raw code image
+
+   compress, decompress, simulate and fuzz accept --metrics FILE (write
+   the lib/obs metrics snapshot as JSON) and --trace FILE (write a
+   Chrome trace_event array of spans, viewable in Perfetto). Argument
+   errors are uniform across subcommands: a bad flag or flag value
+   names the offender and prints the subcommand's usage line. *)
 
 open Cmdliner
+module Obs = Ccomp_obs.Obs
 
 let read_file path =
   let ic = open_in_bin path in
@@ -40,9 +48,28 @@ let isa_conv =
 let isa_arg =
   Arg.(value & opt isa_conv Mips & info [ "isa" ] ~docv:"ISA" ~doc:"Target ISA: mips or x86.")
 
+(* Profiles are validated at parse time, so `--profile bogus` fails
+   before any work starts, names the flag and prints usage — the same
+   contract every other flag has. *)
+let profile_conv =
+  let parse s =
+    match Ccomp_progen.Profile.find s with
+    | p -> Ok p
+    | exception Not_found ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown profile %S; available: %s" s
+             (String.concat ", " (Ccomp_progen.Profile.names ()))))
+  in
+  let print fmt p = Format.pp_print_string fmt p.Ccomp_progen.Profile.name in
+  Arg.conv (parse, print)
+
 let profile_arg =
   let doc = "SPEC95 benchmark profile name (e.g. gcc, go, swim)." in
-  Arg.(value & opt string "gcc" & info [ "profile" ] ~docv:"NAME" ~doc)
+  Arg.(
+    value
+    & opt profile_conv (Ccomp_progen.Profile.find "gcc")
+    & info [ "profile" ] ~docv:"NAME" ~doc)
 
 let seed_arg =
   Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
@@ -70,60 +97,95 @@ let verbose_arg =
   Arg.(value & flag & info [ "verbose" ] ~doc:"Print per-phase wall-clock time and throughput.")
 
 (* Per-phase timing for --verbose: wall-clock plus MB/s over the phase's
-   input bytes. *)
+   input bytes. The clock is an obs span, so under --trace each phase
+   also shows up as a slice in the trace viewer. *)
 (* [bytes] maps the phase's result to the byte count its throughput is
    quoted over (input size, output size, ... — whichever the phase is
    conventionally measured in). *)
 let phase ~verbose ~bytes name f =
-  let t0 = Unix.gettimeofday () in
-  let result = f () in
+  let result, dt = Obs.timed ~cat:"phase" name f in
   if verbose then begin
-    let dt = Unix.gettimeofday () -. t0 in
     let n = bytes result in
     let mbs = if dt > 0.0 then float_of_int n /. 1e6 /. dt else Float.infinity in
     Printf.printf "  %-12s %8.3fs  %8.1f MB/s  (%d bytes)\n%!" name dt mbs n
   end;
   result
 
+(* --metrics/--trace plumbing shared by the workload subcommands:
+   switch the requested observation on before the body runs and write
+   the outputs afterwards even if the body fails — a failing run's
+   partial telemetry is often the interesting part. *)
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE" ~doc:"Write a metrics snapshot (JSON) to $(docv).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write recorded spans to $(docv) as a Chrome trace_event JSON array (load in \
+           chrome://tracing or Perfetto).")
+
+let with_obs ~metrics ~trace f =
+  Obs.reset ();
+  Obs.set_metrics (metrics <> None);
+  Obs.set_tracing (trace <> None);
+  let finish () =
+    (match metrics with
+    | Some path ->
+      Obs.write_metrics path;
+      Printf.printf "wrote %s: metrics snapshot\n" path
+    | None -> ());
+    (match trace with
+    | Some path ->
+      Obs.write_trace path;
+      Printf.printf "wrote %s: %d trace events\n" path (Obs.event_count ())
+    | None -> ());
+    Obs.set_metrics false;
+    Obs.set_tracing false
+  in
+  Fun.protect ~finally:finish f
+
 let lower isa prog =
   match isa with
   | Mips -> (snd (Ccomp_progen.Mips_backend.lower prog)).Ccomp_progen.Layout.code
   | X86 -> (snd (Ccomp_progen.X86_backend.lower prog)).Ccomp_progen.Layout.code
 
-let find_profile name =
-  match Ccomp_progen.Profile.find name with
-  | p -> Ok p
-  | exception Not_found ->
-    Error
-      (Printf.sprintf "unknown profile %S; available: %s" name
-         (String.concat ", " (Ccomp_progen.Profile.names ())))
-
 (* --- generate --------------------------------------------------------- *)
 
 let generate_cmd =
-  let run profile_name isa seed scale output =
-    match find_profile profile_name with
-    | Error e -> `Error (false, e)
-    | Ok profile ->
-      let prog = Ccomp_progen.Generator.generate ~scale ~seed:(Int64.of_int seed) profile in
-      let code = lower isa prog in
-      let path =
-        match output with Some p -> p | None -> Printf.sprintf "%s.%s.bin" profile_name
-                                                 (match isa with Mips -> "mips" | X86 -> "x86")
-      in
-      write_file path code;
-      Printf.printf "wrote %s: %d bytes of %s code\n" path (String.length code)
-        (match isa with Mips -> "MIPS" | X86 -> "x86");
-      `Ok ()
+  let run profile isa seed scale output =
+    let prog = Ccomp_progen.Generator.generate ~scale ~seed:(Int64.of_int seed) profile in
+    let code = lower isa prog in
+    let path =
+      match output with
+      | Some p -> p
+      | None ->
+        Printf.sprintf "%s.%s.bin" profile.Ccomp_progen.Profile.name
+          (match isa with Mips -> "mips" | X86 -> "x86")
+    in
+    write_file path code;
+    Printf.printf "wrote %s: %d bytes of %s code\n" path (String.length code)
+      (match isa with Mips -> "MIPS" | X86 -> "x86");
+    `Ok ()
   in
   let term = Term.(ret (const run $ profile_arg $ isa_arg $ seed_arg $ scale_arg $ output_arg)) in
   Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic benchmark code image.") term
 
 (* --- compress ---------------------------------------------------------- *)
 
+type algo = Samc | Sadc
+
 let algo_arg =
-  let doc = "Compression algorithm: samc or sadc." in
-  Arg.(value & opt string "samc" & info [ "algo" ] ~docv:"ALGO" ~doc)
+  let doc = "Compression algorithm: $(docv) is samc or sadc." in
+  Arg.(
+    value
+    & opt (enum [ ("samc", Samc); ("sadc", Sadc) ]) Samc
+    & info [ "algo" ] ~docv:"ALGO" ~doc)
 
 let quantize_arg =
   Arg.(value & flag & info [ "quantize" ] ~doc:"SAMC: power-of-two probabilities (shift-only).")
@@ -136,63 +198,58 @@ let context_arg =
   Arg.(value & opt int 2 & info [ "context-bits" ] ~docv:"N" ~doc:"SAMC connected-tree context bits.")
 
 let compress_cmd =
-  let run algo isa block_size context_bits quantize prune_below jobs verbose input output =
+  let run algo isa block_size context_bits quantize prune_below jobs verbose metrics trace input
+      output =
     let jobs = resolve_jobs jobs in
+    with_obs ~metrics ~trace @@ fun () ->
     let code = phase ~verbose ~bytes:String.length "read" (fun () -> read_file input) in
     let bytes = String.length code in
     let compress_phase = phase ~verbose ~bytes:(fun _ -> bytes) "compress" in
     let image =
       match (algo, isa) with
-      | "samc", Mips ->
+      | Samc, Mips ->
         let cfg = Ccomp_core.Samc.mips_config ~block_size ~context_bits ~quantize ~prune_below () in
-        Ok
-          (compress_phase (fun () ->
-               Ccomp_image.Image.of_samc ~isa:Ccomp_image.Image.Mips
-                 (Ccomp_core.Samc.compress ~jobs cfg code)))
-      | "samc", X86 ->
+        compress_phase (fun () ->
+            Ccomp_image.Image.of_samc ~isa:Ccomp_image.Image.Mips
+              (Ccomp_core.Samc.compress ~jobs cfg code))
+      | Samc, X86 ->
         let cfg = Ccomp_core.Samc.byte_config ~block_size ~context_bits ~quantize ~prune_below () in
-        Ok
-          (compress_phase (fun () ->
-               Ccomp_image.Image.of_samc ~isa:Ccomp_image.Image.X86
-                 (Ccomp_core.Samc.compress ~jobs cfg code)))
-      | "sadc", Mips ->
+        compress_phase (fun () ->
+            Ccomp_image.Image.of_samc ~isa:Ccomp_image.Image.X86
+              (Ccomp_core.Samc.compress ~jobs cfg code))
+      | Sadc, Mips ->
         let cfg = Ccomp_core.Sadc.default_config ~block_size () in
-        Ok
-          (compress_phase (fun () ->
-               Ccomp_image.Image.of_sadc_mips (Ccomp_core.Sadc.Mips.compress_image ~jobs cfg code)))
-      | "sadc", X86 ->
+        compress_phase (fun () ->
+            Ccomp_image.Image.of_sadc_mips (Ccomp_core.Sadc.Mips.compress_image ~jobs cfg code))
+      | Sadc, X86 ->
         let cfg = Ccomp_core.Sadc.default_config ~block_size () in
-        Ok
-          (compress_phase (fun () ->
-               Ccomp_image.Image.of_sadc_x86 (Ccomp_core.Sadc.X86.compress_image ~jobs cfg code)))
-      | a, _ -> Error (Printf.sprintf "unknown algorithm %S (expected samc or sadc)" a)
+        compress_phase (fun () ->
+            Ccomp_image.Image.of_sadc_x86 (Ccomp_core.Sadc.X86.compress_image ~jobs cfg code))
     in
-    match image with
-    | Error e -> `Error (false, e)
-    | Ok image ->
-      let path = match output with Some p -> p | None -> input ^ ".secf" in
-      let written = Ccomp_image.Image.write image in
-      phase ~verbose ~bytes:(fun () -> String.length written) "write" (fun () ->
-          write_file path written);
-      Printf.printf "%s\n" (Ccomp_image.Image.describe image);
-      Printf.printf "wrote %s: %d bytes total (original %d)\n" path
-        (Ccomp_image.Image.total_bytes image) (String.length code);
-      `Ok ()
+    let path = match output with Some p -> p | None -> input ^ ".secf" in
+    let written = Ccomp_image.Image.write image in
+    phase ~verbose ~bytes:(fun () -> String.length written) "write" (fun () ->
+        write_file path written);
+    Printf.printf "%s\n" (Ccomp_image.Image.describe image);
+    Printf.printf "wrote %s: %d bytes total (original %d)\n" path
+      (Ccomp_image.Image.total_bytes image) (String.length code);
+    `Ok ()
   in
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
   let term =
     Term.(
       ret
         (const run $ algo_arg $ isa_arg $ block_size_arg $ context_arg $ quantize_arg $ prune_arg
-       $ jobs_arg $ verbose_arg $ input $ output_arg))
+       $ jobs_arg $ verbose_arg $ metrics_arg $ trace_out_arg $ input $ output_arg))
   in
   Cmd.v (Cmd.info "compress" ~doc:"Compress a raw code image into a SECF container.") term
 
 (* --- decompress -------------------------------------------------------- *)
 
 let decompress_cmd =
-  let run jobs verbose input output =
+  let run jobs verbose metrics trace input output =
     let jobs = resolve_jobs jobs in
+    with_obs ~metrics ~trace @@ fun () ->
     let data = phase ~verbose ~bytes:String.length "read" (fun () -> read_file input) in
     match
       phase ~verbose ~bytes:(fun _ -> String.length data) "parse" (fun () ->
@@ -211,7 +268,10 @@ let decompress_cmd =
       `Ok ()
   in
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
-  let term = Term.(ret (const run $ jobs_arg $ verbose_arg $ input $ output_arg)) in
+  let term =
+    Term.(
+      ret (const run $ jobs_arg $ verbose_arg $ metrics_arg $ trace_out_arg $ input $ output_arg))
+  in
   Cmd.v (Cmd.info "decompress" ~doc:"Expand a SECF container back to raw code.") term
 
 (* --- info ---------------------------------------------------------------- *)
@@ -280,122 +340,136 @@ let ratios_cmd =
 
 (* --- fuzz -------------------------------------------------------------- *)
 
+(* Fault kinds are validated at parse time like every other flag value:
+   `--kinds flip,bogus` names the bad kind and prints usage before any
+   codec is built. *)
+let kind_names =
+  [
+    ("flip", Ccomp_fault.Injector.Flip);
+    ("byte", Ccomp_fault.Injector.Byte);
+    ("trunc", Ccomp_fault.Injector.Trunc);
+    ("dup", Ccomp_fault.Injector.Dup);
+  ]
+
+let kinds_conv =
+  let parse s =
+    let parts =
+      String.split_on_char ',' s |> List.map String.trim |> List.filter (fun k -> k <> "")
+    in
+    let rec go acc = function
+      | [] ->
+        let kinds = Array.of_list (List.rev acc) in
+        Ok (if Array.length kinds = 0 then [| Ccomp_fault.Injector.Flip |] else kinds)
+      | k :: rest -> (
+        match List.assoc_opt k kind_names with
+        | Some v -> go (v :: acc) rest
+        | None ->
+          Error
+            (`Msg (Printf.sprintf "unknown fault kind %S (expected flip|byte|trunc|dup)" k)))
+    in
+    go [] parts
+  in
+  let print fmt kinds =
+    let name v = fst (List.find (fun (_, v') -> v' = v) kind_names) in
+    Format.pp_print_string fmt (String.concat "," (List.map name (Array.to_list kinds)))
+  in
+  Arg.conv (parse, print)
+
 let fuzz_cmd =
-  let run profile_name seed trials faults kinds_str scale jobs =
+  let run profile seed trials faults kinds scale jobs metrics trace =
     let jobs = resolve_jobs jobs in
-    match find_profile profile_name with
-    | Error e -> `Error (false, e)
-    | Ok profile ->
-      let kinds =
-        let parse = function
-          | "flip" -> Ok Ccomp_fault.Injector.Flip
-          | "byte" -> Ok Ccomp_fault.Injector.Byte
-          | "trunc" -> Ok Ccomp_fault.Injector.Trunc
-          | "dup" -> Ok Ccomp_fault.Injector.Dup
-          | k -> Error k
-        in
-        String.split_on_char ',' kinds_str |> List.map String.trim
-        |> List.filter (fun s -> s <> "")
-        |> List.map parse
-      in
-      (match List.find_opt Result.is_error kinds with
-      | Some (Error k) ->
-        `Error (false, Printf.sprintf "unknown fault kind %S (expected flip|byte|trunc|dup)" k)
-      | _ ->
-        let kinds = Array.of_list (List.map Result.get_ok kinds) in
-        let kinds = if Array.length kinds = 0 then [| Ccomp_fault.Injector.Flip |] else kinds in
-        let prog = Ccomp_progen.Generator.generate ~scale ~seed:(Int64.of_int seed) profile in
-        let mips = lower Mips prog in
-        let x86 =
-          let c = lower X86 prog in
-          let r = String.length c mod 4 in
-          if r = 0 then c else c ^ String.make (4 - r) '\x90'
-        in
-        let image_codec name img reference =
-          let img = Ccomp_image.Image.with_block_crcs Ccomp_image.Image.Crc8_tags img in
-          {
-            Ccomp_fault.Campaign.name;
-            encoded = Ccomp_image.Image.write img;
-            reference;
-            decode =
-              (fun s ->
-                Result.bind (Ccomp_image.Image.read_checked s) Ccomp_image.Image.decompress_checked);
-            integrity_checked = true;
-          }
-        in
-        let codecs =
-          [
-            image_codec "samc-mips"
-              (Ccomp_image.Image.of_samc ~isa:Ccomp_image.Image.Mips
-                 (Ccomp_core.Samc.compress (Ccomp_core.Samc.mips_config ()) mips))
-              mips;
-            image_codec "samc-x86"
-              (Ccomp_image.Image.of_samc ~isa:Ccomp_image.Image.X86
-                 (Ccomp_core.Samc.compress (Ccomp_core.Samc.byte_config ()) x86))
-              x86;
-            image_codec "sadc-mips"
-              (Ccomp_image.Image.of_sadc_mips
-                 (Ccomp_core.Sadc.Mips.compress_image (Ccomp_core.Sadc.default_config ()) mips))
-              mips;
-            image_codec "sadc-x86"
-              (Ccomp_image.Image.of_sadc_x86
-                 (Ccomp_core.Sadc.X86.compress_image (Ccomp_core.Sadc.default_config ()) x86))
-              x86;
-            {
-              Ccomp_fault.Campaign.name = "byte-huffman";
-              encoded = Ccomp_baselines.Byte_huffman.(serialize (compress mips));
-              reference = mips;
-              decode =
-                (fun s ->
-                  Result.bind
-                    (Ccomp_baselines.Byte_huffman.deserialize_checked s ~pos:0)
-                    (fun (c, _) ->
-                      Ccomp_baselines.Byte_huffman.decompress_checked
-                        ~max_output:(String.length mips) c));
-              integrity_checked = false;
-            };
-            {
-              Ccomp_fault.Campaign.name = "lzw";
-              encoded = Ccomp_baselines.Lzw.compress mips;
-              reference = mips;
-              decode =
-                Ccomp_baselines.Lzw.decompress_checked ~max_output:(String.length mips);
-              integrity_checked = false;
-            };
-            {
-              Ccomp_fault.Campaign.name = "lzss";
-              encoded = Ccomp_baselines.Lzss.compress mips;
-              reference = mips;
-              decode =
-                Ccomp_baselines.Lzss.decompress_checked ~max_output:(String.length mips);
-              integrity_checked = false;
-            };
-          ]
-        in
-        print_endline Ccomp_fault.Campaign.report_header;
-        let reports =
-          List.map
-            (fun codec ->
-              let r =
-                Ccomp_fault.Campaign.run ~faults_per_trial:faults ~kinds ~jobs ~seed ~trials codec
-              in
-              print_endline (Ccomp_fault.Campaign.report_row r);
-              r)
-            codecs
-        in
-        let bad =
-          List.filter
-            (fun r ->
-              r.Ccomp_fault.Campaign.integrity_checked && r.Ccomp_fault.Campaign.miscompared > 0)
-            reports
-        in
-        if bad = [] then `Ok ()
-        else
-          `Error
-            ( false,
-              Printf.sprintf "silent miscompares on integrity-checked codecs: %s"
-                (String.concat ", "
-                   (List.map (fun r -> r.Ccomp_fault.Campaign.codec_name) bad)) ))
+    with_obs ~metrics ~trace @@ fun () ->
+    let prog = Ccomp_progen.Generator.generate ~scale ~seed:(Int64.of_int seed) profile in
+    let mips = lower Mips prog in
+    let x86 =
+      let c = lower X86 prog in
+      let r = String.length c mod 4 in
+      if r = 0 then c else c ^ String.make (4 - r) '\x90'
+    in
+    let image_codec name img reference =
+      let img = Ccomp_image.Image.with_block_crcs Ccomp_image.Image.Crc8_tags img in
+      {
+        Ccomp_fault.Campaign.name;
+        encoded = Ccomp_image.Image.write img;
+        reference;
+        decode =
+          (fun s ->
+            Result.bind (Ccomp_image.Image.read_checked s) Ccomp_image.Image.decompress_checked);
+        integrity_checked = true;
+      }
+    in
+    let codecs =
+      [
+        image_codec "samc-mips"
+          (Ccomp_image.Image.of_samc ~isa:Ccomp_image.Image.Mips
+             (Ccomp_core.Samc.compress (Ccomp_core.Samc.mips_config ()) mips))
+          mips;
+        image_codec "samc-x86"
+          (Ccomp_image.Image.of_samc ~isa:Ccomp_image.Image.X86
+             (Ccomp_core.Samc.compress (Ccomp_core.Samc.byte_config ()) x86))
+          x86;
+        image_codec "sadc-mips"
+          (Ccomp_image.Image.of_sadc_mips
+             (Ccomp_core.Sadc.Mips.compress_image (Ccomp_core.Sadc.default_config ()) mips))
+          mips;
+        image_codec "sadc-x86"
+          (Ccomp_image.Image.of_sadc_x86
+             (Ccomp_core.Sadc.X86.compress_image (Ccomp_core.Sadc.default_config ()) x86))
+          x86;
+        {
+          Ccomp_fault.Campaign.name = "byte-huffman";
+          encoded = Ccomp_baselines.Byte_huffman.(serialize (compress mips));
+          reference = mips;
+          decode =
+            (fun s ->
+              Result.bind
+                (Ccomp_baselines.Byte_huffman.deserialize_checked s ~pos:0)
+                (fun (c, _) ->
+                  Ccomp_baselines.Byte_huffman.decompress_checked
+                    ~max_output:(String.length mips) c));
+          integrity_checked = false;
+        };
+        {
+          Ccomp_fault.Campaign.name = "lzw";
+          encoded = Ccomp_baselines.Lzw.compress mips;
+          reference = mips;
+          decode =
+            Ccomp_baselines.Lzw.decompress_checked ~max_output:(String.length mips);
+          integrity_checked = false;
+        };
+        {
+          Ccomp_fault.Campaign.name = "lzss";
+          encoded = Ccomp_baselines.Lzss.compress mips;
+          reference = mips;
+          decode =
+            Ccomp_baselines.Lzss.decompress_checked ~max_output:(String.length mips);
+          integrity_checked = false;
+        };
+      ]
+    in
+    print_endline Ccomp_fault.Campaign.report_header;
+    let reports =
+      List.map
+        (fun codec ->
+          let r =
+            Ccomp_fault.Campaign.run ~faults_per_trial:faults ~kinds ~jobs ~seed ~trials codec
+          in
+          print_endline (Ccomp_fault.Campaign.report_row r);
+          r)
+        codecs
+    in
+    let bad =
+      List.filter
+        (fun r ->
+          r.Ccomp_fault.Campaign.integrity_checked && r.Ccomp_fault.Campaign.miscompared > 0)
+        reports
+    in
+    if bad = [] then `Ok ()
+    else
+      `Error
+        ( false,
+          Printf.sprintf "silent miscompares on integrity-checked codecs: %s"
+            (String.concat ", " (List.map (fun r -> r.Ccomp_fault.Campaign.codec_name) bad)) )
   in
   let trials_arg =
     Arg.(value & opt int 200 & info [ "trials" ] ~docv:"N" ~doc:"Fault-injection trials per codec.")
@@ -405,7 +479,8 @@ let fuzz_cmd =
   in
   let kinds_arg =
     Arg.(
-      value & opt string "flip"
+      value
+      & opt kinds_conv [| Ccomp_fault.Injector.Flip |]
       & info [ "kinds" ] ~docv:"LIST" ~doc:"Comma-separated fault kinds: flip,byte,trunc,dup.")
   in
   let fuzz_scale_arg =
@@ -415,7 +490,7 @@ let fuzz_cmd =
     Term.(
       ret
         (const run $ profile_arg $ seed_arg $ trials_arg $ faults_arg $ kinds_arg $ fuzz_scale_arg
-       $ jobs_arg))
+       $ jobs_arg $ metrics_arg $ trace_out_arg))
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -427,11 +502,9 @@ let fuzz_cmd =
 (* --- simulate ---------------------------------------------------------- *)
 
 let simulate_cmd =
-  let run profile_name isa seed cache_bytes trace_length decode_cache fault_rate fault_response
-      trap_cycles flip_back fault_seed =
-    match find_profile profile_name with
-    | Error e -> `Error (false, e)
-    | Ok profile ->
+  let run profile isa seed cache_bytes trace_length decode_cache fault_rate response trap_cycles
+      flip_back fault_seed metrics trace_out =
+    with_obs ~metrics ~trace:trace_out @@ fun () ->
       let prog = Ccomp_progen.Generator.generate ~seed:(Int64.of_int seed) profile in
       let layout =
         match isa with
@@ -463,7 +536,8 @@ let simulate_cmd =
              ~decode_cache_entries:decode_cache ())
           ~lat ~trace ()
       in
-      Printf.printf "profile %s on %s: %d fetches, cache %d bytes\n" profile_name
+      Printf.printf "profile %s on %s: %d fetches, cache %d bytes\n"
+        profile.Ccomp_progen.Profile.name
         (match isa with Mips -> "mips" | X86 -> "x86")
         (Array.length trace) cache_bytes;
       Printf.printf "  uncompressed: CPI %.3f, hit ratio %.4f\n" base.Ccomp_memsys.System.cpi
@@ -479,11 +553,6 @@ let simulate_cmd =
            and m = comp.Ccomp_memsys.System.decode_cache_misses in
            if h + m = 0 then 0.0 else 100.0 *. float_of_int h /. float_of_int (h + m));
       if fault_rate > 0.0 then begin
-        let response =
-          match fault_response with
-          | Ok r -> r
-          | Error _ -> Ccomp_memsys.System.Retry 3 (* unreachable: parsed below *)
-        in
         let fault =
           {
             Ccomp_memsys.System.default_fault_config with
@@ -539,28 +608,27 @@ let simulate_cmd =
   let fault_response_conv =
     let parse s =
       match String.split_on_char ':' s with
-      | [ "trap" ] -> Ok (Ok Ccomp_memsys.System.Trap)
-      | [ "stale" ] -> Ok (Ok Ccomp_memsys.System.Stale)
+      | [ "trap" ] -> Ok Ccomp_memsys.System.Trap
+      | [ "stale" ] -> Ok Ccomp_memsys.System.Stale
       | [ "retry"; n ] -> (
         match int_of_string_opt n with
-        | Some n when n > 0 -> Ok (Ok (Ccomp_memsys.System.Retry n))
+        | Some n when n > 0 -> Ok (Ccomp_memsys.System.Retry n)
         | _ -> Error (`Msg (Printf.sprintf "bad retry budget %S" n)))
       | _ -> Error (`Msg (Printf.sprintf "unknown fault response %S (retry:N|trap|stale)" s))
     in
     let print fmt r =
       Format.pp_print_string fmt
         (match r with
-        | Ok (Ccomp_memsys.System.Retry n) -> Printf.sprintf "retry:%d" n
-        | Ok Ccomp_memsys.System.Trap -> "trap"
-        | Ok Ccomp_memsys.System.Stale -> "stale"
-        | Error _ -> "<invalid>")
+        | Ccomp_memsys.System.Retry n -> Printf.sprintf "retry:%d" n
+        | Ccomp_memsys.System.Trap -> "trap"
+        | Ccomp_memsys.System.Stale -> "stale")
     in
     Arg.conv (parse, print)
   in
   let fault_response_arg =
     Arg.(
       value
-      & opt fault_response_conv (Ok (Ccomp_memsys.System.Retry 3))
+      & opt fault_response_conv (Ccomp_memsys.System.Retry 3)
       & info [ "fault-response" ] ~docv:"R" ~doc:"Refill fault response: retry:N, trap or stale.")
   in
   let trap_cycles_arg =
@@ -578,9 +646,29 @@ let simulate_cmd =
     Term.(
       ret
         (const run $ profile_arg $ isa_arg $ seed_arg $ cache_arg $ trace_arg $ decode_cache_arg
-       $ fault_rate_arg $ fault_response_arg $ trap_cycles_arg $ flip_back_arg $ fault_seed_arg))
+       $ fault_rate_arg $ fault_response_arg $ trap_cycles_arg $ flip_back_arg $ fault_seed_arg
+       $ metrics_arg $ trace_out_arg))
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the compressed-memory-system model on a profile.") term
+
+(* --- stats -------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run json input =
+    match Obs.snapshot_of_json (read_file input) with
+    | Error e -> `Error (false, Printf.sprintf "cannot read %s: %s" input e)
+    | Ok snap ->
+      if json then print_string (Obs.snapshot_to_json snap)
+      else print_string (Obs.render_table snap);
+      `Ok ()
+  in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"METRICS.json") in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Re-emit the snapshot as canonical JSON.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Render a --metrics JSON snapshot as a human-readable report.")
+    Term.(ret (const run $ json_arg $ input))
 
 (* --- asm / disasm ------------------------------------------------------- *)
 
@@ -644,5 +732,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; compress_cmd; decompress_cmd; info_cmd; ratios_cmd; simulate_cmd;
-            fuzz_cmd; asm_cmd; disasm_cmd;
+            fuzz_cmd; stats_cmd; asm_cmd; disasm_cmd;
           ]))

@@ -2,6 +2,28 @@ module Huffman = Ccomp_huffman.Huffman
 module Freq = Ccomp_entropy.Freq
 module Bit_writer = Ccomp_bitio.Bit_writer
 module Bit_reader = Ccomp_bitio.Bit_reader
+module Obs = Ccomp_obs.Obs
+
+(* Observability (guarded, never alters coded bits): per-block latency
+   and size for the byte-Huffman baseline, plus the bit-I/O
+   refill/flush counts of its coding loops. *)
+let m_c_blocks = Obs.Counter.make "huffman.compress.blocks"
+
+let m_c_bytes_in = Obs.Counter.make "huffman.compress.bytes_in"
+
+let m_c_bytes_out = Obs.Counter.make "huffman.compress.bytes_out"
+
+let m_c_block_us = Obs.Histogram.make "huffman.compress.block_us"
+
+let m_d_blocks = Obs.Counter.make "huffman.decompress.blocks"
+
+let m_d_bytes_out = Obs.Counter.make "huffman.decompress.bytes_out"
+
+let m_d_block_us = Obs.Histogram.make "huffman.decompress.block_us"
+
+let m_reader_refills = Obs.Counter.make "bitio.reader.refills"
+
+let m_writer_flushes = Obs.Counter.make "bitio.writer.flushes"
 
 type compressed = {
   code : Huffman.code;
@@ -11,21 +33,32 @@ type compressed = {
 }
 
 let compress ?(block_size = 32) ?(jobs = 1) input =
+  Obs.with_span ~cat:"huffman" "huffman.compress" @@ fun () ->
   if String.length input = 0 then invalid_arg "Byte_huffman.compress: empty input";
   let code = Huffman.build (Freq.of_string input) in
   let n = String.length input in
   let nblocks = (n + block_size - 1) / block_size in
+  let instrument = Obs.metrics_enabled () in
   (* The code table is global but fixed before any block encodes, so
      blocks fan out over the pool with byte-identical assembly. *)
   let blocks =
     Ccomp_par.Pool.init ~jobs nblocks (fun b ->
         let start = b * block_size in
         let len = min block_size (n - start) in
+        let t0 = if instrument then Obs.now_us () else 0.0 in
         let w = Bit_writer.create () in
         for i = start to start + len - 1 do
           Huffman.encode_symbol code w (Char.code input.[i])
         done;
-        Bit_writer.contents w)
+        let blk = Bit_writer.contents w in
+        if instrument then begin
+          Obs.Histogram.observe m_c_block_us (Obs.now_us () -. t0);
+          Obs.Counter.incr m_c_blocks;
+          Obs.Counter.add m_c_bytes_in len;
+          Obs.Counter.add m_c_bytes_out (String.length blk);
+          Obs.Counter.add m_writer_flushes (Bit_writer.flushes w)
+        end;
+        blk)
   in
   { code; blocks; block_size; original_size = n }
 
@@ -40,10 +73,26 @@ let decompress_block t b =
   for i = 0 to len - 1 do
     Bytes.set out i (Char.chr (Huffman.decode_symbol t.code r))
   done;
+  if Obs.metrics_enabled () then Obs.Counter.add m_reader_refills (Bit_reader.refills r);
   Bytes.to_string out
 
 let decompress t =
-  String.concat "" (Array.to_list (Array.mapi (fun b _ -> decompress_block t b) t.blocks))
+  Obs.with_span ~cat:"huffman" "huffman.decompress" @@ fun () ->
+  let instrument = Obs.metrics_enabled () in
+  String.concat ""
+    (Array.to_list
+       (Array.mapi
+          (fun b _ ->
+            if not instrument then decompress_block t b
+            else begin
+              let t0 = Obs.now_us () in
+              let out = decompress_block t b in
+              Obs.Histogram.observe m_d_block_us (Obs.now_us () -. t0);
+              Obs.Counter.incr m_d_blocks;
+              Obs.Counter.add m_d_bytes_out (String.length out);
+              out
+            end)
+          t.blocks))
 
 let decompress_checked ?max_output t =
   Ccomp_util.Decode_error.protect ~section:"byte-huffman" (fun () ->

@@ -10,7 +10,14 @@ type t = {
   mutable acc : int; (* buffered bits, right-aligned *)
   mutable navail : int; (* number of buffered bits, < Sys.int_size *)
   mutable next_byte : int; (* next byte of [data] to stage *)
+  mutable refills : int; (* accumulator refills that staged data *)
 }
+
+(* Constant-folded guard on the refill accounting: flip to [false] to
+   compile the counter out of the hot loop entirely. The observability
+   layer reads the per-instance count once per decoded block, so the
+   on-cost is a single in-cache increment per ~56 staged bits. *)
+let count_refills = true
 
 let create ?(start_bit = 0) data =
   assert (start_bit >= 0);
@@ -22,6 +29,7 @@ let create ?(start_bit = 0) data =
       acc = 0;
       navail = 0;
       next_byte = (start_bit + 7) / 8;
+      refills = 0;
     }
   in
   (* An unaligned start leaves a partial byte: its low bits are the
@@ -40,6 +48,8 @@ let overrun r = if r.pos > r.len_bits then r.pos - r.len_bits else 0
 (* Stage whole bytes while at least one more fits below the int width. *)
 let refill r =
   let len = String.length r.data in
+  if count_refills && r.navail <= Sys.int_size - 9 && r.next_byte < len then
+    r.refills <- r.refills + 1;
   while r.navail <= Sys.int_size - 9 && r.next_byte < len do
     r.acc <- (r.acc lsl 8) lor Char.code (String.unsafe_get r.data r.next_byte);
     r.navail <- r.navail + 8;
@@ -105,3 +115,5 @@ let align_byte r =
   if rem <> 0 then skip_bits r (8 - rem)
 
 let remaining_bits r = if r.pos >= r.len_bits then 0 else r.len_bits - r.pos
+
+let refills r = r.refills

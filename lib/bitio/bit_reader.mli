@@ -49,3 +49,9 @@ val align_byte : t -> unit
 
 val remaining_bits : t -> int
 (** Bits left before the end of data (0 when exhausted). *)
+
+val refills : t -> int
+(** Number of accumulator refills that staged data so far — the reader's
+    contribution to the [bitio.reader.refills] metric. Costs one
+    in-cache increment per refill; compile-time-guardable via
+    [count_refills] in the implementation. *)

@@ -2,6 +2,38 @@ module Huffman = Ccomp_huffman.Huffman
 module Freq = Ccomp_entropy.Freq
 module Bit_writer = Ccomp_bitio.Bit_writer
 module Bit_reader = Ccomp_bitio.Bit_reader
+module Obs = Ccomp_obs.Obs
+
+(* Observability, shared by every ISA instantiation (the fuzz campaign
+   runs several in one process): per-block compress/decompress latency
+   and size, dictionary shape, and the bit-I/O refill/flush counts of
+   the Huffman coding layer. Guarded by [Obs.metrics_enabled]; never
+   alters coded bits. *)
+let m_c_blocks = Obs.Counter.make "sadc.compress.blocks"
+
+let m_c_bytes_in = Obs.Counter.make "sadc.compress.bytes_in"
+
+let m_c_bytes_out = Obs.Counter.make "sadc.compress.bytes_out"
+
+let m_c_block_us = Obs.Histogram.make "sadc.compress.block_us"
+
+let m_c_block_ratio = Obs.Histogram.make "sadc.compress.block_ratio"
+
+let m_d_blocks = Obs.Counter.make "sadc.decompress.blocks"
+
+let m_d_bytes_in = Obs.Counter.make "sadc.decompress.bytes_in"
+
+let m_d_bytes_out = Obs.Counter.make "sadc.decompress.bytes_out"
+
+let m_d_block_us = Obs.Histogram.make "sadc.decompress.block_us"
+
+let m_reader_refills = Obs.Counter.make "bitio.reader.refills"
+
+let m_writer_flushes = Obs.Counter.make "bitio.writer.flushes"
+
+let g_dict_entries = Obs.Gauge.make "sadc.dict.entries"
+
+let g_dict_rounds = Obs.Gauge.make "sadc.dict.rounds"
 
 type config = { block_size : int; max_entries : int; max_rounds : int }
 
@@ -370,9 +402,11 @@ module Make (I : Sadc_isa.S) = struct
           acc + !sum)
         0 tokens
     in
+    if Obs.metrics_enabled () then Obs.Counter.add m_writer_flushes (Bit_writer.flushes w);
     (Bit_writer.contents w, original)
 
   let compress ?(jobs = 1) config instr_list =
+    Obs.with_span ~cat:"sadc" ("sadc." ^ I.name ^ ".compress") @@ fun () ->
     let instrs = Array.of_list instr_list in
     if Array.length instrs = 0 then invalid_arg "Sadc.compress: empty program";
     let segs = segments instrs config.block_size in
@@ -382,11 +416,35 @@ module Make (I : Sadc_isa.S) = struct
     (* Dictionary construction and code building are global (they see
        every block), so they stay serial; the entropy-coding of each
        block against the finished tables is independent and fans out. *)
-    let dict, blocks_tokens, rounds = build_dictionary config blocks_instrs in
+    let dict, blocks_tokens, rounds =
+      Obs.with_span ~cat:"sadc" "sadc.dictionary" (fun () ->
+          build_dictionary config blocks_instrs)
+    in
     let token_code, chunk_codes = build_codes dict blocks_instrs blocks_tokens in
+    let instrument = Obs.metrics_enabled () in
+    if instrument then begin
+      Obs.Gauge.set g_dict_entries (float_of_int (Array.length dict));
+      Obs.Gauge.set g_dict_rounds (float_of_int rounds)
+    end;
     let blocks =
+      Obs.with_span ~cat:"sadc" "sadc.encode" @@ fun () ->
       Ccomp_par.Pool.mapi ~jobs
-        (fun b tokens -> encode_block dict token_code chunk_codes blocks_instrs.(b) tokens)
+        (fun b tokens ->
+          if not instrument then encode_block dict token_code chunk_codes blocks_instrs.(b) tokens
+          else begin
+            let t0 = Obs.now_us () in
+            let ((payload, original) as blk) =
+              encode_block dict token_code chunk_codes blocks_instrs.(b) tokens
+            in
+            Obs.Histogram.observe m_c_block_us (Obs.now_us () -. t0);
+            Obs.Counter.incr m_c_blocks;
+            Obs.Counter.add m_c_bytes_in original;
+            Obs.Counter.add m_c_bytes_out (String.length payload);
+            if original > 0 then
+              Obs.Histogram.observe m_c_block_ratio
+                (float_of_int (String.length payload) /. float_of_int original);
+            blk
+          end)
         blocks_tokens
     in
     let original_size = Array.fold_left (fun acc i -> acc + I.byte_length i) 0 instrs in
@@ -449,11 +507,26 @@ module Make (I : Sadc_isa.S) = struct
         e.prims
     done;
     if !produced <> original then failwith "Sadc.decompress_block: length mismatch";
+    if Obs.metrics_enabled () then Obs.Counter.add m_reader_refills (Bit_reader.refills r);
     List.rev !out
 
   let decompress ?(jobs = 1) c =
+    Obs.with_span ~cat:"sadc" ("sadc." ^ I.name ^ ".decompress") @@ fun () ->
+    let instrument = Obs.metrics_enabled () in
     let parts =
-      Ccomp_par.Pool.mapi ~jobs (fun b _ -> I.encode_list (decompress_block c b)) c.blocks
+      Ccomp_par.Pool.mapi ~jobs
+        (fun b _ ->
+          if not instrument then I.encode_list (decompress_block c b)
+          else begin
+            let t0 = Obs.now_us () in
+            let out = I.encode_list (decompress_block c b) in
+            Obs.Histogram.observe m_d_block_us (Obs.now_us () -. t0);
+            Obs.Counter.incr m_d_blocks;
+            Obs.Counter.add m_d_bytes_in (String.length (fst c.blocks.(b)));
+            Obs.Counter.add m_d_bytes_out (String.length out);
+            out
+          end)
+        c.blocks
     in
     String.concat "" (Array.to_list parts)
 

@@ -1,4 +1,29 @@
 module Coder = Ccomp_arith.Binary_coder
+module Obs = Ccomp_obs.Obs
+
+(* Observability: per-block compress/decompress latency and size
+   metrics, and the per-stream bits-in/bits-out split behind the paper's
+   Tables 1-3 (each stream's share of the instruction word vs the
+   arithmetic-coded bits it costs under the trained model). All
+   observation is guarded by [Obs.metrics_enabled] and never touches the
+   coded bits: output is byte-identical with metrics on or off. *)
+let m_c_blocks = Obs.Counter.make "samc.compress.blocks"
+
+let m_c_bytes_in = Obs.Counter.make "samc.compress.bytes_in"
+
+let m_c_bytes_out = Obs.Counter.make "samc.compress.bytes_out"
+
+let m_c_block_us = Obs.Histogram.make "samc.compress.block_us"
+
+let m_c_block_ratio = Obs.Histogram.make "samc.compress.block_ratio"
+
+let m_d_blocks = Obs.Counter.make "samc.decompress.blocks"
+
+let m_d_bytes_in = Obs.Counter.make "samc.decompress.bytes_in"
+
+let m_d_bytes_out = Obs.Counter.make "samc.decompress.bytes_out"
+
+let m_d_block_us = Obs.Histogram.make "samc.decompress.block_us"
 
 type config = {
   word_bits : int;
@@ -95,6 +120,40 @@ let train c code =
   done;
   Markov_model.Trainer.finalize ~quantize:c.quantize ~prune_below:c.prune_below trainer
 
+(* Per-stream cost accounting under the trained model (metrics-only
+   pass, so the encode hot loop stays untouched): bits_in counts the
+   stream's raw bits, bits_out the ideal arithmetic-code length
+   [sum -log2 p(bit)] — the per-stream in/out split of Tables 1-3. The
+   ideal length differs from the shipped size only by per-block coder
+   flush rounding. *)
+let note_stream_costs c model code =
+  let words = String.length code / word_bytes c in
+  let wpb = words_per_block c in
+  let n_streams = Array.length c.streams in
+  let bits_in = Array.make n_streams 0 in
+  let bits_out = Array.make n_streams 0.0 in
+  let fscale = float_of_int Coder.scale in
+  let ctx = ref 0 in
+  for wi = 0 to words - 1 do
+    if wi mod wpb = 0 then ctx := 0;
+    ctx :=
+      walk_word c (get_word c code wi) ~ctx:!ctx (fun s ctx node bit ->
+          let p0 = Markov_model.p0 model ~stream:s ~ctx ~node in
+          let p = if bit = 0 then p0 else Coder.scale - p0 in
+          bits_in.(s) <- bits_in.(s) + 1;
+          bits_out.(s) <- bits_out.(s) -. Float.log2 (float_of_int p /. fscale))
+  done;
+  for s = 0 to n_streams - 1 do
+    Obs.Counter.add (Obs.Counter.make (Printf.sprintf "samc.stream%d.bits_in" s)) bits_in.(s);
+    Obs.Counter.add
+      (Obs.Counter.make (Printf.sprintf "samc.stream%d.bits_out" s))
+      (int_of_float (Float.round bits_out.(s)));
+    if bits_in.(s) > 0 then
+      Obs.Gauge.set
+        (Obs.Gauge.make (Printf.sprintf "samc.stream%d.ratio" s))
+        (bits_out.(s) /. float_of_int bits_in.(s))
+  done
+
 let encode_block c model code ~first_word ~n_words =
   let encoder = Coder.Encoder.create () in
   let flat = Markov_model.flat_probs model in
@@ -123,21 +182,37 @@ let encode_block c model code ~first_word ~n_words =
   Coder.Encoder.finish encoder
 
 let compress ?(jobs = 1) c code =
+  Obs.with_span ~cat:"samc" "samc.compress" @@ fun () ->
   (match validate_config c with Ok () -> () | Error e -> invalid_arg ("Samc.compress: " ^ e));
   if String.length code mod word_bytes c <> 0 then
     invalid_arg "Samc.compress: code size is not a multiple of the word size";
-  let model = train c code in
+  let model = Obs.with_span ~cat:"samc" "samc.train" (fun () -> train c code) in
+  let instrument = Obs.metrics_enabled () in
+  if instrument then note_stream_costs c model code;
   let words = String.length code / word_bytes c in
   let wpb = words_per_block c in
+  let wb = word_bytes c in
   let nblocks = block_count c ~code_bytes:(String.length code) in
   (* Blocks restart the coder and context, so each encodes independently;
      the pool reassembles in block order, keeping the output
      byte-identical to a serial run. *)
   let blocks =
+    Obs.with_span ~cat:"samc" "samc.encode" @@ fun () ->
     Ccomp_par.Pool.init ~jobs nblocks (fun b ->
         let first_word = b * wpb in
         let n_words = min wpb (words - first_word) in
-        encode_block c model code ~first_word ~n_words)
+        if not instrument then encode_block c model code ~first_word ~n_words
+        else begin
+          let t0 = Obs.now_us () in
+          let blk = encode_block c model code ~first_word ~n_words in
+          Obs.Histogram.observe m_c_block_us (Obs.now_us () -. t0);
+          Obs.Counter.incr m_c_blocks;
+          Obs.Counter.add m_c_bytes_in (n_words * wb);
+          Obs.Counter.add m_c_bytes_out (String.length blk);
+          Obs.Histogram.observe m_c_block_ratio
+            (float_of_int (String.length blk) /. float_of_int (n_words * wb));
+          blk
+        end)
   in
   { config = c; model; blocks; original_size = String.length code }
 
@@ -307,16 +382,27 @@ let decompress_block_parallel c model ~original_bytes data =
   (Bytes.to_string out, Ccomp_arith.Nibble_decoder.midpoint_evaluations engine)
 
 let decompress ?(jobs = 1) t =
+  Obs.with_span ~cat:"samc" "samc.decompress" @@ fun () ->
   let c = t.config in
   let wpb = words_per_block c in
   let wb = word_bytes c in
   let words = t.original_size / wb in
   let plan = decode_plan c t.model in
+  let instrument = Obs.metrics_enabled () in
   let parts =
     Ccomp_par.Pool.mapi ~jobs
       (fun b data ->
         let n_words = min wpb (words - (b * wpb)) in
-        decompress_block_planned plan ~original_bytes:(n_words * wb) data)
+        if not instrument then decompress_block_planned plan ~original_bytes:(n_words * wb) data
+        else begin
+          let t0 = Obs.now_us () in
+          let out = decompress_block_planned plan ~original_bytes:(n_words * wb) data in
+          Obs.Histogram.observe m_d_block_us (Obs.now_us () -. t0);
+          Obs.Counter.incr m_d_blocks;
+          Obs.Counter.add m_d_bytes_in (String.length data);
+          Obs.Counter.add m_d_bytes_out (String.length out);
+          out
+        end)
       t.blocks
   in
   String.concat "" (Array.to_list parts)

@@ -1,5 +1,19 @@
 module Prng = Ccomp_util.Prng
 module Decode_error = Ccomp_util.Decode_error
+module Obs = Ccomp_obs.Obs
+
+(* Campaign outcomes as metrics: one counter per disposition, summed
+   across codecs, so a fuzz run's `--metrics` dump shows
+   injections/detections/escapes next to the codec-level telemetry. *)
+let m_trials = Obs.Counter.make "fault.trials"
+
+let m_injected = Obs.Counter.make "fault.injected"
+
+let m_detected = Obs.Counter.make "fault.detected"
+
+let m_recovered = Obs.Counter.make "fault.recovered"
+
+let m_miscompared = Obs.Counter.make "fault.miscompared"
 
 type outcome = Detected | Miscompared | Recovered
 
@@ -35,6 +49,7 @@ let trial codec damaged =
   | Ok out -> if String.equal out codec.reference then Recovered else Miscompared
 
 let run ?(faults_per_trial = 1) ?kinds ?(jobs = 1) ~seed ~trials codec =
+  Obs.with_span ~cat:"fault" ("fault.campaign." ^ codec.name) @@ fun () ->
   (* Fault placement consumes the PRNG sequentially so the damaged
      inputs are identical for every [jobs] value; only the (pure)
      decode-and-compare of each trial fans out over the pool. *)
@@ -50,6 +65,13 @@ let run ?(faults_per_trial = 1) ?kinds ?(jobs = 1) ~seed ~trials codec =
       | Recovered -> incr recovered
       | Miscompared -> incr miscompared)
     outcomes;
+  if Obs.metrics_enabled () then begin
+    Obs.Counter.add m_trials trials;
+    Obs.Counter.add m_injected (trials * faults_per_trial);
+    Obs.Counter.add m_detected !detected;
+    Obs.Counter.add m_recovered !recovered;
+    Obs.Counter.add m_miscompared !miscompared
+  end;
   {
     codec_name = codec.name;
     trials;

@@ -7,7 +7,23 @@
    assembly is deterministic and order-preserving no matter which
    domain finished first: output is byte-identical to a serial run. *)
 
+module Obs = Ccomp_obs.Obs
+
 let default_jobs () = Domain.recommended_domain_count ()
+
+(* Pool metrics: fan-out shape (tasks, chunked queue draws, queue depth
+   seen at each draw) and per-worker busy time — how evenly the block
+   work spread over the domains. All guarded per-dispatch, so the hot
+   loop is untouched when metrics are off. *)
+let m_tasks = Obs.Counter.make "par.tasks"
+
+let m_draws = Obs.Counter.make "par.draws"
+
+let m_queue_depth = Obs.Histogram.make "par.queue_depth"
+
+let m_worker_busy_us = Obs.Histogram.make "par.worker_busy_us"
+
+let g_jobs = Obs.Gauge.make "par.jobs"
 
 (* A single-lock work queue: domains draw the next unclaimed index.
    Chunked draw (claim [chunk] indices at a time) keeps lock traffic
@@ -33,12 +49,25 @@ let mapi ?jobs f a =
     let q = { mutex = Mutex.create (); next = 0; limit = n } in
     let results = Array.make n None in
     let failure = Atomic.make None in
+    let instrument = Obs.metrics_enabled () in
+    if instrument then begin
+      Obs.Gauge.set g_jobs (float_of_int jobs);
+      Obs.Counter.add m_tasks n
+    end;
     let worker () =
+      let busy = ref 0.0 in
       let continue_ = ref true in
       while !continue_ do
         let i, got = draw q chunk in
+        if instrument && got > 0 then begin
+          Obs.Counter.incr m_draws;
+          (* items still unclaimed after this draw: how far from drained
+             the shared queue was when this worker came back for work *)
+          Obs.Histogram.observe m_queue_depth (float_of_int (q.limit - i - got))
+        end;
         if got = 0 || Atomic.get failure <> None then continue_ := false
-        else
+        else begin
+          let t0 = if instrument then Obs.now_us () else 0.0 in
           for k = i to i + got - 1 do
             match f k a.(k) with
             | v -> results.(k) <- Some v
@@ -46,11 +75,15 @@ let mapi ?jobs f a =
               (* first failure wins; the rest of the queue is drained
                  without running so [mapi] raises promptly *)
               ignore (Atomic.compare_and_set failure None (Some e))
-          done
-      done
+          done;
+          if instrument then busy := !busy +. (Obs.now_us () -. t0)
+        end
+      done;
+      if instrument then Obs.Histogram.observe m_worker_busy_us !busy
     in
-    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let traced_worker () = Obs.with_span ~cat:"par" "par.worker" worker in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn traced_worker) in
+    traced_worker ();
     Array.iter Domain.join domains;
     (match Atomic.get failure with Some e -> raise e | None -> ());
     Array.map (function Some v -> v | None -> assert false) results

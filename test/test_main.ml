@@ -24,5 +24,6 @@ let () =
       ("image", Test_image.suite);
       ("fault", Test_fault.suite);
       ("par", Test_par.suite);
+      ("obs", Test_obs.suite);
       ("integration", Test_integration.suite);
     ]

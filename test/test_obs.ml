@@ -1,0 +1,183 @@
+module Obs = Ccomp_obs.Obs
+module Samc = Ccomp_core.Samc
+module Byte_huffman = Ccomp_baselines.Byte_huffman
+
+(* The registry and the enabled switches are process-global, so every
+   test restores a clean slate (all metrics zeroed, observation off)
+   no matter how it exits. *)
+let isolated f =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_metrics false;
+      Obs.set_tracing false;
+      Obs.reset ())
+    (fun () ->
+      Obs.reset ();
+      f ())
+
+let test_counter_monotonic () =
+  isolated @@ fun () ->
+  let c = Obs.Counter.make "test.counter" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Obs.Counter.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Obs.Counter.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Obs.Counter.add: counters are monotonic (negative increment)") (fun () ->
+      Obs.Counter.add c (-1));
+  Alcotest.(check int) "value unchanged after rejected add" 42 (Obs.Counter.value c)
+
+let test_counter_shared () =
+  isolated @@ fun () ->
+  let a = Obs.Counter.make "test.shared" in
+  let b = Obs.Counter.make "test.shared" in
+  Obs.Counter.add a 5;
+  Obs.Counter.add b 7;
+  Alcotest.(check int) "same name, same counter" 12 (Obs.Counter.value a)
+
+let test_histogram_percentiles () =
+  isolated @@ fun () ->
+  let h = Obs.Histogram.make "test.hist" in
+  Alcotest.(check (float 0.0)) "empty percentile" 0.0 (Obs.Histogram.percentile h 50.0);
+  for i = 1 to 1000 do
+    Obs.Histogram.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count exact" 1000 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-6)) "sum exact" 500500.0 (Obs.Histogram.sum h);
+  Alcotest.(check (float 1e-6)) "min exact" 1.0 (Obs.Histogram.min_value h);
+  Alcotest.(check (float 1e-6)) "max exact" 1000.0 (Obs.Histogram.max_value h);
+  (* log-scale buckets (8 per octave) bound percentile error at ~9% *)
+  List.iter
+    (fun (q, expected) ->
+      let got = Obs.Histogram.percentile h q in
+      let rel = abs_float (got -. expected) /. expected in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f=%.1f within 10%% of %.1f" q got expected)
+        true (rel < 0.10))
+    [ (50.0, 500.0); (95.0, 950.0); (99.0, 990.0); (100.0, 1000.0) ];
+  Alcotest.(check bool) "percentiles stay within [min, max]" true
+    (List.for_all
+       (fun q ->
+         let p = Obs.Histogram.percentile h q in
+         p >= 1.0 && p <= 1000.0)
+       [ 0.0; 50.0; 95.0; 99.0; 100.0 ])
+
+let test_snapshot_roundtrip () =
+  isolated @@ fun () ->
+  Obs.Counter.add (Obs.Counter.make "test.rt.counter") 123;
+  Obs.Gauge.set (Obs.Gauge.make "test.rt.gauge") 0.75;
+  let h = Obs.Histogram.make "test.rt.hist" in
+  List.iter (Obs.Histogram.observe h) [ 1.0; 10.0; 100.0 ];
+  let snap = Obs.snapshot () in
+  match Obs.snapshot_of_json (Obs.snapshot_to_json snap) with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok back ->
+    Alcotest.(check (list (pair string int))) "counters survive" snap.Obs.counters
+      back.Obs.counters;
+    Alcotest.(check int) "gauge count" (List.length snap.Obs.gauges)
+      (List.length back.Obs.gauges);
+    List.iter2
+      (fun (n, v) (n', v') ->
+        Alcotest.(check string) "gauge name" n n';
+        Alcotest.(check (float 1e-6)) ("gauge " ^ n) v v')
+      snap.Obs.gauges back.Obs.gauges;
+    List.iter2
+      (fun (h : Obs.histogram_stats) (h' : Obs.histogram_stats) ->
+        Alcotest.(check string) "hist name" h.Obs.hs_name h'.Obs.hs_name;
+        Alcotest.(check int) "hist count" h.Obs.hs_count h'.Obs.hs_count;
+        Alcotest.(check (float 1e-3)) "hist sum" h.Obs.hs_sum h'.Obs.hs_sum;
+        Alcotest.(check (float 1e-3)) "hist p95" h.Obs.hs_p95 h'.Obs.hs_p95)
+      snap.Obs.histograms back.Obs.histograms
+
+let test_reset_clears () =
+  isolated @@ fun () ->
+  Obs.Counter.add (Obs.Counter.make "test.reset.c") 9;
+  Obs.Histogram.observe (Obs.Histogram.make "test.reset.h") 3.0;
+  Obs.reset ();
+  let snap = Obs.snapshot () in
+  Alcotest.(check bool) "no counter survives reset" true
+    (not (List.mem_assoc "test.reset.c" snap.Obs.counters));
+  Alcotest.(check bool) "no histogram survives reset" true
+    (List.for_all (fun h -> h.Obs.hs_name <> "test.reset.h") snap.Obs.histograms)
+
+let test_span_records () =
+  isolated @@ fun () ->
+  Obs.set_tracing true;
+  let before = Obs.event_count () in
+  let v, dt = Obs.timed ~cat:"test" "test.span" (fun () -> 17) in
+  Alcotest.(check int) "timed returns value" 17 v;
+  Alcotest.(check bool) "non-negative duration" true (dt >= 0.0);
+  Alcotest.(check int) "one slice recorded" (before + 1) (Obs.event_count ());
+  let j = Obs.trace_json () in
+  Alcotest.(check bool) "trace is an array" true (String.length j > 0 && j.[0] = '[');
+  let contains needle hay =
+    let n = String.length needle and ln = String.length hay in
+    let rec go i = i + n <= ln && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "slice named" true (contains "\"test.span\"" j)
+
+(* Concurrent increments from the par pool must not lose updates:
+   counters are atomics, histogram observation takes the registry
+   mutex. *)
+let test_parallel_increments () =
+  isolated @@ fun () ->
+  Obs.set_metrics true;
+  let c = Obs.Counter.make "test.par.counter" in
+  let h = Obs.Histogram.make "test.par.hist" in
+  let n = 4000 in
+  let results =
+    Ccomp_par.Pool.map ~jobs:4
+      (fun i ->
+        Obs.Counter.incr c;
+        Obs.Histogram.observe h (float_of_int (1 + (i mod 64)));
+        i)
+      (Array.init n (fun i -> i))
+  in
+  Alcotest.(check int) "pool mapped everything" n (Array.length results);
+  Alcotest.(check int) "no lost counter increment" n (Obs.Counter.value c);
+  Alcotest.(check int) "no lost histogram observation" n (Obs.Histogram.count h)
+
+(* The byte-identity guarantee: switching metrics and tracing on must
+   not change a single bit of any codec's output. *)
+let obs_identity_test name gen encode =
+  QCheck.Test.make ~count:30 ~name gen (fun input ->
+      isolated @@ fun () ->
+      let plain = encode input in
+      Obs.set_metrics true;
+      Obs.set_tracing true;
+      let observed = encode input in
+      String.equal plain observed)
+
+let word_string =
+  let g =
+    QCheck.Gen.(
+      int_range 1 48 >>= fun words ->
+      map Bytes.unsafe_to_string (bytes_size (return (4 * words))))
+  in
+  QCheck.make ~print:(Printf.sprintf "%S") g
+
+let samc_identity =
+  obs_identity_test "samc compress identical under obs" word_string (fun s ->
+      let cfg = Samc.byte_config ~block_size:16 () in
+      let z = Samc.compress cfg s in
+      String.concat "" (Array.to_list z.Samc.blocks) ^ Samc.decompress z)
+
+let huffman_identity =
+  obs_identity_test "byte-huffman serialize identical under obs"
+    QCheck.(string_of_size Gen.(int_range 1 512))
+    (fun s -> Byte_huffman.serialize (Byte_huffman.compress ~block_size:16 s))
+
+let suite =
+  [
+    Alcotest.test_case "counter monotonic + rejects negative" `Quick test_counter_monotonic;
+    Alcotest.test_case "counter registry is get-or-create" `Quick test_counter_shared;
+    Alcotest.test_case "histogram percentiles within bucket error" `Quick
+      test_histogram_percentiles;
+    Alcotest.test_case "snapshot JSON round-trip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "reset clears values" `Quick test_reset_clears;
+    Alcotest.test_case "timed records a trace slice" `Quick test_span_records;
+    Alcotest.test_case "parallel increments lose nothing" `Quick test_parallel_increments;
+    QCheck_alcotest.to_alcotest samc_identity;
+    QCheck_alcotest.to_alcotest huffman_identity;
+  ]

@@ -49,14 +49,26 @@ byte-huffman.decompress_mbps
 byte-huffman.decompress_tree_mbps
 '
 
-validate() { # file
-  file=$1
-  [ -r "$file" ] || { echo "bench_check: cannot read $file" >&2; exit 1; }
+# Shared sanity for any file this gate reads: it must exist, be
+# non-empty, and carry the ccomp-bench-v1 schema marker — anything else
+# gets a message naming the file and what was wrong with it, instead of
+# a silent pass or a bare awk error.
+check_schema() { # file role
+  file=$1 role=$2
+  [ -e "$file" ] || { echo "bench_check: $role $file does not exist" >&2; exit 1; }
+  [ -r "$file" ] || { echo "bench_check: cannot read $role $file" >&2; exit 1; }
+  [ -s "$file" ] || { echo "bench_check: $role $file is empty" >&2; exit 1; }
   schema=$(awk -F'"' '$2 == "schema" { print $4; exit }' "$file")
   [ "$schema" = "ccomp-bench-v1" ] || {
-    echo "bench_check: $file: bad or missing schema (got '$schema')" >&2
+    echo "bench_check: $role $file: bad or missing schema (got '${schema:-none}');" \
+         "expected a ccomp-bench-v1 file written by 'bench --emit-json'" >&2
     exit 1
   }
+}
+
+validate() { # file
+  file=$1
+  check_schema "$file" "file"
   bad=0
   for key in $expected_keys; do
     v=$(json_get "$file" "$key")
@@ -75,13 +87,21 @@ validate() { # file
 compare() { # new baseline
   new=$1 base=$2
   validate "$new"
-  [ -r "$base" ] || { echo "bench_check: cannot read baseline $base" >&2; exit 1; }
+  check_schema "$base" "baseline"
   fail=0
   for key in $expected_keys; do
     case $key in *decompress*) ;; *) continue ;; esac
     old=$(json_get "$base" "$key")
     cur=$(json_get "$new" "$key")
-    [ -n "$old" ] || { echo "bench_check: baseline lacks $key, skipping" >&2; continue; }
+    # a key the baseline predates is not a regression — note it and move on
+    [ -n "$old" ] || {
+      echo "bench_check: baseline $base lacks $key (new since baseline), skipping" >&2
+      continue
+    }
+    awk -v o="$old" 'BEGIN { exit !(o + 0 > 0) }' || {
+      echo "bench_check: baseline $base: non-positive value '$old' for $key, skipping" >&2
+      continue
+    }
     if awk -v o="$old" -v c="$cur" -v t="$THRESHOLD_PCT" \
          'BEGIN { exit !(c + 0 < o * (100 - t) / 100) }'; then
       echo "bench_check: REGRESSION $key: $cur MB/s < $old MB/s - ${THRESHOLD_PCT}%" >&2

@@ -10,17 +10,28 @@
                  (optionally with refill faults: --fault-rate/--fault-response)
      fuzz        fault-injection campaign over every decoder
      stats       render a --metrics JSON snapshot as a report
+                 (--diff BASELINE: per-metric deltas between snapshots)
      asm         assemble MIPS text into a raw code image
      disasm      disassemble a raw code image
+     serve       compression daemon: binary job protocol + HTTP
+                 /metrics (OpenMetrics), /healthz, /events, /snapshot
+     submit      send one compress/decompress job to a daemon
+     scrape      GET an HTTP path from a daemon (e.g. /metrics)
+     top         live terminal dashboard over a daemon's /snapshot
 
    compress, decompress, simulate and fuzz accept --metrics FILE (write
-   the lib/obs metrics snapshot as JSON) and --trace FILE (write a
-   Chrome trace_event array of spans, viewable in Perfetto). Argument
-   errors are uniform across subcommands: a bad flag or flag value
-   names the offender and prints the subcommand's usage line. *)
+   the lib/obs metrics snapshot as JSON), --trace FILE (write a Chrome
+   trace_event array of spans, viewable in Perfetto) and --events FILE
+   (stream the structured event log as JSON lines); all three are
+   flushed on abnormal exits too (Ctrl-C, faults, decode errors).
+   Argument errors are uniform across subcommands: a bad flag or flag
+   value names the offender and prints the subcommand's usage line. *)
 
 open Cmdliner
 module Obs = Ccomp_obs.Obs
+module Events = Ccomp_obs.Events
+module Serve = Ccomp_serve.Serve
+module Top = Ccomp_serve.Top
 
 let read_file path =
   let ic = open_in_bin path in
@@ -103,7 +114,11 @@ let verbose_arg =
    quoted over (input size, output size, ... — whichever the phase is
    conventionally measured in). *)
 let phase ~verbose ~bytes name f =
+  Events.debug ~fields:[ ("phase", name); ("transition", "begin") ] "ccomp.phase";
   let result, dt = Obs.timed ~cat:"phase" name f in
+  Events.info
+    ~fields:[ ("phase", name); ("transition", "end"); ("seconds", Printf.sprintf "%.6f" dt) ]
+    "ccomp.phase";
   if verbose then begin
     let n = bytes result in
     let mbs = if dt > 0.0 then float_of_int n /. 1e6 /. dt else Float.infinity in
@@ -130,20 +145,45 @@ let trace_out_arg =
           "Write recorded spans to $(docv) as a Chrome trace_event JSON array (load in \
            chrome://tracing or Perfetto).")
 
-let with_obs ~metrics ~trace f =
+let events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Stream the structured event log (faults, CRC failures, phase transitions) to $(docv) \
+           as JSON lines, flushed per event.")
+
+(* The finally-block runs on every exit path: clean completion, a typed
+   decode error, a fault-abort exception, and — because main installs
+   Sys.catch_break plus a SIGTERM handler that raises — an interrupt.
+   A crashed run still leaves its telemetry behind. *)
+let with_obs ?(events = None) ~metrics ~trace f =
   Obs.reset ();
+  Events.clear ();
   Obs.set_metrics (metrics <> None);
   Obs.set_tracing (trace <> None);
+  (match events with
+  | Some path ->
+    Events.set_enabled true;
+    Events.set_sink (Some path)
+  | None -> ());
   let finish () =
     (match metrics with
     | Some path ->
       Obs.write_metrics path;
-      Printf.printf "wrote %s: metrics snapshot\n" path
+      Printf.printf "wrote %s: metrics snapshot\n%!" path
     | None -> ());
     (match trace with
     | Some path ->
       Obs.write_trace path;
-      Printf.printf "wrote %s: %d trace events\n" path (Obs.event_count ())
+      Printf.printf "wrote %s: %d trace events\n%!" path (Obs.event_count ())
+    | None -> ());
+    (match events with
+    | Some path ->
+      Events.set_sink None;
+      Printf.printf "wrote %s: %d events\n%!" path (Events.total ());
+      Events.set_enabled false
     | None -> ());
     Obs.set_metrics false;
     Obs.set_tracing false
@@ -198,10 +238,10 @@ let context_arg =
   Arg.(value & opt int 2 & info [ "context-bits" ] ~docv:"N" ~doc:"SAMC connected-tree context bits.")
 
 let compress_cmd =
-  let run algo isa block_size context_bits quantize prune_below jobs verbose metrics trace input
-      output =
+  let run algo isa block_size context_bits quantize prune_below jobs verbose metrics trace events
+      input output =
     let jobs = resolve_jobs jobs in
-    with_obs ~metrics ~trace @@ fun () ->
+    with_obs ~events ~metrics ~trace @@ fun () ->
     let code = phase ~verbose ~bytes:String.length "read" (fun () -> read_file input) in
     let bytes = String.length code in
     let compress_phase = phase ~verbose ~bytes:(fun _ -> bytes) "compress" in
@@ -240,16 +280,16 @@ let compress_cmd =
     Term.(
       ret
         (const run $ algo_arg $ isa_arg $ block_size_arg $ context_arg $ quantize_arg $ prune_arg
-       $ jobs_arg $ verbose_arg $ metrics_arg $ trace_out_arg $ input $ output_arg))
+       $ jobs_arg $ verbose_arg $ metrics_arg $ trace_out_arg $ events_arg $ input $ output_arg))
   in
   Cmd.v (Cmd.info "compress" ~doc:"Compress a raw code image into a SECF container.") term
 
 (* --- decompress -------------------------------------------------------- *)
 
 let decompress_cmd =
-  let run jobs verbose metrics trace input output =
+  let run jobs verbose metrics trace events input output =
     let jobs = resolve_jobs jobs in
-    with_obs ~metrics ~trace @@ fun () ->
+    with_obs ~events ~metrics ~trace @@ fun () ->
     let data = phase ~verbose ~bytes:String.length "read" (fun () -> read_file input) in
     match
       phase ~verbose ~bytes:(fun _ -> String.length data) "parse" (fun () ->
@@ -270,7 +310,9 @@ let decompress_cmd =
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
   let term =
     Term.(
-      ret (const run $ jobs_arg $ verbose_arg $ metrics_arg $ trace_out_arg $ input $ output_arg))
+      ret
+        (const run $ jobs_arg $ verbose_arg $ metrics_arg $ trace_out_arg $ events_arg $ input
+       $ output_arg))
   in
   Cmd.v (Cmd.info "decompress" ~doc:"Expand a SECF container back to raw code.") term
 
@@ -376,9 +418,9 @@ let kinds_conv =
   Arg.conv (parse, print)
 
 let fuzz_cmd =
-  let run profile seed trials faults kinds scale jobs metrics trace =
+  let run profile seed trials faults kinds scale jobs metrics trace events =
     let jobs = resolve_jobs jobs in
-    with_obs ~metrics ~trace @@ fun () ->
+    with_obs ~events ~metrics ~trace @@ fun () ->
     let prog = Ccomp_progen.Generator.generate ~scale ~seed:(Int64.of_int seed) profile in
     let mips = lower Mips prog in
     let x86 =
@@ -490,7 +532,7 @@ let fuzz_cmd =
     Term.(
       ret
         (const run $ profile_arg $ seed_arg $ trials_arg $ faults_arg $ kinds_arg $ fuzz_scale_arg
-       $ jobs_arg $ metrics_arg $ trace_out_arg))
+       $ jobs_arg $ metrics_arg $ trace_out_arg $ events_arg))
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -503,8 +545,8 @@ let fuzz_cmd =
 
 let simulate_cmd =
   let run profile isa seed cache_bytes trace_length decode_cache fault_rate response trap_cycles
-      flip_back fault_seed metrics trace_out =
-    with_obs ~metrics ~trace:trace_out @@ fun () ->
+      flip_back fault_seed metrics trace_out events =
+    with_obs ~events ~metrics ~trace:trace_out @@ fun () ->
       let prog = Ccomp_progen.Generator.generate ~seed:(Int64.of_int seed) profile in
       let layout =
         match isa with
@@ -647,28 +689,257 @@ let simulate_cmd =
       ret
         (const run $ profile_arg $ isa_arg $ seed_arg $ cache_arg $ trace_arg $ decode_cache_arg
        $ fault_rate_arg $ fault_response_arg $ trap_cycles_arg $ flip_back_arg $ fault_seed_arg
-       $ metrics_arg $ trace_out_arg))
+       $ metrics_arg $ trace_out_arg $ events_arg))
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the compressed-memory-system model on a profile.") term
 
 (* --- stats -------------------------------------------------------------- *)
 
+(* Per-metric deltas between two snapshot files: `stats --diff A.json
+   B.json` prints B relative to A (before/after runs). Union of names;
+   metrics present on only one side show up with a one-sided value. *)
+let render_diff (a : Obs.snapshot) (b : Obs.snapshot) =
+  let buf = Buffer.create 1024 in
+  let union names_a names_b =
+    List.sort_uniq compare (List.map fst names_a @ List.map fst names_b)
+  in
+  let counters = union a.Obs.counters b.Obs.counters in
+  if counters <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "counters:\n  %-44s %14s %14s %14s\n" "" "before" "after" "delta");
+    List.iter
+      (fun name ->
+        let va = Option.value ~default:0 (List.assoc_opt name a.Obs.counters) in
+        let vb = Option.value ~default:0 (List.assoc_opt name b.Obs.counters) in
+        if va <> 0 || vb <> 0 then
+          Buffer.add_string buf (Printf.sprintf "  %-44s %14d %14d %+14d\n" name va vb (vb - va)))
+      counters
+  end;
+  let gauges = union a.Obs.gauges b.Obs.gauges in
+  if gauges <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "gauges:\n  %-44s %14s %14s %14s\n" "" "before" "after" "delta");
+    List.iter
+      (fun name ->
+        let va = Option.value ~default:0.0 (List.assoc_opt name a.Obs.gauges) in
+        let vb = Option.value ~default:0.0 (List.assoc_opt name b.Obs.gauges) in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-44s %14.4g %14.4g %+14.4g\n" name va vb (vb -. va)))
+      gauges
+  end;
+  let hist_names =
+    List.sort_uniq compare
+      (List.map (fun (h : Obs.histogram_stats) -> h.Obs.hs_name) a.Obs.histograms
+      @ List.map (fun (h : Obs.histogram_stats) -> h.Obs.hs_name) b.Obs.histograms)
+  in
+  if hist_names <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "histograms:\n  %-34s %14s %14s %10s %10s\n" "" "Δcount" "Δsum" "p95 before"
+         "p95 after");
+    List.iter
+      (fun name ->
+        let find (s : Obs.snapshot) =
+          List.find_opt (fun (h : Obs.histogram_stats) -> h.Obs.hs_name = name) s.Obs.histograms
+        in
+        let ca, sa, pa =
+          match find a with Some h -> (h.Obs.hs_count, h.Obs.hs_sum, h.Obs.hs_p95) | None -> (0, 0.0, 0.0)
+        in
+        let cb, sb, pb =
+          match find b with Some h -> (h.Obs.hs_count, h.Obs.hs_sum, h.Obs.hs_p95) | None -> (0, 0.0, 0.0)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-34s %+14d %+14.4g %10.4g %10.4g\n" name (cb - ca) (sb -. sa) pa pb))
+      hist_names
+  end;
+  if Buffer.length buf = 0 then Buffer.add_string buf "no metrics in either snapshot\n";
+  Buffer.contents buf
+
 let stats_cmd =
-  let run json input =
-    match Obs.snapshot_of_json (read_file input) with
-    | Error e -> `Error (false, Printf.sprintf "cannot read %s: %s" input e)
-    | Ok snap ->
-      if json then print_string (Obs.snapshot_to_json snap)
-      else print_string (Obs.render_table snap);
-      `Ok ()
+  let run json diff input =
+    let load path =
+      match Obs.snapshot_of_json (read_file path) with
+      | Error e -> Error (Printf.sprintf "cannot read %s: %s" path e)
+      | Ok snap -> Ok snap
+    in
+    match diff with
+    | Some before_path -> (
+      match (load before_path, load input) with
+      | Error e, _ | _, Error e -> `Error (false, e)
+      | Ok before, Ok after ->
+        print_string (render_diff before after);
+        `Ok ())
+    | None -> (
+      match load input with
+      | Error e -> `Error (false, e)
+      | Ok snap ->
+        if json then print_string (Obs.snapshot_to_json snap)
+        else print_string (Obs.render_table snap);
+        `Ok ())
   in
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"METRICS.json") in
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Re-emit the snapshot as canonical JSON.")
   in
+  let diff_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "diff" ] ~docv:"BASELINE.json"
+          ~doc:
+            "Print per-metric deltas of METRICS.json relative to $(docv) (before/after runs) \
+             instead of a report.")
+  in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Render a --metrics JSON snapshot as a human-readable report.")
-    Term.(ret (const run $ json_arg $ input))
+    (Cmd.info "stats"
+       ~doc:
+         "Render a --metrics JSON snapshot as a human-readable report, or diff two snapshots.")
+    Term.(ret (const run $ json_arg $ diff_arg $ input))
+
+(* --- serve / submit / scrape / top -------------------------------------- *)
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind/connect.")
+
+let port_arg ~default =
+  Arg.(value & opt int default & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (serve: 0 = ephemeral).")
+
+let serve_cmd =
+  let run host port jobs workers metrics trace events =
+    let jobs = resolve_jobs jobs in
+    with_obs ~events ~metrics ~trace @@ fun () ->
+    (* the daemon IS the observability surface: metrics and the event
+       ring are always live while it runs *)
+    Obs.set_metrics true;
+    Events.set_enabled true;
+    match
+      Serve.run ~host ~port ~jobs ~workers
+        ~on_ready:(fun p -> Printf.printf "ccomp serve: listening on %s:%d\n%!" host p)
+        ()
+    with
+    | () -> `Ok ()
+    | exception Unix.Unix_error (e, fn, _) ->
+      `Error (false, Printf.sprintf "serve: %s: %s" fn (Unix.error_message e))
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Acceptor domains sharing the listening socket (each job still fans out over --jobs).")
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg ~default:7070 $ jobs_arg $ workers_arg $ metrics_arg
+       $ trace_out_arg $ events_arg))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the compression daemon: length-prefixed compress/decompress jobs plus /metrics \
+          (OpenMetrics), /healthz, /events and /snapshot over HTTP/1.0 on one port.")
+    term
+
+let submit_cmd =
+  let run host port op algo isa block_size input output =
+    let data = read_file input in
+    let req =
+      match op with
+      | "compress" ->
+        Serve.Compress
+          {
+            algo = (match algo with Samc -> Serve.Samc | Sadc -> Serve.Sadc);
+            isa = (match isa with Mips -> Serve.Mips | X86 -> Serve.X86);
+            block_size;
+            code = data;
+          }
+      | "decompress" -> Serve.Decompress data
+      | _ -> Serve.Ping
+    in
+    match Serve.request ~host ~port req with
+    | Error e -> `Error (false, "submit: " ^ e)
+    | Ok payload ->
+      let path =
+        match output with
+        | Some p -> p
+        | None -> input ^ (if op = "compress" then ".secf" else ".out")
+      in
+      write_file path payload;
+      Printf.printf "wrote %s: %d bytes (%s via %s:%d)\n" path (String.length payload) op host
+        port;
+      `Ok ()
+  in
+  let op_arg =
+    Arg.(
+      value
+      & opt (enum [ ("compress", "compress"); ("decompress", "decompress") ]) "compress"
+      & info [ "op" ] ~docv:"OP" ~doc:"Job type: compress or decompress.")
+  in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  let term =
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg ~default:7070 $ op_arg $ algo_arg $ isa_arg
+       $ block_size_arg $ input $ output_arg))
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit one compress/decompress job to a running `ccomp serve` daemon.")
+    term
+
+let scrape_cmd =
+  let run host port target =
+    match Serve.http_get ~host ~port target with
+    | Error e -> `Error (false, "scrape: " ^ e)
+    | Ok (200, body) ->
+      print_string body;
+      `Ok ()
+    | Ok (status, body) ->
+      `Error (false, Printf.sprintf "scrape: HTTP %d from %s: %s" status target (String.trim body))
+  in
+  let target =
+    Arg.(value & pos 0 string "/metrics" & info [] ~docv:"PATH" ~doc:"Endpoint path to fetch.")
+  in
+  Cmd.v
+    (Cmd.info "scrape"
+       ~doc:"Fetch one HTTP endpoint (/metrics, /healthz, /events, /snapshot) from a daemon.")
+    Term.(ret (const run $ host_arg $ port_arg ~default:7070 $ target))
+
+let top_cmd =
+  let run host port interval frames window plain =
+    match
+      Top.run { Top.host; port; interval_s = interval; frames; window_s = window; plain }
+    with
+    | Ok () -> `Ok ()
+    | Error e -> `Error (false, "top: " ^ e)
+  in
+  let interval_arg =
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECS" ~doc:"Seconds between polls.")
+  in
+  let frames_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "frames" ] ~docv:"N" ~doc:"Render N frames then exit (0 = run until q/Ctrl-C).")
+  in
+  let window_arg =
+    Arg.(
+      value & opt float 30.0 & info [ "window" ] ~docv:"SECS" ~doc:"Rolling-window length for rates.")
+  in
+  let plain_arg =
+    Arg.(value & flag & info [ "plain" ] ~doc:"No screen clearing — append frames to stdout.")
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg ~default:7070 $ interval_arg $ frames_arg $ window_arg
+       $ plain_arg))
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a running daemon: windowed rates, histogram percentiles and the \
+          event tail.")
+    term
 
 (* --- asm / disasm ------------------------------------------------------- *)
 
@@ -725,12 +996,24 @@ let disasm_cmd =
     Term.(ret (const run $ isa_arg $ input))
 
 let () =
+  (* SIGINT/SIGTERM raise Sys.Break, so every Fun.protect finaliser —
+     in particular with_obs's metrics/trace/events flush — runs before
+     the process dies: an interrupted run still leaves evidence. *)
+  Sys.catch_break true;
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> raise Sys.Break))
+   with Invalid_argument _ | Sys_error _ -> ());
   let doc = "code compression for embedded systems (Lekatsas & Wolf, DAC'98 reproduction)" in
   let info = Cmd.info "ccomp" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        generate_cmd; compress_cmd; decompress_cmd; info_cmd; ratios_cmd; simulate_cmd; fuzz_cmd;
+        stats_cmd; serve_cmd; submit_cmd; scrape_cmd; top_cmd; asm_cmd; disasm_cmd;
+      ]
+  in
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            generate_cmd; compress_cmd; decompress_cmd; info_cmd; ratios_cmd; simulate_cmd;
-            fuzz_cmd; stats_cmd; asm_cmd; disasm_cmd;
-          ]))
+    (match Cmd.eval group with
+    | code -> code
+    | exception Sys.Break ->
+      prerr_endline "ccomp: interrupted";
+      130)

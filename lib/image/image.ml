@@ -2,6 +2,7 @@ module Samc = Ccomp_core.Samc
 module Sadc = Ccomp_core.Sadc
 module Lat = Ccomp_memsys.Lat
 module Decode_error = Ccomp_util.Decode_error
+module Events = Ccomp_obs.Events
 
 type isa = Mips | X86
 
@@ -89,6 +90,9 @@ let verify_block_crcs t =
     match locate_corruption t with
     | [] -> Ok ()
     | b :: _ ->
+      Events.error
+        ~fields:[ ("section", Printf.sprintf "block %d" b); ("kind", crc_kind_name kind) ]
+        "image.crc_mismatch";
       Error
         (Decode_error.Crc_mismatch
            {
@@ -154,7 +158,8 @@ let read_checked ?(verify_crc = true) s =
                  ((Char.code s.[len - 3] lsl 16) lor (Char.code s.[len - 2] lsl 8)
                  lor Char.code s.[len - 1]))
           in
-          if crc <> stored then
+          if crc <> stored then begin
+            Events.error ~fields:[ ("section", "image") ] "image.crc_mismatch";
             Error
               (Decode_error.Crc_mismatch
                  {
@@ -164,6 +169,7 @@ let read_checked ?(verify_crc = true) s =
                    expected = Int32.to_int (Int32.logand stored 0x7FFFFFFFl);
                    got = Int32.to_int (Int32.logand crc 0x7FFFFFFFl);
                  })
+          end
           else Ok ()
         end
       in

@@ -1,4 +1,5 @@
 module Obs = Ccomp_obs.Obs
+module Events = Ccomp_obs.Events
 
 (* Observability for the refill engine — the paper's Fig. 1 cost model
    made measurable: per-miss penalty and decompression-overhead
@@ -140,26 +141,38 @@ let run config ?lat ~trace () =
       (* integrity checking off or tag collision: corrupt line enters the
          cache silently — the outcome the per-block CRCs exist to prevent *)
       incr undetected_faults;
+      Events.error "memsys.fault.undetected";
       0
     end
     else
       match f.response with
       | Trap ->
         incr fault_traps;
+        Events.warn ~fields:[ ("response", "trap") ] "memsys.fault";
         f.trap_cycles
       | Stale ->
         incr stale_lines;
+        Events.warn ~fields:[ ("response", "stale") ] "memsys.fault";
         0
       | Retry budget ->
         let rec go tries acc =
           if tries >= budget then begin
             (* retries exhausted: escalate to the trap handler *)
             incr fault_traps;
+            Events.warn
+              ~fields:[ ("response", "retry"); ("outcome", "trap"); ("tries", string_of_int tries) ]
+              "memsys.fault";
             acc + f.trap_cycles
           end
           else begin
             incr fault_retries;
-            if Ccomp_util.Prng.float (Option.get rng) < f.flip_back then acc + refill
+            if Ccomp_util.Prng.float (Option.get rng) < f.flip_back then begin
+              Events.warn
+                ~fields:
+                  [ ("response", "retry"); ("outcome", "recovered"); ("tries", string_of_int (tries + 1)) ]
+                "memsys.fault";
+              acc + refill
+            end
             else go (tries + 1) (acc + refill)
           end
         in

@@ -1,0 +1,149 @@
+(* Structured event log: bounded ring + optional JSON-lines file sink.
+
+   The design mirrors the metrics registry's cost contract: when the
+   log is disabled, an emission site is one atomic load and nothing
+   else; emission itself (rare by construction — faults, CRC failures,
+   phase transitions) takes a short mutex. *)
+
+type level = Debug | Info | Warn | Error
+
+type event = {
+  ev_ts_us : float;
+  ev_level : level;
+  ev_name : string;
+  ev_fields : (string * string) list;
+}
+
+let on = Atomic.make false
+
+let enabled () = Atomic.get on
+
+let set_enabled b = Atomic.set on b
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_of_rank = function 0 -> Debug | 1 -> Info | 2 -> Warn | _ -> Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let min_level = Atomic.make (level_rank Debug)
+
+let level () = level_of_rank (Atomic.get min_level)
+
+let set_level l = Atomic.set min_level (level_rank l)
+
+(* Ring state: [ring] holds the newest [len] events ending at index
+   [head - 1] (mod capacity). [recorded] counts every event that made
+   it past the level filter since the last clear. *)
+let mutex = Mutex.create ()
+
+let ring = ref (Array.make 1024 None)
+
+let head = ref 0
+
+let len = ref 0
+
+let recorded = ref 0
+
+let sink : out_channel option ref = ref None
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let capacity () = locked (fun () -> Array.length !ring)
+
+let tail_locked n =
+  let cap = Array.length !ring in
+  let n = min n !len in
+  let first = (!head - n + cap) mod cap in
+  List.init n (fun i ->
+      match !ring.((first + i) mod cap) with Some e -> e | None -> assert false)
+
+let set_capacity n =
+  let n = max 1 n in
+  locked (fun () ->
+      let keep = tail_locked n in
+      let fresh = Array.make n None in
+      List.iteri (fun i e -> fresh.(i) <- Some e) keep;
+      ring := fresh;
+      len := List.length keep;
+      head := !len mod n)
+
+let json_escape = Obs.Json.escape
+
+let to_json_line e =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"ts_us\":%.1f,\"level\":\"%s\",\"event\":\"%s\"" e.ev_ts_us
+       (level_to_string e.ev_level)
+       (json_escape e.ev_name));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b (Printf.sprintf ",\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+    e.ev_fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let emit ?(fields = []) lvl name =
+  if Atomic.get on && level_rank lvl >= Atomic.get min_level then begin
+    let e = { ev_ts_us = Obs.now_us (); ev_level = lvl; ev_name = name; ev_fields = fields } in
+    locked (fun () ->
+        let cap = Array.length !ring in
+        !ring.(!head) <- Some e;
+        head := (!head + 1) mod cap;
+        if !len < cap then incr len;
+        incr recorded;
+        match !sink with
+        | Some oc ->
+          output_string oc (to_json_line e);
+          output_char oc '\n';
+          flush oc
+        | None -> ())
+  end
+
+let debug ?fields name = emit ?fields Debug name
+
+let info ?fields name = emit ?fields Info name
+
+let warn ?fields name = emit ?fields Warn name
+
+let error ?fields name = emit ?fields Error name
+
+let tail n = locked (fun () -> tail_locked (max 0 n))
+
+let total () = locked (fun () -> !recorded)
+
+let dropped () = locked (fun () -> !recorded - !len)
+
+let clear () =
+  locked (fun () ->
+      Array.fill !ring 0 (Array.length !ring) None;
+      head := 0;
+      len := 0;
+      recorded := 0)
+
+let set_sink path =
+  locked (fun () ->
+      (match !sink with Some oc -> close_out_noerr oc | None -> ());
+      sink := Option.map (fun p -> open_out_gen [ Open_append; Open_creat ] 0o644 p) path)
+
+let tail_json n =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (to_json_line e);
+      Buffer.add_char b '\n')
+    (tail n);
+  Buffer.contents b

@@ -1,0 +1,80 @@
+(** Leveled, structured event log: a bounded in-process ring of
+    timestamped events plus an optional JSON-lines file sink.
+
+    Like the metrics registry, the log is off by default and every
+    emission site costs one atomic load when disabled. Enabling it never
+    changes any codec output — events only observe.
+
+    Producers call {!debug}/{!info}/{!warn}/{!error} with an event name
+    and optional [(key, value)] fields. Events below the configured
+    {!level} are dropped; the rest land in a bounded ring (oldest
+    overwritten first) and, when a sink is set, are appended to the sink
+    file as one JSON object per line.
+
+    Threading: emission and tail reads are safe from any domain. *)
+
+type level = Debug | Info | Warn | Error
+
+type event = {
+  ev_ts_us : float;  (** {!Obs.now_us} at emission *)
+  ev_level : level;
+  ev_name : string;
+  ev_fields : (string * string) list;
+}
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+val level : unit -> level
+(** Minimum level recorded; defaults to [Debug]. *)
+
+val set_level : level -> unit
+
+val level_to_string : level -> string
+
+val level_of_string : string -> level option
+
+val capacity : unit -> int
+
+val set_capacity : int -> unit
+(** Resize the ring (default 1024, minimum 1), keeping the newest
+    events that fit. *)
+
+val emit : ?fields:(string * string) list -> level -> string -> unit
+
+val debug : ?fields:(string * string) list -> string -> unit
+
+val info : ?fields:(string * string) list -> string -> unit
+
+val warn : ?fields:(string * string) list -> string -> unit
+
+val error : ?fields:(string * string) list -> string -> unit
+
+val tail : int -> event list
+(** [tail n]: the most recent [min n (capacity ())] retained events,
+    oldest first. *)
+
+val total : unit -> int
+(** Events recorded since the last {!clear} — including those the ring
+    has since overwritten. *)
+
+val dropped : unit -> int
+(** Of {!total}, how many have been overwritten (ring overflow). *)
+
+val clear : unit -> unit
+(** Empty the ring and reset the counters. Keeps the enabled switch,
+    level, capacity and sink. *)
+
+val set_sink : string option -> unit
+(** [set_sink (Some path)] opens [path] for append and streams every
+    subsequent event to it as a JSON line (flushed per event, so a
+    crashed process still leaves evidence). [set_sink None] closes the
+    current sink. *)
+
+val to_json_line : event -> string
+(** One-line JSON object: [{"ts_us":…,"level":"warn","event":"…",…}]
+    with each field as a string member. No trailing newline. *)
+
+val tail_json : int -> string
+(** {!tail} rendered as newline-terminated JSON lines. *)

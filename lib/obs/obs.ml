@@ -187,8 +187,46 @@ module Histogram = struct
       Float.min h.h_max (Float.max h.h_min v)
     end
 
+  (* Upper bound of bucket [i]: the smallest value that would land in
+     bucket [i + 1]. *)
+  let bucket_upper i = Float.pow 2.0 (float_of_int (i + 1 - zero_bucket) /. float_of_int sub)
+
+  let cumulative_buckets h =
+    Mutex.lock h.h_mutex;
+    let acc = ref [] in
+    let cum = ref 0 in
+    for i = 0 to n_buckets - 1 do
+      let c = h.h_buckets.(i) in
+      if c > 0 then begin
+        cum := !cum + c;
+        acc := (bucket_upper i, !cum) :: !acc
+      end
+    done;
+    let count = h.h_count in
+    Mutex.unlock h.h_mutex;
+    List.rev ((infinity, count) :: !acc)
+
   let name h = h.h_name
 end
+
+type metric_kind = Counter_kind | Gauge_kind | Histogram_kind
+
+let registered_metrics () =
+  Mutex.lock registry_mutex;
+  let all =
+    Hashtbl.fold
+      (fun name m acc ->
+        let kind =
+          match m with
+          | M_counter _ -> Counter_kind
+          | M_gauge _ -> Gauge_kind
+          | M_histogram _ -> Histogram_kind
+        in
+        (name, kind) :: acc)
+      registry []
+  in
+  Mutex.unlock registry_mutex;
+  List.sort compare all
 
 (* --- spans -------------------------------------------------------------- *)
 

@@ -82,8 +82,21 @@ module Histogram : sig
   (** [percentile h q] for [q] in \[0, 100\]: nearest-rank estimate,
       clamped into \[min, max\] (0 for an empty histogram). *)
 
+  val cumulative_buckets : t -> (float * int) list
+  (** The non-empty log-scale buckets as [(upper_bound,
+      cumulative_count)] pairs in increasing bound order, always ending
+      with [(infinity, count)] — the shape an OpenMetrics histogram
+      exposition needs. Cumulative counts are non-decreasing. *)
+
   val name : t -> string
 end
+
+type metric_kind = Counter_kind | Gauge_kind | Histogram_kind
+
+val registered_metrics : unit -> (string * metric_kind) list
+(** Every metric any linked module has declared, active or not, sorted
+    by name. Exporters use this to expose zero-valued series too, so a
+    scrape always carries the full schema. *)
 
 val timed : ?cat:string -> string -> (unit -> 'a) -> 'a * float
 (** [timed name f] runs [f], returning its result and the elapsed time

@@ -1,0 +1,242 @@
+(* OpenMetrics text exposition (the Prometheus scrape format).
+
+   Rendering works either from a live registry (every registered
+   metric, zeros included, so the scraped schema never flaps between
+   scrapes) or from a snapshot (whatever was active). The small parser
+   at the bottom exists for the conformance tests: whatever render
+   emits must parse back sample-for-sample. *)
+
+let is_name_char ~colon c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+  || (colon && c = ':')
+
+let sanitize ~colon s =
+  let b = Buffer.create (String.length s + 1) in
+  String.iter (fun c -> Buffer.add_char b (if is_name_char ~colon c then c else '_')) s;
+  let out = Buffer.contents b in
+  if out = "" then "_" else if out.[0] >= '0' && out.[0] <= '9' then "_" ^ out else out
+
+let sanitize_metric_name = sanitize ~colon:true
+
+let sanitize_label_name = sanitize ~colon:false
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let strip_total name =
+  let suffix = "_total" in
+  let n = String.length name and k = String.length suffix in
+  if n > k && String.sub name (n - k) k = suffix then String.sub name 0 (n - k) else name
+
+let counter_name name = strip_total (sanitize_metric_name name) ^ "_total"
+
+let fmt_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let fmt_le v = if v = infinity then "+Inf" else fmt_value v
+
+(* One metric family: the TYPE line plus its samples. [emitted] guards
+   against two registry names sanitising to the same family — the
+   first wins and later ones are skipped rather than emitting an
+   exposition with duplicate families. *)
+let family emitted b name kind samples =
+  if not (Hashtbl.mem emitted name) then begin
+    Hashtbl.add emitted name ();
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind);
+    List.iter
+      (fun (sample_name, labels, v) ->
+        let label_str =
+          match labels with
+          | [] -> ""
+          | ls ->
+            "{"
+            ^ String.concat ","
+                (List.map
+                   (fun (k, value) ->
+                     Printf.sprintf "%s=\"%s\"" (sanitize_label_name k) (escape_label_value value))
+                   ls)
+            ^ "}"
+        in
+        Buffer.add_string b (Printf.sprintf "%s%s %s\n" sample_name label_str v))
+      samples
+  end
+
+let counter_family emitted b name v =
+  let fam = strip_total (sanitize_metric_name name) in
+  family emitted b fam "counter" [ (fam ^ "_total", [], fmt_value v) ]
+
+let gauge_family emitted b name v =
+  let fam = sanitize_metric_name name in
+  family emitted b fam "gauge" [ (fam, [], fmt_value v) ]
+
+let histogram_family emitted b name ~buckets ~sum ~count =
+  let fam = sanitize_metric_name name in
+  (* cumulative counts must be non-decreasing and end at the total *)
+  let buckets =
+    match List.rev buckets with
+    | (bound, _) :: _ when bound = infinity -> buckets
+    | _ -> buckets @ [ (infinity, count) ]
+  in
+  family emitted b fam "histogram"
+    (List.map
+       (fun (le, c) -> (fam ^ "_bucket", [ ("le", fmt_le le) ], string_of_int c))
+       buckets
+    @ [ (fam ^ "_sum", [], fmt_value sum); (fam ^ "_count", [], string_of_int count) ])
+
+let render_snapshot ?buckets (snap : Obs.snapshot) =
+  let b = Buffer.create 2048 in
+  let emitted = Hashtbl.create 64 in
+  List.iter (fun (name, v) -> counter_family emitted b name (float_of_int v)) snap.Obs.counters;
+  List.iter (fun (name, v) -> gauge_family emitted b name v) snap.Obs.gauges;
+  List.iter
+    (fun (h : Obs.histogram_stats) ->
+      let bs =
+        match buckets with
+        | Some f -> f h.Obs.hs_name
+        | None -> [ (infinity, h.Obs.hs_count) ]
+      in
+      histogram_family emitted b h.Obs.hs_name ~buckets:bs ~sum:h.Obs.hs_sum ~count:h.Obs.hs_count)
+    snap.Obs.histograms;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+let render () =
+  let b = Buffer.create 4096 in
+  let emitted = Hashtbl.create 64 in
+  List.iter
+    (fun (name, kind) ->
+      match kind with
+      | Obs.Counter_kind ->
+        counter_family emitted b name (float_of_int (Obs.Counter.value (Obs.Counter.make name)))
+      | Obs.Gauge_kind -> gauge_family emitted b name (Obs.Gauge.value (Obs.Gauge.make name))
+      | Obs.Histogram_kind ->
+        let h = Obs.Histogram.make name in
+        histogram_family emitted b name
+          ~buckets:(Obs.Histogram.cumulative_buckets h)
+          ~sum:(Obs.Histogram.sum h) ~count:(Obs.Histogram.count h))
+    (Obs.registered_metrics ());
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+(* --- parse (for conformance tests) ------------------------------------- *)
+
+type sample = { om_name : string; om_labels : (string * string) list; om_value : float }
+
+let parse_value s =
+  match String.lowercase_ascii s with
+  | "+inf" | "inf" -> Some infinity
+  | "-inf" -> Some neg_infinity
+  | "nan" -> Some nan
+  | _ -> float_of_string_opt s
+
+let parse_labels s =
+  (* key="value",key="value" — values use the render escapes *)
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = Error msg in
+  let rec go acc =
+    if !pos >= n then Ok (List.rev acc)
+    else begin
+      let start = !pos in
+      while !pos < n && s.[!pos] <> '=' do
+        incr pos
+      done;
+      if !pos >= n then fail "label without '='"
+      else begin
+        let key = String.sub s start (!pos - start) in
+        incr pos;
+        if !pos >= n || s.[!pos] <> '"' then fail "label value not quoted"
+        else begin
+          incr pos;
+          let b = Buffer.create 16 in
+          let rec scan () =
+            if !pos >= n then fail "unterminated label value"
+            else
+              match s.[!pos] with
+              | '"' ->
+                incr pos;
+                Ok (Buffer.contents b)
+              | '\\' when !pos + 1 < n ->
+                (match s.[!pos + 1] with
+                | 'n' -> Buffer.add_char b '\n'
+                | c -> Buffer.add_char b c);
+                pos := !pos + 2;
+                scan ()
+              | c ->
+                Buffer.add_char b c;
+                incr pos;
+                scan ()
+          in
+          match scan () with
+          | Error _ as e -> e
+          | Ok value ->
+            if !pos < n && s.[!pos] = ',' then begin
+              incr pos;
+              go ((key, value) :: acc)
+            end
+            else if !pos = n then Ok (List.rev ((key, value) :: acc))
+            else fail "garbage after label value"
+        end
+      end
+    end
+  in
+  go []
+
+let valid_name s =
+  s <> ""
+  && not (s.[0] >= '0' && s.[0] <= '9')
+  && String.for_all (is_name_char ~colon:true) s
+
+let parse text =
+  let ( let* ) = Result.bind in
+  let lines = String.split_on_char '\n' text in
+  let rec go acc saw_eof = function
+    | [] -> if saw_eof then Ok (List.rev acc) else Error "missing # EOF terminator"
+    | "" :: rest -> go acc saw_eof rest
+    | line :: rest when String.length line > 0 && line.[0] = '#' ->
+      go acc (saw_eof || String.trim line = "# EOF") rest
+    | _ :: _ when saw_eof -> Error "samples after # EOF"
+    | line :: rest ->
+      let* name_part, value_part =
+        match String.index_opt line ' ' with
+        | None -> Error (Printf.sprintf "no value on line %S" line)
+        | Some i ->
+          Ok (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+      in
+      let* name, labels =
+        match String.index_opt name_part '{' with
+        | None -> Ok (name_part, [])
+        | Some i ->
+          if name_part.[String.length name_part - 1] <> '}' then
+            Error (Printf.sprintf "unterminated labels on line %S" line)
+          else
+            let* labels =
+              parse_labels
+                (String.sub name_part (i + 1) (String.length name_part - i - 2))
+            in
+            Ok (String.sub name_part 0 i, labels)
+      in
+      let* () =
+        if valid_name name then Ok () else Error (Printf.sprintf "invalid metric name %S" name)
+      in
+      let* v =
+        match parse_value (String.trim value_part) with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "bad value %S for %s" value_part name)
+      in
+      go ({ om_name = name; om_labels = labels; om_value = v } :: acc) saw_eof rest
+  in
+  go [] false lines

@@ -1,0 +1,42 @@
+(** Prometheus/OpenMetrics text exposition of the metrics registry —
+    what a scrape of [ccomp serve]'s [/metrics] endpoint returns.
+
+    Dotted registry names are sanitised into the OpenMetrics alphabet
+    ([a-zA-Z0-9_:], no leading digit), counters gain the [_total]
+    suffix, and histograms are exposed as cumulative [_bucket{le="…"}]
+    series plus [_sum]/[_count]. The exposition ends with [# EOF] as
+    the OpenMetrics spec requires. *)
+
+val sanitize_metric_name : string -> string
+(** Map every character outside [[a-zA-Z0-9_:]] to ['_'] and prefix
+    ['_'] if the result would start with a digit (["" ] becomes
+    ["_"]). *)
+
+val sanitize_label_name : string -> string
+(** Like {!sanitize_metric_name} but [':'] is also mapped to ['_']
+    (colons are invalid in label names). *)
+
+val escape_label_value : string -> string
+(** Escape ['\\'], ['"'] and newline for use inside
+    [label="…"]. *)
+
+val counter_name : string -> string
+(** Sanitised name with exactly one [_total] suffix. *)
+
+val render_snapshot :
+  ?buckets:(string -> (float * int) list) -> Obs.snapshot -> string
+(** Render a snapshot. [buckets name] supplies the cumulative bucket
+    list for histogram [name] (as {!Obs.Histogram.cumulative_buckets});
+    when absent, histograms carry only the [+Inf] bucket. *)
+
+val render : unit -> string
+(** Render the live registry — every registered metric, including ones
+    still at zero, so the exposed schema is stable across scrapes. *)
+
+type sample = { om_name : string; om_labels : (string * string) list; om_value : float }
+
+val parse : string -> (sample list, string) result
+(** Parse an exposition back into its samples: comment lines are
+    skipped (a missing [# EOF] terminator is an error), every other
+    line must be [name[{labels}] value]. Supports the subset {!render}
+    emits — enough for conformance round-trip tests. *)

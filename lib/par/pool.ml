@@ -85,7 +85,15 @@ let mapi ?jobs f a =
     let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn traced_worker) in
     traced_worker ();
     Array.iter Domain.join domains;
-    (match Atomic.get failure with Some e -> raise e | None -> ());
+    (match Atomic.get failure with
+    | Some e ->
+      (* a stalled dispatch: one item failed, the rest of the queue was
+         drained without running — the event names the culprit *)
+      Ccomp_obs.Events.error
+        ~fields:[ ("tasks", string_of_int n); ("error", Printexc.to_string e) ]
+        "par.abort";
+      raise e
+    | None -> ());
     Array.map (function Some v -> v | None -> assert false) results
   end
 

@@ -1,0 +1,423 @@
+(* Compression daemon: one TCP listener, two protocols (binary jobs +
+   HTTP observability), codecs shared verbatim with the offline CLI so
+   served output is byte-identical.
+
+   Concurrency model: [workers] domains each run the accept loop on the
+   shared listening socket (accept(2) is safe to share); inside a job,
+   block-level codec work fans out over the lib/par pool. The metrics
+   registry and event ring are Domain-safe, so every handler publishes
+   freely. *)
+
+module Obs = Ccomp_obs.Obs
+module Events = Ccomp_obs.Events
+module Openmetrics = Ccomp_obs.Openmetrics
+module Samc = Ccomp_core.Samc
+module Sadc = Ccomp_core.Sadc
+module Image = Ccomp_image.Image
+
+type algo = Samc | Sadc
+
+type isa = Mips | X86
+
+type request =
+  | Compress of { algo : algo; isa : isa; block_size : int; code : string }
+  | Decompress of string
+  | Ping
+
+type response = Payload of string | Failed of string
+
+let req_magic = "CCQ1"
+
+let resp_magic = "CCR1"
+
+let req_header_len = 13
+
+let resp_header_len = 9
+
+(* --- service metrics ---------------------------------------------------- *)
+
+let m_connections = Obs.Counter.make "serve.connections"
+
+let m_jobs_compress = Obs.Counter.make "serve.jobs.compress"
+
+let m_jobs_decompress = Obs.Counter.make "serve.jobs.decompress"
+
+let m_jobs_failed = Obs.Counter.make "serve.jobs.failed"
+
+let m_http = Obs.Counter.make "serve.http.requests"
+
+let m_bytes_in = Obs.Counter.make "serve.bytes_in"
+
+let m_bytes_out = Obs.Counter.make "serve.bytes_out"
+
+let m_job_us = Obs.Histogram.make "serve.job_us"
+
+(* --- framing ------------------------------------------------------------ *)
+
+let be16 v = Printf.sprintf "%c%c" (Char.chr ((v lsr 8) land 0xff)) (Char.chr (v land 0xff))
+
+let be32 v =
+  Printf.sprintf "%c%c%c%c"
+    (Char.chr ((v lsr 24) land 0xff))
+    (Char.chr ((v lsr 16) land 0xff))
+    (Char.chr ((v lsr 8) land 0xff))
+    (Char.chr (v land 0xff))
+
+let read_be16 s pos = (Char.code s.[pos] lsl 8) lor Char.code s.[pos + 1]
+
+let read_be32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+let algo_tag = function (Samc : algo) -> 0 | Sadc -> 1
+
+let algo_of_tag = function 0 -> Some (Samc : algo) | 1 -> Some Sadc | _ -> None
+
+let isa_tag = function Mips -> 0 | X86 -> 1
+
+let isa_of_tag = function 0 -> Some Mips | 1 -> Some X86 | _ -> None
+
+let encode_request = function
+  | Compress { algo; isa; block_size; code } ->
+    req_magic
+    ^ Printf.sprintf "%c%c%c" (Char.chr 1) (Char.chr (algo_tag algo)) (Char.chr (isa_tag isa))
+    ^ be16 block_size ^ be32 (String.length code) ^ code
+  | Decompress data ->
+    req_magic ^ "\x02\x00\x00" ^ be16 0 ^ be32 (String.length data) ^ data
+  | Ping -> req_magic ^ "\x03\x00\x00" ^ be16 0 ^ be32 0
+
+let decode_request s =
+  if String.length s < req_header_len then Error "truncated request header"
+  else if String.sub s 0 4 <> req_magic then Error "bad request magic"
+  else begin
+    let payload_len = read_be32 s 9 in
+    if String.length s <> req_header_len + payload_len then Error "request length mismatch"
+    else
+      let payload = String.sub s req_header_len payload_len in
+      match Char.code s.[4] with
+      | 1 -> (
+        match (algo_of_tag (Char.code s.[5]), isa_of_tag (Char.code s.[6])) with
+        | Some algo, Some isa ->
+          let block_size = read_be16 s 7 in
+          if block_size = 0 then Error "block size must be positive"
+          else Ok (Compress { algo; isa; block_size; code = payload })
+        | None, _ -> Error "unknown algorithm tag"
+        | _, None -> Error "unknown ISA tag")
+      | 2 -> Ok (Decompress payload)
+      | 3 -> Ok Ping
+      | op -> Error (Printf.sprintf "unknown opcode %d" op)
+  end
+
+let encode_response = function
+  | Payload data -> resp_magic ^ "\x00" ^ be32 (String.length data) ^ data
+  | Failed msg -> resp_magic ^ "\x01" ^ be32 (String.length msg) ^ msg
+
+let decode_response s =
+  if String.length s < resp_header_len then Error "truncated response header"
+  else if String.sub s 0 4 <> resp_magic then Error "bad response magic"
+  else begin
+    let len = read_be32 s 5 in
+    if String.length s <> resp_header_len + len then Error "response length mismatch"
+    else
+      let payload = String.sub s resp_header_len len in
+      match Char.code s.[4] with
+      | 0 -> Ok (Payload payload)
+      | 1 -> Ok (Failed payload)
+      | st -> Error (Printf.sprintf "unknown status %d" st)
+  end
+
+(* --- job dispatch ------------------------------------------------------- *)
+
+(* Identical construction to `ccomp compress` with default flags, so a
+   served job is byte-for-byte the offline output. *)
+let compress_job ~jobs ~algo ~isa ~block_size code =
+  match (algo, isa) with
+  | (Samc : algo), Mips ->
+    let cfg = Samc.mips_config ~block_size ~context_bits:2 ~quantize:false ~prune_below:0 () in
+    Image.write (Image.of_samc ~isa:Image.Mips (Samc.compress ~jobs cfg code))
+  | Samc, X86 ->
+    let cfg = Samc.byte_config ~block_size ~context_bits:2 ~quantize:false ~prune_below:0 () in
+    Image.write (Image.of_samc ~isa:Image.X86 (Samc.compress ~jobs cfg code))
+  | Sadc, Mips ->
+    let cfg = Sadc.default_config ~block_size () in
+    Image.write (Image.of_sadc_mips (Sadc.Mips.compress_image ~jobs cfg code))
+  | Sadc, X86 ->
+    let cfg = Sadc.default_config ~block_size () in
+    Image.write (Image.of_sadc_x86 (Sadc.X86.compress_image ~jobs cfg code))
+
+let handle_request ~jobs req =
+  let job kind f =
+    let (resp : response), dt = Obs.timed ~cat:"serve" ("serve.job." ^ kind) f in
+    if Obs.metrics_enabled () then Obs.Histogram.observe m_job_us (dt *. 1e6);
+    (match resp with
+    | Failed msg ->
+      Obs.Counter.incr m_jobs_failed;
+      Events.warn ~fields:[ ("kind", kind); ("error", msg) ] "serve.job.failed"
+    | Payload p ->
+      Events.debug
+        ~fields:[ ("kind", kind); ("bytes", string_of_int (String.length p)) ]
+        "serve.job.done");
+    resp
+  in
+  match req with
+  | Ping -> Payload "pong"
+  | Compress { algo; isa; block_size; code } ->
+    Obs.Counter.incr m_jobs_compress;
+    job "compress" (fun () ->
+        match compress_job ~jobs ~algo ~isa ~block_size code with
+        | image -> Payload image
+        | exception e -> Failed (Printexc.to_string e))
+  | Decompress data ->
+    Obs.Counter.incr m_jobs_decompress;
+    job "decompress" (fun () ->
+        match Image.read data with
+        | Error e -> Failed ("cannot read image: " ^ e)
+        | Ok image -> (
+          match Image.decompress ~jobs image with
+          | code -> Payload code
+          | exception e -> Failed (Printexc.to_string e)))
+
+(* --- HTTP --------------------------------------------------------------- *)
+
+let query_int target key ~default =
+  match String.index_opt target '?' with
+  | None -> default
+  | Some i ->
+    let q = String.sub target (i + 1) (String.length target - i - 1) in
+    List.fold_left
+      (fun acc kv ->
+        match String.split_on_char '=' kv with
+        | [ k; v ] when k = key -> ( match int_of_string_opt v with Some n -> n | None -> acc)
+        | _ -> acc)
+      default (String.split_on_char '&' q)
+
+let path_of_target target =
+  match String.index_opt target '?' with
+  | None -> target
+  | Some i -> String.sub target 0 i
+
+let http_response target =
+  match path_of_target target with
+  | "/metrics" ->
+    Some (200, "application/openmetrics-text; version=1.0.0; charset=utf-8", Openmetrics.render ())
+  | "/healthz" -> Some (200, "text/plain; charset=utf-8", "ok\n")
+  | "/events" ->
+    Some (200, "application/x-ndjson", Events.tail_json (query_int target "n" ~default:50))
+  | "/snapshot" -> Some (200, "application/json", Obs.snapshot_to_json (Obs.snapshot ()))
+  | _ -> None
+
+(* --- socket plumbing ---------------------------------------------------- *)
+
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s pos len in
+    write_all fd s (pos + n) (len - n)
+  end
+
+let send fd s =
+  write_all fd s 0 (String.length s);
+  Obs.Counter.add m_bytes_out (String.length s)
+
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go pos =
+    if pos >= n then Ok (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf pos (n - pos) with
+      | 0 -> Error "peer closed mid-frame"
+      | k -> go (pos + k)
+  in
+  go 0
+
+let max_payload = 1 lsl 28 (* 256 MB: refuse absurd frames instead of allocating them *)
+
+let handle_binary ~jobs fd first4 =
+  let ( let* ) = Result.bind in
+  let result =
+    let* rest = read_exact fd (req_header_len - 4) in
+    let header = first4 ^ rest in
+    let payload_len = read_be32 header 9 in
+    if payload_len < 0 || payload_len > max_payload then Error "payload too large"
+    else
+      let* payload = read_exact fd payload_len in
+      Obs.Counter.add m_bytes_in (req_header_len + payload_len);
+      decode_request (header ^ payload)
+  in
+  let resp =
+    match result with Ok req -> handle_request ~jobs req | Error msg -> Failed msg
+  in
+  send fd (encode_response resp)
+
+let max_http_head = 8192
+
+let handle_http fd first4 =
+  (* Read the request head (we never need a body on GET). *)
+  let b = Buffer.create 256 in
+  Buffer.add_string b first4;
+  let chunk = Bytes.create 512 in
+  let rec fill () =
+    let s = Buffer.contents b in
+    if
+      Buffer.length b >= max_http_head
+      || (String.length s >= 4
+         &&
+         let rec find i =
+           i + 4 <= String.length s && (String.sub s i 4 = "\r\n\r\n" || find (i + 1))
+         in
+         find 0)
+    then ()
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes b chunk 0 n;
+        fill ()
+  in
+  fill ();
+  Obs.Counter.incr m_http;
+  Obs.Counter.add m_bytes_in (Buffer.length b);
+  let head = Buffer.contents b in
+  let request_line = match String.index_opt head '\r' with
+    | Some i -> String.sub head 0 i
+    | None -> head
+  in
+  let status, ctype, body =
+    match String.split_on_char ' ' request_line with
+    | meth :: target :: _ when meth = "GET" || meth = "HEAD" -> (
+      match http_response target with
+      | Some r -> r
+      | None -> (404, "text/plain; charset=utf-8", "not found\n"))
+    | _ -> (400, "text/plain; charset=utf-8", "bad request\n")
+  in
+  let reason = match status with 200 -> "OK" | 400 -> "Bad Request" | _ -> "Not Found" in
+  Events.debug
+    ~fields:[ ("request", request_line); ("status", string_of_int status) ]
+    "serve.http";
+  send fd
+    (Printf.sprintf "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+       status reason ctype (String.length body) body)
+
+let handle_connection ~jobs fd =
+  Obs.Counter.incr m_connections;
+  match read_exact fd 4 with
+  | Error _ -> ()
+  | Ok first4 ->
+    if first4 = req_magic then handle_binary ~jobs fd first4 else handle_http fd first4
+
+(* --- accept loop -------------------------------------------------------- *)
+
+let serve_loop ~jobs stop listen_fd =
+  let continue_ = ref true in
+  while !continue_ && not (Atomic.get stop) do
+    match Unix.accept listen_fd with
+    | conn, _ ->
+      (try handle_connection ~jobs conn
+       with
+      | Sys.Break ->
+        Atomic.set stop true;
+        continue_ := false
+      | e ->
+        Events.error ~fields:[ ("error", Printexc.to_string e) ] "serve.connection_error");
+      (try Unix.close conn with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+      (* listener closed during shutdown *)
+      continue_ := false
+    | exception Sys.Break ->
+      Atomic.set stop true;
+      continue_ := false
+  done
+
+let run ?(host = "127.0.0.1") ~port ~jobs ~workers ?(on_ready = fun _ -> ()) () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen fd 64;
+  let bound_port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  Events.info
+    ~fields:[ ("host", host); ("port", string_of_int bound_port); ("jobs", string_of_int jobs) ]
+    "serve.start";
+  on_ready bound_port;
+  let stop = Atomic.make false in
+  let extra =
+    Array.init (max 0 (workers - 1)) (fun _ -> Domain.spawn (fun () -> serve_loop ~jobs stop fd))
+  in
+  let finish () =
+    Atomic.set stop true;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Array.iter Domain.join extra;
+    Events.info "serve.stop"
+  in
+  Fun.protect ~finally:finish (fun () -> serve_loop ~jobs stop fd)
+
+(* --- clients ------------------------------------------------------------- *)
+
+let with_connection ~host ~port f =
+  match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+  | [] -> Error (Printf.sprintf "cannot resolve %s" host)
+  | ai :: _ -> (
+    let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype ai.Unix.ai_protocol in
+    match
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd ai.Unix.ai_addr;
+          f fd)
+    with
+    | v -> v
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s:%d: %s" host port (Unix.error_message e)))
+
+let read_until_eof fd =
+  let b = Buffer.create 4096 in
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents b
+    | n ->
+      Buffer.add_subbytes b chunk 0 n;
+      go ()
+  in
+  go ()
+
+let request ~host ~port req =
+  with_connection ~host ~port (fun fd ->
+      let frame = encode_request req in
+      write_all fd frame 0 (String.length frame);
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      match decode_response (read_until_eof fd) with
+      | Ok (Payload p) -> Ok p
+      | Ok (Failed msg) -> Error msg
+      | Error msg -> Error msg)
+
+let http_get ~host ~port target =
+  with_connection ~host ~port (fun fd ->
+      let q = Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\n\r\n" target host in
+      write_all fd q 0 (String.length q);
+      let raw = read_until_eof fd in
+      match String.index_opt raw ' ' with
+      | None -> Error "malformed HTTP response"
+      | Some i -> (
+        let rest = String.sub raw (i + 1) (String.length raw - i - 1) in
+        let status =
+          match String.split_on_char ' ' rest with
+          | code :: _ -> int_of_string_opt code
+          | [] -> None
+        in
+        match status with
+        | None -> Error "malformed HTTP status"
+        | Some status ->
+          let body =
+            let rec find j =
+              if j + 4 > String.length raw then String.length raw
+              else if String.sub raw j 4 = "\r\n\r\n" then j + 4
+              else find (j + 1)
+            in
+            let start = find 0 in
+            String.sub raw start (String.length raw - start)
+          in
+          Ok (status, body)))

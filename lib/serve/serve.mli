@@ -1,0 +1,82 @@
+(** [ccomp serve]: a dependency-free compression daemon.
+
+    One TCP listener (plain [Unix] sockets) speaks two protocols,
+    distinguished by the first four bytes of each connection:
+
+    {ul
+    {- a length-prefixed binary job protocol ({!section-protocol}) for
+       compress/decompress/ping jobs — the service path; and}
+    {- HTTP/1.0 [GET] for the observability surface: [/metrics]
+       (OpenMetrics text), [/healthz], [/events] (JSON lines, newest
+       last, [?n=] to bound) and [/snapshot] (the metrics snapshot as
+       JSON — what [ccomp top] polls).}}
+
+    Jobs run through exactly the same codec paths as the offline CLI,
+    so a served compression is byte-identical to [ccomp compress] with
+    the same flags. The daemon switches metrics and the event log on at
+    startup; block-level work inside a job fans out over the lib/par
+    pool ([jobs] domains).
+
+    {2:protocol Wire format}
+
+    Request: ["CCQ1"] · opcode(1) · algo(1) · isa(1) · block_size(2,BE)
+    · payload_len(4,BE) · payload. Opcodes: [1] compress, [2]
+    decompress, [3] ping. Algo: [0] samc, [1] sadc. ISA: [0] mips,
+    [1] x86.
+
+    Response: ["CCR1"] · status(1: [0] ok, [1] error) ·
+    payload_len(4,BE) · payload (result bytes, or an error message). *)
+
+type algo = Samc | Sadc
+
+type isa = Mips | X86
+
+type request =
+  | Compress of { algo : algo; isa : isa; block_size : int; code : string }
+  | Decompress of string
+  | Ping
+
+type response = Payload of string | Failed of string
+
+val encode_request : request -> string
+
+val decode_request : string -> (request, string) result
+(** Inverse of {!encode_request} on a complete request frame. *)
+
+val encode_response : response -> string
+
+val decode_response : string -> (response, string) result
+
+val handle_request : jobs:int -> request -> response
+(** Run one job locally (no socket) — the daemon's dispatch, exposed
+    for tests and reused by both protocols. *)
+
+val http_response : string -> (int * string * string) option
+(** [http_response target] routes an HTTP request-target to
+    [Some (status, content_type, body)], or [None] for an unknown
+    path. *)
+
+val run :
+  ?host:string ->
+  port:int ->
+  jobs:int ->
+  workers:int ->
+  ?on_ready:(int -> unit) ->
+  unit ->
+  unit
+(** Bind [host] (default ["127.0.0.1"]) on [port] ([0] picks an
+    ephemeral port), call [on_ready] with the bound port, then serve
+    until interrupted ([Sys.Break], i.e. SIGINT/SIGTERM with the CLI's
+    handlers installed). [workers - 1] extra domains accept on the same
+    listener; each job additionally fans block work over [jobs]
+    domains. *)
+
+(** Minimal clients for the two protocols — what [ccomp submit],
+    [ccomp scrape] and [ccomp top] use. *)
+
+val request : host:string -> port:int -> request -> (string, string) result
+(** Submit one binary-protocol job; [Ok payload] on success, the
+    daemon's (or socket's) error otherwise. *)
+
+val http_get : host:string -> port:int -> string -> (int * string, string) result
+(** One HTTP/1.0 GET; [Ok (status, body)]. *)

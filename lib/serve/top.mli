@@ -1,0 +1,31 @@
+(** [ccomp top]: a terminal dashboard over a running [ccomp serve].
+
+    Polls the daemon's [/snapshot] and [/events] endpoints every
+    [interval_s] seconds, feeds the samples into an {!Ccomp_obs.Window}
+    and renders windowed per-second rates, histogram percentiles, the
+    decode-cache hit ratio and the event tail.
+
+    Keys (when stdin is a TTY): [q] quits, [r] resets the rolling
+    window. With [frames > 0] the dashboard exits after that many
+    frames — scripts use [--frames 1] for a one-shot render; [plain]
+    suppresses the screen-clearing escape codes. *)
+
+type options = {
+  host : string;
+  port : int;
+  interval_s : float;
+  frames : int;  (** 0 = run until [q]/Ctrl-C *)
+  window_s : float;
+  plain : bool;
+}
+
+val render_frame :
+  window:Ccomp_obs.Window.t ->
+  snapshot:Ccomp_obs.Obs.snapshot ->
+  events_tail:string list ->
+  title:string ->
+  string
+(** Pure frame renderer, exposed for tests: windowed rates come from
+    [window], instantaneous values from [snapshot]. *)
+
+val run : options -> (unit, string) result

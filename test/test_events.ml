@@ -1,0 +1,141 @@
+(* Structured event log: ring overflow keeps the newest events, level
+   filtering, the disabled path records nothing, and the JSON-lines
+   sink leaves parseable evidence on disk. *)
+
+module Obs = Ccomp_obs.Obs
+module Events = Ccomp_obs.Events
+
+(* Event state is process-global; restore defaults however the test
+   exits. *)
+let isolated f =
+  Fun.protect
+    ~finally:(fun () ->
+      Events.set_sink None;
+      Events.set_enabled false;
+      Events.set_level Events.Debug;
+      Events.set_capacity 1024;
+      Events.clear ())
+    (fun () ->
+      Events.clear ();
+      Events.set_capacity 1024;
+      Events.set_level Events.Debug;
+      Events.set_enabled true;
+      f ())
+
+let names () = List.map (fun e -> e.Events.ev_name) (Events.tail max_int)
+
+let test_disabled_records_nothing () =
+  isolated @@ fun () ->
+  Events.set_enabled false;
+  Events.info "ignored";
+  Events.error "also ignored";
+  Alcotest.(check int) "nothing recorded" 0 (Events.total ());
+  Alcotest.(check (list string)) "empty tail" [] (names ())
+
+let test_tail_order () =
+  isolated @@ fun () ->
+  Events.info "a";
+  Events.warn "b";
+  Events.error "c";
+  Alcotest.(check int) "three recorded" 3 (Events.total ());
+  Alcotest.(check int) "none dropped" 0 (Events.dropped ());
+  Alcotest.(check (list string)) "oldest first" [ "a"; "b"; "c" ] (names ());
+  Alcotest.(check (list string)) "tail n bounds from the newest end" [ "b"; "c" ]
+    (List.map (fun e -> e.Events.ev_name) (Events.tail 2))
+
+let test_ring_overflow () =
+  isolated @@ fun () ->
+  Events.set_capacity 4;
+  for i = 0 to 9 do
+    Events.info (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check int) "all ten counted" 10 (Events.total ());
+  Alcotest.(check int) "six overwritten" 6 (Events.dropped ());
+  Alcotest.(check (list string)) "ring keeps the newest four, in order"
+    [ "e6"; "e7"; "e8"; "e9" ] (names ())
+
+let test_level_filter () =
+  isolated @@ fun () ->
+  Events.set_level Events.Warn;
+  Events.debug "d";
+  Events.info "i";
+  Events.warn "w";
+  Events.error "e";
+  Alcotest.(check (list string)) "below-level events dropped" [ "w"; "e" ] (names ());
+  Alcotest.(check int) "total counts only recorded events" 2 (Events.total ())
+
+let test_level_strings () =
+  List.iter
+    (fun l ->
+      Alcotest.(check bool)
+        (Printf.sprintf "round-trip %s" (Events.level_to_string l))
+        true
+        (Events.level_of_string (Events.level_to_string l) = Some l))
+    [ Events.Debug; Events.Info; Events.Warn; Events.Error ];
+  Alcotest.(check bool) "unknown level rejected" true
+    (Events.level_of_string "loud" = None)
+
+let test_json_line_shape () =
+  isolated @@ fun () ->
+  Events.warn ~fields:[ ("response", "trap"); ("note", "a\"b") ] "memsys.fault";
+  match Events.tail 1 with
+  | [ e ] ->
+    let line = Events.to_json_line e in
+    let contains sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length line && (String.sub line i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    List.iter
+      (fun sub -> Alcotest.(check bool) (Printf.sprintf "has %s" sub) true (contains sub))
+      [
+        "\"ts_us\":";
+        "\"level\":\"warn\"";
+        "\"event\":\"memsys.fault\"";
+        "\"response\":\"trap\"";
+        "\"note\":\"a\\\"b\"";
+      ];
+    (match Obs.Json.parse line with
+    | Ok _ -> ()
+    | Error err -> Alcotest.failf "line must be valid JSON: %s" err);
+    Alcotest.(check bool) "single line" true (not (String.contains line '\n'))
+  | l -> Alcotest.failf "expected one event, got %d" (List.length l)
+
+let test_file_sink () =
+  isolated @@ fun () ->
+  let path = Filename.temp_file "ccomp_events" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Events.set_sink (Some path);
+      Events.info ~fields:[ ("k", "v") ] "one";
+      Events.error "two";
+      Events.set_sink None;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int) "one JSON line per event" 2 (List.length lines);
+      List.iter
+        (fun line ->
+          match Obs.Json.parse line with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "sink line not JSON: %s" e)
+        lines)
+
+let suite =
+  [
+    Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
+    Alcotest.test_case "tail is oldest-first and bounded" `Quick test_tail_order;
+    Alcotest.test_case "ring overflow keeps the newest" `Quick test_ring_overflow;
+    Alcotest.test_case "level filtering" `Quick test_level_filter;
+    Alcotest.test_case "level string round-trip" `Quick test_level_strings;
+    Alcotest.test_case "JSON line shape" `Quick test_json_line_shape;
+    Alcotest.test_case "file sink appends JSON lines" `Quick test_file_sink;
+  ]

@@ -25,5 +25,9 @@ let () =
       ("fault", Test_fault.suite);
       ("par", Test_par.suite);
       ("obs", Test_obs.suite);
+      ("openmetrics", Test_openmetrics.suite);
+      ("window", Test_window.suite);
+      ("events", Test_events.suite);
+      ("serve", Test_serve.suite);
       ("integration", Test_integration.suite);
     ]

@@ -1,0 +1,156 @@
+(* OpenMetrics exposition conformance: name/label sanitisation,
+   [_total] suffixing, cumulative-bucket monotonicity, and a parse-back
+   round-trip of a live rendering. *)
+
+module Obs = Ccomp_obs.Obs
+module Om = Ccomp_obs.Openmetrics
+
+let isolated f =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_metrics false;
+      Obs.reset ())
+    (fun () ->
+      Obs.reset ();
+      Obs.set_metrics true;
+      f ())
+
+let test_sanitize_names () =
+  Alcotest.(check string) "dots to underscores" "samc_decode_us"
+    (Om.sanitize_metric_name "samc.decode_us");
+  Alcotest.(check string) "leading digit prefixed" "_9lives"
+    (Om.sanitize_metric_name "9lives");
+  Alcotest.(check string) "empty becomes underscore" "_" (Om.sanitize_metric_name "");
+  Alcotest.(check string) "colons survive in metric names" "ns:metric"
+    (Om.sanitize_metric_name "ns:metric");
+  Alcotest.(check string) "colons invalid in label names" "ns_metric"
+    (Om.sanitize_label_name "ns:metric");
+  Alcotest.(check string) "unicode squashed" "caf___hits"
+    (Om.sanitize_metric_name "caf\xc3\xa9.hits")
+
+let test_escape_label_value () =
+  Alcotest.(check string) "backslash, quote, newline" "a\\\\b\\\"c\\nd"
+    (Om.escape_label_value "a\\b\"c\nd");
+  Alcotest.(check string) "plain value untouched" "mips" (Om.escape_label_value "mips")
+
+let test_counter_name () =
+  Alcotest.(check string) "gains _total" "par_tasks_total" (Om.counter_name "par.tasks");
+  Alcotest.(check string) "exactly one _total" "par_tasks_total"
+    (Om.counter_name "par.tasks_total");
+  Alcotest.(check string) "sanitised then suffixed" "a_b_total" (Om.counter_name "a.b")
+
+let lines_of s = String.split_on_char '\n' s
+
+let has_line text line = List.mem line (lines_of text)
+
+let test_render_families () =
+  isolated @@ fun () ->
+  Obs.Counter.add (Obs.Counter.make "om.test.jobs") 5;
+  Obs.Gauge.set (Obs.Gauge.make "om.test.depth") 2.5;
+  let h = Obs.Histogram.make "om.test.us" in
+  List.iter (Obs.Histogram.observe h) [ 1.0; 2.0; 4.0; 800.0 ];
+  let text = Om.render () in
+  Alcotest.(check bool) "TYPE counter" true
+    (has_line text "# TYPE om_test_jobs counter");
+  Alcotest.(check bool) "counter sample suffixed" true
+    (has_line text "om_test_jobs_total 5");
+  Alcotest.(check bool) "TYPE gauge" true (has_line text "# TYPE om_test_depth gauge");
+  Alcotest.(check bool) "gauge sample" true (has_line text "om_test_depth 2.5");
+  Alcotest.(check bool) "TYPE histogram" true
+    (has_line text "# TYPE om_test_us histogram");
+  Alcotest.(check bool) "histogram count" true (has_line text "om_test_us_count 4");
+  Alcotest.(check bool) "histogram sum" true (has_line text "om_test_us_sum 807");
+  Alcotest.(check bool) "ends with EOF terminator" true
+    (let n = String.length text in
+     n >= 6 && String.sub text (n - 6) 6 = "# EOF\n")
+
+let test_bucket_monotonicity () =
+  isolated @@ fun () ->
+  let h = Obs.Histogram.make "om.mono.us" in
+  for i = 1 to 500 do
+    Obs.Histogram.observe h (float_of_int (i * 7))
+  done;
+  let text = Om.render () in
+  let samples =
+    match Om.parse text with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "self-render must parse: %s" e
+  in
+  let buckets =
+    List.filter (fun s -> s.Om.om_name = "om_mono_us_bucket") samples
+    |> List.map (fun s ->
+           match List.assoc_opt "le" s.Om.om_labels with
+           | Some le -> (le, s.Om.om_value)
+           | None -> Alcotest.fail "bucket without le label")
+  in
+  Alcotest.(check bool) "several buckets" true (List.length buckets >= 2);
+  let rec monotone = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+      Alcotest.(check bool) "cumulative counts never decrease" true (a <= b);
+      monotone rest
+    | _ -> ()
+  in
+  monotone buckets;
+  let le_inf, v_inf = List.nth buckets (List.length buckets - 1) in
+  Alcotest.(check string) "last bucket is +Inf" "+Inf" le_inf;
+  let count =
+    List.find (fun s -> s.Om.om_name = "om_mono_us_count") samples
+  in
+  Alcotest.(check (float 0.0)) "+Inf bucket equals _count" count.Om.om_value v_inf
+
+let test_parse_roundtrip () =
+  isolated @@ fun () ->
+  Obs.Counter.add (Obs.Counter.make "om.rt.jobs") 42;
+  Obs.Gauge.set (Obs.Gauge.make "om.rt.gauge") (-1.5);
+  let h = Obs.Histogram.make "om.rt.us" in
+  List.iter (Obs.Histogram.observe h) [ 3.0; 30.0 ];
+  let text = Om.render () in
+  let samples =
+    match Om.parse text with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "parse failed: %s" e
+  in
+  let value name =
+    match List.find_opt (fun s -> s.Om.om_name = name && s.Om.om_labels = []) samples with
+    | Some s -> s.Om.om_value
+    | None -> Alcotest.failf "sample %s missing" name
+  in
+  Alcotest.(check (float 0.0)) "counter value survives" 42.0 (value "om_rt_jobs_total");
+  Alcotest.(check (float 0.0)) "gauge value survives" (-1.5) (value "om_rt_gauge");
+  Alcotest.(check (float 0.0)) "hist count survives" 2.0 (value "om_rt_us_count");
+  Alcotest.(check (float 0.0)) "hist sum survives" 33.0 (value "om_rt_us_sum");
+  (* the full-registry render also carries every linked library's
+     metrics, still at zero in this fixture — the schema is stable *)
+  List.iter
+    (fun family ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s present in schema" family)
+        true
+        (List.exists
+           (fun s ->
+             String.length s.Om.om_name >= String.length family
+             && String.sub s.Om.om_name 0 (String.length family) = family)
+           samples))
+    [ "samc_"; "sadc_"; "memsys_"; "par_" ]
+
+let test_parse_rejects () =
+  (match Om.parse "foo 1\n" with
+  | Ok _ -> Alcotest.fail "missing # EOF must be an error"
+  | Error _ -> ());
+  (match Om.parse "# EOF\nfoo 1\n" with
+  | Ok _ -> Alcotest.fail "samples after # EOF must be an error"
+  | Error _ -> ());
+  match Om.parse "foo bar baz\n# EOF\n" with
+  | Ok _ -> Alcotest.fail "malformed sample line must be an error"
+  | Error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "metric/label name sanitisation" `Quick test_sanitize_names;
+    Alcotest.test_case "label value escaping" `Quick test_escape_label_value;
+    Alcotest.test_case "_total suffixing" `Quick test_counter_name;
+    Alcotest.test_case "rendered families and samples" `Quick test_render_families;
+    Alcotest.test_case "bucket monotonicity ending at +Inf" `Quick test_bucket_monotonicity;
+    Alcotest.test_case "parse-back round-trip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "parser rejects malformed input" `Quick test_parse_rejects;
+  ]

@@ -1,0 +1,137 @@
+(* Serve layer, socketless: wire-format round-trips, malformed-frame
+   rejection, HTTP routing, and job dispatch producing output
+   byte-identical to the offline codec path. The live end-to-end path
+   (real sockets, real daemon) is exercised by tools/serve_check.sh. *)
+
+module P = Ccomp_progen
+module Samc = Ccomp_core.Samc
+module Image = Ccomp_image.Image
+module Serve = Ccomp_serve.Serve
+
+let profile =
+  { (P.Profile.find "ijpeg") with P.Profile.name = "srv"; target_ops = 600; functions = 6 }
+
+let mips_code =
+  lazy
+    (let prog = P.Generator.generate ~seed:91L profile in
+     let _, layout = P.Mips_backend.lower prog in
+     layout.P.Layout.code)
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      match Serve.decode_request (Serve.encode_request req) with
+      | Ok got -> Alcotest.(check bool) "request survives the wire" true (got = req)
+      | Error e -> Alcotest.failf "round-trip failed: %s" e)
+    [
+      Serve.Compress { algo = Serve.Samc; isa = Serve.Mips; block_size = 32; code = "\x00\x01\xff" };
+      Serve.Compress { algo = Serve.Sadc; isa = Serve.X86; block_size = 64; code = "" };
+      Serve.Decompress "arbitrary \x00 bytes";
+      Serve.Ping;
+    ]
+
+let test_response_roundtrip () =
+  List.iter
+    (fun resp ->
+      match Serve.decode_response (Serve.encode_response resp) with
+      | Ok got -> Alcotest.(check bool) "response survives the wire" true (got = resp)
+      | Error e -> Alcotest.failf "round-trip failed: %s" e)
+    [ Serve.Payload "\x00binary\xff"; Serve.Payload ""; Serve.Failed "no such image" ]
+
+let expect_error name = function
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: malformed frame must be rejected" name
+
+let test_malformed_frames () =
+  expect_error "empty" (Serve.decode_request "");
+  expect_error "bad magic" (Serve.decode_request "XXXX\x03\x00\x00\x00\x00\x00\x00\x00\x00");
+  expect_error "short header" (Serve.decode_request "CCQ1\x03");
+  expect_error "length mismatch"
+    (Serve.decode_request ("CCQ1\x02\x00\x00\x00\x00\x00\x00\x00\x09short"));
+  expect_error "unknown opcode" (Serve.decode_request "CCQ1\x07\x00\x00\x00\x00\x00\x00\x00\x00");
+  expect_error "zero block size"
+    (Serve.decode_request ("CCQ1\x01\x00\x00\x00\x00\x00\x00\x00\x01x"));
+  expect_error "unknown algo"
+    (Serve.decode_request ("CCQ1\x01\x09\x00\x00\x20\x00\x00\x00\x01x"));
+  expect_error "response bad magic" (Serve.decode_response "CCQX\x00\x00\x00\x00\x00");
+  expect_error "response truncated" (Serve.decode_response "CCR1\x00\x00\x00\x00\x05ab")
+
+let test_ping () =
+  match Serve.handle_request ~jobs:1 Serve.Ping with
+  | Serve.Payload p -> Alcotest.(check string) "pong" "pong" p
+  | Serve.Failed e -> Alcotest.failf "ping failed: %s" e
+
+let test_compress_byte_identity () =
+  let code = Lazy.force mips_code in
+  let served =
+    match
+      Serve.handle_request ~jobs:1
+        (Serve.Compress { algo = Serve.Samc; isa = Serve.Mips; block_size = 32; code })
+    with
+    | Serve.Payload p -> p
+    | Serve.Failed e -> Alcotest.failf "served compress failed: %s" e
+  in
+  let offline =
+    let cfg = Samc.mips_config ~block_size:32 ~context_bits:2 ~quantize:false ~prune_below:0 () in
+    Image.write (Image.of_samc ~isa:Image.Mips (Samc.compress cfg code))
+  in
+  Alcotest.(check bool) "served image byte-identical to offline CLI path" true
+    (served = offline)
+
+let test_decompress_roundtrip () =
+  let code = Lazy.force mips_code in
+  let image =
+    match
+      Serve.handle_request ~jobs:1
+        (Serve.Compress { algo = Serve.Sadc; isa = Serve.Mips; block_size = 32; code })
+    with
+    | Serve.Payload p -> p
+    | Serve.Failed e -> Alcotest.failf "compress failed: %s" e
+  in
+  match Serve.handle_request ~jobs:1 (Serve.Decompress image) with
+  | Serve.Payload back -> Alcotest.(check bool) "decompress returns the program" true (back = code)
+  | Serve.Failed e -> Alcotest.failf "decompress failed: %s" e
+
+let test_decompress_garbage () =
+  match Serve.handle_request ~jobs:1 (Serve.Decompress "not an image at all") with
+  | Serve.Failed _ -> ()
+  | Serve.Payload _ -> Alcotest.fail "garbage must not decompress"
+
+let test_http_routing () =
+  (match Serve.http_response "/healthz" with
+  | Some (200, _, body) -> Alcotest.(check string) "healthz body" "ok\n" body
+  | _ -> Alcotest.fail "/healthz must be 200");
+  (match Serve.http_response "/metrics" with
+  | Some (200, ctype, body) ->
+    let prefix = "application/openmetrics-text" in
+    Alcotest.(check bool) "openmetrics content type" true
+      (String.length ctype >= String.length prefix
+      && String.sub ctype 0 (String.length prefix) = prefix);
+    (match Ccomp_obs.Openmetrics.parse body with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "/metrics body must parse: %s" e)
+  | _ -> Alcotest.fail "/metrics must be 200");
+  (match Serve.http_response "/snapshot" with
+  | Some (200, _, body) -> (
+    match Ccomp_obs.Obs.snapshot_of_json body with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "/snapshot body must parse: %s" e)
+  | _ -> Alcotest.fail "/snapshot must be 200");
+  (match Serve.http_response "/events?n=3" with
+  | Some (200, _, _) -> ()
+  | _ -> Alcotest.fail "/events must accept ?n=");
+  match Serve.http_response "/nope" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "unknown path must 404"
+
+let suite =
+  [
+    Alcotest.test_case "request wire round-trip" `Quick test_request_roundtrip;
+    Alcotest.test_case "response wire round-trip" `Quick test_response_roundtrip;
+    Alcotest.test_case "malformed frames rejected" `Quick test_malformed_frames;
+    Alcotest.test_case "ping" `Quick test_ping;
+    Alcotest.test_case "served compress is byte-identical" `Quick test_compress_byte_identity;
+    Alcotest.test_case "served decompress round-trips" `Quick test_decompress_roundtrip;
+    Alcotest.test_case "garbage decompress fails cleanly" `Quick test_decompress_garbage;
+    Alcotest.test_case "HTTP routing" `Quick test_http_routing;
+  ]

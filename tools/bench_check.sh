@@ -84,33 +84,48 @@ validate() { # file
   echo "bench_check: $file: structure OK ($(echo "$expected_keys" | grep -c .) keys)"
 }
 
+# Every key is evaluated — a regression never stops the walk early.
+# The verdict comes once, at the end, after the full summary table, so
+# a failing run still names every key that moved.
 compare() { # new baseline
   new=$1 base=$2
   validate "$new"
   check_schema "$base" "baseline"
   fail=0
+  rows=""
   for key in $expected_keys; do
-    case $key in *decompress*) ;; *) continue ;; esac
+    case $key in *decompress*) gated=yes ;; *) gated=no ;; esac
     old=$(json_get "$base" "$key")
     cur=$(json_get "$new" "$key")
-    # a key the baseline predates is not a regression — note it and move on
-    [ -n "$old" ] || {
-      echo "bench_check: baseline $base lacks $key (new since baseline), skipping" >&2
-      continue
-    }
-    awk -v o="$old" 'BEGIN { exit !(o + 0 > 0) }' || {
-      echo "bench_check: baseline $base: non-positive value '$old' for $key, skipping" >&2
-      continue
-    }
-    if awk -v o="$old" -v c="$cur" -v t="$THRESHOLD_PCT" \
-         'BEGIN { exit !(c + 0 < o * (100 - t) / 100) }'; then
-      echo "bench_check: REGRESSION $key: $cur MB/s < $old MB/s - ${THRESHOLD_PCT}%" >&2
-      fail=1
+    if [ -z "$old" ]; then
+      # a key the baseline predates is not a regression
+      old="-" status="new-since-baseline"
+    elif ! awk -v o="$old" 'BEGIN { exit !(o + 0 > 0) }'; then
+      status="bad-baseline-value"
+    elif awk -v o="$old" -v c="$cur" -v t="$THRESHOLD_PCT" \
+           'BEGIN { exit !(c + 0 < o * (100 - t) / 100) }'; then
+      if [ "$gated" = yes ]; then
+        status="REGRESSION"
+        fail=1
+      else
+        status="slower(ungated)"
+      fi
+    elif [ "$gated" = yes ]; then
+      status="ok"
     else
-      awk -v k="$key" -v o="$old" -v c="$cur" \
-        'BEGIN { printf "bench_check: ok %-42s %10.2f MB/s (baseline %.2f, %+.1f%%)\n", k, c, o, (c - o) / o * 100 }'
+      status="ok(ungated)"
     fi
+    rows="$rows$key|$cur|$old|$status
+"
   done
+  echo "bench_check: $new vs baseline $base (gate: decompress keys, -${THRESHOLD_PCT}%)"
+  printf '%s' "$rows" | awk -F'|' '
+    BEGIN { printf "  %-42s %12s %12s %9s  %s\n", "key", "new MB/s", "base MB/s", "delta", "status" }
+    {
+      d = "-"
+      if ($2 + 0 > 0 && $3 + 0 > 0) d = sprintf("%+.1f%%", ($2 - $3) / $3 * 100)
+      printf "  %-42s %12.2f %12s %9s  %s\n", $1, $2, $3, d, $4
+    }'
   if [ "$fail" -ne 0 ]; then
     echo "bench_check: FAILED — decompress throughput regressed >${THRESHOLD_PCT}% vs $base" >&2
     exit 1

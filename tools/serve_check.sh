@@ -1,0 +1,101 @@
+#!/bin/sh
+# End-to-end gate for the serve layer (lib/serve): boots a real daemon
+# on an ephemeral port, pushes one job through each protocol, and
+# checks the scrape surface. Machine-independent — structure and
+# byte-identity only, never timing numbers — so bin/dune wires it into
+# `dune runtest`.
+#
+# usage: serve_check.sh CCOMP_EXE
+#
+# Checks:
+#   1. `ccomp serve --port 0` boots and reports its bound port.
+#   2. a served compress job (`ccomp submit`) is byte-identical to the
+#      offline `ccomp compress` output, and a served decompress job
+#      round-trips the image back to the original bytes.
+#   3. /metrics is OpenMetrics: # TYPE families, _total counters,
+#      cumulative histogram buckets ending at le="+Inf", a final # EOF,
+#      and the registry-wide schema (samc_/sadc_/memsys_/par_/serve_
+#      families are all present, even the ones still at zero).
+#   4. /healthz answers ok; /events carries structured JSON lines for
+#      the jobs just served.
+#   5. SIGTERM stops the daemon promptly and gracefully (exit 0: the
+#      accept loop absorbs the break, closes the listener and flushes
+#      telemetry before returning).
+set -eu
+
+[ $# -eq 1 ] || { echo "usage: serve_check.sh CCOMP_EXE" >&2; exit 2; }
+case $1 in */*) ccomp=$1 ;; *) ccomp=./$1 ;; esac
+
+dir=$(mktemp -d /tmp/serve_check.XXXXXX)
+serve_pid=
+cleanup() {
+  [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+fail() { echo "serve_check: $*" >&2; exit 1; }
+
+"$ccomp" generate --profile go --scale 0.15 --seed 17 -o "$dir/code.bin" >/dev/null
+
+# -- 1: boot on an ephemeral port ---------------------------------------
+"$ccomp" serve --port 0 > "$dir/serve.log" 2>&1 &
+serve_pid=$!
+
+port=
+i=0
+while [ $i -lt 100 ]; do
+  port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$dir/serve.log")
+  [ -n "$port" ] && break
+  kill -0 "$serve_pid" 2>/dev/null || fail "daemon died at startup: $(cat "$dir/serve.log")"
+  sleep 0.1
+  i=$((i + 1))
+done
+[ -n "$port" ] || fail "daemon never reported its port: $(cat "$dir/serve.log")"
+
+# -- 2: served jobs are byte-identical to the offline CLI ---------------
+"$ccomp" compress --algo samc "$dir/code.bin" -o "$dir/offline.secf" >/dev/null
+"$ccomp" submit --port "$port" --op compress --algo samc \
+  "$dir/code.bin" -o "$dir/served.secf" >/dev/null
+cmp -s "$dir/offline.secf" "$dir/served.secf" \
+  || fail "served compress is not byte-identical to offline compress"
+
+"$ccomp" submit --port "$port" --op decompress "$dir/served.secf" -o "$dir/back.bin" >/dev/null
+cmp -s "$dir/code.bin" "$dir/back.bin" || fail "served decompress did not round-trip"
+
+# -- 3: /metrics is OpenMetrics with the full registry schema -----------
+"$ccomp" scrape --port "$port" /metrics > "$dir/metrics.txt"
+grep -q '^# TYPE [a-z_]* counter$' "$dir/metrics.txt" || fail "/metrics: no counter families"
+grep -q '^# TYPE [a-z_]* histogram$' "$dir/metrics.txt" || fail "/metrics: no histogram families"
+grep -q '_total [0-9]' "$dir/metrics.txt" || fail "/metrics: counters lack the _total suffix"
+grep -q '_bucket{le="+Inf"}' "$dir/metrics.txt" || fail "/metrics: histograms lack a +Inf bucket"
+tail -n 1 "$dir/metrics.txt" | grep -q '^# EOF$' || fail "/metrics: missing # EOF terminator"
+for family in samc_ sadc_ memsys_ par_ serve_; do
+  grep -q "^# TYPE $family" "$dir/metrics.txt" \
+    || fail "/metrics: registry family $family missing from the schema"
+done
+grep -q '^serve_jobs_compress_total 1$' "$dir/metrics.txt" \
+  || fail "/metrics: the served compress job was not counted"
+# cumulative buckets must be monotone non-decreasing within each family
+awk -F'[}] ' '
+  /_bucket\{le=/ {
+    split($0, a, "{"); name = a[1]
+    if (name == prev && $2 + 0 < last + 0) { print "non-monotone bucket in " name; exit 1 }
+    prev = name; last = $2
+  }' "$dir/metrics.txt" || fail "/metrics: cumulative buckets decrease"
+
+# -- 4: healthz + structured events -------------------------------------
+"$ccomp" scrape --port "$port" /healthz | grep -q '^ok$' || fail "/healthz did not answer ok"
+"$ccomp" scrape --port "$port" /events > "$dir/events.jsonl"
+grep -q '"event":"serve.job.done"' "$dir/events.jsonl" \
+  || fail "/events: no serve.job.done event for the jobs just served"
+grep -q '"ts_us":' "$dir/events.jsonl" || fail "/events: events lack timestamps"
+
+# -- 5: clean shutdown on SIGTERM ---------------------------------------
+kill -TERM "$serve_pid"
+status=0
+wait "$serve_pid" || status=$?
+serve_pid=
+[ "$status" -eq 0 ] || fail "daemon exit status $status on SIGTERM (want graceful 0)"
+
+echo "serve_check: OK (boot, byte-identity, OpenMetrics scrape, events, clean shutdown)"

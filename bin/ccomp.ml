@@ -9,6 +9,8 @@
      simulate    run the compressed-memory-system model on a profile
                  (optionally with refill faults: --fault-rate/--fault-response)
      fuzz        fault-injection campaign over every decoder
+     verify      differential testing of every redundant-implementation
+                 pair, plus golden-corpus format-drift checks
      stats       render a --metrics JSON snapshot as a report
                  (--diff BASELINE: per-metric deltas between snapshots)
      asm         assemble MIPS text into a raw code image
@@ -995,6 +997,178 @@ let disasm_cmd =
     (Cmd.info "disasm" ~doc:"Disassemble a raw code image.")
     Term.(ret (const run $ isa_arg $ input))
 
+(* --- verify ------------------------------------------------------------ *)
+
+module Verify = Ccomp_verify.Verify
+
+let verify_cmd =
+  let run pairs_csv profiles_csv scale seed block_size jobs golden bless golden_only fast
+      shrink_budget repro_dir metrics trace events =
+    let jobs = resolve_jobs jobs in
+    with_obs ~events ~metrics ~trace @@ fun () ->
+    let parse_csv s =
+      String.split_on_char ',' s |> List.map String.trim |> List.filter (fun x -> x <> "")
+    in
+    let parse_pairs s =
+      if s = "all" then Ok Verify.all_pairs
+      else
+        List.fold_left
+          (fun acc name ->
+            match (acc, Verify.pair_of_name name) with
+            | Error _, _ -> acc
+            | Ok _, (None | Some Verify.Golden) -> Error name
+            | Ok ps, Some p -> Ok (ps @ [ p ]))
+          (Ok []) (parse_csv s)
+    in
+    match parse_pairs pairs_csv with
+    | Error name ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown pair %S (expected kernel, parallel, checked, serve, roundtrip \
+                          or all)" name )
+    | Ok pairs -> (
+      let profiles = if fast then [ "gcc" ] else parse_csv profiles_csv in
+      let scale = if fast then 0.05 else scale in
+      match
+        List.find_opt
+          (fun p -> match Ccomp_progen.Profile.find p with _ -> false | exception Not_found -> true)
+          profiles
+      with
+      | Some bad ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown profile %S; available: %s" bad
+              (String.concat ", " (Ccomp_progen.Profile.names ())) )
+      | None -> (
+        let log = print_endline in
+        (* The golden corpus first: blessing rewrites it, checking is the
+           format-drift tripwire, and its inputs then join the pair sweep. *)
+        let golden_state =
+          match golden with
+          | None -> Ok (0, [], [])
+          | Some dir -> (
+            let entries =
+              if bless then begin
+                let es = Verify.bless_golden ~dir in
+                Printf.printf "blessed %d golden entries into %s\n" (List.length es) dir;
+                Ok es
+              end
+              else Verify.load_golden ~dir
+            in
+            match entries with
+            | Error e -> Error e
+            | Ok entries -> (
+              let checks, divs = Verify.check_golden ~log ~dir entries in
+              match Verify.golden_inputs ~dir entries with
+              | inputs -> Ok (checks, divs, inputs)
+              | exception Sys_error e -> Error e))
+        in
+        match golden_state with
+        | Error e -> `Error (false, "golden corpus: " ^ e)
+        | Ok (golden_checks, golden_divs, golden_inputs) ->
+          let inputs =
+            if golden_only then []
+            else
+              golden_inputs
+              @ Verify.progen_inputs ~profiles ~scale ~seed
+          in
+          let options = { Verify.jobs; block_size; shrink_budget } in
+          let report = Verify.run ~options ~log ~pairs inputs in
+          let divergences = golden_divs @ report.Verify.divergences in
+          List.iteri
+            (fun i d ->
+              match d.Verify.d_repro with
+              | None -> ()
+              | Some repro ->
+                let path =
+                  Filename.concat repro_dir (Printf.sprintf "verify-repro-%d.bin" (i + 1))
+                in
+                write_file path repro;
+                Printf.printf "wrote %s: %d-byte reproducer for %s %s\n" path
+                  (String.length repro)
+                  (Verify.pair_name d.Verify.d_pair)
+                  d.Verify.d_case)
+            divergences;
+          let checks = golden_checks + report.Verify.checks in
+          if divergences = [] then begin
+            Printf.printf "verify: %d checks, 0 divergences\n" checks;
+            `Ok ()
+          end
+          else
+            `Error
+              ( false,
+                Printf.sprintf "verify: %d checks, %d divergence(s)" checks
+                  (List.length divergences) )))
+  in
+  let pairs_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "pairs" ] ~docv:"CSV"
+          ~doc:
+            "Equivalence pairs to test: comma-separated subset of kernel, parallel, checked, \
+             serve, roundtrip — or all.")
+  in
+  let profiles_arg =
+    Arg.(
+      value & opt string "gcc,swim"
+      & info [ "profiles" ] ~docv:"CSV" ~doc:"Progen profiles to sweep (both ISAs each).")
+  in
+  let vscale_arg =
+    Arg.(
+      value & opt float 0.12
+      & info [ "scale" ] ~docv:"S" ~doc:"Program size scale factor for generated inputs.")
+  in
+  let golden_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "golden" ] ~docv:"DIR"
+          ~doc:
+            "Golden corpus directory: check its CRCs and format stability, and sweep its \
+             inputs too.")
+  in
+  let bless_arg =
+    Arg.(value & flag & info [ "bless" ] ~doc:"Regenerate the golden corpus before checking it.")
+  in
+  let golden_only_arg =
+    Arg.(
+      value & flag
+      & info [ "golden-only" ]
+          ~doc:"Only run the golden corpus integrity checks; skip the pair sweep.")
+  in
+  let fast_arg =
+    Arg.(
+      value & flag
+      & info [ "fast" ]
+          ~doc:"Smoke tier: one profile (gcc) at a small scale; overrides --profiles/--scale.")
+  in
+  let shrink_budget_arg =
+    Arg.(
+      value & opt int 60
+      & info [ "shrink-budget" ] ~docv:"N"
+          ~doc:"Predicate-call budget for shrinking each diverging input.")
+  in
+  let repro_dir_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "repro-dir" ] ~docv:"DIR" ~doc:"Where minimal reproducers are written.")
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ pairs_arg $ profiles_arg $ vscale_arg $ seed_arg $ block_size_arg $ jobs_arg
+       $ golden_arg $ bless_arg $ golden_only_arg $ fast_arg $ shrink_budget_arg $ repro_dir_arg
+       $ metrics_arg $ trace_out_arg $ events_arg))
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Differential verification: test every redundant-implementation pair (fast vs \
+          reference kernels, parallel vs serial, checked vs unchecked, served vs offline, \
+          round-trips) over generated programs and the golden corpus; shrink and report any \
+          divergence.")
+    term
+
 let () =
   (* SIGINT/SIGTERM raise Sys.Break, so every Fun.protect finaliser —
      in particular with_obs's metrics/trace/events flush — runs before
@@ -1008,7 +1182,7 @@ let () =
     Cmd.group info
       [
         generate_cmd; compress_cmd; decompress_cmd; info_cmd; ratios_cmd; simulate_cmd; fuzz_cmd;
-        stats_cmd; serve_cmd; submit_cmd; scrape_cmd; top_cmd; asm_cmd; disasm_cmd;
+        verify_cmd; stats_cmd; serve_cmd; submit_cmd; scrape_cmd; top_cmd; asm_cmd; disasm_cmd;
       ]
   in
   exit

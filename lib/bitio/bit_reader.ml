@@ -19,8 +19,19 @@ type t = {
    on-cost is a single in-cache increment per ~56 staged bits. *)
 let count_refills = true
 
+(* Width bounds are real argument checks, not asserts: a width of 63
+   or 64 would feed [lsl]/[lsr] shift amounts at or past [Sys.int_size],
+   where OCaml's behaviour is unspecified — the mask [(1 lsl width) - 1]
+   silently wraps instead of overflowing loudly. Keeping the check in
+   release builds (where [assert] may be compiled out) makes every
+   out-of-range width a typed [Invalid_argument] instead of garbage
+   bits. *)
+let check_width ~op ~max width =
+  if width < 0 || width > max then
+    invalid_arg (Printf.sprintf "Bit_reader.%s: width %d out of range [0, %d]" op width max)
+
 let create ?(start_bit = 0) data =
-  assert (start_bit >= 0);
+  if start_bit < 0 then invalid_arg "Bit_reader.create: negative start_bit";
   let r =
     {
       data;
@@ -68,13 +79,12 @@ let get_bit r =
     (r.acc lsr r.navail) land 1
   end
 
-let rec get_bits r width =
-  assert (width >= 0 && width <= 63);
+let rec get_bits_unchecked r width =
   if width = 0 then 0
   else if width > 32 then
     (* Two staged extractions still cover the full 63-bit range. *)
-    let hi = get_bits r (width - 32) in
-    (hi lsl 32) lor get_bits r 32
+    let hi = get_bits_unchecked r (width - 32) in
+    (hi lsl 32) lor get_bits_unchecked r 32
   else begin
     if r.navail < width then refill r;
     if r.navail >= width then begin
@@ -94,21 +104,25 @@ let rec get_bits r width =
     end
   end
 
+let get_bits r width =
+  check_width ~op:"get_bits" ~max:63 width;
+  get_bits_unchecked r width
+
 let peek_bits r width =
-  assert (width >= 0 && width <= 32);
+  check_width ~op:"peek_bits" ~max:32 width;
   if r.navail < width then refill r;
   if r.navail >= width then (r.acc lsr (r.navail - width)) land ((1 lsl width) - 1)
   else (r.acc land ((1 lsl r.navail) - 1)) lsl (width - r.navail)
 
 let skip_bits r width =
-  assert (width >= 0 && width <= 63);
+  check_width ~op:"skip_bits" ~max:63 width;
   if width <= r.navail then begin
     r.navail <- r.navail - width;
     r.pos <- r.pos + width
   end
-  else ignore (get_bits r width)
+  else ignore (get_bits_unchecked r width)
 
-let get_byte r = get_bits r 8
+let get_byte r = get_bits_unchecked r 8
 
 let align_byte r =
   let rem = r.pos land 7 in

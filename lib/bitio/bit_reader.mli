@@ -13,7 +13,8 @@ type t
 
 val create : ?start_bit:int -> string -> t
 (** [create data] reads from the beginning of [data]; [start_bit] (default 0)
-    skips that many leading bits. *)
+    skips that many leading bits.
+    @raise Invalid_argument on a negative [start_bit]. *)
 
 val pos : t -> int
 (** Bit position of the next bit to be read. *)
@@ -29,17 +30,22 @@ val get_bits : t -> int -> int
     The result is the raw bit pattern in the low [width] bits of the int;
     at [width = 63] (the full native int width) the top bit lands in the
     sign position, so the value may print as negative — compare patterns,
-    not magnitudes, at that width. Bits past the end of data read as 0. *)
+    not magnitudes, at that width. Bits past the end of data read as 0.
+    @raise Invalid_argument when [width] is outside [0, 63] — a real
+    check, not an assert, because wider widths reach shift amounts where
+    OCaml's [lsl]/[lsr] are unspecified and the extraction mask wraps. *)
 
 val peek_bits : t -> int -> int
 (** [peek_bits r width] returns the next [width] bits without consuming
     them. [0 <= width <= 32]. Positions past the end of data read as 0, so
     a peek near the end is still total — this is the lookahead primitive
-    of the table-driven Huffman decoder. *)
+    of the table-driven Huffman decoder.
+    @raise Invalid_argument when [width] is outside [0, 32]. *)
 
 val skip_bits : t -> int -> unit
 (** [skip_bits r width] advances past [width] bits ([0 <= width <= 63]),
-    the companion to {!peek_bits}. *)
+    the companion to {!peek_bits}.
+    @raise Invalid_argument when [width] is outside [0, 63]. *)
 
 val get_byte : t -> int
 (** Reads 8 bits. *)

@@ -24,13 +24,17 @@ let flush_bytes w =
   w.acc <- w.acc land ((1 lsl w.nacc) - 1)
 
 let put_bit w b =
-  assert (b = 0 || b = 1);
+  if b <> 0 && b <> 1 then invalid_arg (Printf.sprintf "Bit_writer.put_bit: bad bit %d" b);
   w.acc <- (w.acc lsl 1) lor b;
   w.nacc <- w.nacc + 1;
   if w.nacc >= 8 then flush_bytes w
 
+(* Like Bit_reader, the width bound is a real argument check rather than
+   an assert: widths past 62 would reach shift amounts where OCaml's
+   [lsl] is unspecified, so release builds must reject them too. *)
 let rec put_bits w ~value ~width =
-  assert (width >= 0 && width <= 63);
+  if width < 0 || width > 63 then
+    invalid_arg (Printf.sprintf "Bit_writer.put_bits: width %d out of range [0, 63]" width);
   if width > 32 then begin
     (* Split so each half fits the accumulator headroom. *)
     put_bits w ~value:(value lsr 32) ~width:(width - 32);
@@ -44,7 +48,8 @@ let rec put_bits w ~value ~width =
   end
 
 let put_byte w byte =
-  assert (byte >= 0 && byte < 256);
+  if byte < 0 || byte > 255 then
+    invalid_arg (Printf.sprintf "Bit_writer.put_byte: byte %d out of range" byte);
   if w.nacc = 0 then Buffer.add_char w.buf (Char.chr byte)
   else put_bits w ~value:byte ~width:8
 

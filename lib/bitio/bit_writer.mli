@@ -16,7 +16,8 @@ val byte_length : t -> int
 (** Number of bytes the current contents occupy (bits rounded up). *)
 
 val put_bit : t -> int -> unit
-(** [put_bit w b] appends bit [b] (0 or 1). *)
+(** [put_bit w b] appends bit [b] (0 or 1).
+    @raise Invalid_argument on any other value. *)
 
 val put_bits : t -> value:int -> width:int -> unit
 (** [put_bits w ~value ~width] appends the [width] low bits of [value],
@@ -24,10 +25,13 @@ val put_bits : t -> value:int -> width:int -> unit
     raw bit pattern: bits of [value] above [width] are ignored, and at
     [width = 63] the pattern may correspond to a negative int — the
     round-trip through {!Bit_reader.get_bits} preserves the pattern
-    exactly. *)
+    exactly.
+    @raise Invalid_argument when [width] is outside [0, 63] (a real
+    check, kept in release builds — see {!Bit_reader.get_bits}). *)
 
 val put_byte : t -> int -> unit
-(** Appends 8 bits. *)
+(** Appends 8 bits.
+    @raise Invalid_argument when the value is outside [0, 255]. *)
 
 val align_byte : t -> unit
 (** Pads with 0 bits to the next byte boundary (no-op when aligned). *)

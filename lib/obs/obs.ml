@@ -159,18 +159,35 @@ module Histogram = struct
     b.(i) <- b.(i) + 1;
     Mutex.unlock h.h_mutex
 
-  let count h = h.h_count
+  (* The mutable fields and bucket array are only coherent under
+     [h_mutex]: `_unlocked` readers are for callers that already hold it
+     (and for the single-domain fast paths below, each of which takes the
+     lock itself). Reading count/sum/buckets in separate unlocked steps
+     from another domain is a data race — it once let an OpenMetrics
+     render pair a bucket table with a count from a later observation,
+     breaking the "+Inf bucket equals _count" invariant mid-scrape. *)
+  let with_lock h f =
+    Mutex.lock h.h_mutex;
+    match f () with
+    | v ->
+      Mutex.unlock h.h_mutex;
+      v
+    | exception e ->
+      Mutex.unlock h.h_mutex;
+      raise e
 
-  let sum h = h.h_sum
+  let count h = with_lock h (fun () -> h.h_count)
 
-  let min_value h = if h.h_count = 0 then 0.0 else h.h_min
+  let sum h = with_lock h (fun () -> h.h_sum)
 
-  let max_value h = if h.h_count = 0 then 0.0 else h.h_max
+  let min_value h = with_lock h (fun () -> if h.h_count = 0 then 0.0 else h.h_min)
+
+  let max_value h = with_lock h (fun () -> if h.h_count = 0 then 0.0 else h.h_max)
 
   (* Nearest-rank percentile over the buckets, reported as the bucket's
      geometric midpoint clamped into [min, max] — exact for single-value
      histograms and within one bucket's relative error otherwise. *)
-  let percentile h q =
+  let percentile_unlocked h q =
     if h.h_count = 0 then 0.0
     else begin
       let rank =
@@ -187,12 +204,13 @@ module Histogram = struct
       Float.min h.h_max (Float.max h.h_min v)
     end
 
+  let percentile h q = with_lock h (fun () -> percentile_unlocked h q)
+
   (* Upper bound of bucket [i]: the smallest value that would land in
      bucket [i + 1]. *)
   let bucket_upper i = Float.pow 2.0 (float_of_int (i + 1 - zero_bucket) /. float_of_int sub)
 
-  let cumulative_buckets h =
-    Mutex.lock h.h_mutex;
+  let cumulative_buckets_unlocked h =
     let acc = ref [] in
     let cum = ref 0 in
     for i = 0 to n_buckets - 1 do
@@ -202,9 +220,18 @@ module Histogram = struct
         acc := (bucket_upper i, !cum) :: !acc
       end
     done;
-    let count = h.h_count in
-    Mutex.unlock h.h_mutex;
-    List.rev ((infinity, count) :: !acc)
+    List.rev ((infinity, h.h_count) :: !acc)
+
+  let cumulative_buckets h = with_lock h (fun () -> cumulative_buckets_unlocked h)
+
+  (* One consistent view for exporters: buckets, sum and count all come
+     from the same critical section, so an exposition built from an
+     [export] can never pair a stale count with fresher buckets. *)
+  type export = { ex_count : int; ex_sum : float; ex_buckets : (float * int) list }
+
+  let export h =
+    with_lock h (fun () ->
+        { ex_count = h.h_count; ex_sum = h.h_sum; ex_buckets = cumulative_buckets_unlocked h })
 
   let name h = h.h_name
 end
@@ -474,23 +501,22 @@ let snapshot () =
         if v > 0 then counters := (c.c_name, v) :: !counters
       | M_gauge g -> if Atomic.get g.g_touched then gauges := (g.g_name, Gauge.value g) :: !gauges
       | M_histogram h ->
-        Mutex.lock h.h_mutex;
         let stats =
-          if h.h_count = 0 then None
-          else
-            Some
-              {
-                hs_name = h.h_name;
-                hs_count = h.h_count;
-                hs_sum = h.h_sum;
-                hs_min = h.h_min;
-                hs_max = h.h_max;
-                hs_p50 = Histogram.percentile h 50.0;
-                hs_p95 = Histogram.percentile h 95.0;
-                hs_p99 = Histogram.percentile h 99.0;
-              }
+          Histogram.with_lock h (fun () ->
+              if h.h_count = 0 then None
+              else
+                Some
+                  {
+                    hs_name = h.h_name;
+                    hs_count = h.h_count;
+                    hs_sum = h.h_sum;
+                    hs_min = h.h_min;
+                    hs_max = h.h_max;
+                    hs_p50 = Histogram.percentile_unlocked h 50.0;
+                    hs_p95 = Histogram.percentile_unlocked h 95.0;
+                    hs_p99 = Histogram.percentile_unlocked h 99.0;
+                  })
         in
-        Mutex.unlock h.h_mutex;
         (match stats with Some s -> histograms := s :: !histograms | None -> ()))
     metrics;
   {

@@ -88,6 +88,15 @@ module Histogram : sig
       with [(infinity, count)] — the shape an OpenMetrics histogram
       exposition needs. Cumulative counts are non-decreasing. *)
 
+  type export = { ex_count : int; ex_sum : float; ex_buckets : (float * int) list }
+  (** One histogram read under one lock acquisition: [ex_buckets] is
+      {!cumulative_buckets} and its final [(infinity, n)] entry always
+      equals [ex_count]. Exporters must use this rather than separate
+      [count]/[sum]/[cumulative_buckets] calls — with other domains
+      observing concurrently, three separate reads can disagree. *)
+
+  val export : t -> export
+
   val name : t -> string
 end
 

@@ -123,10 +123,12 @@ let render () =
         counter_family emitted b name (float_of_int (Obs.Counter.value (Obs.Counter.make name)))
       | Obs.Gauge_kind -> gauge_family emitted b name (Obs.Gauge.value (Obs.Gauge.make name))
       | Obs.Histogram_kind ->
-        let h = Obs.Histogram.make name in
-        histogram_family emitted b name
-          ~buckets:(Obs.Histogram.cumulative_buckets h)
-          ~sum:(Obs.Histogram.sum h) ~count:(Obs.Histogram.count h))
+        (* one locked read: buckets, sum and count from the same critical
+           section, so the +Inf bucket always equals _count even while
+           other domains are observing *)
+        let e = Obs.Histogram.export (Obs.Histogram.make name) in
+        histogram_family emitted b name ~buckets:e.Obs.Histogram.ex_buckets
+          ~sum:e.Obs.Histogram.ex_sum ~count:e.Obs.Histogram.ex_count)
     (Obs.registered_metrics ());
   Buffer.add_string b "# EOF\n";
   Buffer.contents b

@@ -71,6 +71,19 @@ let read_be32 s pos =
   lor (Char.code s.[pos + 2] lsl 8)
   lor Char.code s.[pos + 3]
 
+let max_payload = 1 lsl 28 (* 256 MB: refuse absurd frames instead of allocating them *)
+
+type protocol_error =
+  | Frame_too_large of { limit : int; got : int }
+  | Truncated of string
+  | Malformed of string
+
+let protocol_error_to_string = function
+  | Frame_too_large { limit; got } ->
+    Printf.sprintf "frame too large: %d-byte payload exceeds the %d-byte limit" got limit
+  | Truncated what -> "truncated " ^ what
+  | Malformed what -> "malformed request: " ^ what
+
 let algo_tag = function (Samc : algo) -> 0 | Sadc -> 1
 
 let algo_of_tag = function 0 -> Some (Samc : algo) | 1 -> Some Sadc | _ -> None
@@ -89,11 +102,16 @@ let encode_request = function
   | Ping -> req_magic ^ "\x03\x00\x00" ^ be16 0 ^ be32 0
 
 let decode_request s =
-  if String.length s < req_header_len then Error "truncated request header"
-  else if String.sub s 0 4 <> req_magic then Error "bad request magic"
+  if String.length s < req_header_len then Error (Truncated "request header")
+  else if String.sub s 0 4 <> req_magic then Error (Malformed "bad request magic")
   else begin
     let payload_len = read_be32 s 9 in
-    if String.length s <> req_header_len + payload_len then Error "request length mismatch"
+    if payload_len > max_payload then
+      Error (Frame_too_large { limit = max_payload; got = payload_len })
+    else if String.length s < req_header_len + payload_len then
+      Error (Truncated "request payload")
+    else if String.length s > req_header_len + payload_len then
+      Error (Malformed "trailing bytes after payload")
     else
       let payload = String.sub s req_header_len payload_len in
       match Char.code s.[4] with
@@ -101,13 +119,13 @@ let decode_request s =
         match (algo_of_tag (Char.code s.[5]), isa_of_tag (Char.code s.[6])) with
         | Some algo, Some isa ->
           let block_size = read_be16 s 7 in
-          if block_size = 0 then Error "block size must be positive"
+          if block_size = 0 then Error (Malformed "block size must be positive")
           else Ok (Compress { algo; isa; block_size; code = payload })
-        | None, _ -> Error "unknown algorithm tag"
-        | _, None -> Error "unknown ISA tag")
+        | None, _ -> Error (Malformed "unknown algorithm tag")
+        | _, None -> Error (Malformed "unknown ISA tag"))
       | 2 -> Ok (Decompress payload)
       | 3 -> Ok Ping
-      | op -> Error (Printf.sprintf "unknown opcode %d" op)
+      | op -> Error (Malformed (Printf.sprintf "unknown opcode %d" op))
   end
 
 let encode_response = function
@@ -210,9 +228,15 @@ let http_response target =
 
 (* --- socket plumbing ---------------------------------------------------- *)
 
+(* Unix.read/write on a socket can return short OR raise EINTR at any
+   point (a signal landing mid-syscall); both must restart, not abort
+   the frame. *)
+let rec retry_intr f =
+  match f () with v -> v | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
+
 let rec write_all fd s pos len =
   if len > 0 then begin
-    let n = Unix.write_substring fd s pos len in
+    let n = retry_intr (fun () -> Unix.write_substring fd s pos len) in
     write_all fd s (pos + n) (len - n)
   end
 
@@ -220,37 +244,45 @@ let send fd s =
   write_all fd s 0 (String.length s);
   Obs.Counter.add m_bytes_out (String.length s)
 
-let read_exact fd n =
+let read_exact ~what fd n =
   let buf = Bytes.create n in
   let rec go pos =
     if pos >= n then Ok (Bytes.unsafe_to_string buf)
     else
-      match Unix.read fd buf pos (n - pos) with
-      | 0 -> Error "peer closed mid-frame"
+      match retry_intr (fun () -> Unix.read fd buf pos (n - pos)) with
+      | 0 -> Error (Truncated (Printf.sprintf "%s (peer closed after %d of %d bytes)" what pos n))
       | k -> go (pos + k)
   in
   go 0
 
-let max_payload = 1 lsl 28 (* 256 MB: refuse absurd frames instead of allocating them *)
-
 let handle_binary ~jobs fd first4 =
   let ( let* ) = Result.bind in
   let result =
-    let* rest = read_exact fd (req_header_len - 4) in
+    let* rest = read_exact ~what:"request header" fd (req_header_len - 4) in
     let header = first4 ^ rest in
     let payload_len = read_be32 header 9 in
-    if payload_len < 0 || payload_len > max_payload then Error "payload too large"
+    if payload_len > max_payload then
+      Error (Frame_too_large { limit = max_payload; got = payload_len })
     else
-      let* payload = read_exact fd payload_len in
+      let* payload = read_exact ~what:"request payload" fd payload_len in
       Obs.Counter.add m_bytes_in (req_header_len + payload_len);
       decode_request (header ^ payload)
   in
   let resp =
-    match result with Ok req -> handle_request ~jobs req | Error msg -> Failed msg
+    match result with
+    | Ok req -> handle_request ~jobs req
+    | Error pe ->
+      Events.warn ~fields:[ ("error", protocol_error_to_string pe) ] "serve.protocol_error";
+      Failed (protocol_error_to_string pe)
   in
   send fd (encode_response resp)
 
 let max_http_head = 8192
+
+let has_head_terminator s =
+  let n = String.length s in
+  let rec find i = i + 4 <= n && (String.sub s i 4 = "\r\n\r\n" || find (i + 1)) in
+  find 0
 
 let handle_http fd first4 =
   (* Read the request head (we never need a body on GET). *)
@@ -258,18 +290,9 @@ let handle_http fd first4 =
   Buffer.add_string b first4;
   let chunk = Bytes.create 512 in
   let rec fill () =
-    let s = Buffer.contents b in
-    if
-      Buffer.length b >= max_http_head
-      || (String.length s >= 4
-         &&
-         let rec find i =
-           i + 4 <= String.length s && (String.sub s i 4 = "\r\n\r\n" || find (i + 1))
-         in
-         find 0)
-    then ()
+    if Buffer.length b >= max_http_head || has_head_terminator (Buffer.contents b) then ()
     else
-      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      match retry_intr (fun () -> Unix.read fd chunk 0 (Bytes.length chunk)) with
       | 0 -> ()
       | n ->
         Buffer.add_subbytes b chunk 0 n;
@@ -284,14 +307,25 @@ let handle_http fd first4 =
     | None -> head
   in
   let status, ctype, body =
-    match String.split_on_char ' ' request_line with
-    | meth :: target :: _ when meth = "GET" || meth = "HEAD" -> (
-      match http_response target with
-      | Some r -> r
-      | None -> (404, "text/plain; charset=utf-8", "not found\n"))
-    | _ -> (400, "text/plain; charset=utf-8", "bad request\n")
+    if Buffer.length b >= max_http_head && not (has_head_terminator head) then
+      (* the peer never finished its head within the limit; answer with
+         413 instead of misparsing a truncated request line as a target *)
+      (413, "text/plain; charset=utf-8", "request head too large\n")
+    else
+      match String.split_on_char ' ' request_line with
+      | meth :: target :: _ when meth = "GET" || meth = "HEAD" -> (
+        match http_response target with
+        | Some r -> r
+        | None -> (404, "text/plain; charset=utf-8", "not found\n"))
+      | _ -> (400, "text/plain; charset=utf-8", "bad request\n")
   in
-  let reason = match status with 200 -> "OK" | 400 -> "Bad Request" | _ -> "Not Found" in
+  let reason =
+    match status with
+    | 200 -> "OK"
+    | 400 -> "Bad Request"
+    | 413 -> "Content Too Large"
+    | _ -> "Not Found"
+  in
   Events.debug
     ~fields:[ ("request", request_line); ("status", string_of_int status) ]
     "serve.http";
@@ -301,7 +335,7 @@ let handle_http fd first4 =
 
 let handle_connection ~jobs fd =
   Obs.Counter.incr m_connections;
-  match read_exact fd 4 with
+  match read_exact ~what:"connection preamble" fd 4 with
   | Error _ -> ()
   | Ok first4 ->
     if first4 = req_magic then handle_binary ~jobs fd first4 else handle_http fd first4
@@ -376,7 +410,7 @@ let read_until_eof fd =
   let b = Buffer.create 4096 in
   let chunk = Bytes.create 8192 in
   let rec go () =
-    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    match retry_intr (fun () -> Unix.read fd chunk 0 (Bytes.length chunk)) with
     | 0 -> Buffer.contents b
     | n ->
       Buffer.add_subbytes b chunk 0 n;

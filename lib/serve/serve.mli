@@ -38,9 +38,22 @@ type request =
 
 type response = Payload of string | Failed of string
 
+type protocol_error =
+  | Frame_too_large of { limit : int; got : int }
+      (** The frame declared a payload longer than the daemon will
+          allocate ([limit] is {!max_payload}). *)
+  | Truncated of string  (** The peer closed before the frame was complete. *)
+  | Malformed of string  (** Bad magic, tags, lengths or opcode. *)
+
+val protocol_error_to_string : protocol_error -> string
+
+val max_payload : int
+(** Largest request payload the daemon accepts (bytes); longer frames
+    are refused with {!Frame_too_large} before any allocation. *)
+
 val encode_request : request -> string
 
-val decode_request : string -> (request, string) result
+val decode_request : string -> (request, protocol_error) result
 (** Inverse of {!encode_request} on a complete request frame. *)
 
 val encode_response : response -> string
@@ -55,6 +68,13 @@ val http_response : string -> (int * string * string) option
 (** [http_response target] routes an HTTP request-target to
     [Some (status, content_type, body)], or [None] for an unknown
     path. *)
+
+val handle_connection : jobs:int -> Unix.file_descr -> unit
+(** Serve exactly one connection on an already-accepted descriptor:
+    sniff the 4-byte preamble, dispatch to the binary or HTTP handler,
+    write the response. Reads and writes retry over [EINTR] and short
+    transfers. Exposed so tests can drive the full framing path over a
+    socketpair without a live daemon. The descriptor is not closed. *)
 
 val run :
   ?host:string ->

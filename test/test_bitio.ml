@@ -71,6 +71,111 @@ let prop_roundtrip =
       let r = Bit_reader.create (Bit_writer.contents w) in
       List.for_all (fun (width, value) -> Bit_reader.get_bits r width = value) fields)
 
+(* --- edge-width behaviour against a naive bit-at-a-time reference ------ *)
+
+(* The reference reads MSB-first straight from the string, one bit per
+   step, zero past the end — the semantics the word-batched reader must
+   reproduce at every width including the 62/63-bit accumulator edge. *)
+let ref_bit data i =
+  if i < 8 * String.length data then (Char.code data.[i / 8] lsr (7 - (i land 7))) land 1 else 0
+
+let ref_bits data pos width =
+  let v = ref 0 in
+  for k = 0 to width - 1 do
+    v := (!v lsl 1) lor ref_bit data (pos + k)
+  done;
+  !v
+
+let test_exhaustive_edge_widths () =
+  let data = String.init 17 (fun i -> Char.chr ((i * 83) land 0xff)) in
+  (* every width 0..63, from every start offset 0..15, for data that
+     ends mid-read — covers full-accumulator, split (>32-bit) and
+     zero-extended end-of-data extractions *)
+  for start = 0 to 15 do
+    for width = 0 to 63 do
+      let r = Bit_reader.create ~start_bit:start data in
+      let got = Bit_reader.get_bits r width in
+      let want = ref_bits data start width in
+      if got <> want then
+        Alcotest.failf "get_bits start=%d width=%d: got %d want %d" start width got want;
+      Alcotest.(check int) "pos advances by width" (start + width) (Bit_reader.pos r);
+      if width <= 32 then begin
+        let r2 = Bit_reader.create ~start_bit:start data in
+        let peeked = Bit_reader.peek_bits r2 width in
+        if peeked <> want then
+          Alcotest.failf "peek_bits start=%d width=%d: got %d want %d" start width peeked want;
+        Alcotest.(check int) "peek consumes nothing" start (Bit_reader.pos r2)
+      end;
+      (* skip then read one bit must land where the reference says *)
+      let r3 = Bit_reader.create ~start_bit:start data in
+      Bit_reader.skip_bits r3 width;
+      Alcotest.(check int)
+        (Printf.sprintf "bit after skip %d@%d" width start)
+        (ref_bit data (start + width))
+        (Bit_reader.get_bit r3)
+    done
+  done
+
+let test_width_63_roundtrip () =
+  (* a 63-bit pattern with the top bit set occupies the sign position;
+     the pattern must still round-trip exactly *)
+  let patterns = [ -1; min_int; max_int; 0x5555_5555_5555_5555 land max_int lor min_int; 1; 0 ] in
+  let w = Bit_writer.create () in
+  List.iter (fun v -> Bit_writer.put_bits w ~value:v ~width:63) patterns;
+  let r = Bit_reader.create (Bit_writer.contents w) in
+  List.iteri
+    (fun i v ->
+      let got = Bit_reader.get_bits r 63 in
+      if got <> v then Alcotest.failf "63-bit pattern %d: got %x want %x" i got v)
+    patterns
+
+let test_width_out_of_range_rejected () =
+  let r = Bit_reader.create "\xff\xff" in
+  let inv name f = Alcotest.check_raises name (Invalid_argument "") (fun () ->
+    try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+  in
+  inv "get_bits 64" (fun () -> ignore (Bit_reader.get_bits r 64));
+  inv "get_bits -1" (fun () -> ignore (Bit_reader.get_bits r (-1)));
+  inv "peek_bits 33" (fun () -> ignore (Bit_reader.peek_bits r 33));
+  inv "peek_bits -1" (fun () -> ignore (Bit_reader.peek_bits r (-1)));
+  inv "skip_bits 64" (fun () -> Bit_reader.skip_bits r 64);
+  inv "create start_bit -1" (fun () -> ignore (Bit_reader.create ~start_bit:(-1) "x"));
+  let w = Bit_writer.create () in
+  inv "put_bits 64" (fun () -> Bit_writer.put_bits w ~value:0 ~width:64);
+  inv "put_bits -1" (fun () -> Bit_writer.put_bits w ~value:0 ~width:(-1));
+  inv "put_bit 2" (fun () -> Bit_writer.put_bit w 2);
+  inv "put_byte 256" (fun () -> Bit_writer.put_byte w 256);
+  (* the reader must still be usable after a rejected call *)
+  Alcotest.(check int) "reader state intact" 0xff (Bit_reader.get_byte r)
+
+let prop_mixed_ops_vs_reference =
+  (* random interleavings of get/peek/skip at random widths, including
+     unaligned starts and reads running past the end of data *)
+  QCheck.Test.make ~name:"mixed ops match naive reference" ~count:300
+    QCheck.(
+      triple (string_of_size Gen.(int_range 0 24)) (int_bound 16)
+        (small_list (pair (int_bound 3) (int_bound 63))))
+    (fun (data, start, ops) ->
+      let r = Bit_reader.create ~start_bit:start data in
+      let pos = ref start in
+      List.for_all
+        (fun (op, width) ->
+          match op with
+          | 0 ->
+            let ok = Bit_reader.get_bits r width = ref_bits data !pos width in
+            pos := !pos + width;
+            ok
+          | 1 when width <= 32 -> Bit_reader.peek_bits r width = ref_bits data !pos width
+          | 2 ->
+            Bit_reader.skip_bits r width;
+            pos := !pos + width;
+            Bit_reader.pos r = !pos
+          | _ ->
+            let ok = Bit_reader.get_bit r = ref_bit data !pos in
+            incr pos;
+            ok)
+        ops)
+
 let prop_bit_length =
   QCheck.Test.make ~name:"bit_length sums widths" ~count:200
     QCheck.(small_list (int_bound 30))
@@ -89,6 +194,10 @@ let suite =
     Alcotest.test_case "reads past end are zero" `Quick test_reader_past_end;
     Alcotest.test_case "start_bit offset" `Quick test_start_bit;
     Alcotest.test_case "writer reset" `Quick test_reset;
+    Alcotest.test_case "exhaustive edge widths vs reference" `Quick test_exhaustive_edge_widths;
+    Alcotest.test_case "63-bit sign-position round-trip" `Quick test_width_63_roundtrip;
+    Alcotest.test_case "out-of-range widths rejected" `Quick test_width_out_of_range_rejected;
+    QCheck_alcotest.to_alcotest prop_mixed_ops_vs_reference;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_bit_length;
   ]

@@ -29,5 +29,6 @@ let () =
       ("window", Test_window.suite);
       ("events", Test_events.suite);
       ("serve", Test_serve.suite);
+      ("verify", Test_verify.suite);
       ("integration", Test_integration.suite);
     ]

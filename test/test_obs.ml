@@ -149,6 +149,86 @@ let obs_identity_test name gen encode =
       let observed = encode input in
       String.equal plain observed)
 
+(* Multi-domain hammer: worker domains register fresh metrics and
+   observe histograms while other domains snapshot and render the
+   OpenMetrics exposition. Catches two regressions at once: any
+   unguarded registry access (crash/corruption under parallel
+   registration) and the histogram export race where a scrape paired a
+   bucket table with a count from a different moment — every parsed
+   render must satisfy `x_bucket{le="+Inf"} = x_count` per family. *)
+let test_multidomain_registration_during_snapshot () =
+  isolated @@ fun () ->
+  let module Openmetrics = Ccomp_obs.Openmetrics in
+  let rounds = 120 in
+  let stop = Atomic.make false in
+  let failures = Atomic.make 0 in
+  let writers =
+    Array.init 2 (fun w ->
+        Domain.spawn (fun () ->
+            for i = 0 to rounds - 1 do
+              let c = Obs.Counter.make (Printf.sprintf "hammer.w%d.c%d" w i) in
+              Obs.Counter.incr c;
+              let h = Obs.Histogram.make (Printf.sprintf "hammer.w%d.h%d" w (i mod 7)) in
+              for k = 1 to 20 do
+                Obs.Histogram.observe h (float_of_int k)
+              done
+            done))
+  in
+  let readers =
+    Array.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              let snap = Obs.snapshot () in
+              List.iter
+                (fun (hs : Obs.histogram_stats) ->
+                  if hs.Obs.hs_count < 0 then Atomic.incr failures)
+                snap.Obs.histograms;
+              match Openmetrics.parse (Openmetrics.render ()) with
+              | Error _ -> Atomic.incr failures
+              | Ok samples ->
+                (* per histogram family: +Inf bucket must equal _count *)
+                let counts = Hashtbl.create 16 and infs = Hashtbl.create 16 in
+                List.iter
+                  (fun (s : Openmetrics.sample) ->
+                    let n = s.Openmetrics.om_name in
+                    let has_suffix suf =
+                      let ln = String.length n and ls = String.length suf in
+                      ln > ls && String.sub n (ln - ls) ls = suf
+                    in
+                    if has_suffix "_count" then
+                      Hashtbl.replace counts
+                        (String.sub n 0 (String.length n - 6))
+                        s.Openmetrics.om_value
+                    else if
+                      has_suffix "_bucket"
+                      && List.assoc_opt "le" s.Openmetrics.om_labels = Some "+Inf"
+                    then
+                      Hashtbl.replace infs
+                        (String.sub n 0 (String.length n - 7))
+                        s.Openmetrics.om_value)
+                  samples;
+                Hashtbl.iter
+                  (fun fam inf ->
+                    match Hashtbl.find_opt counts fam with
+                    | Some c when c <> inf -> Atomic.incr failures
+                    | Some _ -> ()
+                    | None -> Atomic.incr failures)
+                  infs
+            done))
+  in
+  Array.iter Domain.join writers;
+  Atomic.set stop true;
+  Array.iter Domain.join readers;
+  Alcotest.(check int) "no torn snapshot or render under parallel registration" 0
+    (Atomic.get failures);
+  (* all registrations made it: every writer-registered counter exists *)
+  let snap = Obs.snapshot () in
+  let registered = List.length snap.Obs.counters in
+  Alcotest.(check bool)
+    (Printf.sprintf "all %d hammered counters registered (got %d)" (2 * rounds) registered)
+    true
+    (registered >= 2 * rounds)
+
 let word_string =
   let g =
     QCheck.Gen.(
@@ -178,6 +258,8 @@ let suite =
     Alcotest.test_case "reset clears values" `Quick test_reset_clears;
     Alcotest.test_case "timed records a trace slice" `Quick test_span_records;
     Alcotest.test_case "parallel increments lose nothing" `Quick test_parallel_increments;
+    Alcotest.test_case "registration hammered during snapshot/render" `Quick
+      test_multidomain_registration_during_snapshot;
     QCheck_alcotest.to_alcotest samc_identity;
     QCheck_alcotest.to_alcotest huffman_identity;
   ]

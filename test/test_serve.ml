@@ -22,7 +22,7 @@ let test_request_roundtrip () =
     (fun req ->
       match Serve.decode_request (Serve.encode_request req) with
       | Ok got -> Alcotest.(check bool) "request survives the wire" true (got = req)
-      | Error e -> Alcotest.failf "round-trip failed: %s" e)
+      | Error e -> Alcotest.failf "round-trip failed: %s" (Serve.protocol_error_to_string e))
     [
       Serve.Compress { algo = Serve.Samc; isa = Serve.Mips; block_size = 32; code = "\x00\x01\xff" };
       Serve.Compress { algo = Serve.Sadc; isa = Serve.X86; block_size = 64; code = "" };
@@ -54,7 +54,108 @@ let test_malformed_frames () =
   expect_error "unknown algo"
     (Serve.decode_request ("CCQ1\x01\x09\x00\x00\x20\x00\x00\x00\x01x"));
   expect_error "response bad magic" (Serve.decode_response "CCQX\x00\x00\x00\x00\x00");
-  expect_error "response truncated" (Serve.decode_response "CCR1\x00\x00\x00\x00\x05ab")
+  expect_error "response truncated" (Serve.decode_response "CCR1\x00\x00\x00\x00\x05ab");
+  (* the error is typed: a declared-oversize frame is Frame_too_large
+     even when no payload bytes follow *)
+  let be32 v = String.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff)) in
+  match Serve.decode_request ("CCQ1\x02\x00\x00\x00\x00" ^ be32 (Serve.max_payload + 1)) with
+  | Error (Serve.Frame_too_large { limit; got }) ->
+    Alcotest.(check int) "limit reported" Serve.max_payload limit;
+    Alcotest.(check int) "declared length reported" (Serve.max_payload + 1) got
+  | Error e ->
+    Alcotest.failf "oversize frame: wanted Frame_too_large, got %s"
+      (Serve.protocol_error_to_string e)
+  | Ok _ -> Alcotest.fail "oversize frame must be rejected"
+
+(* --- full framing path over a socketpair -------------------------------- *)
+
+let with_socketpair f =
+  let server, client = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close server with Unix.Unix_error _ -> ());
+      (try Unix.close client with Unix.Unix_error _ -> ()))
+    (fun () -> f server client)
+
+let read_all fd =
+  let b = Buffer.create 256 in
+  let chunk = Bytes.create 256 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents b
+    | n ->
+      Buffer.add_subbytes b chunk 0 n;
+      go ()
+  in
+  go ()
+
+(* Feed [raw] to a live handle_connection in [chunk]-byte writes
+   (default 1, so every server-side read returns a short transfer), then
+   collect whatever the server answered. Callers sending more than the
+   server will ever read must use large chunks: a flood of tiny writes
+   can exhaust the socket's send-buffer accounting and block the feeder
+   once the server stops reading. *)
+let drive_connection ?(chunk = 1) raw =
+  with_socketpair (fun server client ->
+      let feeder =
+        Domain.spawn (fun () ->
+            let n = String.length raw in
+            let pos = ref 0 in
+            while !pos < n do
+              let len = min chunk (n - !pos) in
+              pos := !pos + Unix.write_substring client raw !pos len
+            done;
+            Unix.shutdown client Unix.SHUTDOWN_SEND)
+      in
+      Serve.handle_connection ~jobs:1 server;
+      Unix.shutdown server Unix.SHUTDOWN_SEND;
+      let resp = read_all client in
+      Domain.join feeder;
+      resp)
+
+let test_partial_writes () =
+  (* a whole request delivered in 1-byte reads must still parse *)
+  let resp = drive_connection (Serve.encode_request Serve.Ping) in
+  match Serve.decode_response resp with
+  | Ok (Serve.Payload p) -> Alcotest.(check string) "pong over short transfers" "pong" p
+  | Ok (Serve.Failed e) -> Alcotest.failf "ping failed: %s" e
+  | Error e -> Alcotest.failf "bad response frame: %s" e
+
+let test_oversize_frame_refused () =
+  (* header declares a payload past max_payload; the daemon must answer
+     Failed without waiting for (or allocating) the payload *)
+  let be32 v = String.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff)) in
+  let header = "CCQ1\x02\x00\x00\x00\x00" ^ be32 (Serve.max_payload + 1) in
+  match Serve.decode_response (drive_connection header) with
+  | Ok (Serve.Failed msg) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "mentions the limit: %S" msg)
+      true
+      (String.length msg >= 15 && String.sub msg 0 15 = "frame too large")
+  | Ok (Serve.Payload _) -> Alcotest.fail "oversize frame must not succeed"
+  | Error e -> Alcotest.failf "bad response frame: %s" e
+
+let test_truncated_frame_refused () =
+  (* header promises 9 payload bytes, peer closes after 5 *)
+  let raw = "CCQ1\x02\x00\x00\x00\x00\x00\x00\x00\x09short" in
+  match Serve.decode_response (drive_connection raw) with
+  | Ok (Serve.Failed msg) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "mentions truncation: %S" msg)
+      true
+      (String.length msg >= 9 && String.sub msg 0 9 = "truncated")
+  | Ok (Serve.Payload _) -> Alcotest.fail "truncated frame must not succeed"
+  | Error e -> Alcotest.failf "bad response frame: %s" e
+
+let test_http_head_too_large () =
+  (* an HTTP head that never terminates within max_http_head gets 413,
+     not a misparse of the truncated request line *)
+  let raw = "GET /" ^ String.make 9000 'a' in
+  let resp = drive_connection ~chunk:4096 raw in
+  let prefix = "HTTP/1.0 413" in
+  Alcotest.(check bool) "413 on oversize head" true
+    (String.length resp >= String.length prefix
+    && String.sub resp 0 (String.length prefix) = prefix)
 
 let test_ping () =
   match Serve.handle_request ~jobs:1 Serve.Ping with
@@ -134,4 +235,10 @@ let suite =
     Alcotest.test_case "served decompress round-trips" `Quick test_decompress_roundtrip;
     Alcotest.test_case "garbage decompress fails cleanly" `Quick test_decompress_garbage;
     Alcotest.test_case "HTTP routing" `Quick test_http_routing;
+    Alcotest.test_case "framing survives 1-byte short transfers" `Quick test_partial_writes;
+    Alcotest.test_case "oversize frame refused before allocation" `Quick
+      test_oversize_frame_refused;
+    Alcotest.test_case "truncated frame reported as truncated" `Quick
+      test_truncated_frame_refused;
+    Alcotest.test_case "oversize HTTP head gets 413" `Quick test_http_head_too_large;
   ]

@@ -33,6 +33,12 @@ json_get() { # file key
   awk -F'"' -v k="$2" '$2 == k { v = $3; gsub(/[^0-9.eE+-]/, "", v); print v; exit }' "$1"
 }
 
+# Presence is separate from parseability: a key whose value is garbage
+# must not be mistaken for a key the baseline predates.
+json_has() { # file key
+  awk -F'"' -v k="$2" '$2 == k { found = 1; exit } END { exit !found }' "$1"
+}
+
 expected_keys='
 samc-mips.compress_serial_mbps
 samc-mips.compress_parallel_mbps
@@ -97,11 +103,14 @@ compare() { # new baseline
     case $key in *decompress*) gated=yes ;; *) gated=no ;; esac
     old=$(json_get "$base" "$key")
     cur=$(json_get "$new" "$key")
-    if [ -z "$old" ]; then
+    if ! json_has "$base" "$key"; then
       # a key the baseline predates is not a regression
       old="-" status="new-since-baseline"
-    elif ! awk -v o="$old" 'BEGIN { exit !(o + 0 > 0) }'; then
-      status="bad-baseline-value"
+    elif [ -z "$old" ] || ! awk -v o="$old" 'BEGIN { exit !(o + 0 > 0) }'; then
+      # a baseline that parses but carries garbage for a key means the
+      # gate cannot vouch for that key — that must fail, not pass
+      status="BAD-BASELINE-VALUE"
+      fail=1
     elif awk -v o="$old" -v c="$cur" -v t="$THRESHOLD_PCT" \
            'BEGIN { exit !(c + 0 < o * (100 - t) / 100) }'; then
       if [ "$gated" = yes ]; then
@@ -127,7 +136,7 @@ compare() { # new baseline
       printf "  %-42s %12.2f %12s %9s  %s\n", $1, $2, $3, d, $4
     }'
   if [ "$fail" -ne 0 ]; then
-    echo "bench_check: FAILED — decompress throughput regressed >${THRESHOLD_PCT}% vs $base" >&2
+    echo "bench_check: FAILED — decompress regression >${THRESHOLD_PCT}% or unusable baseline value (vs $base)" >&2
     exit 1
   fi
   echo "bench_check: PASS (no decompress regression >${THRESHOLD_PCT}% vs $base)"
@@ -146,7 +155,12 @@ case "${1:-}" in
     [ $# -eq 2 ] || usage
     case $2 in */*) exe=$2 ;; *) exe=./$2 ;; esac
     out=$(mktemp /tmp/bench_smoke.XXXXXX.json)
+    # EXIT alone does not cover signals in every shell: an interrupted
+    # run must still remove its temp file and exit nonzero
     trap 'rm -f "$out"' EXIT
+    trap 'exit 130' INT
+    trap 'exit 143' TERM
+    trap 'exit 129' HUP
     "$exe" --emit-json "$out" --scale 0.05 --min-time 0.01 --jobs 2 >/dev/null
     validate "$out"
     ;;
@@ -158,6 +172,9 @@ case "${1:-}" in
     baseline=${1:-$root/BENCH_PR2.json}
     out=$(mktemp /tmp/bench_full.XXXXXX.json)
     trap 'rm -f "$out"' EXIT
+    trap 'exit 130' INT
+    trap 'exit 143' TERM
+    trap 'exit 129' HUP
     (cd "$root" && dune exec bench/main.exe -- --emit-json "$out" --min-time 0.5)
     compare "$out" "$baseline"
     ;;

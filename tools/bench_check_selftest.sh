@@ -1,0 +1,129 @@
+#!/bin/sh
+# Self-test for bench_check.sh's verdict logic: the gate is only a gate
+# if it exits nonzero on every unusable input, so each scenario here
+# pins an exit status against synthetic fixtures (no dune, no real
+# benchmark run — safe for `dune runtest`).
+#
+# usage: bench_check_selftest.sh [BENCH_CHECK]
+set -eu
+
+check=${1:-$(dirname "$0")/bench_check.sh}
+[ -r "$check" ] || { echo "bench_check_selftest: cannot read $check" >&2; exit 2; }
+
+dir=$(mktemp -d /tmp/bench_selftest.XXXXXX)
+trap 'rm -rf "$dir"' EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
+trap 'exit 129' HUP
+
+keys='
+samc-mips.compress_serial_mbps
+samc-mips.compress_parallel_mbps
+samc-mips.decompress_serial_mbps
+samc-mips.decompress_parallel_mbps
+samc-mips.decompress_ref_mbps
+sadc-mips.compress_serial_mbps
+sadc-mips.compress_parallel_mbps
+sadc-mips.decompress_serial_mbps
+sadc-mips.decompress_parallel_mbps
+byte-huffman.compress_serial_mbps
+byte-huffman.compress_parallel_mbps
+byte-huffman.decompress_mbps
+byte-huffman.decompress_tree_mbps
+'
+
+# emit_fixture FILE KEY=VALUE...: a ccomp-bench-v1 file with every
+# expected key at 100.0 except the listed overrides.
+emit_fixture() {
+  file=$1
+  shift
+  {
+    echo '{'
+    echo '  "schema": "ccomp-bench-v1",'
+    for key in $keys; do
+      v=100.0
+      for override in "$@"; do
+        case $override in "$key="*) v=${override#*=} ;; esac
+      done
+      echo "  \"$key\": $v,"
+    done
+    echo '  "end": 0'
+    echo '}'
+  } > "$file"
+}
+
+failures=0
+
+# expect NAME WANT(ok|fail) CMD...: run the gate, compare the verdict.
+expect() {
+  name=$1 want=$2
+  shift 2
+  status=0
+  "$@" > "$dir/last.log" 2>&1 || status=$?
+  case $want in
+    ok)   bad=$([ "$status" -eq 0 ] || echo y) ;;
+    fail) bad=$([ "$status" -ne 0 ] || echo y) ;;
+  esac
+  if [ -n "$bad" ]; then
+    echo "bench_check_selftest: FAIL [$name]: exit $status, wanted $want" >&2
+    sed 's/^/    /' "$dir/last.log" >&2
+    failures=$((failures + 1))
+  else
+    echo "bench_check_selftest: ok [$name] (exit $status)"
+  fi
+}
+
+emit_fixture "$dir/good.json"
+emit_fixture "$dir/base.json"
+
+expect "identical runs pass" ok \
+  sh "$check" --compare "$dir/good.json" "$dir/base.json"
+
+expect "validate accepts a complete file" ok \
+  sh "$check" --validate "$dir/good.json"
+
+# gated regression: a decompress key 50% under baseline
+emit_fixture "$dir/slow.json" "samc-mips.decompress_serial_mbps=50.0"
+expect "decompress regression fails" fail \
+  sh "$check" --compare "$dir/slow.json" "$dir/base.json"
+
+# ungated: compress may slow down without failing the gate
+emit_fixture "$dir/slowc.json" "samc-mips.compress_serial_mbps=50.0"
+expect "compress slowdown is ungated" ok \
+  sh "$check" --compare "$dir/slowc.json" "$dir/base.json"
+
+# a baseline carrying garbage for a gated key must fail, not pass:
+# the gate cannot claim "no regression" against a number it cannot read
+emit_fixture "$dir/badbase.json" "sadc-mips.decompress_parallel_mbps=oops"
+expect "corrupt baseline value fails" fail \
+  sh "$check" --compare "$dir/good.json" "$dir/badbase.json"
+
+emit_fixture "$dir/zerobase.json" "byte-huffman.decompress_mbps=0"
+expect "zero baseline value fails" fail \
+  sh "$check" --compare "$dir/good.json" "$dir/zerobase.json"
+
+expect "missing baseline fails" fail \
+  sh "$check" --compare "$dir/good.json" "$dir/does-not-exist.json"
+
+: > "$dir/empty.json"
+expect "empty baseline fails" fail \
+  sh "$check" --compare "$dir/good.json" "$dir/empty.json"
+
+echo '{"schema": "some-other-schema"}' > "$dir/alien.json"
+expect "wrong schema fails" fail \
+  sh "$check" --compare "$dir/good.json" "$dir/alien.json"
+
+# mid-table parse failure: the new run is missing a key entirely
+emit_fixture "$dir/partial.json"
+grep -v 'byte-huffman.decompress_tree_mbps' "$dir/partial.json" > "$dir/partial2.json"
+expect "new run missing a key fails" fail \
+  sh "$check" --compare "$dir/partial2.json" "$dir/base.json"
+
+expect "unreadable baseline fails" fail \
+  sh "$check" --compare "$dir/good.json" "$dir"
+
+if [ "$failures" -ne 0 ]; then
+  echo "bench_check_selftest: FAILED ($failures scenario(s))" >&2
+  exit 1
+fi
+echo "bench_check_selftest: OK (11 scenarios)"

@@ -28,11 +28,30 @@ case $1 in */*) ccomp=$1 ;; *) ccomp=./$1 ;; esac
 
 dir=$(mktemp -d /tmp/serve_check.XXXXXX)
 serve_pid=
+# Runs on EVERY exit path — success, `fail`, set -e aborts and signals —
+# and must never leave a daemon behind: TERM first, then a bounded wait,
+# then KILL. The `|| :` guards keep set -e from cutting cleanup short,
+# and the saved status makes sure cleanup itself never masks the
+# script's verdict.
 cleanup() {
-  [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null
+  status=$?
+  if [ -n "$serve_pid" ]; then
+    kill "$serve_pid" 2>/dev/null || :
+    i=0
+    while kill -0 "$serve_pid" 2>/dev/null && [ "$i" -lt 20 ]; do
+      sleep 0.1
+      i=$((i + 1))
+    done
+    kill -KILL "$serve_pid" 2>/dev/null || :
+    wait "$serve_pid" 2>/dev/null || :
+  fi
   rm -rf "$dir"
+  exit "$status"
 }
 trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
+trap 'exit 129' HUP
 
 fail() { echo "serve_check: $*" >&2; exit 1; }
 

@@ -20,6 +20,9 @@
      submit      send one compress/decompress job to a daemon
      scrape      GET an HTTP path from a daemon (e.g. /metrics)
      top         live terminal dashboard over a daemon's /snapshot
+     chaos       seeded socket-level chaos campaign against a daemon:
+                 slowloris, truncation, resets, overload floods —
+                 asserts liveness, typed sheds, byte-identical jobs
 
    compress, decompress, simulate and fuzz accept --metrics FILE (write
    the lib/obs metrics snapshot as JSON), --trace FILE (write a Chrome
@@ -807,17 +810,30 @@ let port_arg ~default =
   Arg.(value & opt int default & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (serve: 0 = ephemeral).")
 
 let serve_cmd =
-  let run host port jobs workers metrics trace events =
+  let run host port jobs workers queue_cap idle_timeout io_timeout drain allow_crash metrics trace
+      events =
     let jobs = resolve_jobs jobs in
     with_obs ~events ~metrics ~trace @@ fun () ->
     (* the daemon IS the observability surface: metrics and the event
        ring are always live while it runs *)
     Obs.set_metrics true;
     Events.set_enabled true;
+    let cfg =
+      {
+        Serve.host;
+        port;
+        jobs;
+        workers = max 1 workers;
+        queue_cap = max 1 queue_cap;
+        idle_timeout_s = idle_timeout;
+        io_timeout_s = io_timeout;
+        drain_s = drain;
+        allow_crash_op = allow_crash;
+      }
+    in
     match
-      Serve.run ~host ~port ~jobs ~workers
-        ~on_ready:(fun p -> Printf.printf "ccomp serve: listening on %s:%d\n%!" host p)
-        ()
+      Serve.run cfg ~on_ready:(fun p ->
+          Printf.printf "ccomp serve: listening on %s:%d\n%!" host p)
     with
     | () -> `Ok ()
     | exception Unix.Unix_error (e, fn, _) ->
@@ -825,25 +841,68 @@ let serve_cmd =
   in
   let workers_arg =
     Arg.(
-      value & opt int 1
+      value & opt int 2
       & info [ "workers" ] ~docv:"N"
-          ~doc:"Acceptor domains sharing the listening socket (each job still fans out over --jobs).")
+          ~doc:
+            "Worker domains, each with its own bounded connection queue (each job still fans out \
+             over --jobs).")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Per-worker queue bound; connections beyond it are shed with a typed overload reply.")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "idle-timeout" ] ~docv:"SECS"
+          ~doc:"Close a connection that sends nothing for this long.")
+  in
+  let io_timeout_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "io-timeout" ] ~docv:"SECS"
+          ~doc:"Budget for reading one request frame / writing one response (bounds slowloris peers).")
+  in
+  let drain_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "drain" ] ~docv:"SECS"
+          ~doc:"On SIGTERM: finish queued jobs for up to this long, then shed the rest and exit.")
+  in
+  let crash_op_arg =
+    Arg.(
+      value & flag
+      & info [ "unsafe-crash-op" ]
+          ~doc:
+            "Honour the crash-worker opcode (chaos testing: kills a worker domain to exercise \
+             supervision). Never enable in production.")
   in
   let term =
     Term.(
       ret
-        (const run $ host_arg $ port_arg ~default:7070 $ jobs_arg $ workers_arg $ metrics_arg
+        (const run $ host_arg $ port_arg ~default:7070 $ jobs_arg $ workers_arg $ queue_cap_arg
+       $ idle_timeout_arg $ io_timeout_arg $ drain_arg $ crash_op_arg $ metrics_arg
        $ trace_out_arg $ events_arg))
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the compression daemon: length-prefixed compress/decompress jobs plus /metrics \
-          (OpenMetrics), /healthz, /events and /snapshot over HTTP/1.0 on one port.")
+          (OpenMetrics), /healthz, /events and /snapshot over HTTP/1.0 on one port. Overload-safe: \
+          bounded queues with typed shed replies, per-request deadlines, per-connection i/o \
+          budgets, graceful drain on SIGTERM, supervised workers.")
     term
 
+let timeout_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:"Connect/read/write budget — a dead or wedged daemon errors instead of hanging.")
+
 let submit_cmd =
-  let run host port op algo isa block_size input output =
+  let run host port timeout deadline_ms retries op algo isa block_size input output =
     let data = read_file input in
     let req =
       match op with
@@ -858,7 +917,7 @@ let submit_cmd =
       | "decompress" -> Serve.Decompress data
       | _ -> Serve.Ping
     in
-    match Serve.request ~host ~port req with
+    match Serve.request ~timeout_s:timeout ~deadline_ms ~retries ~host ~port req with
     | Error e -> `Error (false, "submit: " ^ e)
     | Ok payload ->
       let path =
@@ -878,11 +937,25 @@ let submit_cmd =
       & info [ "op" ] ~docv:"OP" ~doc:"Job type: compress or decompress.")
   in
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  let deadline_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline carried in the frame header; the daemon answers `deadline \
+             expired' instead of finishing late work (0 = none).")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retry transport errors and typed overload replies with jittered backoff.")
+  in
   let term =
     Term.(
       ret
-        (const run $ host_arg $ port_arg ~default:7070 $ op_arg $ algo_arg $ isa_arg
-       $ block_size_arg $ input $ output_arg))
+        (const run $ host_arg $ port_arg ~default:7070 $ timeout_arg $ deadline_arg $ retries_arg
+       $ op_arg $ algo_arg $ isa_arg $ block_size_arg $ input $ output_arg))
   in
   Cmd.v
     (Cmd.info "submit"
@@ -890,8 +963,8 @@ let submit_cmd =
     term
 
 let scrape_cmd =
-  let run host port target =
-    match Serve.http_get ~host ~port target with
+  let run host port timeout target =
+    match Serve.http_get ~timeout_s:timeout ~host ~port target with
     | Error e -> `Error (false, "scrape: " ^ e)
     | Ok (200, body) ->
       print_string body;
@@ -905,12 +978,21 @@ let scrape_cmd =
   Cmd.v
     (Cmd.info "scrape"
        ~doc:"Fetch one HTTP endpoint (/metrics, /healthz, /events, /snapshot) from a daemon.")
-    Term.(ret (const run $ host_arg $ port_arg ~default:7070 $ target))
+    Term.(ret (const run $ host_arg $ port_arg ~default:7070 $ timeout_arg $ target))
 
 let top_cmd =
-  let run host port interval frames window plain =
+  let run host port interval frames window plain timeout =
     match
-      Top.run { Top.host; port; interval_s = interval; frames; window_s = window; plain }
+      Top.run
+        {
+          Top.host;
+          port;
+          interval_s = interval;
+          frames;
+          window_s = window;
+          plain;
+          timeout_s = timeout;
+        }
     with
     | Ok () -> `Ok ()
     | Error e -> `Error (false, "top: " ^ e)
@@ -934,13 +1016,74 @@ let top_cmd =
     Term.(
       ret
         (const run $ host_arg $ port_arg ~default:7070 $ interval_arg $ frames_arg $ window_arg
-       $ plain_arg))
+       $ plain_arg $ timeout_arg))
   in
   Cmd.v
     (Cmd.info "top"
        ~doc:
          "Live dashboard over a running daemon: windowed rates, histogram percentiles and the \
           event tail.")
+    term
+
+let chaos_cmd =
+  let run host port seed rounds flood timeout crash metrics events =
+    with_obs ~events ~metrics ~trace:None @@ fun () ->
+    Obs.set_metrics true;
+    Events.set_enabled true;
+    let cfg =
+      {
+        Ccomp_fault.Net_chaos.host;
+        port;
+        seed;
+        rounds;
+        flood;
+        timeout_s = timeout;
+        crash_workers = crash;
+      }
+    in
+    match Ccomp_fault.Net_chaos.run cfg with
+    | Error e -> `Error (false, "chaos: " ^ e)
+    | Ok report -> (
+      List.iter print_endline (Ccomp_fault.Net_chaos.report_lines report);
+      match Ccomp_fault.Net_chaos.passed cfg report with
+      | Ok () ->
+        Printf.printf "chaos: PASS (replay with --seed %d)\n" seed;
+        `Ok ()
+      | Error why -> `Error (false, "chaos: FAIL: " ^ why))
+  in
+  let rounds_arg =
+    Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"N" ~doc:"Repetitions of the attack mix.")
+  in
+  let flood_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "flood" ] ~docv:"N"
+          ~doc:
+            "Hold N silent connections open per round to force queue-full shedding (pick N > \
+             workers * queue-cap; 0 = skip).")
+  in
+  let crash_arg =
+    Arg.(
+      value & flag
+      & info [ "crash-workers" ]
+          ~doc:
+            "Also send the crash-worker opcode (the daemon must be running with \
+             --unsafe-crash-op) to exercise worker supervision.")
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg ~default:7070 $ seed_arg $ rounds_arg $ flood_arg
+       $ timeout_arg $ crash_arg $ metrics_arg $ events_arg))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded socket-level chaos campaign against a live daemon: slowloris, mid-frame \
+          truncation, connection churn, RST aborts, oversized frames, overload floods and \
+          deadline probes, with byte-identity checks on every completed job. Exits non-zero \
+          unless the daemon stays live and sheds with typed replies; any failure replays from \
+          the printed seed.")
     term
 
 (* --- asm / disasm ------------------------------------------------------- *)
@@ -1182,7 +1325,8 @@ let () =
     Cmd.group info
       [
         generate_cmd; compress_cmd; decompress_cmd; info_cmd; ratios_cmd; simulate_cmd; fuzz_cmd;
-        verify_cmd; stats_cmd; serve_cmd; submit_cmd; scrape_cmd; top_cmd; asm_cmd; disasm_cmd;
+        verify_cmd; stats_cmd; serve_cmd; submit_cmd; scrape_cmd; top_cmd; chaos_cmd; asm_cmd;
+        disasm_cmd;
       ]
   in
   exit

@@ -1,6 +1,7 @@
 module Prng = Ccomp_util.Prng
 module Decode_error = Ccomp_util.Decode_error
 module Obs = Ccomp_obs.Obs
+module Events = Ccomp_obs.Events
 
 (* Campaign outcomes as metrics: one counter per disposition, summed
    across codecs, so a fuzz run's `--metrics` dump shows
@@ -32,6 +33,7 @@ type codec = {
 
 type report = {
   codec_name : string;
+  seed : int;
   trials : int;
   faults_per_trial : int;
   detected : int;
@@ -72,8 +74,18 @@ let run ?(faults_per_trial = 1) ?kinds ?(jobs = 1) ~seed ~trials codec =
     Obs.Counter.add m_recovered !recovered;
     Obs.Counter.add m_miscompared !miscompared
   end;
+  Events.info
+    ~fields:
+      [
+        ("codec", codec.name);
+        ("seed", string_of_int seed);
+        ("trials", string_of_int trials);
+        ("miscompared", string_of_int !miscompared);
+      ]
+    "fault.campaign";
   {
     codec_name = codec.name;
+    seed;
     trials;
     faults_per_trial;
     detected = !detected;
@@ -87,11 +99,13 @@ let sweep ?kinds ~seed ~trials ~fault_counts codec =
     (fun count -> run ~faults_per_trial:count ?kinds ~seed:(seed + count) ~trials codec)
     fault_counts
 
+(* the seed rides in every row so any failure line alone is enough to
+   replay the exact campaign that produced it *)
 let report_row r =
-  Printf.sprintf "%-14s %7d %6d %9d %10d %12d%s" r.codec_name r.trials r.faults_per_trial
-    r.detected r.recovered r.miscompared
+  Printf.sprintf "%-14s %10d %7d %6d %9d %10d %12d%s" r.codec_name r.seed r.trials
+    r.faults_per_trial r.detected r.recovered r.miscompared
     (if r.integrity_checked then "" else "  (integrity off)")
 
 let report_header =
-  Printf.sprintf "%-14s %7s %6s %9s %10s %12s" "codec" "trials" "faults" "detected"
+  Printf.sprintf "%-14s %10s %7s %6s %9s %10s %12s" "codec" "seed" "trials" "faults" "detected"
     "recovered" "miscompared"

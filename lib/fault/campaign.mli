@@ -30,6 +30,7 @@ type codec = {
 
 type report = {
   codec_name : string;
+  seed : int;  (** the seed this campaign ran with — replays it exactly *)
   trials : int;
   faults_per_trial : int;
   detected : int;

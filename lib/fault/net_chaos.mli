@@ -1,0 +1,70 @@
+(** Socket-level chaos against a live [ccomp serve] daemon.
+
+    Where {!Campaign} damages stored images, this harness damages the
+    {e transport}: it replays, deterministically from one seed, the
+    ways a network peer goes bad — slowloris writers that drip one
+    byte per 50–150 ms, frames truncated mid-payload, connect-and-hang-up
+    churn, [SO_LINGER 0] resets mid-frame, frames declaring
+    payloads past [max_payload], an overload flood that fills every
+    worker queue, 1 ms-deadline probes, and (opt-in) the crash-worker
+    opcode — with well-formed jobs interleaved throughout.
+
+    The contract it checks is the ISSUE-6 acceptance criterion: the
+    daemon {e never} deadlocks or dies; every job that completes is
+    byte-identical to the local oracle ({!Ccomp_serve.Serve.handle_request},
+    the daemon's own dispatch); overload produces {e typed}
+    [Overloaded] replies rather than stalls; expired deadlines produce
+    typed [Deadline_expired] replies.
+
+    Everything random draws from one {!Ccomp_util.Prng.t} seeded by
+    [config.seed], and the seed rides in the report and every emitted
+    event, so any failure replays exactly. *)
+
+type config = {
+  host : string;
+  port : int;
+  seed : int;  (** drives the whole attack mix; logged everywhere *)
+  rounds : int;  (** repetitions of the attack mix *)
+  flood : int;
+      (** silent connections held open per round to force queue-full
+          shedding; [0] skips the flood (and its assertion) *)
+  timeout_s : float;  (** chaos-side budget per connect/read/write *)
+  crash_workers : bool;
+      (** send the crash-worker opcode — requires a daemon started
+          with [--unsafe-crash-op] *)
+}
+
+val default_config : config
+(** [127.0.0.1:7070], seed 1, 3 rounds, no flood, 5 s timeouts, no
+    crash ops. *)
+
+type report = {
+  seed : int;
+  valid_jobs : int;
+  byte_identical : int;  (** served reply = local oracle, byte for byte *)
+  mismatched : int;  (** corruption — any nonzero fails {!passed} *)
+  shed_typed : int;  (** typed [Overloaded] replies received *)
+  deadline_replies : int;  (** typed [Deadline_expired] replies received *)
+  deadline_probes : int;
+  transport_errors : int;  (** connects/reads the chaos side lost — expected *)
+  slowloris : int;
+  truncations : int;
+  oversize : int;
+  churn : int;
+  resets : int;
+  crash_ops : int;
+  alive_after : bool;  (** [/healthz] answered 200 after the last round *)
+}
+
+val run : config -> (report, string) result
+(** Execute the campaign against a live daemon. [Error] only when no
+    daemon answers [/healthz] before the first attack — everything the
+    daemon does {e during} the campaign is evidence, not an error. *)
+
+val passed : config -> report -> (unit, string) result
+(** The acceptance gate: alive after, zero mismatches, at least one
+    byte-identical completion, a typed shed if [flood > 0], and a
+    typed deadline reply if any probe ran. *)
+
+val report_lines : report -> string list
+(** Human-readable summary, seed first. *)

@@ -139,6 +139,42 @@ let set_sink path =
       (match !sink with Some oc -> close_out_noerr oc | None -> ());
       sink := Option.map (fun p -> open_out_gen [ Open_append; Open_creat ] 0o644 p) path)
 
+(* A sink file from a process killed mid-write ends in a torn line:
+   the per-event flush means every earlier line is complete, but the
+   final one may stop anywhere. Read-back therefore accepts exactly
+   one unparseable line, and only at the end — a bad line with valid
+   JSON after it is real corruption and must be reported, not
+   tolerated. *)
+let load_sink_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> Result.Error e
+  | ic ->
+    let lines =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let acc = ref [] in
+          (try
+             while true do
+               acc := input_line ic :: !acc
+             done
+           with End_of_file -> ());
+          List.rev !acc)
+    in
+    let lines = List.filter (fun l -> String.trim l <> "") lines in
+    let n = List.length lines in
+    let ok = ref [] and err = ref None in
+    List.iteri
+      (fun i line ->
+        if !err = None then
+          match Obs.Json.parse line with
+          | Result.Ok _ -> ok := line :: !ok
+          | Result.Error e ->
+            if i = n - 1 then () (* torn final line: expected crash evidence *)
+            else err := Some (Printf.sprintf "corrupt record on line %d: %s" (i + 1) e))
+      lines;
+    (match !err with Some e -> Result.Error e | None -> Result.Ok (List.rev !ok))
+
 let tail_json n =
   let b = Buffer.create 512 in
   List.iter

@@ -72,6 +72,13 @@ val set_sink : string option -> unit
     crashed process still leaves evidence). [set_sink None] closes the
     current sink. *)
 
+val load_sink_file : string -> (string list, string) result
+(** Read a sink file back as its complete JSON lines. Because the sink
+    flushes per event, a process killed mid-write (SIGTERM, crash) can
+    tear only the {e final} line — so exactly one unparseable trailing
+    line is silently dropped, while an unparseable line with valid
+    records after it is corruption and returns [Error]. *)
+
 val to_json_line : event -> string
 (** One-line JSON object: [{"ts_us":…,"level":"warn","event":"…",…}]
     with each field as a string member. No trailing newline. *)

@@ -2,15 +2,30 @@
    HTTP observability), codecs shared verbatim with the offline CLI so
    served output is byte-identical.
 
-   Concurrency model: [workers] domains each run the accept loop on the
-   shared listening socket (accept(2) is safe to share); inside a job,
-   block-level codec work fans out over the lib/par pool. The metrics
+   Concurrency model (overload-safe by construction):
+
+     acceptor (main domain)
+       accept -> admission: bounded per-shard queue, or shed with a
+       typed overload reply (CCR1 status 2 / HTTP 503). Accepts never
+       stall on a slow client: the acceptor only ever does a
+       non-blocking best-effort write when shedding.
+     worker domains (one per shard)
+       pop -> per-connection budgets (idle timeout on the first byte,
+       an i/o deadline per frame) -> job dispatch with the request's
+       deadline enforced before, during and after decode. A worker
+       that crashes is logged, counted in serve.worker_restarts_total
+       and respawned in place; the daemon never dies with it.
+
+   SIGTERM/SIGINT switch the daemon into drain: stop accepting, let
+   workers finish the queued jobs within the drain budget, shed the
+   rest with typed overload replies, then join and flush. The metrics
    registry and event ring are Domain-safe, so every handler publishes
    freely. *)
 
 module Obs = Ccomp_obs.Obs
 module Events = Ccomp_obs.Events
 module Openmetrics = Ccomp_obs.Openmetrics
+module Prng = Ccomp_util.Prng
 module Samc = Ccomp_core.Samc
 module Sadc = Ccomp_core.Sadc
 module Image = Ccomp_image.Image
@@ -23,14 +38,21 @@ type request =
   | Compress of { algo : algo; isa : isa; block_size : int; code : string }
   | Decompress of string
   | Ping
+  | Crash_worker
 
-type response = Payload of string | Failed of string
+type response =
+  | Payload of string
+  | Failed of string
+  | Overloaded of string
+  | Deadline_expired of string
+
+exception Worker_crashed
 
 let req_magic = "CCQ1"
 
 let resp_magic = "CCR1"
 
-let req_header_len = 13
+let req_header_len = 17
 
 let resp_header_len = 9
 
@@ -51,6 +73,20 @@ let m_bytes_in = Obs.Counter.make "serve.bytes_in"
 let m_bytes_out = Obs.Counter.make "serve.bytes_out"
 
 let m_job_us = Obs.Histogram.make "serve.job_us"
+
+let m_shed = Obs.Counter.make "serve.shed_total"
+
+let m_deadline_expired = Obs.Counter.make "serve.deadline_expired_total"
+
+let m_worker_restarts = Obs.Counter.make "serve.worker_restarts_total"
+
+let m_io_timeouts = Obs.Counter.make "serve.io_timeouts"
+
+let m_queue_wait_us = Obs.Histogram.make "serve.queue_wait_us"
+
+let m_inflight = Obs.Gauge.make "serve.inflight"
+
+let inflight = Atomic.make 0
 
 (* --- framing ------------------------------------------------------------ *)
 
@@ -77,12 +113,14 @@ type protocol_error =
   | Frame_too_large of { limit : int; got : int }
   | Truncated of string
   | Malformed of string
+  | Timed_out of string
 
 let protocol_error_to_string = function
   | Frame_too_large { limit; got } ->
     Printf.sprintf "frame too large: %d-byte payload exceeds the %d-byte limit" got limit
   | Truncated what -> "truncated " ^ what
   | Malformed what -> "malformed request: " ^ what
+  | Timed_out what -> "i/o timeout: " ^ what
 
 let algo_tag = function (Samc : algo) -> 0 | Sadc -> 1
 
@@ -92,20 +130,27 @@ let isa_tag = function Mips -> 0 | X86 -> 1
 
 let isa_of_tag = function 0 -> Some Mips | 1 -> Some X86 | _ -> None
 
-let encode_request = function
-  | Compress { algo; isa; block_size; code } ->
+let encode_request ?(deadline_ms = 0) req =
+  let frame ~op ~algo ~isa ~block payload =
     req_magic
-    ^ Printf.sprintf "%c%c%c" (Char.chr 1) (Char.chr (algo_tag algo)) (Char.chr (isa_tag isa))
-    ^ be16 block_size ^ be32 (String.length code) ^ code
-  | Decompress data ->
-    req_magic ^ "\x02\x00\x00" ^ be16 0 ^ be32 (String.length data) ^ data
-  | Ping -> req_magic ^ "\x03\x00\x00" ^ be16 0 ^ be32 0
+    ^ Printf.sprintf "%c%c%c" (Char.chr op) (Char.chr algo) (Char.chr isa)
+    ^ be16 block ^ be32 deadline_ms
+    ^ be32 (String.length payload)
+    ^ payload
+  in
+  match req with
+  | Compress { algo; isa; block_size; code } ->
+    frame ~op:1 ~algo:(algo_tag algo) ~isa:(isa_tag isa) ~block:block_size code
+  | Decompress data -> frame ~op:2 ~algo:0 ~isa:0 ~block:0 data
+  | Ping -> frame ~op:3 ~algo:0 ~isa:0 ~block:0 ""
+  | Crash_worker -> frame ~op:4 ~algo:0 ~isa:0 ~block:0 ""
 
 let decode_request s =
   if String.length s < req_header_len then Error (Truncated "request header")
   else if String.sub s 0 4 <> req_magic then Error (Malformed "bad request magic")
   else begin
-    let payload_len = read_be32 s 9 in
+    let deadline_ms = read_be32 s 9 in
+    let payload_len = read_be32 s 13 in
     if payload_len > max_payload then
       Error (Frame_too_large { limit = max_payload; got = payload_len })
     else if String.length s < req_header_len + payload_len then
@@ -120,17 +165,22 @@ let decode_request s =
         | Some algo, Some isa ->
           let block_size = read_be16 s 7 in
           if block_size = 0 then Error (Malformed "block size must be positive")
-          else Ok (Compress { algo; isa; block_size; code = payload })
+          else Ok (Compress { algo; isa; block_size; code = payload }, deadline_ms)
         | None, _ -> Error (Malformed "unknown algorithm tag")
         | _, None -> Error (Malformed "unknown ISA tag"))
-      | 2 -> Ok (Decompress payload)
-      | 3 -> Ok Ping
+      | 2 -> Ok (Decompress payload, deadline_ms)
+      | 3 -> Ok (Ping, deadline_ms)
+      | 4 -> Ok (Crash_worker, deadline_ms)
       | op -> Error (Malformed (Printf.sprintf "unknown opcode %d" op))
   end
 
-let encode_response = function
-  | Payload data -> resp_magic ^ "\x00" ^ be32 (String.length data) ^ data
-  | Failed msg -> resp_magic ^ "\x01" ^ be32 (String.length msg) ^ msg
+let encode_response resp =
+  let frame status payload = resp_magic ^ String.make 1 (Char.chr status) ^ be32 (String.length payload) ^ payload in
+  match resp with
+  | Payload data -> frame 0 data
+  | Failed msg -> frame 1 msg
+  | Overloaded msg -> frame 2 msg
+  | Deadline_expired msg -> frame 3 msg
 
 let decode_response s =
   if String.length s < resp_header_len then Error "truncated response header"
@@ -143,8 +193,28 @@ let decode_response s =
       match Char.code s.[4] with
       | 0 -> Ok (Payload payload)
       | 1 -> Ok (Failed payload)
+      | 2 -> Ok (Overloaded payload)
+      | 3 -> Ok (Deadline_expired payload)
       | st -> Error (Printf.sprintf "unknown status %d" st)
   end
+
+(* --- deadlines ---------------------------------------------------------- *)
+
+(* Deadlines are absolute [Obs.now_us] instants; [None] never expires.
+   The CCQ1 deadline_ms field is relative to the moment the daemon
+   finished reading the frame — a propagation-friendly budget that
+   needs no clock agreement between client and server. *)
+
+let expired = function None -> false | Some d -> Obs.now_us () > d
+
+let deadline_after_s = function
+  | None -> None
+  | Some seconds -> Some (Obs.now_us () +. (seconds *. 1e6))
+
+let deadline_reply ~at =
+  Obs.Counter.incr m_deadline_expired;
+  Events.warn ~fields:[ ("at", at) ] "serve.deadline_expired";
+  Deadline_expired (Printf.sprintf "deadline expired %s" at)
 
 (* --- job dispatch ------------------------------------------------------- *)
 
@@ -165,7 +235,7 @@ let compress_job ~jobs ~algo ~isa ~block_size code =
     let cfg = Sadc.default_config ~block_size () in
     Image.write (Image.of_sadc_x86 (Sadc.X86.compress_image ~jobs cfg code))
 
-let handle_request ~jobs req =
+let handle_request ?deadline_us ~jobs req =
   let job kind f =
     let (resp : response), dt = Obs.timed ~cat:"serve" ("serve.job." ^ kind) f in
     if Obs.metrics_enabled () then Obs.Histogram.observe m_job_us (dt *. 1e6);
@@ -173,6 +243,7 @@ let handle_request ~jobs req =
     | Failed msg ->
       Obs.Counter.incr m_jobs_failed;
       Events.warn ~fields:[ ("kind", kind); ("error", msg) ] "serve.job.failed"
+    | Overloaded _ | Deadline_expired _ -> () (* counted at creation *)
     | Payload p ->
       Events.debug
         ~fields:[ ("kind", kind); ("bytes", string_of_int (String.length p)) ]
@@ -181,21 +252,35 @@ let handle_request ~jobs req =
   in
   match req with
   | Ping -> Payload "pong"
+  | Crash_worker ->
+    (* deliberately escapes the per-connection handler: the supervised
+       worker loop books a restart — this is the chaos harness's way of
+       killing a worker domain from the outside *)
+    raise Worker_crashed
   | Compress { algo; isa; block_size; code } ->
     Obs.Counter.incr m_jobs_compress;
     job "compress" (fun () ->
-        match compress_job ~jobs ~algo ~isa ~block_size code with
-        | image -> Payload image
-        | exception e -> Failed (Printexc.to_string e))
+        if expired deadline_us then deadline_reply ~at:"before compress"
+        else
+          match compress_job ~jobs ~algo ~isa ~block_size code with
+          | image ->
+            if expired deadline_us then deadline_reply ~at:"during compress" else Payload image
+          | exception e -> Failed (Printexc.to_string e))
   | Decompress data ->
     Obs.Counter.incr m_jobs_decompress;
     job "decompress" (fun () ->
-        match Image.read data with
-        | Error e -> Failed ("cannot read image: " ^ e)
-        | Ok image -> (
-          match Image.decompress ~jobs image with
-          | code -> Payload code
-          | exception e -> Failed (Printexc.to_string e)))
+        if expired deadline_us then deadline_reply ~at:"before decode"
+        else
+          match Image.read data with
+          | Error e -> Failed ("cannot read image: " ^ e)
+          | Ok image -> (
+            if expired deadline_us then deadline_reply ~at:"before decompress"
+            else
+              match Image.decompress ~jobs image with
+              | code ->
+                if expired deadline_us then deadline_reply ~at:"during decompress"
+                else Payload code
+              | exception e -> Failed (Printexc.to_string e)))
 
 (* --- HTTP --------------------------------------------------------------- *)
 
@@ -228,54 +313,108 @@ let http_response target =
 
 (* --- socket plumbing ---------------------------------------------------- *)
 
-(* Unix.read/write on a socket can return short OR raise EINTR at any
-   point (a signal landing mid-syscall); both must restart, not abort
-   the frame. *)
-let rec retry_intr f =
-  match f () with v -> v | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
+(* Reads and writes carry an optional absolute deadline, enforced with
+   SO_RCVTIMEO/SO_SNDTIMEO re-armed to the remaining budget before each
+   syscall — so a slowloris peer trickling one byte per timeout window
+   still hits the frame deadline. EINTR (a signal mid-syscall) restarts
+   the transfer; EAGAIN/EWOULDBLOCK means the timeout fired. *)
 
-let rec write_all fd s pos len =
-  if len > 0 then begin
-    let n = retry_intr (fun () -> Unix.write_substring fd s pos len) in
-    write_all fd s (pos + n) (len - n)
-  end
+let arm ~send fd deadline_us =
+  match deadline_us with
+  | None -> true
+  | Some d ->
+    let remaining = (d -. Obs.now_us ()) /. 1e6 in
+    if remaining <= 0.0 then false
+    else begin
+      (try
+         Unix.setsockopt_float fd
+           (if send then Unix.SO_SNDTIMEO else Unix.SO_RCVTIMEO)
+           (max remaining 0.001)
+       with Unix.Unix_error _ | Invalid_argument _ -> ());
+      true
+    end
 
-let send fd s =
-  write_all fd s 0 (String.length s);
-  Obs.Counter.add m_bytes_out (String.length s)
-
-let read_exact ~what fd n =
+let read_exact ?deadline_us ~what fd n =
   let buf = Bytes.create n in
   let rec go pos =
     if pos >= n then Ok (Bytes.unsafe_to_string buf)
+    else if not (arm ~send:false fd deadline_us) then Error (Timed_out what)
     else
-      match retry_intr (fun () -> Unix.read fd buf pos (n - pos)) with
+      match Unix.read fd buf pos (n - pos) with
       | 0 -> Error (Truncated (Printf.sprintf "%s (peer closed after %d of %d bytes)" what pos n))
       | k -> go (pos + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Error (Timed_out what)
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+        Error (Truncated (Printf.sprintf "%s (connection reset)" what))
   in
   go 0
 
-let handle_binary ~jobs fd first4 =
+let write_all ?deadline_us ?(what = "write") fd s =
+  let n = String.length s in
+  let rec go pos =
+    if pos >= n then Ok ()
+    else if not (arm ~send:true fd deadline_us) then Error (Timed_out what)
+    else
+      match Unix.write_substring fd s pos (n - pos) with
+      | k -> go (pos + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Error (Timed_out what)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        Error (Truncated (Printf.sprintf "%s (peer closed)" what))
+  in
+  go 0
+
+let send ?deadline_us fd s =
+  let r = write_all ?deadline_us ~what:"response write" fd s in
+  (match r with
+  | Ok () -> Obs.Counter.add m_bytes_out (String.length s)
+  | Error (Timed_out _) ->
+    Obs.Counter.incr m_io_timeouts;
+    Events.warn ~fields:[ ("what", "response write") ] "serve.io_timeout"
+  | Error _ -> ());
+  r
+
+let handle_binary ?io_timeout_s ?(allow_crash_op = false) ~jobs fd first4 =
   let ( let* ) = Result.bind in
+  (* one i/o window for the whole request frame: a peer may be slow,
+     but the header plus payload must arrive within the budget *)
+  let read_deadline = deadline_after_s io_timeout_s in
   let result =
-    let* rest = read_exact ~what:"request header" fd (req_header_len - 4) in
+    let* rest = read_exact ?deadline_us:read_deadline ~what:"request header" fd (req_header_len - 4) in
     let header = first4 ^ rest in
-    let payload_len = read_be32 header 9 in
+    let payload_len = read_be32 header 13 in
     if payload_len > max_payload then
       Error (Frame_too_large { limit = max_payload; got = payload_len })
     else
-      let* payload = read_exact ~what:"request payload" fd payload_len in
+      let* payload = read_exact ?deadline_us:read_deadline ~what:"request payload" fd payload_len in
       Obs.Counter.add m_bytes_in (req_header_len + payload_len);
       decode_request (header ^ payload)
   in
   let resp =
     match result with
-    | Ok req -> handle_request ~jobs req
+    | Ok (Crash_worker, _) when not allow_crash_op ->
+      Events.warn "serve.crash_op_refused";
+      Failed "crash op not enabled (start the daemon with --unsafe-crash-op)"
+    | Ok (req, deadline_ms) ->
+      let deadline_us =
+        if deadline_ms > 0 then Some (Obs.now_us () +. (float_of_int deadline_ms *. 1e3))
+        else None
+      in
+      handle_request ?deadline_us ~jobs req
     | Error pe ->
-      Events.warn ~fields:[ ("error", protocol_error_to_string pe) ] "serve.protocol_error";
+      (match pe with
+      | Timed_out _ ->
+        Obs.Counter.incr m_io_timeouts;
+        Events.warn ~fields:[ ("error", protocol_error_to_string pe) ] "serve.io_timeout"
+      | _ -> Events.warn ~fields:[ ("error", protocol_error_to_string pe) ] "serve.protocol_error");
       Failed (protocol_error_to_string pe)
   in
-  send fd (encode_response resp)
+  (* the response gets a fresh window — a large result legitimately
+     takes longer to write than the request took to read *)
+  ignore (send ?deadline_us:(deadline_after_s io_timeout_s) fd (encode_response resp))
 
 let max_http_head = 8192
 
@@ -284,113 +423,420 @@ let has_head_terminator s =
   let rec find i = i + 4 <= n && (String.sub s i 4 = "\r\n\r\n" || find (i + 1)) in
   find 0
 
-let handle_http fd first4 =
+let handle_http ?io_timeout_s fd first4 =
   (* Read the request head (we never need a body on GET). *)
+  let read_deadline = deadline_after_s io_timeout_s in
   let b = Buffer.create 256 in
   Buffer.add_string b first4;
   let chunk = Bytes.create 512 in
   let rec fill () =
-    if Buffer.length b >= max_http_head || has_head_terminator (Buffer.contents b) then ()
+    if Buffer.length b >= max_http_head || has_head_terminator (Buffer.contents b) then Ok ()
+    else if not (arm ~send:false fd read_deadline) then Error ()
     else
-      match retry_intr (fun () -> Unix.read fd chunk 0 (Bytes.length chunk)) with
-      | 0 -> ()
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Ok ()
       | n ->
         Buffer.add_subbytes b chunk 0 n;
         fill ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> Error ()
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> Ok ()
   in
-  fill ();
-  Obs.Counter.incr m_http;
-  Obs.Counter.add m_bytes_in (Buffer.length b);
-  let head = Buffer.contents b in
-  let request_line = match String.index_opt head '\r' with
-    | Some i -> String.sub head 0 i
-    | None -> head
-  in
-  let status, ctype, body =
-    if Buffer.length b >= max_http_head && not (has_head_terminator head) then
-      (* the peer never finished its head within the limit; answer with
-         413 instead of misparsing a truncated request line as a target *)
-      (413, "text/plain; charset=utf-8", "request head too large\n")
-    else
-      match String.split_on_char ' ' request_line with
-      | meth :: target :: _ when meth = "GET" || meth = "HEAD" -> (
-        match http_response target with
-        | Some r -> r
-        | None -> (404, "text/plain; charset=utf-8", "not found\n"))
-      | _ -> (400, "text/plain; charset=utf-8", "bad request\n")
-  in
-  let reason =
-    match status with
-    | 200 -> "OK"
-    | 400 -> "Bad Request"
-    | 413 -> "Content Too Large"
-    | _ -> "Not Found"
-  in
-  Events.debug
-    ~fields:[ ("request", request_line); ("status", string_of_int status) ]
-    "serve.http";
-  send fd
-    (Printf.sprintf "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
-       status reason ctype (String.length body) body)
+  match fill () with
+  | Error () ->
+    (* a slowloris HTTP head: give up without guessing at a target *)
+    Obs.Counter.incr m_io_timeouts;
+    Events.warn ~fields:[ ("what", "http head") ] "serve.io_timeout"
+  | Ok () ->
+    Obs.Counter.incr m_http;
+    Obs.Counter.add m_bytes_in (Buffer.length b);
+    let head = Buffer.contents b in
+    let request_line =
+      match String.index_opt head '\r' with Some i -> String.sub head 0 i | None -> head
+    in
+    let status, ctype, body =
+      if Buffer.length b >= max_http_head && not (has_head_terminator head) then
+        (* the peer never finished its head within the limit; answer with
+           413 instead of misparsing a truncated request line as a target *)
+        (413, "text/plain; charset=utf-8", "request head too large\n")
+      else
+        match String.split_on_char ' ' request_line with
+        | meth :: target :: _ when meth = "GET" || meth = "HEAD" -> (
+          match http_response target with
+          | Some r -> r
+          | None -> (404, "text/plain; charset=utf-8", "not found\n"))
+        | _ -> (400, "text/plain; charset=utf-8", "bad request\n")
+    in
+    let reason =
+      match status with
+      | 200 -> "OK"
+      | 400 -> "Bad Request"
+      | 413 -> "Content Too Large"
+      | 503 -> "Service Unavailable"
+      | _ -> "Not Found"
+    in
+    Events.debug
+      ~fields:[ ("request", request_line); ("status", string_of_int status) ]
+      "serve.http";
+    ignore
+      (send ?deadline_us:(deadline_after_s io_timeout_s) fd
+         (Printf.sprintf
+            "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+            status reason ctype (String.length body) body))
 
-let handle_connection ~jobs fd =
+let handle_connection ?idle_timeout_s ?io_timeout_s ?allow_crash_op ~jobs fd =
   Obs.Counter.incr m_connections;
-  match read_exact ~what:"connection preamble" fd 4 with
+  match
+    read_exact
+      ?deadline_us:(deadline_after_s idle_timeout_s)
+      ~what:"connection preamble" fd 4
+  with
+  | Error (Timed_out _) ->
+    (* idle budget: the peer connected but never spoke *)
+    Obs.Counter.incr m_io_timeouts;
+    Events.warn ~fields:[ ("what", "connection preamble") ] "serve.idle_timeout"
   | Error _ -> ()
   | Ok first4 ->
-    if first4 = req_magic then handle_binary ~jobs fd first4 else handle_http fd first4
+    if first4 = req_magic then handle_binary ?io_timeout_s ?allow_crash_op ~jobs fd first4
+    else handle_http ?io_timeout_s fd first4
 
-(* --- accept loop -------------------------------------------------------- *)
+(* --- admission: bounded per-shard queues -------------------------------- *)
 
-let serve_loop ~jobs stop listen_fd =
-  let continue_ = ref true in
-  while !continue_ && not (Atomic.get stop) do
-    match Unix.accept listen_fd with
-    | conn, _ ->
-      (try handle_connection ~jobs conn
-       with
-      | Sys.Break ->
-        Atomic.set stop true;
-        continue_ := false
-      | e ->
-        Events.error ~fields:[ ("error", Printexc.to_string e) ] "serve.connection_error");
-      (try Unix.close conn with Unix.Unix_error _ -> ())
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
-      (* listener closed during shutdown *)
-      continue_ := false
-    | exception Sys.Break ->
-      Atomic.set stop true;
-      continue_ := false
-  done
+module Shard = struct
+  type t = {
+    id : int;
+    mutex : Mutex.t;
+    cond : Condition.t;
+    items : (Unix.file_descr * float) Queue.t; (* (conn, enqueue instant us) *)
+    cap : int;
+    mutable draining : bool; (* no new pushes; pops run the queue dry then stop *)
+    mutable killed : bool; (* pops stop immediately; leftovers are shed *)
+    mutable current : Unix.file_descr option; (* connection the worker holds now *)
+    depth : Obs.Gauge.t;
+  }
 
-let run ?(host = "127.0.0.1") ~port ~jobs ~workers ?(on_ready = fun _ -> ()) () =
+  let make id cap =
+    {
+      id;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      items = Queue.create ();
+      cap = max 1 cap;
+      draining = false;
+      killed = false;
+      current = None;
+      depth = Obs.Gauge.make (Printf.sprintf "serve.queue.depth.%d" id);
+    }
+
+  let locked t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  let set_depth t = Obs.Gauge.set t.depth (float_of_int (Queue.length t.items))
+
+  let try_push t conn =
+    locked t (fun () ->
+        if t.draining || t.killed || Queue.length t.items >= t.cap then false
+        else begin
+          Queue.add (conn, Obs.now_us ()) t.items;
+          set_depth t;
+          Condition.signal t.cond;
+          true
+        end)
+
+  let pop t =
+    locked t (fun () ->
+        let rec go () =
+          if t.killed then None
+          else if not (Queue.is_empty t.items) then begin
+            let ((conn, _) as it) = Queue.take t.items in
+            (* recorded under the same lock that [interrupt] takes, so a
+               draining supervisor can always reach the in-flight fd *)
+            t.current <- Some conn;
+            set_depth t;
+            Some it
+          end
+          else if t.draining then None
+          else begin
+            Condition.wait t.cond t.mutex;
+            go ()
+          end
+        in
+        go ())
+
+  let drain t =
+    locked t (fun () ->
+        t.draining <- true;
+        Condition.broadcast t.cond)
+
+  let kill t =
+    locked t (fun () ->
+        t.killed <- true;
+        t.draining <- true;
+        Condition.broadcast t.cond)
+
+  let is_killed t = locked t (fun () -> t.killed)
+
+  (* The worker publishes "done with my connection" here BEFORE closing
+     the fd; [interrupt] holds the same mutex across its shutdown call,
+     so it can never race a close (no use-after-close, no fd reuse). *)
+  let clear_current t = locked t (fun () -> t.current <- None)
+
+  (* Force the worker's in-flight connection to fail fast: shutting the
+     socket down makes its blocked read return EOF (and its writes
+     EPIPE), so a drain is bounded by the budget, not by the peer's
+     idle/io allowance. Returns true when there was something to cut. *)
+  let interrupt t =
+    locked t (fun () ->
+        match t.current with
+        | None -> false
+        | Some fd ->
+          (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+          true)
+
+  let length t = locked t (fun () -> Queue.length t.items)
+
+  let steal_all t =
+    locked t (fun () ->
+        let out = List.of_seq (Queue.to_seq t.items) in
+        Queue.clear t.items;
+        set_depth t;
+        out)
+end
+
+(* --- shedding ----------------------------------------------------------- *)
+
+let http_503 =
+  let body = "overloaded\n" in
+  Printf.sprintf
+    "HTTP/1.0 503 Service Unavailable\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    (String.length body) body
+
+(* Best-effort typed refusal, strictly non-blocking so the acceptor can
+   never be stalled by the very overload it is shedding: peek at
+   whatever the client has sent to pick the protocol (no bytes yet, or
+   a CCQ1 prefix, means the binary reply), fire one write, close. *)
+let shed_connection ~reason conn =
+  Obs.Counter.incr m_shed;
+  Events.warn ~fields:[ ("reason", reason) ] "serve.shed";
+  (try
+     Unix.set_nonblock conn;
+     let looks_http =
+       let buf = Bytes.create 4 in
+       match Unix.recv conn buf 0 4 [ Unix.MSG_PEEK ] with
+       | 0 -> false
+       | n ->
+         let p = Bytes.sub_string buf 0 n in
+         p <> String.sub req_magic 0 n
+       | exception Unix.Unix_error _ -> false
+     in
+     let frame = if looks_http then http_503 else encode_response (Overloaded reason) in
+     (* drain whatever request bytes already arrived: closing with
+        unread input makes the kernel RST the connection, which would
+        destroy the typed reply before the peer reads it *)
+     let junk = Bytes.create 4096 in
+     let rec drain budget =
+       if budget > 0 then
+         match Unix.read conn junk 0 (Bytes.length junk) with
+         | 0 -> ()
+         | n -> drain (budget - n)
+         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain budget
+     in
+     drain 65536;
+     ignore (Unix.write_substring conn frame 0 (String.length frame));
+     (try Unix.shutdown conn Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+     drain 65536
+   with Unix.Unix_error _ -> ());
+  try Unix.close conn with Unix.Unix_error _ -> ()
+
+(* --- daemon ------------------------------------------------------------- *)
+
+type config = {
+  host : string;
+  port : int;
+  jobs : int;
+  workers : int;
+  queue_cap : int;
+  idle_timeout_s : float;
+  io_timeout_s : float;
+  drain_s : float;
+  allow_crash_op : bool;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7070;
+    jobs = 1;
+    workers = 2;
+    queue_cap = 64;
+    idle_timeout_s = 10.0;
+    io_timeout_s = 30.0;
+    drain_s = 5.0;
+    allow_crash_op = false;
+  }
+
+let set_inflight delta =
+  let v = Atomic.fetch_and_add inflight delta + delta in
+  Obs.Gauge.set m_inflight (float_of_int v)
+
+(* One worker's service loop; [Worker_crashed] (and anything else the
+   per-connection guard does not absorb) escapes to the supervisor. *)
+let worker_loop cfg shard =
+  let rec next () =
+    match Shard.pop shard with
+    | None -> ()
+    | Some (conn, enqueued_us) ->
+      if Obs.metrics_enabled () then
+        Obs.Histogram.observe m_queue_wait_us (Obs.now_us () -. enqueued_us);
+      set_inflight 1;
+      Fun.protect
+        ~finally:(fun () ->
+          Shard.clear_current shard;
+          (try Unix.close conn with Unix.Unix_error _ -> ());
+          set_inflight (-1))
+        (fun () ->
+          try
+            handle_connection ~idle_timeout_s:cfg.idle_timeout_s ~io_timeout_s:cfg.io_timeout_s
+              ~allow_crash_op:cfg.allow_crash_op ~jobs:cfg.jobs conn
+          with
+          | Worker_crashed -> raise Worker_crashed
+          | Sys.Break -> raise Sys.Break
+          | e -> Events.error ~fields:[ ("error", Printexc.to_string e) ] "serve.connection_error");
+      next ()
+  in
+  next ()
+
+(* Supervision: a worker whose loop dies is logged, counted and
+   respawned in place — the domain (and the daemon) survive. Only a
+   killed shard (shutdown) lets the domain return. *)
+let supervised_worker cfg shard =
+  let rec go () =
+    match worker_loop cfg shard with
+    | () -> ()
+    | exception e ->
+      Obs.Counter.incr m_worker_restarts;
+      Events.error
+        ~fields:[ ("shard", string_of_int shard.Shard.id); ("error", Printexc.to_string e) ]
+        "serve.worker.restart";
+      if not (Shard.is_killed shard) then go ()
+  in
+  go ()
+
+let install_stop_handlers stop =
+  let set sg =
+    try Some (sg, Sys.signal sg (Sys.Signal_handle (fun _ -> Atomic.set stop true)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  List.filter_map set [ Sys.sigterm; Sys.sigint ]
+
+let restore_handlers saved =
+  List.iter
+    (fun (sg, old) -> try Sys.set_signal sg old with Invalid_argument _ | Sys_error _ -> ())
+    saved
+
+let run ?(on_ready = fun _ -> ()) cfg =
+  let workers = max 1 cfg.workers in
+  (* a peer closing mid-write must surface as EPIPE, not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ | Sys_error _ -> ());
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
-  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-  Unix.listen fd 64;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+  Unix.listen fd 128;
   let bound_port =
-    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> cfg.port
   in
   Events.info
-    ~fields:[ ("host", host); ("port", string_of_int bound_port); ("jobs", string_of_int jobs) ]
+    ~fields:
+      [
+        ("host", cfg.host);
+        ("port", string_of_int bound_port);
+        ("jobs", string_of_int cfg.jobs);
+        ("workers", string_of_int workers);
+        ("queue_cap", string_of_int cfg.queue_cap);
+      ]
     "serve.start";
-  on_ready bound_port;
   let stop = Atomic.make false in
-  let extra =
-    Array.init (max 0 (workers - 1)) (fun _ -> Domain.spawn (fun () -> serve_loop ~jobs stop fd))
-  in
+  let saved = install_stop_handlers stop in
+  let shards = Array.init workers (fun i -> Shard.make i cfg.queue_cap) in
+  let domains = Array.map (fun sh -> Domain.spawn (fun () -> supervised_worker cfg sh)) shards in
+  on_ready bound_port;
   let finish () =
-    Atomic.set stop true;
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    Array.iter Domain.join extra;
-    Events.info "serve.stop"
+    restore_handlers saved;
+    try Unix.close fd with Unix.Unix_error _ -> ()
   in
-  Fun.protect ~finally:finish (fun () -> serve_loop ~jobs stop fd)
+  Fun.protect ~finally:finish @@ fun () ->
+  (* Accept loop: select with a short timeout keeps the loop responsive
+     to the stop flag even when the signal lands on another domain's
+     syscall. Admission never blocks — push to a shard or shed. *)
+  let rr = ref 0 in
+  let admit conn =
+    let n = Array.length shards in
+    let start = !rr in
+    rr := (start + 1) mod n;
+    let rec try_shard k =
+      k < n && (Shard.try_push shards.((start + k) mod n) conn || try_shard (k + 1))
+    in
+    if not (try_shard 0) then shed_connection ~reason:"job queue full" conn
+  in
+  (try
+     while not (Atomic.get stop) do
+       match Unix.select [ fd ] [] [] 0.2 with
+       | [], _, _ -> ()
+       | _ :: _, _, _ -> (
+         match Unix.accept ~cloexec:true fd with
+         | conn, _ -> admit conn
+         | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+           ->
+           ()
+         | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> Atomic.set stop true)
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+     done
+   with Sys.Break -> Atomic.set stop true);
+  (* Drain: stop accepting, give queued jobs the budget, shed the rest
+     with typed replies, join the workers, leave evidence. *)
+  let t0 = Obs.now_us () in
+  Events.info ~fields:[ ("budget_s", Printf.sprintf "%g" cfg.drain_s) ] "serve.drain.begin";
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Array.iter Shard.drain shards;
+  let deadline = t0 +. (cfg.drain_s *. 1e6) in
+  let idle () =
+    Array.for_all (fun sh -> Shard.length sh = 0) shards && Atomic.get inflight = 0
+  in
+  while Obs.now_us () < deadline && not (idle ()) do
+    Unix.sleepf 0.02
+  done;
+  Array.iter Shard.kill shards;
+  let leftovers = Array.to_list shards |> List.concat_map Shard.steal_all in
+  List.iter (fun (conn, _) -> shed_connection ~reason:"draining" conn) leftovers;
+  (* budget spent: cut any connection still in flight so the join below
+     is bounded by the budget, not by a slow peer's idle/io allowance *)
+  let interrupted =
+    Array.fold_left (fun n sh -> if Shard.interrupt sh then n + 1 else n) 0 shards
+  in
+  if interrupted > 0 then
+    Events.warn ~fields:[ ("connections", string_of_int interrupted) ] "serve.drain.interrupt";
+  Array.iter Domain.join domains;
+  Events.info
+    ~fields:
+      [
+        ("shed", string_of_int (List.length leftovers));
+        ("interrupted", string_of_int interrupted);
+        ("elapsed_s", Printf.sprintf "%.3f" ((Obs.now_us () -. t0) /. 1e6));
+      ]
+    "serve.drain.end";
+  Events.info "serve.stop"
 
 (* --- clients ------------------------------------------------------------- *)
 
-let with_connection ~host ~port f =
+let describe_timeout ~host ~port timeout_s what =
+  Printf.sprintf "%s:%d: timed out%s during %s (daemon dead or overloaded?)" host port
+    (match timeout_s with Some t -> Printf.sprintf " after %gs" t | None -> "")
+    what
+
+let with_connection ?timeout_s ~host ~port f =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ | Sys_error _ -> ());
   match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
   | [] -> Error (Printf.sprintf "cannot resolve %s" host)
   | ai :: _ -> (
@@ -399,10 +845,31 @@ let with_connection ~host ~port f =
       Fun.protect
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () ->
-          Unix.connect fd ai.Unix.ai_addr;
+          (match timeout_s with
+          | None -> Unix.connect fd ai.Unix.ai_addr
+          | Some t ->
+            (* non-blocking connect + select so a dead host cannot hold
+               the client in connect(2) past the timeout *)
+            Unix.set_nonblock fd;
+            (match Unix.connect fd ai.Unix.ai_addr with
+            | () -> ()
+            | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
+              match Unix.select [] [ fd ] [] t with
+              | _, [], _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+              | _ -> (
+                match Unix.getsockopt_error fd with
+                | None -> ()
+                | Some e -> raise (Unix.Unix_error (e, "connect", "")))));
+            Unix.clear_nonblock fd;
+            (try
+               Unix.setsockopt_float fd Unix.SO_RCVTIMEO t;
+               Unix.setsockopt_float fd Unix.SO_SNDTIMEO t
+             with Unix.Unix_error _ -> ()));
           f fd)
     with
     | v -> v
+    | exception Unix.Unix_error ((Unix.ETIMEDOUT | Unix.EAGAIN | Unix.EWOULDBLOCK), fn, _) ->
+      Error (describe_timeout ~host ~port timeout_s fn)
     | exception Unix.Unix_error (e, _, _) ->
       Error (Printf.sprintf "%s:%d: %s" host port (Unix.error_message e)))
 
@@ -410,48 +877,76 @@ let read_until_eof fd =
   let b = Buffer.create 4096 in
   let chunk = Bytes.create 8192 in
   let rec go () =
-    match retry_intr (fun () -> Unix.read fd chunk 0 (Bytes.length chunk)) with
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
     | 0 -> Buffer.contents b
     | n ->
       Buffer.add_subbytes b chunk 0 n;
       go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
   in
   go ()
 
-let request ~host ~port req =
-  with_connection ~host ~port (fun fd ->
-      let frame = encode_request req in
-      write_all fd frame 0 (String.length frame);
-      Unix.shutdown fd Unix.SHUTDOWN_SEND;
-      match decode_response (read_until_eof fd) with
-      | Ok (Payload p) -> Ok p
-      | Ok (Failed msg) -> Error msg
-      | Error msg -> Error msg)
+let submit ?timeout_s ?(deadline_ms = 0) ~host ~port req =
+  with_connection ?timeout_s ~host ~port (fun fd ->
+      let frame = encode_request ~deadline_ms req in
+      match write_all ~what:"request write" fd frame with
+      | Error pe -> Error (protocol_error_to_string pe)
+      | Ok () ->
+        Unix.shutdown fd Unix.SHUTDOWN_SEND;
+        decode_response (read_until_eof fd))
 
-let http_get ~host ~port target =
-  with_connection ~host ~port (fun fd ->
+(* Jittered exponential backoff: attempt [k] sleeps in
+   [0.5, 1.5) * base * 2^k — seeded, so a retry schedule replays. *)
+let backoff_sleep g ~base attempt =
+  let cap = base *. (2.0 ** float_of_int attempt) in
+  Unix.sleepf (cap *. (0.5 +. Prng.float g))
+
+let request ?(timeout_s = 30.0) ?(deadline_ms = 0) ?(retries = 0) ?(backoff_s = 0.05) ?(seed = 1)
+    ~host ~port req =
+  let g = Prng.create (Int64.of_int seed) in
+  let rec attempt k =
+    let retryable, result =
+      match submit ~timeout_s ~deadline_ms ~host ~port req with
+      | Ok (Payload p) -> (false, Ok p)
+      | Ok (Failed msg) -> (false, Error msg)
+      | Ok (Overloaded msg) -> (true, Error ("overloaded: " ^ msg))
+      | Ok (Deadline_expired msg) -> (false, Error ("deadline expired: " ^ msg))
+      | Error msg -> (true, Error msg)
+    in
+    if (not retryable) || k >= retries then result
+    else begin
+      backoff_sleep g ~base:backoff_s k;
+      attempt (k + 1)
+    end
+  in
+  attempt 0
+
+let http_get ?timeout_s ~host ~port target =
+  with_connection ?timeout_s ~host ~port (fun fd ->
       let q = Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\n\r\n" target host in
-      write_all fd q 0 (String.length q);
-      let raw = read_until_eof fd in
-      match String.index_opt raw ' ' with
-      | None -> Error "malformed HTTP response"
-      | Some i -> (
-        let rest = String.sub raw (i + 1) (String.length raw - i - 1) in
-        let status =
-          match String.split_on_char ' ' rest with
-          | code :: _ -> int_of_string_opt code
-          | [] -> None
-        in
-        match status with
-        | None -> Error "malformed HTTP status"
-        | Some status ->
-          let body =
-            let rec find j =
-              if j + 4 > String.length raw then String.length raw
-              else if String.sub raw j 4 = "\r\n\r\n" then j + 4
-              else find (j + 1)
-            in
-            let start = find 0 in
-            String.sub raw start (String.length raw - start)
+      match write_all ~what:"request write" fd q with
+      | Error pe -> Error (protocol_error_to_string pe)
+      | Ok () -> (
+        let raw = read_until_eof fd in
+        match String.index_opt raw ' ' with
+        | None -> Error "malformed HTTP response"
+        | Some i -> (
+          let rest = String.sub raw (i + 1) (String.length raw - i - 1) in
+          let status =
+            match String.split_on_char ' ' rest with
+            | code :: _ -> int_of_string_opt code
+            | [] -> None
           in
-          Ok (status, body)))
+          match status with
+          | None -> Error "malformed HTTP status"
+          | Some status ->
+            let body =
+              let rec find j =
+                if j + 4 > String.length raw then String.length raw
+                else if String.sub raw j 4 = "\r\n\r\n" then j + 4
+                else find (j + 1)
+              in
+              let start = find 0 in
+              String.sub raw start (String.length raw - start)
+            in
+            Ok (status, body))))

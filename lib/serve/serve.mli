@@ -1,4 +1,4 @@
-(** [ccomp serve]: a dependency-free compression daemon.
+(** [ccomp serve]: a dependency-free, overload-safe compression daemon.
 
     One TCP listener (plain [Unix] sockets) speaks two protocols,
     distinguished by the first four bytes of each connection:
@@ -13,19 +13,54 @@
 
     Jobs run through exactly the same codec paths as the offline CLI,
     so a served compression is byte-identical to [ccomp compress] with
-    the same flags. The daemon switches metrics and the event log on at
-    startup; block-level work inside a job fans out over the lib/par
-    pool ([jobs] domains).
+    the same flags.
+
+    {2 Overload safety}
+
+    The daemon degrades predictably instead of stalling:
+
+    - {b Admission}: the acceptor pushes each connection onto a bounded
+      per-worker queue. When every queue is full the connection is
+      {e shed} — a typed {!Overloaded} reply (or HTTP 503) written
+      non-blockingly, then closed — so accepts never stall behind slow
+      consumers ([serve.shed_total] counts the sheds, the
+      [serve.queue.depth.N] gauges expose the queues).
+    - {b Per-request deadlines}: the CCQ1 header carries a relative
+      [deadline_ms] budget; the daemon answers {!Deadline_expired}
+      (status 3, counted in [serve.deadline_expired_total]) when the
+      budget is spent before, during or after decode rather than doing
+      work nobody is waiting for.
+    - {b Per-connection budgets}: an idle timeout on the first byte, an
+      i/o deadline per frame (re-armed to the remaining budget before
+      every read/write, so slowloris peers are bounded), counted in
+      [serve.io_timeouts]. In-flight work is bounded by the worker
+      count; queued work by [workers * queue_cap].
+    - {b Graceful drain}: SIGTERM/SIGINT stop the accept loop, let
+      workers finish queued jobs within [drain_s], shed the remainder
+      with typed replies, force-shutdown any connection still in
+      flight once the budget is spent (so a silent peer cannot hold
+      the join past [drain_s]; counted in the [serve.drain.interrupt]
+      event), join the workers and flush telemetry
+      ([serve.drain.begin]/[serve.drain.end] events).
+    - {b Supervision}: a worker whose loop dies is logged, counted in
+      [serve.worker_restarts_total] and restarted in place — a crash
+      (including the chaos harness's deliberate {!Crash_worker} op)
+      never takes the daemon down.
 
     {2:protocol Wire format}
 
     Request: ["CCQ1"] · opcode(1) · algo(1) · isa(1) · block_size(2,BE)
-    · payload_len(4,BE) · payload. Opcodes: [1] compress, [2]
-    decompress, [3] ping. Algo: [0] samc, [1] sadc. ISA: [0] mips,
-    [1] x86.
+    · deadline_ms(4,BE) · payload_len(4,BE) · payload. Opcodes: [1]
+    compress, [2] decompress, [3] ping, [4] crash-worker (chaos
+    testing; refused unless the daemon allows it). Algo: [0] samc, [1]
+    sadc. ISA: [0] mips, [1] x86. [deadline_ms = 0] means no deadline;
+    otherwise it is the client's remaining budget, measured by the
+    server from the moment the frame finished arriving.
 
-    Response: ["CCR1"] · status(1: [0] ok, [1] error) ·
-    payload_len(4,BE) · payload (result bytes, or an error message). *)
+    Response: ["CCR1"] · status(1) · payload_len(4,BE) · payload.
+    Status: [0] ok (result bytes), [1] error, [2] overloaded (shed),
+    [3] deadline expired — the payload of a non-ok status is a
+    message. *)
 
 type algo = Samc | Sadc
 
@@ -35,8 +70,21 @@ type request =
   | Compress of { algo : algo; isa : isa; block_size : int; code : string }
   | Decompress of string
   | Ping
+  | Crash_worker
+      (** Chaos-harness op: makes the handling worker raise
+          {!Worker_crashed}. The daemon refuses it unless started with
+          [allow_crash_op]. *)
 
-type response = Payload of string | Failed of string
+type response =
+  | Payload of string  (** success — the job's result bytes *)
+  | Failed of string  (** the job or the frame was bad; message inside *)
+  | Overloaded of string  (** shed by admission control or drain *)
+  | Deadline_expired of string  (** the request's [deadline_ms] ran out *)
+
+exception Worker_crashed
+(** Raised by {!handle_request} on {!Crash_worker}: deliberately
+    escapes the per-connection guard so the supervised worker loop
+    books a restart. *)
 
 type protocol_error =
   | Frame_too_large of { limit : int; got : int }
@@ -44,6 +92,7 @@ type protocol_error =
           allocate ([limit] is {!max_payload}). *)
   | Truncated of string  (** The peer closed before the frame was complete. *)
   | Malformed of string  (** Bad magic, tags, lengths or opcode. *)
+  | Timed_out of string  (** An i/o deadline fired mid-frame. *)
 
 val protocol_error_to_string : protocol_error -> string
 
@@ -51,52 +100,106 @@ val max_payload : int
 (** Largest request payload the daemon accepts (bytes); longer frames
     are refused with {!Frame_too_large} before any allocation. *)
 
-val encode_request : request -> string
+val encode_request : ?deadline_ms:int -> request -> string
+(** [deadline_ms] (default [0] = none) is the client's remaining
+    budget for the whole job. *)
 
-val decode_request : string -> (request, protocol_error) result
-(** Inverse of {!encode_request} on a complete request frame. *)
+val decode_request : string -> (request * int, protocol_error) result
+(** Inverse of {!encode_request} on a complete request frame; the
+    second component is the frame's [deadline_ms]. *)
 
 val encode_response : response -> string
 
 val decode_response : string -> (response, string) result
 
-val handle_request : jobs:int -> request -> response
+val handle_request : ?deadline_us:float -> jobs:int -> request -> response
 (** Run one job locally (no socket) — the daemon's dispatch, exposed
-    for tests and reused by both protocols. *)
+    for tests, the chaos harness's byte-identity oracle, and both
+    protocols. [deadline_us] is an absolute {!Ccomp_obs.Obs.now_us}
+    instant; when it passes before or during the job, the reply is
+    {!Deadline_expired} (and the partial result is discarded). Raises
+    {!Worker_crashed} on {!Crash_worker}. *)
 
 val http_response : string -> (int * string * string) option
 (** [http_response target] routes an HTTP request-target to
     [Some (status, content_type, body)], or [None] for an unknown
     path. *)
 
-val handle_connection : jobs:int -> Unix.file_descr -> unit
+val handle_connection :
+  ?idle_timeout_s:float ->
+  ?io_timeout_s:float ->
+  ?allow_crash_op:bool ->
+  jobs:int ->
+  Unix.file_descr ->
+  unit
 (** Serve exactly one connection on an already-accepted descriptor:
     sniff the 4-byte preamble, dispatch to the binary or HTTP handler,
     write the response. Reads and writes retry over [EINTR] and short
-    transfers. Exposed so tests can drive the full framing path over a
-    socketpair without a live daemon. The descriptor is not closed. *)
+    transfers; [idle_timeout_s] bounds the wait for the first byte and
+    [io_timeout_s] bounds each frame and each response (both default to
+    unbounded, for driving the framing path over a socketpair in
+    tests). The descriptor is not closed. *)
 
-val run :
-  ?host:string ->
+type config = {
+  host : string;  (** address to bind (default ["127.0.0.1"]) *)
+  port : int;  (** [0] picks an ephemeral port *)
+  jobs : int;  (** block-codec domains per job *)
+  workers : int;  (** worker domains, one bounded queue each *)
+  queue_cap : int;  (** per-worker queue bound; beyond it, shed *)
+  idle_timeout_s : float;  (** first-byte budget per connection *)
+  io_timeout_s : float;  (** per-frame read and per-response write budget *)
+  drain_s : float;  (** SIGTERM drain budget before shedding the queue *)
+  allow_crash_op : bool;  (** honour the {!Crash_worker} chaos op *)
+}
+
+val default_config : config
+(** [{host = "127.0.0.1"; port = 7070; jobs = 1; workers = 2;
+    queue_cap = 64; idle_timeout_s = 10.; io_timeout_s = 30.;
+    drain_s = 5.; allow_crash_op = false}] *)
+
+val run : ?on_ready:(int -> unit) -> config -> unit
+(** Bind, call [on_ready] with the bound port, then serve until
+    SIGTERM/SIGINT, which trigger the graceful drain described above.
+    The acceptor runs on the calling domain; [workers] extra domains
+    consume the shard queues. SIGPIPE is ignored for the process (a
+    peer closing mid-write must surface as [EPIPE], not kill the
+    daemon). *)
+
+(** {2 Clients}
+
+    Minimal clients for the two protocols — what [ccomp submit],
+    [ccomp scrape], [ccomp top] and the chaos harness use. All take
+    [?timeout_s], covering connect (non-blocking + select) and each
+    read/write (socket timeouts), so a dead or wedged daemon produces a
+    clear error instead of a hang. *)
+
+val submit :
+  ?timeout_s:float ->
+  ?deadline_ms:int ->
+  host:string ->
   port:int ->
-  jobs:int ->
-  workers:int ->
-  ?on_ready:(int -> unit) ->
-  unit ->
-  unit
-(** Bind [host] (default ["127.0.0.1"]) on [port] ([0] picks an
-    ephemeral port), call [on_ready] with the bound port, then serve
-    until interrupted ([Sys.Break], i.e. SIGINT/SIGTERM with the CLI's
-    handlers installed). [workers - 1] extra domains accept on the same
-    listener; each job additionally fans block work over [jobs]
-    domains. *)
+  request ->
+  (response, string) result
+(** One binary-protocol round-trip, returning the daemon's typed reply
+    ([Error] is a transport or framing failure). *)
 
-(** Minimal clients for the two protocols — what [ccomp submit],
-    [ccomp scrape] and [ccomp top] use. *)
+val request :
+  ?timeout_s:float ->
+  ?deadline_ms:int ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?seed:int ->
+  host:string ->
+  port:int ->
+  request ->
+  (string, string) result
+(** {!submit} plus policy: [Ok payload] on success; {!Overloaded}
+    replies and transport errors are retried up to [retries] times
+    (default [0]) with seeded jittered exponential backoff
+    ([backoff_s] base, default 50 ms); {!Failed} and
+    {!Deadline_expired} are not retried. [timeout_s] defaults to
+    30 s. *)
 
-val request : host:string -> port:int -> request -> (string, string) result
-(** Submit one binary-protocol job; [Ok payload] on success, the
-    daemon's (or socket's) error otherwise. *)
-
-val http_get : host:string -> port:int -> string -> (int * string, string) result
+val http_get :
+  ?timeout_s:float -> host:string -> port:int -> string -> (int * string, string) result
 (** One HTTP/1.0 GET; [Ok (status, body)]. *)

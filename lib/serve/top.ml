@@ -12,6 +12,7 @@ type options = {
   frames : int;
   window_s : float;
   plain : bool;
+  timeout_s : float;
 }
 
 let fmt_num v =
@@ -109,13 +110,14 @@ let poll_key interval =
 
 let fetch opts =
   let ( let* ) = Result.bind in
-  let* _, snap_json = Serve.http_get ~host:opts.host ~port:opts.port "/snapshot" in
+  let get = Serve.http_get ~timeout_s:opts.timeout_s ~host:opts.host ~port:opts.port in
+  let* _, snap_json = get "/snapshot" in
   let* snapshot =
     match Obs.snapshot_of_json snap_json with
     | Ok s -> Ok s
     | Error e -> Error ("bad /snapshot payload: " ^ e)
   in
-  let* _, events_body = Serve.http_get ~host:opts.host ~port:opts.port "/events?n=8" in
+  let* _, events_body = get "/events?n=8" in
   let events_tail =
     String.split_on_char '\n' events_body |> List.filter (fun l -> String.trim l <> "")
   in

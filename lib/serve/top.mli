@@ -17,6 +17,7 @@ type options = {
   frames : int;  (** 0 = run until [q]/Ctrl-C *)
   window_s : float;
   plain : bool;
+  timeout_s : float;  (** connect/read budget per poll — a dead daemon errors, never hangs *)
 }
 
 val render_frame :

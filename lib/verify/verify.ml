@@ -462,6 +462,8 @@ let serve_checks ~isa ~block_size =
     match Serve.handle_request ~jobs:1 req with
     | Serve.Payload p -> Ok p
     | Serve.Failed e -> Error e
+    | Serve.Overloaded e -> Error ("overloaded: " ^ e)
+    | Serve.Deadline_expired e -> Error ("deadline expired: " ^ e)
   in
   List.concat_map
     (fun algo ->

@@ -129,6 +129,98 @@ let test_file_sink () =
           | Error e -> Alcotest.failf "sink line not JSON: %s" e)
         lines)
 
+(* SIGTERM-mid-write discipline: the sink flushes whole lines, so a
+   killed process can tear only the final one. load_sink_file must
+   shrug that off — and must NOT shrug off corruption anywhere else. *)
+let with_temp_sink f =
+  let path = Filename.temp_file "ccomp_events" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_sink_readback_clean () =
+  isolated @@ fun () ->
+  with_temp_sink @@ fun path ->
+  Events.set_sink (Some path);
+  Events.info ~fields:[ ("k", "v") ] "one";
+  Events.error "two";
+  Events.set_sink None;
+  match Events.load_sink_file path with
+  | Ok lines -> Alcotest.(check int) "both records readable" 2 (List.length lines)
+  | Error e -> Alcotest.failf "clean sink must read back: %s" e
+
+let test_sink_readback_torn_tail () =
+  isolated @@ fun () ->
+  with_temp_sink @@ fun path ->
+  (* simulate SIGTERM mid-write: two complete records, then a line cut
+     off partway through — no newline, unbalanced JSON *)
+  Events.set_sink (Some path);
+  Events.info "one";
+  Events.warn "two";
+  Events.set_sink None;
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"ts_us\":123.0,\"level\":\"info\",\"ev";
+  close_out oc;
+  (match Events.load_sink_file path with
+  | Ok lines -> Alcotest.(check int) "torn tail dropped, earlier records intact" 2 (List.length lines)
+  | Error e -> Alcotest.failf "a torn final line must be tolerated: %s" e);
+  (* same torn tail with a trailing newline *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "\n";
+  close_out oc;
+  match Events.load_sink_file path with
+  | Ok lines -> Alcotest.(check int) "newline-terminated torn tail dropped" 2 (List.length lines)
+  | Error e -> Alcotest.failf "a torn final line must be tolerated: %s" e
+
+let test_sink_readback_interior_corruption () =
+  isolated @@ fun () ->
+  with_temp_sink @@ fun path ->
+  write_file path
+    "{\"ts_us\":1.0,\"level\":\"info\",\"event\":\"a\"}\n\
+     {\"ts_us\":2.0,\"level\":\"in\n\
+     {\"ts_us\":3.0,\"level\":\"info\",\"event\":\"c\"}\n";
+  match Events.load_sink_file path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corruption before the final line must be an error, not tolerated"
+
+let test_sink_survives_kill_mid_write () =
+  (* SIGTERM/SIGKILL mid-write can stop the sink at ANY byte of the
+     record being written (everything earlier is safe: the sink
+     flushes whole lines). Simulate every possible cut point of the
+     final record and demand the earlier records always read back. *)
+  isolated @@ fun () ->
+  with_temp_sink @@ fun path ->
+  Events.set_sink (Some path);
+  for i = 1 to 5 do
+    Events.info ~fields:[ ("i", string_of_int i); ("quoted", "a\"b") ] "job.done"
+  done;
+  Events.set_sink None;
+  let whole =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  (* byte offset where the final record starts *)
+  let last_start = String.rindex (String.trim whole) '\n' + 1 in
+  for cut = last_start to String.length whole do
+    write_file path (String.sub whole 0 cut);
+    match Events.load_sink_file path with
+    | Ok lines ->
+      let n = List.length lines in
+      (* a cut inside the last record leaves 4; a cut at (or one byte
+         short of) the end leaves the complete record too *)
+      Alcotest.(check bool)
+        (Printf.sprintf "cut at byte %d keeps the 4 safe records" cut)
+        true
+        (n = 4 || (n = 5 && cut >= String.length whole - 1))
+    | Error e -> Alcotest.failf "cut at byte %d must be tolerated: %s" cut e
+  done
+
 let suite =
   [
     Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
@@ -138,4 +230,10 @@ let suite =
     Alcotest.test_case "level string round-trip" `Quick test_level_strings;
     Alcotest.test_case "JSON line shape" `Quick test_json_line_shape;
     Alcotest.test_case "file sink appends JSON lines" `Quick test_file_sink;
+    Alcotest.test_case "sink read-back: clean file" `Quick test_sink_readback_clean;
+    Alcotest.test_case "sink read-back: torn final line tolerated" `Quick
+      test_sink_readback_torn_tail;
+    Alcotest.test_case "sink read-back: interior corruption rejected" `Quick
+      test_sink_readback_interior_corruption;
+    Alcotest.test_case "sink survives SIGKILL mid-write" `Quick test_sink_survives_kill_mid_write;
   ]

@@ -222,7 +222,15 @@ let test_campaign_counts () =
   Alcotest.(check int) "no silent miscompares" 0 r.Campaign.miscompared;
   Alcotest.(check bool) "flips are detected" true (r.Campaign.detected > 90);
   let r' = Campaign.run ~seed:7 ~trials:100 codec in
-  Alcotest.(check int) "campaign deterministic" r.Campaign.detected r'.Campaign.detected
+  Alcotest.(check int) "campaign deterministic" r.Campaign.detected r'.Campaign.detected;
+  (* the seed rides in the report so any logged row replays its run *)
+  Alcotest.(check int) "report carries its seed" 7 r.Campaign.seed;
+  Alcotest.(check bool) "seed printed in the report row" true
+    (let row = Campaign.report_row r in
+     let needle = " 7 " in
+     let n = String.length needle in
+     let rec find i = i + n <= String.length row && (String.sub row i n = needle || find (i + 1)) in
+     find 0)
 
 let test_campaign_multi_fault_sweep () =
   let codec = List.hd (secf_codecs ()) in

@@ -133,6 +133,54 @@ let test_parse_roundtrip () =
            samples))
     [ "samc_"; "sadc_"; "memsys_"; "par_" ]
 
+(* ISSUE-6 overload metrics: the serve counters already carry a
+   _total suffix in their registry names, so exposition must not
+   double it, and the per-worker queue gauges must render as gauges. *)
+let test_serve_overload_metrics () =
+  isolated @@ fun () ->
+  (* the ccomp_serve library is linked, so its registry entries exist;
+     nudge them so the samples are visibly non-default *)
+  Obs.Counter.incr (Obs.Counter.make "serve.shed_total");
+  Obs.Counter.incr (Obs.Counter.make "serve.deadline_expired_total");
+  Obs.Counter.incr (Obs.Counter.make "serve.worker_restarts_total");
+  Obs.Gauge.set (Obs.Gauge.make "serve.queue.depth.0") 3.0;
+  let text = Om.render () in
+  let samples =
+    match Om.parse text with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "render with serve metrics must parse: %s" e
+  in
+  let value name =
+    match List.find_opt (fun s -> s.Om.om_name = name) samples with
+    | Some s -> s.Om.om_value
+    | None -> Alcotest.failf "sample %s missing" name
+  in
+  Alcotest.(check (float 0.0)) "shed counter, single _total" 1.0 (value "serve_shed_total");
+  Alcotest.(check (float 0.0)) "deadline counter, single _total" 1.0
+    (value "serve_deadline_expired_total");
+  Alcotest.(check (float 0.0)) "worker-restart counter, single _total" 1.0
+    (value "serve_worker_restarts_total");
+  Alcotest.(check (float 0.0)) "queue depth gauge" 3.0 (value "serve_queue_depth_0");
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) (bad ^ " must not exist") false
+        (List.exists (fun s -> s.Om.om_name = bad) samples))
+    [ "serve_shed_total_total"; "serve_deadline_expired_total_total";
+      "serve_worker_restarts_total_total" ];
+  List.iter
+    (fun (fam, kind) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "# TYPE %s %s" fam kind)
+        true
+        (has_line text (Printf.sprintf "# TYPE %s %s" fam kind)))
+    [
+      ("serve_shed", "counter");
+      ("serve_deadline_expired", "counter");
+      ("serve_worker_restarts", "counter");
+      ("serve_queue_depth_0", "gauge");
+      ("serve_inflight", "gauge");
+    ]
+
 let test_parse_rejects () =
   (match Om.parse "foo 1\n" with
   | Ok _ -> Alcotest.fail "missing # EOF must be an error"
@@ -152,5 +200,6 @@ let suite =
     Alcotest.test_case "rendered families and samples" `Quick test_render_families;
     Alcotest.test_case "bucket monotonicity ending at +Inf" `Quick test_bucket_monotonicity;
     Alcotest.test_case "parse-back round-trip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "serve overload metrics conform" `Quick test_serve_overload_metrics;
     Alcotest.test_case "parser rejects malformed input" `Quick test_parse_rejects;
   ]

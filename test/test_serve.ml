@@ -21,14 +21,26 @@ let test_request_roundtrip () =
   List.iter
     (fun req ->
       match Serve.decode_request (Serve.encode_request req) with
-      | Ok got -> Alcotest.(check bool) "request survives the wire" true (got = req)
+      | Ok got -> Alcotest.(check bool) "request survives the wire" true (got = (req, 0))
       | Error e -> Alcotest.failf "round-trip failed: %s" (Serve.protocol_error_to_string e))
     [
       Serve.Compress { algo = Serve.Samc; isa = Serve.Mips; block_size = 32; code = "\x00\x01\xff" };
       Serve.Compress { algo = Serve.Sadc; isa = Serve.X86; block_size = 64; code = "" };
       Serve.Decompress "arbitrary \x00 bytes";
       Serve.Ping;
+      Serve.Crash_worker;
     ]
+
+let test_deadline_roundtrip () =
+  (* the deadline field rides the header, not the payload *)
+  List.iter
+    (fun ms ->
+      match Serve.decode_request (Serve.encode_request ~deadline_ms:ms (Serve.Decompress "x")) with
+      | Ok (Serve.Decompress "x", got) ->
+        Alcotest.(check int) (Printf.sprintf "deadline %dms survives the wire" ms) ms got
+      | Ok _ -> Alcotest.fail "request mangled"
+      | Error e -> Alcotest.failf "round-trip failed: %s" (Serve.protocol_error_to_string e))
+    [ 0; 1; 250; 0x7fffffff ]
 
 let test_response_roundtrip () =
   List.iter
@@ -36,29 +48,44 @@ let test_response_roundtrip () =
       match Serve.decode_response (Serve.encode_response resp) with
       | Ok got -> Alcotest.(check bool) "response survives the wire" true (got = resp)
       | Error e -> Alcotest.failf "round-trip failed: %s" e)
-    [ Serve.Payload "\x00binary\xff"; Serve.Payload ""; Serve.Failed "no such image" ]
+    [
+      Serve.Payload "\x00binary\xff";
+      Serve.Payload "";
+      Serve.Failed "no such image";
+      Serve.Overloaded "job queue full";
+      Serve.Deadline_expired "0.3ms over";
+    ]
 
 let expect_error name = function
   | Error _ -> ()
   | Ok _ -> Alcotest.failf "%s: malformed frame must be rejected" name
 
+(* hand-build a request header: magic, op, algo, isa, block(2,BE),
+   deadline(4,BE), payload_len(4,BE) *)
+let be32 v = String.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff))
+
+let frame ?(magic = "CCQ1") ?(algo = 0) ?(isa = 0) ?(block = 0) ?(deadline = 0) ?len ~op payload =
+  let len = match len with Some l -> l | None -> String.length payload in
+  magic
+  ^ String.init 3 (fun i -> Char.chr [| op; algo; isa |].(i))
+  ^ String.init 2 (fun i -> Char.chr ((block lsr (8 * (1 - i))) land 0xff))
+  ^ be32 deadline ^ be32 len ^ payload
+
 let test_malformed_frames () =
   expect_error "empty" (Serve.decode_request "");
-  expect_error "bad magic" (Serve.decode_request "XXXX\x03\x00\x00\x00\x00\x00\x00\x00\x00");
+  expect_error "bad magic" (Serve.decode_request (frame ~magic:"XXXX" ~op:3 ""));
   expect_error "short header" (Serve.decode_request "CCQ1\x03");
-  expect_error "length mismatch"
-    (Serve.decode_request ("CCQ1\x02\x00\x00\x00\x00\x00\x00\x00\x09short"));
-  expect_error "unknown opcode" (Serve.decode_request "CCQ1\x07\x00\x00\x00\x00\x00\x00\x00\x00");
-  expect_error "zero block size"
-    (Serve.decode_request ("CCQ1\x01\x00\x00\x00\x00\x00\x00\x00\x01x"));
-  expect_error "unknown algo"
-    (Serve.decode_request ("CCQ1\x01\x09\x00\x00\x20\x00\x00\x00\x01x"));
+  expect_error "old 13-byte header" (Serve.decode_request "CCQ1\x03\x00\x00\x00\x00\x00\x00\x00\x00");
+  expect_error "length mismatch" (Serve.decode_request (frame ~op:2 ~len:9 "short"));
+  expect_error "unknown opcode" (Serve.decode_request (frame ~op:7 ""));
+  expect_error "zero block size" (Serve.decode_request (frame ~op:1 ~block:0 "x"));
+  expect_error "unknown algo" (Serve.decode_request (frame ~op:1 ~algo:9 ~block:32 "x"));
   expect_error "response bad magic" (Serve.decode_response "CCQX\x00\x00\x00\x00\x00");
   expect_error "response truncated" (Serve.decode_response "CCR1\x00\x00\x00\x00\x05ab");
+  expect_error "response unknown status" (Serve.decode_response "CCR1\x09\x00\x00\x00\x00");
   (* the error is typed: a declared-oversize frame is Frame_too_large
      even when no payload bytes follow *)
-  let be32 v = String.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff)) in
-  match Serve.decode_request ("CCQ1\x02\x00\x00\x00\x00" ^ be32 (Serve.max_payload + 1)) with
+  match Serve.decode_request (frame ~op:2 ~len:(Serve.max_payload + 1) "") with
   | Error (Serve.Frame_too_large { limit; got }) ->
     Alcotest.(check int) "limit reported" Serve.max_payload limit;
     Alcotest.(check int) "declared length reported" (Serve.max_payload + 1) got
@@ -119,33 +146,73 @@ let test_partial_writes () =
   match Serve.decode_response resp with
   | Ok (Serve.Payload p) -> Alcotest.(check string) "pong over short transfers" "pong" p
   | Ok (Serve.Failed e) -> Alcotest.failf "ping failed: %s" e
+  | Ok _ -> Alcotest.fail "unexpected typed reply"
   | Error e -> Alcotest.failf "bad response frame: %s" e
 
 let test_oversize_frame_refused () =
   (* header declares a payload past max_payload; the daemon must answer
      Failed without waiting for (or allocating) the payload *)
-  let be32 v = String.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff)) in
-  let header = "CCQ1\x02\x00\x00\x00\x00" ^ be32 (Serve.max_payload + 1) in
+  let header = frame ~op:2 ~len:(Serve.max_payload + 1) "" in
   match Serve.decode_response (drive_connection header) with
   | Ok (Serve.Failed msg) ->
     Alcotest.(check bool)
       (Printf.sprintf "mentions the limit: %S" msg)
       true
       (String.length msg >= 15 && String.sub msg 0 15 = "frame too large")
-  | Ok (Serve.Payload _) -> Alcotest.fail "oversize frame must not succeed"
+  | Ok _ -> Alcotest.fail "oversize frame must not succeed"
   | Error e -> Alcotest.failf "bad response frame: %s" e
 
 let test_truncated_frame_refused () =
   (* header promises 9 payload bytes, peer closes after 5 *)
-  let raw = "CCQ1\x02\x00\x00\x00\x00\x00\x00\x00\x09short" in
+  let raw = frame ~op:2 ~len:9 "short" in
   match Serve.decode_response (drive_connection raw) with
   | Ok (Serve.Failed msg) ->
     Alcotest.(check bool)
       (Printf.sprintf "mentions truncation: %S" msg)
       true
       (String.length msg >= 9 && String.sub msg 0 9 = "truncated")
-  | Ok (Serve.Payload _) -> Alcotest.fail "truncated frame must not succeed"
+  | Ok _ -> Alcotest.fail "truncated frame must not succeed"
   | Error e -> Alcotest.failf "bad response frame: %s" e
+
+let test_expired_deadline_on_arrival () =
+  (* a frame arriving with a 1 ms budget and a deliberate pause before
+     dispatch must come back Deadline_expired, not Payload *)
+  let raw = Serve.encode_request ~deadline_ms:1 Serve.Ping in
+  (* drive byte-by-byte: 17 one-byte writes take well over 1 ms of
+     scheduling, so the budget is spent by dispatch time *)
+  let resp = drive_connection raw in
+  match Serve.decode_response resp with
+  | Ok (Serve.Deadline_expired _) -> ()
+  | Ok (Serve.Payload _) ->
+    (* acceptable on a very fast machine: the frame beat the clock;
+       retry with an unbeatable payload *)
+    let code = String.init (1 lsl 20) (fun i -> Char.chr (i land 0xff)) in
+    let raw =
+      Serve.encode_request ~deadline_ms:1
+        (Serve.Compress { algo = Serve.Samc; isa = Serve.Mips; block_size = 32; code })
+    in
+    (match Serve.decode_response (drive_connection ~chunk:65536 raw) with
+    | Ok (Serve.Deadline_expired _) -> ()
+    | Ok _ -> Alcotest.fail "a 1ms-deadline 1MiB compress must expire"
+    | Error e -> Alcotest.failf "bad response frame: %s" e)
+  | Ok _ -> Alcotest.fail "unexpected typed reply"
+  | Error e -> Alcotest.failf "bad response frame: %s" e
+
+let test_crash_op_gated () =
+  (* without --unsafe-crash-op the opcode is refused with Failed, and
+     the worker must NOT crash *)
+  let raw = Serve.encode_request Serve.Crash_worker in
+  match Serve.decode_response (drive_connection raw) with
+  | Ok (Serve.Failed msg) ->
+    Alcotest.(check bool) (Printf.sprintf "names the gate: %S" msg) true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "ungated crash op must be refused"
+  | Error e -> Alcotest.failf "bad response frame: %s" e
+
+let test_crash_op_raises_when_allowed () =
+  match Serve.handle_request ~jobs:1 Serve.Crash_worker with
+  | exception Serve.Worker_crashed -> ()
+  | _ -> Alcotest.fail "handle_request must raise Worker_crashed for the chaos op"
 
 let test_http_head_too_large () =
   (* an HTTP head that never terminates within max_http_head gets 413,
@@ -161,6 +228,7 @@ let test_ping () =
   match Serve.handle_request ~jobs:1 Serve.Ping with
   | Serve.Payload p -> Alcotest.(check string) "pong" "pong" p
   | Serve.Failed e -> Alcotest.failf "ping failed: %s" e
+  | _ -> Alcotest.fail "unexpected typed reply"
 
 let test_compress_byte_identity () =
   let code = Lazy.force mips_code in
@@ -171,6 +239,7 @@ let test_compress_byte_identity () =
     with
     | Serve.Payload p -> p
     | Serve.Failed e -> Alcotest.failf "served compress failed: %s" e
+    | _ -> Alcotest.fail "unexpected typed reply"
   in
   let offline =
     let cfg = Samc.mips_config ~block_size:32 ~context_bits:2 ~quantize:false ~prune_below:0 () in
@@ -188,15 +257,17 @@ let test_decompress_roundtrip () =
     with
     | Serve.Payload p -> p
     | Serve.Failed e -> Alcotest.failf "compress failed: %s" e
+    | _ -> Alcotest.fail "unexpected typed reply"
   in
   match Serve.handle_request ~jobs:1 (Serve.Decompress image) with
   | Serve.Payload back -> Alcotest.(check bool) "decompress returns the program" true (back = code)
   | Serve.Failed e -> Alcotest.failf "decompress failed: %s" e
+  | _ -> Alcotest.fail "unexpected typed reply"
 
 let test_decompress_garbage () =
   match Serve.handle_request ~jobs:1 (Serve.Decompress "not an image at all") with
   | Serve.Failed _ -> ()
-  | Serve.Payload _ -> Alcotest.fail "garbage must not decompress"
+  | _ -> Alcotest.fail "garbage must not decompress"
 
 let test_http_routing () =
   (match Serve.http_response "/healthz" with
@@ -241,4 +312,9 @@ let suite =
     Alcotest.test_case "truncated frame reported as truncated" `Quick
       test_truncated_frame_refused;
     Alcotest.test_case "oversize HTTP head gets 413" `Quick test_http_head_too_large;
+    Alcotest.test_case "deadline field wire round-trip" `Quick test_deadline_roundtrip;
+    Alcotest.test_case "expired deadline gets a typed reply" `Quick
+      test_expired_deadline_on_arrival;
+    Alcotest.test_case "crash op refused when not enabled" `Quick test_crash_op_gated;
+    Alcotest.test_case "crash op raises for supervision" `Quick test_crash_op_raises_when_allowed;
   ]

@@ -1,0 +1,120 @@
+#!/bin/sh
+# Overload/chaos gate for the serve layer (ISSUE 6): boots a real
+# daemon with deliberately small budgets, fires the seeded socket-level
+# chaos mix at it, and checks that it degrades the way the design says
+# it must. Machine-independent — every assertion is about structure
+# (typed replies, counters, events, exit codes), never timing numbers.
+#
+# usage: chaos_check.sh CCOMP_EXE
+#
+# Checks:
+#   1. daemon boots with tight budgets (queue-cap 2, io-timeout 1s,
+#      idle-timeout 2s, drain 5s) and the crash op enabled.
+#   2. `ccomp chaos --seed 42` PASSes: the daemon stays live through
+#      slowloris + truncation + churn + resets + oversize + an overload
+#      flood; every completed job is byte-identical to the offline
+#      oracle; the flood produces typed Overloaded replies; deadline
+#      probes produce typed Deadline_expired replies.
+#   3. the overload telemetry is on /metrics afterwards: sheds,
+#      expired deadlines and the crash-op worker restart all counted,
+#      queue-depth gauges present.
+#   4. SIGTERM drains gracefully: exit 0 within the drain budget, and
+#      the events file carries serve.drain.begin / serve.drain.end.
+set -eu
+
+[ $# -eq 1 ] || { echo "usage: chaos_check.sh CCOMP_EXE" >&2; exit 2; }
+case $1 in */*) ccomp=$1 ;; *) ccomp=./$1 ;; esac
+
+dir=$(mktemp -d /tmp/chaos_check.XXXXXX)
+serve_pid=
+cleanup() {
+  status=$?
+  if [ -n "$serve_pid" ]; then
+    kill "$serve_pid" 2>/dev/null || :
+    i=0
+    while kill -0 "$serve_pid" 2>/dev/null && [ "$i" -lt 30 ]; do
+      sleep 0.1
+      i=$((i + 1))
+    done
+    kill -KILL "$serve_pid" 2>/dev/null || :
+    wait "$serve_pid" 2>/dev/null || :
+  fi
+  rm -rf "$dir"
+  exit "$status"
+}
+trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
+trap 'exit 129' HUP
+
+fail() { echo "chaos_check: $*" >&2; exit 1; }
+
+# -- 1: boot with tight budgets and the crash op enabled ----------------
+"$ccomp" serve --port 0 --workers 2 --queue-cap 2 \
+  --idle-timeout 2 --io-timeout 1 --drain 5 --unsafe-crash-op \
+  --events "$dir/events.jsonl" > "$dir/serve.log" 2>&1 &
+serve_pid=$!
+
+port=
+i=0
+while [ $i -lt 100 ]; do
+  port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$dir/serve.log")
+  [ -n "$port" ] && break
+  kill -0 "$serve_pid" 2>/dev/null || fail "daemon died at startup: $(cat "$dir/serve.log")"
+  sleep 0.1
+  i=$((i + 1))
+done
+[ -n "$port" ] || fail "daemon never reported its port: $(cat "$dir/serve.log")"
+
+# -- 2: the deterministic chaos mix must pass ---------------------------
+# flood 12 > workers*queue-cap + workers = 6, so typed sheds are forced;
+# --crash-workers exercises supervision (the daemon has the op enabled)
+"$ccomp" chaos --port "$port" --seed 42 --rounds 2 --flood 12 \
+  --crash-workers --timeout 10 > "$dir/chaos.log" 2>&1 \
+  || fail "chaos campaign FAILed: $(cat "$dir/chaos.log")"
+grep -q 'chaos: PASS' "$dir/chaos.log" || fail "no PASS verdict: $(cat "$dir/chaos.log")"
+grep -q 'seed 42' "$dir/chaos.log" || fail "replay seed not logged: $(cat "$dir/chaos.log")"
+
+# -- 3: overload telemetry on the scrape surface ------------------------
+kill -0 "$serve_pid" 2>/dev/null || fail "daemon died during chaos: $(cat "$dir/serve.log")"
+"$ccomp" scrape --port "$port" /healthz | grep -q '^ok$' \
+  || fail "/healthz not ok after chaos"
+"$ccomp" scrape --port "$port" /metrics > "$dir/metrics.txt"
+
+metric() { sed -n "s/^$1 \([0-9][0-9.]*\)\$/\1/p" "$dir/metrics.txt"; }
+nonzero() {
+  v=$(metric "$1")
+  [ -n "$v" ] || fail "/metrics: $1 missing"
+  [ "${v%%.*}" -gt 0 ] 2>/dev/null || fail "/metrics: $1 is $v, want > 0"
+}
+nonzero serve_shed_total
+nonzero serve_deadline_expired_total
+nonzero serve_worker_restarts_total
+grep -q '^# TYPE serve_queue_depth_0 gauge$' "$dir/metrics.txt" \
+  || fail "/metrics: queue-depth gauge missing"
+grep -q '^# TYPE serve_inflight gauge$' "$dir/metrics.txt" \
+  || fail "/metrics: inflight gauge missing"
+
+# the shed/restart story must also be in the event log the daemon streams
+"$ccomp" scrape --port "$port" /events > "$dir/events_live.jsonl"
+grep -q '"event":"serve.shed"' "$dir/events_live.jsonl" \
+  || fail "/events: no serve.shed events after a flood"
+grep -q '"event":"serve.worker.restart"' "$dir/events_live.jsonl" \
+  || fail "/events: no serve.worker.restart event after a crash op"
+
+# -- 4: graceful drain within the budget --------------------------------
+start_s=$(date +%s)
+kill -TERM "$serve_pid"
+status=0
+wait "$serve_pid" || status=$?
+serve_pid=
+elapsed=$(( $(date +%s) - start_s ))
+[ "$status" -eq 0 ] || fail "daemon exit status $status on SIGTERM (want graceful 0)"
+# drain budget is 5s; allow slack for worker joins and a slow machine
+[ "$elapsed" -le 15 ] || fail "drain took ${elapsed}s, budget is 5s"
+grep -q '"event":"serve.drain.begin"' "$dir/events.jsonl" \
+  || fail "events file: no serve.drain.begin on SIGTERM"
+grep -q '"event":"serve.drain.end"' "$dir/events.jsonl" \
+  || fail "events file: no serve.drain.end on SIGTERM"
+
+echo "chaos_check: OK (liveness, typed sheds, byte-identity, worker respawn, clean drain in ${elapsed}s)"

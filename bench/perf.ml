@@ -19,8 +19,7 @@ type entry = { key : string; mbps : float }
 (* Run [f] repeatedly for at least [min_time] seconds (after one warmup
    call) and return MB/s over [bytes] per call. Timed on the obs clock,
    so the suite and `--trace` spans agree on one timebase. *)
-let throughput ~min_time ~bytes f =
-  ignore (f ());
+let window ~min_time ~bytes f =
   let t0 = Obs.now_us () in
   let iters = ref 0 in
   let elapsed = ref 0.0 in
@@ -30,6 +29,35 @@ let throughput ~min_time ~bytes f =
     elapsed := (Obs.now_us () -. t0) /. 1e6
   done;
   float_of_int (bytes * !iters) /. 1e6 /. !elapsed
+
+(* Best of three timing windows: on a shared host a single window can
+   land on someone else's scheduling burst, and the fastest window is
+   the least-disturbed estimate of the code's actual throughput. The
+   [Gc.full_major] matters because all keys share one process — a
+   measurement should not be taxed with collecting its predecessors'
+   garbage. *)
+let throughput ~min_time ~bytes f =
+  ignore (f ());
+  Gc.full_major ();
+  let best = ref 0.0 in
+  for _ = 1 to 3 do
+    best := Float.max !best (window ~min_time ~bytes f)
+  done;
+  !best
+
+(* Serial/parallel pairs are checked on their ratio, so the two sides
+   must see the same machine weather: alternate their windows instead
+   of finishing one side seconds before the other starts. *)
+let throughput_pair ~min_time ~bytes f g =
+  ignore (f ());
+  ignore (g ());
+  Gc.full_major ();
+  let bf = ref 0.0 and bg = ref 0.0 in
+  for _ = 1 to 3 do
+    bf := Float.max !bf (window ~min_time ~bytes f);
+    bg := Float.max !bg (window ~min_time ~bytes g)
+  done;
+  (!bf, !bg)
 
 let run ~scale ~jobs ~min_time =
   let w = Workloads.prepare ~scale (Ccomp_progen.Profile.find "go") in
@@ -43,14 +71,22 @@ let run ~scale ~jobs ~min_time =
   let measure key f =
     Obs.with_span ~cat:"bench" key (fun () -> note key (throughput ~min_time ~bytes f))
   in
+  let measure_pair key_a key_b f g =
+    Obs.with_span ~cat:"bench" key_a (fun () ->
+        let a, b = throughput_pair ~min_time ~bytes f g in
+        note key_a a;
+        note key_b b)
+  in
 
   (* --- SAMC ----------------------------------------------------------- *)
   let samc_cfg = Samc.mips_config () in
   let samc = Samc.compress samc_cfg code in
-  measure "samc-mips.compress_serial_mbps" (fun () -> Samc.compress samc_cfg code);
-  measure "samc-mips.compress_parallel_mbps" (fun () -> Samc.compress ~jobs samc_cfg code);
-  measure "samc-mips.decompress_serial_mbps" (fun () -> Samc.decompress samc);
-  measure "samc-mips.decompress_parallel_mbps" (fun () -> Samc.decompress ~jobs samc);
+  measure_pair "samc-mips.compress_serial_mbps" "samc-mips.compress_parallel_mbps"
+    (fun () -> Samc.compress samc_cfg code)
+    (fun () -> Samc.compress ~jobs samc_cfg code);
+  measure_pair "samc-mips.decompress_serial_mbps" "samc-mips.decompress_parallel_mbps"
+    (fun () -> Samc.decompress samc)
+    (fun () -> Samc.decompress ~jobs samc);
   (* the pre-PR pointer-chasing kernel, serial, block by block *)
   let wpb = samc_cfg.Samc.block_size / 4 in
   let words = bytes / 4 in
@@ -65,17 +101,21 @@ let run ~scale ~jobs ~min_time =
   (* --- SADC ----------------------------------------------------------- *)
   let sadc_cfg = Sadc.default_config ~max_rounds:64 () in
   let sadc = Sadc.Mips.compress_image sadc_cfg code in
-  measure "sadc-mips.compress_serial_mbps" (fun () -> Sadc.Mips.compress_image sadc_cfg code);
-  measure "sadc-mips.compress_parallel_mbps" (fun () ->
-      Sadc.Mips.compress_image ~jobs sadc_cfg code);
-  measure "sadc-mips.decompress_serial_mbps" (fun () -> Sadc.Mips.decompress sadc);
-  measure "sadc-mips.decompress_parallel_mbps" (fun () -> Sadc.Mips.decompress ~jobs sadc);
+  measure_pair "sadc-mips.compress_serial_mbps" "sadc-mips.compress_parallel_mbps"
+    (fun () -> Sadc.Mips.compress_image sadc_cfg code)
+    (fun () -> Sadc.Mips.compress_image ~jobs sadc_cfg code);
+  measure_pair "sadc-mips.decompress_serial_mbps" "sadc-mips.decompress_parallel_mbps"
+    (fun () -> Sadc.Mips.decompress sadc)
+    (fun () -> Sadc.Mips.decompress ~jobs sadc);
 
   (* --- byte-Huffman ---------------------------------------------------- *)
   let huff = Byte_huffman.compress code in
-  measure "byte-huffman.compress_serial_mbps" (fun () -> Byte_huffman.compress code);
-  measure "byte-huffman.compress_parallel_mbps" (fun () -> Byte_huffman.compress ~jobs code);
-  measure "byte-huffman.decompress_mbps" (fun () -> Byte_huffman.decompress huff);
+  measure_pair "byte-huffman.compress_serial_mbps" "byte-huffman.compress_parallel_mbps"
+    (fun () -> Byte_huffman.compress code)
+    (fun () -> Byte_huffman.compress ~jobs code);
+  measure_pair "byte-huffman.decompress_mbps" "byte-huffman.decompress_parallel_mbps"
+    (fun () -> Byte_huffman.decompress huff)
+    (fun () -> Byte_huffman.decompress ~jobs huff);
   (* the pre-PR bit-serial tree walk over the same blocks (public API
      reconstruction: same code table, Bit_reader + decode_symbol_tree) *)
   let tree_decode () =
@@ -90,6 +130,47 @@ let run ~scale ~jobs ~min_time =
       huff.Byte_huffman.blocks
   in
   measure "byte-huffman.decompress_tree_mbps" tree_decode;
+
+  (* --- jobs sweep ------------------------------------------------------ *)
+  (* Parallel decompress at fixed worker counts, independent of --jobs:
+     the scaling table EXPERIMENTS.md E19 reads. On a 1-core host this
+     measures pool dispatch overhead, not speedup — the invariant that
+     matters is jobs=2 staying at least on par with serial. *)
+  List.iter
+    (fun j ->
+      measure (Printf.sprintf "samc-mips.decompress_jobs%d_mbps" j) (fun () ->
+          Samc.decompress ~jobs:j samc);
+      measure (Printf.sprintf "sadc-mips.decompress_jobs%d_mbps" j) (fun () ->
+          Sadc.Mips.decompress ~jobs:j sadc);
+      measure (Printf.sprintf "byte-huffman.decompress_jobs%d_mbps" j) (fun () ->
+          Byte_huffman.decompress ~jobs:j huff))
+    [ 1; 2; 4; 8 ];
+
+  (* --- pool metrics ---------------------------------------------------- *)
+  (* One metrics-enabled pass per codec, outside the timed loops (the
+     per-block histogram mutex would distort them). The counters land in
+     the same flat JSON so bench_check can assert the pool really ran:
+     tasks dispatched, a live queue-depth histogram, and the jobs
+     gauge. *)
+  let was_enabled = Obs.metrics_enabled () in
+  Obs.set_metrics true;
+  Obs.reset ();
+  ignore (Samc.decompress ~jobs samc);
+  ignore (Sadc.Mips.decompress ~jobs sadc);
+  ignore (Byte_huffman.decompress ~jobs huff);
+  Obs.set_metrics was_enabled;
+  let metric key v =
+    Printf.printf "  %-44s %10.0f\n%!" key v;
+    entries := { key; mbps = v } :: !entries
+  in
+  metric "par.tasks" (float_of_int (Obs.Counter.value (Obs.Counter.make "par.tasks")));
+  metric "par.epochs" (float_of_int (Obs.Counter.value (Obs.Counter.make "par.epochs")));
+  metric "par.spawns" (float_of_int (Obs.Counter.value (Obs.Counter.make "par.spawns")));
+  metric "par.jobs" (Obs.Gauge.value (Obs.Gauge.make "par.jobs"));
+  metric "par.pool_domains" (Obs.Gauge.value (Obs.Gauge.make "par.pool_domains"));
+  metric "par.queue_depth_count"
+    (float_of_int (Obs.Histogram.count (Obs.Histogram.make "par.queue_depth")));
+  metric "par.worker_busy_us_sum" (Obs.Histogram.sum (Obs.Histogram.make "par.worker_busy_us"));
   List.rev !entries
 
 let emit_json ~path ~scale ~jobs entries =

@@ -48,6 +48,17 @@ module Encoder = struct
   let create () =
     { low = 0; range = top_value; cache = 0; started = false; pending = 0; buf = Buffer.create 64 }
 
+  (* Return a finished encoder to its initial state, keeping the byte
+     buffer's storage — per-domain scratch in the parallel block
+     pipeline encodes thousands of blocks through one encoder. *)
+  let reset e =
+    e.low <- 0;
+    e.range <- top_value;
+    e.cache <- 0;
+    e.started <- false;
+    e.pending <- 0;
+    Buffer.clear e.buf
+
   (* Emit the byte leaving the 24-bit window, resolving carries: a carry
      increments the cached byte and turns every pending 0xff into 0x00. *)
   let shift_low e =

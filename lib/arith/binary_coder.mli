@@ -33,6 +33,11 @@ module Encoder : sig
 
   val create : unit -> t
 
+  val reset : t -> unit
+  (** Return the encoder to its initial state, retaining its internal
+      buffer storage — lets per-domain scratch encode many blocks
+      without reallocating (the parallel pipeline's hot path). *)
+
   val encode : t -> p0:int -> int -> unit
   (** [encode e ~p0 bit] codes [bit] (0 or 1) under prediction [p0]. *)
 

@@ -40,13 +40,16 @@ let compress ?(block_size = 32) ?(jobs = 1) input =
   let nblocks = (n + block_size - 1) / block_size in
   let instrument = Obs.metrics_enabled () in
   (* The code table is global but fixed before any block encodes, so
-     blocks fan out over the pool with byte-identical assembly. *)
+     blocks fan out over the pool with byte-identical assembly. Each
+     domain reuses one bit writer across all its blocks. *)
   let blocks =
-    Ccomp_par.Pool.init ~jobs nblocks (fun b ->
+    Ccomp_par.Pool.init_local ~jobs nblocks
+      ~local:(fun () -> Bit_writer.create ())
+      (fun w b ->
         let start = b * block_size in
         let len = min block_size (n - start) in
         let t0 = if instrument then Obs.now_us () else 0.0 in
-        let w = Bit_writer.create () in
+        Bit_writer.reset w;
         for i = start to start + len - 1 do
           Huffman.encode_symbol code w (Char.code input.[i])
         done;
@@ -76,23 +79,33 @@ let decompress_block t b =
   if Obs.metrics_enabled () then Obs.Counter.add m_reader_refills (Bit_reader.refills r);
   Bytes.to_string out
 
-let decompress t =
+let decompress ?(jobs = 1) t =
   Obs.with_span ~cat:"huffman" "huffman.decompress" @@ fun () ->
   let instrument = Obs.metrics_enabled () in
-  String.concat ""
-    (Array.to_list
-       (Array.mapi
-          (fun b _ ->
-            if not instrument then decompress_block t b
-            else begin
-              let t0 = Obs.now_us () in
-              let out = decompress_block t b in
-              Obs.Histogram.observe m_d_block_us (Obs.now_us () -. t0);
-              Obs.Counter.incr m_d_blocks;
-              Obs.Counter.add m_d_bytes_out (String.length out);
-              out
-            end)
-          t.blocks))
+  (* Blocks decode straight into disjoint slices of one shared output
+     buffer (block [b] covers [b * block_size ..)), so the parallel path
+     does no per-block string allocation and no final concat. Each
+     domain reuses one bit reader across its blocks. *)
+  let out = Bytes.create t.original_size in
+  Ccomp_par.Pool.iter_n ~jobs
+    ~local:(fun () -> Bit_reader.create "")
+    (Array.length t.blocks)
+    (fun r b ->
+      let start = b * t.block_size in
+      let len = min t.block_size (t.original_size - start) in
+      let t0 = if instrument then Obs.now_us () else 0.0 in
+      let refills0 = Bit_reader.refills r in
+      Bit_reader.reset r t.blocks.(b);
+      for i = start to start + len - 1 do
+        Bytes.set out i (Char.chr (Huffman.decode_symbol t.code r))
+      done;
+      if instrument then begin
+        Obs.Histogram.observe m_d_block_us (Obs.now_us () -. t0);
+        Obs.Counter.incr m_d_blocks;
+        Obs.Counter.add m_d_bytes_out len;
+        Obs.Counter.add m_reader_refills (Bit_reader.refills r - refills0)
+      end);
+  Bytes.unsafe_to_string out
 
 let decompress_checked ?max_output t =
   Ccomp_util.Decode_error.protect ~section:"byte-huffman" (fun () ->

@@ -21,7 +21,10 @@ val compress : ?block_size:int -> ?jobs:int -> string -> compressed
 
 val decompress_block : compressed -> int -> string
 
-val decompress : compressed -> string
+val decompress : ?jobs:int -> compressed -> string
+(** [decompress t] rebuilds the original bytes. [jobs] (default 1) fans
+    per-block decoding over that many domains; blocks land in disjoint
+    slices of one shared buffer, so output is byte-identical. *)
 
 val decompress_checked :
   ?max_output:int -> compressed -> (string, Ccomp_util.Decode_error.t) result

@@ -4,8 +4,8 @@
    logical stream, right-aligned ([navail] significant bits). *)
 
 type t = {
-  data : string;
-  len_bits : int;
+  mutable data : string;
+  mutable len_bits : int;
   mutable pos : int; (* logical bit position of the next bit *)
   mutable acc : int; (* buffered bits, right-aligned *)
   mutable navail : int; (* number of buffered bits, < Sys.int_size *)
@@ -51,6 +51,19 @@ let create ?(start_bit = 0) data =
     r.navail <- 8 - rem
   end;
   r
+
+(* Rebind an existing reader to new data from bit 0 — the per-domain
+   scratch path of the parallel pipeline decodes one block after another
+   through a single reader record instead of allocating one per block.
+   The refill count deliberately carries across blocks: the reader's
+   lifetime total is what the bitio.reader.refills metric reports. *)
+let reset r data =
+  r.data <- data;
+  r.len_bits <- 8 * String.length data;
+  r.pos <- 0;
+  r.acc <- 0;
+  r.navail <- 0;
+  r.next_byte <- 0
 
 let pos r = r.pos
 

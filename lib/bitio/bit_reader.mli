@@ -16,6 +16,12 @@ val create : ?start_bit:int -> string -> t
     skips that many leading bits.
     @raise Invalid_argument on a negative [start_bit]. *)
 
+val reset : t -> string -> unit
+(** [reset r data] rebinds [r] to read [data] from bit 0, reusing the
+    record — the per-domain scratch path of the parallel block pipeline.
+    The cumulative {!refills} count is retained (it is a lifetime
+    metric), everything else restarts. *)
+
 val pos : t -> int
 (** Bit position of the next bit to be read. *)
 

@@ -152,52 +152,103 @@ module Make (I : Sadc_isa.S) = struct
 
   let is_fixed prim s p = List.exists (fun (s', p', _) -> s' = s && p' = p) prim.fixed
 
-  let count_candidates dict_get blocks_items blocks_tokens =
-    let counts : (int, int ref) Hashtbl.t = Hashtbl.create 4096 in
-    let bump key =
-      match Hashtbl.find_opt counts key with
-      | Some r -> incr r
-      | None -> Hashtbl.add counts key (ref 1)
-    in
-    (* Last counted end position per n-gram, to count non-overlapping
-       occurrences of self-overlapping patterns like (a, a). *)
-    let last_end : (int, int) Hashtbl.t = Hashtbl.create 4096 in
-    let bump_ngram key gfirst glast =
-      let fresh =
-        match Hashtbl.find_opt last_end key with Some e -> e < gfirst | None -> true
-      in
-      if fresh then begin
-        bump key;
-        Hashtbl.replace last_end key glast
+  (* Count one block's candidate occurrences, calling [emit key] once per
+     counted occurrence. Blocks count independently: the non-overlap
+     bookkeeping for self-overlapping n-grams like (a, a) is block-local
+     (a pattern never straddles two blocks), so the global count of every
+     candidate is the sum of its per-block counts — the invariant the
+     incremental builder rests on. Token [t_start] indexes the whole
+     program's [all_items] directly; there are no per-block item copies. *)
+  (* [last_end] is caller-provided scratch (last counted end index per
+     n-gram key): a tiny generation-stamped open-addressing map, reset
+     O(1) per block by bumping the generation — a block holds at most
+     [block_size] tokens, so the per-window bookkeeping must not
+     allocate. Slots from older generations read as empty. *)
+  type last_end = {
+    mutable le_key : int array;
+    mutable le_end : int array;
+    mutable le_gen : int array;
+    mutable le_cap : int;
+    mutable le_g : int;
+  }
+
+  let le_create () =
+    {
+      le_key = Array.make 256 0;
+      le_end = Array.make 256 0;
+      le_gen = Array.make 256 (-1);
+      le_cap = 256;
+      le_g = 0;
+    }
+
+  (* Closure-free walk of one token's operand items for specialisation
+     candidates (one [key_spec] per non-absorbed item). *)
+  let rec emit_specs emit entry_id prim s p items =
+    match items with
+    | [] -> ()
+    | v :: tl ->
+      if not (is_fixed prim s p) then emit (key_spec entry_id s p v);
+      emit_specs emit entry_id prim s (p + 1) tl
+
+  let count_block le dict_get all_items tokens emit =
+    let n = Array.length tokens in
+    if 4 * n > le.le_cap then begin
+      let c = ref le.le_cap in
+      while 4 * n > !c do
+        c := !c * 2
+      done;
+      le.le_key <- Array.make !c 0;
+      le.le_end <- Array.make !c 0;
+      le.le_gen <- Array.make !c (-1);
+      le.le_cap <- !c
+    end;
+    le.le_g <- le.le_g + 1;
+    let g = le.le_g in
+    let mask = le.le_cap - 1 in
+    let emit_ngram key first last =
+      let h = key * 0x9E3779B97F4A7C1 in
+      let i = ref ((h lxor (h lsr 31)) land mask) in
+      while le.le_gen.(!i) = g && le.le_key.(!i) <> key do
+        i := (!i + 1) land mask
+      done;
+      if le.le_gen.(!i) <> g || le.le_end.(!i) < first then begin
+        emit key;
+        le.le_key.(!i) <- key;
+        le.le_end.(!i) <- last;
+        le.le_gen.(!i) <- g
       end
     in
-    let gpos = ref 0 in
-    Array.iteri
-      (fun b tokens ->
-        let n = Array.length tokens in
-        for i = 0 to n - 2 do
-          bump_ngram (key_pair tokens.(i).t_entry tokens.(i + 1).t_entry) (!gpos + i) (!gpos + i + 1)
-        done;
-        for i = 0 to n - 3 do
-          bump_ngram
-            (key_triple tokens.(i).t_entry tokens.(i + 1).t_entry tokens.(i + 2).t_entry)
-            (!gpos + i) (!gpos + i + 2)
-        done;
-        gpos := !gpos + n + 4;
-        Array.iter
-          (fun t ->
-            let e : entry = dict_get t.t_entry in
-            if Array.length e.prims = 1 then begin
-              let items = blocks_items.(b).(t.t_start) in
-              Array.iteri
-                (fun s stream_items ->
-                  List.iteri
-                    (fun p v ->
-                      if not (is_fixed e.prims.(0) s p) then bump (key_spec t.t_entry s p v))
-                    stream_items)
-                items
-            end)
-          tokens)
+    for i = 0 to n - 2 do
+      emit_ngram (key_pair tokens.(i).t_entry tokens.(i + 1).t_entry) i (i + 1)
+    done;
+    for i = 0 to n - 3 do
+      emit_ngram
+        (key_triple tokens.(i).t_entry tokens.(i + 1).t_entry tokens.(i + 2).t_entry)
+        i (i + 2)
+    done;
+    for ti = 0 to n - 1 do
+      let t = tokens.(ti) in
+      let e : entry = dict_get t.t_entry in
+      if Array.length e.prims = 1 then begin
+        let prim = e.prims.(0) in
+        let streams = all_items.(t.t_start) in
+        for s = 0 to Array.length streams - 1 do
+          emit_specs emit t.t_entry prim s 0 streams.(s)
+        done
+      end
+    done
+
+  (* Full-rescan reference: global counts rebuilt from scratch. Kept as
+     the specification the incremental builder is tested against. *)
+  let count_candidates dict_get all_items blocks_tokens =
+    let counts : (int, int ref) Hashtbl.t = Hashtbl.create 4096 in
+    let last_end = le_create () in
+    Array.iter
+      (fun tokens ->
+        count_block last_end dict_get all_items tokens (fun key ->
+            match Hashtbl.find_opt counts key with
+            | Some r -> incr r
+            | None -> Hashtbl.add counts key (ref 1)))
       blocks_tokens;
     counts
 
@@ -221,32 +272,67 @@ module Make (I : Sadc_isa.S) = struct
       let prim = (dict_get e).prims.(0) in
       { prims = [| { prim with fixed = (s, p, v) :: prim.fixed } |] }
 
-  let replace block_items cand nid tokens =
+  (* Would [replace] change this block? Cheap pre-scan so the reparse
+     pass skips (and never reallocates) untouched blocks — with the
+     candidate index below, most rounds touch a handful of blocks. *)
+  let matches all_items cand tokens =
+    let n = Array.length tokens in
+    match cand with
+    | Pair (a, b) ->
+      let rec go i =
+        i + 1 < n && ((tokens.(i).t_entry = a && tokens.(i + 1).t_entry = b) || go (i + 1))
+      in
+      go 0
+    | Triple (a, b, c) ->
+      let rec go i =
+        i + 2 < n
+        && ((tokens.(i).t_entry = a && tokens.(i + 1).t_entry = b && tokens.(i + 2).t_entry = c)
+           || go (i + 1))
+      in
+      go 0
+    | Spec (e, s, p, v) ->
+      Array.exists
+        (fun t ->
+          t.t_entry = e
+          && (match List.nth_opt all_items.(t.t_start).(s) p with
+             | Some v' -> v' = v
+             | None -> false))
+        tokens
+
+  (* Greedy reparse of one block, also reporting the replacement sites:
+     [old_sites] are start indices (in [tokens]) of each consumed
+     occurrence, [new_sites] the indices of the inserted [nid] tokens in
+     the result. The surgical count update needs both. *)
+  let replace_sites all_items cand nid tokens =
     match cand with
     | Pair (a, b) ->
       let n = Array.length tokens in
       let out = ref [] in
+      let nout = ref 0 in
+      let old_sites = ref [] and new_sites = ref [] in
       let i = ref 0 in
       while !i < n do
-        if
-          !i + 1 < n
-          && tokens.(!i).t_entry = a
-          && tokens.(!i + 1).t_entry = b
-        then begin
+        if !i + 1 < n && tokens.(!i).t_entry = a && tokens.(!i + 1).t_entry = b then begin
           out :=
             { t_entry = nid; t_start = tokens.(!i).t_start; t_len = tokens.(!i).t_len + tokens.(!i + 1).t_len }
             :: !out;
+          old_sites := !i :: !old_sites;
+          new_sites := !nout :: !new_sites;
+          incr nout;
           i := !i + 2
         end
         else begin
           out := tokens.(!i) :: !out;
+          incr nout;
           incr i
         end
       done;
-      Array.of_list (List.rev !out)
+      (Array.of_list (List.rev !out), !old_sites, !new_sites)
     | Triple (a, b, c) ->
       let n = Array.length tokens in
       let out = ref [] in
+      let nout = ref 0 in
+      let old_sites = ref [] and new_sites = ref [] in
       let i = ref 0 in
       while !i < n do
         if
@@ -262,31 +348,45 @@ module Make (I : Sadc_isa.S) = struct
               t_len = tokens.(!i).t_len + tokens.(!i + 1).t_len + tokens.(!i + 2).t_len;
             }
             :: !out;
+          old_sites := !i :: !old_sites;
+          new_sites := !nout :: !new_sites;
+          incr nout;
           i := !i + 3
         end
         else begin
           out := tokens.(!i) :: !out;
+          incr nout;
           incr i
         end
       done;
-      Array.of_list (List.rev !out)
+      (Array.of_list (List.rev !out), !old_sites, !new_sites)
     | Spec (e, s, p, v) ->
       (* Same-symbol instructions can differ in operand count (x86 ModRM
-         forms), so the item at (s, p) may be absent. *)
-      Array.map
-        (fun t ->
-          if t.t_entry = e then
-            match List.nth_opt block_items.(t.t_start).(s) p with
-            | Some v' when v' = v -> { t with t_entry = nid }
-            | Some _ | None -> t
-          else t)
-        tokens
+         forms), so the item at (s, p) may be absent. Positions are
+         preserved, so old and new sites coincide. *)
+      let sites = ref [] in
+      let out =
+        Array.mapi
+          (fun i t ->
+            if t.t_entry = e then
+              match List.nth_opt all_items.(t.t_start).(s) p with
+              | Some v' when v' = v ->
+                sites := i :: !sites;
+                { t with t_entry = nid }
+              | Some _ | None -> t
+            else t)
+          tokens
+      in
+      (out, !sites, !sites)
 
-  let build_dictionary config blocks_instrs =
-    (* Operand items are consulted every round; compute them once. *)
-    let blocks_items = Array.map (Array.map I.items) blocks_instrs in
-    (* Base dictionary: one entry per opcode symbol present (§4.1 step 2
-       inserts all single opcodes). *)
+  let replace all_items cand nid tokens =
+    let out, _, _ = replace_sites all_items cand nid tokens in
+    out
+
+  (* Base dictionary (one entry per opcode symbol present, §4.1 step 2)
+     plus the base tokenization, shared by both builders. Tokens index
+     the whole program: block [b] covers [instrs] from [segs.(b)]. *)
+  let dict_builder instrs segs =
     let dict : entry array ref = ref [||] in
     let dict_n = ref 0 in
     let push e =
@@ -304,56 +404,526 @@ module Make (I : Sadc_isa.S) = struct
     let dict_get i = !dict.(i) in
     let base_id = Hashtbl.create 64 in
     Array.iter
-      (Array.iter (fun instr ->
-           let sym = I.symbol instr in
-           if not (Hashtbl.mem base_id sym) then
-             Hashtbl.add base_id sym (push { prims = [| { sym; fixed = [] } |] })))
-      blocks_instrs;
+      (fun instr ->
+        let sym = I.symbol instr in
+        if not (Hashtbl.mem base_id sym) then
+          Hashtbl.add base_id sym (push { prims = [| { sym; fixed = [] } |] }))
+      instrs;
     let blocks_tokens =
       Array.map
-        (fun instrs ->
-          Array.mapi
-            (fun i instr -> { t_entry = Hashtbl.find base_id (I.symbol instr); t_start = i; t_len = 1 })
-            instrs)
-        blocks_instrs
+        (fun (start, len) ->
+          Array.init len (fun i ->
+              {
+                t_entry = Hashtbl.find base_id (I.symbol instrs.(start + i));
+                t_start = start + i;
+                t_len = 1;
+              }))
+        segs
     in
+    (dict, dict_n, push, dict_get, blocks_tokens)
+
+  (* Canonical selection: largest gain, ties broken toward the smallest
+     packed key. (The seed's tie-break was Hashtbl iteration order, which
+     an incremental builder cannot reproduce; both builders now share
+     this deterministic rule.) *)
+  let select_best dict_get counts =
+    let best = ref None in
+    Hashtbl.iter
+      (fun key count ->
+        let c = !count in
+        if c > 0 then begin
+          let g = gain dict_get (cand_of_key key) c in
+          if g > 0.0 then
+            match !best with
+            | Some (g', k') when g' > g || (g' = g && k' < key) -> ()
+            | _ -> best := Some (g, key)
+        end)
+      counts;
+    !best
+
+  (* Full-rescan builder: recounts every candidate in every block each
+     round. Kept as the executable specification of the incremental
+     builder (and for the parity tests); not used on the hot path. *)
+  let build_dictionary_naive config instrs all_items segs =
+    let dict, dict_n, push, dict_get, blocks_tokens = dict_builder instrs segs in
     let blocks_tokens = ref blocks_tokens in
     let rounds = ref 0 in
     let continue_ = ref true in
     while !continue_ && !dict_n < config.max_entries && !rounds < config.max_rounds do
       incr rounds;
-      let counts = count_candidates dict_get blocks_items !blocks_tokens in
-      let best = ref None in
-      Hashtbl.iter
-        (fun key count ->
-          let cand = cand_of_key key in
-          let g = gain dict_get cand !count in
-          match !best with
-          | Some (_, g') when g' >= g -> ()
-          | _ -> if g > 0.0 then best := Some (cand, g))
-        counts;
-      match !best with
+      let counts = count_candidates dict_get all_items !blocks_tokens in
+      match select_best dict_get counts with
       | None -> continue_ := false
-      | Some (cand, _) ->
+      | Some (_, key) ->
+        let cand = cand_of_key key in
         let nid = push (new_entry dict_get cand) in
         blocks_tokens :=
-          Array.mapi (fun b tokens -> replace blocks_items.(b) cand nid tokens) !blocks_tokens
+          Array.map
+            (fun tokens ->
+              if matches all_items cand tokens then replace all_items cand nid tokens else tokens)
+            !blocks_tokens
     done;
     (Array.sub !dict 0 !dict_n, !blocks_tokens, !rounds)
+
+  (* Incremental builder: global candidate counts are kept as the sum of
+     per-block contributions. Each round pops the best candidate from a
+     lazily-invalidated max-heap, reparses only the blocks listed in the
+     candidate's occurrence index, and patches counts surgically: only
+     token windows overlapping a replacement site can change, so the
+     matched blocks get a handful of +/-1 bumps instead of a full
+     recount. A heap element is [(gain, key)] frozen at push time; a pop
+     is valid only if that gain still equals the gain recomputed from the
+     live count. Gains depend only on the live count and on entry costs
+     fixed at entry creation, so the staleness check is exact, and every
+     key with positive gain always has its live entry somewhere in the
+     heap. [check] recomputes all counts by full rescan each round and
+     raises on any disagreement (the parity tests' hook). *)
+  let build_dictionary_incremental ?(check = false) config instrs all_items segs =
+    let dict, dict_n, push, dict_get, blocks_tokens = dict_builder instrs segs in
+    let nblocks = Array.length blocks_tokens in
+    (* One flat open-addressing table over packed candidate keys replaces
+       a counts / occurrence-index / touched-set Hashtbl trio: a bump is
+       a single probe. Slot [i] keeps its key and count adjacent
+       ([kc.(2i)], [kc.(2i+1)]) so the hot path touches one cache line.
+       Packed keys are nonzero (the kind tag sits in the high bits), so
+       key 0 marks an empty slot. The occurrence index lists blocks that
+       contributed to a key when last counted; it is append-only and
+       allowed to go stale — entries are re-validated by the reparse
+       scan before any count is changed. *)
+    (* Initial capacity sized so the table never grows on realistic
+       corpora: distinct keys stay under ~1.6 per token (pairs + triples
+       + specialisations, measured on the generated suites), so four
+       slots per token keeps the final load factor under the 75% grow
+       threshold — growth would copy every array below into garbage on
+       each build. [grow] still handles adversarial key densities. *)
+    let total_tokens = Array.fold_left (fun a t -> a + Array.length t) 0 blocks_tokens in
+    let initial_cap =
+      let target = max 4096 (4 * total_tokens) in
+      let c = ref 4096 in
+      while !c < target do
+        c := !c * 2
+      done;
+      !c
+    in
+    let cap = ref initial_cap in
+    let mask = ref (!cap - 1) in
+    let kc = ref (Array.make (2 * !cap) 0) in
+    let occ_at = ref (Array.make !cap []) in
+    (* The "count moved since last heap refresh" flag lives in bit 62 of
+       the stored key (packed keys use bits 0-61), so marking a slot hot
+       touches no extra cache line. *)
+    let hot_bit = 1 lsl 62 in
+    let key_mask = hot_bit - 1 in
+    (* Gains are linear in the live count — [gain] is [m * count - k]
+       with [m] and [k] fixed per key (entries are immutable once
+       pushed, so their costs never change). Both coefficients are
+       cached per slot on first use ([gm = 0.0] marks uncached), making
+       the heap-refresh and staleness checks multiply-adds.
+       [lastg] dedups heap pushes: the gain most recently pushed for
+       this key and not yet popped, or [neg_infinity]. Keys often get
+       net-zero count updates (touched but unchanged); without the
+       dedup every such key is re-pushed each round. *)
+    let gm_at = ref (Array.make !cap 0.0) in
+    let gk_at = ref (Array.make !cap 0.0) in
+    let lastg_at = ref (Array.make !cap neg_infinity) in
+    let size = ref 0 in
+    (* Keys whose count moved since the last heap refresh (their slot's
+       hot flag is set, so each key is listed once). A reusable stack
+       rather than a list: it fills and drains every round. *)
+    let touched = ref (Array.make 1024 0) in
+    let ntouched = ref 0 in
+    let touch key =
+      if !ntouched = Array.length !touched then begin
+        let bigger = Array.make (2 * !ntouched) 0 in
+        Array.blit !touched 0 bigger 0 !ntouched;
+        touched := bigger
+      end;
+      Array.unsafe_set !touched !ntouched key;
+      incr ntouched
+    in
+    (* Slots are provably in [0, cap): unsafe accesses avoid bounds
+       checks on the single hottest loop of the build. *)
+    let probe key =
+      let h = key * 0x9E3779B97F4A7C1 in
+      let a = !kc in
+      let m = !mask in
+      let i = ref ((h lxor (h lsr 31)) land m) in
+      while
+        let k = Array.unsafe_get a (!i * 2) land key_mask in
+        k <> 0 && k <> key
+      do
+        i := (!i + 1) land m
+      done;
+      !i
+    in
+    let grow () =
+      let okc = !kc and oocc = !occ_at in
+      let ogm = !gm_at and ogk = !gk_at and olastg = !lastg_at in
+      let ocap = !cap in
+      cap := ocap * 2;
+      mask := !cap - 1;
+      kc := Array.make (2 * !cap) 0;
+      occ_at := Array.make !cap [];
+      gm_at := Array.make !cap 0.0;
+      gk_at := Array.make !cap 0.0;
+      lastg_at := Array.make !cap neg_infinity;
+      for i = 0 to ocap - 1 do
+        if okc.(i * 2) <> 0 then begin
+          let j = probe (okc.(i * 2) land key_mask) in
+          !kc.((j * 2) + 0) <- okc.(i * 2);
+          !kc.((j * 2) + 1) <- okc.((i * 2) + 1);
+          !occ_at.(j) <- oocc.(i);
+          !gm_at.(j) <- ogm.(i);
+          !gk_at.(j) <- ogk.(i);
+          !lastg_at.(j) <- olastg.(i)
+        end
+      done
+    in
+    let count_of key = !kc.((probe key * 2) + 1) in
+    let bump b key d =
+      if !size * 4 >= !cap * 3 then grow ();
+      let i = probe key in
+      let a = !kc in
+      let kv = Array.unsafe_get a (i * 2) in
+      if kv land hot_bit = 0 then begin
+        if kv = 0 then incr size;
+        Array.unsafe_set a (i * 2) (key lor hot_bit);
+        touch key
+      end;
+      Array.unsafe_set a ((i * 2) + 1) (Array.unsafe_get a ((i * 2) + 1) + d);
+      if d > 0 then
+        let occ = !occ_at in
+        match Array.unsafe_get occ i with
+        | b' :: _ when b' = b -> ()
+        | _ -> Array.unsafe_set occ i (b :: Array.unsafe_get occ i)
+    in
+    let last_end = le_create () in
+    let add_block b tokens =
+      count_block last_end dict_get all_items tokens (fun key -> bump b key 1)
+    in
+    (* Non-overlap chain count of one n-gram key in one block — the
+       per-key replay of [count_block]'s bookkeeping, for the few keys
+       the windowed +/-1s cannot handle. *)
+    let chain_count tokens key =
+      let n = Array.length tokens in
+      let count = ref 0 in
+      let last = ref (-1) in
+      (match cand_of_key key with
+      | Pair (a, b) ->
+        for i = 0 to n - 2 do
+          if tokens.(i).t_entry = a && tokens.(i + 1).t_entry = b && !last < i then begin
+            incr count;
+            last := i + 1
+          end
+        done
+      | Triple (a, b, c) ->
+        for i = 0 to n - 3 do
+          if
+            tokens.(i).t_entry = a
+            && tokens.(i + 1).t_entry = b
+            && tokens.(i + 2).t_entry = c
+            && !last < i
+          then begin
+            incr count;
+            last := i + 2
+          end
+        done
+      | Spec _ -> assert false);
+      !count
+    in
+    let spec_delta b d t =
+      let e = dict_get t.t_entry in
+      if Array.length e.prims = 1 then begin
+        let prim = e.prims.(0) in
+        let streams = all_items.(t.t_start) in
+        for s = 0 to Array.length streams - 1 do
+          let items = ref streams.(s) in
+          let p = ref 0 in
+          while
+            match !items with
+            | [] -> false
+            | v :: tl ->
+              if not (is_fixed prim s !p) then bump b (key_spec t.t_entry s !p v) d;
+              items := tl;
+              incr p;
+              true
+          do
+            ()
+          done
+        done
+      end
+    in
+    let max_len = Array.fold_left (fun m t -> max m (Array.length t)) 1 blocks_tokens in
+    (* Self-overlapping keys needing a full re-walk this block. Keys are
+       immediate ints, so [memq] is an exact membership test; the list
+       stays tiny (self-overlap needs repeated entries inside one
+       window). *)
+    let recount = ref [] in
+    (* Apply the windowed +/-[d]s for one side of a reparse: every pair
+       and triple window that overlaps a replacement site, visited once
+       even when consecutive sites' windows overlap (sites ascend, so a
+       per-kind cursor suffices). Only windows that overlap a site can
+       change an n-gram count — unmarked windows map one-to-one between
+       the old and new token arrays with their keys intact, so their
+       contributions cancel; a marked window of a non-self-overlapping
+       key contributes exactly one match. Self-overlapping keys (pair
+       with equal halves, triple with first = third) are deferred to
+       [recount]. *)
+    let windows b tokens n sites nsites width d =
+      let nextp = ref 0 and nextt = ref 0 in
+      for si = 0 to nsites - 1 do
+        let s = sites.(si) in
+        let hi = s + width - 1 in
+        for p = max !nextp (s - 1) to min (n - 2) hi do
+          let a = (Array.unsafe_get tokens p).t_entry
+          and b' = (Array.unsafe_get tokens (p + 1)).t_entry in
+          let key = key_pair a b' in
+          if a = b' then begin
+            if not (List.memq key !recount) then recount := key :: !recount
+          end
+          else bump b key d
+        done;
+        nextp := hi + 1;
+        for p = max !nextt (s - 2) to min (n - 3) hi do
+          let a = (Array.unsafe_get tokens p).t_entry
+          and c = (Array.unsafe_get tokens (p + 2)).t_entry in
+          let key = key_triple a (Array.unsafe_get tokens (p + 1)).t_entry c in
+          if a = c then begin
+            if not (List.memq key !recount) then recount := key :: !recount
+          end
+          else bump b key d
+        done;
+        nextt := hi + 1
+      done
+    in
+    (* Scratch for the fused reparse (reparsing only ever shortens a
+       block's token count, so [max_len] bounds every block for the
+       whole build). *)
+    let scratch = Array.make max_len { t_entry = 0; t_start = 0; t_len = 0 } in
+    let old_site_buf = Array.make max_len 0 in
+    let new_site_buf = Array.make max_len 0 in
+    (* Fused reparse + surgical count patch for one block. Returns false
+       (leaving the block untouched) when the candidate no longer occurs
+       — the reparse scan doubles as the stale-occurrence test. *)
+    let update_block b cand nid =
+      let old_tokens = blocks_tokens.(b) in
+      let n = Array.length old_tokens in
+      let nsites = ref 0 in
+      let nout = ref 0 in
+      (match cand with
+      | Pair (a, b') ->
+        let i = ref 0 in
+        while !i < n do
+          if
+            !i + 1 < n
+            && (Array.unsafe_get old_tokens !i).t_entry = a
+            && (Array.unsafe_get old_tokens (!i + 1)).t_entry = b'
+          then begin
+            scratch.(!nout) <-
+              {
+                t_entry = nid;
+                t_start = old_tokens.(!i).t_start;
+                t_len = old_tokens.(!i).t_len + old_tokens.(!i + 1).t_len;
+              };
+            old_site_buf.(!nsites) <- !i;
+            new_site_buf.(!nsites) <- !nout;
+            incr nsites;
+            incr nout;
+            i := !i + 2
+          end
+          else begin
+            scratch.(!nout) <- old_tokens.(!i);
+            incr nout;
+            incr i
+          end
+        done
+      | Triple (a, b', c) ->
+        let i = ref 0 in
+        while !i < n do
+          if
+            !i + 2 < n
+            && (Array.unsafe_get old_tokens !i).t_entry = a
+            && (Array.unsafe_get old_tokens (!i + 1)).t_entry = b'
+            && (Array.unsafe_get old_tokens (!i + 2)).t_entry = c
+          then begin
+            scratch.(!nout) <-
+              {
+                t_entry = nid;
+                t_start = old_tokens.(!i).t_start;
+                t_len =
+                  old_tokens.(!i).t_len + old_tokens.(!i + 1).t_len + old_tokens.(!i + 2).t_len;
+              };
+            old_site_buf.(!nsites) <- !i;
+            new_site_buf.(!nsites) <- !nout;
+            incr nsites;
+            incr nout;
+            i := !i + 3
+          end
+          else begin
+            scratch.(!nout) <- old_tokens.(!i);
+            incr nout;
+            incr i
+          end
+        done
+      | Spec (e, s, p, v) ->
+        for i = 0 to n - 1 do
+          let t = old_tokens.(i) in
+          if
+            t.t_entry = e
+            && (match List.nth_opt all_items.(t.t_start).(s) p with
+               | Some v' -> v' = v
+               | None -> false)
+          then begin
+            scratch.(i) <- { t with t_entry = nid };
+            old_site_buf.(!nsites) <- i;
+            new_site_buf.(!nsites) <- i;
+            incr nsites
+          end
+          else scratch.(i) <- t
+        done;
+        nout := n);
+      !nsites > 0
+      && begin
+           let new_tokens = Array.sub scratch 0 !nout in
+           blocks_tokens.(b) <- new_tokens;
+           let width = match cand with Pair _ -> 2 | Triple _ -> 3 | Spec _ -> 1 in
+           recount := [];
+           windows b old_tokens n old_site_buf !nsites width (-1);
+           windows b new_tokens !nout new_site_buf !nsites 1 1;
+           (* Self-overlapping keys surfaced from either side: replace the
+              windowed +/-1s they never received with a full old/new diff. *)
+           List.iter
+             (fun key ->
+               let d = chain_count new_tokens key - chain_count old_tokens key in
+               if d <> 0 then bump b key d)
+             !recount;
+           for si = 0 to !nsites - 1 do
+             let site = old_site_buf.(si) in
+             for j = 0 to width - 1 do
+               spec_delta b (-1) old_tokens.(site + j)
+             done
+           done;
+           (* The inserted token's own spec keys: only a Spec candidate
+              yields a single-primitive token (Pair/Triple groups carry
+              no spec keys). *)
+           (match cand with
+           | Spec _ ->
+             for si = 0 to !nsites - 1 do
+               spec_delta b 1 new_tokens.(new_site_buf.(si))
+             done
+           | Pair _ | Triple _ -> ());
+           true
+         end
+    in
+    let heap =
+      Ccomp_util.Heap.create ~cmp:(fun (g1, k1) (g2, k2) ->
+          if g1 <> g2 then compare (g2 : float) g1 else compare (k1 : int) k2)
+    in
+    (* Same value as [gain dict_get (cand_of_key key)], via the slot
+       cache. The Spec-case reassociation ([m *. f] with [m = bits / 8]
+       versus [f *. bits /. 8.0]) is bit-exact: every sub-product is an
+       integer-valued float well under 2^53 scaled by a power of two. *)
+    let gain_slot i key c =
+      if !gm_at.(i) = 0.0 then begin
+        let m, k =
+          match cand_of_key key with
+          | Pair (a, b) -> (1.0, float_of_int (entry_cost (dict_get a) + entry_cost (dict_get b)))
+          | Triple (a, b, c') ->
+            ( 2.0,
+              float_of_int
+                (entry_cost (dict_get a) + entry_cost (dict_get b) + entry_cost (dict_get c')) )
+          | Spec (_, s, _, _) -> (float_of_int I.stream_bits.(s) /. 8.0, 1.0)
+        in
+        !gm_at.(i) <- m;
+        !gk_at.(i) <- k
+      end;
+      (!gm_at.(i) *. float_of_int c) -. !gk_at.(i)
+    in
+    let refresh_heap () =
+      for t = 0 to !ntouched - 1 do
+        let key = !touched.(t) in
+        let i = probe key in
+        !kc.(i * 2) <- key;
+        let c = !kc.((i * 2) + 1) in
+        if c > 0 then begin
+          let g = gain_slot i key c in
+          if g > 0.0 && g <> !lastg_at.(i) then begin
+            Ccomp_util.Heap.push heap (g, key);
+            !lastg_at.(i) <- g
+          end
+        end
+      done;
+      ntouched := 0
+    in
+    let rec pop_best () =
+      if Ccomp_util.Heap.is_empty heap then None
+      else begin
+        let g, key = Ccomp_util.Heap.pop heap in
+        let i = probe key in
+        (* The pushed copy of [g] is leaving the heap; forget it so a
+           later return to the same gain is pushed again. *)
+        if !lastg_at.(i) = g then !lastg_at.(i) <- neg_infinity;
+        let c = !kc.((i * 2) + 1) in
+        if c > 0 && gain_slot i key c = g then Some key else pop_best ()
+      end
+    in
+    let check_counts () =
+      let reference = count_candidates dict_get all_items blocks_tokens in
+      Hashtbl.iter
+        (fun key r ->
+          if count_of key <> !r then
+            failwith
+              (Printf.sprintf "Sadc incremental counts: key %d has %d, rescan says %d" key
+                 (count_of key) !r))
+        reference;
+      for i = 0 to !cap - 1 do
+        let key = !kc.(i * 2) land key_mask in
+        if key <> 0 && !kc.((i * 2) + 1) <> 0 && not (Hashtbl.mem reference key) then
+          failwith
+            (Printf.sprintf "Sadc incremental counts: key %d has stale %d" key !kc.((i * 2) + 1))
+      done
+    in
+    Array.iteri add_block blocks_tokens;
+    refresh_heap ();
+    (* Scratch "already reparsed this round" flags — an occurrence list
+       may carry duplicates. *)
+    let seen = Bytes.make (max nblocks 1) '\000' in
+    let rounds = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !dict_n < config.max_entries && !rounds < config.max_rounds do
+      incr rounds;
+      if check then check_counts ();
+      match pop_best () with
+      | None -> continue_ := false
+      | Some key ->
+        let cand = cand_of_key key in
+        let nid = push (new_entry dict_get cand) in
+        let blocks = !occ_at.(probe key) in
+        List.iter
+          (fun b ->
+            if Bytes.get seen b = '\000' then begin
+              Bytes.set seen b '\001';
+              ignore (update_block b cand nid : bool)
+            end)
+          blocks;
+        List.iter (fun b -> Bytes.set seen b '\000') blocks;
+        refresh_heap ()
+    done;
+    (Array.sub !dict 0 !dict_n, blocks_tokens, !rounds)
 
   (* --- entropy coding ------------------------------------------------- *)
 
   (* Iterate every coded element of a block: [on_token] per token, then
      [on_chunk stream chunk_index value] for each unabsorbed operand
      chunk, in decode pull order. *)
-  let iter_block dict instrs tokens ~on_token ~on_chunk =
+  let iter_block dict all_items tokens ~on_token ~on_chunk =
     Array.iter
       (fun t ->
         on_token t.t_entry;
         let e = dict.(t.t_entry) in
         Array.iteri
           (fun j prim ->
-            let items = I.items instrs.(t.t_start + j) in
+            let items = all_items.(t.t_start + j) in
             Array.iteri
               (fun s stream_items ->
                 List.iteri
@@ -365,14 +935,14 @@ module Make (I : Sadc_isa.S) = struct
           e.prims)
       tokens
 
-  let build_codes dict blocks_instrs blocks_tokens =
+  let build_codes dict all_items blocks_tokens =
     let token_freq = Freq.create (Array.length dict) in
     let chunk_freqs =
       Array.map (fun widths -> Array.of_list (List.map (fun w -> Freq.create (1 lsl w)) widths)) stream_widths
     in
-    Array.iteri
-      (fun b tokens ->
-        iter_block dict blocks_instrs.(b) tokens
+    Array.iter
+      (fun tokens ->
+        iter_block dict all_items tokens
           ~on_token:(fun e -> Freq.add token_freq e)
           ~on_chunk:(fun s w cv -> Freq.add chunk_freqs.(s).(width_index s w) cv))
       blocks_tokens;
@@ -384,9 +954,9 @@ module Make (I : Sadc_isa.S) = struct
     in
     (token_code, chunk_codes)
 
-  let encode_block dict token_code chunk_codes instrs tokens =
-    let w = Bit_writer.create () in
-    iter_block dict instrs tokens
+  let encode_block w dict token_code chunk_codes instrs all_items tokens =
+    Bit_writer.reset w;
+    iter_block dict all_items tokens
       ~on_token:(fun e -> Huffman.encode_symbol token_code w e)
       ~on_chunk:(fun s cw cv ->
         match chunk_codes.(s).(width_index s cw) with
@@ -410,17 +980,19 @@ module Make (I : Sadc_isa.S) = struct
     let instrs = Array.of_list instr_list in
     if Array.length instrs = 0 then invalid_arg "Sadc.compress: empty program";
     let segs = segments instrs config.block_size in
-    let blocks_instrs =
-      Array.map (fun (start, len) -> Array.sub instrs start len) segs
-    in
+    (* Operand items feed every dictionary round and both coders; one
+       array for the whole program, indexed by the tokens' absolute
+       [t_start] — no per-block instruction or item copies anywhere. *)
+    let all_items = Array.map I.items instrs in
     (* Dictionary construction and code building are global (they see
        every block), so they stay serial; the entropy-coding of each
-       block against the finished tables is independent and fans out. *)
+       block against the finished tables is independent and fans out,
+       each domain reusing one bit writer. *)
     let dict, blocks_tokens, rounds =
       Obs.with_span ~cat:"sadc" "sadc.dictionary" (fun () ->
-          build_dictionary config blocks_instrs)
+          build_dictionary_incremental config instrs all_items segs)
     in
-    let token_code, chunk_codes = build_codes dict blocks_instrs blocks_tokens in
+    let token_code, chunk_codes = build_codes dict all_items blocks_tokens in
     let instrument = Obs.metrics_enabled () in
     if instrument then begin
       Obs.Gauge.set g_dict_entries (float_of_int (Array.length dict));
@@ -428,13 +1000,14 @@ module Make (I : Sadc_isa.S) = struct
     end;
     let blocks =
       Obs.with_span ~cat:"sadc" "sadc.encode" @@ fun () ->
-      Ccomp_par.Pool.mapi ~jobs
-        (fun b tokens ->
-          if not instrument then encode_block dict token_code chunk_codes blocks_instrs.(b) tokens
+      Ccomp_par.Pool.mapi_local ~jobs
+        ~local:(fun () -> Bit_writer.create ())
+        (fun w _ tokens ->
+          if not instrument then encode_block w dict token_code chunk_codes instrs all_items tokens
           else begin
             let t0 = Obs.now_us () in
             let ((payload, original) as blk) =
-              encode_block dict token_code chunk_codes blocks_instrs.(b) tokens
+              encode_block w dict token_code chunk_codes instrs all_items tokens
             in
             Obs.Histogram.observe m_c_block_us (Obs.now_us () -. t0);
             Obs.Counter.incr m_c_blocks;
@@ -461,9 +1034,13 @@ module Make (I : Sadc_isa.S) = struct
 
   let block_payload_bytes c b = String.length (fst c.blocks.(b))
 
-  let decompress_block c b =
+  (* Decode one block through a caller-owned reader — per-domain scratch
+     of the parallel pipeline; [decompress_block] wraps it with a fresh
+     reader for the public one-shot API. *)
+  let decompress_block_with r c b =
     let payload, original = c.blocks.(b) in
-    let r = Bit_reader.create payload in
+    let refills0 = Bit_reader.refills r in
+    Bit_reader.reset r payload;
     let decode_chunks s =
       List.fold_left
         (fun acc w ->
@@ -507,28 +1084,108 @@ module Make (I : Sadc_isa.S) = struct
         e.prims
     done;
     if !produced <> original then failwith "Sadc.decompress_block: length mismatch";
-    if Obs.metrics_enabled () then Obs.Counter.add m_reader_refills (Bit_reader.refills r);
+    if Obs.metrics_enabled () then
+      Obs.Counter.add m_reader_refills (Bit_reader.refills r - refills0);
     List.rev !out
+
+  let decompress_block c b = decompress_block_with (Bit_reader.create "") c b
+
+  (* Zero-copy block decoder: same token walk as
+     [decompress_block_with], but every instruction's bytes land
+     straight in the output buffer via [I.read_into] — no instruction
+     list, no intermediate string and (for fixed-width ISAs) no
+     per-instruction allocation at all. The reader, pull scratch and
+     decode closures are built once per domain and reused for every
+     block it draws, so a block decode allocates nothing — domains that
+     do not touch the minor heap do not meet at GC synchronisation
+     barriers, which is what makes jobs=2 pay on few-core hosts.
+     The returned [decode b out pos] writes block [b]'s bytes at
+     [out.(pos)] and returns the count, which the declared block size
+     is enforced to equal. *)
+  let make_block_decoder c =
+    let r = Bit_reader.create "" in
+    let rec chunks s acc = function
+      | [] -> acc
+      | w :: tl ->
+        let code =
+          match c.chunk_codes.(s).(width_index s w) with
+          | Some code -> code
+          | None -> failwith "Sadc.decompress_block: missing chunk code"
+        in
+        let v = Huffman.decode_symbol code r in
+        chunks s ((acc lsl w) lor v) tl
+    in
+    (* Per-block scratch shared by every instruction: pull counters and
+       the current primitive's absorbed operands. Item values are
+       non-negative, so -1 can mark "not absorbed". *)
+    let counters = Array.make I.stream_count 0 in
+    let cur_fixed = ref [] in
+    let rec fixed_at s p = function
+      | [] -> -1
+      | (s', p', v) :: tl -> if s' = s && p' = p then v else fixed_at s p tl
+    in
+    let next s =
+      let p = counters.(s) in
+      counters.(s) <- p + 1;
+      let v = fixed_at s p !cur_fixed in
+      if v >= 0 then v else chunks s 0 stream_chunks.(s)
+    in
+    fun b out pos ->
+      let payload, original = c.blocks.(b) in
+      let refills0 = Bit_reader.refills r in
+      Bit_reader.reset r payload;
+      let produced = ref 0 in
+      let steps = ref 0 in
+      while !produced < original do
+        incr steps;
+        if !steps > original then
+          Ccomp_util.Decode_error.fail
+            (Step_budget_exhausted "Sadc.decompress_block");
+        let tok = Huffman.decode_symbol c.token_code r in
+        if tok >= Array.length c.dict then
+          Ccomp_util.Decode_error.invalid_code "Sadc.decompress_block: token beyond dictionary";
+        let prims = c.dict.(tok).prims in
+        for k = 0 to Array.length prims - 1 do
+          let prim = Array.unsafe_get prims k in
+          Array.fill counters 0 I.stream_count 0;
+          cur_fixed := prim.fixed;
+          produced := !produced + I.read_into ~symbol:prim.sym ~next out (pos + !produced)
+        done
+      done;
+      if !produced <> original then failwith "Sadc.decompress_block: length mismatch";
+      if Obs.metrics_enabled () then
+        Obs.Counter.add m_reader_refills (Bit_reader.refills r - refills0);
+      original
 
   let decompress ?(jobs = 1) c =
     Obs.with_span ~cat:"sadc" ("sadc." ^ I.name ^ ".decompress") @@ fun () ->
     let instrument = Obs.metrics_enabled () in
-    let parts =
-      Ccomp_par.Pool.mapi ~jobs
-        (fun b _ ->
-          if not instrument then I.encode_list (decompress_block c b)
-          else begin
-            let t0 = Obs.now_us () in
-            let out = I.encode_list (decompress_block c b) in
-            Obs.Histogram.observe m_d_block_us (Obs.now_us () -. t0);
-            Obs.Counter.incr m_d_blocks;
-            Obs.Counter.add m_d_bytes_in (String.length (fst c.blocks.(b)));
-            Obs.Counter.add m_d_bytes_out (String.length out);
-            out
-          end)
-        c.blocks
-    in
-    String.concat "" (Array.to_list parts)
+    let nblocks = Array.length c.blocks in
+    (* Prefix-sum the declared block sizes so every block decodes
+       directly into its own slice of one shared output buffer — no
+       per-block result strings to concatenate. The decoder enforces
+       decoded bytes = declared bytes, so slices cannot overlap in a
+       returned result even on corrupt input (writes are bounds-checked
+       and [decompress_checked] folds any failure into a typed
+       error). *)
+    let offs = Array.make (nblocks + 1) 0 in
+    for b = 0 to nblocks - 1 do
+      offs.(b + 1) <- offs.(b) + snd c.blocks.(b)
+    done;
+    let out = Bytes.create offs.(nblocks) in
+    Ccomp_par.Pool.iter_n ~jobs
+      ~local:(fun () -> make_block_decoder c)
+      nblocks
+      (fun decode b ->
+        let t0 = if instrument then Obs.now_us () else 0.0 in
+        let n = decode b out offs.(b) in
+        if instrument then begin
+          Obs.Histogram.observe m_d_block_us (Obs.now_us () -. t0);
+          Obs.Counter.incr m_d_blocks;
+          Obs.Counter.add m_d_bytes_in (String.length (fst c.blocks.(b)));
+          Obs.Counter.add m_d_bytes_out n
+        end);
+    Bytes.unsafe_to_string out
 
   let decompress_checked ?max_output c =
     Ccomp_util.Decode_error.protect ~section:"sadc" (fun () ->
@@ -747,6 +1404,25 @@ module Make (I : Sadc_isa.S) = struct
 
   let deserialize_checked s ~pos =
     Ccomp_util.Decode_error.protect ~section:"sadc.deserialize" (fun () -> deserialize s ~pos)
+
+  (* --- test hooks ---------------------------------------------------- *)
+
+  module For_tests = struct
+    let prepare config instr_list =
+      let instrs = Array.of_list instr_list in
+      let segs = segments instrs config.block_size in
+      (instrs, Array.map I.items instrs, segs)
+
+    let build_naive config instr_list =
+      let instrs, all_items, segs = prepare config instr_list in
+      let dict, _, rounds = build_dictionary_naive config instrs all_items segs in
+      (dict, rounds)
+
+    let build_incremental ?check config instr_list =
+      let instrs, all_items, segs = prepare config instr_list in
+      let dict, _, rounds = build_dictionary_incremental ?check config instrs all_items segs in
+      (dict, rounds)
+  end
 end
 
 module Mips = Make (Sadc_isa.Mips_streams)

@@ -113,6 +113,18 @@ module Make (I : Sadc_isa.S) : sig
   val block_spans : compressed -> (int * int) array
   (** Per-block [(offset, length)] of each payload inside {!serialize}'s
       output (excluding the 4-byte per-block prefixes). *)
+
+  module For_tests : sig
+    val build_naive : config -> I.instr list -> entry array * int
+    (** Dictionary and round count from the full-rescan reference builder
+        (canonical largest-gain / smallest-key selection). *)
+
+    val build_incremental : ?check:bool -> config -> I.instr list -> entry array * int
+    (** Dictionary and round count from the production incremental
+        builder. [check] (default false) re-derives every candidate count
+        by full rescan at the start of each round and raises on any
+        disagreement with the incrementally maintained counts. *)
+  end
 end
 
 module Mips : module type of Make (Sadc_isa.Mips_streams)

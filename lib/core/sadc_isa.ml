@@ -10,6 +10,7 @@ module type S = sig
   val items : instr -> int list array
   val byte_length : instr -> int
   val read : symbol:int -> next:(int -> int) -> instr
+  val read_into : symbol:int -> next:(int -> int) -> Bytes.t -> int -> int
   val encode_list : instr list -> string
   val parse : string -> instr list option
 end
@@ -39,6 +40,68 @@ module Mips_streams = struct
     let imm = if M.has_immediate spec then Some (next 1) else None in
     let limm = if M.has_long_immediate spec then Some (next 2) else None in
     M.reassemble spec ~regs ~imm ~limm
+
+  (* Range guards for pulled items: stream chunk widths bound every
+     Huffman-decoded value, but a hostile dictionary can absorb an
+     out-of-range fixed operand — reject it like [M.make] would. *)
+  let r5 v = if v lsr 5 = 0 then v else invalid_arg "Mips_streams.read_into: register out of range"
+
+  let i16 v =
+    if v lsr 16 = 0 then v else invalid_arg "Mips_streams.read_into: immediate out of range"
+
+  let t26 v = if v lsr 26 = 0 then v else invalid_arg "Mips_streams.read_into: target out of range"
+
+  (* Fused generator + encoder: pulls operands in exactly {!read}'s order
+     but packs the 32-bit word directly — no [M.t], no operand lists, no
+     options. This is what makes the SADC block decoder allocation-free
+     per instruction. *)
+  let read_into ~symbol ~next buf pos =
+    if symbol < 0 || symbol >= base_symbols then invalid_arg "Mips_streams.read: bad symbol";
+    let spec = M.specs.(symbol) in
+    let fields =
+      match spec.M.operands with
+      | M.Op_none -> 0
+      | M.Op_rd_rs_rt | M.Op_rd_rt_rs ->
+        let rs = r5 (next 0) in
+        let rt = r5 (next 0) in
+        let rd = r5 (next 0) in
+        (rs lsl 21) lor (rt lsl 16) lor (rd lsl 11)
+      | M.Op_rd_rt_shamt ->
+        let rt = r5 (next 0) in
+        let rd = r5 (next 0) in
+        let shamt = r5 (next 0) in
+        (rt lsl 16) lor (rd lsl 11) lor (shamt lsl 6)
+      | M.Op_rs_rt ->
+        let rs = r5 (next 0) in
+        let rt = r5 (next 0) in
+        (rs lsl 21) lor (rt lsl 16)
+      | M.Op_rd -> r5 (next 0) lsl 11
+      | M.Op_rs -> r5 (next 0) lsl 21
+      | M.Op_rd_rs ->
+        let rs = r5 (next 0) in
+        let rd = r5 (next 0) in
+        (rs lsl 21) lor (rd lsl 11)
+      | M.Op_rt_rs_imm | M.Op_rt_base_offset | M.Op_rs_rt_branch ->
+        let rs = r5 (next 0) in
+        let rt = r5 (next 0) in
+        let imm = i16 (next 1) in
+        (rs lsl 21) lor (rt lsl 16) lor imm
+      | M.Op_rt_imm ->
+        let rt = r5 (next 0) in
+        let imm = i16 (next 1) in
+        (rt lsl 16) lor imm
+      | M.Op_rs_branch ->
+        let rs = r5 (next 0) in
+        let imm = i16 (next 1) in
+        (rs lsl 21) lor imm
+      | M.Op_target -> t26 (next 2)
+    in
+    let w = M.skeleton spec lor fields in
+    Bytes.set buf pos (Char.unsafe_chr ((w lsr 24) land 0xff));
+    Bytes.set buf (pos + 1) (Char.unsafe_chr ((w lsr 16) land 0xff));
+    Bytes.set buf (pos + 2) (Char.unsafe_chr ((w lsr 8) land 0xff));
+    Bytes.set buf (pos + 3) (Char.unsafe_chr (w land 0xff));
+    4
 
   let encode_list = M.encode_program
 
@@ -83,6 +146,15 @@ module X86_streams = struct
     with
     | Some i -> i
     | None -> invalid_arg "X86_streams.read: unknown opcode"
+
+  (* Variable-width ISA: rebuild the instruction, then blit its encoding.
+     (The allocation-free fast path only matters for the fixed-width
+     MIPS decoder; x86 keeps the simple composition.) *)
+  let read_into ~symbol ~next buf pos =
+    let s = X.encode (read ~symbol ~next) in
+    let n = String.length s in
+    Bytes.blit_string s 0 buf pos n;
+    n
 
   let encode_list = X.encode_program
 
@@ -148,6 +220,12 @@ module X86_field_streams = struct
     with
     | Some i -> i
     | None -> invalid_arg "X86_field_streams.read: unknown opcode"
+
+  let read_into ~symbol ~next buf pos =
+    let s = X.encode (read ~symbol ~next) in
+    let n = String.length s in
+    Bytes.blit_string s 0 buf pos n;
+    n
 
   let encode_list = X.encode_program
 

@@ -35,6 +35,16 @@ module type S = sig
       {!items} lists for the result.
       @raise Invalid_argument on an unknown symbol or malformed pulls. *)
 
+  val read_into : symbol:int -> next:(int -> int) -> Bytes.t -> int -> int
+  (** [read_into ~symbol ~next buf pos] decodes one instruction with the
+      same pulls as {!read} but writes its encoded bytes directly at
+      [buf.(pos)], returning the byte length — the zero-copy decode
+      path. Fixed-width ISAs implement it without constructing an
+      [instr] at all, so a block decode allocates nothing per
+      instruction.
+      @raise Invalid_argument on an unknown symbol, out-of-range pulled
+      items, or an out-of-bounds write. *)
+
   val encode_list : instr list -> string
 
   val parse : string -> instr list option

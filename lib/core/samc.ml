@@ -154,12 +154,12 @@ let note_stream_costs c model code =
         (bits_out.(s) /. float_of_int bits_in.(s))
   done
 
-let encode_block c model code ~first_word ~n_words =
-  let encoder = Coder.Encoder.create () in
-  let flat = Markov_model.flat_probs model in
+(* Encode one block through a caller-owned encoder with the per-image
+   tables already hoisted — the parallel path reuses one encoder per
+   domain and builds the tables once per image, not per 32-byte block. *)
+let encode_block_with encoder c ~flat ~base ~widths code ~first_word ~n_words =
+  Coder.Encoder.reset encoder;
   let n_streams = Array.length c.streams in
-  let base = Array.init n_streams (fun s -> Markov_model.tree_offset model ~stream:s ~ctx:0) in
-  let widths = Array.map Array.length c.streams in
   let ctx_mask = (1 lsl c.context_bits) - 1 in
   let ctx = ref 0 in
   for wi = first_word to first_word + n_words - 1 do
@@ -195,16 +195,24 @@ let compress ?(jobs = 1) c code =
   let nblocks = block_count c ~code_bytes:(String.length code) in
   (* Blocks restart the coder and context, so each encodes independently;
      the pool reassembles in block order, keeping the output
-     byte-identical to a serial run. *)
+     byte-identical to a serial run. The per-image tables are hoisted
+     out of the block loop and each domain reuses one encoder. *)
+  let flat = Markov_model.flat_probs model in
+  let base =
+    Array.init (Array.length c.streams) (fun s -> Markov_model.tree_offset model ~stream:s ~ctx:0)
+  in
+  let widths = Array.map Array.length c.streams in
   let blocks =
     Obs.with_span ~cat:"samc" "samc.encode" @@ fun () ->
-    Ccomp_par.Pool.init ~jobs nblocks (fun b ->
+    Ccomp_par.Pool.init_local ~jobs nblocks
+      ~local:(fun () -> Coder.Encoder.create ())
+      (fun encoder b ->
         let first_word = b * wpb in
         let n_words = min wpb (words - first_word) in
-        if not instrument then encode_block c model code ~first_word ~n_words
+        if not instrument then encode_block_with encoder c ~flat ~base ~widths code ~first_word ~n_words
         else begin
           let t0 = Obs.now_us () in
-          let blk = encode_block c model code ~first_word ~n_words in
+          let blk = encode_block_with encoder c ~flat ~base ~widths code ~first_word ~n_words in
           Obs.Histogram.observe m_c_block_us (Obs.now_us () -. t0);
           Obs.Counter.incr m_c_blocks;
           Obs.Counter.add m_c_bytes_in (n_words * wb);
@@ -261,13 +269,13 @@ let decode_plan c model =
     p_low_shift = low_shift;
   }
 
-let decompress_block_planned p ~original_bytes data =
+(* Decode one block's words into [out] starting at byte [pos] — the
+   zero-copy kernel: the full-image path points every block at its slice
+   of one shared buffer instead of allocating per-block strings and
+   concatenating. [pos] must leave room for [n_words] words. *)
+let decompress_block_planned_into p out ~pos ~n_words data =
   let wb = p.p_wb in
-  if original_bytes mod wb <> 0 then
-    invalid_arg "Samc.decompress_block: size not a multiple of the word size";
-  let n_words = original_bytes / wb in
   let decoder = Coder.Decoder.create data in
-  let out = Bytes.create original_bytes in
   let flat = p.p_flat in
   let n_streams = Array.length p.p_widths in
   let ctx_mask = p.p_ctx_mask in
@@ -292,11 +300,18 @@ let decompress_block_planned p ~original_bytes data =
     done;
     let word = !word in
     for j = 0 to wb - 1 do
-      Bytes.unsafe_set out ((wi * wb) + j)
+      Bytes.unsafe_set out (pos + (wi * wb) + j)
         (Char.unsafe_chr ((word lsr (8 * (wb - 1 - j))) land 0xff))
     done
-  done;
-  Bytes.to_string out
+  done
+
+let decompress_block_planned p ~original_bytes data =
+  let wb = p.p_wb in
+  if original_bytes mod wb <> 0 then
+    invalid_arg "Samc.decompress_block: size not a multiple of the word size";
+  let out = Bytes.create original_bytes in
+  decompress_block_planned_into p out ~pos:0 ~n_words:(original_bytes / wb) data;
+  Bytes.unsafe_to_string out
 
 let decompress_block c model ~original_bytes data =
   decompress_block_planned (decode_plan c model) ~original_bytes data
@@ -386,26 +401,30 @@ let decompress ?(jobs = 1) t =
   let c = t.config in
   let wpb = words_per_block c in
   let wb = word_bytes c in
+  if t.original_size mod wb <> 0 then
+    invalid_arg "Samc.decompress: size not a multiple of the word size";
   let words = t.original_size / wb in
   let plan = decode_plan c t.model in
   let instrument = Obs.metrics_enabled () in
-  let parts =
-    Ccomp_par.Pool.mapi ~jobs
-      (fun b data ->
-        let n_words = min wpb (words - (b * wpb)) in
-        if not instrument then decompress_block_planned plan ~original_bytes:(n_words * wb) data
-        else begin
-          let t0 = Obs.now_us () in
-          let out = decompress_block_planned plan ~original_bytes:(n_words * wb) data in
-          Obs.Histogram.observe m_d_block_us (Obs.now_us () -. t0);
-          Obs.Counter.incr m_d_blocks;
-          Obs.Counter.add m_d_bytes_in (String.length data);
-          Obs.Counter.add m_d_bytes_out (String.length out);
-          out
-        end)
-      t.blocks
-  in
-  String.concat "" (Array.to_list parts)
+  (* Every block decodes into its disjoint slice of one shared output
+     buffer — no per-block strings, no final concat. *)
+  let out = Bytes.create t.original_size in
+  Ccomp_par.Pool.iteri_local ~jobs
+    ~local:(fun () -> ())
+    (fun () b data ->
+      let n_words = min wpb (words - (b * wpb)) in
+      let pos = b * wpb * wb in
+      if not instrument then decompress_block_planned_into plan out ~pos ~n_words data
+      else begin
+        let t0 = Obs.now_us () in
+        decompress_block_planned_into plan out ~pos ~n_words data;
+        Obs.Histogram.observe m_d_block_us (Obs.now_us () -. t0);
+        Obs.Counter.incr m_d_blocks;
+        Obs.Counter.add m_d_bytes_in (String.length data);
+        Obs.Counter.add m_d_bytes_out (n_words * wb)
+      end)
+    t.blocks;
+  Bytes.unsafe_to_string out
 
 let decompress_checked ?max_output t =
   Ccomp_util.Decode_error.protect ~section:"samc" (fun () ->

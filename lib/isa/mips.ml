@@ -135,6 +135,15 @@ let encode i =
   | Normal op -> (op lsl 26) lor (i.rs lsl 21) lor (i.rt lsl 16) lor i.imm
   | Jump op -> (op lsl 26) lor i.imm
 
+(* The operand-independent bits of the encoded word: primary opcode plus
+   the funct / regimm selector. For a canonical instruction,
+   [encode i = skeleton i.spec lor <operand fields>]. *)
+let skeleton spec =
+  match encoding_of spec with
+  | Special funct -> funct
+  | Regimm sel -> (0x01 lsl 26) lor (sel lsl 16)
+  | Normal op | Jump op -> op lsl 26
+
 (* Fields that the operand signature does not mention must be zero for the
    word to be canonical (decode is the inverse of encode only on canonical
    words). *)

@@ -54,6 +54,12 @@ val make :
 val encode : t -> int
 (** 32-bit machine word in \[0, 2^32). *)
 
+val skeleton : spec -> int
+(** The operand-independent bits of {!encode}'s word (primary opcode and
+    funct / regimm selector): for canonical [i],
+    [encode i = skeleton i.spec lor] the operand fields. Lets stream
+    decoders assemble words without building a {!t}. *)
+
 val decode : int -> t option
 (** Inverse of {!encode}; [None] for words that are not in the subset. *)
 

@@ -1,14 +1,24 @@
-(** Domain-based work pool for per-cache-block parallelism.
+(** Persistent domain pool for per-cache-block parallelism.
 
-    Work items are drawn from a shared queue by [jobs] OCaml 5 domains;
-    each result is stored at its input index, so the assembled output is
-    deterministic and order-preserving — byte-identical to a serial run
-    regardless of scheduling. With [jobs <= 1] (or a single item) no
-    domain is spawned and the computation runs serially in the caller.
+    Worker domains are spawned once — lazily, sized by the largest
+    [jobs] ever requested — and parked on a condition variable between
+    dispatches. Each [mapi]/[init]/[iteri] call is an {e epoch}: work
+    items are drawn from a shared index queue by up to [jobs]
+    participating domains (the caller is one of them); each result is
+    stored at its input index, so the assembled output is deterministic
+    and order-preserving — byte-identical to a serial run regardless of
+    scheduling. With [jobs <= 1] (or a single item) no domain is
+    involved and the computation runs serially in the caller.
 
-    The functions must not be nested (a worker must not itself call into
-    the pool) and [f] must be safe to run concurrently with itself —
-    true of the block codecs, which share only immutable models. *)
+    Epochs are serialized across domains (a second concurrent dispatcher
+    queues); a pool task must not itself dispatch — nested dispatch is
+    detected and rejected with [Invalid_argument] instead of
+    deadlocking. [f] must be safe to run concurrently with itself — true
+    of the block codecs, which share only immutable models.
+
+    If a task raises, the first exception wins: remaining queued items
+    are skipped and the dispatch re-raises after the epoch settles. The
+    pool itself stays usable for the next dispatch. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what [--jobs 0] resolves to
@@ -16,12 +26,42 @@ val default_jobs : unit -> int
 
 val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 (** [mapi ~jobs f a] is [Array.mapi f a] computed on up to [jobs]
-    domains (default {!default_jobs}). If any [f] raises, one of the
-    raised exceptions is re-raised after all domains join; remaining
-    queued items are skipped. *)
+    domains (default {!default_jobs}). *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
 val init : ?jobs:int -> int -> (int -> 'a) -> 'a array
 (** [init ~jobs n f] is [Array.init n f] with the calls distributed over
     the pool. *)
+
+val mapi_local :
+  ?jobs:int -> local:(unit -> 'l) -> ('l -> int -> 'a -> 'b) -> 'a array -> 'b array
+(** [mapi_local ~local f a] is {!mapi} with per-domain reusable scratch:
+    [local ()] runs once per participating domain per epoch, and its
+    result threads through every [f] call that domain executes — the
+    hook for reusable bit-writer buffers and coder state, so the per-
+    block hot path allocates nothing. [local] must produce independent
+    values (they are used concurrently). *)
+
+val init_local : ?jobs:int -> local:(unit -> 'l) -> int -> ('l -> int -> 'b) -> 'b array
+(** {!init} with per-domain scratch, as {!mapi_local}. *)
+
+val iteri_local : ?jobs:int -> local:(unit -> 'l) -> ('l -> int -> 'a -> unit) -> 'a array -> unit
+(** [iteri_local ~local f a] runs [f scratch i a.(i)] for every index,
+    discarding results — the zero-copy path: tasks write directly into
+    disjoint spans of one shared output buffer instead of returning
+    per-block strings for reassembly. *)
+
+val iter_n : ?jobs:int -> local:(unit -> 'l) -> int -> ('l -> int -> unit) -> unit
+(** [iter_n ~local n f] is {!iteri_local} over the index range [0, n)
+    with no backing array. *)
+
+val shutdown : unit -> unit
+(** Join every parked worker domain and empty the pool. Safe to call at
+    any quiescent point (it waits for an in-flight epoch to finish); the
+    pool respawns lazily on the next dispatch. Registered [at_exit], so
+    a process never exits with parked domains.
+    @raise Invalid_argument when called from inside a pool task. *)
+
+val pool_domains : unit -> int
+(** Number of resident (parked or working) worker domains. *)

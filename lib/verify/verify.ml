@@ -299,7 +299,7 @@ let make_byte_huffman ~block_size code =
   let serialized = lazy (Byte_huffman.serialize z) in
   {
     ci_serial = lazy (Byte_huffman.decompress z);
-    ci_parallel = None;
+    ci_parallel = Some (fun j -> Byte_huffman.decompress ~jobs:j z);
     ci_checked = (fun () -> Byte_huffman.decompress_checked z);
     ci_kernels =
       [

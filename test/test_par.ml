@@ -38,6 +38,47 @@ let test_pool_exception () =
   Alcotest.check_raises "worker exception reaches the caller" (Failure "boom") (fun () ->
       ignore (Pool.init ~jobs:4 64 (fun i -> if i = 41 then failwith "boom" else i)))
 
+(* --- pool lifecycle (PR7: domains persist across dispatches) ----------- *)
+
+let test_pool_persistent () =
+  ignore (Pool.init ~jobs:3 64 (fun i -> i));
+  let resident = Pool.pool_domains () in
+  Alcotest.(check bool) "workers resident after a dispatch" true (resident >= 1);
+  for _ = 1 to 5 do
+    ignore (Pool.init ~jobs:3 64 (fun i -> i))
+  done;
+  Alcotest.(check int) "no respawn across dispatches" resident (Pool.pool_domains ())
+
+let test_pool_survives_exception () =
+  ignore (Pool.init ~jobs:3 16 (fun i -> i));
+  let resident = Pool.pool_domains () in
+  (try ignore (Pool.init ~jobs:3 64 (fun i -> if i = 7 then failwith "kaboom" else i))
+   with Failure _ -> ());
+  Alcotest.(check int) "workers survive a task exception" resident (Pool.pool_domains ());
+  Alcotest.(check (array int))
+    "next dispatch is clean"
+    (Array.init 64 (fun i -> 2 * i))
+    (Pool.init ~jobs:3 64 (fun i -> 2 * i))
+
+let test_pool_shutdown_respawn () =
+  ignore (Pool.init ~jobs:2 16 (fun i -> i));
+  Pool.shutdown ();
+  Alcotest.(check int) "shutdown empties the pool" 0 (Pool.pool_domains ());
+  Alcotest.(check (array int))
+    "pool respawns lazily"
+    (Array.init 32 (fun i -> i + 1))
+    (Pool.init ~jobs:2 32 (fun i -> i + 1));
+  Alcotest.(check bool) "workers resident again" true (Pool.pool_domains () >= 1)
+
+let test_pool_nested_rejected () =
+  let saw = ref false in
+  (try ignore (Pool.init ~jobs:2 8 (fun _ -> ignore (Pool.init ~jobs:2 8 (fun j -> j))))
+   with Invalid_argument _ -> saw := true);
+  Alcotest.(check bool) "nested dispatch rejected with Invalid_argument" true !saw;
+  Alcotest.(check (array int))
+    "pool usable after a rejected nested dispatch" [| 0; 1; 2; 3 |]
+    (Pool.init ~jobs:2 4 (fun i -> i))
+
 (* --- serial vs parallel byte identity ---------------------------------- *)
 
 let mips_code seed =
@@ -222,6 +263,10 @@ let suite =
     Alcotest.test_case "pool preserves order" `Quick test_pool_order;
     Alcotest.test_case "pool degenerate inputs" `Quick test_pool_degenerate;
     Alcotest.test_case "pool propagates exceptions" `Quick test_pool_exception;
+    Alcotest.test_case "pool domains persist across dispatches" `Quick test_pool_persistent;
+    Alcotest.test_case "pool survives a task exception" `Quick test_pool_survives_exception;
+    Alcotest.test_case "pool shutdown joins and respawns" `Quick test_pool_shutdown_respawn;
+    Alcotest.test_case "nested dispatch is rejected" `Quick test_pool_nested_rejected;
     QCheck_alcotest.to_alcotest prop_samc_mips_par_identity;
     QCheck_alcotest.to_alcotest prop_samc_byte_par_identity;
     QCheck_alcotest.to_alcotest prop_sadc_mips_par_identity;

@@ -196,6 +196,46 @@ let test_ratio_better_than_tokens_alone () =
   Alcotest.(check bool) "dict bytes positive" true (Sadc.Mips.dict_bytes z > 0);
   Alcotest.(check bool) "tables bytes positive" true (Sadc.Mips.tables_bytes z > 0)
 
+(* --- incremental vs naive dictionary builder ------------------------- *)
+
+let mips_instrs code = Mips.decode_program code |> Array.to_list |> List.map Option.get
+
+(* The incremental builder must be observationally identical to the
+   full-rescan reference: same dictionary entries (symbols, fixed
+   operands, order) and same number of specialization rounds. *)
+let prop_incremental_matches_naive =
+  QCheck.Test.make ~name:"sadc mips: incremental dictionary builder matches naive" ~count:8
+    QCheck.(pair (int_bound 1000) (int_bound 1))
+    (fun (seed, prof) ->
+      let base = if prof = 0 then "xlisp" else "go" in
+      let code =
+        (snd
+           (P.Mips_backend.lower
+              (P.Generator.generate ~seed:(Int64.of_int (seed + 41)) (small base 500))))
+          .P.Layout.code
+      in
+      let instrs = mips_instrs code in
+      Sadc.Mips.For_tests.build_naive cfg instrs
+      = Sadc.Mips.For_tests.build_incremental cfg instrs)
+
+let test_incremental_counts_checked () =
+  (* ~check:true re-derives every candidate count by full rescan at the
+     start of each round and raises on any disagreement with the
+     incrementally maintained counts — this exercises the per-round
+     bookkeeping, not just the final dictionary. *)
+  List.iter
+    (fun (seed, c, label) ->
+      let instrs = mips_instrs (mips_code seed) in
+      let naive = Sadc.Mips.For_tests.build_naive c instrs in
+      let checked = Sadc.Mips.For_tests.build_incremental ~check:true c instrs in
+      Alcotest.(check bool) (label ^ ": dict and rounds equal") true (naive = checked);
+      Alcotest.(check bool) (label ^ ": ran at least one round") true (snd checked >= 1))
+    [
+      (21L, cfg, "default config");
+      (22L, cfg, "default config seed 22");
+      (23L, Sadc.default_config ~max_rounds:64 (), "max_rounds 64");
+    ]
+
 let suite =
   [
     Alcotest.test_case "mips roundtrip" `Quick test_roundtrip_mips;
@@ -214,6 +254,9 @@ let suite =
     Alcotest.test_case "undecodable image rejected" `Quick test_undecodable_image_rejected;
     Alcotest.test_case "serialization roundtrip" `Quick test_serialization_roundtrip;
     Alcotest.test_case "ratio accounting" `Quick test_ratio_better_than_tokens_alone;
+    Alcotest.test_case "incremental counts verified per round" `Quick
+      test_incremental_counts_checked;
+    QCheck_alcotest.to_alcotest prop_incremental_matches_naive;
   ]
 
 let test_x86_field_streams_roundtrip () =

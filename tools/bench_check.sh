@@ -1,12 +1,12 @@
 #!/bin/sh
 # Benchmark regression gate over the flat JSON written by
-# `bench --emit-json` (see BENCH_PR2.json for the committed baseline).
+# `bench --emit-json` (see BENCH_PR7.json for the committed baseline).
 #
 # Modes:
 #   bench_check.sh [BASELINE]
 #       Run the full throughput suite with `dune exec bench/main.exe` and
 #       fail (exit 1) if any *decompress* throughput fell more than 20%
-#       below the baseline (default: BENCH_PR2.json next to this repo's
+#       below the baseline (default: BENCH_PR7.json next to this repo's
 #       root). Compress keys are reported but not gated — dictionary
 #       construction time is dominated by search heuristics, not the
 #       kernels this gate protects.
@@ -19,12 +19,20 @@
 #       into `dune runtest` — which bench/dune does.
 #   bench_check.sh --validate FILE
 #       Structure validation of an existing file.
+#   bench_check.sh --invariants FILE
+#       Absolute acceptance gates over an emitted file (PR7): parallel
+#       decompress >= 0.95 * serial at the file's jobs setting for SAMC,
+#       SADC and byte-huffman; SADC compress >= 1.0 MB/s; pool metrics
+#       show the domain pool actually ran (tasks dispatched, queue-depth
+#       histogram non-empty, jobs gauge set). Run against the committed
+#       BENCH_PR*.json this is deterministic, so bench/dune wires it
+#       into runtest.
 set -eu
 
 THRESHOLD_PCT=20
 
 usage() {
-  sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,29p' "$0" | sed 's/^# \{0,1\}//'
   exit 2
 }
 
@@ -52,7 +60,23 @@ sadc-mips.decompress_parallel_mbps
 byte-huffman.compress_serial_mbps
 byte-huffman.compress_parallel_mbps
 byte-huffman.decompress_mbps
+byte-huffman.decompress_parallel_mbps
 byte-huffman.decompress_tree_mbps
+samc-mips.decompress_jobs1_mbps
+samc-mips.decompress_jobs2_mbps
+samc-mips.decompress_jobs4_mbps
+samc-mips.decompress_jobs8_mbps
+sadc-mips.decompress_jobs1_mbps
+sadc-mips.decompress_jobs2_mbps
+sadc-mips.decompress_jobs4_mbps
+sadc-mips.decompress_jobs8_mbps
+byte-huffman.decompress_jobs1_mbps
+byte-huffman.decompress_jobs2_mbps
+byte-huffman.decompress_jobs4_mbps
+byte-huffman.decompress_jobs8_mbps
+par.tasks
+par.jobs
+par.queue_depth_count
 '
 
 # Shared sanity for any file this gate reads: it must exist, be
@@ -142,10 +166,61 @@ compare() { # new baseline
   echo "bench_check: PASS (no decompress regression >${THRESHOLD_PCT}% vs $base)"
 }
 
+# The PR7 acceptance gates. Ratio invariants compare keys within one
+# file (same machine, same run), so they hold across hosts; the one
+# absolute floor (SADC compress MB/s) encodes the incremental
+# dictionary builder's ~9x win over the 0.14 MB/s rescan baseline and
+# is checked against the committed benchmark file.
+invariants() { # file
+  file=$1
+  check_schema "$file" "file"
+  fail=0
+  ratio_ge() { # name numerator-key denominator-key factor
+    n=$(json_get "$file" "$2"); d=$(json_get "$file" "$3")
+    if [ -z "$n" ] || [ -z "$d" ]; then
+      echo "  INVARIANT $1: missing key ($2 or $3)" >&2; fail=1
+    elif awk -v n="$n" -v d="$d" -v f="$4" 'BEGIN { exit !(n + 0 >= d * f) }'; then
+      echo "  ok  $1: $n >= $4 * $d"
+    else
+      echo "  INVARIANT $1 FAILED: $n < $4 * $d" >&2; fail=1
+    fi
+  }
+  abs_ge() { # name key floor
+    v=$(json_get "$file" "$2")
+    if [ -z "$v" ]; then
+      echo "  INVARIANT $1: missing key $2" >&2; fail=1
+    elif awk -v v="$v" -v f="$3" 'BEGIN { exit !(v + 0 >= f + 0) }'; then
+      echo "  ok  $1: $v >= $3"
+    else
+      echo "  INVARIANT $1 FAILED: $v < $3" >&2; fail=1
+    fi
+  }
+  echo "bench_check: invariants over $file"
+  ratio_ge "samc parallel decompress on par" \
+    samc-mips.decompress_parallel_mbps samc-mips.decompress_serial_mbps 0.95
+  ratio_ge "sadc parallel decompress on par" \
+    sadc-mips.decompress_parallel_mbps sadc-mips.decompress_serial_mbps 0.95
+  ratio_ge "byte-huffman parallel decompress on par" \
+    byte-huffman.decompress_parallel_mbps byte-huffman.decompress_mbps 0.95
+  abs_ge "sadc incremental dictionary compress floor" sadc-mips.compress_serial_mbps 1.0
+  abs_ge "pool dispatched tasks" par.tasks 1
+  abs_ge "pool queue-depth histogram non-empty" par.queue_depth_count 1
+  abs_ge "pool jobs gauge set" par.jobs 2
+  if [ "$fail" -ne 0 ]; then
+    echo "bench_check: INVARIANTS FAILED for $file" >&2
+    exit 1
+  fi
+  echo "bench_check: invariants PASS for $file"
+}
+
 case "${1:-}" in
   --validate)
     [ $# -eq 2 ] || usage
     validate "$2"
+    ;;
+  --invariants)
+    [ $# -eq 2 ] || usage
+    invariants "$2"
     ;;
   --compare)
     [ $# -eq 3 ] || usage
@@ -169,7 +244,7 @@ case "${1:-}" in
     ;;
   *)
     root=$(cd "$(dirname "$0")/.." && pwd)
-    baseline=${1:-$root/BENCH_PR2.json}
+    baseline=${1:-$root/BENCH_PR7.json}
     out=$(mktemp /tmp/bench_full.XXXXXX.json)
     trap 'rm -f "$out"' EXIT
     trap 'exit 130' INT

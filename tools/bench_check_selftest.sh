@@ -29,7 +29,23 @@ sadc-mips.decompress_parallel_mbps
 byte-huffman.compress_serial_mbps
 byte-huffman.compress_parallel_mbps
 byte-huffman.decompress_mbps
+byte-huffman.decompress_parallel_mbps
 byte-huffman.decompress_tree_mbps
+samc-mips.decompress_jobs1_mbps
+samc-mips.decompress_jobs2_mbps
+samc-mips.decompress_jobs4_mbps
+samc-mips.decompress_jobs8_mbps
+sadc-mips.decompress_jobs1_mbps
+sadc-mips.decompress_jobs2_mbps
+sadc-mips.decompress_jobs4_mbps
+sadc-mips.decompress_jobs8_mbps
+byte-huffman.decompress_jobs1_mbps
+byte-huffman.decompress_jobs2_mbps
+byte-huffman.decompress_jobs4_mbps
+byte-huffman.decompress_jobs8_mbps
+par.tasks
+par.jobs
+par.queue_depth_count
 '
 
 # emit_fixture FILE KEY=VALUE...: a ccomp-bench-v1 file with every
@@ -122,8 +138,24 @@ expect "new run missing a key fails" fail \
 expect "unreadable baseline fails" fail \
   sh "$check" --compare "$dir/good.json" "$dir"
 
+# --invariants: within-file acceptance gates (PR7)
+expect "invariants pass on a healthy file" ok \
+  sh "$check" --invariants "$dir/good.json"
+
+emit_fixture "$dir/lag.json" "sadc-mips.decompress_parallel_mbps=80.0"
+expect "parallel decompress below par fails invariants" fail \
+  sh "$check" --invariants "$dir/lag.json"
+
+emit_fixture "$dir/slowdict.json" "sadc-mips.compress_serial_mbps=0.5"
+expect "compress floor breach fails invariants" fail \
+  sh "$check" --invariants "$dir/slowdict.json"
+
+emit_fixture "$dir/nopool.json" "par.tasks=0"
+expect "idle pool fails invariants" fail \
+  sh "$check" --invariants "$dir/nopool.json"
+
 if [ "$failures" -ne 0 ]; then
   echo "bench_check_selftest: FAILED ($failures scenario(s))" >&2
   exit 1
 fi
-echo "bench_check_selftest: OK (11 scenarios)"
+echo "bench_check_selftest: OK (15 scenarios)"

@@ -1,0 +1,74 @@
+#!/bin/sh
+# Live perf smoke for the persistent-pool pipeline (PR7).
+#
+#   perf_check.sh BENCH_EXE [BENCH_CHECK]
+#
+# Runs the throughput suite for a fraction of a second at jobs=2,
+# validates the emitted JSON through bench_check.sh --validate, then
+# checks what must hold on ANY machine at any load:
+#   - pool metrics prove the persistent pool ran: tasks dispatched over
+#     at least 3 epochs (one per codec pass), queue-depth histogram
+#     non-empty, jobs gauge = 2, worker busy time accounted;
+#   - live parallel decompress stays above 0.5 * serial for every codec.
+#     The committed-file invariant gate holds the real on-par bar
+#     (bench_check.sh --invariants); this live bound only catches a
+#     pipeline that re-grew a serial bottleneck or lost the pool
+#     entirely, so it tolerates a loaded CI host without flapping.
+set -eu
+
+[ $# -ge 1 ] || { echo "usage: perf_check.sh BENCH_EXE [BENCH_CHECK]" >&2; exit 2; }
+case $1 in */*) exe=$1 ;; *) exe=./$1 ;; esac
+check=${2:-$(cd "$(dirname "$0")" && pwd)/bench_check.sh}
+
+out=$(mktemp /tmp/perf_check.XXXXXX.json)
+trap 'rm -f "$out"' EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
+trap 'exit 129' HUP
+
+"$exe" --emit-json "$out" --scale 0.05 --min-time 0.01 --jobs 2 >/dev/null
+"$check" --validate "$out"
+
+json_get() { # key
+  awk -F'"' -v k="$1" '$2 == k { v = $3; gsub(/[^0-9.eE+-]/, "", v); print v; exit }' "$out"
+}
+
+fail=0
+ge() { # name value floor
+  if [ -z "$2" ]; then
+    echo "  PERF $1: missing value" >&2; fail=1
+  elif awk -v v="$2" -v f="$3" 'BEGIN { exit !(v + 0 >= f + 0) }'; then
+    echo "  ok  $1: $2 >= $3"
+  else
+    echo "  PERF $1 FAILED: $2 < $3" >&2; fail=1
+  fi
+}
+ratio() { # name numerator-key denominator-key factor
+  n=$(json_get "$2"); d=$(json_get "$3")
+  if [ -z "$n" ] || [ -z "$d" ]; then
+    echo "  PERF $1: missing key ($2 or $3)" >&2; fail=1
+  elif awk -v n="$n" -v d="$d" -v f="$4" 'BEGIN { exit !(n + 0 >= d * f) }'; then
+    echo "  ok  $1: $n >= $4 * $d"
+  else
+    echo "  PERF $1 FAILED: $n < $4 * $d" >&2; fail=1
+  fi
+}
+
+echo "perf_check: live pool sanity (jobs=2, smoke scale)"
+ge "pool tasks dispatched"        "$(json_get par.tasks)" 1
+ge "pool epochs (3 codec passes)" "$(json_get par.epochs)" 3
+ge "pool jobs gauge"              "$(json_get par.jobs)" 2
+ge "queue-depth histogram"        "$(json_get par.queue_depth_count)" 1
+ge "worker busy time"             "$(json_get par.worker_busy_us_sum)" 1
+ratio "samc live parallel decompress" \
+  samc-mips.decompress_parallel_mbps samc-mips.decompress_serial_mbps 0.5
+ratio "sadc live parallel decompress" \
+  sadc-mips.decompress_parallel_mbps sadc-mips.decompress_serial_mbps 0.5
+ratio "byte-huffman live parallel decompress" \
+  byte-huffman.decompress_parallel_mbps byte-huffman.decompress_mbps 0.5
+
+if [ "$fail" -ne 0 ]; then
+  echo "perf_check: FAILED" >&2
+  exit 1
+fi
+echo "perf_check: PASS"

@@ -23,6 +23,9 @@
      chaos       seeded socket-level chaos campaign against a daemon:
                  slowloris, truncation, resets, overload floods —
                  asserts liveness, typed sheds, byte-identical jobs
+     loadgen     seeded open-loop traffic generator: CO-safe latency
+                 percentiles, shed/deadline rates, server-side
+                 queue/service/network split, gated --slo-* bounds
 
    compress, decompress, simulate and fuzz accept --metrics FILE (write
    the lib/obs metrics snapshot as JSON), --trace FILE (write a Chrome
@@ -37,6 +40,8 @@ module Obs = Ccomp_obs.Obs
 module Events = Ccomp_obs.Events
 module Serve = Ccomp_serve.Serve
 module Top = Ccomp_serve.Top
+module Latency = Ccomp_serve.Latency
+module Loadgen = Ccomp_serve.Loadgen
 
 let read_file path =
   let ic = open_in_bin path in
@@ -778,7 +783,16 @@ let stats_cmd =
       | Error e -> `Error (false, e)
       | Ok snap ->
         if json then print_string (Obs.snapshot_to_json snap)
-        else print_string (Obs.render_table snap);
+        else begin
+          print_string (Obs.render_table snap);
+          (* "what dominates p99": stage attribution, when the snapshot
+             came from a daemon that recorded serve.stage.* *)
+          match Latency.attribution snap with
+          | None -> ()
+          | Some report ->
+            print_newline ();
+            print_string (Latency.render report)
+        end;
         `Ok ())
   in
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"METRICS.json") in
@@ -1086,6 +1100,163 @@ let chaos_cmd =
           the printed seed.")
     term
 
+let loadgen_cmd =
+  let run host port rate duration arrivals seed senders payload_bytes algo isa block_size
+      deadline_ms timeout mix_compress mix_decompress mix_ping slo_p99 slo_shed slo_deadline
+      emit_json merge_json print_schedule metrics events =
+    let arrivals =
+      match Loadgen.arrivals_of_string arrivals with
+      | Some a -> a
+      | None -> Loadgen.Poisson (* unreachable: enum-checked by cmdliner *)
+    in
+    if print_schedule > 0 then begin
+      (* schedule preview: deterministic, no daemon needed — what the
+         shell smoke test uses to assert seeded replay *)
+      let sched = Loadgen.schedule ~arrivals ~rate_rps:rate ~duration_s:duration ~seed in
+      Array.iteri
+        (fun i off -> if i < print_schedule then Printf.printf "%.6f\n" off)
+        sched;
+      `Ok ()
+    end
+    else begin
+      with_obs ~events ~metrics ~trace:None @@ fun () ->
+      Obs.set_metrics true;
+      Events.set_enabled true;
+      let cfg =
+        {
+          Loadgen.host;
+          port;
+          rate_rps = rate;
+          duration_s = duration;
+          arrivals;
+          seed;
+          senders;
+          payload_bytes;
+          algo = (match algo with Samc -> Serve.Samc | Sadc -> Serve.Sadc);
+          isa = (match isa with Mips -> Serve.Mips | X86 -> Serve.X86);
+          block_size;
+          deadline_ms;
+          timeout_s = timeout;
+          mix_compress;
+          mix_decompress;
+          mix_ping;
+          slo_p99_ms = slo_p99;
+          slo_shed_rate = slo_shed;
+          slo_deadline_rate = slo_deadline;
+        }
+      in
+      match Loadgen.run cfg with
+      | Error e -> `Error (false, "loadgen: " ^ e)
+      | Ok report -> (
+        print_string (Loadgen.render cfg report);
+        (match emit_json with
+        | Some path ->
+          Loadgen.emit_json ~path report;
+          Printf.printf "wrote %s\n" path
+        | None -> ());
+        match
+          match merge_json with
+          | Some path -> Result.map (fun () -> Printf.printf "merged into %s\n" path)
+                           (Loadgen.merge_json ~path report)
+          | None -> Ok ()
+        with
+        | Error e -> `Error (false, "loadgen: --merge-json: " ^ e)
+        | Ok () ->
+          if report.Loadgen.r_slo_violations <> [] then
+            `Error
+              ( false,
+                "loadgen: SLO violated: "
+                ^ String.concat "; " report.Loadgen.r_slo_violations )
+          else `Ok ())
+    end
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 50.0
+      & info [ "rate" ] ~docv:"RPS" ~doc:"Offered arrival rate, requests per second (open loop).")
+  in
+  let duration_arg =
+    Arg.(value & opt float 5.0 & info [ "duration" ] ~docv:"SECS" ~doc:"Schedule horizon.")
+  in
+  let arrivals_arg =
+    Arg.(
+      value
+      & opt (enum [ ("poisson", "poisson"); ("uniform", "uniform") ]) "poisson"
+      & info [ "arrivals" ] ~docv:"KIND"
+          ~doc:"Arrival process: seeded poisson (exponential inter-arrivals) or uniform.")
+  in
+  let senders_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "senders" ] ~docv:"N" ~doc:"Concurrent sender domains pulling from one schedule.")
+  in
+  let payload_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "payload-bytes" ] ~docv:"BYTES" ~doc:"Compress-job body size (seeded random code).")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline in the frame header (0 = none).")
+  in
+  let mix_arg name ~default what =
+    Arg.(
+      value & opt int default
+      & info [ "mix-" ^ name ] ~docv:"W" ~doc:(Printf.sprintf "Job-mix weight for %s." what))
+  in
+  let slo_arg name docv what =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ name ] ~docv
+          ~doc:(Printf.sprintf "Declared SLO: fail (exit non-zero) when %s exceeds this." what))
+  in
+  let emit_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-json" ] ~docv:"FILE"
+          ~doc:"Write the report as a standalone ccomp-bench-v1 JSON file.")
+  in
+  let merge_json_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "merge-json" ] ~docv:"BENCH.json"
+          ~doc:"Append the loadgen.* section to an existing ccomp-bench-v1 file.")
+  in
+  let print_schedule_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "print-schedule" ] ~docv:"N"
+          ~doc:
+            "Print the first N arrival offsets (seconds) and exit without contacting a daemon — \
+             the schedule is a pure function of --arrivals/--rate/--duration/--seed.")
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg ~default:7070 $ rate_arg $ duration_arg $ arrivals_arg
+       $ seed_arg $ senders_arg $ payload_arg $ algo_arg $ isa_arg $ block_size_arg $ deadline_arg
+       $ timeout_arg
+       $ mix_arg "compress" ~default:1 "compress jobs"
+       $ mix_arg "decompress" ~default:1 "decompress jobs"
+       $ mix_arg "ping" ~default:2 "ping jobs"
+       $ slo_arg "slo-p99-ms" "MS" "the corrected p99 latency (ms)"
+       $ slo_arg "slo-shed-rate" "RATE" "the shed fraction of sent requests"
+       $ slo_arg "slo-deadline-rate" "RATE" "the deadline-expired fraction of sent requests"
+       $ emit_json_arg $ merge_json_arg $ print_schedule_arg $ metrics_arg $ events_arg))
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Generate seeded open-loop traffic against a running daemon and report \
+          coordinated-omission-safe latency percentiles (p50/p95/p99/p99.9), throughput, shed and \
+          deadline-expired rates, and the server-side queue/service/network split from per-request \
+          wire timing. Declared --slo-* bounds turn violations into a non-zero exit.")
+    term
+
 (* --- asm / disasm ------------------------------------------------------- *)
 
 let asm_cmd =
@@ -1325,7 +1496,8 @@ let () =
     Cmd.group info
       [
         generate_cmd; compress_cmd; decompress_cmd; info_cmd; ratios_cmd; simulate_cmd; fuzz_cmd;
-        verify_cmd; stats_cmd; serve_cmd; submit_cmd; scrape_cmd; top_cmd; chaos_cmd; asm_cmd;
+        verify_cmd; stats_cmd; serve_cmd; submit_cmd; scrape_cmd; top_cmd; chaos_cmd; loadgen_cmd;
+        asm_cmd;
         disasm_cmd;
       ]
   in

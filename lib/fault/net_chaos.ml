@@ -191,9 +191,9 @@ let truncation cfg g c =
   | Some fd ->
     let promised = 64 + Prng.int g 256 in
     let delivered = Prng.int g promised in
-    let raw = "CCQ1\x02\x00\x00\x00\x00\x00\x00\x00\x00" in
-    (* rebuild with real lengths: header declares [promised] bytes *)
-    let raw = String.sub raw 0 13 ^ be32 promised ^ random_code g delivered in
+    (* header prefix up to payload_len: magic, op=decompress, algo/isa,
+       block, deadline, request_id — all zero; declares [promised] bytes *)
+    let raw = "CCQ1\x02" ^ String.make 16 '\x00' ^ be32 promised ^ random_code g delivered in
     let _ = write_best_effort fd raw in
     (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
     ignore (read_reply fd);
@@ -209,6 +209,7 @@ let oversize cfg g c =
     let header =
       "CCQ1\x02\x00\x00\x00\x00"
       ^ be32 0 (* deadline *)
+      ^ String.make 8 '\x00' (* request id *)
       ^ be32 (Serve.max_payload + 1 + Prng.int g 1024)
     in
     let _ = write_best_effort fd header in

@@ -121,7 +121,24 @@ let warn ?fields name = emit ?fields Warn name
 
 let error ?fields name = emit ?fields Error name
 
-let tail n = locked (fun () -> tail_locked (max 0 n))
+(* Level filtering scans the whole retained ring, then keeps the newest
+   [n] matches — "the last n warnings" rather than "the warnings among
+   the last n events", which is what an operator filtering a noisy
+   debug stream actually wants. *)
+let tail ?min_level n =
+  let keep =
+    match min_level with
+    | None -> fun _ -> true
+    | Some lvl ->
+      let floor = level_rank lvl in
+      fun e -> level_rank e.ev_level >= floor
+  in
+  locked (fun () ->
+      let all = tail_locked (Array.length !ring) in
+      let matching = List.filter keep all in
+      let n = max 0 n in
+      let excess = List.length matching - n in
+      if excess <= 0 then matching else List.filteri (fun i _ -> i >= excess) matching)
 
 let total () = locked (fun () -> !recorded)
 
@@ -175,11 +192,11 @@ let load_sink_file path =
       lines;
     (match !err with Some e -> Result.Error e | None -> Result.Ok (List.rev !ok))
 
-let tail_json n =
+let tail_json ?min_level n =
   let b = Buffer.create 512 in
   List.iter
     (fun e ->
       Buffer.add_string b (to_json_line e);
       Buffer.add_char b '\n')
-    (tail n);
+    (tail ?min_level n);
   Buffer.contents b

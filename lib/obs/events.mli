@@ -51,9 +51,12 @@ val warn : ?fields:(string * string) list -> string -> unit
 
 val error : ?fields:(string * string) list -> string -> unit
 
-val tail : int -> event list
+val tail : ?min_level:level -> int -> event list
 (** [tail n]: the most recent [min n (capacity ())] retained events,
-    oldest first. *)
+    oldest first. [min_level] keeps only events at or above that level
+    {e before} taking the newest [n] — so [tail ~min_level:Warn 5] is
+    the last five warnings/errors in the ring, however much debug
+    chatter arrived in between. *)
 
 val total : unit -> int
 (** Events recorded since the last {!clear} — including those the ring
@@ -83,5 +86,5 @@ val to_json_line : event -> string
 (** One-line JSON object: [{"ts_us":…,"level":"warn","event":"…",…}]
     with each field as a string member. No trailing newline. *)
 
-val tail_json : int -> string
+val tail_json : ?min_level:level -> int -> string
 (** {!tail} rendered as newline-terminated JSON lines. *)

@@ -74,6 +74,37 @@ let family emitted b name kind samples =
       samples
   end
 
+(* --- info metrics -------------------------------------------------------- *)
+
+(* OpenMetrics "info" metrics: immutable build/config facts exposed as
+   labels on a constant-1 sample ([name_info{version="…"} 1]). They
+   live outside the numeric registry — an info metric has no value to
+   aggregate — in a small locked table keyed by family name. *)
+
+let info_mutex = Mutex.create ()
+
+let info_table : (string, (string * string) list) Hashtbl.t = Hashtbl.create 4
+
+let set_info name labels =
+  Mutex.lock info_mutex;
+  Hashtbl.replace info_table name labels;
+  Mutex.unlock info_mutex
+
+let info_metrics () =
+  Mutex.lock info_mutex;
+  let out = Hashtbl.fold (fun k v acc -> (k, v) :: acc) info_table [] in
+  Mutex.unlock info_mutex;
+  List.sort compare out
+
+let info_family emitted b name labels =
+  let fam = sanitize_metric_name name in
+  family emitted b fam "info"
+    [
+      ( fam ^ "_info",
+        List.map (fun (k, v) -> (sanitize_label_name k, v)) labels,
+        "1" );
+    ]
+
 let counter_family emitted b name v =
   let fam = strip_total (sanitize_metric_name name) in
   family emitted b fam "counter" [ (fam ^ "_total", [], fmt_value v) ]
@@ -116,6 +147,7 @@ let render_snapshot ?buckets (snap : Obs.snapshot) =
 let render () =
   let b = Buffer.create 4096 in
   let emitted = Hashtbl.create 64 in
+  List.iter (fun (name, labels) -> info_family emitted b name labels) (info_metrics ());
   List.iter
     (fun (name, kind) ->
       match kind with

@@ -29,9 +29,20 @@ val render_snapshot :
     list for histogram [name] (as {!Obs.Histogram.cumulative_buckets});
     when absent, histograms carry only the [+Inf] bucket. *)
 
+val set_info : string -> (string * string) list -> unit
+(** [set_info name labels] declares (or replaces) an OpenMetrics info
+    metric: build/config facts exposed as labels on a constant-1 sample.
+    {!render} emits it as [# TYPE name info] followed by
+    [name_info{label="value",…} 1]. Label names are sanitised and
+    values escaped; safe from any domain. *)
+
+val info_metrics : unit -> (string * (string * string) list) list
+(** Every info metric declared with {!set_info}, sorted by name. *)
+
 val render : unit -> string
 (** Render the live registry — every registered metric, including ones
-    still at zero, so the exposed schema is stable across scrapes. *)
+    still at zero, so the exposed schema is stable across scrapes. Info
+    metrics declared with {!set_info} lead the exposition. *)
 
 type sample = { om_name : string; om_labels : (string * string) list; om_value : float }
 

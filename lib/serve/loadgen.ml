@@ -1,0 +1,464 @@
+(* Open-loop, coordinated-omission-safe load generator for the daemon.
+
+   Open loop: the arrival schedule is fixed up front (seeded Poisson or
+   uniform), and a request whose slot has passed is sent immediately
+   rather than waiting its turn — a slow server cannot slow the offered
+   load down, which is exactly the failure closed-loop generators hide.
+
+   Coordinated omission: every latency is measured from the request's
+   *scheduled* send instant, not the actual one. When senders fall
+   behind (server stall, scheduler hiccup), the queueing delay the
+   client suffered is charged to the request instead of vanishing.
+
+   The per-request ids let the daemon echo its server-side stage split
+   (queue/service), so the report can attribute tail latency to the
+   server or the network without guessing. *)
+
+module Obs = Ccomp_obs.Obs
+module Events = Ccomp_obs.Events
+module Prng = Ccomp_util.Prng
+
+type arrivals = Poisson | Uniform
+
+type config = {
+  host : string;
+  port : int;
+  rate_rps : float;
+  duration_s : float;
+  arrivals : arrivals;
+  seed : int;
+  senders : int;
+  payload_bytes : int;
+  algo : Serve.algo;
+  isa : Serve.isa;
+  block_size : int;
+  deadline_ms : int;
+  timeout_s : float;
+  mix_compress : int;
+  mix_decompress : int;
+  mix_ping : int;
+  slo_p99_ms : float option;
+  slo_shed_rate : float option;
+  slo_deadline_rate : float option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7070;
+    rate_rps = 50.0;
+    duration_s = 5.0;
+    arrivals = Poisson;
+    seed = 42;
+    senders = 4;
+    payload_bytes = 4096;
+    algo = Serve.Samc;
+    isa = Serve.Mips;
+    block_size = 32;
+    deadline_ms = 0;
+    timeout_s = 10.0;
+    mix_compress = 1;
+    mix_decompress = 1;
+    mix_ping = 2;
+    slo_p99_ms = None;
+    slo_shed_rate = None;
+    slo_deadline_rate = None;
+  }
+
+(* The whole schedule as offsets (seconds) from the run's start instant.
+   Seeded, so the same config replays the same arrival process. *)
+let schedule ~arrivals ~rate_rps ~duration_s ~seed =
+  if rate_rps <= 0.0 || duration_s <= 0.0 then [||]
+  else
+    match arrivals with
+    | Uniform ->
+      let n = int_of_float (rate_rps *. duration_s) in
+      Array.init n (fun i -> float_of_int i /. rate_rps)
+    | Poisson ->
+      let g = Prng.create (Int64.of_int seed) in
+      let acc = ref [] and t = ref 0.0 and stop = ref false in
+      while not !stop do
+        (* exponential inter-arrival; 1 - u > 0 because u is in [0,1) *)
+        t := !t +. (-.log (1.0 -. Prng.float g) /. rate_rps);
+        if !t < duration_s then acc := !t :: !acc else stop := true
+      done;
+      Array.of_list (List.rev !acc)
+
+(* --- per-request accounting --------------------------------------------- *)
+
+type outcome = Ok_reply | Shed | Deadline | Job_failed | Transport
+
+type sample = {
+  s_outcome : outcome;
+  s_corrected_us : float;  (** completion - scheduled send (CO-safe) *)
+  s_naive_us : float;  (** completion - actual send *)
+  s_timing : Serve.timing option;
+}
+
+let h_latency = Obs.Histogram.make "loadgen.latency_us"
+
+let h_queue = Obs.Histogram.make "loadgen.queue_us"
+
+let h_service = Obs.Histogram.make "loadgen.service_us"
+
+let h_network = Obs.Histogram.make "loadgen.network_us"
+
+(* --- report -------------------------------------------------------------- *)
+
+type report = {
+  r_offered_rps : float;
+  r_achieved_rps : float;  (** ok replies per wall-clock second *)
+  r_duration_s : float;
+  r_elapsed_s : float;
+  r_sent : int;
+  r_ok : int;
+  r_shed : int;
+  r_deadline_expired : int;
+  r_failed : int;
+  r_transport : int;
+  r_timed : int;  (** replies that carried a server timing record *)
+  r_p50_ms : float;
+  r_p95_ms : float;
+  r_p99_ms : float;
+  r_p999_ms : float;
+  r_max_ms : float;
+  r_queue_p50_ms : float;
+  r_queue_p99_ms : float;
+  r_service_p50_ms : float;
+  r_service_p99_ms : float;
+  r_network_p50_ms : float;
+  r_network_p99_ms : float;
+  r_shed_rate : float;
+  r_deadline_rate : float;
+  r_slo_p99_ms : float option;
+  r_slo_shed_rate : float option;
+  r_slo_deadline_rate : float option;
+  r_slo_violations : string list;
+}
+
+let slo_check cfg ~p99_ms ~shed_rate ~deadline_rate =
+  let v = ref [] in
+  (match cfg.slo_p99_ms with
+  | Some bound when p99_ms > bound ->
+    v := Printf.sprintf "p99 %.2f ms exceeds the %.2f ms SLO" p99_ms bound :: !v
+  | _ -> ());
+  (match cfg.slo_shed_rate with
+  | Some bound when shed_rate > bound ->
+    v := Printf.sprintf "shed rate %.4f exceeds the %.4f SLO" shed_rate bound :: !v
+  | _ -> ());
+  (match cfg.slo_deadline_rate with
+  | Some bound when deadline_rate > bound ->
+    v := Printf.sprintf "deadline-expired rate %.4f exceeds the %.4f SLO" deadline_rate bound :: !v
+  | _ -> ());
+  List.rev !v
+
+let aggregate cfg ~n ~elapsed_s results =
+  let count o = Array.fold_left (fun acc s ->
+      match s with Some s when s.s_outcome = o -> acc + 1 | _ -> acc) 0 results
+  in
+  let ok = count Ok_reply in
+  let shed = count Shed in
+  let deadline = count Deadline in
+  let failed = count Job_failed in
+  let transport = count Transport in
+  let timed =
+    Array.fold_left (fun acc s ->
+        match s with Some { s_timing = Some _; _ } -> acc + 1 | _ -> acc) 0 results
+  in
+  let sent = ok + shed + deadline + failed + transport in
+  let rate k = if sent > 0 then float_of_int k /. float_of_int sent else 0.0 in
+  let p h q = Obs.Histogram.percentile h q /. 1e3 in
+  let p99_ms = p h_latency 99.0 in
+  let shed_rate = rate shed and deadline_rate = rate deadline in
+  {
+    r_offered_rps = (if cfg.duration_s > 0.0 then float_of_int n /. cfg.duration_s else 0.0);
+    r_achieved_rps = (if elapsed_s > 0.0 then float_of_int ok /. elapsed_s else 0.0);
+    r_duration_s = cfg.duration_s;
+    r_elapsed_s = elapsed_s;
+    r_sent = sent;
+    r_ok = ok;
+    r_shed = shed;
+    r_deadline_expired = deadline;
+    r_failed = failed;
+    r_transport = transport;
+    r_timed = timed;
+    r_p50_ms = p h_latency 50.0;
+    r_p95_ms = p h_latency 95.0;
+    r_p99_ms = p99_ms;
+    r_p999_ms = p h_latency 99.9;
+    r_max_ms = Obs.Histogram.max_value h_latency /. 1e3;
+    r_queue_p50_ms = p h_queue 50.0;
+    r_queue_p99_ms = p h_queue 99.0;
+    r_service_p50_ms = p h_service 50.0;
+    r_service_p99_ms = p h_service 99.0;
+    r_network_p50_ms = p h_network 50.0;
+    r_network_p99_ms = p h_network 99.0;
+    r_shed_rate = shed_rate;
+    r_deadline_rate = deadline_rate;
+    r_slo_p99_ms = cfg.slo_p99_ms;
+    r_slo_shed_rate = cfg.slo_shed_rate;
+    r_slo_deadline_rate = cfg.slo_deadline_rate;
+    r_slo_violations = slo_check cfg ~p99_ms ~shed_rate ~deadline_rate;
+  }
+
+(* --- the run ------------------------------------------------------------- *)
+
+let arrivals_to_string = function Poisson -> "poisson" | Uniform -> "uniform"
+
+let arrivals_of_string = function
+  | "poisson" -> Some Poisson
+  | "uniform" -> Some Uniform
+  | _ -> None
+
+let run cfg =
+  match Serve.http_get ~timeout_s:cfg.timeout_s ~host:cfg.host ~port:cfg.port "/healthz" with
+  | Error e -> Error (Printf.sprintf "daemon not reachable at %s:%d: %s" cfg.host cfg.port e)
+  | Ok (st, _) when st <> 200 ->
+    Error (Printf.sprintf "daemon unhealthy at %s:%d: /healthz returned %d" cfg.host cfg.port st)
+  | Ok _ -> (
+    let sched =
+      schedule ~arrivals:cfg.arrivals ~rate_rps:cfg.rate_rps ~duration_s:cfg.duration_s
+        ~seed:cfg.seed
+    in
+    let n = Array.length sched in
+    if n = 0 then Error "empty schedule: rate * duration yields no requests"
+    else if cfg.mix_compress + cfg.mix_decompress + cfg.mix_ping <= 0 then
+      Error "job mix has zero total weight"
+    else
+      (* Fixed payloads, built once: a compress body of [payload_bytes]
+         seeded random code, and its compressed image for decompress
+         jobs (via the same dispatch the daemon uses, so the job is
+         guaranteed well-formed). *)
+      let g0 = Prng.create (Int64.of_int cfg.seed) in
+      let code =
+        String.init (max 4 cfg.payload_bytes) (fun _ -> Char.chr (Prng.int g0 256))
+      in
+      let compress_req =
+        Serve.Compress { algo = cfg.algo; isa = cfg.isa; block_size = cfg.block_size; code }
+      in
+      match Serve.handle_request ~jobs:1 compress_req with
+      | exception e -> Error ("cannot build decompress payload: " ^ Printexc.to_string e)
+      | Serve.Failed e -> Error ("cannot build decompress payload: " ^ e)
+      | Serve.Overloaded e | Serve.Deadline_expired e ->
+        Error ("cannot build decompress payload: " ^ e)
+      | Serve.Payload image ->
+        let mix =
+          [|
+            (cfg.mix_compress, compress_req);
+            (cfg.mix_decompress, Serve.Decompress image);
+            (cfg.mix_ping, Serve.Ping);
+          |]
+        in
+        let results = Array.make n None in
+        let next = Atomic.make 0 in
+        (* small lead so request 0 is not born late *)
+        let start_us = Obs.now_us () +. 50_000.0 in
+        let sender () =
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              (* request identity is a function of (seed, i) alone, so
+                 the traffic is identical however senders interleave *)
+              let g = Prng.create (Int64.of_int ((cfg.seed * 1_000_003) + i + 1)) in
+              let req = Prng.weighted g mix in
+              let sched_us = start_us +. (sched.(i) *. 1e6) in
+              let rec wait () =
+                let now = Obs.now_us () in
+                if now < sched_us then begin
+                  Unix.sleepf (Float.min 0.05 ((sched_us -. now) /. 1e6));
+                  wait ()
+                end
+              in
+              wait ();
+              let send_us = Obs.now_us () in
+              let res =
+                Serve.submit_timed ~timeout_s:cfg.timeout_s ~deadline_ms:cfg.deadline_ms
+                  ~request_id:(Int64.of_int (i + 1))
+                  ~host:cfg.host ~port:cfg.port req
+              in
+              let done_us = Obs.now_us () in
+              let outcome, timing =
+                match res with
+                | Ok (Serve.Payload _, t) -> (Ok_reply, t)
+                | Ok (Serve.Overloaded _, t) -> (Shed, t)
+                | Ok (Serve.Deadline_expired _, t) -> (Deadline, t)
+                | Ok (Serve.Failed _, t) -> (Job_failed, t)
+                | Error _ -> (Transport, None)
+              in
+              (* index-owned slot: no two senders share an i *)
+              results.(i) <-
+                Some
+                  {
+                    s_outcome = outcome;
+                    s_corrected_us = done_us -. sched_us;
+                    s_naive_us = done_us -. send_us;
+                    s_timing = timing;
+                  };
+              loop ()
+            end
+          in
+          loop ()
+        in
+        let domains =
+          Array.init (max 1 cfg.senders) (fun _ -> Domain.spawn (fun () -> sender ()))
+        in
+        Array.iter Domain.join domains;
+        let elapsed_s = (Obs.now_us () -. start_us) /. 1e6 in
+        Array.iter
+          (fun s ->
+            match s with
+            | Some { s_outcome = Ok_reply; s_corrected_us; s_timing; _ } -> (
+              Obs.Histogram.observe h_latency (Float.max 0.0 s_corrected_us);
+              match s_timing with
+              | None -> ()
+              | Some t ->
+                Obs.Histogram.observe h_queue (float_of_int t.Serve.t_queue_us);
+                Obs.Histogram.observe h_service (float_of_int t.Serve.t_service_us);
+                (* the server excludes its reply write from server_us, so
+                   this floor under-counts the network by at most that *)
+                Obs.Histogram.observe h_network
+                  (Float.max 0.0 (s_corrected_us -. float_of_int t.Serve.t_server_us)))
+            | _ -> ())
+          results;
+        let report = aggregate cfg ~n ~elapsed_s results in
+        Events.info
+          ~fields:
+            [
+              ("sent", string_of_int report.r_sent);
+              ("ok", string_of_int report.r_ok);
+              ("p99_ms", Printf.sprintf "%.2f" report.r_p99_ms);
+            ]
+          "loadgen.done";
+        Ok report)
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let render cfg r =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "loadgen: %s arrivals, %.1f rps offered for %.1fs (seed %d, %d senders)"
+    (arrivals_to_string cfg.arrivals)
+    r.r_offered_rps r.r_duration_s cfg.seed (max 1 cfg.senders);
+  line "  sent %d: ok %d, shed %d, deadline-expired %d, failed %d, transport errors %d"
+    r.r_sent r.r_ok r.r_shed r.r_deadline_expired r.r_failed r.r_transport;
+  line "  achieved %.1f rps over %.1fs wall clock" r.r_achieved_rps r.r_elapsed_s;
+  line "  latency (from scheduled send — coordinated-omission safe):";
+  line "    p50 %8.2f ms   p95 %8.2f ms   p99 %8.2f ms   p99.9 %8.2f ms   max %8.2f ms"
+    r.r_p50_ms r.r_p95_ms r.r_p99_ms r.r_p999_ms r.r_max_ms;
+  if r.r_timed > 0 then begin
+    line "  server-side split (%d replies carried timing):" r.r_timed;
+    line "    queue   p50 %8.2f ms   p99 %8.2f ms" r.r_queue_p50_ms r.r_queue_p99_ms;
+    line "    service p50 %8.2f ms   p99 %8.2f ms" r.r_service_p50_ms r.r_service_p99_ms;
+    line "    network p50 %8.2f ms   p99 %8.2f ms" r.r_network_p50_ms r.r_network_p99_ms
+  end;
+  line "  shed rate %.4f, deadline-expired rate %.4f" r.r_shed_rate r.r_deadline_rate;
+  (match (r.r_slo_p99_ms, r.r_slo_shed_rate, r.r_slo_deadline_rate) with
+  | None, None, None -> ()
+  | _ ->
+    if r.r_slo_violations = [] then line "  SLOs: all within bounds"
+    else List.iter (fun v -> line "  SLO VIOLATION: %s" v) r.r_slo_violations);
+  Buffer.contents b
+
+(* --- BENCH json ---------------------------------------------------------- *)
+
+let json_keys r =
+  let base =
+    [
+      ("loadgen.offered_rps", r.r_offered_rps);
+      ("loadgen.achieved_rps", r.r_achieved_rps);
+      ("loadgen.duration_s", r.r_duration_s);
+      ("loadgen.elapsed_s", r.r_elapsed_s);
+      ("loadgen.sent", float_of_int r.r_sent);
+      ("loadgen.ok", float_of_int r.r_ok);
+      ("loadgen.shed", float_of_int r.r_shed);
+      ("loadgen.deadline_expired", float_of_int r.r_deadline_expired);
+      ("loadgen.failed", float_of_int r.r_failed);
+      ("loadgen.transport_errors", float_of_int r.r_transport);
+      ("loadgen.timed", float_of_int r.r_timed);
+      ("loadgen.p50_ms", r.r_p50_ms);
+      ("loadgen.p95_ms", r.r_p95_ms);
+      ("loadgen.p99_ms", r.r_p99_ms);
+      ("loadgen.p999_ms", r.r_p999_ms);
+      ("loadgen.max_ms", r.r_max_ms);
+      ("loadgen.queue_p50_ms", r.r_queue_p50_ms);
+      ("loadgen.queue_p99_ms", r.r_queue_p99_ms);
+      ("loadgen.service_p50_ms", r.r_service_p50_ms);
+      ("loadgen.service_p99_ms", r.r_service_p99_ms);
+      ("loadgen.network_p50_ms", r.r_network_p50_ms);
+      ("loadgen.network_p99_ms", r.r_network_p99_ms);
+      ("loadgen.shed_rate", r.r_shed_rate);
+      ("loadgen.deadline_rate", r.r_deadline_rate);
+      ("loadgen.slo_violations", float_of_int (List.length r.r_slo_violations));
+    ]
+  in
+  let opt key v = match v with None -> [] | Some x -> [ (key, x) ] in
+  base
+  @ opt "loadgen.slo_p99_ms" r.r_slo_p99_ms
+  @ opt "loadgen.slo_shed_rate" r.r_slo_shed_rate
+  @ opt "loadgen.slo_deadline_rate" r.r_slo_deadline_rate
+
+let entry_lines r =
+  String.concat ",\n"
+    (List.map (fun (k, v) -> Printf.sprintf "  %S: %.3f" k v) (json_keys r))
+
+(* Standalone ccomp-bench-v1 file: just the loadgen section. *)
+let emit_json ~path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "{\n  \"schema\": \"ccomp-bench-v1\",\n  \"scale\": 1,\n  \"jobs\": 1,\n";
+      output_string oc (entry_lines r);
+      output_string oc "\n}\n")
+
+(* Append the loadgen section to an existing ccomp-bench-v1 file (what
+   the BENCH_PR*.json workflow does after a perf run). Textual: drop
+   the final '}', add our keys, close again. *)
+let merge_json ~path r =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | text ->
+    let rstrip s =
+      let n = ref (String.length s) in
+      while !n > 0 && (match s.[!n - 1] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        decr n
+      done;
+      String.sub s 0 !n
+    in
+    let text = rstrip text in
+    let len = String.length text in
+    if len = 0 || text.[len - 1] <> '}' then
+      Error (Printf.sprintf "%s does not end in '}' — not a bench JSON file" path)
+    else begin
+      let body = rstrip (String.sub text 0 (len - 1)) in
+      let sep =
+        if String.length body > 0 && body.[String.length body - 1] = '{' then "\n" else ",\n"
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc body;
+          output_string oc sep;
+          output_string oc (entry_lines r);
+          output_string oc "\n}\n");
+      Ok ()
+    end
+
+(* --- pure replay, for property tests ------------------------------------- *)
+
+module For_tests = struct
+  (* Single-sender simulation of the measurement model: requests go out
+     in schedule order, the "server" takes service.(i) seconds each,
+     back-to-back. Returns (corrected, naive) latency pairs — corrected
+     charges queueing behind a stalled predecessor, naive hides it. *)
+  let replay ~scheduled ~service =
+    let t = ref 0.0 in
+    Array.mapi
+      (fun i sched ->
+        let send = Float.max sched !t in
+        let fin = send +. service.(i) in
+        t := fin;
+        (fin -. sched, fin -. send))
+      scheduled
+end

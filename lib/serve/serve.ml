@@ -52,9 +52,29 @@ let req_magic = "CCQ1"
 
 let resp_magic = "CCR1"
 
-let req_header_len = 17
+(* Request header v2 (25 bytes): magic(4) op(1) algo(1) isa(1)
+   block(2,BE) deadline_ms(4,BE) request_id(8,BE) payload_len(4,BE).
+   The request id is client-chosen, opaque to the daemon, and echoed in
+   the reply's timing record so a client can correlate its own send
+   schedule with the server's per-stage clock. Zero means "no tracing
+   requested" and suppresses the echo. *)
+let req_header_len = 25
 
-let resp_header_len = 9
+(* Response header v2 (10 bytes): magic(4) status(1) timing_len(1)
+   payload_len(4,BE), then [timing_len] bytes of timing record, then
+   the payload. timing_len is 0 (no record) or [timing_record_len]. *)
+let resp_header_len = 10
+
+let timing_record_len = 20
+
+type frame_meta = { deadline_ms : int; request_id : int64 }
+
+type timing = {
+  t_request_id : int64;
+  t_queue_us : int;  (** accepted -> popped by a worker *)
+  t_service_us : int;  (** the codec job itself *)
+  t_server_us : int;  (** queue + read + work: all server-side time *)
+}
 
 (* --- service metrics ---------------------------------------------------- *)
 
@@ -99,6 +119,10 @@ let be32 v =
     (Char.chr ((v lsr 8) land 0xff))
     (Char.chr (v land 0xff))
 
+let be64 v =
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v ((7 - i) * 8)) 0xFFL)))
+
 let read_be16 s pos = (Char.code s.[pos] lsl 8) lor Char.code s.[pos + 1]
 
 let read_be32 s pos =
@@ -106,6 +130,13 @@ let read_be32 s pos =
   lor (Char.code s.[pos + 1] lsl 16)
   lor (Char.code s.[pos + 2] lsl 8)
   lor Char.code s.[pos + 3]
+
+let read_be64 s pos =
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code s.[pos + i]))
+  done;
+  !acc
 
 let max_payload = 1 lsl 28 (* 256 MB: refuse absurd frames instead of allocating them *)
 
@@ -130,11 +161,11 @@ let isa_tag = function Mips -> 0 | X86 -> 1
 
 let isa_of_tag = function 0 -> Some Mips | 1 -> Some X86 | _ -> None
 
-let encode_request ?(deadline_ms = 0) req =
+let encode_request ?(deadline_ms = 0) ?(request_id = 0L) req =
   let frame ~op ~algo ~isa ~block payload =
     req_magic
     ^ Printf.sprintf "%c%c%c" (Char.chr op) (Char.chr algo) (Char.chr isa)
-    ^ be16 block ^ be32 deadline_ms
+    ^ be16 block ^ be32 deadline_ms ^ be64 request_id
     ^ be32 (String.length payload)
     ^ payload
   in
@@ -149,8 +180,8 @@ let decode_request s =
   if String.length s < req_header_len then Error (Truncated "request header")
   else if String.sub s 0 4 <> req_magic then Error (Malformed "bad request magic")
   else begin
-    let deadline_ms = read_be32 s 9 in
-    let payload_len = read_be32 s 13 in
+    let meta = { deadline_ms = read_be32 s 9; request_id = read_be64 s 13 } in
+    let payload_len = read_be32 s 21 in
     if payload_len > max_payload then
       Error (Frame_too_large { limit = max_payload; got = payload_len })
     else if String.length s < req_header_len + payload_len then
@@ -165,17 +196,41 @@ let decode_request s =
         | Some algo, Some isa ->
           let block_size = read_be16 s 7 in
           if block_size = 0 then Error (Malformed "block size must be positive")
-          else Ok (Compress { algo; isa; block_size; code = payload }, deadline_ms)
+          else Ok (Compress { algo; isa; block_size; code = payload }, meta)
         | None, _ -> Error (Malformed "unknown algorithm tag")
         | _, None -> Error (Malformed "unknown ISA tag"))
-      | 2 -> Ok (Decompress payload, deadline_ms)
-      | 3 -> Ok (Ping, deadline_ms)
-      | 4 -> Ok (Crash_worker, deadline_ms)
+      | 2 -> Ok (Decompress payload, meta)
+      | 3 -> Ok (Ping, meta)
+      | 4 -> Ok (Crash_worker, meta)
       | op -> Error (Malformed (Printf.sprintf "unknown opcode %d" op))
   end
 
-let encode_response resp =
-  let frame status payload = resp_magic ^ String.make 1 (Char.chr status) ^ be32 (String.length payload) ^ payload in
+(* Stage durations ride the wire as 32-bit microsecond counts; cap
+   rather than wrap so a pathological 71-minute stage still reads as
+   "huge", not as a small number. *)
+let cap_u32 v = if v < 0 then 0 else if v > 0xFFFF_FFFF then 0xFFFF_FFFF else v
+
+let encode_timing t =
+  be64 t.t_request_id ^ be32 (cap_u32 t.t_queue_us) ^ be32 (cap_u32 t.t_service_us)
+  ^ be32 (cap_u32 t.t_server_us)
+
+let decode_timing s pos =
+  {
+    t_request_id = read_be64 s pos;
+    t_queue_us = read_be32 s (pos + 8);
+    t_service_us = read_be32 s (pos + 12);
+    t_server_us = read_be32 s (pos + 16);
+  }
+
+let encode_response ?timing resp =
+  let trecord = match timing with None -> "" | Some t -> encode_timing t in
+  let frame status payload =
+    resp_magic
+    ^ String.make 1 (Char.chr status)
+    ^ String.make 1 (Char.chr (String.length trecord))
+    ^ be32 (String.length payload)
+    ^ trecord ^ payload
+  in
   match resp with
   | Payload data -> frame 0 data
   | Failed msg -> frame 1 msg
@@ -186,15 +241,22 @@ let decode_response s =
   if String.length s < resp_header_len then Error "truncated response header"
   else if String.sub s 0 4 <> resp_magic then Error "bad response magic"
   else begin
-    let len = read_be32 s 5 in
-    if String.length s <> resp_header_len + len then Error "response length mismatch"
+    let timing_len = Char.code s.[5] in
+    let len = read_be32 s 6 in
+    if timing_len <> 0 && timing_len <> timing_record_len then
+      Error (Printf.sprintf "unknown timing record length %d" timing_len)
+    else if String.length s <> resp_header_len + timing_len + len then
+      Error "response length mismatch"
     else
-      let payload = String.sub s resp_header_len len in
+      let timing =
+        if timing_len = 0 then None else Some (decode_timing s resp_header_len)
+      in
+      let payload = String.sub s (resp_header_len + timing_len) len in
       match Char.code s.[4] with
-      | 0 -> Ok (Payload payload)
-      | 1 -> Ok (Failed payload)
-      | 2 -> Ok (Overloaded payload)
-      | 3 -> Ok (Deadline_expired payload)
+      | 0 -> Ok (Payload payload, timing)
+      | 1 -> Ok (Failed payload, timing)
+      | 2 -> Ok (Overloaded payload, timing)
+      | 3 -> Ok (Deadline_expired payload, timing)
       | st -> Error (Printf.sprintf "unknown status %d" st)
   end
 
@@ -284,30 +346,59 @@ let handle_request ?deadline_us ~jobs req =
 
 (* --- HTTP --------------------------------------------------------------- *)
 
-let query_int target key ~default =
+let query_str target key =
   match String.index_opt target '?' with
-  | None -> default
+  | None -> None
   | Some i ->
     let q = String.sub target (i + 1) (String.length target - i - 1) in
     List.fold_left
       (fun acc kv ->
         match String.split_on_char '=' kv with
-        | [ k; v ] when k = key -> ( match int_of_string_opt v with Some n -> n | None -> acc)
+        | [ k; v ] when k = key -> Some v
         | _ -> acc)
-      default (String.split_on_char '&' q)
+      None (String.split_on_char '&' q)
+
+let query_int target key ~default =
+  match Option.bind (query_str target key) int_of_string_opt with
+  | Some n -> n
+  | None -> default
 
 let path_of_target target =
   match String.index_opt target '?' with
   | None -> target
   | Some i -> String.sub target 0 i
 
+(* serve.uptime_seconds counts from daemon start ([run] resets it); the
+   module-load fallback keeps the gauge meaningful for in-process tests
+   that call [http_response] without a daemon. *)
+let started_at_us = ref (Obs.now_us ())
+
+let m_uptime = Obs.Gauge.make "serve.uptime_seconds"
+
+let refresh_uptime () = Obs.Gauge.set m_uptime ((Obs.now_us () -. !started_at_us) /. 1e6)
+
+let version = "1.0.0"
+
+let () = Openmetrics.set_info "serve" [ ("version", version) ]
+
 let http_response target =
   match path_of_target target with
   | "/metrics" ->
+    refresh_uptime ();
     Some (200, "application/openmetrics-text; version=1.0.0; charset=utf-8", Openmetrics.render ())
   | "/healthz" -> Some (200, "text/plain; charset=utf-8", "ok\n")
-  | "/events" ->
-    Some (200, "application/x-ndjson", Events.tail_json (query_int target "n" ~default:50))
+  | "/events" -> (
+    let n = query_int target "n" ~default:50 in
+    match query_str target "level" with
+    | None -> Some (200, "application/x-ndjson", Events.tail_json n)
+    | Some lvl -> (
+      match Events.level_of_string lvl with
+      | Some min_level -> Some (200, "application/x-ndjson", Events.tail_json ~min_level n)
+      | None ->
+        Some
+          ( 400,
+            "text/plain; charset=utf-8",
+            Printf.sprintf "unknown level %S (want debug|info|warn|error)\n" lvl )))
   | "/snapshot" -> Some (200, "application/json", Obs.snapshot_to_json (Obs.snapshot ()))
   | _ -> None
 
@@ -377,28 +468,42 @@ let send ?deadline_us fd s =
   | Error _ -> ());
   r
 
-let handle_binary ?io_timeout_s ?(allow_crash_op = false) ~jobs fd first4 =
+let handle_binary ?io_timeout_s ?(allow_crash_op = false) ?(queue_us = 0.0) ~jobs fd first4 =
   let ( let* ) = Result.bind in
+  (* Stage clock: [t0] accept-of-this-frame, [t_read] frame fully read
+     and decoded, [t_work] job finished, [t_end] reply written. The
+     queue stage (accept -> worker pop) happened before this call and
+     arrives as [queue_us]. *)
+  let t0 = Obs.now_us () in
   (* one i/o window for the whole request frame: a peer may be slow,
      but the header plus payload must arrive within the budget *)
   let read_deadline = deadline_after_s io_timeout_s in
   let result =
-    let* rest = read_exact ?deadline_us:read_deadline ~what:"request header" fd (req_header_len - 4) in
-    let header = first4 ^ rest in
-    let payload_len = read_be32 header 13 in
-    if payload_len > max_payload then
-      Error (Frame_too_large { limit = max_payload; got = payload_len })
-    else
-      let* payload = read_exact ?deadline_us:read_deadline ~what:"request payload" fd payload_len in
-      Obs.Counter.add m_bytes_in (req_header_len + payload_len);
-      decode_request (header ^ payload)
+    Obs.with_span ~cat:"serve" "serve.read" (fun () ->
+        let* rest =
+          read_exact ?deadline_us:read_deadline ~what:"request header" fd (req_header_len - 4)
+        in
+        let header = first4 ^ rest in
+        let payload_len = read_be32 header 21 in
+        if payload_len > max_payload then
+          Error (Frame_too_large { limit = max_payload; got = payload_len })
+        else
+          let* payload =
+            read_exact ?deadline_us:read_deadline ~what:"request payload" fd payload_len
+          in
+          Obs.Counter.add m_bytes_in (req_header_len + payload_len);
+          decode_request (header ^ payload))
+  in
+  let t_read = Obs.now_us () in
+  let meta =
+    match result with Ok (_, m) -> m | Error _ -> { deadline_ms = 0; request_id = 0L }
   in
   let resp =
     match result with
     | Ok (Crash_worker, _) when not allow_crash_op ->
       Events.warn "serve.crash_op_refused";
       Failed "crash op not enabled (start the daemon with --unsafe-crash-op)"
-    | Ok (req, deadline_ms) ->
+    | Ok (req, { deadline_ms; _ }) ->
       let deadline_us =
         if deadline_ms > 0 then Some (Obs.now_us () +. (float_of_int deadline_ms *. 1e3))
         else None
@@ -412,9 +517,44 @@ let handle_binary ?io_timeout_s ?(allow_crash_op = false) ~jobs fd first4 =
       | _ -> Events.warn ~fields:[ ("error", protocol_error_to_string pe) ] "serve.protocol_error");
       Failed (protocol_error_to_string pe)
   in
+  let t_work = Obs.now_us () in
+  (* Echo the server-side split to a client that asked (nonzero id).
+     server_us excludes the write stage — the timing record rides inside
+     the very reply being written — so the client computes network time
+     as (its corrected latency) - t_server_us, slightly pessimistic by
+     the write cost, which is the conservative direction. *)
+  let timing =
+    if meta.request_id = 0L then None
+    else
+      Some
+        {
+          t_request_id = meta.request_id;
+          t_queue_us = int_of_float queue_us;
+          t_service_us = int_of_float (t_work -. t_read);
+          t_server_us = int_of_float (queue_us +. (t_work -. t0));
+        }
+  in
   (* the response gets a fresh window — a large result legitimately
      takes longer to write than the request took to read *)
-  ignore (send ?deadline_us:(deadline_after_s io_timeout_s) fd (encode_response resp))
+  Obs.with_span ~cat:"serve" "serve.write" (fun () ->
+      ignore (send ?deadline_us:(deadline_after_s io_timeout_s) fd (encode_response ?timing resp)));
+  let t_end = Obs.now_us () in
+  Latency.observe Latency.Queue queue_us;
+  Latency.observe Latency.Read (t_read -. t0);
+  Latency.observe Latency.Work (t_work -. t_read);
+  Latency.observe Latency.Write (t_end -. t_work);
+  Latency.observe_total (queue_us +. (t_end -. t0));
+  if meta.request_id <> 0L then
+    Events.debug
+      ~fields:
+        [
+          ("id", Int64.to_string meta.request_id);
+          ("queue_us", Printf.sprintf "%.0f" queue_us);
+          ("read_us", Printf.sprintf "%.0f" (t_read -. t0));
+          ("work_us", Printf.sprintf "%.0f" (t_work -. t_read));
+          ("write_us", Printf.sprintf "%.0f" (t_end -. t_work));
+        ]
+      "serve.request"
 
 let max_http_head = 8192
 
@@ -484,7 +624,7 @@ let handle_http ?io_timeout_s fd first4 =
             "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
             status reason ctype (String.length body) body))
 
-let handle_connection ?idle_timeout_s ?io_timeout_s ?allow_crash_op ~jobs fd =
+let handle_connection ?idle_timeout_s ?io_timeout_s ?allow_crash_op ?queue_us ~jobs fd =
   Obs.Counter.incr m_connections;
   match
     read_exact
@@ -497,7 +637,7 @@ let handle_connection ?idle_timeout_s ?io_timeout_s ?allow_crash_op ~jobs fd =
     Events.warn ~fields:[ ("what", "connection preamble") ] "serve.idle_timeout"
   | Error _ -> ()
   | Ok first4 ->
-    if first4 = req_magic then handle_binary ?io_timeout_s ?allow_crash_op ~jobs fd first4
+    if first4 = req_magic then handle_binary ?io_timeout_s ?allow_crash_op ?queue_us ~jobs fd first4
     else handle_http ?io_timeout_s fd first4
 
 (* --- admission: bounded per-shard queues -------------------------------- *)
@@ -688,8 +828,8 @@ let worker_loop cfg shard =
     match Shard.pop shard with
     | None -> ()
     | Some (conn, enqueued_us) ->
-      if Obs.metrics_enabled () then
-        Obs.Histogram.observe m_queue_wait_us (Obs.now_us () -. enqueued_us);
+      let queue_us = Obs.now_us () -. enqueued_us in
+      if Obs.metrics_enabled () then Obs.Histogram.observe m_queue_wait_us queue_us;
       set_inflight 1;
       Fun.protect
         ~finally:(fun () ->
@@ -699,7 +839,7 @@ let worker_loop cfg shard =
         (fun () ->
           try
             handle_connection ~idle_timeout_s:cfg.idle_timeout_s ~io_timeout_s:cfg.io_timeout_s
-              ~allow_crash_op:cfg.allow_crash_op ~jobs:cfg.jobs conn
+              ~allow_crash_op:cfg.allow_crash_op ~queue_us ~jobs:cfg.jobs conn
           with
           | Worker_crashed -> raise Worker_crashed
           | Sys.Break -> raise Sys.Break
@@ -747,6 +887,17 @@ let run ?(on_ready = fun _ -> ()) cfg =
   let bound_port =
     match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> cfg.port
   in
+  started_at_us := Obs.now_us ();
+  refresh_uptime ();
+  Openmetrics.set_info "serve"
+    [
+      ("version", version);
+      ("workers", string_of_int workers);
+      ("jobs", string_of_int cfg.jobs);
+      ("queue_cap", string_of_int cfg.queue_cap);
+      ("host", cfg.host);
+      ("port", string_of_int bound_port);
+    ];
   Events.info
     ~fields:
       [
@@ -886,14 +1037,17 @@ let read_until_eof fd =
   in
   go ()
 
-let submit ?timeout_s ?(deadline_ms = 0) ~host ~port req =
+let submit_timed ?timeout_s ?(deadline_ms = 0) ?(request_id = 0L) ~host ~port req =
   with_connection ?timeout_s ~host ~port (fun fd ->
-      let frame = encode_request ~deadline_ms req in
+      let frame = encode_request ~deadline_ms ~request_id req in
       match write_all ~what:"request write" fd frame with
       | Error pe -> Error (protocol_error_to_string pe)
       | Ok () ->
         Unix.shutdown fd Unix.SHUTDOWN_SEND;
         decode_response (read_until_eof fd))
+
+let submit ?timeout_s ?deadline_ms ~host ~port req =
+  Result.map fst (submit_timed ?timeout_s ?deadline_ms ~host ~port req)
 
 (* Jittered exponential backoff: attempt [k] sleeps in
    [0.5, 1.5) * base * 2^k — seeded, so a retry schedule replays. *)

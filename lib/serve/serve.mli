@@ -7,9 +7,11 @@
     {- a length-prefixed binary job protocol ({!section-protocol}) for
        compress/decompress/ping jobs — the service path; and}
     {- HTTP/1.0 [GET] for the observability surface: [/metrics]
-       (OpenMetrics text), [/healthz], [/events] (JSON lines, newest
-       last, [?n=] to bound) and [/snapshot] (the metrics snapshot as
-       JSON — what [ccomp top] polls).}}
+       (OpenMetrics text, including the [serve] info metric and
+       [serve.uptime_seconds]), [/healthz], [/events] (JSON lines,
+       newest last, [?n=] to bound, [?level=] to filter at-or-above a
+       severity) and [/snapshot] (the metrics snapshot as JSON — what
+       [ccomp top] polls).}}
 
     Jobs run through exactly the same codec paths as the offline CLI,
     so a served compression is byte-identical to [ccomp compress] with
@@ -49,18 +51,27 @@
 
     {2:protocol Wire format}
 
-    Request: ["CCQ1"] · opcode(1) · algo(1) · isa(1) · block_size(2,BE)
-    · deadline_ms(4,BE) · payload_len(4,BE) · payload. Opcodes: [1]
-    compress, [2] decompress, [3] ping, [4] crash-worker (chaos
-    testing; refused unless the daemon allows it). Algo: [0] samc, [1]
-    sadc. ISA: [0] mips, [1] x86. [deadline_ms = 0] means no deadline;
-    otherwise it is the client's remaining budget, measured by the
-    server from the moment the frame finished arriving.
+    Request (25-byte header): ["CCQ1"] · opcode(1) · algo(1) · isa(1)
+    · block_size(2,BE) · deadline_ms(4,BE) · request_id(8,BE) ·
+    payload_len(4,BE) · payload. Opcodes: [1] compress, [2] decompress,
+    [3] ping, [4] crash-worker (chaos testing; refused unless the
+    daemon allows it). Algo: [0] samc, [1] sadc. ISA: [0] mips, [1]
+    x86. [deadline_ms = 0] means no deadline; otherwise it is the
+    client's remaining budget, measured by the server from the moment
+    the frame finished arriving. [request_id] is client-chosen and
+    opaque; a nonzero id asks the daemon to echo a per-request timing
+    record in the reply ([0] = no tracing).
 
-    Response: ["CCR1"] · status(1) · payload_len(4,BE) · payload.
+    Response (10-byte header): ["CCR1"] · status(1) · timing_len(1) ·
+    payload_len(4,BE) · timing record ([timing_len] bytes) · payload.
     Status: [0] ok (result bytes), [1] error, [2] overloaded (shed),
-    [3] deadline expired — the payload of a non-ok status is a
-    message. *)
+    [3] deadline expired — the payload of a non-ok status is a message.
+    [timing_len] is [0] (no record) or [20]: request_id(8,BE) ·
+    queue_us(4,BE) · service_us(4,BE) · server_us(4,BE), each duration
+    capped at [0xffffffff]. [server_us] covers queue + frame read +
+    job, {e excluding} the reply write (the record rides inside that
+    write), so a client's network share is its end-to-end latency minus
+    [server_us], pessimistic by the write cost. *)
 
 type algo = Samc | Sadc
 
@@ -100,17 +111,29 @@ val max_payload : int
 (** Largest request payload the daemon accepts (bytes); longer frames
     are refused with {!Frame_too_large} before any allocation. *)
 
-val encode_request : ?deadline_ms:int -> request -> string
+type frame_meta = {
+  deadline_ms : int;  (** [0] = no deadline *)
+  request_id : int64;  (** [0L] = tracing not requested *)
+}
+
+type timing = {
+  t_request_id : int64;  (** echo of the request's id *)
+  t_queue_us : int;  (** accepted -> popped by a worker *)
+  t_service_us : int;  (** the codec job itself *)
+  t_server_us : int;  (** queue + frame read + job (write excluded) *)
+}
+
+val encode_request : ?deadline_ms:int -> ?request_id:int64 -> request -> string
 (** [deadline_ms] (default [0] = none) is the client's remaining
-    budget for the whole job. *)
+    budget for the whole job; a nonzero [request_id] (default [0L])
+    asks the server to echo a {!timing} record in the reply. *)
 
-val decode_request : string -> (request * int, protocol_error) result
-(** Inverse of {!encode_request} on a complete request frame; the
-    second component is the frame's [deadline_ms]. *)
+val decode_request : string -> (request * frame_meta, protocol_error) result
+(** Inverse of {!encode_request} on a complete request frame. *)
 
-val encode_response : response -> string
+val encode_response : ?timing:timing -> response -> string
 
-val decode_response : string -> (response, string) result
+val decode_response : string -> (response * timing option, string) result
 
 val handle_request : ?deadline_us:float -> jobs:int -> request -> response
 (** Run one job locally (no socket) — the daemon's dispatch, exposed
@@ -129,6 +152,7 @@ val handle_connection :
   ?idle_timeout_s:float ->
   ?io_timeout_s:float ->
   ?allow_crash_op:bool ->
+  ?queue_us:float ->
   jobs:int ->
   Unix.file_descr ->
   unit
@@ -138,7 +162,10 @@ val handle_connection :
     transfers; [idle_timeout_s] bounds the wait for the first byte and
     [io_timeout_s] bounds each frame and each response (both default to
     unbounded, for driving the framing path over a socketpair in
-    tests). The descriptor is not closed. *)
+    tests). [queue_us] (default [0.]) is how long the connection waited
+    in the admission queue — the daemon passes its measured wait so the
+    queue stage lands in {!Latency} and the echoed {!timing}. The
+    descriptor is not closed. *)
 
 type config = {
   host : string;  (** address to bind (default ["127.0.0.1"]) *)
@@ -182,6 +209,20 @@ val submit :
   (response, string) result
 (** One binary-protocol round-trip, returning the daemon's typed reply
     ([Error] is a transport or framing failure). *)
+
+val submit_timed :
+  ?timeout_s:float ->
+  ?deadline_ms:int ->
+  ?request_id:int64 ->
+  host:string ->
+  port:int ->
+  request ->
+  (response * timing option, string) result
+(** {!submit} with per-request tracing: a nonzero [request_id] makes
+    the daemon echo its server-side {!timing} record alongside the
+    reply (the second component; [None] when tracing was not requested
+    or the server predates it). What [ccomp loadgen] uses to split
+    queue wait / service time / network. *)
 
 val request :
   ?timeout_s:float ->

@@ -70,6 +70,14 @@ let render_frame ~window ~snapshot ~events_tail ~title =
           h.Obs.hs_p95 h.Obs.hs_p99 h.Obs.hs_max)
       snapshot.Obs.histograms
   end;
+  (* live latency breakdown: which serve stage owns the tail right now *)
+  (match Latency.attribution snapshot with
+  | None -> ()
+  | Some report ->
+    line "";
+    List.iter
+      (fun l -> if l <> "" then line "  %s" l)
+      (String.split_on_char '\n' (Latency.render report)));
   if events_tail <> [] then begin
     line "";
     line "  recent events:";

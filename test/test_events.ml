@@ -64,6 +64,42 @@ let test_level_filter () =
   Alcotest.(check (list string)) "below-level events dropped" [ "w"; "e" ] (names ());
   Alcotest.(check int) "total counts only recorded events" 2 (Events.total ())
 
+(* ISSUE-8 [?min_level] read-side filter: "the last n warnings", not
+   "warnings among the last n" — the whole ring is filtered at or
+   above the floor, THEN the newest n are kept. *)
+let test_tail_min_level () =
+  isolated @@ fun () ->
+  Events.debug "d1";
+  Events.warn "w1";
+  Events.info "i1";
+  Events.error "e1";
+  Events.debug "d2";
+  Events.warn "w2";
+  let names ?min_level n =
+    List.map (fun e -> e.Events.ev_name) (Events.tail ?min_level n)
+  in
+  Alcotest.(check (list string)) "no floor: plain tail" [ "d2"; "w2" ] (names 2);
+  Alcotest.(check (list string)) "warn floor keeps warn and error"
+    [ "w1"; "e1"; "w2" ]
+    (names ~min_level:Events.Warn max_int);
+  Alcotest.(check (list string)) "filter before truncation: last 2 warnings"
+    [ "e1"; "w2" ]
+    (names ~min_level:Events.Warn 2);
+  Alcotest.(check (list string)) "error floor" [ "e1" ] (names ~min_level:Events.Error 10);
+  Alcotest.(check (list string)) "n=0 is empty" [] (names ~min_level:Events.Warn 0);
+  (* a floor above everything recorded matches nothing *)
+  Events.clear ();
+  Events.debug "only";
+  Alcotest.(check (list string)) "no match above the floor" []
+    (names ~min_level:Events.Info 10);
+  (* tail_json honours the same floor *)
+  Events.warn "w3";
+  Alcotest.(check int) "tail_json filters too" 1
+    (List.length
+       (List.filter
+          (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' (Events.tail_json ~min_level:Events.Warn 10))))
+
 let test_level_strings () =
   List.iter
     (fun l ->
@@ -227,6 +263,7 @@ let suite =
     Alcotest.test_case "tail is oldest-first and bounded" `Quick test_tail_order;
     Alcotest.test_case "ring overflow keeps the newest" `Quick test_ring_overflow;
     Alcotest.test_case "level filtering" `Quick test_level_filter;
+    Alcotest.test_case "tail min_level filters before truncation" `Quick test_tail_min_level;
     Alcotest.test_case "level string round-trip" `Quick test_level_strings;
     Alcotest.test_case "JSON line shape" `Quick test_json_line_shape;
     Alcotest.test_case "file sink appends JSON lines" `Quick test_file_sink;

@@ -29,6 +29,7 @@ let () =
       ("window", Test_window.suite);
       ("events", Test_events.suite);
       ("serve", Test_serve.suite);
+      ("loadgen", Test_loadgen.suite);
       ("verify", Test_verify.suite);
       ("integration", Test_integration.suite);
     ]

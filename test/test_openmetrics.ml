@@ -181,6 +181,54 @@ let test_serve_overload_metrics () =
       ("serve_inflight", "gauge");
     ]
 
+(* ISSUE-8 info metrics: build/config facts as labels on a constant-1
+   sample, leading the exposition. The ccomp_serve library is linked,
+   so its own [serve] info metric must be present too. *)
+let test_info_metrics () =
+  isolated @@ fun () ->
+  Om.set_info "om.info.build" [ ("version", "1.2.3"); ("bad label", "x\"y") ];
+  let text = Om.render () in
+  Alcotest.(check bool) "TYPE info" true (has_line text "# TYPE om_info_build info");
+  let samples =
+    match Om.parse text with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "render with info metrics must parse: %s" e
+  in
+  (match List.find_opt (fun s -> s.Om.om_name = "om_info_build_info") samples with
+  | None -> Alcotest.fail "om_info_build_info sample missing"
+  | Some s ->
+    Alcotest.(check (float 0.0)) "constant 1" 1.0 s.Om.om_value;
+    Alcotest.(check (option string)) "version label survives" (Some "1.2.3")
+      (List.assoc_opt "version" s.Om.om_labels);
+    Alcotest.(check (option string)) "label name sanitised" (Some "x\"y")
+      (List.assoc_opt "bad_label" s.Om.om_labels));
+  (* the serve library registered its own info metric at load time *)
+  Alcotest.(check bool) "TYPE serve info" true (has_line text "# TYPE serve info");
+  (match List.find_opt (fun s -> s.Om.om_name = "serve_info") samples with
+  | None -> Alcotest.fail "serve_info sample missing"
+  | Some s ->
+    Alcotest.(check bool) "serve info carries a version label" true
+      (List.assoc_opt "version" s.Om.om_labels <> None));
+  (* info families lead the exposition, before the numeric registry *)
+  match
+    List.find_opt
+      (fun l -> String.length l > 7 && String.sub l 0 7 = "# TYPE ")
+      (lines_of text)
+  with
+  | Some first_type ->
+    let n = String.length first_type in
+    Alcotest.(check string) "first family is an info family" "info"
+      (String.sub first_type (n - 4) 4)
+  | None -> Alcotest.fail "no TYPE line in exposition"
+
+let test_info_replace () =
+  isolated @@ fun () ->
+  Om.set_info "om.info.replace" [ ("a", "1") ];
+  Om.set_info "om.info.replace" [ ("b", "2") ];
+  match List.assoc_opt "om.info.replace" (Om.info_metrics ()) with
+  | Some labels -> Alcotest.(check bool) "last set_info wins" true (labels = [ ("b", "2") ])
+  | None -> Alcotest.fail "replaced info metric missing"
+
 let test_parse_rejects () =
   (match Om.parse "foo 1\n" with
   | Ok _ -> Alcotest.fail "missing # EOF must be an error"
@@ -201,5 +249,7 @@ let suite =
     Alcotest.test_case "bucket monotonicity ending at +Inf" `Quick test_bucket_monotonicity;
     Alcotest.test_case "parse-back round-trip" `Quick test_parse_roundtrip;
     Alcotest.test_case "serve overload metrics conform" `Quick test_serve_overload_metrics;
+    Alcotest.test_case "info metrics conform and lead" `Quick test_info_metrics;
+    Alcotest.test_case "info metric replace semantics" `Quick test_info_replace;
     Alcotest.test_case "parser rejects malformed input" `Quick test_parse_rejects;
   ]

@@ -17,11 +17,13 @@ let mips_code =
      let _, layout = P.Mips_backend.lower prog in
      layout.P.Layout.code)
 
+let no_meta = { Serve.deadline_ms = 0; request_id = 0L }
+
 let test_request_roundtrip () =
   List.iter
     (fun req ->
       match Serve.decode_request (Serve.encode_request req) with
-      | Ok got -> Alcotest.(check bool) "request survives the wire" true (got = (req, 0))
+      | Ok got -> Alcotest.(check bool) "request survives the wire" true (got = (req, no_meta))
       | Error e -> Alcotest.failf "round-trip failed: %s" (Serve.protocol_error_to_string e))
     [
       Serve.Compress { algo = Serve.Samc; isa = Serve.Mips; block_size = 32; code = "\x00\x01\xff" };
@@ -37,16 +39,30 @@ let test_deadline_roundtrip () =
     (fun ms ->
       match Serve.decode_request (Serve.encode_request ~deadline_ms:ms (Serve.Decompress "x")) with
       | Ok (Serve.Decompress "x", got) ->
-        Alcotest.(check int) (Printf.sprintf "deadline %dms survives the wire" ms) ms got
+        Alcotest.(check int)
+          (Printf.sprintf "deadline %dms survives the wire" ms)
+          ms got.Serve.deadline_ms
       | Ok _ -> Alcotest.fail "request mangled"
       | Error e -> Alcotest.failf "round-trip failed: %s" (Serve.protocol_error_to_string e))
     [ 0; 1; 250; 0x7fffffff ]
+
+let test_request_id_roundtrip () =
+  List.iter
+    (fun id ->
+      match Serve.decode_request (Serve.encode_request ~request_id:id Serve.Ping) with
+      | Ok (Serve.Ping, got) ->
+        Alcotest.(check int64)
+          (Printf.sprintf "request id %Ld survives the wire" id)
+          id got.Serve.request_id
+      | Ok _ -> Alcotest.fail "request mangled"
+      | Error e -> Alcotest.failf "round-trip failed: %s" (Serve.protocol_error_to_string e))
+    [ 0L; 1L; 0xdeadbeefL; Int64.max_int; -1L ]
 
 let test_response_roundtrip () =
   List.iter
     (fun resp ->
       match Serve.decode_response (Serve.encode_response resp) with
-      | Ok got -> Alcotest.(check bool) "response survives the wire" true (got = resp)
+      | Ok got -> Alcotest.(check bool) "response survives the wire" true (got = (resp, None))
       | Error e -> Alcotest.failf "round-trip failed: %s" e)
     [
       Serve.Payload "\x00binary\xff";
@@ -56,12 +72,29 @@ let test_response_roundtrip () =
       Serve.Deadline_expired "0.3ms over";
     ]
 
+let test_timing_roundtrip () =
+  let timing =
+    { Serve.t_request_id = 77L; t_queue_us = 123; t_service_us = 45678; t_server_us = 46000 }
+  in
+  (match Serve.decode_response (Serve.encode_response ~timing (Serve.Payload "data")) with
+  | Ok (Serve.Payload "data", Some got) ->
+    Alcotest.(check bool) "timing record survives the wire" true (got = timing)
+  | Ok _ -> Alcotest.fail "response mangled"
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  (* durations past 32 bits cap instead of wrapping to something small *)
+  let big = { timing with Serve.t_service_us = 0x1_2345_6789 } in
+  match Serve.decode_response (Serve.encode_response ~timing:big (Serve.Payload "")) with
+  | Ok (_, Some got) ->
+    Alcotest.(check int) "oversized duration caps at u32 max" 0xFFFF_FFFF got.Serve.t_service_us
+  | Ok (_, None) -> Alcotest.fail "timing record lost"
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+
 let expect_error name = function
   | Error _ -> ()
   | Ok _ -> Alcotest.failf "%s: malformed frame must be rejected" name
 
 (* hand-build a request header: magic, op, algo, isa, block(2,BE),
-   deadline(4,BE), payload_len(4,BE) *)
+   deadline(4,BE), request_id(8,BE), payload_len(4,BE) *)
 let be32 v = String.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff))
 
 let frame ?(magic = "CCQ1") ?(algo = 0) ?(isa = 0) ?(block = 0) ?(deadline = 0) ?len ~op payload =
@@ -69,20 +102,28 @@ let frame ?(magic = "CCQ1") ?(algo = 0) ?(isa = 0) ?(block = 0) ?(deadline = 0) 
   magic
   ^ String.init 3 (fun i -> Char.chr [| op; algo; isa |].(i))
   ^ String.init 2 (fun i -> Char.chr ((block lsr (8 * (1 - i))) land 0xff))
-  ^ be32 deadline ^ be32 len ^ payload
+  ^ be32 deadline
+  ^ String.make 8 '\x00' (* request id *)
+  ^ be32 len ^ payload
 
 let test_malformed_frames () =
   expect_error "empty" (Serve.decode_request "");
   expect_error "bad magic" (Serve.decode_request (frame ~magic:"XXXX" ~op:3 ""));
   expect_error "short header" (Serve.decode_request "CCQ1\x03");
   expect_error "old 13-byte header" (Serve.decode_request "CCQ1\x03\x00\x00\x00\x00\x00\x00\x00\x00");
+  expect_error "old 17-byte header (pre-request-id wire)"
+    (Serve.decode_request ("CCQ1\x03" ^ String.make 12 '\x00'));
   expect_error "length mismatch" (Serve.decode_request (frame ~op:2 ~len:9 "short"));
   expect_error "unknown opcode" (Serve.decode_request (frame ~op:7 ""));
   expect_error "zero block size" (Serve.decode_request (frame ~op:1 ~block:0 "x"));
   expect_error "unknown algo" (Serve.decode_request (frame ~op:1 ~algo:9 ~block:32 "x"));
-  expect_error "response bad magic" (Serve.decode_response "CCQX\x00\x00\x00\x00\x00");
-  expect_error "response truncated" (Serve.decode_response "CCR1\x00\x00\x00\x00\x05ab");
-  expect_error "response unknown status" (Serve.decode_response "CCR1\x09\x00\x00\x00\x00");
+  expect_error "response bad magic" (Serve.decode_response "CCQX\x00\x00\x00\x00\x00\x00");
+  expect_error "response truncated" (Serve.decode_response "CCR1\x00\x00\x00\x00\x00\x05ab");
+  expect_error "response unknown status" (Serve.decode_response "CCR1\x09\x00\x00\x00\x00\x00");
+  expect_error "response old 9-byte header (pre-timing wire)"
+    (Serve.decode_response "CCR1\x00\x00\x00\x00\x00");
+  expect_error "response bogus timing length"
+    (Serve.decode_response ("CCR1\x00\x05" ^ be32 0 ^ "xxxxx"));
   (* the error is typed: a declared-oversize frame is Frame_too_large
      even when no payload bytes follow *)
   match Serve.decode_request (frame ~op:2 ~len:(Serve.max_payload + 1) "") with
@@ -144,8 +185,27 @@ let test_partial_writes () =
   (* a whole request delivered in 1-byte reads must still parse *)
   let resp = drive_connection (Serve.encode_request Serve.Ping) in
   match Serve.decode_response resp with
-  | Ok (Serve.Payload p) -> Alcotest.(check string) "pong over short transfers" "pong" p
-  | Ok (Serve.Failed e) -> Alcotest.failf "ping failed: %s" e
+  | Ok (Serve.Payload p, timing) ->
+    Alcotest.(check string) "pong over short transfers" "pong" p;
+    Alcotest.(check bool) "no timing echo without a request id" true (timing = None)
+  | Ok (Serve.Failed e, _) -> Alcotest.failf "ping failed: %s" e
+  | Ok _ -> Alcotest.fail "unexpected typed reply"
+  | Error e -> Alcotest.failf "bad response frame: %s" e
+
+let test_timing_echo () =
+  (* a nonzero request id asks the daemon for its server-side split *)
+  let resp = drive_connection ~chunk:64 (Serve.encode_request ~request_id:42L Serve.Ping) in
+  match Serve.decode_response resp with
+  | Ok (Serve.Payload p, Some t) ->
+    Alcotest.(check string) "pong" "pong" p;
+    Alcotest.(check int64) "request id echoed" 42L t.Serve.t_request_id;
+    Alcotest.(check bool) "server_us covers the stages" true
+      (t.Serve.t_server_us >= 0
+      && t.Serve.t_queue_us >= 0
+      && t.Serve.t_service_us >= 0
+      && t.Serve.t_server_us >= t.Serve.t_service_us)
+  | Ok (Serve.Payload _, None) -> Alcotest.fail "nonzero request id must be answered with timing"
+  | Ok (Serve.Failed e, _) -> Alcotest.failf "ping failed: %s" e
   | Ok _ -> Alcotest.fail "unexpected typed reply"
   | Error e -> Alcotest.failf "bad response frame: %s" e
 
@@ -154,7 +214,7 @@ let test_oversize_frame_refused () =
      Failed without waiting for (or allocating) the payload *)
   let header = frame ~op:2 ~len:(Serve.max_payload + 1) "" in
   match Serve.decode_response (drive_connection header) with
-  | Ok (Serve.Failed msg) ->
+  | Ok (Serve.Failed msg, _) ->
     Alcotest.(check bool)
       (Printf.sprintf "mentions the limit: %S" msg)
       true
@@ -166,7 +226,7 @@ let test_truncated_frame_refused () =
   (* header promises 9 payload bytes, peer closes after 5 *)
   let raw = frame ~op:2 ~len:9 "short" in
   match Serve.decode_response (drive_connection raw) with
-  | Ok (Serve.Failed msg) ->
+  | Ok (Serve.Failed msg, _) ->
     Alcotest.(check bool)
       (Printf.sprintf "mentions truncation: %S" msg)
       true
@@ -178,12 +238,12 @@ let test_expired_deadline_on_arrival () =
   (* a frame arriving with a 1 ms budget and a deliberate pause before
      dispatch must come back Deadline_expired, not Payload *)
   let raw = Serve.encode_request ~deadline_ms:1 Serve.Ping in
-  (* drive byte-by-byte: 17 one-byte writes take well over 1 ms of
+  (* drive byte-by-byte: 25 one-byte writes take well over 1 ms of
      scheduling, so the budget is spent by dispatch time *)
   let resp = drive_connection raw in
   match Serve.decode_response resp with
-  | Ok (Serve.Deadline_expired _) -> ()
-  | Ok (Serve.Payload _) ->
+  | Ok (Serve.Deadline_expired _, _) -> ()
+  | Ok (Serve.Payload _, _) ->
     (* acceptable on a very fast machine: the frame beat the clock;
        retry with an unbeatable payload *)
     let code = String.init (1 lsl 20) (fun i -> Char.chr (i land 0xff)) in
@@ -192,7 +252,7 @@ let test_expired_deadline_on_arrival () =
         (Serve.Compress { algo = Serve.Samc; isa = Serve.Mips; block_size = 32; code })
     in
     (match Serve.decode_response (drive_connection ~chunk:65536 raw) with
-    | Ok (Serve.Deadline_expired _) -> ()
+    | Ok (Serve.Deadline_expired _, _) -> ()
     | Ok _ -> Alcotest.fail "a 1ms-deadline 1MiB compress must expire"
     | Error e -> Alcotest.failf "bad response frame: %s" e)
   | Ok _ -> Alcotest.fail "unexpected typed reply"
@@ -203,7 +263,7 @@ let test_crash_op_gated () =
      the worker must NOT crash *)
   let raw = Serve.encode_request Serve.Crash_worker in
   match Serve.decode_response (drive_connection raw) with
-  | Ok (Serve.Failed msg) ->
+  | Ok (Serve.Failed msg, _) ->
     Alcotest.(check bool) (Printf.sprintf "names the gate: %S" msg) true
       (String.length msg > 0)
   | Ok _ -> Alcotest.fail "ungated crash op must be refused"
@@ -269,6 +329,11 @@ let test_decompress_garbage () =
   | Serve.Failed _ -> ()
   | _ -> Alcotest.fail "garbage must not decompress"
 
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
 let test_http_routing () =
   (match Serve.http_response "/healthz" with
   | Some (200, _, body) -> Alcotest.(check string) "healthz body" "ok\n" body
@@ -281,7 +346,11 @@ let test_http_routing () =
       && String.sub ctype 0 (String.length prefix) = prefix);
     (match Ccomp_obs.Openmetrics.parse body with
     | Ok _ -> ()
-    | Error e -> Alcotest.failf "/metrics body must parse: %s" e)
+    | Error e -> Alcotest.failf "/metrics body must parse: %s" e);
+    Alcotest.(check bool) "serve info metric exposed" true
+      (contains ~needle:"# TYPE serve info" body && contains ~needle:"serve_info{" body);
+    Alcotest.(check bool) "uptime gauge exposed" true
+      (contains ~needle:"serve_uptime_seconds " body)
   | _ -> Alcotest.fail "/metrics must be 200");
   (match Serve.http_response "/snapshot" with
   | Some (200, _, body) -> (
@@ -292,21 +361,57 @@ let test_http_routing () =
   (match Serve.http_response "/events?n=3" with
   | Some (200, _, _) -> ()
   | _ -> Alcotest.fail "/events must accept ?n=");
+  (match Serve.http_response "/events?level=warn&n=3" with
+  | Some (200, _, _) -> ()
+  | _ -> Alcotest.fail "/events must accept ?level=");
+  (match Serve.http_response "/events?level=noise" with
+  | Some (400, _, body) ->
+    Alcotest.(check bool) "400 names the bad level" true (contains ~needle:"noise" body)
+  | _ -> Alcotest.fail "unknown ?level= must 400");
   match Serve.http_response "/nope" with
   | None -> ()
   | Some _ -> Alcotest.fail "unknown path must 404"
 
+let test_events_level_filter_http () =
+  (* the filter semantics through the HTTP path: last n at-or-above *)
+  let module Events = Ccomp_obs.Events in
+  let was = Events.enabled () in
+  Events.set_enabled true;
+  Events.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Events.clear ();
+      Events.set_enabled was)
+    (fun () ->
+      Events.warn "w.one";
+      Events.debug "d.noise";
+      Events.error "e.two";
+      Events.debug "d.more";
+      match Serve.http_response "/events?level=warn&n=10" with
+      | Some (200, _, body) ->
+        let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' body) in
+        Alcotest.(check int) "only the warn+ events" 2 (List.length lines);
+        Alcotest.(check bool) "debug chatter filtered out" false
+          (contains ~needle:"d.noise" body);
+        Alcotest.(check bool) "both severities present" true
+          (contains ~needle:"w.one" body && contains ~needle:"e.two" body)
+      | _ -> Alcotest.fail "/events?level=warn must be 200")
+
 let suite =
   [
     Alcotest.test_case "request wire round-trip" `Quick test_request_roundtrip;
+    Alcotest.test_case "request id wire round-trip" `Quick test_request_id_roundtrip;
     Alcotest.test_case "response wire round-trip" `Quick test_response_roundtrip;
+    Alcotest.test_case "timing record wire round-trip" `Quick test_timing_roundtrip;
     Alcotest.test_case "malformed frames rejected" `Quick test_malformed_frames;
     Alcotest.test_case "ping" `Quick test_ping;
     Alcotest.test_case "served compress is byte-identical" `Quick test_compress_byte_identity;
     Alcotest.test_case "served decompress round-trips" `Quick test_decompress_roundtrip;
     Alcotest.test_case "garbage decompress fails cleanly" `Quick test_decompress_garbage;
     Alcotest.test_case "HTTP routing" `Quick test_http_routing;
+    Alcotest.test_case "/events level filter over HTTP" `Quick test_events_level_filter_http;
     Alcotest.test_case "framing survives 1-byte short transfers" `Quick test_partial_writes;
+    Alcotest.test_case "timing echoed for a nonzero request id" `Quick test_timing_echo;
     Alcotest.test_case "oversize frame refused before allocation" `Quick
       test_oversize_frame_refused;
     Alcotest.test_case "truncated frame reported as truncated" `Quick

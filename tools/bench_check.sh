@@ -1,12 +1,12 @@
 #!/bin/sh
 # Benchmark regression gate over the flat JSON written by
-# `bench --emit-json` (see BENCH_PR7.json for the committed baseline).
+# `bench --emit-json` (see BENCH_PR8.json for the committed baseline).
 #
 # Modes:
 #   bench_check.sh [BASELINE]
 #       Run the full throughput suite with `dune exec bench/main.exe` and
 #       fail (exit 1) if any *decompress* throughput fell more than 20%
-#       below the baseline (default: BENCH_PR7.json next to this repo's
+#       below the baseline (default: BENCH_PR8.json next to this repo's
 #       root). Compress keys are reported but not gated — dictionary
 #       construction time is dominated by search heuristics, not the
 #       kernels this gate protects.
@@ -24,9 +24,13 @@
 #       decompress >= 0.95 * serial at the file's jobs setting for SAMC,
 #       SADC and byte-huffman; SADC compress >= 1.0 MB/s; pool metrics
 #       show the domain pool actually ran (tasks dispatched, queue-depth
-#       histogram non-empty, jobs gauge set). Run against the committed
-#       BENCH_PR*.json this is deterministic, so bench/dune wires it
-#       into runtest.
+#       histogram non-empty, jobs gauge set). PR8 adds loadgen SLO
+#       gates when the file carries a loadgen section: every declared
+#       loadgen.slo_* bound must hold against the measured key in the
+#       same file, and the run must have recorded zero violations;
+#       files predating the section pass untouched. Run against the
+#       committed BENCH_PR*.json this is deterministic, so bench/dune
+#       wires it into runtest.
 set -eu
 
 THRESHOLD_PCT=20
@@ -206,6 +210,41 @@ invariants() { # file
   abs_ge "pool dispatched tasks" par.tasks 1
   abs_ge "pool queue-depth histogram non-empty" par.queue_depth_count 1
   abs_ge "pool jobs gauge set" par.jobs 2
+  # PR8: loadgen SLO gates. A baseline that predates the loadgen
+  # section (no loadgen.p99_ms) passes untouched; once the section is
+  # present, every SLO the run declared must hold, key-vs-key within
+  # the same file — no cross-machine absolute numbers.
+  key_le() { # name key bound-key
+    v=$(json_get "$file" "$2"); b=$(json_get "$file" "$3")
+    if [ -z "$v" ] || [ -z "$b" ]; then
+      echo "  INVARIANT $1: missing key ($2 or $3)" >&2; fail=1
+    elif awk -v v="$v" -v b="$b" 'BEGIN { exit !(v + 0 <= b + 0) }'; then
+      echo "  ok  $1: $v <= $b"
+    else
+      echo "  INVARIANT $1 FAILED: $v > $b" >&2; fail=1
+    fi
+  }
+  if json_has "$file" loadgen.p99_ms; then
+    abs_ge "loadgen served at least one reply" loadgen.ok 1
+    if json_has "$file" loadgen.slo_p99_ms; then
+      key_le "loadgen p99 within declared SLO" loadgen.p99_ms loadgen.slo_p99_ms
+    fi
+    if json_has "$file" loadgen.slo_shed_rate; then
+      key_le "loadgen shed rate within declared SLO" loadgen.shed_rate loadgen.slo_shed_rate
+    fi
+    if json_has "$file" loadgen.slo_deadline_rate; then
+      key_le "loadgen deadline-expired rate within declared SLO" \
+        loadgen.deadline_rate loadgen.slo_deadline_rate
+    fi
+    v=$(json_get "$file" loadgen.slo_violations)
+    if [ -n "$v" ] && awk -v v="$v" 'BEGIN { exit !(v + 0 > 0) }'; then
+      echo "  INVARIANT loadgen recorded SLO violations FAILED: $v > 0" >&2; fail=1
+    else
+      echo "  ok  loadgen recorded no SLO violations"
+    fi
+  else
+    echo "  note: no loadgen section (pre-PR8 baseline) — SLO gates skipped"
+  fi
   if [ "$fail" -ne 0 ]; then
     echo "bench_check: INVARIANTS FAILED for $file" >&2
     exit 1
@@ -244,7 +283,7 @@ case "${1:-}" in
     ;;
   *)
     root=$(cd "$(dirname "$0")/.." && pwd)
-    baseline=${1:-$root/BENCH_PR7.json}
+    baseline=${1:-$root/BENCH_PR8.json}
     out=$(mktemp /tmp/bench_full.XXXXXX.json)
     trap 'rm -f "$out"' EXIT
     trap 'exit 130' INT

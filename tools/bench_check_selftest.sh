@@ -154,8 +154,59 @@ emit_fixture "$dir/nopool.json" "par.tasks=0"
 expect "idle pool fails invariants" fail \
   sh "$check" --invariants "$dir/nopool.json"
 
+# --invariants: loadgen SLO gates (PR8). add_loadgen splices a healthy
+# loadgen section (all declared SLOs held) into a fixture, with
+# overrides in the same KEY=VALUE form as emit_fixture.
+add_loadgen() {
+  file=$1
+  shift
+  defaults='loadgen.ok=450 loadgen.p99_ms=8.0 loadgen.shed_rate=0.01 loadgen.deadline_rate=0.0 loadgen.slo_p99_ms=50.0 loadgen.slo_shed_rate=0.05 loadgen.slo_deadline_rate=0.05 loadgen.slo_violations=0'
+  {
+    for kv in $defaults; do
+      key=${kv%%=*} v=${kv#*=}
+      for override in "$@"; do
+        case $override in "$key="*) v=${override#*=} ;; esac
+      done
+      echo "  \"$key\": $v,"
+    done
+  } > "$dir/lg_lines"
+  awk -v ins="$dir/lg_lines" '
+    /"end": 0/ { while ((getline l < ins) > 0) print l }
+    { print }' "$file" > "$file.tmp" && mv "$file.tmp" "$file"
+}
+
+# a baseline predating the loadgen section must pass untouched —
+# good.json above already did, but pin the tolerance by name
+expect "pre-loadgen baseline tolerated by SLO gates" ok \
+  sh "$check" --invariants "$dir/good.json"
+
+emit_fixture "$dir/lg_ok.json"
+add_loadgen "$dir/lg_ok.json"
+expect "loadgen section within SLOs passes" ok \
+  sh "$check" --invariants "$dir/lg_ok.json"
+
+emit_fixture "$dir/lg_p99.json"
+add_loadgen "$dir/lg_p99.json" "loadgen.p99_ms=80.0"
+expect "p99 over declared SLO fails invariants" fail \
+  sh "$check" --invariants "$dir/lg_p99.json"
+
+emit_fixture "$dir/lg_shed.json"
+add_loadgen "$dir/lg_shed.json" "loadgen.shed_rate=0.2"
+expect "shed rate over declared SLO fails invariants" fail \
+  sh "$check" --invariants "$dir/lg_shed.json"
+
+emit_fixture "$dir/lg_viol.json"
+add_loadgen "$dir/lg_viol.json" "loadgen.slo_violations=2"
+expect "recorded SLO violations fail invariants" fail \
+  sh "$check" --invariants "$dir/lg_viol.json"
+
+emit_fixture "$dir/lg_dead.json"
+add_loadgen "$dir/lg_dead.json" "loadgen.ok=0"
+expect "loadgen section with zero ok replies fails" fail \
+  sh "$check" --invariants "$dir/lg_dead.json"
+
 if [ "$failures" -ne 0 ]; then
   echo "bench_check_selftest: FAILED ($failures scenario(s))" >&2
   exit 1
 fi
-echo "bench_check_selftest: OK (15 scenarios)"
+echo "bench_check_selftest: OK (21 scenarios)"

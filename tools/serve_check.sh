@@ -15,9 +15,13 @@
 #   3. /metrics is OpenMetrics: # TYPE families, _total counters,
 #      cumulative histogram buckets ending at le="+Inf", a final # EOF,
 #      and the registry-wide schema (samc_/sadc_/memsys_/par_/serve_
-#      families are all present, even the ones still at zero).
+#      families are all present, even the ones still at zero) — plus
+#      the serve_info info metric (version + bound port as labels),
+#      the serve_uptime_seconds gauge, and the per-stage latency
+#      histograms (serve_stage_{queue,read,work,write}_us).
 #   4. /healthz answers ok; /events carries structured JSON lines for
-#      the jobs just served.
+#      the jobs just served, honours ?level= filtering, and rejects an
+#      unknown level with a 400 naming it.
 #   5. SIGTERM stops the daemon promptly and gracefully (exit 0: the
 #      accept loop absorbs the break, closes the listener and flushes
 #      telemetry before returning).
@@ -95,6 +99,24 @@ for family in samc_ sadc_ memsys_ par_ serve_; do
 done
 grep -q '^serve_jobs_compress_total 1$' "$dir/metrics.txt" \
   || fail "/metrics: the served compress job was not counted"
+# info metric: build/config facts as labels on a constant-1 sample
+grep -q '^# TYPE serve info$' "$dir/metrics.txt" || fail "/metrics: no serve info family"
+grep -q '^serve_info{.*version=".*".*} 1$' "$dir/metrics.txt" \
+  || fail "/metrics: serve_info lacks a version label or constant-1 value"
+grep -q '^serve_info{.*port="'"$port"'".*} 1$' "$dir/metrics.txt" \
+  || fail "/metrics: serve_info does not carry the bound port"
+# uptime gauge: non-negative and refreshed at scrape time
+grep -q '^# TYPE serve_uptime_seconds gauge$' "$dir/metrics.txt" \
+  || fail "/metrics: no serve_uptime_seconds gauge"
+grep -q '^serve_uptime_seconds [0-9]' "$dir/metrics.txt" \
+  || fail "/metrics: serve_uptime_seconds missing or negative"
+# per-stage latency histograms stamped by the served jobs above
+for stage in queue read work write; do
+  grep -q "^# TYPE serve_stage_${stage}_us histogram$" "$dir/metrics.txt" \
+    || fail "/metrics: no serve_stage_${stage}_us histogram"
+done
+grep -q '^serve_request_us_count [1-9]' "$dir/metrics.txt" \
+  || fail "/metrics: served jobs did not land in serve_request_us"
 # cumulative buckets must be monotone non-decreasing within each family
 awk -F'[}] ' '
   /_bucket\{le=/ {
@@ -109,6 +131,19 @@ awk -F'[}] ' '
 grep -q '"event":"serve.job.done"' "$dir/events.jsonl" \
   || fail "/events: no serve.job.done event for the jobs just served"
 grep -q '"ts_us":' "$dir/events.jsonl" || fail "/events: events lack timestamps"
+# ?level= filters the ring server-side; an unknown level is a 400
+"$ccomp" scrape --port "$port" '/events?level=info&n=50' > "$dir/events_info.jsonl"
+grep -q '"event":"serve.start"' "$dir/events_info.jsonl" \
+  || fail "/events?level=info dropped the info-level serve.start event"
+grep -q '"level":"debug"' "$dir/events_info.jsonl" \
+  && fail "/events?level=info leaked debug-level events"
+"$ccomp" scrape --port "$port" '/events?level=error&n=50' > "$dir/events_err.jsonl"
+grep -qE '"level":"(debug|info)"' "$dir/events_err.jsonl" \
+  && fail "/events?level=error leaked lower-level events"
+if "$ccomp" scrape --port "$port" '/events?level=noise' > "$dir/events_bad.txt" 2>&1; then
+  fail "/events?level=noise was not rejected"
+fi
+grep -q 'noise' "$dir/events_bad.txt" || fail "/events level rejection does not name the level"
 
 # -- 5: clean shutdown on SIGTERM ---------------------------------------
 kill -TERM "$serve_pid"

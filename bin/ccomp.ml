@@ -42,6 +42,7 @@ module Serve = Ccomp_serve.Serve
 module Top = Ccomp_serve.Top
 module Latency = Ccomp_serve.Latency
 module Loadgen = Ccomp_serve.Loadgen
+module Slow = Ccomp_serve.Slow
 
 let read_file path =
   let ic = open_in_bin path in
@@ -764,40 +765,80 @@ let render_diff (a : Obs.snapshot) (b : Obs.snapshot) =
   if Buffer.length buf = 0 then Buffer.add_string buf "no metrics in either snapshot\n";
   Buffer.contents buf
 
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind/connect.")
+
+let port_arg ~default =
+  Arg.(value & opt int default & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (serve: 0 = ephemeral).")
+
+let timeout_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:"Connect/read/write budget — a dead or wedged daemon errors instead of hanging.")
+
 let stats_cmd =
-  let run json diff input =
+  let run json diff slow host port timeout n input =
     let load path =
       match Obs.snapshot_of_json (read_file path) with
       | Error e -> Error (Printf.sprintf "cannot read %s: %s" path e)
       | Ok snap -> Ok snap
     in
-    match diff with
-    | Some before_path -> (
-      match (load before_path, load input) with
-      | Error e, _ | _, Error e -> `Error (false, e)
-      | Ok before, Ok after ->
-        print_string (render_diff before after);
-        `Ok ())
-    | None -> (
-      match load input with
-      | Error e -> `Error (false, e)
-      | Ok snap ->
-        if json then print_string (Obs.snapshot_to_json snap)
-        else begin
-          print_string (Obs.render_table snap);
-          (* "what dominates p99": stage attribution, when the snapshot
-             came from a daemon that recorded serve.stage.* *)
-          match Latency.attribution snap with
-          | None -> ()
-          | Some report ->
-            print_newline ();
-            print_string (Latency.render report)
-        end;
-        `Ok ())
+    if slow then begin
+      (* live mode: pull the daemon's tail-sampled slow-request ring *)
+      match
+        Serve.http_get ~timeout_s:timeout ~host ~port (Printf.sprintf "/slow?n=%d" (max 1 n))
+      with
+      | Error e -> `Error (false, "stats --slow: " ^ e)
+      | Ok (status, _) when status <> 200 ->
+        `Error (false, Printf.sprintf "stats --slow: daemon answered HTTP %d" status)
+      | Ok (_, body) -> (
+        let lines = List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' body) in
+        let parsed = List.map Slow.of_json_line lines in
+        match List.find_opt Result.is_error parsed with
+        | Some (Error e) -> `Error (false, "stats --slow: bad record from daemon: " ^ e)
+        | _ ->
+          let records = List.filter_map Result.to_option parsed in
+          if json then List.iter (fun r -> print_endline (Slow.to_json_line r)) records
+          else print_string (Slow.render_table records);
+          `Ok ())
+    end
+    else
+      match input with
+      | None ->
+        `Error (true, "a METRICS.json argument is required (or use --slow against a daemon)")
+      | Some input -> (
+        match diff with
+        | Some before_path -> (
+          match (load before_path, load input) with
+          | Error e, _ | _, Error e -> `Error (false, e)
+          | Ok before, Ok after ->
+            print_string (render_diff before after);
+            `Ok ())
+        | None -> (
+          match load input with
+          | Error e -> `Error (false, e)
+          | Ok snap ->
+            if json then print_string (Obs.snapshot_to_json snap)
+            else begin
+              print_string (Obs.render_table snap);
+              (* "what dominates p99": stage attribution, when the snapshot
+                 came from a daemon that recorded serve.stage.* *)
+              match Latency.attribution snap with
+              | None -> ()
+              | Some report ->
+                print_newline ();
+                print_string (Latency.render report)
+            end;
+            `Ok ()))
   in
-  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"METRICS.json") in
+  let input = Arg.(value & pos 0 (some file) None & info [] ~docv:"METRICS.json") in
   let json_arg =
-    Arg.(value & flag & info [ "json" ] ~doc:"Re-emit the snapshot as canonical JSON.")
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Re-emit the snapshot as canonical JSON (with --slow: raw JSON lines).")
   in
   let diff_arg =
     Arg.(
@@ -808,24 +849,33 @@ let stats_cmd =
             "Print per-metric deltas of METRICS.json relative to $(docv) (before/after runs) \
              instead of a report.")
   in
+  let slow_arg =
+    Arg.(
+      value & flag
+      & info [ "slow" ]
+          ~doc:
+            "Fetch a running daemon's tail-sampled slow-request ring (GET /slow) and render the \
+             per-stage split, GC deltas and queue depth of each sampled request.")
+  in
+  let slow_n_arg =
+    Arg.(
+      value & opt int 50 & info [ "n" ] ~docv:"N" ~doc:"With --slow: fetch at most $(docv) records.")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
-         "Render a --metrics JSON snapshot as a human-readable report, or diff two snapshots.")
-    Term.(ret (const run $ json_arg $ diff_arg $ input))
+         "Render a --metrics JSON snapshot as a human-readable report, diff two snapshots, or \
+          (--slow) fetch a daemon's slow-request samples.")
+    Term.(
+      ret
+        (const run $ json_arg $ diff_arg $ slow_arg $ host_arg $ port_arg ~default:7070
+       $ timeout_arg $ slow_n_arg $ input))
 
 (* --- serve / submit / scrape / top -------------------------------------- *)
 
-let host_arg =
-  Arg.(
-    value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind/connect.")
-
-let port_arg ~default =
-  Arg.(value & opt int default & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (serve: 0 = ephemeral).")
-
 let serve_cmd =
-  let run host port jobs workers queue_cap idle_timeout io_timeout drain allow_crash metrics trace
-      events =
+  let run host port jobs workers queue_cap idle_timeout io_timeout drain allow_crash slow_threshold
+      slow_ring metrics trace events =
     let jobs = resolve_jobs jobs in
     with_obs ~events ~metrics ~trace @@ fun () ->
     (* the daemon IS the observability surface: metrics and the event
@@ -843,6 +893,8 @@ let serve_cmd =
         io_timeout_s = io_timeout;
         drain_s = drain;
         allow_crash_op = allow_crash;
+        slow_threshold_ms = slow_threshold;
+        slow_capacity = max 1 slow_ring;
       }
     in
     match
@@ -893,27 +945,37 @@ let serve_cmd =
             "Honour the crash-worker opcode (chaos testing: kills a worker domain to exercise \
              supervision). Never enable in production.")
   in
+  let slow_threshold_arg =
+    Arg.(
+      value & opt float 100.0
+      & info [ "slow-threshold-ms" ] ~docv:"MS"
+          ~doc:
+            "Tail-sample any request whose total latency reaches $(docv) into the /slow ring (0 = \
+             sample every request); shed and deadline-expired outcomes are always sampled.")
+  in
+  let slow_ring_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "slow-ring" ] ~docv:"N"
+          ~doc:"Capacity of the slow-request ring; overflow keeps the most recent records.")
+  in
   let term =
     Term.(
       ret
         (const run $ host_arg $ port_arg ~default:7070 $ jobs_arg $ workers_arg $ queue_cap_arg
-       $ idle_timeout_arg $ io_timeout_arg $ drain_arg $ crash_op_arg $ metrics_arg
-       $ trace_out_arg $ events_arg))
+       $ idle_timeout_arg $ io_timeout_arg $ drain_arg $ crash_op_arg $ slow_threshold_arg
+       $ slow_ring_arg $ metrics_arg $ trace_out_arg $ events_arg))
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the compression daemon: length-prefixed compress/decompress jobs plus /metrics \
-          (OpenMetrics), /healthz, /events and /snapshot over HTTP/1.0 on one port. Overload-safe: \
-          bounded queues with typed shed replies, per-request deadlines, per-connection i/o \
-          budgets, graceful drain on SIGTERM, supervised workers.")
+          (OpenMetrics), /healthz, /events, /snapshot and /slow over HTTP/1.0 on one port. \
+          Overload-safe: bounded queues with typed shed replies, per-request deadlines, \
+          per-connection i/o budgets, graceful drain on SIGTERM, supervised workers. With metrics \
+          on, per-domain GC/runtime telemetry lands in runtime.* and the slowest requests are \
+          tail-sampled with per-stage GC deltas.")
     term
-
-let timeout_arg =
-  Arg.(
-    value & opt float 10.0
-    & info [ "timeout" ] ~docv:"SECS"
-        ~doc:"Connect/read/write budget — a dead or wedged daemon errors instead of hanging.")
 
 let submit_cmd =
   let run host port timeout deadline_ms retries op algo isa block_size input output =
@@ -1103,7 +1165,7 @@ let chaos_cmd =
 let loadgen_cmd =
   let run host port rate duration arrivals seed senders payload_bytes algo isa block_size
       deadline_ms timeout mix_compress mix_decompress mix_ping slo_p99 slo_shed slo_deadline
-      emit_json merge_json print_schedule metrics events =
+      ramp ramp_low ramp_high ramp_iters emit_json merge_json print_schedule metrics events =
     let arrivals =
       match Loadgen.arrivals_of_string arrivals with
       | Some a -> a
@@ -1145,24 +1207,35 @@ let loadgen_cmd =
           slo_deadline_rate = slo_deadline;
         }
       in
-      match Loadgen.run cfg with
+      let result =
+        if ramp then
+          (* ramp mode: failing probes are the search mechanism, not a
+             CLI failure — only "couldn't search at all" is an error *)
+          Result.map
+            (fun (report, capacity) -> (report, [ ("loadgen.capacity_rps", capacity) ]))
+            (Loadgen.ramp ~low:ramp_low ~high:ramp_high ~iters:ramp_iters
+               ~progress:print_endline cfg)
+        else Result.map (fun report -> (report, [])) (Loadgen.run cfg)
+      in
+      match result with
       | Error e -> `Error (false, "loadgen: " ^ e)
-      | Ok report -> (
+      | Ok (report, extra) -> (
         print_string (Loadgen.render cfg report);
+        List.iter (fun (k, v) -> Printf.printf "  %s = %.1f\n" k v) extra;
         (match emit_json with
         | Some path ->
-          Loadgen.emit_json ~path report;
+          Loadgen.emit_json ~extra ~path report;
           Printf.printf "wrote %s\n" path
         | None -> ());
         match
           match merge_json with
           | Some path -> Result.map (fun () -> Printf.printf "merged into %s\n" path)
-                           (Loadgen.merge_json ~path report)
+                           (Loadgen.merge_json ~extra ~path report)
           | None -> Ok ()
         with
         | Error e -> `Error (false, "loadgen: --merge-json: " ^ e)
         | Ok () ->
-          if report.Loadgen.r_slo_violations <> [] then
+          if (not ramp) && report.Loadgen.r_slo_violations <> [] then
             `Error
               ( false,
                 "loadgen: SLO violated: "
@@ -1212,6 +1285,31 @@ let loadgen_cmd =
       & info [ name ] ~docv
           ~doc:(Printf.sprintf "Declared SLO: fail (exit non-zero) when %s exceeds this." what))
   in
+  let ramp_arg =
+    Arg.(
+      value & flag
+      & info [ "ramp" ]
+          ~doc:
+            "Binary-search the offered rate for the daemon's SLO capacity instead of one run: \
+             probe --ramp-low and --ramp-high, bisect --ramp-iters times, report the highest \
+             passing rate as loadgen.capacity_rps. Requires a declared --slo-* bound; failing \
+             probes are part of the search and do not fail the command.")
+  in
+  let ramp_low_arg =
+    Arg.(
+      value & opt float 25.0
+      & info [ "ramp-low" ] ~docv:"RPS" ~doc:"Ramp lower bound (must pass the SLO).")
+  in
+  let ramp_high_arg =
+    Arg.(
+      value & opt float 2000.0
+      & info [ "ramp-high" ] ~docv:"RPS" ~doc:"Ramp upper bound (expected to trip the SLO).")
+  in
+  let ramp_iters_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "ramp-iters" ] ~docv:"N" ~doc:"Bisection steps between the ramp bounds.")
+  in
   let emit_json_arg =
     Arg.(
       value
@@ -1246,15 +1344,18 @@ let loadgen_cmd =
        $ slo_arg "slo-p99-ms" "MS" "the corrected p99 latency (ms)"
        $ slo_arg "slo-shed-rate" "RATE" "the shed fraction of sent requests"
        $ slo_arg "slo-deadline-rate" "RATE" "the deadline-expired fraction of sent requests"
-       $ emit_json_arg $ merge_json_arg $ print_schedule_arg $ metrics_arg $ events_arg))
+       $ ramp_arg $ ramp_low_arg $ ramp_high_arg $ ramp_iters_arg $ emit_json_arg $ merge_json_arg
+       $ print_schedule_arg $ metrics_arg $ events_arg))
   in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
          "Generate seeded open-loop traffic against a running daemon and report \
           coordinated-omission-safe latency percentiles (p50/p95/p99/p99.9), throughput, shed and \
-          deadline-expired rates, and the server-side queue/service/network split from per-request \
-          wire timing. Declared --slo-* bounds turn violations into a non-zero exit.")
+          deadline-expired rates, the server-side queue/service/network split from per-request \
+          wire timing, and the daemon's runtime.* GC telemetry bracketing the run. Declared \
+          --slo-* bounds turn violations into a non-zero exit; --ramp binary-searches the offered \
+          rate for the SLO capacity instead.")
     term
 
 (* --- asm / disasm ------------------------------------------------------- *)

@@ -56,7 +56,18 @@ let len = ref 0
 
 let recorded = ref 0
 
-let sink : out_channel option ref = ref None
+(* File sink with size-capped rotation: when appending the next record
+   would push the current file past [sink_max_bytes], the file is
+   renamed to [path ^ ".1"] (replacing any previous rotation) and a
+   fresh file is started — so a long-running daemon holds at most
+   ~2x the cap on disk, and the newest events are always in [path]. *)
+let sink : (out_channel * string) option ref = ref None
+
+let default_sink_max_bytes = 16 * 1024 * 1024
+
+let sink_max_bytes = ref default_sink_max_bytes
+
+let sink_bytes = ref 0
 
 let locked f =
   Mutex.lock mutex;
@@ -106,9 +117,26 @@ let emit ?(fields = []) lvl name =
         if !len < cap then incr len;
         incr recorded;
         match !sink with
-        | Some oc ->
-          output_string oc (to_json_line e);
+        | Some (oc, path) ->
+          let line = to_json_line e in
+          let n = String.length line + 1 in
+          let oc =
+            (* rotate before the write that would breach the cap — but
+               never rotate an empty file: one record larger than the
+               cap still has to land somewhere *)
+            if !sink_bytes > 0 && !sink_bytes + n > !sink_max_bytes then begin
+              close_out_noerr oc;
+              (try Sys.rename path (path ^ ".1") with Sys_error _ -> ());
+              let fresh = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path in
+              sink := Some (fresh, path);
+              sink_bytes := 0;
+              fresh
+            end
+            else oc
+          in
+          output_string oc line;
           output_char oc '\n';
+          sink_bytes := !sink_bytes + n;
           flush oc
         | None -> ())
   end
@@ -151,10 +179,21 @@ let clear () =
       len := 0;
       recorded := 0)
 
-let set_sink path =
+let set_sink ?(max_bytes = default_sink_max_bytes) path =
   locked (fun () ->
-      (match !sink with Some oc -> close_out_noerr oc | None -> ());
-      sink := Option.map (fun p -> open_out_gen [ Open_append; Open_creat ] 0o644 p) path)
+      (match !sink with Some (oc, _) -> close_out_noerr oc | None -> ());
+      sink_max_bytes := max 1 max_bytes;
+      sink_bytes := 0;
+      sink :=
+        Option.map
+          (fun p ->
+            let oc = open_out_gen [ Open_append; Open_creat ] 0o644 p in
+            (* appending to an existing file: its current size counts
+               against the cap, or rotation would never trigger across
+               daemon restarts *)
+            (sink_bytes := match Unix.stat p with s -> s.Unix.st_size | exception Unix.Unix_error _ -> 0);
+            (oc, p))
+          path)
 
 (* A sink file from a process killed mid-write ends in a torn line:
    the per-event flush means every earlier line is complete, but the

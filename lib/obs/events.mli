@@ -69,11 +69,21 @@ val clear : unit -> unit
 (** Empty the ring and reset the counters. Keeps the enabled switch,
     level, capacity and sink. *)
 
-val set_sink : string option -> unit
+val set_sink : ?max_bytes:int -> string option -> unit
 (** [set_sink (Some path)] opens [path] for append and streams every
     subsequent event to it as a JSON line (flushed per event, so a
     crashed process still leaves evidence). [set_sink None] closes the
-    current sink. *)
+    current sink.
+
+    The sink is size-capped: when appending the next record would push
+    the file past [max_bytes] (default 16 MiB, minimum 1), the file is
+    rotated to [path ^ ".1"] — replacing any earlier rotation — and a
+    fresh [path] is started, so a long-running daemon holds at most
+    about [2 * max_bytes] of event log on disk. An existing file's size
+    counts against the cap, so rotation also triggers across restarts.
+    Both the live file and the rotation keep the whole-line flush
+    discipline, so {!load_sink_file}'s torn-final-line tolerance applies
+    to each. *)
 
 val load_sink_file : string -> (string list, string) result
 (** Read a sink file back as its complete JSON lines. Because the sink

@@ -233,6 +233,17 @@ module Histogram = struct
     with_lock h (fun () ->
         { ex_count = h.h_count; ex_sum = h.h_sum; ex_buckets = cumulative_buckets_unlocked h })
 
+  (* Forget every observation but keep the registration — what a
+     multi-iteration harness (loadgen --ramp) needs between probes so an
+     earlier probe's tail cannot pollute a later probe's percentiles. *)
+  let reset h =
+    with_lock h (fun () ->
+        h.h_count <- 0;
+        h.h_sum <- 0.0;
+        h.h_min <- infinity;
+        h.h_max <- neg_infinity;
+        Array.fill h.h_buckets 0 n_buckets 0)
+
   let name h = h.h_name
 end
 

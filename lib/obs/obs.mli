@@ -97,6 +97,11 @@ module Histogram : sig
 
   val export : t -> export
 
+  val reset : t -> unit
+  (** Zero this one histogram (count, sum, min/max, buckets), keeping
+      its registration. For multi-iteration harnesses that reuse a
+      histogram between probes. *)
+
   val name : t -> string
 end
 

@@ -134,6 +134,9 @@ type report = {
   r_slo_shed_rate : float option;
   r_slo_deadline_rate : float option;
   r_slo_violations : string list;
+  r_runtime : (string * float) list;
+      (** daemon-side [runtime.*] deltas over this run (empty when the
+          daemon's /snapshot was unreachable or metrics were off) *)
 }
 
 let slo_check cfg ~p99_ms ~shed_rate ~deadline_rate =
@@ -199,7 +202,57 @@ let aggregate cfg ~n ~elapsed_s results =
     r_slo_shed_rate = cfg.slo_shed_rate;
     r_slo_deadline_rate = cfg.slo_deadline_rate;
     r_slo_violations = slo_check cfg ~p99_ms ~shed_rate ~deadline_rate;
+    r_runtime = [];
   }
+
+(* --- daemon runtime telemetry, bracketing the run ------------------------- *)
+
+(* Scrape /snapshot before and after the run and difference the
+   runtime.* counters: what the daemon's GC did *during* this load, not
+   since boot. Gauges and histogram percentiles are read from the after
+   side (cumulative, but the pause histogram only ever grows under
+   load). Everything degrades to an empty list — an old daemon or one
+   with metrics off just yields no runtime keys. *)
+let scrape_snapshot cfg =
+  match Serve.http_get ~timeout_s:cfg.timeout_s ~host:cfg.host ~port:cfg.port "/snapshot" with
+  | Ok (200, body) -> (
+    match Obs.snapshot_of_json body with Ok snap -> Some snap | Error _ -> None)
+  | Ok _ | Error _ -> None
+
+let runtime_keys ~before ~after r =
+  match (before, after) with
+  | Some (b : Obs.snapshot), Some (a : Obs.snapshot) ->
+    let counter (s : Obs.snapshot) name =
+      match List.assoc_opt name s.Obs.counters with Some v -> float_of_int v | None -> 0.0
+    in
+    let dc name = Float.max 0.0 (counter a name -. counter b name) in
+    let minor = dc "runtime.gc.minor_collections" in
+    let major = dc "runtime.gc.major_collections" in
+    let cycles = dc "runtime.gc.major_cycles" in
+    let alloc_words = dc "runtime.gc.minor_words" +. dc "runtime.gc.major_words" in
+    let alloc_mb = alloc_words *. float_of_int (Sys.word_size / 8) /. 1e6 in
+    let served_mb = dc "serve.bytes_out" /. 1e6 in
+    let per_req v = if r.r_ok > 0 then v /. float_of_int r.r_ok else 0.0 in
+    let pause_p99 =
+      match
+        List.find_opt
+          (fun (h : Obs.histogram_stats) -> h.Obs.hs_name = Ccomp_obs.Runtime.major_pause_histogram_name)
+          a.Obs.histograms
+      with
+      | Some h -> [ ("runtime.gc_major_pause_p99_us", h.Obs.hs_p99) ]
+      | None -> []
+    in
+    [
+      ("runtime.minor_collections", minor);
+      ("runtime.major_collections", major);
+      ("runtime.major_cycles", cycles);
+      ("runtime.alloc_mb", alloc_mb);
+      ("runtime.alloc_kb_per_req", per_req (alloc_mb *. 1e3));
+      ("runtime.minor_collections_per_req", per_req minor);
+      ("runtime.gc_pauses_per_mb", (if served_mb > 0.0 then cycles /. served_mb else 0.0));
+    ]
+    @ pause_p99
+  | _ -> []
 
 (* --- the run ------------------------------------------------------------- *)
 
@@ -216,6 +269,12 @@ let run cfg =
   | Ok (st, _) when st <> 200 ->
     Error (Printf.sprintf "daemon unhealthy at %s:%d: /healthz returned %d" cfg.host cfg.port st)
   | Ok _ -> (
+    (* module-global histograms would otherwise accumulate across runs —
+       a ramp's probes must each measure only their own traffic *)
+    Obs.Histogram.reset h_latency;
+    Obs.Histogram.reset h_queue;
+    Obs.Histogram.reset h_service;
+    Obs.Histogram.reset h_network;
     let sched =
       schedule ~arrivals:cfg.arrivals ~rate_rps:cfg.rate_rps ~duration_s:cfg.duration_s
         ~seed:cfg.seed
@@ -251,6 +310,7 @@ let run cfg =
         in
         let results = Array.make n None in
         let next = Atomic.make 0 in
+        let rt_before = scrape_snapshot cfg in
         (* small lead so request 0 is not born late *)
         let start_us = Obs.now_us () +. 50_000.0 in
         let sender () =
@@ -320,7 +380,11 @@ let run cfg =
                   (Float.max 0.0 (s_corrected_us -. float_of_int t.Serve.t_server_us)))
             | _ -> ())
           results;
+        let rt_after = scrape_snapshot cfg in
         let report = aggregate cfg ~n ~elapsed_s results in
+        let report =
+          { report with r_runtime = runtime_keys ~before:rt_before ~after:rt_after report }
+        in
         Events.info
           ~fields:
             [
@@ -330,6 +394,47 @@ let run cfg =
             ]
           "loadgen.done";
         Ok report)
+
+(* --- ramp: binary-search the SLO knee ------------------------------------- *)
+
+(* Find the highest offered rate the daemon can carry within its
+   declared SLOs: confirm [low] passes and [high] fails, then bisect.
+   Each probe is a full open-loop run at [cfg.duration_s]; the returned
+   report is the last *passing* probe (the measurement at capacity) and
+   [capacity_rps] is its offered rate — 0 with the failing low report
+   when even [low] violates the SLO. *)
+let ramp ?(low = 25.0) ?(high = 2000.0) ?(iters = 5) ?(progress = fun _ -> ()) cfg =
+  if cfg.slo_p99_ms = None && cfg.slo_shed_rate = None && cfg.slo_deadline_rate = None then
+    Error "ramp needs a declared SLO (--slo-p99-ms, --slo-shed-rate or --slo-deadline-rate)"
+  else if not (low > 0.0 && high > low) then
+    Error (Printf.sprintf "ramp bounds must satisfy 0 < low < high (got %g, %g)" low high)
+  else
+    let probe rate =
+      match run { cfg with rate_rps = rate } with
+      | Error e -> Error e
+      | Ok r ->
+        let pass = r.r_slo_violations = [] in
+        progress
+          (Printf.sprintf "ramp: %7.1f rps -> p99 %.2f ms, shed %.4f: %s" rate r.r_p99_ms
+             r.r_shed_rate
+             (if pass then "PASS" else "FAIL (" ^ String.concat "; " r.r_slo_violations ^ ")"));
+        Ok (pass, r)
+    in
+    let ( let* ) = Result.bind in
+    let* low_pass, low_r = probe low in
+    if not low_pass then Ok (low_r, 0.0)
+    else
+      let* high_pass, high_r = probe high in
+      if high_pass then Ok (high_r, high)
+      else
+        let rec bisect k lo lo_r hi =
+          if k <= 0 then Ok (lo_r, lo)
+          else
+            let mid = (lo +. hi) /. 2.0 in
+            let* pass, r = probe mid in
+            if pass then bisect (k - 1) mid r hi else bisect (k - 1) lo lo_r mid
+        in
+        bisect iters low low_r high
 
 (* --- rendering ----------------------------------------------------------- *)
 
@@ -352,6 +457,21 @@ let render cfg r =
     line "    network p50 %8.2f ms   p99 %8.2f ms" r.r_network_p50_ms r.r_network_p99_ms
   end;
   line "  shed rate %.4f, deadline-expired rate %.4f" r.r_shed_rate r.r_deadline_rate;
+  (match r.r_runtime with
+  | [] -> ()
+  | keys ->
+    let get k = List.assoc_opt k keys in
+    (match (get "runtime.alloc_kb_per_req", get "runtime.minor_collections") with
+    | Some kb, Some minor ->
+      line "  daemon runtime: %.1f KB allocated/request, %.0f minor + %.0f major collections"
+        kb minor
+        (match get "runtime.major_collections" with Some v -> v | None -> 0.0)
+    | _ -> ());
+    match (get "runtime.gc_pauses_per_mb", get "runtime.gc_major_pause_p99_us") with
+    | Some per_mb, Some p99 ->
+      line "  daemon GC: %.3f major cycles/MB served, pause p99 %.0f us" per_mb p99
+    | Some per_mb, None -> line "  daemon GC: %.3f major cycles/MB served" per_mb
+    | _ -> ());
   (match (r.r_slo_p99_ms, r.r_slo_shed_rate, r.r_slo_deadline_rate) with
   | None, None, None -> ()
   | _ ->
@@ -396,25 +516,26 @@ let json_keys r =
   @ opt "loadgen.slo_p99_ms" r.r_slo_p99_ms
   @ opt "loadgen.slo_shed_rate" r.r_slo_shed_rate
   @ opt "loadgen.slo_deadline_rate" r.r_slo_deadline_rate
+  @ r.r_runtime
 
-let entry_lines r =
+let entry_lines ?(extra = []) r =
   String.concat ",\n"
-    (List.map (fun (k, v) -> Printf.sprintf "  %S: %.3f" k v) (json_keys r))
+    (List.map (fun (k, v) -> Printf.sprintf "  %S: %.3f" k v) (json_keys r @ extra))
 
 (* Standalone ccomp-bench-v1 file: just the loadgen section. *)
-let emit_json ~path r =
+let emit_json ?extra ~path r =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       output_string oc "{\n  \"schema\": \"ccomp-bench-v1\",\n  \"scale\": 1,\n  \"jobs\": 1,\n";
-      output_string oc (entry_lines r);
+      output_string oc (entry_lines ?extra r);
       output_string oc "\n}\n")
 
 (* Append the loadgen section to an existing ccomp-bench-v1 file (what
    the BENCH_PR*.json workflow does after a perf run). Textual: drop
    the final '}', add our keys, close again. *)
-let merge_json ~path r =
+let merge_json ?extra ~path r =
   match In_channel.with_open_bin path In_channel.input_all with
   | exception Sys_error e -> Error e
   | text ->
@@ -440,7 +561,7 @@ let merge_json ~path r =
         (fun () ->
           output_string oc body;
           output_string oc sep;
-          output_string oc (entry_lines r);
+          output_string oc (entry_lines ?extra r);
           output_string oc "\n}\n");
       Ok ()
     end

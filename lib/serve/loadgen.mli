@@ -80,6 +80,16 @@ type report = {
   r_slo_shed_rate : float option;
   r_slo_deadline_rate : float option;
   r_slo_violations : string list;  (** empty = every declared SLO held *)
+  r_runtime : (string * float) list;
+      (** daemon-side ["runtime.*"] telemetry bracketing this run:
+          [/snapshot] is scraped before and after and the GC counters
+          differenced, yielding [runtime.minor_collections] /
+          [.major_collections] / [.major_cycles] / [.alloc_mb] /
+          [.alloc_kb_per_req] / [.minor_collections_per_req] /
+          [.gc_pauses_per_mb] (major cycles per MB served) and, when
+          the daemon observed any, [runtime.gc_major_pause_p99_us].
+          Empty when the daemon was unreachable or predates the
+          telemetry. *)
 }
 
 val run : config -> (report, string) result
@@ -87,24 +97,46 @@ val run : config -> (report, string) result
     from [senders] domains, aggregate. [Error] covers an unreachable
     or unhealthy daemon and degenerate configs (empty schedule,
     zero-weight mix) — transport failures {e during} the run are
-    counted in [r_transport], not fatal. *)
+    counted in [r_transport], not fatal. Each call resets the loadgen
+    histograms first, so back-to-back runs (a {!ramp}) measure only
+    their own traffic. *)
+
+val ramp :
+  ?low:float ->
+  ?high:float ->
+  ?iters:int ->
+  ?progress:(string -> unit) ->
+  config ->
+  (report * float, string) result
+(** Binary-search the daemon's SLO capacity: confirm [low] (default 25
+    rps) passes and [high] (default 2000) fails, then bisect [iters]
+    (default 5) times, each probe a full {!run} at [cfg.duration_s].
+    Returns the last {e passing} report and its offered rate — the
+    highest load the daemon carried within its declared SLOs
+    ([loadgen.capacity_rps]); [(failing low report, 0.)] when even
+    [low] violates, [(high report, high)] when [high] passes.
+    [Error] when no SLO is declared, bounds are inverted, or a probe
+    could not run at all. [progress] (default silent) receives one line
+    per probe. *)
 
 val render : config -> report -> string
 (** Human-readable multi-line summary, SLO verdicts last. *)
 
 val json_keys : report -> (string * float) list
-(** The report flattened to ["loadgen.*"] keys — the BENCH json
-    section. Declared SLO bounds appear only when set, so
+(** The report flattened to ["loadgen.*"] keys (plus the [r_runtime]
+    ["runtime.*"] keys) — the BENCH json section. Declared SLO bounds
+    and runtime telemetry appear only when present, so
     [tools/bench_check.sh] can gate on them exactly when they were
-    declared. *)
+    recorded. *)
 
-val emit_json : path:string -> report -> unit
+val emit_json : ?extra:(string * float) list -> path:string -> report -> unit
 (** Write a standalone [ccomp-bench-v1] file holding the loadgen
-    section. *)
+    section; [extra] appends additional keys (e.g.
+    [loadgen.capacity_rps] from a {!ramp}). *)
 
-val merge_json : path:string -> report -> (unit, string) result
-(** Append the loadgen section to an existing [ccomp-bench-v1] file
-    (textually, before the closing brace). *)
+val merge_json : ?extra:(string * float) list -> path:string -> report -> (unit, string) result
+(** Append the loadgen section (plus [extra]) to an existing
+    [ccomp-bench-v1] file (textually, before the closing brace). *)
 
 val arrivals_to_string : arrivals -> string
 

@@ -25,6 +25,7 @@
 module Obs = Ccomp_obs.Obs
 module Events = Ccomp_obs.Events
 module Openmetrics = Ccomp_obs.Openmetrics
+module Runtime = Ccomp_obs.Runtime
 module Prng = Ccomp_util.Prng
 module Samc = Ccomp_core.Samc
 module Sadc = Ccomp_core.Sadc
@@ -400,6 +401,9 @@ let http_response target =
             "text/plain; charset=utf-8",
             Printf.sprintf "unknown level %S (want debug|info|warn|error)\n" lvl )))
   | "/snapshot" -> Some (200, "application/json", Obs.snapshot_to_json (Obs.snapshot ()))
+  | "/slow" ->
+    let n = query_int target "n" ~default:50 in
+    Some (200, "application/x-ndjson", Slow.tail_json n)
   | _ -> None
 
 (* --- socket plumbing ---------------------------------------------------- *)
@@ -468,13 +472,19 @@ let send ?deadline_us fd s =
   | Error _ -> ());
   r
 
-let handle_binary ?io_timeout_s ?(allow_crash_op = false) ?(queue_us = 0.0) ~jobs fd first4 =
+let handle_binary ?io_timeout_s ?(allow_crash_op = false) ?(queue_us = 0.0) ?(admit_depth = 0)
+    ~jobs fd first4 =
   let ( let* ) = Result.bind in
   (* Stage clock: [t0] accept-of-this-frame, [t_read] frame fully read
      and decoded, [t_work] job finished, [t_end] reply written. The
      queue stage (accept -> worker pop) happened before this call and
-     arrives as [queue_us]. *)
+     arrives as [queue_us]. Each boundary also probes this domain's GC
+     counters ([Runtime.probe] is a [Gc.quick_stat], cheap and exact
+     for the calling domain) and stamps mutator liveness for the
+     major-pause estimator. *)
+  Runtime.tick ();
   let t0 = Obs.now_us () in
+  let gc0 = Runtime.probe () in
   (* one i/o window for the whole request frame: a peer may be slow,
      but the header plus payload must arrive within the budget *)
   let read_deadline = deadline_after_s io_timeout_s in
@@ -495,6 +505,8 @@ let handle_binary ?io_timeout_s ?(allow_crash_op = false) ?(queue_us = 0.0) ~job
           decode_request (header ^ payload))
   in
   let t_read = Obs.now_us () in
+  let gc_read = Runtime.probe () in
+  Runtime.tick ();
   let meta =
     match result with Ok (_, m) -> m | Error _ -> { deadline_ms = 0; request_id = 0L }
   in
@@ -518,6 +530,8 @@ let handle_binary ?io_timeout_s ?(allow_crash_op = false) ?(queue_us = 0.0) ~job
       Failed (protocol_error_to_string pe)
   in
   let t_work = Obs.now_us () in
+  let gc_work = Runtime.probe () in
+  Runtime.tick ();
   (* Echo the server-side split to a client that asked (nonzero id).
      server_us excludes the write stage — the timing record rides inside
      the very reply being written — so the client computes network time
@@ -539,11 +553,51 @@ let handle_binary ?io_timeout_s ?(allow_crash_op = false) ?(queue_us = 0.0) ~job
   Obs.with_span ~cat:"serve" "serve.write" (fun () ->
       ignore (send ?deadline_us:(deadline_after_s io_timeout_s) fd (encode_response ?timing resp)));
   let t_end = Obs.now_us () in
+  let gc_end = Runtime.probe () in
   Latency.observe Latency.Queue queue_us;
   Latency.observe Latency.Read (t_read -. t0);
   Latency.observe Latency.Work (t_work -. t_read);
   Latency.observe Latency.Write (t_end -. t_work);
   Latency.observe_total (queue_us +. (t_end -. t0));
+  if Obs.metrics_enabled () then begin
+    (* Tail sampling: the full per-stage record, including what the GC
+       did to this domain during each stage, for requests worth
+       explaining. [sample] then folds this domain's cumulative growth
+       into the runtime.* counters and re-arms the pause estimator. *)
+    let kind =
+      match result with
+      | Ok (Compress _, _) -> "compress"
+      | Ok (Decompress _, _) -> "decompress"
+      | Ok (Ping, _) -> "ping"
+      | Ok (Crash_worker, _) -> "crash"
+      | Error _ -> "protocol_error"
+    in
+    let outcome =
+      match resp with
+      | Payload _ -> "ok"
+      | Failed _ -> "failed"
+      | Overloaded _ -> "overloaded"
+      | Deadline_expired _ -> "deadline_expired"
+    in
+    ignore
+      (Slow.maybe_sample
+         {
+           Slow.sr_ts_us = t_end;
+           sr_id = meta.request_id;
+           sr_kind = kind;
+           sr_outcome = outcome;
+           sr_total_us = queue_us +. (t_end -. t0);
+           sr_queue_us = queue_us;
+           sr_read_us = t_read -. t0;
+           sr_work_us = t_work -. t_read;
+           sr_write_us = t_end -. t_work;
+           sr_queue_depth = admit_depth;
+           sr_gc_read = Runtime.stage_delta gc0 gc_read;
+           sr_gc_work = Runtime.stage_delta gc_read gc_work;
+           sr_gc_write = Runtime.stage_delta gc_work gc_end;
+         });
+    ignore (Runtime.sample ())
+  end;
   if meta.request_id <> 0L then
     Events.debug
       ~fields:
@@ -624,7 +678,8 @@ let handle_http ?io_timeout_s fd first4 =
             "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
             status reason ctype (String.length body) body))
 
-let handle_connection ?idle_timeout_s ?io_timeout_s ?allow_crash_op ?queue_us ~jobs fd =
+let handle_connection ?idle_timeout_s ?io_timeout_s ?allow_crash_op ?queue_us ?admit_depth ~jobs
+    fd =
   Obs.Counter.incr m_connections;
   match
     read_exact
@@ -637,7 +692,8 @@ let handle_connection ?idle_timeout_s ?io_timeout_s ?allow_crash_op ?queue_us ~j
     Events.warn ~fields:[ ("what", "connection preamble") ] "serve.idle_timeout"
   | Error _ -> ()
   | Ok first4 ->
-    if first4 = req_magic then handle_binary ?io_timeout_s ?allow_crash_op ?queue_us ~jobs fd first4
+    if first4 = req_magic then
+      handle_binary ?io_timeout_s ?allow_crash_op ?queue_us ?admit_depth ~jobs fd first4
     else handle_http ?io_timeout_s fd first4
 
 (* --- admission: bounded per-shard queues -------------------------------- *)
@@ -647,7 +703,8 @@ module Shard = struct
     id : int;
     mutex : Mutex.t;
     cond : Condition.t;
-    items : (Unix.file_descr * float) Queue.t; (* (conn, enqueue instant us) *)
+    items : (Unix.file_descr * float * int) Queue.t;
+        (* (conn, enqueue instant us, queue depth seen at admission) *)
     cap : int;
     mutable draining : bool; (* no new pushes; pops run the queue dry then stop *)
     mutable killed : bool; (* pops stop immediately; leftovers are shed *)
@@ -678,7 +735,10 @@ module Shard = struct
     locked t (fun () ->
         if t.draining || t.killed || Queue.length t.items >= t.cap then false
         else begin
-          Queue.add (conn, Obs.now_us ()) t.items;
+          (* depth BEFORE this push: how much work was already ahead of
+             the request when admission accepted it — the number a tail
+             sample wants for "was the queue the problem?" *)
+          Queue.add (conn, Obs.now_us (), Queue.length t.items) t.items;
           set_depth t;
           Condition.signal t.cond;
           true
@@ -689,7 +749,7 @@ module Shard = struct
         let rec go () =
           if t.killed then None
           else if not (Queue.is_empty t.items) then begin
-            let ((conn, _) as it) = Queue.take t.items in
+            let ((conn, _, _) as it) = Queue.take t.items in
             (* recorded under the same lock that [interrupt] takes, so a
                draining supervisor can always reach the in-flight fd *)
             t.current <- Some conn;
@@ -756,9 +816,29 @@ let http_503 =
    never be stalled by the very overload it is shedding: peek at
    whatever the client has sent to pick the protocol (no bytes yet, or
    a CCQ1 prefix, means the binary reply), fire one write, close. *)
-let shed_connection ~reason conn =
+let shed_connection ?(queue_depth = 0) ~reason conn =
   Obs.Counter.incr m_shed;
   Events.warn ~fields:[ ("reason", reason) ] "serve.shed";
+  if Obs.metrics_enabled () then
+    (* a shed is always tail evidence, however fast the refusal: the
+       record carries the depth that forced it and zeroed stages *)
+    ignore
+      (Slow.maybe_sample
+         {
+           Slow.sr_ts_us = Obs.now_us ();
+           sr_id = 0L;
+           sr_kind = "shed";
+           sr_outcome = "shed";
+           sr_total_us = 0.0;
+           sr_queue_us = 0.0;
+           sr_read_us = 0.0;
+           sr_work_us = 0.0;
+           sr_write_us = 0.0;
+           sr_queue_depth = queue_depth;
+           sr_gc_read = Runtime.delta_zero;
+           sr_gc_work = Runtime.delta_zero;
+           sr_gc_write = Runtime.delta_zero;
+         });
   (try
      Unix.set_nonblock conn;
      let looks_http =
@@ -802,6 +882,8 @@ type config = {
   io_timeout_s : float;
   drain_s : float;
   allow_crash_op : bool;
+  slow_threshold_ms : float;
+  slow_capacity : int;
 }
 
 let default_config =
@@ -815,6 +897,8 @@ let default_config =
     io_timeout_s = 30.0;
     drain_s = 5.0;
     allow_crash_op = false;
+    slow_threshold_ms = 100.0;
+    slow_capacity = 64;
   }
 
 let set_inflight delta =
@@ -827,7 +911,7 @@ let worker_loop cfg shard =
   let rec next () =
     match Shard.pop shard with
     | None -> ()
-    | Some (conn, enqueued_us) ->
+    | Some (conn, enqueued_us, admit_depth) ->
       let queue_us = Obs.now_us () -. enqueued_us in
       if Obs.metrics_enabled () then Obs.Histogram.observe m_queue_wait_us queue_us;
       set_inflight 1;
@@ -839,7 +923,7 @@ let worker_loop cfg shard =
         (fun () ->
           try
             handle_connection ~idle_timeout_s:cfg.idle_timeout_s ~io_timeout_s:cfg.io_timeout_s
-              ~allow_crash_op:cfg.allow_crash_op ~queue_us ~jobs:cfg.jobs conn
+              ~allow_crash_op:cfg.allow_crash_op ~queue_us ~admit_depth ~jobs:cfg.jobs conn
           with
           | Worker_crashed -> raise Worker_crashed
           | Sys.Break -> raise Sys.Break
@@ -852,6 +936,9 @@ let worker_loop cfg shard =
    respawned in place — the domain (and the daemon) survive. Only a
    killed shard (shutdown) lets the domain return. *)
 let supervised_worker cfg shard =
+  (* OCaml 5 GC alarms are domain-local: each worker domain installs its
+     own end-of-major-cycle hook for the pause estimator *)
+  Runtime.install_alarm ();
   let rec go () =
     match worker_loop cfg shard with
     | () -> ()
@@ -889,6 +976,8 @@ let run ?(on_ready = fun _ -> ()) cfg =
   in
   started_at_us := Obs.now_us ();
   refresh_uptime ();
+  Slow.configure ~capacity:cfg.slow_capacity ~threshold_us:(cfg.slow_threshold_ms *. 1e3) ();
+  Runtime.install_alarm ();
   Openmetrics.set_info "serve"
     [
       ("version", version);
@@ -929,7 +1018,8 @@ let run ?(on_ready = fun _ -> ()) cfg =
     let rec try_shard k =
       k < n && (Shard.try_push shards.((start + k) mod n) conn || try_shard (k + 1))
     in
-    if not (try_shard 0) then shed_connection ~reason:"job queue full" conn
+    if not (try_shard 0) then
+      shed_connection ~queue_depth:(Shard.length shards.(start)) ~reason:"job queue full" conn
   in
   (try
      while not (Atomic.get stop) do
@@ -960,7 +1050,8 @@ let run ?(on_ready = fun _ -> ()) cfg =
   done;
   Array.iter Shard.kill shards;
   let leftovers = Array.to_list shards |> List.concat_map Shard.steal_all in
-  List.iter (fun (conn, _) -> shed_connection ~reason:"draining" conn) leftovers;
+  List.iter (fun (conn, _, depth) -> shed_connection ~queue_depth:depth ~reason:"draining" conn)
+    leftovers;
   (* budget spent: cut any connection still in flight so the join below
      is bounded by the budget, not by a slow peer's idle/io allowance *)
   let interrupted =

@@ -7,11 +7,13 @@
     {- a length-prefixed binary job protocol ({!section-protocol}) for
        compress/decompress/ping jobs — the service path; and}
     {- HTTP/1.0 [GET] for the observability surface: [/metrics]
-       (OpenMetrics text, including the [serve] info metric and
-       [serve.uptime_seconds]), [/healthz], [/events] (JSON lines,
-       newest last, [?n=] to bound, [?level=] to filter at-or-above a
-       severity) and [/snapshot] (the metrics snapshot as JSON — what
-       [ccomp top] polls).}}
+       (OpenMetrics text, including the [serve] info metric,
+       [serve.uptime_seconds] and the [runtime.*] GC/allocation
+       telemetry), [/healthz], [/events] (JSON lines, newest last,
+       [?n=] to bound, [?level=] to filter at-or-above a severity),
+       [/snapshot] (the metrics snapshot as JSON — what [ccomp top]
+       polls) and [/slow] (the tail-sampled slow-request ring as JSON
+       lines, oldest first, [?n=] to bound — see {!Slow}).}}
 
     Jobs run through exactly the same codec paths as the offline CLI,
     so a served compression is byte-identical to [ccomp compress] with
@@ -48,6 +50,20 @@
       [serve.worker_restarts_total] and restarted in place — a crash
       (including the chaos harness's deliberate {!Crash_worker} op)
       never takes the daemon down.
+
+    {2 Explaining the tail}
+
+    With metrics on, every binary request additionally records what the
+    OCaml runtime did to it: [Gc.quick_stat] probes at each stage
+    boundary give per-stage GC deltas (collections and words allocated
+    on the serving domain), folded into the global [runtime.*] counters
+    by {!Ccomp_obs.Runtime.sample}; each worker domain installs a
+    [Gc.create_alarm] hook that feeds the [runtime.gc.major_pause_us]
+    estimator. Requests slower than [slow_threshold_ms] — and {e all}
+    shed / deadline-expired outcomes — land in the bounded {!Slow} ring
+    with their stage split, per-stage GC deltas and the shard queue
+    depth observed at admission, retrievable via [GET /slow] and
+    [ccomp stats --slow].
 
     {2:protocol Wire format}
 
@@ -153,6 +169,7 @@ val handle_connection :
   ?io_timeout_s:float ->
   ?allow_crash_op:bool ->
   ?queue_us:float ->
+  ?admit_depth:int ->
   jobs:int ->
   Unix.file_descr ->
   unit
@@ -164,8 +181,10 @@ val handle_connection :
     unbounded, for driving the framing path over a socketpair in
     tests). [queue_us] (default [0.]) is how long the connection waited
     in the admission queue — the daemon passes its measured wait so the
-    queue stage lands in {!Latency} and the echoed {!timing}. The
-    descriptor is not closed. *)
+    queue stage lands in {!Latency} and the echoed {!timing}.
+    [admit_depth] (default [0]) is the shard queue length observed when
+    the connection was admitted, recorded in any {!Slow} tail sample.
+    The descriptor is not closed. *)
 
 type config = {
   host : string;  (** address to bind (default ["127.0.0.1"]) *)
@@ -177,12 +196,15 @@ type config = {
   io_timeout_s : float;  (** per-frame read and per-response write budget *)
   drain_s : float;  (** SIGTERM drain budget before shedding the queue *)
   allow_crash_op : bool;  (** honour the {!Crash_worker} chaos op *)
+  slow_threshold_ms : float;  (** tail-sample requests at/above this; [0.] = all *)
+  slow_capacity : int;  (** bounded slow-request ring size *)
 }
 
 val default_config : config
 (** [{host = "127.0.0.1"; port = 7070; jobs = 1; workers = 2;
     queue_cap = 64; idle_timeout_s = 10.; io_timeout_s = 30.;
-    drain_s = 5.; allow_crash_op = false}] *)
+    drain_s = 5.; allow_crash_op = false; slow_threshold_ms = 100.;
+    slow_capacity = 64}] *)
 
 val run : ?on_ready:(int -> unit) -> config -> unit
 (** Bind, call [on_ready] with the bound port, then serve until

@@ -21,7 +21,7 @@ let fmt_num v =
   else if Float.is_integer v then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.2f" v
 
-let render_frame ~window ~snapshot ~events_tail ~title =
+let render_frame ?(slow = []) ~window ~snapshot ~events_tail ~title () =
   let b = Buffer.create 2048 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   line "%s" title;
@@ -78,6 +78,24 @@ let render_frame ~window ~snapshot ~events_tail ~title =
     List.iter
       (fun l -> if l <> "" then line "  %s" l)
       (String.split_on_char '\n' (Latency.render report)));
+  (* tail/GC correlation: of the tail-sampled slow requests, how many
+     had a major collection finish mid-request — "is the GC the tail?" *)
+  (match Slow.correlation_line slow with
+  | None -> ()
+  | Some corr ->
+    line "";
+    line "  slow-request ring (%d sampled):" (List.length slow);
+    line "    %s" corr;
+    let worst =
+      List.filteri (fun i _ -> i >= List.length slow - 3) slow (* newest 3 *)
+    in
+    List.iter
+      (fun (r : Slow.record) ->
+        line "    %-10s %-16s total %8.2f ms  queue %6.0f us  work %8.0f us  depth %d%s" r.Slow.sr_kind
+          r.Slow.sr_outcome (r.Slow.sr_total_us /. 1e3) r.Slow.sr_queue_us r.Slow.sr_work_us
+          r.Slow.sr_queue_depth
+          (if Slow.overlapped_major r then "  [major GC]" else ""))
+      worst);
   if events_tail <> [] then begin
     line "";
     line "  recent events:";
@@ -129,7 +147,17 @@ let fetch opts =
   let events_tail =
     String.split_on_char '\n' events_body |> List.filter (fun l -> String.trim l <> "")
   in
-  Ok (snapshot, events_tail)
+  (* tolerant: a daemon predating /slow answers 404 — the panel is
+     simply absent rather than the dashboard failing *)
+  let slow =
+    match get "/slow?n=50" with
+    | Ok (200, body) ->
+      String.split_on_char '\n' body
+      |> List.filter (fun l -> String.trim l <> "")
+      |> List.filter_map (fun l -> Result.to_option (Slow.of_json_line l))
+    | Ok _ | Error _ -> []
+  in
+  Ok (snapshot, events_tail, slow)
 
 let run opts =
   let window = ref (Window.make ~window_s:opts.window_s ()) in
@@ -138,7 +166,7 @@ let run opts =
   let rec loop frame =
     match fetch opts with
     | Error e -> Error e
-    | Ok (snapshot, events_tail) ->
+    | Ok (snapshot, events_tail, slow) ->
       let now = Obs.now_us () /. 1e6 in
       Window.observe !window ~now (Window.of_snapshot snapshot);
       let title =
@@ -146,7 +174,7 @@ let run opts =
           (let t = Unix.localtime (Unix.time ()) in
            Printf.sprintf "%02d:%02d:%02d" t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec)
       in
-      print_string (clear ^ render_frame ~window:!window ~snapshot ~events_tail ~title);
+      print_string (clear ^ render_frame ~slow ~window:!window ~snapshot ~events_tail ~title ());
       flush stdout;
       if opts.frames > 0 && frame >= opts.frames then Ok ()
       else begin

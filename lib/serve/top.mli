@@ -1,9 +1,12 @@
 (** [ccomp top]: a terminal dashboard over a running [ccomp serve].
 
-    Polls the daemon's [/snapshot] and [/events] endpoints every
-    [interval_s] seconds, feeds the samples into an {!Ccomp_obs.Window}
-    and renders windowed per-second rates, histogram percentiles, the
-    decode-cache hit ratio and the event tail.
+    Polls the daemon's [/snapshot], [/events] and [/slow] endpoints
+    every [interval_s] seconds, feeds the samples into an
+    {!Ccomp_obs.Window} and renders windowed per-second rates,
+    histogram percentiles, the decode-cache hit ratio, the event tail
+    and the slow-request/GC correlation panel (what share of the
+    sampled tail overlapped a major collection). A daemon predating
+    [/slow] just loses that panel.
 
     Keys (when stdin is a TTY): [q] quits, [r] resets the rolling
     window. With [frames > 0] the dashboard exits after that many
@@ -21,12 +24,15 @@ type options = {
 }
 
 val render_frame :
+  ?slow:Slow.record list ->
   window:Ccomp_obs.Window.t ->
   snapshot:Ccomp_obs.Obs.snapshot ->
   events_tail:string list ->
   title:string ->
+  unit ->
   string
 (** Pure frame renderer, exposed for tests: windowed rates come from
-    [window], instantaneous values from [snapshot]. *)
+    [window], instantaneous values from [snapshot], the tail/GC
+    correlation panel from [slow] (default: no panel). *)
 
 val run : options -> (unit, string) result

@@ -170,7 +170,12 @@ let test_file_sink () =
    shrug that off — and must NOT shrug off corruption anywhere else. *)
 let with_temp_sink f =
   let path = Filename.temp_file "ccomp_events" ".jsonl" in
-  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".1" ])
+    (fun () -> f path)
 
 let write_file path s =
   let oc = open_out_bin path in
@@ -257,6 +262,90 @@ let test_sink_survives_kill_mid_write () =
     | Error e -> Alcotest.failf "cut at byte %d must be tolerated: %s" cut e
   done
 
+(* --- size-capped sink rotation (ISSUE 9) --------------------------------- *)
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let test_sink_rotation () =
+  isolated @@ fun () ->
+  with_temp_sink @@ fun path ->
+  let cap = 160 in
+  Events.set_sink ~max_bytes:cap (Some path);
+  for i = 1 to 12 do
+    Events.info ~fields:[ ("i", string_of_int i) ] "rotation.probe"
+  done;
+  Events.set_sink None;
+  Alcotest.(check bool) "rotation happened" true (Sys.file_exists (path ^ ".1"));
+  (* rotate-before-breach: neither the live file nor the rotation may
+     exceed the cap (no single record here is oversized) *)
+  Alcotest.(check bool) "live file within cap" true (file_size path <= cap);
+  Alcotest.(check bool) "rotated file within cap" true (file_size (path ^ ".1") <= cap);
+  let load p =
+    match Events.load_sink_file p with
+    | Ok lines -> lines
+    | Error e -> Alcotest.failf "%s must read back cleanly after rotation: %s" p e
+  in
+  let live = load path and old = load (path ^ ".1") in
+  Alcotest.(check bool) "both files hold records" true (live <> [] && old <> []);
+  (* the newest record is always in the live file *)
+  let has_i line i =
+    let needle = Printf.sprintf "\"i\":\"%d\"" i in
+    let n = String.length needle in
+    let rec go j = j + n <= String.length line && (String.sub line j n = needle || go (j + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "newest record in live file" true
+    (has_i (List.nth live (List.length live - 1)) 12)
+
+let test_sink_oversized_record_lands () =
+  isolated @@ fun () ->
+  with_temp_sink @@ fun path ->
+  (* a record larger than the whole cap must still land (an empty file
+     is never rotated), and the NEXT record rotates it away *)
+  Events.set_sink ~max_bytes:8 (Some path);
+  Events.info ~fields:[ ("k", String.make 64 'x') ] "big.one";
+  Alcotest.(check bool) "no rotation of an empty file" true
+    (not (Sys.file_exists (path ^ ".1")));
+  Alcotest.(check bool) "oversized record landed" true (file_size path > 8);
+  Events.info "after";
+  Events.set_sink None;
+  Alcotest.(check bool) "second record rotated the oversized one" true
+    (Sys.file_exists (path ^ ".1"));
+  (match Events.load_sink_file (path ^ ".1") with
+  | Ok [ line ] ->
+    Alcotest.(check bool) "rotation holds the oversized record" true
+      (String.length line > 8)
+  | Ok l -> Alcotest.failf "expected 1 rotated record, got %d" (List.length l)
+  | Error e -> Alcotest.failf "rotated file must parse: %s" e);
+  match Events.load_sink_file path with
+  | Ok [ _ ] -> ()
+  | Ok l -> Alcotest.failf "expected 1 live record, got %d" (List.length l)
+  | Error e -> Alcotest.failf "live file must parse: %s" e
+
+let test_sink_rotation_across_restart () =
+  isolated @@ fun () ->
+  with_temp_sink @@ fun path ->
+  (* first daemon run fills the file near the cap... *)
+  Events.set_sink ~max_bytes:4096 (Some path);
+  for i = 1 to 3 do
+    Events.info ~fields:[ ("i", string_of_int i) ] "run.one"
+  done;
+  Events.set_sink None;
+  let size_after_first = file_size path in
+  Alcotest.(check bool) "first run wrote records" true (size_after_first > 0);
+  (* ...the restart reopens it with a cap the existing size already
+     exceeds: the very next write must rotate, not append forever *)
+  Events.set_sink ~max_bytes:(size_after_first + 1) (Some path);
+  Events.info "run.two";
+  Events.set_sink None;
+  Alcotest.(check bool) "restart rotated the inherited file" true
+    (Sys.file_exists (path ^ ".1"));
+  match (Events.load_sink_file path, Events.load_sink_file (path ^ ".1")) with
+  | Ok live, Ok old ->
+    Alcotest.(check int) "old records rotated" 3 (List.length old);
+    Alcotest.(check int) "new record in fresh live file" 1 (List.length live)
+  | Error e, _ | _, Error e -> Alcotest.failf "post-restart files must parse: %s" e
+
 let suite =
   [
     Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
@@ -273,4 +362,9 @@ let suite =
     Alcotest.test_case "sink read-back: interior corruption rejected" `Quick
       test_sink_readback_interior_corruption;
     Alcotest.test_case "sink survives SIGKILL mid-write" `Quick test_sink_survives_kill_mid_write;
+    Alcotest.test_case "sink rotates at the size cap" `Quick test_sink_rotation;
+    Alcotest.test_case "oversized record lands before rotating" `Quick
+      test_sink_oversized_record_lands;
+    Alcotest.test_case "rotation accounts for an inherited file" `Quick
+      test_sink_rotation_across_restart;
   ]

@@ -129,6 +129,7 @@ let mk_report () =
     r_slo_shed_rate = Some 0.05;
     r_slo_deadline_rate = None;
     r_slo_violations = [];
+    r_runtime = [];
   }
 
 let test_json_keys () =

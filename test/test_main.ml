@@ -28,7 +28,9 @@ let () =
       ("openmetrics", Test_openmetrics.suite);
       ("window", Test_window.suite);
       ("events", Test_events.suite);
+      ("runtime", Test_runtime.suite);
       ("serve", Test_serve.suite);
+      ("slow", Test_slow.suite);
       ("loadgen", Test_loadgen.suite);
       ("verify", Test_verify.suite);
       ("integration", Test_integration.suite);

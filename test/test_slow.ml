@@ -1,0 +1,185 @@
+(* Slow-request ring: threshold boundary, forced outcomes, overflow
+   keeps the newest records, JSON round trip, GC correlation. Each test
+   restores the default ring configuration. *)
+
+module Obs = Ccomp_obs.Obs
+module Runtime = Ccomp_obs.Runtime
+module Slow = Ccomp_serve.Slow
+
+let isolated f =
+  Fun.protect
+    ~finally:(fun () ->
+      Slow.configure ~capacity:64 ~threshold_us:100_000.0 ();
+      Slow.clear ();
+      Obs.set_metrics false;
+      Obs.reset ())
+    (fun () ->
+      Obs.reset ();
+      Slow.configure ~capacity:64 ~threshold_us:100_000.0 ();
+      Slow.clear ();
+      f ())
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let mk ?(id = 1L) ?(kind = "compress") ?(outcome = "ok") ?(total = 150_000.0)
+    ?(queue = 10_000.0) ?(read = 5_000.0) ?(work = 130_000.0) ?(write = 5_000.0) ?(depth = 3)
+    ?(gc_work = Runtime.delta_zero) () =
+  {
+    Slow.sr_ts_us = 1.7e15;
+    sr_id = id;
+    sr_kind = kind;
+    sr_outcome = outcome;
+    sr_total_us = total;
+    sr_queue_us = queue;
+    sr_read_us = read;
+    sr_work_us = work;
+    sr_write_us = write;
+    sr_queue_depth = depth;
+    sr_gc_read = Runtime.delta_zero;
+    sr_gc_work = gc_work;
+    sr_gc_write = Runtime.delta_zero;
+  }
+
+let test_threshold_boundary () =
+  isolated (fun () ->
+      Slow.configure ~threshold_us:100_000.0 ();
+      Alcotest.(check bool) "just below threshold: not sampled" false
+        (Slow.maybe_sample (mk ~total:99_999.9 ()));
+      Alcotest.(check int) "ring still empty" 0 (List.length (Slow.tail 10));
+      Alcotest.(check bool) "exactly at threshold: sampled" true
+        (Slow.maybe_sample (mk ~total:100_000.0 ()));
+      Alcotest.(check bool) "above threshold: sampled" true
+        (Slow.maybe_sample (mk ~total:100_000.1 ()));
+      Alcotest.(check int) "two records retained" 2 (List.length (Slow.tail 10));
+      (* a zero threshold samples everything *)
+      Slow.configure ~threshold_us:0.0 ();
+      Alcotest.(check bool) "zero threshold samples a 1us request" true
+        (Slow.maybe_sample (mk ~total:1.0 ())))
+
+let test_forced_outcomes () =
+  isolated (fun () ->
+      List.iter
+        (fun outcome ->
+          Alcotest.(check bool)
+            (outcome ^ " sampled however fast the refusal")
+            true
+            (Slow.maybe_sample (mk ~outcome ~total:50.0 ())))
+        [ "overloaded"; "deadline_expired"; "shed" ];
+      Alcotest.(check bool) "plain failure below threshold: not sampled" false
+        (Slow.maybe_sample (mk ~outcome:"failed" ~total:50.0 ()));
+      Alcotest.(check bool) "ok below threshold: not sampled" false
+        (Slow.maybe_sample (mk ~outcome:"ok" ~total:50.0 ()));
+      Alcotest.(check int) "only the forced three retained" 3 (List.length (Slow.tail 10));
+      let snap = Obs.snapshot () in
+      let v name = match List.assoc_opt name snap.Obs.counters with Some n -> n | None -> 0 in
+      Alcotest.(check int) "sampled_total counts them" 3 (v "serve.slow.sampled_total");
+      Alcotest.(check int) "forced_total counts them" 3 (v "serve.slow.forced_total"))
+
+let test_overflow_keeps_newest () =
+  isolated (fun () ->
+      Slow.configure ~capacity:4 ();
+      for i = 1 to 10 do
+        Slow.note (mk ~id:(Int64.of_int i) ())
+      done;
+      let ids l = List.map (fun (r : Slow.record) -> r.Slow.sr_id) l in
+      Alcotest.(check (list int64)) "overflow keeps the newest, oldest first"
+        [ 7L; 8L; 9L; 10L ] (ids (Slow.tail 10));
+      Alcotest.(check (list int64)) "tail n trims from the old end" [ 9L; 10L ]
+        (ids (Slow.tail 2));
+      Alcotest.(check (list int64)) "tail 0 is empty" [] (ids (Slow.tail 0));
+      (* resizing drops retained records rather than splicing *)
+      Slow.configure ~capacity:2 ();
+      Alcotest.(check int) "resize clears the ring" 0 (List.length (Slow.tail 10)))
+
+let test_json_round_trip () =
+  isolated (fun () ->
+      let gc_work =
+        {
+          Runtime.d_minor_collections = 3;
+          d_major_collections = 1;
+          d_compactions = 0;
+          d_minor_words = 200_000.0;
+          d_promoted_words = 10_000.0;
+          d_major_words = 4_096.0;
+        }
+      in
+      let r = mk ~id:42L ~kind:"decompress" ~outcome:"deadline_expired" ~depth:7 ~gc_work () in
+      let line = Slow.to_json_line r in
+      Alcotest.(check bool) "single line" false (String.contains line '\n');
+      match Slow.of_json_line line with
+      | Error e -> Alcotest.failf "round trip failed: %s" e
+      | Ok r2 ->
+        Alcotest.(check int64) "id survives" r.Slow.sr_id r2.Slow.sr_id;
+        Alcotest.(check string) "kind survives" r.Slow.sr_kind r2.Slow.sr_kind;
+        Alcotest.(check string) "outcome survives" r.Slow.sr_outcome r2.Slow.sr_outcome;
+        Alcotest.(check (float 0.01)) "total survives" r.Slow.sr_total_us r2.Slow.sr_total_us;
+        Alcotest.(check (float 0.01)) "work stage survives" r.Slow.sr_work_us r2.Slow.sr_work_us;
+        Alcotest.(check int) "queue depth survives" r.Slow.sr_queue_depth r2.Slow.sr_queue_depth;
+        Alcotest.(check int) "work-stage minor collections survive" 3
+          r2.Slow.sr_gc_work.Runtime.d_minor_collections;
+        Alcotest.(check int) "work-stage major collections survive" 1
+          r2.Slow.sr_gc_work.Runtime.d_major_collections;
+        (* the per-stage allocation total round-trips (folded into
+           d_minor_words; the minor/major split is not preserved) *)
+        Alcotest.(check (float 1e-6)) "work-stage allocation survives"
+          (Runtime.alloc_mb r.Slow.sr_gc_work)
+          (Runtime.alloc_mb r2.Slow.sr_gc_work);
+        Alcotest.(check bool) "round-tripped record still overlapped a major" true
+          (Slow.overlapped_major r2))
+
+let test_json_rejects_garbage () =
+  isolated (fun () ->
+      List.iter
+        (fun line ->
+          match Slow.of_json_line line with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "accepted garbage: %s" line)
+        [ ""; "not json"; "{}"; {|{"ts_us": "string"}|}; {|[1,2,3]|} ])
+
+let test_correlation () =
+  isolated (fun () ->
+      Alcotest.(check bool) "no samples, no line" true (Slow.correlation_line [] = None);
+      let hit =
+        mk ~gc_work:{ Runtime.delta_zero with Runtime.d_major_collections = 1 } ()
+      in
+      let miss = mk () in
+      Alcotest.(check bool) "major in a stage = overlap" true (Slow.overlapped_major hit);
+      Alcotest.(check bool) "no major = no overlap" false (Slow.overlapped_major miss);
+      let n, h = Slow.correlation [ hit; miss ] in
+      Alcotest.(check (pair int int)) "correlation counts" (2, 1) (n, h);
+      match Slow.correlation_line [ hit; miss ] with
+      | None -> Alcotest.fail "expected a correlation line"
+      | Some line ->
+        Alcotest.(check bool) "line names the share" true
+          (contains ~needle:"50" line && contains ~needle:"2 sampled" line))
+
+let test_render_table () =
+  isolated (fun () ->
+      let rows =
+        [
+          mk ~kind:"compress" ~outcome:"ok" ();
+          mk ~kind:"shed" ~outcome:"shed" ~total:0.0
+            ~queue:0.0 ~read:0.0 ~work:0.0 ~write:0.0 ~depth:12 ();
+        ]
+      in
+      let table = Slow.render_table rows in
+      Alcotest.(check bool) "table names the kinds" true
+        (contains ~needle:"compress" table && contains ~needle:"shed" table);
+      Alcotest.(check bool) "table carries the correlation line" true
+        (contains ~needle:"overlapped a major collection" table);
+      Alcotest.(check bool) "empty table renders without crashing" true
+        (String.length (Slow.render_table []) >= 0))
+
+let suite =
+  [
+    Alcotest.test_case "threshold boundary is inclusive" `Quick test_threshold_boundary;
+    Alcotest.test_case "shed/overloaded/expired always sampled" `Quick test_forced_outcomes;
+    Alcotest.test_case "overflow keeps the newest records" `Quick test_overflow_keeps_newest;
+    Alcotest.test_case "JSON round trip preserves the record" `Quick test_json_round_trip;
+    Alcotest.test_case "of_json_line rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "major-GC correlation" `Quick test_correlation;
+    Alcotest.test_case "render_table" `Quick test_render_table;
+  ]

@@ -1,12 +1,12 @@
 #!/bin/sh
 # Benchmark regression gate over the flat JSON written by
-# `bench --emit-json` (see BENCH_PR8.json for the committed baseline).
+# `bench --emit-json` (see BENCH_PR9.json for the committed baseline).
 #
 # Modes:
 #   bench_check.sh [BASELINE]
 #       Run the full throughput suite with `dune exec bench/main.exe` and
 #       fail (exit 1) if any *decompress* throughput fell more than 20%
-#       below the baseline (default: BENCH_PR8.json next to this repo's
+#       below the baseline (default: BENCH_PR9.json next to this repo's
 #       root). Compress keys are reported but not gated — dictionary
 #       construction time is dominated by search heuristics, not the
 #       kernels this gate protects.
@@ -28,7 +28,11 @@
 #       gates when the file carries a loadgen section: every declared
 #       loadgen.slo_* bound must hold against the measured key in the
 #       same file, and the run must have recorded zero violations;
-#       files predating the section pass untouched. Run against the
+#       files predating the section pass untouched. PR9 adds runtime
+#       gates: when the file carries daemon-side runtime.* telemetry,
+#       the GC counters must be live (nonzero allocation over the run),
+#       and a recorded loadgen.capacity_rps must be >= 1 rps. Run
+#       against the
 #       committed BENCH_PR*.json this is deterministic, so bench/dune
 #       wires it into runtest.
 set -eu
@@ -245,6 +249,20 @@ invariants() { # file
   else
     echo "  note: no loadgen section (pre-PR8 baseline) — SLO gates skipped"
   fi
+  # PR9: runtime-telemetry gates, presence-guarded the same way. Once a
+  # loadgen run recorded daemon-side runtime.* keys, the counters must
+  # be live — a run that served real traffic allocates through many
+  # minor heaps, so zeros mean the telemetry silently broke.
+  if json_has "$file" runtime.minor_collections; then
+    abs_ge "daemon GC saw the run (minor collections)" runtime.minor_collections 1
+    abs_ge "daemon allocation recorded" runtime.alloc_mb 0.000001
+    abs_ge "per-request allocation recorded" runtime.alloc_kb_per_req 0.000001
+  else
+    echo "  note: no runtime section (pre-PR9 baseline) — runtime gates skipped"
+  fi
+  if json_has "$file" loadgen.capacity_rps; then
+    abs_ge "ramp-measured SLO capacity is a real load" loadgen.capacity_rps 1
+  fi
   if [ "$fail" -ne 0 ]; then
     echo "bench_check: INVARIANTS FAILED for $file" >&2
     exit 1
@@ -283,7 +301,7 @@ case "${1:-}" in
     ;;
   *)
     root=$(cd "$(dirname "$0")/.." && pwd)
-    baseline=${1:-$root/BENCH_PR8.json}
+    baseline=${1:-$root/BENCH_PR9.json}
     out=$(mktemp /tmp/bench_full.XXXXXX.json)
     trap 'rm -f "$out"' EXIT
     trap 'exit 130' INT

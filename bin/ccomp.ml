@@ -874,8 +874,26 @@ let stats_cmd =
 (* --- serve / submit / scrape / top -------------------------------------- *)
 
 let serve_cmd =
-  let run host port jobs workers queue_cap idle_timeout io_timeout drain allow_crash slow_threshold
-      slow_ring metrics trace events =
+  (* The daemon's codec jobs allocate megabytes of short-lived scratch
+     per request; with the stock 256k-word nursery that churn is
+     promoted into major-GC pauses that land straight in the latency
+     tail. OCaml 5.1 fixes each domain's minor-heap size at process
+     startup — [Gc.set] cannot grow it later — so the only way to serve
+     with a bigger nursery is to enter the runtime with one: re-exec
+     once with a tuned OCAMLRUNPARAM. An operator who set their own
+     OCAMLRUNPARAM keeps it untouched. *)
+  let retune_runtime () =
+    match Sys.getenv_opt "OCAMLRUNPARAM" with
+    | Some _ -> ()
+    | None -> (
+      try
+        Unix.putenv "OCAMLRUNPARAM" "s=4M,o=300";
+        Unix.execv Sys.executable_name Sys.argv
+      with Unix.Unix_error _ -> ())
+  in
+  let run host port jobs workers acceptors queue_cap max_requests idle_timeout io_timeout drain
+      allow_crash slow_threshold slow_ring metrics trace events =
+    retune_runtime ();
     let jobs = resolve_jobs jobs in
     with_obs ~events ~metrics ~trace @@ fun () ->
     (* the daemon IS the observability surface: metrics and the event
@@ -888,7 +906,9 @@ let serve_cmd =
         port;
         jobs;
         workers = max 1 workers;
+        acceptors = max 1 acceptors;
         queue_cap = max 1 queue_cap;
+        max_requests_per_conn = max 0 max_requests;
         idle_timeout_s = idle_timeout;
         io_timeout_s = io_timeout;
         drain_s = drain;
@@ -913,11 +933,27 @@ let serve_cmd =
             "Worker domains, each with its own bounded connection queue (each job still fans out \
              over --jobs).")
   in
+  let acceptors_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "acceptors" ] ~docv:"N"
+          ~doc:
+            "Acceptor domains, each on its own SO_REUSEPORT listener (falling back to one shared \
+             non-blocking listener where the option is unavailable).")
+  in
   let queue_cap_arg =
     Arg.(
       value & opt int 64
       & info [ "queue-cap" ] ~docv:"N"
           ~doc:"Per-worker queue bound; connections beyond it are shed with a typed overload reply.")
+  in
+  let max_requests_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-requests-per-conn" ] ~docv:"N"
+          ~doc:
+            "Recycle a keep-alive connection after $(docv) frames (clients reconnect and resend; \
+             0 = unbounded).")
   in
   let idle_timeout_arg =
     Arg.(
@@ -962,23 +998,25 @@ let serve_cmd =
   let term =
     Term.(
       ret
-        (const run $ host_arg $ port_arg ~default:7070 $ jobs_arg $ workers_arg $ queue_cap_arg
-       $ idle_timeout_arg $ io_timeout_arg $ drain_arg $ crash_op_arg $ slow_threshold_arg
-       $ slow_ring_arg $ metrics_arg $ trace_out_arg $ events_arg))
+        (const run $ host_arg $ port_arg ~default:7070 $ jobs_arg $ workers_arg $ acceptors_arg
+       $ queue_cap_arg $ max_requests_arg $ idle_timeout_arg $ io_timeout_arg $ drain_arg
+       $ crash_op_arg $ slow_threshold_arg $ slow_ring_arg $ metrics_arg $ trace_out_arg
+       $ events_arg))
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the compression daemon: length-prefixed compress/decompress jobs plus /metrics \
-          (OpenMetrics), /healthz, /events, /snapshot and /slow over HTTP/1.0 on one port. \
-          Overload-safe: bounded queues with typed shed replies, per-request deadlines, \
-          per-connection i/o budgets, graceful drain on SIGTERM, supervised workers. With metrics \
-          on, per-domain GC/runtime telemetry lands in runtime.* and the slowest requests are \
-          tail-sampled with per-stage GC deltas.")
+         "Run the compression daemon: length-prefixed compress/decompress jobs (keep-alive: a \
+          connection carries a sequence of frames) plus /metrics (OpenMetrics), /healthz, \
+          /events, /snapshot and /slow over HTTP/1.0 on one port. Overload-safe: bounded queues \
+          with typed shed replies, per-request deadlines, per-connection i/o budgets, graceful \
+          drain on SIGTERM, supervised workers, sharded acceptors. With metrics on, per-domain \
+          GC/runtime telemetry lands in runtime.* and the slowest requests are tail-sampled with \
+          per-stage GC deltas.")
     term
 
 let submit_cmd =
-  let run host port timeout deadline_ms retries op algo isa block_size input output =
+  let run host port timeout deadline_ms retries legacy op algo isa block_size input output =
     let data = read_file input in
     let req =
       match op with
@@ -993,7 +1031,17 @@ let submit_cmd =
       | "decompress" -> Serve.Decompress data
       | _ -> Serve.Ping
     in
-    match Serve.request ~timeout_s:timeout ~deadline_ms ~retries ~host ~port req with
+    let result =
+      if legacy then
+        match Serve.submit_legacy ~timeout_s:timeout ~deadline_ms ~host ~port req with
+        | Ok (Serve.Payload p) -> Ok p
+        | Ok (Serve.Failed m) -> Error m
+        | Ok (Serve.Overloaded m) -> Error ("overloaded: " ^ m)
+        | Ok (Serve.Deadline_expired m) -> Error ("deadline expired: " ^ m)
+        | Error e -> Error e
+      else Serve.request ~timeout_s:timeout ~deadline_ms ~retries ~host ~port req
+    in
+    match result with
     | Error e -> `Error (false, "submit: " ^ e)
     | Ok payload ->
       let path =
@@ -1027,11 +1075,20 @@ let submit_cmd =
       & info [ "retries" ] ~docv:"N"
           ~doc:"Retry transport errors and typed overload replies with jittered backoff.")
   in
+  let legacy_arg =
+    Arg.(
+      value & flag
+      & info [ "legacy-oneshot" ]
+          ~doc:
+            "Use the pre-v4 one-shot wire shape (write the frame, shut down the send side, read \
+             the reply to EOF) instead of the framed keep-alive client — the compatibility probe \
+             the serve gate asserts; --retries is ignored.")
+  in
   let term =
     Term.(
       ret
         (const run $ host_arg $ port_arg ~default:7070 $ timeout_arg $ deadline_arg $ retries_arg
-       $ op_arg $ algo_arg $ isa_arg $ block_size_arg $ input $ output_arg))
+       $ legacy_arg $ op_arg $ algo_arg $ isa_arg $ block_size_arg $ input $ output_arg))
   in
   Cmd.v
     (Cmd.info "submit"
@@ -1102,7 +1159,7 @@ let top_cmd =
     term
 
 let chaos_cmd =
-  let run host port seed rounds flood timeout crash metrics events =
+  let run host port seed rounds flood stall timeout crash metrics events =
     with_obs ~events ~metrics ~trace:None @@ fun () ->
     Obs.set_metrics true;
     Events.set_enabled true;
@@ -1113,6 +1170,7 @@ let chaos_cmd =
         seed;
         rounds;
         flood;
+        stall_s = Float.max 0.0 stall;
         timeout_s = timeout;
         crash_workers = crash;
       }
@@ -1138,6 +1196,15 @@ let chaos_cmd =
             "Hold N silent connections open per round to force queue-full shedding (pick N > \
              workers * queue-cap; 0 = skip).")
   in
+  let stall_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "stall" ] ~docv:"SECONDS"
+          ~doc:
+            "Once per round, answer one frame then go silent for SECONDS on the open \
+             connection; the daemon must idle-close it. Pick a value above the daemon's \
+             --idle-timeout (0 = skip).")
+  in
   let crash_arg =
     Arg.(
       value & flag
@@ -1150,22 +1217,25 @@ let chaos_cmd =
     Term.(
       ret
         (const run $ host_arg $ port_arg ~default:7070 $ seed_arg $ rounds_arg $ flood_arg
-       $ timeout_arg $ crash_arg $ metrics_arg $ events_arg))
+       $ stall_arg $ timeout_arg $ crash_arg $ metrics_arg $ events_arg))
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run a seeded socket-level chaos campaign against a live daemon: slowloris, mid-frame \
-          truncation, connection churn, RST aborts, oversized frames, overload floods and \
-          deadline probes, with byte-identity checks on every completed job. Exits non-zero \
-          unless the daemon stays live and sheds with typed replies; any failure replays from \
-          the printed seed.")
+          truncation, connection churn, RST aborts, oversized frames, overload floods, deadline \
+          probes, and keep-alive abuse (pipelined bursts with reply-order checks, torn frames \
+          mid-stream, inter-frame stalls via --stall), with byte-identity checks on every \
+          completed job over both the keep-alive and legacy one-shot wire shapes. Exits \
+          non-zero unless the daemon stays live and sheds with typed replies; any failure \
+          replays from the printed seed.")
     term
 
 let loadgen_cmd =
-  let run host port rate duration arrivals seed senders payload_bytes algo isa block_size
-      deadline_ms timeout mix_compress mix_decompress mix_ping slo_p99 slo_shed slo_deadline
-      ramp ramp_low ramp_high ramp_iters emit_json merge_json print_schedule metrics events =
+  let run host port rate duration arrivals seed senders conns no_reuse payload_bytes algo isa
+      block_size deadline_ms timeout mix_compress mix_decompress mix_ping slo_p99 slo_shed
+      slo_deadline ramp ramp_low ramp_high ramp_iters emit_json merge_json print_schedule metrics
+      events =
     let arrivals =
       match Loadgen.arrivals_of_string arrivals with
       | Some a -> a
@@ -1193,6 +1263,8 @@ let loadgen_cmd =
           arrivals;
           seed;
           senders;
+          conns;
+          conn_reuse = not no_reuse;
           payload_bytes;
           algo = (match algo with Samc -> Serve.Samc | Sadc -> Serve.Sadc);
           isa = (match isa with Mips -> Serve.Mips | X86 -> Serve.X86);
@@ -1262,6 +1334,22 @@ let loadgen_cmd =
     Arg.(
       value & opt int 4
       & info [ "senders" ] ~docv:"N" ~doc:"Concurrent sender domains pulling from one schedule.")
+  in
+  let conns_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "conns" ] ~docv:"N"
+          ~doc:
+            "Persistent connection slots fleet-wide, spread over --senders (0 = one per sender); \
+             each sender round-robins its share per request.")
+  in
+  let no_reuse_arg =
+    Arg.(
+      value & flag
+      & info [ "no-reuse" ]
+          ~doc:
+            "Tear the connection down after every request (the pre-keep-alive behaviour) instead \
+             of reusing it — for measuring what connection reuse buys.")
   in
   let payload_arg =
     Arg.(
@@ -1336,8 +1424,8 @@ let loadgen_cmd =
     Term.(
       ret
         (const run $ host_arg $ port_arg ~default:7070 $ rate_arg $ duration_arg $ arrivals_arg
-       $ seed_arg $ senders_arg $ payload_arg $ algo_arg $ isa_arg $ block_size_arg $ deadline_arg
-       $ timeout_arg
+       $ seed_arg $ senders_arg $ conns_arg $ no_reuse_arg $ payload_arg $ algo_arg $ isa_arg
+       $ block_size_arg $ deadline_arg $ timeout_arg
        $ mix_arg "compress" ~default:1 "compress jobs"
        $ mix_arg "decompress" ~default:1 "decompress jobs"
        $ mix_arg "ping" ~default:2 "ping jobs"

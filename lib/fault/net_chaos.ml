@@ -20,6 +20,7 @@ type config = {
   seed : int;
   rounds : int;
   flood : int;
+  stall_s : float;
   timeout_s : float;
   crash_workers : bool;
 }
@@ -31,6 +32,7 @@ let default_config =
     seed = 1;
     rounds = 3;
     flood = 0;
+    stall_s = 0.0;
     timeout_s = 5.0;
     crash_workers = false;
   }
@@ -50,6 +52,14 @@ type report = {
   churn : int;
   resets : int;
   crash_ops : int;
+  legacy_jobs : int;
+  pipeline_bursts : int;
+  pipelined_replies : int;
+  order_violations : int;
+  midstream_truncations : int;
+  midstream_intact : int;
+  stalls : int;
+  stall_closes : int;
   alive_after : bool;
 }
 
@@ -115,6 +125,48 @@ let read_reply fd =
 let be32 v =
   String.init 4 (fun i -> Char.chr ((v lsr (8 * (3 - i))) land 0xff))
 
+let rd32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+(* Read exactly [n] bytes; None on EOF, reset or timeout. *)
+let read_exactly fd n =
+  let buf = Bytes.create n in
+  let rec go pos =
+    if pos >= n then Some (Bytes.to_string buf)
+    else
+      match Unix.read fd buf pos (n - pos) with
+      | 0 -> None
+      | k -> go (pos + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error _ -> None
+  in
+  go 0
+
+(* One framed CCR1 reply off a keep-alive connection:
+   (status, echoed request id if a timing record rode along, payload).
+   None on EOF at a frame boundary (the server closed: recycle or idle)
+   or any mid-frame surprise. *)
+let read_frame fd =
+  match read_exactly fd 10 with
+  | None -> None
+  | Some h ->
+    if String.sub h 0 4 <> "CCR1" then None
+    else begin
+      let status = Char.code h.[4] in
+      let tlen = Char.code h.[5] in
+      let plen = rd32 h 6 in
+      match read_exactly fd (tlen + plen) with
+      | None -> None
+      | Some body ->
+        (* timing record: request_id(8,BE) then three u32 stages; the
+           harness's ids are small, so the low word is the id *)
+        let id = if tlen >= 8 then Some (rd32 body 4) else None in
+        Some (status, id, String.sub body tlen plen)
+    end
+
 (* --- the attack mix ------------------------------------------------------ *)
 
 type counters = {
@@ -131,6 +183,14 @@ type counters = {
   mutable c_churn : int;
   mutable c_resets : int;
   mutable c_crash : int;
+  mutable c_legacy : int;
+  mutable c_pipeline : int;
+  mutable c_pipelined_replies : int;
+  mutable c_order_violations : int;
+  mutable c_midstream : int;
+  mutable c_midstream_ok : int;
+  mutable c_stalls : int;
+  mutable c_stall_closed : int;
 }
 
 let random_code g len =
@@ -140,13 +200,22 @@ let random_code g len =
 
 (* A well-formed job, checked byte-for-byte against the local oracle:
    handle_request is the daemon's own dispatch, so the served reply
-   must be identical unless the daemon legitimately shed it. *)
+   must be identical unless the daemon legitimately shed it. Alternates
+   between the keep-alive client and the pre-v4 one-shot wire shape so
+   every chaos run proves old clients still get identical bytes. *)
 let valid_job cfg g c =
   let algo = if Prng.bool g then Serve.Samc else Serve.Sadc in
   let code = random_code g (64 + Prng.int g 512) in
   let req = Serve.Compress { algo; isa = Serve.Mips; block_size = 32; code } in
   c.c_valid <- c.c_valid + 1;
-  match Serve.submit ~timeout_s:cfg.timeout_s ~host:cfg.host ~port:cfg.port req with
+  let submit =
+    if Prng.bool g then begin
+      c.c_legacy <- c.c_legacy + 1;
+      Serve.submit_legacy
+    end
+    else Serve.submit
+  in
+  match submit ~timeout_s:cfg.timeout_s ~host:cfg.host ~port:cfg.port req with
   | Error _ -> c.c_transport <- c.c_transport + 1
   | Ok (Serve.Overloaded _) ->
     c.c_shed <- c.c_shed + 1;
@@ -286,6 +355,134 @@ let crash_op cfg _g c =
     c.c_crash <- c.c_crash + 1
   end
 
+(* Several oracle-checked jobs down ONE persistent connection: the
+   keep-alive loop must serve them all without reconnects. A Stale
+   error is legitimate (the daemon recycled or idled us out between
+   frames) and just ends the burst early. *)
+let keepalive_jobs cfg g c =
+  match Serve.Conn.connect ~timeout_s:cfg.timeout_s ~host:cfg.host ~port:cfg.port () with
+  | Error _ -> c.c_transport <- c.c_transport + 1
+  | Ok conn ->
+    let jobs = 2 + Prng.int g 2 in
+    (try
+       for _ = 1 to jobs do
+         let algo = if Prng.bool g then Serve.Samc else Serve.Sadc in
+         let code = random_code g (64 + Prng.int g 256) in
+         let req = Serve.Compress { algo; isa = Serve.Mips; block_size = 32; code } in
+         c.c_valid <- c.c_valid + 1;
+         match Serve.Conn.submit conn req with
+         | Error (Serve.Conn.Stale _) -> raise Exit
+         | Error (Serve.Conn.Transport _) ->
+           c.c_transport <- c.c_transport + 1;
+           raise Exit
+         | Ok (Serve.Overloaded _) ->
+           c.c_shed <- c.c_shed + 1;
+           Obs.Counter.incr m_shed_seen
+         | Ok served ->
+           if served = Serve.handle_request ~jobs:1 req then
+             c.c_identical <- c.c_identical + 1
+           else begin
+             c.c_mismatched <- c.c_mismatched + 1;
+             Obs.Counter.incr m_mismatched;
+             Events.error
+               ~fields:[ ("seed", string_of_int cfg.seed); ("conn", "keepalive") ]
+               "chaos.mismatch"
+           end
+       done
+     with Exit -> ());
+    Serve.Conn.close conn
+
+(* Write a burst of ping frames back-to-back before reading anything:
+   the daemon must answer all of them, in order, on the one
+   connection. Distinct request ids ask for timing echoes, and the
+   echoed id is how we catch reordered or crossed replies. *)
+let pipeline_burst cfg g c =
+  match connect ~timeout_s:cfg.timeout_s ~host:cfg.host ~port:cfg.port with
+  | None -> c.c_transport <- c.c_transport + 1
+  | Some fd ->
+    let k = 2 + Prng.int g 3 in
+    let burst = Buffer.create 256 in
+    for i = 0 to k - 1 do
+      Buffer.add_string burst
+        (Serve.encode_request ~request_id:(Int64.of_int (1000 + i)) Serve.Ping)
+    done;
+    let raw = Buffer.contents burst in
+    if write_best_effort fd raw = String.length raw then begin
+      let got = ref 0 and shed = ref false in
+      (try
+         for i = 0 to k - 1 do
+           match read_frame fd with
+           | None -> raise Exit (* recycle/close mid-burst: allowed *)
+           | Some (2, _, _) ->
+             (* overloaded: the daemon sheds the whole rest, fine *)
+             shed := true;
+             raise Exit
+           | Some (0, Some id, _) ->
+             incr got;
+             if id <> 1000 + i then begin
+               c.c_order_violations <- c.c_order_violations + 1;
+               Events.error
+                 ~fields:
+                   [ ("expected", string_of_int (1000 + i)); ("got", string_of_int id) ]
+                 "chaos.pipeline.order"
+             end
+           | Some _ -> incr got
+         done
+       with Exit -> ());
+      if not (!shed && !got = 0) then begin
+        c.c_pipeline <- c.c_pipeline + 1;
+        c.c_pipelined_replies <- c.c_pipelined_replies + !got
+      end
+    end;
+    (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+    ignore (read_reply fd);
+    close_quietly fd
+
+(* One complete frame, then a partial second frame, then hang up: the
+   first job was whole and must be answered before the daemon notices
+   the torn successor. The recycle race lives here too — under
+   --max-requests-per-conn 1 the daemon closes after the first reply
+   and never sees the torn bytes at all. *)
+let midstream_truncation cfg g c =
+  match connect ~timeout_s:cfg.timeout_s ~host:cfg.host ~port:cfg.port with
+  | None -> c.c_transport <- c.c_transport + 1
+  | Some fd ->
+    let whole = Serve.encode_request ~request_id:777L Serve.Ping in
+    let second = Serve.encode_request (Serve.Decompress (random_code g 64)) in
+    let cut = 1 + Prng.int g (String.length second - 1) in
+    let raw = whole ^ String.sub second 0 cut in
+    let _ = write_best_effort fd raw in
+    (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+    c.c_midstream <- c.c_midstream + 1;
+    (match read_frame fd with
+    | Some (0, _, _) -> c.c_midstream_ok <- c.c_midstream_ok + 1
+    | Some _ | None -> ());
+    ignore (read_reply fd);
+    close_quietly fd
+
+(* Answer one frame, then go silent past the daemon's idle timeout:
+   the daemon must close the parked connection (EOF on our next read)
+   rather than hold the fd forever. Gated on --stall because the sleep
+   costs real wall clock and only proves anything when the daemon runs
+   with an idle timeout shorter than the stall. *)
+let interframe_stall cfg _g c =
+  if cfg.stall_s > 0.0 then begin
+    match connect ~timeout_s:(cfg.stall_s +. cfg.timeout_s) ~host:cfg.host ~port:cfg.port with
+    | None -> c.c_transport <- c.c_transport + 1
+    | Some fd ->
+      let frame = Serve.encode_request Serve.Ping in
+      let _ = write_best_effort fd frame in
+      c.c_stalls <- c.c_stalls + 1;
+      (match read_frame fd with
+      | None -> ()
+      | Some _ ->
+        Unix.sleepf cfg.stall_s;
+        (match read_frame fd with
+        | None -> c.c_stall_closed <- c.c_stall_closed + 1
+        | Some _ -> ()));
+      close_quietly fd
+  end
+
 let alive cfg =
   match Serve.http_get ~timeout_s:cfg.timeout_s ~host:cfg.host ~port:cfg.port "/healthz" with
   | Ok (200, _) -> true
@@ -314,6 +511,14 @@ let run cfg =
         c_churn = 0;
         c_resets = 0;
         c_crash = 0;
+        c_legacy = 0;
+        c_pipeline = 0;
+        c_pipelined_replies = 0;
+        c_order_violations = 0;
+        c_midstream = 0;
+        c_midstream_ok = 0;
+        c_stalls = 0;
+        c_stall_closed = 0;
       }
     in
     (* The weighted mix: hostile traffic drawn deterministically from
@@ -331,6 +536,9 @@ let run cfg =
         (2, reset);
         (2, deadline_probe);
         (1, crash_op);
+        (3, keepalive_jobs);
+        (2, pipeline_burst);
+        (2, midstream_truncation);
       |]
     in
     for _round = 1 to cfg.rounds do
@@ -340,6 +548,12 @@ let run cfg =
         attack cfg g c
       done;
       overload_flood cfg g c;
+      interframe_stall cfg g c;
+      (* guaranteed once per round (not left to the weighted draw): the
+         report's deadline and supervision verdicts need these to have
+         run under every seed, same as the flood and the stall *)
+      deadline_probe cfg g c;
+      crash_op cfg g c;
       (* after each round of abuse the daemon must still answer
          cleanly: a fresh valid job through the full stack *)
       valid_job cfg g c
@@ -371,6 +585,14 @@ let run cfg =
         churn = c.c_churn;
         resets = c.c_resets;
         crash_ops = c.c_crash;
+        legacy_jobs = c.c_legacy;
+        pipeline_bursts = c.c_pipeline;
+        pipelined_replies = c.c_pipelined_replies;
+        order_violations = c.c_order_violations;
+        midstream_truncations = c.c_midstream;
+        midstream_intact = c.c_midstream_ok;
+        stalls = c.c_stalls;
+        stall_closes = c.c_stall_closed;
         alive_after;
       }
   end
@@ -386,14 +608,25 @@ let passed cfg r =
     fail "flood of %d never produced a typed overload reply (seed %d)" cfg.flood r.seed
   else if r.deadline_probes > 0 && r.deadline_replies = 0 then
     fail "no deadline probe got a typed deadline-expired reply (seed %d)" r.seed
+  else if r.order_violations > 0 then
+    fail "%d pipelined replies arrived out of order (seed %d)" r.order_violations r.seed
+  else if r.pipeline_bursts > 0 && r.pipelined_replies < 2 then
+    fail "pipelining never yielded multiple replies on one connection (seed %d)" r.seed
+  else if r.midstream_truncations > 0 && r.midstream_intact = 0 then
+    fail
+      "no complete frame survived a torn successor — mid-stream truncation poisons whole \
+       connections (seed %d)"
+      r.seed
+  else if r.stalls > 0 && r.stall_closes = 0 then
+    fail "no inter-frame stall was idle-closed by the daemon (seed %d)" r.seed
   else Ok ()
 
 let report_lines r =
   [
     Printf.sprintf "chaos seed %d: %s" r.seed
       (if r.alive_after then "daemon alive" else "DAEMON DEAD");
-    Printf.sprintf "  valid jobs        %6d  (%d byte-identical, %d MISMATCHED)" r.valid_jobs
-      r.byte_identical r.mismatched;
+    Printf.sprintf "  valid jobs        %6d  (%d byte-identical, %d MISMATCHED, %d legacy one-shot)"
+      r.valid_jobs r.byte_identical r.mismatched r.legacy_jobs;
     Printf.sprintf "  typed sheds       %6d" r.shed_typed;
     Printf.sprintf "  deadline replies  %6d  (of %d probes)" r.deadline_replies r.deadline_probes;
     Printf.sprintf "  slowloris         %6d" r.slowloris;
@@ -402,5 +635,10 @@ let report_lines r =
     Printf.sprintf "  churn connects    %6d" r.churn;
     Printf.sprintf "  rst aborts        %6d" r.resets;
     Printf.sprintf "  crash ops         %6d" r.crash_ops;
+    Printf.sprintf "  pipeline bursts   %6d  (%d replies, %d ORDER VIOLATIONS)" r.pipeline_bursts
+      r.pipelined_replies r.order_violations;
+    Printf.sprintf "  midstream cuts    %6d  (%d first-frame replies intact)"
+      r.midstream_truncations r.midstream_intact;
+    Printf.sprintf "  interframe stalls %6d  (%d idle-closed)" r.stalls r.stall_closes;
     Printf.sprintf "  transport errors  %6d" r.transport_errors;
   ]

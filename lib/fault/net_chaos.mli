@@ -9,6 +9,17 @@
     worker queue, 1 ms-deadline probes, and (opt-in) the crash-worker
     opcode — with well-formed jobs interleaved throughout.
 
+    The CCQ1v4 keep-alive path gets its own battery: oracle-checked
+    job sequences down one persistent {!Ccomp_serve.Serve.Conn},
+    pipelined bursts whose echoed request ids expose reordered or
+    crossed replies, a complete frame followed by a torn successor
+    (the first job must still be answered — and under
+    [--max-requests-per-conn 1] this doubles as a recycle race), and
+    (opt-in via [stall_s]) an inter-frame stall that the daemon must
+    idle-close rather than hold forever. Well-formed jobs alternate
+    between the keep-alive client and the pre-v4 one-shot shape, so
+    every run also proves legacy clients still get identical bytes.
+
     The contract it checks is the ISSUE-6 acceptance criterion: the
     daemon {e never} deadlocks or dies; every job that completes is
     byte-identical to the local oracle ({!Ccomp_serve.Serve.handle_request},
@@ -28,6 +39,10 @@ type config = {
   flood : int;
       (** silent connections held open per round to force queue-full
           shedding; [0] skips the flood (and its assertion) *)
+  stall_s : float;
+      (** inter-frame stall length, once per round; only proves
+          anything when it exceeds the daemon's [--idle-timeout].
+          [0.] (the default) skips the stall (and its assertion) *)
   timeout_s : float;  (** chaos-side budget per connect/read/write *)
   crash_workers : bool;
       (** send the crash-worker opcode — requires a daemon started
@@ -35,8 +50,8 @@ type config = {
 }
 
 val default_config : config
-(** [127.0.0.1:7070], seed 1, 3 rounds, no flood, 5 s timeouts, no
-    crash ops. *)
+(** [127.0.0.1:7070], seed 1, 3 rounds, no flood, no stall, 5 s
+    timeouts, no crash ops. *)
 
 type report = {
   seed : int;
@@ -53,6 +68,14 @@ type report = {
   churn : int;
   resets : int;
   crash_ops : int;
+  legacy_jobs : int;  (** valid jobs sent over the pre-v4 one-shot shape *)
+  pipeline_bursts : int;  (** bursts that got at least one reply unshed *)
+  pipelined_replies : int;
+  order_violations : int;  (** echoed id <> expected — any nonzero fails *)
+  midstream_truncations : int;
+  midstream_intact : int;  (** first frames answered despite a torn successor *)
+  stalls : int;
+  stall_closes : int;  (** stalls the daemon idle-closed, as it must *)
   alive_after : bool;  (** [/healthz] answered 200 after the last round *)
 }
 
@@ -63,8 +86,11 @@ val run : config -> (report, string) result
 
 val passed : config -> report -> (unit, string) result
 (** The acceptance gate: alive after, zero mismatches, at least one
-    byte-identical completion, a typed shed if [flood > 0], and a
-    typed deadline reply if any probe ran. *)
+    byte-identical completion, a typed shed if [flood > 0], a typed
+    deadline reply if any probe ran, zero order violations, multiple
+    pipelined replies if any burst ran, at least one intact first
+    frame if any mid-stream truncation ran, and at least one
+    idle-close if any stall ran. *)
 
 val report_lines : report -> string list
 (** Human-readable summary, seed first. *)

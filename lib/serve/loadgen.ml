@@ -28,6 +28,8 @@ type config = {
   arrivals : arrivals;
   seed : int;
   senders : int;
+  conns : int;
+  conn_reuse : bool;
   payload_bytes : int;
   algo : Serve.algo;
   isa : Serve.isa;
@@ -51,6 +53,8 @@ let default_config =
     arrivals = Poisson;
     seed = 42;
     senders = 4;
+    conns = 0;
+    conn_reuse = true;
     payload_bytes = 4096;
     algo = Serve.Samc;
     isa = Serve.Mips;
@@ -103,6 +107,8 @@ let h_service = Obs.Histogram.make "loadgen.service_us"
 
 let h_network = Obs.Histogram.make "loadgen.network_us"
 
+let h_connect = Obs.Histogram.make "loadgen.connect_us"
+
 (* --- report -------------------------------------------------------------- *)
 
 type report = {
@@ -130,6 +136,16 @@ type report = {
   r_network_p99_ms : float;
   r_shed_rate : float;
   r_deadline_rate : float;
+  r_conn_reuse : bool;
+  r_conns : int;  (** client connection slots in play *)
+  r_connects : int;  (** connect(2) calls paid, reconnects included *)
+  r_reconnects : int;  (** reopens after a server close between frames *)
+  r_connect_p50_ms : float;
+  r_connect_p99_ms : float;
+  r_remainder_clamped : int;
+      (** ok replies whose network remainder went negative (u32-capped
+          [server_us] exceeding the client-measured latency under clock
+          skew) and was clamped to 0 instead of skewing percentiles *)
   r_slo_p99_ms : float option;
   r_slo_shed_rate : float option;
   r_slo_deadline_rate : float option;
@@ -155,7 +171,8 @@ let slo_check cfg ~p99_ms ~shed_rate ~deadline_rate =
   | _ -> ());
   List.rev !v
 
-let aggregate cfg ~n ~elapsed_s results =
+let aggregate ?(conns = 0) ?(connects = 0) ?(reconnects = 0) ?(remainder_clamped = 0) cfg ~n
+    ~elapsed_s results =
   let count o = Array.fold_left (fun acc s ->
       match s with Some s when s.s_outcome = o -> acc + 1 | _ -> acc) 0 results
   in
@@ -198,6 +215,13 @@ let aggregate cfg ~n ~elapsed_s results =
     r_network_p99_ms = p h_network 99.0;
     r_shed_rate = shed_rate;
     r_deadline_rate = deadline_rate;
+    r_conn_reuse = cfg.conn_reuse;
+    r_conns = conns;
+    r_connects = connects;
+    r_reconnects = reconnects;
+    r_connect_p50_ms = p h_connect 50.0;
+    r_connect_p99_ms = p h_connect 99.0;
+    r_remainder_clamped = remainder_clamped;
     r_slo_p99_ms = cfg.slo_p99_ms;
     r_slo_shed_rate = cfg.slo_shed_rate;
     r_slo_deadline_rate = cfg.slo_deadline_rate;
@@ -275,6 +299,7 @@ let run cfg =
     Obs.Histogram.reset h_queue;
     Obs.Histogram.reset h_service;
     Obs.Histogram.reset h_network;
+    Obs.Histogram.reset h_connect;
     let sched =
       schedule ~arrivals:cfg.arrivals ~rate_rps:cfg.rate_rps ~duration_s:cfg.duration_s
         ~seed:cfg.seed
@@ -310,10 +335,65 @@ let run cfg =
         in
         let results = Array.make n None in
         let next = Atomic.make 0 in
+        let connects = Atomic.make 0 in
+        let reconnects = Atomic.make 0 in
+        let senders = max 1 cfg.senders in
+        (* connection slots per sender: [--conns] is the fleet-wide
+           total, floored at one per sender; without reuse the slot is
+           torn down after every request (the pre-v4 behaviour, kept
+           measurable for the on/off comparison) *)
+        let per_sender = if cfg.conns <= 0 then 1 else max 1 (cfg.conns / senders) in
         let rt_before = scrape_snapshot cfg in
         (* small lead so request 0 is not born late *)
         let start_us = Obs.now_us () +. 50_000.0 in
         let sender () =
+          let slots = Array.make per_sender None in
+          let drop j =
+            (match slots.(j) with Some c -> Serve.Conn.close c | None -> ());
+            slots.(j) <- None
+          in
+          let conn j =
+            match slots.(j) with
+            | Some c when Serve.Conn.is_alive c -> Ok c
+            | _ ->
+              drop j;
+              (match
+                 Serve.Conn.connect ~timeout_s:cfg.timeout_s ~host:cfg.host ~port:cfg.port ()
+               with
+              | Error e -> Error e
+              | Ok c ->
+                Atomic.incr connects;
+                Obs.Histogram.observe h_connect (Serve.Conn.connect_us c);
+                slots.(j) <- Some c;
+                Ok c)
+          in
+          (* one transparent retry on [Stale]: the server closing
+             between frames (idle or recycle) means the request was
+             never read, so resending on a fresh connection is safe *)
+          let submit_framed j ~request_id req =
+            match conn j with
+            | Error e -> Error e
+            | Ok c -> (
+              match Serve.Conn.submit_timed ~deadline_ms:cfg.deadline_ms ~request_id c req with
+              | Ok v -> Ok v
+              | Error (Serve.Conn.Stale _) -> (
+                drop j;
+                Atomic.incr reconnects;
+                match conn j with
+                | Error e -> Error e
+                | Ok c2 -> (
+                  match
+                    Serve.Conn.submit_timed ~deadline_ms:cfg.deadline_ms ~request_id c2 req
+                  with
+                  | Ok v -> Ok v
+                  | Error e ->
+                    drop j;
+                    Error (Serve.Conn.error_message e)))
+              | Error e ->
+                drop j;
+                Error (Serve.Conn.error_message e))
+          in
+          let k = ref 0 in
           let rec loop () =
             let i = Atomic.fetch_and_add next 1 in
             if i < n then begin
@@ -331,11 +411,10 @@ let run cfg =
               in
               wait ();
               let send_us = Obs.now_us () in
-              let res =
-                Serve.submit_timed ~timeout_s:cfg.timeout_s ~deadline_ms:cfg.deadline_ms
-                  ~request_id:(Int64.of_int (i + 1))
-                  ~host:cfg.host ~port:cfg.port req
-              in
+              let j = !k mod per_sender in
+              incr k;
+              let res = submit_framed j ~request_id:(Int64.of_int (i + 1)) req in
+              if not cfg.conn_reuse then drop j;
               let done_us = Obs.now_us () in
               let outcome, timing =
                 match res with
@@ -357,13 +436,13 @@ let run cfg =
               loop ()
             end
           in
-          loop ()
+          loop ();
+          Array.iteri (fun j _ -> drop j) slots
         in
-        let domains =
-          Array.init (max 1 cfg.senders) (fun _ -> Domain.spawn (fun () -> sender ()))
-        in
+        let domains = Array.init senders (fun _ -> Domain.spawn (fun () -> sender ())) in
         Array.iter Domain.join domains;
         let elapsed_s = (Obs.now_us () -. start_us) /. 1e6 in
+        let remainder_clamped = ref 0 in
         Array.iter
           (fun s ->
             match s with
@@ -375,13 +454,21 @@ let run cfg =
                 Obs.Histogram.observe h_queue (float_of_int t.Serve.t_queue_us);
                 Obs.Histogram.observe h_service (float_of_int t.Serve.t_service_us);
                 (* the server excludes its reply write from server_us, so
-                   this floor under-counts the network by at most that *)
-                Obs.Histogram.observe h_network
-                  (Float.max 0.0 (s_corrected_us -. float_of_int t.Serve.t_server_us)))
+                   this floor under-counts the network by at most that;
+                   clock skew can push it below zero — clamp and count
+                   rather than let a negative poison the percentiles *)
+                let remainder = s_corrected_us -. float_of_int t.Serve.t_server_us in
+                if remainder < 0.0 then incr remainder_clamped;
+                Obs.Histogram.observe h_network (Float.max 0.0 remainder))
             | _ -> ())
           results;
         let rt_after = scrape_snapshot cfg in
-        let report = aggregate cfg ~n ~elapsed_s results in
+        let report =
+          aggregate
+            ~conns:(per_sender * senders)
+            ~connects:(Atomic.get connects) ~reconnects:(Atomic.get reconnects)
+            ~remainder_clamped:!remainder_clamped cfg ~n ~elapsed_s results
+        in
         let report =
           { report with r_runtime = runtime_keys ~before:rt_before ~after:rt_after report }
         in
@@ -457,6 +544,12 @@ let render cfg r =
     line "    network p50 %8.2f ms   p99 %8.2f ms" r.r_network_p50_ms r.r_network_p99_ms
   end;
   line "  shed rate %.4f, deadline-expired rate %.4f" r.r_shed_rate r.r_deadline_rate;
+  line "  connections: reuse %s, %d slots, %d connects (%d reconnects), connect p50 %.2f ms p99 %.2f ms"
+    (if r.r_conn_reuse then "on" else "off")
+    r.r_conns r.r_connects r.r_reconnects r.r_connect_p50_ms r.r_connect_p99_ms;
+  if r.r_remainder_clamped > 0 then
+    line "  network remainder clamped to 0 on %d replies (clock skew vs echoed server_us)"
+      r.r_remainder_clamped;
   (match r.r_runtime with
   | [] -> ()
   | keys ->
@@ -508,6 +601,13 @@ let json_keys r =
       ("loadgen.network_p99_ms", r.r_network_p99_ms);
       ("loadgen.shed_rate", r.r_shed_rate);
       ("loadgen.deadline_rate", r.r_deadline_rate);
+      ("loadgen.conn_reuse", if r.r_conn_reuse then 1.0 else 0.0);
+      ("loadgen.conns", float_of_int r.r_conns);
+      ("loadgen.connects", float_of_int r.r_connects);
+      ("loadgen.reconnects", float_of_int r.r_reconnects);
+      ("loadgen.connect_p50_ms", r.r_connect_p50_ms);
+      ("loadgen.connect_p99_ms", r.r_connect_p99_ms);
+      ("loadgen.remainder_clamped", float_of_int r.r_remainder_clamped);
       ("loadgen.slo_violations", float_of_int (List.length r.r_slo_violations));
     ]
   in

@@ -25,6 +25,13 @@ type config = {
   arrivals : arrivals;
   seed : int;  (** drives the schedule, payload and job mix *)
   senders : int;  (** concurrent sender domains (min 1) *)
+  conns : int;
+      (** persistent-connection slots fleet-wide ([0] = one per
+          sender); each sender round-robins its share per request *)
+  conn_reuse : bool;
+      (** keep connections open across requests (CCQ1v4 keep-alive,
+          the default); [false] reconnects per request — the pre-v4
+          behaviour, kept measurable for on/off comparisons *)
   payload_bytes : int;  (** compress-job body size (min 4) *)
   algo : Serve.algo;
   isa : Serve.isa;
@@ -40,9 +47,9 @@ type config = {
 }
 
 val default_config : config
-(** 50 rps Poisson for 5 s, seed 42, 4 senders, 4 KiB samc/mips
-    payloads, mix 1:1:2 compress:decompress:ping, no deadline, no
-    SLOs. *)
+(** 50 rps Poisson for 5 s, seed 42, 4 senders, one reused connection
+    per sender, 4 KiB samc/mips payloads, mix 1:1:2
+    compress:decompress:ping, no deadline, no SLOs. *)
 
 val schedule :
   arrivals:arrivals -> rate_rps:float -> duration_s:float -> seed:int -> float array
@@ -76,6 +83,18 @@ type report = {
   r_network_p99_ms : float;
   r_shed_rate : float;  (** shed / sent *)
   r_deadline_rate : float;  (** deadline-expired / sent *)
+  r_conn_reuse : bool;  (** echoed from the config *)
+  r_conns : int;  (** client connection slots in play *)
+  r_connects : int;  (** connect(2) calls paid, reconnects included *)
+  r_reconnects : int;
+      (** reopens after the server closed between frames (idle timeout
+          or recycle) — each also counts in [r_connects] *)
+  r_connect_p50_ms : float;  (** connect cost, resolution included *)
+  r_connect_p99_ms : float;
+  r_remainder_clamped : int;
+      (** ok replies whose network remainder (corrected latency minus
+          echoed [server_us]) went negative under clock skew and was
+          clamped to 0 instead of skewing [r_network_*] *)
   r_slo_p99_ms : float option;  (** the declared bounds, echoed *)
   r_slo_shed_rate : float option;
   r_slo_deadline_rate : float option;

@@ -1,26 +1,36 @@
-(* Compression daemon: one TCP listener, two protocols (binary jobs +
+(* Compression daemon: TCP listeners, two protocols (binary jobs +
    HTTP observability), codecs shared verbatim with the offline CLI so
    served output is byte-identical.
 
    Concurrency model (overload-safe by construction):
 
-     acceptor (main domain)
+     acceptor domains (one listener each via SO_REUSEPORT, or one
+     shared non-blocking listener when the kernel refuses the option)
        accept -> admission: bounded per-shard queue, or shed with a
        typed overload reply (CCR1 status 2 / HTTP 503). Accepts never
        stall on a slow client: the acceptor only ever does a
        non-blocking best-effort write when shedding.
      worker domains (one per shard)
-       pop -> per-connection budgets (idle timeout on the first byte,
-       an i/o deadline per frame) -> job dispatch with the request's
-       deadline enforced before, during and after decode. A worker
-       that crashes is logged, counted in serve.worker_restarts_total
-       and respawned in place; the daemon never dies with it.
+       pop -> per-connection budgets (idle timeout on the preamble, an
+       i/o deadline per frame) -> job dispatch with the request's
+       deadline enforced before, during and after decode. CCQ1
+       connections are persistent (CCQ1v4): a worker serves frames
+       back-to-back while the client keeps them coming, then hands the
+       quiet connection to the parker instead of pinning itself on the
+       inter-frame gap. A worker that crashes is logged, counted in
+       serve.worker_restarts_total and respawned in place; the daemon
+       never dies with it.
+     parker (one domain)
+       selects over the parked keep-alive connections; a readable one
+       re-enters admission like a fresh accept (so queue bounds apply
+       per frame, not per connection), one idle past the inter-frame
+       budget is closed quietly.
 
-   SIGTERM/SIGINT switch the daemon into drain: stop accepting, let
-   workers finish the queued jobs within the drain budget, shed the
-   rest with typed overload replies, then join and flush. The metrics
-   registry and event ring are Domain-safe, so every handler publishes
-   freely. *)
+   SIGTERM/SIGINT switch the daemon into drain: stop accepting, close
+   the parked (idle) connections, let workers finish the queued jobs
+   within the drain budget, shed the rest with typed overload replies,
+   then join and flush. The metrics registry and event ring are
+   Domain-safe, so every handler publishes freely. *)
 
 module Obs = Ccomp_obs.Obs
 module Events = Ccomp_obs.Events
@@ -106,6 +116,15 @@ let m_io_timeouts = Obs.Counter.make "serve.io_timeouts"
 let m_queue_wait_us = Obs.Histogram.make "serve.queue_wait_us"
 
 let m_inflight = Obs.Gauge.make "serve.inflight"
+
+(* keep-alive bookkeeping: frames vs connections is the reuse ratio *)
+let m_frames = Obs.Counter.make "serve.frames"
+
+let m_recycles = Obs.Counter.make "serve.conn_recycles"
+
+let m_keepalive_idle = Obs.Counter.make "serve.keepalive_idle_closes"
+
+let m_parked = Obs.Gauge.make "serve.parked"
 
 let inflight = Atomic.make 0
 
@@ -472,6 +491,11 @@ let send ?deadline_us fd s =
   | Error _ -> ());
   r
 
+(* One CCQ1 frame: read it, run it, reply. Returns [true] when the
+   stream is still in sync (frame parsed and the reply went out), so
+   the keep-alive loop may read the next frame; any protocol or write
+   failure returns [false] and the connection is closed — after a
+   malformed or truncated frame the byte stream cannot be trusted. *)
 let handle_binary ?io_timeout_s ?(allow_crash_op = false) ?(queue_us = 0.0) ?(admit_depth = 0)
     ~jobs fd first4 =
   let ( let* ) = Result.bind in
@@ -550,8 +574,10 @@ let handle_binary ?io_timeout_s ?(allow_crash_op = false) ?(queue_us = 0.0) ?(ad
   in
   (* the response gets a fresh window — a large result legitimately
      takes longer to write than the request took to read *)
-  Obs.with_span ~cat:"serve" "serve.write" (fun () ->
-      ignore (send ?deadline_us:(deadline_after_s io_timeout_s) fd (encode_response ?timing resp)));
+  let sent =
+    Obs.with_span ~cat:"serve" "serve.write" (fun () ->
+        send ?deadline_us:(deadline_after_s io_timeout_s) fd (encode_response ?timing resp))
+  in
   let t_end = Obs.now_us () in
   let gc_end = Runtime.probe () in
   Latency.observe Latency.Queue queue_us;
@@ -608,7 +634,8 @@ let handle_binary ?io_timeout_s ?(allow_crash_op = false) ?(queue_us = 0.0) ?(ad
           ("work_us", Printf.sprintf "%.0f" (t_work -. t_read));
           ("write_us", Printf.sprintf "%.0f" (t_end -. t_work));
         ]
-      "serve.request"
+      "serve.request";
+  (match result with Ok _ -> true | Error _ -> false) && sent = Ok ()
 
 let max_http_head = 8192
 
@@ -678,23 +705,137 @@ let handle_http ?io_timeout_s fd first4 =
             "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
             status reason ctype (String.length body) body))
 
-let handle_connection ?idle_timeout_s ?io_timeout_s ?allow_crash_op ?queue_us ?admit_depth ~jobs
-    fd =
+(* --- keep-alive frame loop (CCQ1v4) ------------------------------------- *)
+
+(* The preamble read is where keep-alive semantics live: a clean EOF at
+   a frame boundary is the peer saying goodbye (not an error), a
+   timeout is the inter-frame idle budget expiring, and bytes mean
+   another frame. Old one-shot clients shut down their send side after
+   one frame, so the next preamble read sees EOF and the connection
+   closes exactly as it did pre-v4 — no version sniffing needed. *)
+type preamble =
+  | P_frame of string  (** 4 bytes arrived *)
+  | P_eof  (** clean close before any byte of the next frame *)
+  | P_partial  (** peer closed mid-preamble *)
+  | P_timeout  (** idle budget expired *)
+
+let read_preamble ?deadline_us fd =
+  let buf = Bytes.create 4 in
+  let rec go pos =
+    if pos >= 4 then P_frame (Bytes.to_string buf)
+    else if not (arm ~send:false fd deadline_us) then P_timeout
+    else
+      match Unix.read fd buf pos (4 - pos) with
+      | 0 -> if pos = 0 then P_eof else P_partial
+      | k -> go (pos + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> P_timeout
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> if pos = 0 then P_eof else P_partial
+  in
+  go 0
+
+(* fds at or past FD_SETSIZE cannot go through select *)
+let fd_int (fd : Unix.file_descr) : int = Obj.magic fd
+
+let fd_setsize = 1024
+
+let data_ready ?(timeout_s = 0.0) fd =
+  if fd_int fd >= fd_setsize then true (* can't select: let the read decide *)
+  else
+    match Unix.select [ fd ] [] [] timeout_s with
+    | [], _, _ -> false
+    | _ -> true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    | exception Unix.Unix_error _ -> true
+
+(* How long a worker with an empty queue waits on a served connection
+   for its next frame before handing it to the parker. A synchronous
+   request-response client sends its next frame one scheduling quantum
+   after reading the reply — far too late for the zero-timeout
+   [data_ready] probe, but comfortably inside this window — so lingering
+   turns the common back-to-back case into zero park/re-admit hops.
+   Bounded small enough that a genuinely idle connection costs at most
+   one such wait before parking, and gated on the queue being empty so
+   a worker never lingers while admitted work is waiting. *)
+let keepalive_linger_s = 0.005
+
+(* How serving a connection ended, from the worker's point of view. *)
+type served = Closed | Parked of int  (** frames completed so far *)
+
+(* Serve frames until the peer closes, a budget fires, the recycle
+   bound hits, or — with [park] — the next frame is not already waiting
+   (the caller hands the fd to the parker instead of blocking a worker
+   domain on the inter-frame gap). [frames_done] carries the count
+   across park/re-admit cycles so [max_requests] bounds the connection,
+   not the worker visit. [queue_us]/[admit_depth] describe this
+   admission and are charged to the first frame served here; frames
+   served back-to-back afterwards never waited in a queue. *)
+let serve_frames ?idle_timeout_s ?io_timeout_s ?allow_crash_op ?(queue_us = 0.0)
+    ?(admit_depth = 0) ?(max_requests = 0) ?(park = false) ?(may_linger = fun () -> false)
+    ?(frames_done = 0) ~jobs fd =
+  let rec frame n ~queue_us ~admit_depth =
+    match read_preamble ?deadline_us:(deadline_after_s idle_timeout_s) fd with
+    | P_timeout ->
+      if n = 0 then begin
+        (* idle budget: the peer connected but never spoke *)
+        Obs.Counter.incr m_io_timeouts;
+        Events.warn ~fields:[ ("what", "connection preamble") ] "serve.idle_timeout"
+      end
+      else begin
+        (* inter-frame gap: a quiet goodbye, not an error *)
+        Obs.Counter.incr m_keepalive_idle;
+        Events.debug ~fields:[ ("frames", string_of_int n) ] "serve.keepalive.idle_close"
+      end;
+      Closed
+    | P_eof -> Closed
+    | P_partial ->
+      if n > 0 then
+        Events.debug ~fields:[ ("frames", string_of_int n) ] "serve.keepalive.partial_preamble";
+      Closed
+    | P_frame first4 ->
+      if first4 = req_magic then begin
+        let ok =
+          handle_binary ?io_timeout_s ?allow_crash_op ~queue_us ~admit_depth ~jobs fd first4
+        in
+        Obs.Counter.incr m_frames;
+        let n = n + 1 in
+        if not ok then Closed
+        else if max_requests > 0 && n >= max_requests then begin
+          Obs.Counter.incr m_recycles;
+          Events.debug ~fields:[ ("frames", string_of_int n) ] "serve.conn_recycle";
+          Closed
+        end
+        else if
+          park
+          && not
+               (data_ready fd
+               || (may_linger () && data_ready ~timeout_s:keepalive_linger_s fd))
+        then Parked n
+        else frame n ~queue_us:0.0 ~admit_depth:0
+      end
+      else if n = 0 then begin
+        (* HTTP stays one-shot: Connection: close *)
+        handle_http ?io_timeout_s fd first4;
+        Closed
+      end
+      else begin
+        Events.warn
+          ~fields:[ ("frames", string_of_int n) ]
+          "serve.protocol_error";
+        Closed
+      end
+  in
+  frame frames_done ~queue_us ~admit_depth
+
+let handle_connection ?idle_timeout_s ?io_timeout_s ?allow_crash_op ?queue_us ?admit_depth
+    ?max_requests ~jobs fd =
   Obs.Counter.incr m_connections;
   match
-    read_exact
-      ?deadline_us:(deadline_after_s idle_timeout_s)
-      ~what:"connection preamble" fd 4
+    serve_frames ?idle_timeout_s ?io_timeout_s ?allow_crash_op ?queue_us ?admit_depth
+      ?max_requests ~park:false ~jobs fd
   with
-  | Error (Timed_out _) ->
-    (* idle budget: the peer connected but never spoke *)
-    Obs.Counter.incr m_io_timeouts;
-    Events.warn ~fields:[ ("what", "connection preamble") ] "serve.idle_timeout"
-  | Error _ -> ()
-  | Ok first4 ->
-    if first4 = req_magic then
-      handle_binary ?io_timeout_s ?allow_crash_op ?queue_us ?admit_depth ~jobs fd first4
-    else handle_http ?io_timeout_s fd first4
+  | Closed -> ()
+  | Parked _ -> () (* unreachable: park is off *)
 
 (* --- admission: bounded per-shard queues -------------------------------- *)
 
@@ -703,8 +844,10 @@ module Shard = struct
     id : int;
     mutex : Mutex.t;
     cond : Condition.t;
-    items : (Unix.file_descr * float * int) Queue.t;
-        (* (conn, enqueue instant us, queue depth seen at admission) *)
+    items : (Unix.file_descr * float * int * int) Queue.t;
+        (* (conn, enqueue instant us, queue depth seen at admission,
+           frames already served on the conn — nonzero for a keep-alive
+           connection re-admitted by the parker) *)
     cap : int;
     mutable draining : bool; (* no new pushes; pops run the queue dry then stop *)
     mutable killed : bool; (* pops stop immediately; leftovers are shed *)
@@ -731,14 +874,14 @@ module Shard = struct
 
   let set_depth t = Obs.Gauge.set t.depth (float_of_int (Queue.length t.items))
 
-  let try_push t conn =
+  let try_push ?(frames = 0) t conn =
     locked t (fun () ->
         if t.draining || t.killed || Queue.length t.items >= t.cap then false
         else begin
           (* depth BEFORE this push: how much work was already ahead of
              the request when admission accepted it — the number a tail
              sample wants for "was the queue the problem?" *)
-          Queue.add (conn, Obs.now_us (), Queue.length t.items) t.items;
+          Queue.add (conn, Obs.now_us (), Queue.length t.items, frames) t.items;
           set_depth t;
           Condition.signal t.cond;
           true
@@ -749,7 +892,7 @@ module Shard = struct
         let rec go () =
           if t.killed then None
           else if not (Queue.is_empty t.items) then begin
-            let ((conn, _, _) as it) = Queue.take t.items in
+            let ((conn, _, _, _) as it) = Queue.take t.items in
             (* recorded under the same lock that [interrupt] takes, so a
                draining supervisor can always reach the in-flight fd *)
             t.current <- Some conn;
@@ -802,6 +945,123 @@ module Shard = struct
         Queue.clear t.items;
         set_depth t;
         out)
+end
+
+(* --- parker: keep-alive connections between frames ----------------------- *)
+
+(* A persistent connection with nothing to say must not pin a worker
+   domain: after the last ready frame the worker hands the fd here. The
+   parker selects over every parked fd plus a self-pipe (so a park
+   lands in the very next select), re-admits a readable connection
+   through the same bounded queues as a fresh accept, and closes one
+   idle past the inter-frame budget. Ownership is strict: an fd is the
+   worker's, the parker's, or a queue's — never two at once. *)
+module Parker = struct
+  type entry = { p_fd : Unix.file_descr; p_since_us : float; p_frames : int }
+
+  type t = {
+    mutex : Mutex.t;
+    mutable entries : entry list;
+    mutable stopped : bool;
+    wake_r : Unix.file_descr;
+    wake_w : Unix.file_descr;
+  }
+
+  let make () =
+    let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+    Unix.set_nonblock wake_r;
+    Unix.set_nonblock wake_w;
+    { mutex = Mutex.create (); entries = []; stopped = false; wake_r; wake_w }
+
+  let locked t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+  let wake t = try ignore (Unix.write_substring t.wake_w "x" 0 1) with Unix.Unix_error _ -> ()
+
+  let set_gauge n = Obs.Gauge.set m_parked (float_of_int n)
+
+  let park t ~frames fd =
+    if fd_int fd >= fd_setsize then begin
+      (* select can't watch it; close instead of crashing the parker
+         (the client treats the close as a recycle and reconnects) *)
+      Events.warn ~fields:[ ("fd", string_of_int (fd_int fd)) ] "serve.park.fd_overflow";
+      close_quiet fd
+    end
+    else begin
+      let reject =
+        locked t (fun () ->
+            if t.stopped then true
+            else begin
+              t.entries <-
+                { p_fd = fd; p_since_us = Obs.now_us (); p_frames = frames } :: t.entries;
+              set_gauge (List.length t.entries);
+              false
+            end)
+      in
+      if reject then close_quiet fd else wake t
+    end
+
+  (* Drain the self-pipe (it only carries wake-ups, never data). *)
+  let drain_pipe t =
+    let junk = Bytes.create 64 in
+    let rec go () =
+      match Unix.read t.wake_r junk 0 (Bytes.length junk) with
+      | 0 -> ()
+      | _ -> go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    go ()
+
+  let loop t stop ~idle_timeout_s ~readmit =
+    while not (Atomic.get stop) do
+      (* steal the parked set: parks during the select go to t.entries
+         and write the pipe, so the next iteration sees them *)
+      let mine = locked t (fun () -> let e = t.entries in t.entries <- []; e) in
+      let ready, keep =
+        match Unix.select (t.wake_r :: List.map (fun e -> e.p_fd) mine) [] [] 0.1 with
+        | readable, _, _ ->
+          if List.memq t.wake_r readable then drain_pipe t;
+          List.partition (fun e -> List.memq e.p_fd readable) mine
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], mine)
+        | exception Unix.Unix_error _ ->
+          (* a broken descriptor in the set: re-admit everything and let
+             the per-connection reads surface the error individually *)
+          (mine, [])
+      in
+      let now = Obs.now_us () in
+      let expired e = now -. e.p_since_us > idle_timeout_s *. 1e6 in
+      let dead, keep = List.partition expired keep in
+      List.iter
+        (fun e ->
+          Obs.Counter.incr m_keepalive_idle;
+          Events.debug
+            ~fields:[ ("frames", string_of_int e.p_frames) ]
+            "serve.keepalive.idle_close";
+          close_quiet e.p_fd)
+        dead;
+      List.iter (fun e -> readmit ~frames:e.p_frames e.p_fd) ready;
+      locked t (fun () ->
+          t.entries <- keep @ t.entries;
+          set_gauge (List.length t.entries))
+    done;
+    (* stop: close every parked connection — they are idle between
+       frames, where either side may close cleanly *)
+    let leftovers =
+      locked t (fun () ->
+          t.stopped <- true;
+          let e = t.entries in
+          t.entries <- [];
+          set_gauge 0;
+          e)
+    in
+    List.iter (fun e -> close_quiet e.p_fd) leftovers;
+    close_quiet t.wake_r;
+    close_quiet t.wake_w
 end
 
 (* --- shedding ----------------------------------------------------------- *)
@@ -877,7 +1137,9 @@ type config = {
   port : int;
   jobs : int;
   workers : int;
+  acceptors : int;
   queue_cap : int;
+  max_requests_per_conn : int;
   idle_timeout_s : float;
   io_timeout_s : float;
   drain_s : float;
@@ -892,7 +1154,9 @@ let default_config =
     port = 7070;
     jobs = 1;
     workers = 2;
+    acceptors = 1;
     queue_cap = 64;
+    max_requests_per_conn = 0;
     idle_timeout_s = 10.0;
     io_timeout_s = 30.0;
     drain_s = 5.0;
@@ -906,24 +1170,35 @@ let set_inflight delta =
   Obs.Gauge.set m_inflight (float_of_int v)
 
 (* One worker's service loop; [Worker_crashed] (and anything else the
-   per-connection guard does not absorb) escapes to the supervisor. *)
-let worker_loop cfg shard =
+   per-connection guard does not absorb) escapes to the supervisor.
+   A connection that finishes its visit with frames still possibly
+   coming is handed to the parker instead of closed — [park] takes
+   ownership of the fd. *)
+let worker_loop cfg shard ~park =
   let rec next () =
     match Shard.pop shard with
     | None -> ()
-    | Some (conn, enqueued_us, admit_depth) ->
+    | Some (conn, enqueued_us, admit_depth, frames_done) ->
       let queue_us = Obs.now_us () -. enqueued_us in
       if Obs.metrics_enabled () then Obs.Histogram.observe m_queue_wait_us queue_us;
       set_inflight 1;
+      if frames_done = 0 then Obs.Counter.incr m_connections;
+      let disposition = ref Closed in
       Fun.protect
         ~finally:(fun () ->
           Shard.clear_current shard;
-          (try Unix.close conn with Unix.Unix_error _ -> ());
+          (match !disposition with
+          | Parked frames -> park ~frames conn
+          | Closed -> ( try Unix.close conn with Unix.Unix_error _ -> ()));
           set_inflight (-1))
         (fun () ->
           try
-            handle_connection ~idle_timeout_s:cfg.idle_timeout_s ~io_timeout_s:cfg.io_timeout_s
-              ~allow_crash_op:cfg.allow_crash_op ~queue_us ~admit_depth ~jobs:cfg.jobs conn
+            disposition :=
+              serve_frames ~idle_timeout_s:cfg.idle_timeout_s ~io_timeout_s:cfg.io_timeout_s
+                ~allow_crash_op:cfg.allow_crash_op ~queue_us ~admit_depth
+                ~max_requests:cfg.max_requests_per_conn ~park:true
+                ~may_linger:(fun () -> Shard.length shard = 0)
+                ~frames_done ~jobs:cfg.jobs conn
           with
           | Worker_crashed -> raise Worker_crashed
           | Sys.Break -> raise Sys.Break
@@ -935,12 +1210,12 @@ let worker_loop cfg shard =
 (* Supervision: a worker whose loop dies is logged, counted and
    respawned in place — the domain (and the daemon) survive. Only a
    killed shard (shutdown) lets the domain return. *)
-let supervised_worker cfg shard =
+let supervised_worker cfg shard ~park =
   (* OCaml 5 GC alarms are domain-local: each worker domain installs its
      own end-of-major-cycle hook for the pause estimator *)
   Runtime.install_alarm ();
   let rec go () =
-    match worker_loop cfg shard with
+    match worker_loop cfg shard ~park with
     | () -> ()
     | exception e ->
       Obs.Counter.incr m_worker_restarts;
@@ -965,14 +1240,74 @@ let restore_handlers saved =
 
 let run ?(on_ready = fun _ -> ()) cfg =
   let workers = max 1 cfg.workers in
+  let acceptors = max 1 cfg.acceptors in
+  (* A daemon serving many small requests allocates far faster than it
+     retains (codec scratch dies young): the stock GC settings promote
+     enough of that churn to drive major cycles — and their pauses —
+     straight into the latency tail. Trade heap headroom for pause
+     time. The space overhead applies immediately; the nursery size is
+     only a request on OCaml 5.1 (minor heaps are sized at runtime
+     startup), which is why the CLI re-execs `ccomp serve` with a tuned
+     OCAMLRUNPARAM — library embedders get whatever their runtime
+     honours. *)
+  Gc.set
+    { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024; space_overhead = 300 };
   (* a peer closing mid-write must surface as EPIPE, not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ | Sys_error _ -> ());
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt fd Unix.SO_REUSEADDR true;
-  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
-  Unix.listen fd 128;
+  let addr port = Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, port) in
+  let mk_socket () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    fd
+  in
+  let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  (* listeners.(i) is acceptor i's socket. With several acceptors each
+     gets its own SO_REUSEPORT-bound socket so the kernel spreads the
+     accept load; where the platform refuses, all acceptors fall back
+     to sharing one non-blocking listener ([shared] marks the array as
+     N views of a single fd). *)
+  let listeners, shared =
+    if acceptors = 1 then begin
+      let fd = mk_socket () in
+      Unix.bind fd (addr cfg.port);
+      Unix.listen fd 128;
+      ([| fd |], false)
+    end
+    else begin
+      let opened = ref [] in
+      let bind_one port =
+        let fd = mk_socket () in
+        opened := fd :: !opened;
+        Unix.setsockopt fd Unix.SO_REUSEPORT true;
+        Unix.bind fd (addr port);
+        Unix.listen fd 128;
+        fd
+      in
+      match
+        let first = bind_one cfg.port in
+        (* cfg.port may be 0 (ephemeral): siblings must bind the
+           concrete port the kernel picked, not another random one *)
+        let port =
+          match Unix.getsockname first with Unix.ADDR_INET (_, p) -> p | _ -> cfg.port
+        in
+        Array.append [| first |] (Array.init (acceptors - 1) (fun _ -> bind_one port))
+      with
+      | arr -> (arr, false)
+      | exception Unix.Unix_error (e, _, _) ->
+        List.iter close_quiet !opened;
+        Events.warn
+          ~fields:[ ("error", Unix.error_message e) ]
+          "serve.reuseport_unavailable";
+        let fd = mk_socket () in
+        Unix.bind fd (addr cfg.port);
+        Unix.listen fd 128;
+        Unix.set_nonblock fd;
+        (Array.make acceptors fd, true)
+    end
+  in
+  let unique_listeners = if shared then [| listeners.(0) |] else listeners in
   let bound_port =
-    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> cfg.port
+    match Unix.getsockname listeners.(0) with Unix.ADDR_INET (_, p) -> p | _ -> cfg.port
   in
   started_at_us := Obs.now_us ();
   refresh_uptime ();
@@ -982,8 +1317,10 @@ let run ?(on_ready = fun _ -> ()) cfg =
     [
       ("version", version);
       ("workers", string_of_int workers);
+      ("acceptors", string_of_int acceptors);
       ("jobs", string_of_int cfg.jobs);
       ("queue_cap", string_of_int cfg.queue_cap);
+      ("max_requests_per_conn", string_of_int cfg.max_requests_per_conn);
       ("host", cfg.host);
       ("port", string_of_int bound_port);
     ];
@@ -994,52 +1331,89 @@ let run ?(on_ready = fun _ -> ()) cfg =
         ("port", string_of_int bound_port);
         ("jobs", string_of_int cfg.jobs);
         ("workers", string_of_int workers);
+        ("acceptors", string_of_int acceptors);
         ("queue_cap", string_of_int cfg.queue_cap);
+        ("max_requests_per_conn", string_of_int cfg.max_requests_per_conn);
       ]
     "serve.start";
   let stop = Atomic.make false in
   let saved = install_stop_handlers stop in
   let shards = Array.init workers (fun i -> Shard.make i cfg.queue_cap) in
-  let domains = Array.map (fun sh -> Domain.spawn (fun () -> supervised_worker cfg sh)) shards in
+  (* Admission never blocks — push to a shard (round-robin with
+     overflow to siblings) or shed. Shared by acceptors and the
+     parker's re-admit path, so the counter is atomic. *)
+  let rr = Atomic.make 0 in
+  let push_rr ~frames conn =
+    let n = Array.length shards in
+    let start = Atomic.fetch_and_add rr 1 land max_int mod n in
+    let rec try_shard k =
+      k < n && (Shard.try_push ~frames shards.((start + k) mod n) conn || try_shard (k + 1))
+    in
+    if try_shard 0 then None else Some (Shard.length shards.(start))
+  in
+  let admit ?(frames = 0) conn =
+    match push_rr ~frames conn with
+    | None -> ()
+    | Some depth -> shed_connection ~queue_depth:depth ~reason:"job queue full" conn
+  in
+  let parker = Parker.make () in
+  let parker_domain =
+    Domain.spawn (fun () ->
+        Parker.loop parker stop ~idle_timeout_s:cfg.idle_timeout_s
+          ~readmit:(fun ~frames conn -> admit ~frames conn))
+  in
+  let park ~frames conn = Parker.park parker ~frames conn in
+  let domains =
+    Array.map (fun sh -> Domain.spawn (fun () -> supervised_worker cfg sh ~park)) shards
+  in
+  (* Accept loop: select with a short timeout keeps the loop responsive
+     to the stop flag even when the signal lands on another domain's
+     syscall. On the shared-listener fallback every acceptor selects on
+     the same fd; accept is non-blocking there, so losing the race is
+     just EAGAIN. *)
+  let acceptor_loop lfd =
+    try
+      while not (Atomic.get stop) do
+        match Unix.select [ lfd ] [] [] 0.2 with
+        | [], _, _ -> ()
+        | _ :: _, _, _ -> (
+          match Unix.accept ~cloexec:true lfd with
+          | conn, _ ->
+            (* keep-alive replies must not wait out a delayed ACK
+               before the next frame's response can leave the host *)
+            (try Unix.setsockopt conn Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+            admit conn
+          | exception
+              Unix.Unix_error
+                ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            ()
+          | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> Atomic.set stop true)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done
+    with Sys.Break -> Atomic.set stop true
+  in
+  let acceptor_domains =
+    Array.init (acceptors - 1) (fun i -> Domain.spawn (fun () -> acceptor_loop listeners.(i + 1)))
+  in
   on_ready bound_port;
   let finish () =
     restore_handlers saved;
-    try Unix.close fd with Unix.Unix_error _ -> ()
+    Array.iter close_quiet unique_listeners
   in
   Fun.protect ~finally:finish @@ fun () ->
-  (* Accept loop: select with a short timeout keeps the loop responsive
-     to the stop flag even when the signal lands on another domain's
-     syscall. Admission never blocks — push to a shard or shed. *)
-  let rr = ref 0 in
-  let admit conn =
-    let n = Array.length shards in
-    let start = !rr in
-    rr := (start + 1) mod n;
-    let rec try_shard k =
-      k < n && (Shard.try_push shards.((start + k) mod n) conn || try_shard (k + 1))
-    in
-    if not (try_shard 0) then
-      shed_connection ~queue_depth:(Shard.length shards.(start)) ~reason:"job queue full" conn
-  in
-  (try
-     while not (Atomic.get stop) do
-       match Unix.select [ fd ] [] [] 0.2 with
-       | [], _, _ -> ()
-       | _ :: _, _, _ -> (
-         match Unix.accept ~cloexec:true fd with
-         | conn, _ -> admit conn
-         | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-           ->
-           ()
-         | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> Atomic.set stop true)
-       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-     done
-   with Sys.Break -> Atomic.set stop true);
-  (* Drain: stop accepting, give queued jobs the budget, shed the rest
-     with typed replies, join the workers, leave evidence. *)
+  acceptor_loop listeners.(0);
+  (* Drain: stop accepting, close parked keep-alive connections (idle
+     between frames is a clean close point), give queued jobs the
+     budget, shed the rest with typed replies, join the workers, leave
+     evidence. *)
   let t0 = Obs.now_us () in
   Events.info ~fields:[ ("budget_s", Printf.sprintf "%g" cfg.drain_s) ] "serve.drain.begin";
-  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Array.iter Domain.join acceptor_domains;
+  Array.iter close_quiet unique_listeners;
+  (* the parker sees [stop] within its select tick, closes every parked
+     fd and marks itself stopped, so workers parking after this point
+     get a close instead of a leak *)
+  Domain.join parker_domain;
   Array.iter Shard.drain shards;
   let deadline = t0 +. (cfg.drain_s *. 1e6) in
   let idle () =
@@ -1050,7 +1424,8 @@ let run ?(on_ready = fun _ -> ()) cfg =
   done;
   Array.iter Shard.kill shards;
   let leftovers = Array.to_list shards |> List.concat_map Shard.steal_all in
-  List.iter (fun (conn, _, depth) -> shed_connection ~queue_depth:depth ~reason:"draining" conn)
+  List.iter
+    (fun (conn, _, depth, _) -> shed_connection ~queue_depth:depth ~reason:"draining" conn)
     leftovers;
   (* budget spent: cut any connection still in flight so the join below
      is bounded by the budget, not by a slow peer's idle/io allowance *)
@@ -1077,37 +1452,106 @@ let describe_timeout ~host ~port timeout_s what =
     (match timeout_s with Some t -> Printf.sprintf " after %gs" t | None -> "")
     what
 
-let with_connection ?timeout_s ~host ~port f =
+(* Resolve and connect, trying EVERY getaddrinfo candidate — the
+   resolver may return IPv6 first while the daemon listens on IPv4 —
+   and reporting the LAST error when none connects. Returns the
+   connected fd and the connect cost in microseconds (resolution
+   included: that is the price a reconnecting client actually pays). *)
+let connect_fd ?timeout_s ~host ~port () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ | Sys_error _ -> ());
+  let t0 = Obs.now_us () in
   match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
   | [] -> Error (Printf.sprintf "cannot resolve %s" host)
-  | ai :: _ -> (
-    let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype ai.Unix.ai_protocol in
+  | candidates ->
+    let connect_one ai =
+      let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype ai.Unix.ai_protocol in
+      (* request-response over a persistent connection is exactly the
+         write-read alternation Nagle penalises: without TCP_NODELAY
+         every frame after the first can stall behind a delayed ACK *)
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      match
+        match timeout_s with
+        | None -> Unix.connect fd ai.Unix.ai_addr
+        | Some t ->
+          (* non-blocking connect + bounded wait so a dead host cannot
+             hold the client in connect(2) past the timeout *)
+          Unix.set_nonblock fd;
+          (match Unix.connect fd ai.Unix.ai_addr with
+          | () -> ()
+          | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) ->
+            let deadline = Obs.now_us () +. (t *. 1e6) in
+            if fd_int fd >= fd_setsize then begin
+              (* select cannot watch this fd (FD_SETSIZE): poll
+                 connect(2) itself until it reports a verdict *)
+              let rec poll () =
+                match Unix.connect fd ai.Unix.ai_addr with
+                | () -> ()
+                | exception Unix.Unix_error (Unix.EISCONN, _, _) -> ()
+                | exception
+                    Unix.Unix_error
+                      ( (Unix.EALREADY | Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EINTR),
+                        _,
+                        _ ) ->
+                  if Obs.now_us () >= deadline then
+                    raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+                  else begin
+                    Unix.sleepf 0.01;
+                    poll ()
+                  end
+              in
+              poll ()
+            end
+            else begin
+              (* EINTR (or a spurious wake) retries with the REMAINING
+                 budget — a signal mid-wait must not misreport as
+                 ETIMEDOUT, and repeated signals must not extend it *)
+              let rec wait () =
+                let left = (deadline -. Obs.now_us ()) /. 1e6 in
+                if left <= 0.0 then raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+                else
+                  match Unix.select [] [ fd ] [] left with
+                  | _, [], _ -> wait ()
+                  | _ -> (
+                    match Unix.getsockopt_error fd with
+                    | None -> ()
+                    | Some e -> raise (Unix.Unix_error (e, "connect", "")))
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+              in
+              wait ()
+            end);
+          Unix.clear_nonblock fd;
+          (try
+             Unix.setsockopt_float fd Unix.SO_RCVTIMEO t;
+             Unix.setsockopt_float fd Unix.SO_SNDTIMEO t
+           with Unix.Unix_error _ -> ())
+      with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, fn, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (e, fn)
+    in
+    let rec try_all last = function
+      | [] -> (
+        let e, fn = last in
+        match e with
+        | Unix.ETIMEDOUT | Unix.EAGAIN | Unix.EWOULDBLOCK ->
+          Error (describe_timeout ~host ~port timeout_s fn)
+        | _ -> Error (Printf.sprintf "%s:%d: %s" host port (Unix.error_message e)))
+      | ai :: rest -> (
+        match connect_one ai with
+        | Ok fd -> Ok (fd, Obs.now_us () -. t0)
+        | Error e -> try_all e rest)
+    in
+    try_all (Unix.ECONNREFUSED, "connect") candidates
+
+let with_connection ?timeout_s ~host ~port f =
+  match connect_fd ?timeout_s ~host ~port () with
+  | Error msg -> Error msg
+  | Ok (fd, _connect_us) -> (
     match
       Fun.protect
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-        (fun () ->
-          (match timeout_s with
-          | None -> Unix.connect fd ai.Unix.ai_addr
-          | Some t ->
-            (* non-blocking connect + select so a dead host cannot hold
-               the client in connect(2) past the timeout *)
-            Unix.set_nonblock fd;
-            (match Unix.connect fd ai.Unix.ai_addr with
-            | () -> ()
-            | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
-              match Unix.select [] [ fd ] [] t with
-              | _, [], _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
-              | _ -> (
-                match Unix.getsockopt_error fd with
-                | None -> ()
-                | Some e -> raise (Unix.Unix_error (e, "connect", "")))));
-            Unix.clear_nonblock fd;
-            (try
-               Unix.setsockopt_float fd Unix.SO_RCVTIMEO t;
-               Unix.setsockopt_float fd Unix.SO_SNDTIMEO t
-             with Unix.Unix_error _ -> ()));
-          f fd)
+        (fun () -> f fd)
     with
     | v -> v
     | exception Unix.Unix_error ((Unix.ETIMEDOUT | Unix.EAGAIN | Unix.EWOULDBLOCK), fn, _) ->
@@ -1128,7 +1572,130 @@ let read_until_eof fd =
   in
   go ()
 
+(* --- persistent client connections (CCQ1v4) ------------------------------ *)
+
+module Conn = struct
+  type t = {
+    fd : Unix.file_descr;
+    timeout_s : float option;
+    connect_us : float;
+    mutable served : int;
+    mutable alive : bool;
+  }
+
+  type error =
+    | Stale of string
+        (** the server closed the connection between frames (idle
+            timeout or [--max-requests-per-conn] recycle): open a fresh
+            connection and resend — nothing was half-done *)
+    | Transport of string  (** a real failure; blind resend may not be safe *)
+
+  let error_message = function Stale m | Transport m -> m
+
+  let connect ?timeout_s ~host ~port () =
+    match connect_fd ?timeout_s ~host ~port () with
+    | Error msg -> Error msg
+    | Ok (fd, connect_us) -> Ok { fd; timeout_s; connect_us; served = 0; alive = true }
+
+  let connect_us t = t.connect_us
+  let served t = t.served
+  let is_alive t = t.alive
+
+  let close t =
+    if t.alive then begin
+      t.alive <- false;
+      try Unix.close t.fd with Unix.Unix_error _ -> ()
+    end
+
+  let deadline t = deadline_after_s t.timeout_s
+
+  (* Replies are read by frame, not to EOF — the connection stays open
+     for the next request. EOF before the FIRST header byte on a reused
+     connection is the recycle race: the server closed between our
+     frames, and the request was never read — [Stale], safe to resend
+     on a fresh connection. EOF anywhere later is mid-reply truncation. *)
+  let read_reply t =
+    let deadline_us = deadline t in
+    let first =
+      let buf = Bytes.create 1 in
+      let rec go () =
+        if not (arm ~send:false t.fd deadline_us) then Error (Timed_out "response header")
+        else
+          match Unix.read t.fd buf 0 1 with
+          | 0 -> Ok None
+          | _ -> Ok (Some (Bytes.get buf 0))
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            Error (Timed_out "response header")
+          | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> Ok None
+      in
+      go ()
+    in
+    match first with
+    | Error pe -> Error (Transport (protocol_error_to_string pe))
+    | Ok None ->
+      if t.served > 0 then Error (Stale "server closed between frames")
+      else Error (Transport "peer closed before any reply byte")
+    | Ok (Some c) -> (
+      match read_exact ?deadline_us ~what:"response header" t.fd (resp_header_len - 1) with
+      | Error pe -> Error (Transport (protocol_error_to_string pe))
+      | Ok rest ->
+        let header = String.make 1 c ^ rest in
+        if String.sub header 0 4 <> resp_magic then Error (Transport "bad response magic")
+        else begin
+          let timing_len = Char.code header.[5] in
+          let len = read_be32 header 6 in
+          match read_exact ?deadline_us ~what:"response body" t.fd (timing_len + len) with
+          | Error pe -> Error (Transport (protocol_error_to_string pe))
+          | Ok body -> (
+            match decode_response (header ^ body) with
+            | Ok v -> Ok v
+            | Error msg -> Error (Transport msg))
+        end)
+
+  let submit_timed ?(deadline_ms = 0) ?(request_id = 0L) t req =
+    if not t.alive then Error (Transport "connection closed")
+    else begin
+      let frame = encode_request ~deadline_ms ~request_id req in
+      let reused = t.served > 0 in
+      match write_all ?deadline_us:(deadline t) ~what:"request write" t.fd frame with
+      | Error (Truncated msg) when reused ->
+        t.alive <- false;
+        Error (Stale msg)
+      | Error pe ->
+        t.alive <- false;
+        Error (Transport (protocol_error_to_string pe))
+      | Ok () -> (
+        match read_reply t with
+        | Ok v ->
+          t.served <- t.served + 1;
+          Ok v
+        | Error e ->
+          t.alive <- false;
+          Error e)
+    end
+
+  let submit ?deadline_ms t req = Result.map fst (submit_timed ?deadline_ms t req)
+end
+
 let submit_timed ?timeout_s ?(deadline_ms = 0) ?(request_id = 0L) ~host ~port req =
+  match Conn.connect ?timeout_s ~host ~port () with
+  | Error msg -> Error msg
+  | Ok c ->
+    Fun.protect
+      ~finally:(fun () -> Conn.close c)
+      (fun () ->
+        match Conn.submit_timed ~deadline_ms ~request_id c req with
+        | Ok v -> Ok v
+        | Error e -> Error (Conn.error_message e))
+
+let submit ?timeout_s ?deadline_ms ~host ~port req =
+  Result.map fst (submit_timed ?timeout_s ?deadline_ms ~host ~port req)
+
+(* The pre-v4 one-shot wire shape: write one frame, shut down the send
+   side, read the reply to EOF. Kept as the compatibility probe — the
+   gates assert a v4 daemon answers this client byte-for-byte. *)
+let submit_timed_legacy ?timeout_s ?(deadline_ms = 0) ?(request_id = 0L) ~host ~port req =
   with_connection ?timeout_s ~host ~port (fun fd ->
       let frame = encode_request ~deadline_ms ~request_id req in
       match write_all ~what:"request write" fd frame with
@@ -1137,8 +1704,8 @@ let submit_timed ?timeout_s ?(deadline_ms = 0) ?(request_id = 0L) ~host ~port re
         Unix.shutdown fd Unix.SHUTDOWN_SEND;
         decode_response (read_until_eof fd))
 
-let submit ?timeout_s ?deadline_ms ~host ~port req =
-  Result.map fst (submit_timed ?timeout_s ?deadline_ms ~host ~port req)
+let submit_legacy ?timeout_s ?deadline_ms ~host ~port req =
+  Result.map fst (submit_timed_legacy ?timeout_s ?deadline_ms ~host ~port req)
 
 (* Jittered exponential backoff: attempt [k] sleeps in
    [0.5, 1.5) * base * 2^k — seeded, so a retry schedule replays. *)

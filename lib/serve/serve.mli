@@ -1,7 +1,9 @@
 (** [ccomp serve]: a dependency-free, overload-safe compression daemon.
 
-    One TCP listener (plain [Unix] sockets) speaks two protocols,
-    distinguished by the first four bytes of each connection:
+    The TCP listener (plain [Unix] sockets — [acceptors] of them, on
+    [SO_REUSEPORT] siblings where the platform allows) speaks two
+    protocols, distinguished by the first four bytes of each
+    connection:
 
     {ul
     {- a length-prefixed binary job protocol ({!section-protocol}) for
@@ -64,6 +66,26 @@
     with their stage split, per-stage GC deltas and the shard queue
     depth observed at admission, retrievable via [GET /slow] and
     [ccomp stats --slow].
+
+    {2 Keep-alive (CCQ1v4)}
+
+    A binary connection carries a {e sequence} of frames: the daemon
+    answers each in order and then waits for the next preamble, so a
+    client can pipeline requests without paying connect(2) per job.
+    Either side may close cleanly {e between} frames — a client by
+    closing (or shutting down its send side: the old one-shot clients
+    keep working unchanged, no version sniff needed), the server when
+    the inter-frame gap exceeds [idle_timeout_s] (counted in
+    [serve_keepalive_idle_closes_total]) or when a connection reaches
+    [max_requests_per_conn] frames (a {e recycle}, counted in
+    [serve_conn_recycles_total]; clients treat the close-between-frames
+    as a signal to reconnect and resend). Io budgets are re-armed per
+    frame. Between frames an idle connection does not pin a worker
+    domain: it is handed to a parker domain that selects over all
+    parked fds ([serve_parked] gauge) and re-admits a connection
+    through the bounded queues when bytes arrive. [serve_frames_total]
+    counts frames served, [serve_connections_total] connections — their
+    ratio is the realised reuse factor.
 
     {2:protocol Wire format}
 
@@ -170,29 +192,36 @@ val handle_connection :
   ?allow_crash_op:bool ->
   ?queue_us:float ->
   ?admit_depth:int ->
+  ?max_requests:int ->
   jobs:int ->
   Unix.file_descr ->
   unit
-(** Serve exactly one connection on an already-accepted descriptor:
-    sniff the 4-byte preamble, dispatch to the binary or HTTP handler,
-    write the response. Reads and writes retry over [EINTR] and short
-    transfers; [idle_timeout_s] bounds the wait for the first byte and
-    [io_timeout_s] bounds each frame and each response (both default to
-    unbounded, for driving the framing path over a socketpair in
-    tests). [queue_us] (default [0.]) is how long the connection waited
-    in the admission queue — the daemon passes its measured wait so the
-    queue stage lands in {!Latency} and the echoed {!timing}.
-    [admit_depth] (default [0]) is the shard queue length observed when
-    the connection was admitted, recorded in any {!Slow} tail sample.
-    The descriptor is not closed. *)
+(** Serve one connection to completion on an already-accepted
+    descriptor: sniff the 4-byte preamble, then loop — a CCQ1 frame is
+    answered and the loop waits for the next preamble (keep-alive); an
+    HTTP request is answered one-shot. Reads and writes retry over
+    [EINTR] and short transfers; [idle_timeout_s] bounds the wait for
+    each frame's first byte (the inter-frame gap) and [io_timeout_s]
+    bounds each frame and each response (both default to unbounded, for
+    driving the framing path over a socketpair in tests).
+    [max_requests] (default [0] = unbounded) closes the connection
+    after that many frames — the recycle bound. [queue_us] (default
+    [0.]) is how long the connection waited in the admission queue —
+    the daemon passes its measured wait so the queue stage lands in
+    {!Latency} and the echoed {!timing}. [admit_depth] (default [0]) is
+    the shard queue length observed when the connection was admitted,
+    recorded in any {!Slow} tail sample. The descriptor is not
+    closed. *)
 
 type config = {
   host : string;  (** address to bind (default ["127.0.0.1"]) *)
   port : int;  (** [0] picks an ephemeral port *)
   jobs : int;  (** block-codec domains per job *)
   workers : int;  (** worker domains, one bounded queue each *)
+  acceptors : int;  (** acceptor domains ([SO_REUSEPORT] siblings) *)
   queue_cap : int;  (** per-worker queue bound; beyond it, shed *)
-  idle_timeout_s : float;  (** first-byte budget per connection *)
+  max_requests_per_conn : int;  (** recycle bound; [0] = unbounded *)
+  idle_timeout_s : float;  (** inter-frame gap budget per connection *)
   io_timeout_s : float;  (** per-frame read and per-response write budget *)
   drain_s : float;  (** SIGTERM drain budget before shedding the queue *)
   allow_crash_op : bool;  (** honour the {!Crash_worker} chaos op *)
@@ -202,25 +231,77 @@ type config = {
 
 val default_config : config
 (** [{host = "127.0.0.1"; port = 7070; jobs = 1; workers = 2;
-    queue_cap = 64; idle_timeout_s = 10.; io_timeout_s = 30.;
-    drain_s = 5.; allow_crash_op = false; slow_threshold_ms = 100.;
+    acceptors = 1; queue_cap = 64; max_requests_per_conn = 0;
+    idle_timeout_s = 10.; io_timeout_s = 30.; drain_s = 5.;
+    allow_crash_op = false; slow_threshold_ms = 100.;
     slow_capacity = 64}] *)
 
 val run : ?on_ready:(int -> unit) -> config -> unit
 (** Bind, call [on_ready] with the bound port, then serve until
     SIGTERM/SIGINT, which trigger the graceful drain described above.
-    The acceptor runs on the calling domain; [workers] extra domains
-    consume the shard queues. SIGPIPE is ignored for the process (a
-    peer closing mid-write must surface as [EPIPE], not kill the
-    daemon). *)
+    Acceptor 0 runs on the calling domain; [acceptors - 1] more
+    domains accept on [SO_REUSEPORT] sibling sockets (or share one
+    non-blocking listener where the option is unavailable), [workers]
+    extra domains consume the shard queues, and one parker domain
+    holds keep-alive connections between frames. SIGPIPE is ignored
+    for the process (a peer closing mid-write must surface as [EPIPE],
+    not kill the daemon). *)
 
 (** {2 Clients}
 
     Minimal clients for the two protocols — what [ccomp submit],
-    [ccomp scrape], [ccomp top] and the chaos harness use. All take
-    [?timeout_s], covering connect (non-blocking + select) and each
+    [ccomp scrape], [ccomp top], [ccomp loadgen] and the chaos harness
+    use. All take [?timeout_s], covering connect (non-blocking +
+    select, every [getaddrinfo] candidate tried in order) and each
     read/write (socket timeouts), so a dead or wedged daemon produces a
     clear error instead of a hang. *)
+
+(** A persistent CCQ1v4 client connection: submit many requests over
+    one socket, replies read by frame (not to EOF). Not thread-safe —
+    one domain per connection. *)
+module Conn : sig
+  type t
+
+  type error =
+    | Stale of string
+        (** the server closed between frames — idle timeout or
+            [max_requests_per_conn] recycle. The request was never
+            read: reconnect and resend. *)
+    | Transport of string
+        (** a transport or framing failure mid-frame; a blind resend
+            may duplicate work *)
+
+  val error_message : error -> string
+
+  val connect : ?timeout_s:float -> host:string -> port:int -> unit -> (t, string) result
+  (** Open a persistent connection. [timeout_s] bounds the connect and
+      every subsequent per-request read/write. *)
+
+  val submit_timed :
+    ?deadline_ms:int ->
+    ?request_id:int64 ->
+    t ->
+    request ->
+    (response * timing option, error) result
+  (** One request/reply exchange on the open connection. After any
+      [Error] the connection is dead ({!is_alive} [= false]); {!Stale}
+      means a fresh connection should retry the same request. *)
+
+  val submit : ?deadline_ms:int -> t -> request -> (response, error) result
+
+  val connect_us : t -> float
+  (** Connect cost paid to open this connection (resolution included),
+      in microseconds — what [ccomp loadgen]'s connect-cost columns
+      aggregate. *)
+
+  val served : t -> int
+  (** Frames successfully exchanged so far. *)
+
+  val is_alive : t -> bool
+
+  val close : t -> unit
+  (** Idempotent. *)
+end
 
 val submit :
   ?timeout_s:float ->
@@ -245,6 +326,28 @@ val submit_timed :
     reply (the second component; [None] when tracing was not requested
     or the server predates it). What [ccomp loadgen] uses to split
     queue wait / service time / network. *)
+
+val submit_legacy :
+  ?timeout_s:float ->
+  ?deadline_ms:int ->
+  host:string ->
+  port:int ->
+  request ->
+  (response, string) result
+(** {!submit} over the pre-v4 one-shot wire shape: write one frame,
+    shut down the send side, read the reply to EOF. Kept as the
+    compatibility probe — the serve/chaos gates assert a keep-alive
+    daemon answers this client byte-for-byte. *)
+
+val submit_timed_legacy :
+  ?timeout_s:float ->
+  ?deadline_ms:int ->
+  ?request_id:int64 ->
+  host:string ->
+  port:int ->
+  request ->
+  (response * timing option, string) result
+(** {!submit_timed} over the pre-v4 one-shot wire shape. *)
 
 val request :
   ?timeout_s:float ->

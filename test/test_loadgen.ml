@@ -125,6 +125,13 @@ let mk_report () =
     r_network_p99_ms = 1.0;
     r_shed_rate = 0.016;
     r_deadline_rate = 0.004;
+    r_conn_reuse = true;
+    r_conns = 4;
+    r_connects = 5;
+    r_reconnects = 1;
+    r_connect_p50_ms = 0.2;
+    r_connect_p99_ms = 0.8;
+    r_remainder_clamped = 3;
     r_slo_p99_ms = Some 50.0;
     r_slo_shed_rate = Some 0.05;
     r_slo_deadline_rate = None;
@@ -144,6 +151,12 @@ let test_json_keys () =
   Alcotest.(check (float 1e-9)) "p99.9 exported" 20.0 (get "loadgen.p999_ms");
   Alcotest.(check (float 1e-9)) "declared p99 SLO exported" 50.0 (get "loadgen.slo_p99_ms");
   Alcotest.(check (float 1e-9)) "shed rate exported" 0.016 (get "loadgen.shed_rate");
+  Alcotest.(check (float 1e-9)) "conn reuse exported as 1/0" 1.0 (get "loadgen.conn_reuse");
+  Alcotest.(check (float 1e-9)) "connects exported" 5.0 (get "loadgen.connects");
+  Alcotest.(check (float 1e-9)) "reconnects exported" 1.0 (get "loadgen.reconnects");
+  Alcotest.(check (float 1e-9)) "connect p99 exported" 0.8 (get "loadgen.connect_p99_ms");
+  Alcotest.(check (float 1e-9)) "remainder clamp count exported" 3.0
+    (get "loadgen.remainder_clamped");
   Alcotest.(check bool) "unset SLO omitted" true
     (List.assoc_opt "loadgen.slo_deadline_rate" keys = None);
   (* every key is namespaced so a merge cannot collide with perf keys *)

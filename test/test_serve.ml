@@ -397,6 +397,153 @@ let test_events_level_filter_http () =
           (contains ~needle:"w.one" body && contains ~needle:"e.two" body)
       | _ -> Alcotest.fail "/events?level=warn must be 200")
 
+(* --- CCQ1v4 keep-alive over a socketpair -------------------------------- *)
+
+let rd32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+(* Split a stream of concatenated CCR1 frames into decoded replies —
+   keep-alive responses arrive back-to-back on one connection, so the
+   reader must find each frame's end from its own header. *)
+let split_replies raw =
+  let n = String.length raw in
+  let rec go pos acc =
+    if pos = n then List.rev acc
+    else if pos + 10 > n then Alcotest.failf "torn reply header: %d trailing bytes" (n - pos)
+    else begin
+      let total = 10 + Char.code raw.[pos + 5] + rd32 raw (pos + 6) in
+      if pos + total > n then Alcotest.failf "torn reply body at offset %d" pos
+      else
+        match Serve.decode_response (String.sub raw pos total) with
+        | Ok r -> go (pos + total) (r :: acc)
+        | Error e -> Alcotest.failf "bad reply frame at offset %d: %s" pos e
+    end
+  in
+  go 0 []
+
+(* drive_connection, keep-alive flavoured: optional idle timeout and
+   recycle bound, feeder tolerant of the server closing first. *)
+let drive_keepalive ?idle_timeout_s ?max_requests ?(chunk = 256) raw =
+  with_socketpair (fun server client ->
+      let feeder =
+        Domain.spawn (fun () ->
+            try
+              let n = String.length raw in
+              let pos = ref 0 in
+              while !pos < n do
+                let len = min chunk (n - !pos) in
+                pos := !pos + Unix.write_substring client raw !pos len
+              done;
+              Unix.shutdown client Unix.SHUTDOWN_SEND
+            with Unix.Unix_error _ -> ())
+      in
+      Serve.handle_connection ?idle_timeout_s ?max_requests ~jobs:1 server;
+      (try Unix.shutdown server Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+      let resp = read_all client in
+      Domain.join feeder;
+      resp)
+
+let test_keepalive_sequence () =
+  (* several frames down one connection: one reply each, in order, no
+     reconnect — the v4 contract *)
+  let raw =
+    Serve.encode_request Serve.Ping
+    ^ Serve.encode_request (Serve.Decompress "junk")
+    ^ Serve.encode_request ~request_id:9L Serve.Ping
+  in
+  match split_replies (drive_keepalive raw) with
+  | [ (Serve.Payload "pong", None); (Serve.Failed _, None); (Serve.Payload "pong", Some t) ] ->
+    Alcotest.(check int64) "third frame's id echoed" 9L t.Serve.t_request_id
+  | rs -> Alcotest.failf "keep-alive: wanted 3 ordered replies, got %d" (List.length rs)
+
+let test_keepalive_recycle () =
+  (* max_requests 2 with 3 frames offered: exactly 2 replies, then a
+     clean close — the recycle bound, not an error *)
+  let raw = String.concat "" (List.init 3 (fun _ -> Serve.encode_request Serve.Ping)) in
+  match split_replies (drive_keepalive ~max_requests:2 raw) with
+  | [ (Serve.Payload "pong", _); (Serve.Payload "pong", _) ] -> ()
+  | rs -> Alcotest.failf "recycle at 2: wanted exactly 2 replies, got %d" (List.length rs)
+
+let test_keepalive_idle_close () =
+  (* a frame, a reply, then silence past the idle timeout: the server
+     must close (EOF at the client) instead of waiting forever *)
+  with_socketpair (fun server client ->
+      let f = Serve.encode_request Serve.Ping in
+      let feeder =
+        Domain.spawn (fun () ->
+            try
+              ignore (Unix.write_substring client f 0 (String.length f));
+              Unix.sleepf 0.8;
+              ignore (Unix.write_substring client f 0 (String.length f));
+              Unix.shutdown client Unix.SHUTDOWN_SEND
+            with Unix.Unix_error _ -> ())
+      in
+      Serve.handle_connection ~idle_timeout_s:0.2 ~jobs:1 server;
+      (try Unix.shutdown server Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+      let resp = read_all client in
+      Domain.join feeder;
+      match split_replies resp with
+      | [ (Serve.Payload "pong", _) ] -> ()
+      | rs -> Alcotest.failf "idle close: wanted exactly 1 reply, got %d" (List.length rs))
+
+let test_keepalive_partial_preamble () =
+  (* a whole frame then 2 bytes of a next magic and EOF: the first job
+     is answered, the torn preamble closes quietly *)
+  (match split_replies (drive_keepalive (Serve.encode_request Serve.Ping ^ "CC")) with
+  | [ (Serve.Payload "pong", _) ] -> ()
+  | rs -> Alcotest.failf "partial preamble: wanted exactly 1 reply, got %d" (List.length rs));
+  (* a whole frame then half of a next header: the first job is still
+     answered; the torn successor yields at most a typed Failed *)
+  let torn = String.sub (Serve.encode_request (Serve.Decompress "yyyy")) 0 10 in
+  match split_replies (drive_keepalive (Serve.encode_request Serve.Ping ^ torn)) with
+  | (Serve.Payload "pong", _) :: rest ->
+    List.iter
+      (function
+        | Serve.Failed _, _ -> ()
+        | _ -> Alcotest.fail "a torn successor must not produce a payload reply")
+      rest
+  | _ -> Alcotest.fail "first complete frame must be answered despite a torn successor"
+
+let qcheck_pipelined_eq_serial =
+  (* pipelining is pure framing: the byte stream for N requests down
+     one connection equals the concatenation of the N one-shot reply
+     streams (request_id 0 keeps replies timing-free, so deterministic) *)
+  let req_gen =
+    QCheck.Gen.(
+      int_range 0 2 >>= function
+      | 0 -> return Serve.Ping
+      | 1 -> map (fun s -> Serve.Decompress s) (string_size ~gen:printable (int_range 0 40))
+      | _ ->
+        map
+          (fun words ->
+            let code = String.concat "" (List.map (fun w -> be32 w) words) in
+            Serve.Compress { algo = Serve.Samc; isa = Serve.Mips; block_size = 32; code })
+          (list_size (int_range 1 12) (int_range 0 0xffffff)))
+  in
+  let print_reqs reqs =
+    String.concat ";"
+      (List.map
+         (function
+           | Serve.Ping -> "ping"
+           | Serve.Decompress s -> Printf.sprintf "decompress(%d)" (String.length s)
+           | Serve.Compress { code; _ } -> Printf.sprintf "compress(%d)" (String.length code)
+           | Serve.Crash_worker -> "crash")
+         reqs)
+  in
+  QCheck.Test.make ~count:25 ~name:"pipelined replies = concatenated one-shot replies"
+    (QCheck.make ~print:print_reqs QCheck.Gen.(list_size (int_range 1 4) req_gen))
+    (fun reqs ->
+      let pipelined =
+        drive_keepalive (String.concat "" (List.map Serve.encode_request reqs))
+      in
+      let serial =
+        String.concat "" (List.map (fun r -> drive_keepalive (Serve.encode_request r)) reqs)
+      in
+      pipelined = serial)
+
 let suite =
   [
     Alcotest.test_case "request wire round-trip" `Quick test_request_roundtrip;
@@ -422,4 +569,10 @@ let suite =
       test_expired_deadline_on_arrival;
     Alcotest.test_case "crash op refused when not enabled" `Quick test_crash_op_gated;
     Alcotest.test_case "crash op raises for supervision" `Quick test_crash_op_raises_when_allowed;
+    Alcotest.test_case "keep-alive serves frames in sequence" `Quick test_keepalive_sequence;
+    Alcotest.test_case "keep-alive recycles at max_requests" `Quick test_keepalive_recycle;
+    Alcotest.test_case "keep-alive closes an idle connection" `Quick test_keepalive_idle_close;
+    Alcotest.test_case "keep-alive survives torn successors" `Quick
+      test_keepalive_partial_preamble;
+    QCheck_alcotest.to_alcotest qcheck_pipelined_eq_serial;
   ]

@@ -1,12 +1,12 @@
 #!/bin/sh
 # Benchmark regression gate over the flat JSON written by
-# `bench --emit-json` (see BENCH_PR9.json for the committed baseline).
+# `bench --emit-json` (see BENCH_PR10.json for the committed baseline).
 #
 # Modes:
 #   bench_check.sh [BASELINE]
 #       Run the full throughput suite with `dune exec bench/main.exe` and
 #       fail (exit 1) if any *decompress* throughput fell more than 20%
-#       below the baseline (default: BENCH_PR9.json next to this repo's
+#       below the baseline (default: BENCH_PR10.json next to this repo's
 #       root). Compress keys are reported but not gated — dictionary
 #       construction time is dominated by search heuristics, not the
 #       kernels this gate protects.
@@ -31,8 +31,10 @@
 #       files predating the section pass untouched. PR9 adds runtime
 #       gates: when the file carries daemon-side runtime.* telemetry,
 #       the GC counters must be live (nonzero allocation over the run),
-#       and a recorded loadgen.capacity_rps must be >= 1 rps. Run
-#       against the
+#       and a recorded loadgen.capacity_rps must be >= 1 rps. PR10
+#       adds the keep-alive gate: a capacity measured with connection
+#       reuse on (loadgen.conn_reuse = 1) must strictly beat the PR9
+#       reconnect-per-request capacity of 580.5 rps. Run against the
 #       committed BENCH_PR*.json this is deterministic, so bench/dune
 #       wires it into runtest.
 set -eu
@@ -262,6 +264,26 @@ invariants() { # file
   fi
   if json_has "$file" loadgen.capacity_rps; then
     abs_ge "ramp-measured SLO capacity is a real load" loadgen.capacity_rps 1
+    # PR10: the keep-alive floor. With connection reuse on, the ramped
+    # capacity must strictly beat the PR9 reconnect-per-request
+    # capacity (580.5 rps) — persistent connections are the whole
+    # point. A deliberate --no-reuse A/B file skips the floor.
+    if json_has "$file" loadgen.conn_reuse; then
+      reuse=$(json_get "$file" loadgen.conn_reuse)
+      cap=$(json_get "$file" loadgen.capacity_rps)
+      if awk -v r="$reuse" 'BEGIN { exit !(r + 0 >= 1) }'; then
+        if awk -v c="$cap" 'BEGIN { exit !(c + 0 > 580.5) }'; then
+          echo "  ok  keep-alive capacity beats the PR9 reconnect baseline: $cap > 580.5"
+        else
+          echo "  INVARIANT keep-alive capacity FAILED: $cap <= 580.5 (PR9 reconnect baseline)" >&2
+          fail=1
+        fi
+      else
+        echo "  note: capacity measured with --no-reuse — keep-alive floor skipped"
+      fi
+    else
+      echo "  note: no conn_reuse key (pre-PR10 file) — keep-alive floor skipped"
+    fi
   fi
   if [ "$fail" -ne 0 ]; then
     echo "bench_check: INVARIANTS FAILED for $file" >&2
@@ -301,7 +323,7 @@ case "${1:-}" in
     ;;
   *)
     root=$(cd "$(dirname "$0")/.." && pwd)
-    baseline=${1:-$root/BENCH_PR9.json}
+    baseline=${1:-$root/BENCH_PR10.json}
     out=$(mktemp /tmp/bench_full.XXXXXX.json)
     trap 'rm -f "$out"' EXIT
     trap 'exit 130' INT

@@ -9,15 +9,22 @@
 #
 # Checks:
 #   1. daemon boots with tight budgets (queue-cap 2, io-timeout 1s,
-#      idle-timeout 2s, drain 5s) and the crash op enabled.
+#      idle-timeout 1s, drain 5s, recycle every 3 frames) and the
+#      crash op enabled.
 #   2. `ccomp chaos --seed 42` PASSes: the daemon stays live through
 #      slowloris + truncation + churn + resets + oversize + an overload
-#      flood; every completed job is byte-identical to the offline
-#      oracle; the flood produces typed Overloaded replies; deadline
-#      probes produce typed Deadline_expired replies.
+#      flood + keep-alive abuse (pipelined bursts, torn frames
+#      mid-stream, an inter-frame stall past the idle timeout); every
+#      completed job — keep-alive and legacy one-shot alike — is
+#      byte-identical to the offline oracle; the flood produces typed
+#      Overloaded replies; deadline probes produce typed
+#      Deadline_expired replies; pipelined replies arrive in order; the
+#      stalled connection is idle-closed.
 #   3. the overload telemetry is on /metrics afterwards: sheds,
 #      expired deadlines and the crash-op worker restart all counted,
-#      queue-depth gauges present.
+#      queue-depth gauges present, and the keep-alive counters moved —
+#      recycles (forced by --max-requests-per-conn 3) and idle closes
+#      (forced by the stall).
 #   4. SIGTERM drains gracefully: exit 0 within the drain budget, and
 #      the events file carries serve.drain.begin / serve.drain.end.
 set -eu
@@ -50,8 +57,11 @@ trap 'exit 129' HUP
 fail() { echo "chaos_check: $*" >&2; exit 1; }
 
 # -- 1: boot with tight budgets and the crash op enabled ----------------
+# --max-requests-per-conn 3 forces recycles under the keep-alive
+# attacks; --idle-timeout 1 < the chaos --stall 2 forces idle closes
 "$ccomp" serve --port 0 --workers 2 --queue-cap 2 \
-  --idle-timeout 2 --io-timeout 1 --drain 5 --unsafe-crash-op \
+  --idle-timeout 1 --io-timeout 1 --drain 5 --max-requests-per-conn 3 \
+  --unsafe-crash-op \
   --events "$dir/events.jsonl" > "$dir/serve.log" 2>&1 &
 serve_pid=$!
 
@@ -69,11 +79,17 @@ done
 # -- 2: the deterministic chaos mix must pass ---------------------------
 # flood 12 > workers*queue-cap + workers = 6, so typed sheds are forced;
 # --crash-workers exercises supervision (the daemon has the op enabled)
-"$ccomp" chaos --port "$port" --seed 42 --rounds 2 --flood 12 \
+"$ccomp" chaos --port "$port" --seed 42 --rounds 2 --flood 12 --stall 2 \
   --crash-workers --timeout 10 > "$dir/chaos.log" 2>&1 \
   || fail "chaos campaign FAILed: $(cat "$dir/chaos.log")"
 grep -q 'chaos: PASS' "$dir/chaos.log" || fail "no PASS verdict: $(cat "$dir/chaos.log")"
 grep -q 'seed 42' "$dir/chaos.log" || fail "replay seed not logged: $(cat "$dir/chaos.log")"
+# the keep-alive battery actually ran: bursts got pipelined replies,
+# stalls were idle-closed (both also gated inside `chaos` itself)
+grep -Eq 'pipeline bursts +[1-9]' "$dir/chaos.log" \
+  || fail "no pipeline bursts ran: $(cat "$dir/chaos.log")"
+grep -Eq 'interframe stalls +[1-9]' "$dir/chaos.log" \
+  || fail "no inter-frame stalls ran: $(cat "$dir/chaos.log")"
 
 # -- 3: overload telemetry on the scrape surface ------------------------
 kill -0 "$serve_pid" 2>/dev/null || fail "daemon died during chaos: $(cat "$dir/serve.log")"
@@ -90,6 +106,11 @@ nonzero() {
 nonzero serve_shed_total
 nonzero serve_deadline_expired_total
 nonzero serve_worker_restarts_total
+# keep-alive telemetry: the 3-frame recycle bound and the 1s idle
+# timeout were both hit by the chaos mix above
+nonzero serve_frames_total
+nonzero serve_conn_recycles_total
+nonzero serve_keepalive_idle_closes_total
 grep -q '^# TYPE serve_queue_depth_0 gauge$' "$dir/metrics.txt" \
   || fail "/metrics: queue-depth gauge missing"
 grep -q '^# TYPE serve_inflight gauge$' "$dir/metrics.txt" \

@@ -89,9 +89,25 @@ for key in loadgen.offered_rps loadgen.achieved_rps loadgen.sent loadgen.ok \
            loadgen.p50_ms loadgen.p95_ms loadgen.p99_ms loadgen.p999_ms \
            loadgen.queue_p99_ms loadgen.service_p99_ms loadgen.network_p99_ms \
            loadgen.shed_rate loadgen.deadline_rate loadgen.slo_p99_ms \
-           loadgen.slo_shed_rate loadgen.slo_deadline_rate loadgen.slo_violations; do
+           loadgen.slo_shed_rate loadgen.slo_deadline_rate loadgen.slo_violations \
+           loadgen.conn_reuse loadgen.conns loadgen.connects loadgen.reconnects \
+           loadgen.connect_p50_ms loadgen.connect_p99_ms loadgen.remainder_clamped; do
   json_has "$dir/loadgen.json" "$key" || fail "emitted JSON lacks $key"
 done
+
+# connection accounting: reuse defaults on, and a reusing run cannot
+# pay more connects than requests (while --no-reuse pays one per
+# request, modulo transport errors — checked via the reconnect-free
+# lower bound below)
+reuse=$(json_get "$dir/loadgen.json" loadgen.conn_reuse)
+connects=$(json_get "$dir/loadgen.json" loadgen.connects)
+conns=$(json_get "$dir/loadgen.json" loadgen.conns)
+sent=$(json_get "$dir/loadgen.json" loadgen.sent)
+awk "BEGIN { exit !($reuse == 1) }" || fail "conn_reuse should default to 1, got $reuse"
+awk "BEGIN { exit !($connects >= $conns) }" \
+  || fail "connects=$connects below the slot count conns=$conns"
+awk "BEGIN { exit !($connects < $sent) }" \
+  || fail "a reusing run paid connects=$connects for sent=$sent requests — reuse is not reusing"
 
 ok=$(json_get "$dir/loadgen.json" loadgen.ok)
 timed=$(json_get "$dir/loadgen.json" loadgen.timed)

@@ -8,10 +8,13 @@
 # usage: serve_check.sh CCOMP_EXE
 #
 # Checks:
-#   1. `ccomp serve --port 0` boots and reports its bound port.
+#   1. `ccomp serve --port 0 --acceptors 2` boots and reports its
+#      bound port.
 #   2. a served compress job (`ccomp submit`) is byte-identical to the
 #      offline `ccomp compress` output, and a served decompress job
-#      round-trips the image back to the original bytes.
+#      round-trips the image back to the original bytes; the same
+#      compress over the legacy one-shot wire shape
+#      (`--legacy-oneshot`) is byte-identical too.
 #   3. /metrics is OpenMetrics: # TYPE families, _total counters,
 #      cumulative histogram buckets ending at le="+Inf", a final # EOF,
 #      and the registry-wide schema (samc_/sadc_/memsys_/par_/serve_
@@ -22,7 +25,11 @@
 #   4. /healthz answers ok; /events carries structured JSON lines for
 #      the jobs just served, honours ?level= filtering, and rejects an
 #      unknown level with a 400 naming it.
-#   5. SIGTERM stops the daemon promptly and gracefully (exit 0: the
+#   5. a 1-sender 1-connection keep-alive loadgen pays exactly one
+#      connect for its whole run (reuse recorded in the bench json),
+#      and the daemon's frames counter far exceeds its connections
+#      counter afterwards.
+#   6. SIGTERM stops the daemon promptly and gracefully (exit 0: the
 #      accept loop absorbs the break, closes the listener and flushes
 #      telemetry before returning).
 set -eu
@@ -61,8 +68,8 @@ fail() { echo "serve_check: $*" >&2; exit 1; }
 
 "$ccomp" generate --profile go --scale 0.15 --seed 17 -o "$dir/code.bin" >/dev/null
 
-# -- 1: boot on an ephemeral port ---------------------------------------
-"$ccomp" serve --port 0 > "$dir/serve.log" 2>&1 &
+# -- 1: boot on an ephemeral port with a sharded accept path ------------
+"$ccomp" serve --port 0 --acceptors 2 > "$dir/serve.log" 2>&1 &
 serve_pid=$!
 
 port=
@@ -86,6 +93,13 @@ cmp -s "$dir/offline.secf" "$dir/served.secf" \
 "$ccomp" submit --port "$port" --op decompress "$dir/served.secf" -o "$dir/back.bin" >/dev/null
 cmp -s "$dir/code.bin" "$dir/back.bin" || fail "served decompress did not round-trip"
 
+# the pre-v4 one-shot wire shape (write, shutdown, read to EOF) must
+# keep working against a keep-alive daemon, byte for byte
+"$ccomp" submit --port "$port" --legacy-oneshot --op compress --algo samc \
+  "$dir/code.bin" -o "$dir/served_legacy.secf" >/dev/null
+cmp -s "$dir/offline.secf" "$dir/served_legacy.secf" \
+  || fail "legacy one-shot compress is not byte-identical to offline compress"
+
 # -- 3: /metrics is OpenMetrics with the full registry schema -----------
 "$ccomp" scrape --port "$port" /metrics > "$dir/metrics.txt"
 grep -q '^# TYPE [a-z_]* counter$' "$dir/metrics.txt" || fail "/metrics: no counter families"
@@ -97,14 +111,16 @@ for family in samc_ sadc_ memsys_ par_ serve_; do
   grep -q "^# TYPE $family" "$dir/metrics.txt" \
     || fail "/metrics: registry family $family missing from the schema"
 done
-grep -q '^serve_jobs_compress_total 1$' "$dir/metrics.txt" \
-  || fail "/metrics: the served compress job was not counted"
+grep -q '^serve_jobs_compress_total 2$' "$dir/metrics.txt" \
+  || fail "/metrics: the served compress jobs (keep-alive + legacy) were not counted"
 # info metric: build/config facts as labels on a constant-1 sample
 grep -q '^# TYPE serve info$' "$dir/metrics.txt" || fail "/metrics: no serve info family"
 grep -q '^serve_info{.*version=".*".*} 1$' "$dir/metrics.txt" \
   || fail "/metrics: serve_info lacks a version label or constant-1 value"
 grep -q '^serve_info{.*port="'"$port"'".*} 1$' "$dir/metrics.txt" \
   || fail "/metrics: serve_info does not carry the bound port"
+grep -q '^serve_info{.*acceptors="2".*} 1$' "$dir/metrics.txt" \
+  || fail "/metrics: serve_info does not carry the acceptor count"
 # uptime gauge: non-negative and refreshed at scrape time
 grep -q '^# TYPE serve_uptime_seconds gauge$' "$dir/metrics.txt" \
   || fail "/metrics: no serve_uptime_seconds gauge"
@@ -145,7 +161,31 @@ if "$ccomp" scrape --port "$port" '/events?level=noise' > "$dir/events_bad.txt" 
 fi
 grep -q 'noise' "$dir/events_bad.txt" || fail "/events level rejection does not name the level"
 
-# -- 5: clean shutdown on SIGTERM ---------------------------------------
+# -- 5: keep-alive: one connection carries a whole loadgen run ----------
+# (after the events checks: every frame books a serve.request debug
+# event, so ~150 pings would push the job events out of the default
+# /events view)
+"$ccomp" loadgen --port "$port" --rate 150 --duration 1 --senders 1 --conns 1 \
+  --mix-compress 0 --mix-decompress 0 --mix-ping 1 \
+  --emit-json "$dir/keepalive.json" > "$dir/keepalive.log" 2>&1 \
+  || fail "keep-alive loadgen failed: $(cat "$dir/keepalive.log")"
+awk -F': ' '/"loadgen.connects"/ { found = 1; if ($2 + 0 != 1) exit 1 }
+            END { if (!found) exit 1 }' "$dir/keepalive.json" \
+  || fail "keep-alive: a 1-connection loadgen paid more than one connect"
+awk -F': ' '/"loadgen.conn_reuse"/ { found = 1; if ($2 + 0 != 1) exit 1 }
+            END { if (!found) exit 1 }' "$dir/keepalive.json" \
+  || fail "keep-alive: conn_reuse not recorded in the bench json"
+# daemon-side telemetry agrees: the ~150 ping frames all rode one
+# connection, so frames must far exceed connections
+"$ccomp" scrape --port "$port" /metrics > "$dir/metrics2.txt"
+frames=$(awk '/^serve_frames_total /{print $2}' "$dir/metrics2.txt")
+conns=$(awk '/^serve_connections_total /{print $2}' "$dir/metrics2.txt")
+[ -n "$frames" ] || fail "/metrics: no serve_frames_total counter"
+[ -n "$conns" ] || fail "/metrics: no serve_connections_total counter"
+[ "$frames" -ge $((conns + 50)) ] \
+  || fail "/metrics: frames ($frames) do not exceed connections ($conns) — keep-alive is not keeping connections alive"
+
+# -- 6: clean shutdown on SIGTERM ---------------------------------------
 kill -TERM "$serve_pid"
 status=0
 wait "$serve_pid" || status=$?
